@@ -1,0 +1,81 @@
+//! Bench A1 — Algorithm 1 (`is_quorum`) and quorum closure.
+//!
+//! Includes the DESIGN.md ablation: symbolic `AllSubsets` slice families vs
+//! materialized explicit lists — the symbolic form keeps Algorithm 2's
+//! combinatorial families polynomial to query.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scup_fbqs::{quorum, Fbqs, SliceFamily};
+use scup_graph::ProcessSet;
+use stellar_cup::oracle::{PerfectSinkDetector, SinkDetector};
+
+/// Algorithm-2 system over a single sink of size `n` with threshold `f`.
+fn sink_system(n: usize, f: usize) -> Fbqs {
+    let g = scup_graph::generators::circulant(n, f + 1);
+    let kg = scup_graph::KnowledgeGraph::from_graph(g);
+    let sd = PerfectSinkDetector::new(&kg).unwrap();
+    let families = kg
+        .processes()
+        .map(|i| stellar_cup::build_slices(&sd.get_sink(i, f), f))
+        .collect();
+    Fbqs::new(families)
+}
+
+fn bench_is_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_quorum");
+    for n in [8usize, 16, 32, 64, 128] {
+        let sys = sink_system(n, 1);
+        let q = ProcessSet::full(n);
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
+            b.iter(|| quorum::is_quorum(black_box(&sys), black_box(&q)))
+        });
+    }
+    // Ablation: symbolic vs enumerated on a size where enumeration is
+    // feasible (C(10, 6) = 210 slices).
+    let n = 10;
+    let sys = sink_system(n, 1);
+    let q = ProcessSet::full(n);
+    let enumerated = Fbqs::new(
+        (0..n as u32)
+            .map(|i| {
+                let fam = sys.slices(scup_graph::ProcessId::new(i));
+                SliceFamily::explicit(fam.enumerate(usize::MAX).unwrap())
+            })
+            .collect(),
+    );
+    group.bench_function("ablation/symbolic_n10", |b| {
+        b.iter(|| quorum::is_quorum(black_box(&sys), black_box(&q)))
+    });
+    group.bench_function("ablation/explicit_n10", |b| {
+        b.iter(|| quorum::is_quorum(black_box(&enumerated), black_box(&q)))
+    });
+    group.finish();
+}
+
+fn bench_quorum_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_closure");
+    for n in [8usize, 16, 32, 64] {
+        let sys = sink_system(n, 1);
+        // Worst-ish case: closure from the full set minus a scattering.
+        let mut u = ProcessSet::full(n);
+        u.remove(scup_graph::ProcessId::new(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| quorum::quorum_closure(black_box(&sys), black_box(&u)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection_len(c: &mut Criterion) {
+    // The threshold intertwined primitive |Q ∩ Q'| > f.
+    let a = ProcessSet::full(512);
+    let b: ProcessSet = (0..512u32).filter(|i| i % 3 == 0).map(scup_graph::ProcessId::new).collect();
+    c.bench_function("processset/intersection_len_512", |bch| {
+        bch.iter(|| black_box(&a).intersection_len(black_box(&b)))
+    });
+}
+
+criterion_group!(benches, bench_is_quorum, bench_quorum_closure, bench_intersection_len);
+criterion_main!(benches);

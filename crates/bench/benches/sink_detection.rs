@@ -1,0 +1,47 @@
+//! Bench A3 — the distributed sink detector (Algorithm 3): full simulated
+//! runs across system sizes and `GET_SINK` dissemination modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scup_graph::generators;
+use scup_sim::{NetworkConfig, Simulation};
+use stellar_cup::sink_detector::{GetSinkMode, SdMsg, SinkDetectorActor};
+
+fn run(kg: &scup_graph::KnowledgeGraph, f: usize, mode: GetSinkMode, seed: u64) -> u64 {
+    let mut sim: Simulation<SdMsg> =
+        Simulation::new(kg.clone(), NetworkConfig::synchronous(10, seed));
+    for i in kg.processes() {
+        sim.add_actor(Box::new(SinkDetectorActor::new(kg.pd(i).clone(), f, mode)));
+    }
+    let report = sim.run_until_quiet(5_000_000);
+    report.messages_sent
+}
+
+fn bench_sink_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sink_detector_run");
+    group.sample_size(10);
+    for (sink, out) in [(5usize, 5usize), (6, 10), (8, 16), (10, 30)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (kg, _) = generators::random_byzantine_safe(sink, out, 1, &mut rng);
+        let n = kg.n();
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run(&kg, 1, GetSinkMode::Direct, seed)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rrb", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run(&kg, 1, GetSinkMode::ReachableBroadcast, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sink_detection);
+criterion_main!(benches);

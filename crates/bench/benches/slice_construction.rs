@@ -1,0 +1,63 @@
+//! Bench A2 — Algorithm 2 (`build_slices`) and the local strategies of
+//! Section IV, plus the downstream cluster checks they enable.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scup_graph::generators;
+use stellar_cup::attempts::{build_local_system, LocalSliceStrategy};
+use stellar_cup::oracle::PerfectSinkDetector;
+use stellar_cup::{build_slices, theorems, SinkDetector};
+
+fn bench_build_slices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_slices");
+    for n in [16usize, 64, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = generators::KosrConfig::new(n / 2, n / 2, 2);
+        let kg = generators::random_kosr(&config, &mut rng);
+        let sd = PerfectSinkDetector::new(&kg).unwrap();
+        group.bench_with_input(BenchmarkId::new("algorithm2_all", n), &n, |b, _| {
+            b.iter(|| {
+                for i in kg.processes() {
+                    let d = sd.get_sink(i, 1);
+                    black_box(build_slices(&d, 1));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local_all_but_one", n), &n, |b, _| {
+            b.iter(|| black_box(build_local_system(&kg, LocalSliceStrategy::AllButOne, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_checks");
+    group.sample_size(10);
+    // Exhaustive Theorem 3 on Fig. 2 (n = 7), the paper-scale instance.
+    let kg = generators::fig2();
+    let (sys, _) = theorems::algorithm2_system(&kg, 1).unwrap();
+    let correct = kg.graph().vertex_set();
+    group.bench_function("theorem3_exhaustive_fig2", |b| {
+        b.iter(|| {
+            theorems::theorem3_all_intertwined(black_box(&sys), &correct, 1, 1 << 18).unwrap()
+        })
+    });
+    // Polynomial Theorem 4 availability check scales much further.
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = generators::KosrConfig::new(n / 2, n / 2, 2);
+        let big = generators::random_kosr(&config, &mut rng);
+        let (sys, _) = theorems::algorithm2_system(&big, 1).unwrap();
+        let correct = big.graph().vertex_set();
+        group.bench_with_input(BenchmarkId::new("theorem4_closure", n), &n, |b, _| {
+            b.iter(|| theorems::theorem4_quorum_availability(black_box(&sys), &correct))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_slices, bench_theorem_checks);
+criterion_main!(benches);

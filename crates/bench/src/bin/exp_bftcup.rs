@@ -1,0 +1,121 @@
+//! Experiment T1 — the **BFT-CUP baseline** (Theorem 1): the protocol the
+//! paper compares Stellar against solves consensus under the same minimal
+//! knowledge, without a sink detector. Reports decision latency and message
+//! counts side by side with the SCP + sink-detector pipeline.
+//!
+//! Run: `cargo run --release -p scup-bench --bin exp_bftcup`
+
+use scup_bench::{table, workloads};
+use scup_cup::bftcup::{BftConfig, BftCupActor};
+use scup_graph::ProcessId;
+use scup_sim::adversary::SilentActor;
+use scup_sim::{NetworkConfig, Simulation};
+use stellar_cup::consensus::{self, EndToEndConfig};
+
+fn run_bftcup(sc: &workloads::Scenario, seed: u64) -> (bool, u64, u64) {
+    let mut sim = Simulation::new(
+        sc.kg.clone(),
+        NetworkConfig::partially_synchronous(150, 10, seed),
+    );
+    for i in sc.kg.processes() {
+        if sc.faulty.contains(i) {
+            sim.add_actor(Box::new(SilentActor::new()));
+        } else {
+            sim.add_actor(Box::new(BftCupActor::new(
+                sc.kg.pd(i).clone(),
+                100 + i.as_u32() as u64,
+                BftConfig::new(sc.f, 500),
+            )));
+        }
+    }
+    let correct: Vec<ProcessId> = sc
+        .kg
+        .processes()
+        .filter(|i| !sc.faulty.contains(*i))
+        .collect();
+    let report = sim.run_while(
+        |s| {
+            !correct.iter().all(|&i| {
+                s.actor_as::<BftCupActor>(i)
+                    .is_some_and(|a| a.decision().is_some())
+            })
+        },
+        5_000_000,
+    );
+    let mut value = None;
+    let mut ok = true;
+    for &i in &correct {
+        match sim.actor_as::<BftCupActor>(i).unwrap().decision() {
+            None => ok = false,
+            Some(v) => match value {
+                None => value = Some(v),
+                Some(prev) => ok &= prev == v,
+            },
+        }
+    }
+    (ok, report.messages_sent, report.end_time.ticks())
+}
+
+fn main() {
+    println!("Experiment T1: BFT-CUP baseline vs SCP + sink detector.");
+    const SEEDS: u64 = 5;
+
+    table::section("Consensus under minimal knowledge (silent adversary)");
+    table::header(
+        &["scenario", "n", "protocol", "agree", "msgs", "ticks"],
+        &[22, 4, 10, 6, 9, 8],
+    );
+    let mut scenarios = workloads::fig2_scenarios();
+    scenarios.extend(workloads::scaling_scenarios(
+        1,
+        &[(5, 3), (6, 6), (8, 8), (10, 14)],
+        5,
+    ));
+    for sc in &scenarios {
+        // BFT-CUP.
+        let mut agree = 0u64;
+        let (mut msgs, mut ticks) = (0u64, 0u64);
+        for seed in 0..SEEDS {
+            let (ok, m, t) = run_bftcup(sc, seed);
+            agree += ok as u64;
+            msgs += m;
+            ticks += t;
+        }
+        table::row(
+            &[
+                sc.name.clone(),
+                sc.kg.n().to_string(),
+                "bft-cup".into(),
+                format!("{agree}/{SEEDS}"),
+                (msgs / SEEDS).to_string(),
+                (ticks / SEEDS).to_string(),
+            ],
+            &[22, 4, 10, 6, 9, 8],
+        );
+        // SCP + SD (messages of both phases summed: the knowledge-increase
+        // cost is part of Stellar's bill — that is the paper's point).
+        let mut agree = 0u64;
+        let (mut msgs, mut ticks) = (0u64, 0u64);
+        for seed in 0..SEEDS {
+            let config = EndToEndConfig {
+                seed,
+                ..EndToEndConfig::default()
+            };
+            let outcome = consensus::run_end_to_end(&sc.kg, sc.f, &sc.faulty, &config);
+            agree += outcome.agreement() as u64;
+            msgs += outcome.sd_report.messages_sent + outcome.scp_report.messages_sent;
+            ticks += outcome.sd_report.end_time.ticks() + outcome.scp_report.end_time.ticks();
+        }
+        table::row(
+            &[
+                sc.name.clone(),
+                sc.kg.n().to_string(),
+                "scp+sd".into(),
+                format!("{agree}/{SEEDS}"),
+                (msgs / SEEDS).to_string(),
+                (ticks / SEEDS).to_string(),
+            ],
+            &[22, 4, 10, 6, 9, 8],
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Experiment F1 — reproduces **Fig. 1** and the Section III-D walkthrough:
+//! the 8-participant knowledge connectivity graph, its sink component, the
+//! hand-crafted slices, the quorums the paper highlights, and the consensus
+//! clusters (C1, C2, and the unique maximal cluster).
+//!
+//! Run: `cargo run --release -p scup-bench --bin exp_fig1`
+
+use scup_bench::table;
+use scup_fbqs::{cluster, paper, quorum};
+use scup_graph::{generators, sink, ProcessId, ProcessSet};
+
+fn paper_set(s: &ProcessSet) -> String {
+    let ids: Vec<String> = s.iter().map(|p| (p.as_u32() + 1).to_string()).collect();
+    format!("{{{}}}", ids.join(","))
+}
+
+fn main() {
+    println!("Experiment F1: Fig. 1 of the paper (labels printed 1-based).");
+
+    let kg = generators::fig1();
+    table::section("Participant detectors (paper Fig. 1)");
+    for i in kg.processes() {
+        println!("  PD_{} = {}", i.as_u32() + 1, paper_set(kg.pd(i)));
+    }
+
+    let v_sink = sink::unique_sink(kg.graph()).expect("unique sink");
+    table::section("Sink component");
+    println!("  V_sink = {}  (paper: {{5, 6, 7, 8}})", paper_set(&v_sink));
+
+    let sys = paper::fig1_system();
+    let w = paper::fig1_correct();
+    table::section("Quorums under the Section III-D slices");
+    let q567 = ProcessSet::from_ids([4, 5, 6]);
+    println!(
+        "  is_quorum({}) = {}   (paper: Q5 = Q6 = Q7 = {{5,6,7}})",
+        paper_set(&q567),
+        quorum::is_quorum(&sys, &q567)
+    );
+    for i in [0u32, 2] {
+        let q = quorum::minimal_quorum_of_within(&sys, ProcessId::new(i), &w).unwrap();
+        println!("  minimal quorum of {} = {}", i + 1, paper_set(&q));
+    }
+    let minimal = quorum::minimal_quorums(&sys, &w, 1 << 12).unwrap();
+    println!(
+        "  minimal quorums among W: {}",
+        minimal.iter().map(|q| paper_set(q)).collect::<Vec<_>>().join(", ")
+    );
+
+    table::section("Consensus clusters (Definitions 3-4)");
+    let mode = cluster::IntertwinedMode::CorrectWitness;
+    let c1 = ProcessSet::from_ids([4, 5, 6]);
+    println!(
+        "  C1 = {} is a consensus cluster: {}",
+        paper_set(&c1),
+        cluster::is_consensus_cluster(&sys, &c1, &w, &w, mode, 1 << 12).unwrap()
+    );
+    println!(
+        "  C2 = {} is a consensus cluster: {}",
+        paper_set(&w),
+        cluster::is_consensus_cluster(&sys, &w, &w, &w, mode, 1 << 12).unwrap()
+    );
+    let maximal = cluster::maximal_consensus_clusters(&sys, &w, &w, mode, 1 << 12).unwrap();
+    println!(
+        "  maximal consensus clusters: {}   (paper: C2 only)",
+        maximal.iter().map(|c| paper_set(c)).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -1,0 +1,72 @@
+//! Experiment F2 — reproduces **Fig. 2 and Theorem 2**: locally defined
+//! slices (all subsets of `PD_i` of size `|PD_i| − 1`) on a 3-OSR graph
+//! yield the disjoint quorums `Q1 = {5,6,7}` and `Q2 = {1,2,3,4}`, and the
+//! violation persists across the generalized counterexample family.
+//!
+//! Run: `cargo run --release -p scup-bench --bin exp_fig2`
+
+use scup_bench::table;
+use scup_graph::{generators, kosr, ProcessSet};
+use stellar_cup::attempts::LocalSliceStrategy;
+use stellar_cup::theorems;
+
+fn paper_set(s: &ProcessSet) -> String {
+    let ids: Vec<String> = s.iter().map(|p| (p.as_u32() + 1).to_string()).collect();
+    format!("{{{}}}", ids.join(","))
+}
+
+fn main() {
+    println!("Experiment F2: Fig. 2 / Theorem 2 (labels printed 1-based).");
+
+    let kg = generators::fig2();
+    table::section("The counterexample graph");
+    for i in kg.processes() {
+        println!("  PD_{} = {}", i.as_u32() + 1, paper_set(kg.pd(i)));
+    }
+    println!("  3-OSR: {}", kosr::is_k_osr(kg.graph(), 3));
+    println!(
+        "  Byzantine-safe for every |F| <= 1: {}",
+        kosr::is_byzantine_safe_for_all(kg.graph(), 1, &kg.graph().vertex_set())
+    );
+
+    table::section("Theorem 2 violation (f = 1, slices = (|PD|-1)-subsets)");
+    let v = theorems::theorem2_violation(&kg, LocalSliceStrategy::AllButOne, 1)
+        .expect("violation must exist");
+    println!("  Q1 = {}  (paper: {{5,6,7}})", paper_set(&v.q1));
+    println!("  Q2 = {}  (paper: {{1,2,3,4}})", paper_set(&v.q2));
+    println!("  |Q1 ∩ Q2| = {}  (needs > f = 1)", v.intersection_len);
+
+    table::section("Generalized counterexample family (sink s, outer r)");
+    table::header(&["s", "r", "n", "2-OSR", "violation", "|Q1∩Q2|"], &[4, 4, 5, 6, 9, 8]);
+    for (s, r) in [(3usize, 3usize), (4, 4), (4, 6), (5, 8), (6, 10), (8, 16), (10, 20)] {
+        let g = generators::fig2_family(s, r);
+        let is_kosr = kosr::is_k_osr(g.graph(), 2);
+        let violation = theorems::theorem2_violation(&g, LocalSliceStrategy::AllButOne, 1);
+        table::row(
+            &[
+                s.to_string(),
+                r.to_string(),
+                (s + r).to_string(),
+                is_kosr.to_string(),
+                violation.is_some().to_string(),
+                violation.map_or("-".into(), |v| v.intersection_len.to_string()),
+            ],
+            &[4, 4, 5, 6, 9, 8],
+        );
+    }
+
+    table::section("Repair via Algorithm 2 (sink-detector slices)");
+    let (sys, _) = theorems::algorithm2_system(&kg, 1).unwrap();
+    let all = kg.graph().vertex_set();
+    for faulty_id in 0..7u32 {
+        let correct = all.difference(&ProcessSet::from_ids([faulty_id]));
+        let intertwined = theorems::theorem3_all_intertwined(&sys, &correct, 1, 1 << 16)
+            .unwrap()
+            .is_none();
+        let available = theorems::theorem4_quorum_availability(&sys, &correct).is_empty();
+        println!(
+            "  faulty = {}: intertwined = {intertwined}, availability = {available}",
+            faulty_id + 1
+        );
+    }
+}

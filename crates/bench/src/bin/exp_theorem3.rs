@@ -1,0 +1,78 @@
+//! Experiment F3/T4 — **Lemmas 3–5, Theorems 3–4** (the Fig. 3 proof
+//! structure): on random Byzantine-safe graphs, Algorithm-2 slices make
+//! every pair of correct processes intertwined with intersections inside
+//! the sink, and give every correct process an all-correct quorum.
+//!
+//! Run: `cargo run --release -p scup-bench --bin exp_theorem3`
+
+use scup_bench::{table, workloads};
+use stellar_cup::theorems;
+
+fn main() {
+    println!("Experiment F3: Lemmas 3-5 + Theorems 3/4 on Fig. 2 and random graphs.");
+
+    let limit = 1 << 18;
+    table::section("Per-scenario checks (exhaustive quorum enumeration)");
+    table::header(
+        &["scenario", "n", "L3", "L4", "L5", "T3", "T4", "T5", "bound"],
+        &[22, 4, 5, 5, 5, 5, 5, 5, 6],
+    );
+
+    let mut scenarios = workloads::fig2_scenarios();
+    scenarios.extend(workloads::scaling_scenarios(
+        1,
+        &[(5, 3), (5, 5), (6, 4), (7, 3)],
+        7,
+    ));
+    for sc in &scenarios {
+        let (sys, v_sink) = theorems::algorithm2_system(&sc.kg, sc.f).expect("unique sink");
+        let correct = sc.kg.graph().vertex_set().difference(&sc.faulty);
+        let l3 = theorems::lemma3_sink_pairs_intertwined(&sys, &v_sink, &correct, sc.f, limit)
+            .map(|v| v.is_none());
+        let l4 = theorems::lemma4_mixed_pairs_intertwined(&sys, &v_sink, &correct, sc.f, limit)
+            .map(|v| v.is_none());
+        let l5 = theorems::lemma5_nonsink_pairs_intertwined(&sys, &v_sink, &correct, sc.f, limit)
+            .map(|v| v.is_none());
+        let t3 = theorems::theorem3_all_intertwined(&sys, &correct, sc.f, limit)
+            .map(|v| v.is_none());
+        let t4 = theorems::theorem4_quorum_availability(&sys, &correct).is_empty();
+        let t5 = theorems::theorem5_consensus_cluster(&sys, &correct, sc.f, limit);
+        let fmt = |r: Result<bool, _>| match r {
+            Ok(true) => "ok".to_string(),
+            Ok(false) => "FAIL".to_string(),
+            Err(_) => ">lim".to_string(),
+        };
+        table::row(
+            &[
+                sc.name.clone(),
+                sc.kg.n().to_string(),
+                fmt(l3),
+                fmt(l4),
+                fmt(l5),
+                fmt(t3),
+                if t4 { "ok".into() } else { "FAIL".into() },
+                fmt(t5),
+                theorems::structural_intersection_bound(v_sink.len(), sc.f).to_string(),
+            ],
+            &[22, 4, 5, 5, 5, 5, 5, 5, 6],
+        );
+    }
+
+    table::section("Structural intersection bound 2m - |V_sink| vs f (must exceed f)");
+    table::header(&["|V_sink|", "f", "slice m", "bound"], &[8, 4, 8, 6]);
+    for v in [4usize, 7, 10, 16, 25, 40, 64, 100] {
+        for f in [1usize, 2, 3] {
+            if v >= 3 * f + 1 {
+                table::row(
+                    &[
+                        v.to_string(),
+                        f.to_string(),
+                        stellar_cup::build_slices::sink_slice_size(v, f).to_string(),
+                        theorems::structural_intersection_bound(v, f).to_string(),
+                    ],
+                    &[8, 4, 8, 6],
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared harness utilities for the experiment binaries and Criterion
+//! benches.
+//!
+//! Each experiment binary (`cargo run --release -p scup-bench --bin
+//! exp_...`) regenerates one of the paper's figures/theorems as a printed
+//! table; EXPERIMENTS.md records the expected output. The [`table`] module
+//! keeps the output format consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Minimal fixed-width table printer for experiment output.
+pub mod table {
+    /// Prints a header row followed by a separator.
+    pub fn header(cols: &[&str], widths: &[usize]) {
+        row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len();
+        println!("{}", "-".repeat(total));
+    }
+
+    /// Prints one row with the given column widths.
+    pub fn row(cells: &[String], widths: &[usize]) {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:>w$} | ", w = w));
+        }
+        println!("{}", line.trim_end_matches(" | "));
+    }
+
+    /// Prints a section banner.
+    pub fn section(title: &str) {
+        println!();
+        println!("== {title} ==");
+    }
+}
+
+/// Standard workloads shared by experiments and benches.
+pub mod workloads {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scup_graph::{generators, KnowledgeGraph, ProcessSet};
+
+    /// A named knowledge-graph scenario with a fault set.
+    pub struct Scenario {
+        /// Human-readable label.
+        pub name: String,
+        /// The knowledge graph.
+        pub kg: KnowledgeGraph,
+        /// Fault threshold.
+        pub f: usize,
+        /// The faulty processes.
+        pub faulty: ProcessSet,
+    }
+
+    /// The paper's Fig. 2 with each possible single fault.
+    pub fn fig2_scenarios() -> Vec<Scenario> {
+        let kg = generators::fig2();
+        (0..kg.n() as u32)
+            .map(|v| Scenario {
+                name: format!("fig2/faulty={}", v + 1),
+                kg: kg.clone(),
+                f: 1,
+                faulty: ProcessSet::from_ids([v]),
+            })
+            .collect()
+    }
+
+    /// Random Byzantine-safe graphs of growing size (sink ≥ 3f + 2).
+    pub fn scaling_scenarios(f: usize, sizes: &[(usize, usize)], seed: u64) -> Vec<Scenario> {
+        sizes
+            .iter()
+            .map(|&(sink, nonsink)| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ ((sink as u64) << 8) ^ nonsink as u64);
+                let (kg, faulty) = generators::random_byzantine_safe(sink, nonsink, f, &mut rng);
+                Scenario {
+                    name: format!("rand/s={sink}/ns={nonsink}/f={f}"),
+                    kg,
+                    f,
+                    faulty,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workloads;
+
+    #[test]
+    fn fig2_scenarios_cover_all_faults() {
+        let s = workloads::fig2_scenarios();
+        assert_eq!(s.len(), 7);
+        assert!(s.iter().all(|sc| sc.faulty.len() == 1));
+    }
+
+    #[test]
+    fn scaling_scenarios_are_byzantine_safe() {
+        let s = workloads::scaling_scenarios(1, &[(5, 3), (6, 5)], 42);
+        assert_eq!(s.len(), 2);
+        for sc in &s {
+            assert!(scup_graph::kosr::satisfies_theorem1(
+                sc.kg.graph(),
+                sc.f,
+                &sc.faulty
+            ));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Attempt 1 (Section IV): defining slices locally from `PD_i` and `f`
+//! alone.
+//!
+//! Lemma 1 forces every slice to be a subset of `PD_i`; Lemma 2 forces at
+//! least one slice to survive every `f`-subset of failures. The strategies
+//! here satisfy both — and Theorem 2 shows they are *still* not enough:
+//! quorum intersection can fail (see
+//! [`theorem2_violation`](crate::theorems::theorem2_violation)).
+
+use scup_fbqs::{Fbqs, SliceFamily};
+use scup_graph::{KnowledgeGraph, ProcessSet};
+
+/// A local slice-construction strategy using only `PD_i` and `f`
+/// (the "attempt 1" space of Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalSliceStrategy {
+    /// All subsets of `PD_i` of size `|PD_i| − 1` — the construction used
+    /// in the proof of Theorem 2.
+    AllButOne,
+    /// All subsets of `PD_i` of size `|PD_i| − f` — the largest slices that
+    /// still satisfy Lemma 2 for up to `f` failures inside `PD_i`.
+    SurviveF,
+    /// All subsets of `PD_i` of size `f + 1` — minimal slices that still
+    /// guarantee a correct member per slice... for the *sender's* benefit;
+    /// note they satisfy Lemma 1 trivially and Lemma 2 whenever
+    /// `|PD_i| ≥ 2f + 1`.
+    FPlusOne,
+}
+
+impl LocalSliceStrategy {
+    /// The slice size this strategy yields for a participant-detector
+    /// output of size `pd_len` (`None` if unsatisfiable).
+    pub fn slice_size(self, pd_len: usize, f: usize) -> Option<usize> {
+        match self {
+            LocalSliceStrategy::AllButOne => pd_len.checked_sub(1),
+            LocalSliceStrategy::SurviveF => pd_len.checked_sub(f),
+            LocalSliceStrategy::FPlusOne => (pd_len >= f + 1).then_some(f + 1),
+        }
+    }
+
+    /// Builds the slice family of one process.
+    pub fn build(self, pd: &ProcessSet, f: usize) -> SliceFamily {
+        match self.slice_size(pd.len(), f) {
+            Some(size) if size > 0 => SliceFamily::all_subsets(pd.clone(), size),
+            _ => SliceFamily::empty(),
+        }
+    }
+}
+
+/// Builds the whole FBQS from a knowledge graph with a local strategy —
+/// the system Theorem 2 proves deficient.
+pub fn build_local_system(kg: &KnowledgeGraph, strategy: LocalSliceStrategy, f: usize) -> Fbqs {
+    let families = kg
+        .processes()
+        .map(|i| strategy.build(kg.pd(i), f))
+        .collect();
+    Fbqs::new(families)
+}
+
+/// Lemma 1 check: every slice of every process only references `PD_i`.
+pub fn lemma1_holds(kg: &KnowledgeGraph, sys: &Fbqs) -> bool {
+    kg.processes().all(|i| sys.slices(i).members().is_subset(kg.pd(i)))
+}
+
+/// Lemma 2 check: every process in `members` keeps at least one slice free
+/// of any `B ⊆ PD_i` with `|B| ≤ f` — evaluated directly on the symbolic
+/// family: the minimum slice size must be at most `|PD_i| − f`.
+pub fn lemma2_holds(kg: &KnowledgeGraph, sys: &Fbqs, members: &ProcessSet, f: usize) -> bool {
+    members.iter().all(|i| {
+        let pd_len = kg.pd(i).len();
+        sys.slices(i)
+            .min_slice_size()
+            .is_some_and(|s| s + f <= pd_len)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_graph::generators;
+
+    #[test]
+    fn strategy_slice_sizes() {
+        assert_eq!(LocalSliceStrategy::AllButOne.slice_size(3, 1), Some(2));
+        assert_eq!(LocalSliceStrategy::SurviveF.slice_size(5, 2), Some(3));
+        assert_eq!(LocalSliceStrategy::FPlusOne.slice_size(5, 2), Some(3));
+        assert_eq!(LocalSliceStrategy::FPlusOne.slice_size(2, 2), None);
+        assert_eq!(LocalSliceStrategy::AllButOne.slice_size(0, 1), None);
+    }
+
+    #[test]
+    fn fig2_local_system_satisfies_lemmas() {
+        // The Theorem 2 proof: slices = all subsets of PD_i of size
+        // |PD_i| - 1, with f = 1 — Lemmas 1 and 2 hold.
+        let kg = generators::fig2();
+        let sys = build_local_system(&kg, LocalSliceStrategy::AllButOne, 1);
+        assert!(lemma1_holds(&kg, &sys));
+        assert!(lemma2_holds(&kg, &sys, &kg.graph().vertex_set(), 1));
+    }
+
+    #[test]
+    fn lemma2_fails_with_oversized_slices() {
+        // Slices of full PD size cannot avoid a failure inside PD.
+        let kg = generators::fig2();
+        let families = kg
+            .processes()
+            .map(|i| SliceFamily::all_subsets(kg.pd(i).clone(), kg.pd(i).len()))
+            .collect();
+        let sys = Fbqs::new(families);
+        assert!(lemma1_holds(&kg, &sys));
+        assert!(!lemma2_holds(&kg, &sys, &kg.graph().vertex_set(), 1));
+    }
+
+    #[test]
+    fn empty_pd_yields_empty_family() {
+        let kg = scup_graph::KnowledgeGraph::from_pds(vec![
+            ProcessSet::from_ids([1]),
+            ProcessSet::new(),
+        ]);
+        let sys = build_local_system(&kg, LocalSliceStrategy::AllButOne, 1);
+        assert!(!sys.slices(scup_graph::ProcessId::new(1)).has_slices());
+    }
+}

@@ -1,0 +1,373 @@
+//! The end-to-end pipeline: PD + `f` + sink detector ⟹ Stellar consensus.
+//!
+//! The paper's conclusion: *"to make Stellar solve consensus in such
+//! conditions, processes need to run some distributed knowledge-increasing
+//! protocol before building their slices."* This module runs exactly that
+//! pipeline on the simulator:
+//!
+//! 1. **knowledge increase** — every correct process runs Algorithm 3
+//!    ([`crate::sink_detector`]) until `get_sink` returns;
+//! 2. **slice construction** — each correct process feeds *its own*
+//!    detection into Algorithm 2 ([`mod@crate::build_slices`]);
+//! 3. **SCP** — the processes run the Stellar Consensus Protocol
+//!    ([`scup_scp`]) with those slices and externalize.
+//!
+//! The negative pipeline (attempt 1: local slices, no oracle) is also
+//! provided for the Theorem 2 / Corollary 1 experiments.
+
+use scup_fbqs::SliceFamily;
+use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
+use scup_scp::node::EquivocatingScpNode;
+use scup_scp::{ScpConfig, ScpNode, Value};
+use scup_sim::adversary::SilentActor;
+use scup_sim::{NetworkConfig, SimReport, Simulation};
+
+use crate::attempts::LocalSliceStrategy;
+use crate::build_slices::build_slices;
+use crate::oracle::SinkDetection;
+use crate::sink_detector::{GetSinkMode, SinkDetectorActor};
+
+/// How the Byzantine processes behave during the SCP phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScpAdversary {
+    /// Stay silent (crash-like).
+    #[default]
+    Silent,
+    /// Equivocate votes and forge slices.
+    Equivocate,
+}
+
+/// Configuration of an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct EndToEndConfig {
+    /// Seed for both simulation phases.
+    pub seed: u64,
+    /// Global stabilization time for both phases.
+    pub gst: u64,
+    /// Post-GST delivery bound.
+    pub delta: u64,
+    /// `GET_SINK` dissemination mode.
+    pub get_sink_mode: GetSinkMode,
+    /// Byzantine behaviour during SCP.
+    pub adversary: ScpAdversary,
+    /// Per-process inputs (defaults to `100 + i`).
+    pub inputs: Option<Vec<Value>>,
+    /// Time horizons for the two phases.
+    pub max_ticks: u64,
+}
+
+impl Default for EndToEndConfig {
+    fn default() -> Self {
+        EndToEndConfig {
+            seed: 0,
+            gst: 150,
+            delta: 10,
+            get_sink_mode: GetSinkMode::Direct,
+            adversary: ScpAdversary::Silent,
+            inputs: None,
+            max_ticks: 3_000_000,
+        }
+    }
+}
+
+/// The outcome of an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The faulty set of the run.
+    pub faulty: ProcessSet,
+    /// Per-process inputs used.
+    pub inputs: Vec<Value>,
+    /// The sink detections of phase 1 (`None` for faulty processes).
+    pub detections: Vec<Option<SinkDetection>>,
+    /// The externalized values of phase 3 (`None` if not decided, and for
+    /// faulty processes).
+    pub decisions: Vec<Option<Value>>,
+    /// Metrics of the sink-detector phase.
+    pub sd_report: SimReport,
+    /// Metrics of the SCP phase.
+    pub scp_report: SimReport,
+}
+
+impl Outcome {
+    /// Agreement + termination: every correct process decided, and all on
+    /// the same value.
+    pub fn agreement(&self) -> bool {
+        let mut value = None;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if self.faulty.contains(ProcessId::new(i as u32)) {
+                continue;
+            }
+            match (d, value) {
+                (None, _) => return false,
+                (Some(v), None) => value = Some(*v),
+                (Some(v), Some(prev)) => {
+                    if *v != prev {
+                        return false;
+                    }
+                }
+            }
+        }
+        value.is_some()
+    }
+
+    /// The agreed value, if [`Outcome::agreement`] holds.
+    pub fn decided_value(&self) -> Option<Value> {
+        self.agreement()
+            .then(|| {
+                self.decisions
+                    .iter()
+                    .enumerate()
+                    .find(|(i, _)| !self.faulty.contains(ProcessId::new(*i as u32)))
+                    .and_then(|(_, d)| *d)
+            })
+            .flatten()
+    }
+
+    /// Validity (for silent adversaries): the decided value was proposed by
+    /// a correct process.
+    pub fn validity(&self) -> bool {
+        match self.decided_value() {
+            None => false,
+            Some(v) => self
+                .inputs
+                .iter()
+                .enumerate()
+                .any(|(i, input)| *input == v && !self.faulty.contains(ProcessId::new(i as u32))),
+        }
+    }
+}
+
+fn default_inputs(n: usize) -> Vec<Value> {
+    (0..n).map(|i| 100 + i as Value).collect()
+}
+
+/// Phase 1: runs Algorithm 3 for every correct process and returns the
+/// detections (faulty processes stay silent).
+pub fn run_sink_detection(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    config: &EndToEndConfig,
+) -> (Vec<Option<SinkDetection>>, SimReport) {
+    let net = NetworkConfig::partially_synchronous(config.gst, config.delta, config.seed);
+    let mut sim = Simulation::new(kg.clone(), net);
+    for i in kg.processes() {
+        if faulty.contains(i) {
+            sim.add_actor(Box::new(SilentActor::new()));
+        } else {
+            sim.add_actor(Box::new(SinkDetectorActor::new(
+                kg.pd(i).clone(),
+                f,
+                config.get_sink_mode,
+            )));
+        }
+    }
+    let report = sim.run_until_quiet(config.max_ticks);
+    let detections = kg
+        .processes()
+        .map(|i| {
+            sim.actor_as::<SinkDetectorActor>(i)
+                .and_then(SinkDetectorActor::detection)
+        })
+        .collect();
+    (detections, report)
+}
+
+/// Phases 2–3: builds slices from the detections (Algorithm 2) and runs
+/// SCP to externalization.
+pub fn run_scp_with_slices(
+    kg: &KnowledgeGraph,
+    faulty: &ProcessSet,
+    slices: Vec<SliceFamily>,
+    inputs: &[Value],
+    config: &EndToEndConfig,
+) -> (Vec<Option<Value>>, SimReport) {
+    let net = NetworkConfig::partially_synchronous(config.gst, config.delta, config.seed ^ 0x5eed);
+    let mut sim = Simulation::new(kg.clone(), net);
+    for i in kg.processes() {
+        if faulty.contains(i) {
+            match config.adversary {
+                ScpAdversary::Silent => sim.add_actor(Box::new(SilentActor::new())),
+                ScpAdversary::Equivocate => sim.add_actor(Box::new(EquivocatingScpNode::new(
+                    (u64::MAX - 1, u64::MAX),
+                    SliceFamily::explicit([ProcessSet::singleton(i)]),
+                ))),
+            };
+        } else {
+            let scp_config = ScpConfig::new(slices[i.index()].clone(), inputs[i.index()]);
+            sim.add_actor(Box::new(ScpNode::new(scp_config)));
+        }
+    }
+    let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
+    let report = sim.run_while(
+        |s| {
+            !correct
+                .iter()
+                .all(|&i| s.actor_as::<ScpNode>(i).is_some_and(|n| n.externalized().is_some()))
+        },
+        config.max_ticks,
+    );
+    let decisions = kg
+        .processes()
+        .map(|i| sim.actor_as::<ScpNode>(i).and_then(ScpNode::externalized))
+        .collect();
+    (decisions, report)
+}
+
+/// The full positive pipeline: sink detector → Algorithm 2 → SCP
+/// (Theorem 5 / Corollary 2 in execution).
+pub fn run_end_to_end(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    config: &EndToEndConfig,
+) -> Outcome {
+    let inputs = config
+        .inputs
+        .clone()
+        .unwrap_or_else(|| default_inputs(kg.n()));
+    let (detections, sd_report) = run_sink_detection(kg, f, faulty, config);
+    let slices: Vec<SliceFamily> = detections
+        .iter()
+        .map(|d| match d {
+            Some(d) => build_slices(d, f),
+            None => SliceFamily::empty(),
+        })
+        .collect();
+    let (decisions, scp_report) = run_scp_with_slices(kg, faulty, slices, &inputs, config);
+    Outcome {
+        faulty: faulty.clone(),
+        inputs,
+        detections,
+        decisions,
+        sd_report,
+        scp_report,
+    }
+}
+
+/// The negative pipeline (Theorem 2 / Corollary 1 in execution): local
+/// slices from `PD_i` and `f` only, no oracle, then SCP.
+pub fn run_local_slices_pipeline(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    strategy: LocalSliceStrategy,
+    config: &EndToEndConfig,
+) -> Outcome {
+    let inputs = config
+        .inputs
+        .clone()
+        .unwrap_or_else(|| default_inputs(kg.n()));
+    let slices: Vec<SliceFamily> = kg
+        .processes()
+        .map(|i| strategy.build(kg.pd(i), f))
+        .collect();
+    let (decisions, scp_report) = run_scp_with_slices(kg, faulty, slices, &inputs, config);
+    Outcome {
+        faulty: faulty.clone(),
+        inputs,
+        detections: vec![None; kg.n()],
+        decisions,
+        sd_report: SimReport::default(),
+        scp_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_graph::generators;
+
+    #[test]
+    fn positive_pipeline_on_fig2() {
+        let kg = generators::fig2();
+        for faulty_id in [0u32, 5] {
+            for seed in 0..2 {
+                let config = EndToEndConfig {
+                    seed,
+                    ..EndToEndConfig::default()
+                };
+                let faulty = ProcessSet::from_ids([faulty_id]);
+                let outcome = run_end_to_end(&kg, 1, &faulty, &config);
+                assert!(outcome.agreement(), "faulty={faulty_id} seed={seed}");
+                assert!(outcome.validity(), "faulty={faulty_id} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_pipeline_survives_equivocation() {
+        let kg = generators::fig2();
+        let config = EndToEndConfig {
+            adversary: ScpAdversary::Equivocate,
+            ..EndToEndConfig::default()
+        };
+        let faulty = ProcessSet::from_ids([1]);
+        let outcome = run_end_to_end(&kg, 1, &faulty, &config);
+        assert!(outcome.agreement());
+    }
+
+    #[test]
+    fn positive_pipeline_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..2u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (kg, faulty) = generators::random_byzantine_safe(5, 3, 1, &mut rng);
+            let config = EndToEndConfig {
+                seed,
+                ..EndToEndConfig::default()
+            };
+            let outcome = run_end_to_end(&kg, 1, &faulty, &config);
+            assert!(outcome.agreement(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn negative_pipeline_can_disagree() {
+        // Corollary 1 in execution: across seeds, the local-slice pipeline
+        // must produce at least one disagreement on Fig. 2.
+        let kg = generators::fig2();
+        let mut disagreements = 0;
+        for seed in 0..12 {
+            let config = EndToEndConfig {
+                seed,
+                gst: 80,
+                inputs: Some(vec![1, 1, 1, 1, 104, 105, 106]),
+                ..EndToEndConfig::default()
+            };
+            let outcome = run_local_slices_pipeline(
+                &kg,
+                1,
+                &ProcessSet::new(),
+                LocalSliceStrategy::AllButOne,
+                &config,
+            );
+            let decided: Vec<Value> = outcome.decisions.iter().flatten().copied().collect();
+            if decided.len() == kg.n() && !outcome.agreement() {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 0, "local slices must break agreement on some schedule");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = Outcome {
+            faulty: ProcessSet::from_ids([2]),
+            inputs: vec![5, 6, 7],
+            detections: vec![None; 3],
+            decisions: vec![Some(5), Some(5), None],
+            sd_report: SimReport::default(),
+            scp_report: SimReport::default(),
+        };
+        assert!(outcome.agreement());
+        assert_eq!(outcome.decided_value(), Some(5));
+        assert!(outcome.validity());
+        let bad = Outcome {
+            decisions: vec![Some(5), Some(6), None],
+            ..outcome
+        };
+        assert!(!bad.agreement());
+        assert_eq!(bad.decided_value(), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! The sink detector oracle (Definition 8).
+//!
+//! `get_sink(PD_i, f)` must satisfy:
+//!
+//! - if `i ∈ V_sink`, it returns `⟨true, V⟩` with `V = V_sink`;
+//! - if `i ∉ V_sink`, it returns `⟨false, V⟩` with `V ⊆ V_sink` containing
+//!   at least `f + 1` correct sink members.
+//!
+//! [`PerfectSinkDetector`] is the *specification* oracle: it answers from
+//! the global knowledge graph and is used to validate the distributed
+//! implementation ([`crate::sink_detector`]) by refinement — on every seed
+//! the distributed answers must match the perfect ones.
+
+use scup_graph::{sink, DiGraph, KnowledgeGraph, ProcessId, ProcessSet};
+
+/// The result of a `get_sink` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkDetection {
+    /// `true` iff the calling process is a sink member.
+    pub is_sink_member: bool,
+    /// The reported sink members (`V_sink` exactly for sink members; a
+    /// subset with ≥ `f + 1` correct members otherwise — possibly
+    /// containing faulty processes, per Definition 8).
+    pub sink: ProcessSet,
+}
+
+/// The sink detector oracle interface (Definition 8).
+pub trait SinkDetector {
+    /// Returns the sink detection for process `i` with fault threshold `f`.
+    fn get_sink(&self, i: ProcessId, f: usize) -> SinkDetection;
+}
+
+/// A specification-level sink detector that answers from the global
+/// knowledge connectivity graph.
+///
+/// # Example
+///
+/// ```
+/// use scup_graph::{generators, ProcessId, ProcessSet};
+/// use stellar_cup::{PerfectSinkDetector, SinkDetector};
+///
+/// let kg = generators::fig1();
+/// let sd = PerfectSinkDetector::new(&kg).unwrap();
+/// let d = sd.get_sink(ProcessId::new(4), 1);
+/// assert!(d.is_sink_member);
+/// assert_eq!(d.sink, ProcessSet::from_ids([4, 5, 6, 7]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectSinkDetector {
+    v_sink: ProcessSet,
+}
+
+impl PerfectSinkDetector {
+    /// Builds the oracle from a knowledge graph. Returns `None` if the
+    /// graph does not have a unique sink component (the `k`-OSR premise is
+    /// then violated and no sink detector can exist).
+    pub fn new(kg: &KnowledgeGraph) -> Option<Self> {
+        Self::from_graph(kg.graph())
+    }
+
+    /// Builds the oracle from a raw digraph.
+    pub fn from_graph(g: &DiGraph) -> Option<Self> {
+        sink::unique_sink(g).map(|v_sink| PerfectSinkDetector { v_sink })
+    }
+
+    /// The sink component the oracle reports.
+    pub fn v_sink(&self) -> &ProcessSet {
+        &self.v_sink
+    }
+}
+
+impl SinkDetector for PerfectSinkDetector {
+    fn get_sink(&self, i: ProcessId, _f: usize) -> SinkDetection {
+        SinkDetection {
+            is_sink_member: self.v_sink.contains(i),
+            sink: self.v_sink.clone(),
+        }
+    }
+}
+
+/// Checks that a detection satisfies Definition 8 against the ground truth
+/// `(V_sink, correct)`. Returns an error description on violation.
+pub fn validate_detection(
+    i: ProcessId,
+    detection: &SinkDetection,
+    v_sink: &ProcessSet,
+    correct: &ProcessSet,
+    f: usize,
+) -> Result<(), String> {
+    let is_member = v_sink.contains(i);
+    if detection.is_sink_member != is_member {
+        return Err(format!(
+            "{i}: flag {} but membership is {}",
+            detection.is_sink_member, is_member
+        ));
+    }
+    if is_member {
+        if &detection.sink != v_sink {
+            return Err(format!(
+                "{i}: sink member must learn V_sink exactly; got {} want {}",
+                detection.sink, v_sink
+            ));
+        }
+    } else {
+        if !detection.sink.is_subset(v_sink) {
+            return Err(format!(
+                "{i}: reported set {} is not within V_sink {}",
+                detection.sink, v_sink
+            ));
+        }
+        let correct_members = detection.sink.intersection_len(correct);
+        if correct_members < f + 1 {
+            return Err(format!(
+                "{i}: only {correct_members} correct sink members reported; need {}",
+                f + 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_graph::generators;
+
+    #[test]
+    fn perfect_detector_on_fig1() {
+        let kg = generators::fig1();
+        let sd = PerfectSinkDetector::new(&kg).unwrap();
+        let v_sink = ProcessSet::from_ids([4, 5, 6, 7]);
+        assert_eq!(sd.v_sink(), &v_sink);
+        for i in kg.processes() {
+            let d = sd.get_sink(i, 1);
+            assert_eq!(d.is_sink_member, v_sink.contains(i));
+            assert_eq!(d.sink, v_sink);
+        }
+    }
+
+    #[test]
+    fn perfect_detector_satisfies_definition8() {
+        let kg = generators::fig2();
+        let sd = PerfectSinkDetector::new(&kg).unwrap();
+        let v_sink = ProcessSet::from_ids([0, 1, 2, 3]);
+        let correct = kg.graph().vertex_set().difference(&ProcessSet::from_ids([2]));
+        for i in kg.processes() {
+            let d = sd.get_sink(i, 1);
+            validate_detection(i, &d, &v_sink, &correct, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn no_unique_sink_means_no_oracle() {
+        // Two separate sinks: Definition 8 is unsatisfiable.
+        let g = scup_graph::DiGraph::from_edges(3, [(0, 1), (0, 2)]);
+        assert!(PerfectSinkDetector::from_graph(&g).is_none());
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let v_sink = ProcessSet::from_ids([0, 1, 2]);
+        let correct = ProcessSet::from_ids([0, 1, 3]);
+        // Wrong flag.
+        let d = SinkDetection {
+            is_sink_member: false,
+            sink: v_sink.clone(),
+        };
+        assert!(validate_detection(ProcessId::new(0), &d, &v_sink, &correct, 1).is_err());
+        // Non-member with too few correct members reported.
+        let d = SinkDetection {
+            is_sink_member: false,
+            sink: ProcessSet::from_ids([2]),
+        };
+        assert!(validate_detection(ProcessId::new(3), &d, &v_sink, &correct, 1).is_err());
+        // Non-member with enough correct members.
+        let d = SinkDetection {
+            is_sink_member: false,
+            sink: ProcessSet::from_ids([0, 1]),
+        };
+        assert!(validate_detection(ProcessId::new(3), &d, &v_sink, &correct, 1).is_ok());
+    }
+}

@@ -1,0 +1,309 @@
+//! One-call verification: *can this network run Stellar with minimal
+//! knowledge?*
+//!
+//! [`verify_network`] takes a knowledge connectivity graph and a fault
+//! threshold and checks the full chain of conditions the paper assembles,
+//! producing a structured [`NetworkReport`]:
+//!
+//! 1. the condensation has a unique sink (otherwise no sink detector can
+//!    exist — Definition 8 is unsatisfiable);
+//! 2. the graph is `(f+1)`-OSR (Definition 6) — the knowledge needed by
+//!    BFT-CUP and by the `SINK` algorithm;
+//! 3. the sink can tolerate `f` failures while keeping `2f+1` correct
+//!    members (Theorem 1 / Theorem 4 premise);
+//! 4. with Algorithm-2 slices, quorum availability holds for every failure
+//!    scenario sampled (Theorem 4), and — on small systems — the exhaustive
+//!    intertwined check passes (Theorem 3).
+//!
+//! The report also carries the witnesses (sink, violating pairs) so
+//! operators can act on failures.
+
+use scup_fbqs::Fbqs;
+use scup_graph::{kosr, scc, KnowledgeGraph, ProcessSet};
+
+use crate::theorems;
+
+/// Outcome of a single verification step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Check {
+    /// The condition holds.
+    Pass,
+    /// The condition fails; the string explains why.
+    Fail(
+        /// Human-readable reason.
+        String,
+    ),
+    /// The condition was too expensive to check exhaustively at this size.
+    Skipped(
+        /// Why the check was skipped.
+        String,
+    ),
+}
+
+impl Check {
+    /// `true` for [`Check::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Check::Pass)
+    }
+
+    fn fail(reason: impl Into<String>) -> Self {
+        Check::Fail(reason.into())
+    }
+}
+
+/// The structured result of [`verify_network`].
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// The fault threshold the report is for.
+    pub f: usize,
+    /// The unique sink component, if any.
+    pub sink: Option<ProcessSet>,
+    /// Step 1: unique sink exists.
+    pub unique_sink: Check,
+    /// Step 2: the graph is `(f+1)`-OSR.
+    pub kosr: Check,
+    /// Step 3: the sink retains `2f+1` correct members under any `f`
+    /// failures.
+    pub sink_margin: Check,
+    /// Step 4a: Theorem 4 availability under sampled failure scenarios.
+    pub availability: Check,
+    /// Step 4b: Theorem 3 intertwinedness (exhaustive on small systems).
+    pub intertwined: Check,
+}
+
+impl NetworkReport {
+    /// `true` iff every performed check passed (skipped checks don't fail
+    /// the verdict but are visible in the report).
+    pub fn solvable(&self) -> bool {
+        [
+            &self.unique_sink,
+            &self.kosr,
+            &self.sink_margin,
+            &self.availability,
+            &self.intertwined,
+        ]
+        .iter()
+        .all(|c| !matches!(c, Check::Fail(_)))
+    }
+}
+
+impl std::fmt::Display for NetworkReport {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn line(out: &mut std::fmt::Formatter<'_>, name: &str, c: &Check) -> std::fmt::Result {
+            match c {
+                Check::Pass => writeln!(out, "  [pass] {name}"),
+                Check::Fail(r) => writeln!(out, "  [FAIL] {name}: {r}"),
+                Check::Skipped(r) => writeln!(out, "  [skip] {name}: {r}"),
+            }
+        }
+        writeln!(out, "network verification (f = {}):", self.f)?;
+        if let Some(sink) = &self.sink {
+            writeln!(out, "  sink component: {sink}")?;
+        }
+        line(out, "unique sink (Def. 8 satisfiable)", &self.unique_sink)?;
+        line(out, "(f+1)-OSR knowledge (Def. 6)", &self.kosr)?;
+        line(out, "sink margin >= 2f+1 correct (Thm 1/4 premise)", &self.sink_margin)?;
+        line(out, "quorum availability (Thm 4)", &self.availability)?;
+        line(out, "intertwined quorums (Thm 3)", &self.intertwined)?;
+        writeln!(
+            out,
+            "  verdict: {}",
+            if self.solvable() {
+                "consensus solvable with PD + f + sink detector"
+            } else {
+                "NOT solvable with this knowledge graph"
+            }
+        )
+    }
+}
+
+/// Size cap for the exhaustive intertwined check (2^n quorum enumeration).
+const EXHAUSTIVE_LIMIT_N: usize = 14;
+
+/// Verifies the full condition chain for `kg` and `f`. See the module docs
+/// for the steps.
+pub fn verify_network(kg: &KnowledgeGraph, f: usize) -> NetworkReport {
+    let g = kg.graph();
+    let d = scc::decompose_full(g);
+    let sinks = d.sink_components();
+
+    // Step 1: unique sink.
+    let (sink, unique_sink) = match sinks.as_slice() {
+        [c] => (Some(d.component(*c).clone()), Check::Pass),
+        [] => (None, Check::fail("graph has no vertices")),
+        many => (
+            None,
+            Check::fail(format!(
+                "{} sink components — multiple sinks may decide differently",
+                many.len()
+            )),
+        ),
+    };
+    let Some(v_sink) = sink.clone() else {
+        return NetworkReport {
+            f,
+            sink,
+            unique_sink,
+            kosr: Check::Skipped("no unique sink".into()),
+            sink_margin: Check::Skipped("no unique sink".into()),
+            availability: Check::Skipped("no unique sink".into()),
+            intertwined: Check::Skipped("no unique sink".into()),
+        };
+    };
+
+    // Step 2: (f+1)-OSR.
+    let report = kosr::check_kosr(g, f + 1);
+    let kosr_check = if report.is_k_osr() {
+        Check::Pass
+    } else if !report.undirected_connected {
+        Check::fail("undirected graph is disconnected (Def. 6 cond. 1)")
+    } else if !report.sink_k_connected {
+        Check::fail(format!(
+            "sink is not {}-strongly connected (Def. 6 cond. 3)",
+            f + 1
+        ))
+    } else {
+        Check::fail(format!(
+            "some non-sink process lacks {} node-disjoint paths to the sink (Def. 6 cond. 4)",
+            f + 1
+        ))
+    };
+
+    // Step 3: sink margin.
+    let sink_margin = if v_sink.len() >= 3 * f + 1 {
+        Check::Pass
+    } else {
+        Check::fail(format!(
+            "sink has {} members; {} needed to keep 2f+1 correct under f sink failures",
+            v_sink.len(),
+            3 * f + 1
+        ))
+    };
+
+    // Step 4: Algorithm-2 system checks.
+    let sys: Fbqs = match theorems::algorithm2_system(kg, f) {
+        Some((sys, _)) => sys,
+        None => unreachable!("unique sink established above"),
+    };
+    let all = g.vertex_set();
+
+    // 4a: availability for the worst sampled failure sets: all-f in the
+    // sink (the binding case of Theorem 4's Inequality 1).
+    let mut availability = Check::Pass;
+    let sink_ids = v_sink.to_vec();
+    if f > 0 && sink_ids.len() >= f {
+        let faulty: ProcessSet = sink_ids[..f].iter().copied().collect();
+        let correct = all.difference(&faulty);
+        let missing = theorems::theorem4_quorum_availability(&sys, &correct);
+        if !missing.is_empty() {
+            availability = Check::fail(format!(
+                "with sink failures {faulty}, processes {missing} lack an all-correct quorum"
+            ));
+        }
+    }
+    if availability.passed() {
+        let missing = theorems::theorem4_quorum_availability(&sys, &all);
+        if !missing.is_empty() {
+            availability =
+                Check::fail(format!("processes {missing} lack a quorum even fault-free"));
+        }
+    }
+
+    // 4b: intertwined (exhaustive on small systems only).
+    let intertwined = if kg.n() <= EXHAUSTIVE_LIMIT_N {
+        match theorems::theorem3_all_intertwined(&sys, &all, f, 1 << EXHAUSTIVE_LIMIT_N.min(20)) {
+            Ok(None) => Check::Pass,
+            Ok(Some(v)) => Check::fail(format!(
+                "quorums {} and {} intersect in only {} processes",
+                v.qi, v.qj, v.intersection_len
+            )),
+            Err(_) => Check::Skipped("enumeration limit exceeded".into()),
+        }
+    } else {
+        // The structural bound is a theorem for Algorithm-2 systems; report
+        // it instead of enumerating.
+        let bound = theorems::structural_intersection_bound(v_sink.len(), f);
+        if bound > f {
+            Check::Pass
+        } else {
+            Check::fail(format!("structural bound {bound} does not exceed f = {f}"))
+        }
+    };
+
+    NetworkReport {
+        f,
+        sink,
+        unique_sink,
+        kosr: kosr_check,
+        sink_margin,
+        availability,
+        intertwined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_graph::generators;
+
+    #[test]
+    fn fig2_verifies_for_f1() {
+        let kg = generators::fig2();
+        let report = verify_network(&kg, 1);
+        assert!(report.unique_sink.passed());
+        assert!(report.kosr.passed(), "{:?}", report.kosr);
+        assert!(report.sink_margin.passed());
+        assert!(report.availability.passed(), "{:?}", report.availability);
+        assert!(report.intertwined.passed(), "{:?}", report.intertwined);
+        assert!(report.solvable());
+        let text = report.to_string();
+        assert!(text.contains("[pass]"));
+        assert!(text.contains("solvable"));
+    }
+
+    #[test]
+    fn fig1_fails_for_f1() {
+        // Fig. 1 is only 1-OSR: the k-OSR check must fail for f = 1.
+        let kg = generators::fig1();
+        let report = verify_network(&kg, 1);
+        assert!(report.unique_sink.passed());
+        assert!(!report.kosr.passed());
+        assert!(!report.solvable());
+        assert!(report.to_string().contains("[FAIL]"));
+    }
+
+    #[test]
+    fn fig1_verifies_for_f0() {
+        let kg = generators::fig1();
+        let report = verify_network(&kg, 0);
+        assert!(report.solvable(), "{report}");
+    }
+
+    #[test]
+    fn multi_sink_graph_fails_early() {
+        let g = scup_graph::DiGraph::from_edges(3, [(0, 1), (0, 2)]);
+        let report = verify_network(&KnowledgeGraph::from_graph(g), 1);
+        assert!(!report.unique_sink.passed());
+        assert!(!report.solvable());
+        assert!(matches!(report.kosr, Check::Skipped(_)));
+    }
+
+    #[test]
+    fn undersized_sink_fails_margin() {
+        // Sink K3 with f = 1: needs 4 members.
+        let kg = generators::fig2_family(3, 3);
+        let report = verify_network(&kg, 1);
+        assert!(!report.sink_margin.passed());
+        assert!(!report.solvable());
+    }
+
+    #[test]
+    fn large_network_uses_structural_bound() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = generators::KosrConfig::new(12, 8, 2);
+        let kg = generators::random_kosr(&config, &mut rng);
+        let report = verify_network(&kg, 1);
+        assert!(report.solvable(), "{report}");
+    }
+}

@@ -1,0 +1,488 @@
+//! Algorithm 3 — the distributed sink detector (Section VI, Theorem 6).
+//!
+//! Each process runs `get_sink(PD_i, f)`:
+//!
+//! - it broadcasts `GET_SINK` so that sink members remember it in their
+//!   `asked` set (lines 4–5);
+//! - it runs the `SINK` algorithm from \[17\] (line 7); sink members
+//!   terminate with `⟨true, V_sink⟩` (Lemma 6) and then answer every
+//!   (current and future) asker with `⟨SINK, V_sink⟩` (lines 18–21);
+//! - concurrently it collects `⟨SINK, V⟩` values; once some value `v`
+//!   repeats **more than `f` times** it adopts `v` as the sink
+//!   (lines 15–16) — at least one copy then came from a correct sink
+//!   member.
+//!
+//! `GET_SINK` dissemination supports two modes:
+//!
+//! - [`GetSinkMode::Direct`]: the asker sends `GET_SINK` to every process
+//!   it knows, re-sending as discovery teaches it new identities. Since
+//!   discovery eventually teaches every correct process all of `V_sink`
+//!   (its knowledge grows to its correct-reachable set, a superset of the
+//!   sink), every correct sink member is eventually asked directly.
+//! - [`GetSinkMode::ReachableBroadcast`]: the faithful rendering of
+//!   Algorithm 3 line 5 — `GET_SINK` travels over the reachable-reliable
+//!   broadcast of \[17\] ([`scup_cup::rrb`]), reaching exactly the
+//!   `f`-reachable processes, which include all correct sink members.
+//!
+//! Both modes satisfy Theorem 6; the bench harness compares their message
+//! complexity (ablation).
+
+use scup_cup::discovery::{SinkCore, SinkMsg};
+use scup_cup::rrb::{RrbCore, RrbMsg};
+use scup_graph::{ProcessId, ProcessSet};
+use scup_sim::{Actor, Context, SimMessage};
+
+use crate::oracle::SinkDetection;
+
+/// How `GET_SINK` requests are disseminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GetSinkMode {
+    /// Direct sends to every known process (default).
+    #[default]
+    Direct,
+    /// Over reachable-reliable broadcast (Algorithm 3's literal primitive).
+    ReachableBroadcast,
+}
+
+/// Messages of the distributed sink detector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SdMsg {
+    /// Embedded `SINK` discovery traffic.
+    Sink(SinkMsg),
+    /// A `GET_SINK` request (direct mode).
+    GetSink,
+    /// A `GET_SINK` request flooded over reachable-reliable broadcast.
+    GetSinkRb(RrbMsg<()>),
+    /// `⟨SINK, V⟩` — the sender's view of the sink component.
+    SinkValue(ProcessSet),
+}
+
+impl SimMessage for SdMsg {
+    fn size_hint(&self) -> usize {
+        match self {
+            SdMsg::Sink(m) => 1 + m.size_hint(),
+            SdMsg::GetSink => 1,
+            SdMsg::GetSinkRb(m) => 1 + m.size_hint(),
+            SdMsg::SinkValue(s) => 1 + 4 * s.len(),
+        }
+    }
+}
+
+/// A correct process executing Algorithm 3.
+///
+/// After the run, [`SinkDetectorActor::detection`] returns the
+/// `⟨flag, V⟩` of `get_sink` — `Some` for every correct process
+/// (Theorem 6).
+pub struct SinkDetectorActor {
+    pd: ProcessSet,
+    f: usize,
+    mode: GetSinkMode,
+    sink_algo: SinkCore,
+    rrb: RrbCore<()>,
+    /// Processes that asked us for the sink (Algorithm 3's `asked`).
+    asked_us: ProcessSet,
+    /// Processes we already sent GET_SINK to (direct mode).
+    asked_by_us: ProcessSet,
+    /// values: count of each received ⟨SINK, V⟩ by distinct sender.
+    values: Vec<(ProcessSet, ProcessSet)>,
+    /// The adopted sink (Algorithm 3's `sink` variable).
+    sink: Option<ProcessSet>,
+    /// Our own id (seeded in `on_start`).
+    sink_algo_self_id: ProcessId,
+}
+
+impl SinkDetectorActor {
+    /// Creates the actor for a process with participant detector `pd` and
+    /// fault threshold `f`.
+    pub fn new(pd: ProcessSet, f: usize, mode: GetSinkMode) -> Self {
+        SinkDetectorActor {
+            sink_algo: SinkCore::new(ProcessId::new(u32::MAX), pd.clone(), f),
+            rrb: RrbCore::new(ProcessId::new(u32::MAX), f),
+            pd,
+            f,
+            mode,
+            asked_us: ProcessSet::new(),
+            asked_by_us: ProcessSet::new(),
+            values: Vec::new(),
+            sink: None,
+            sink_algo_self_id: ProcessId::new(u32::MAX),
+        }
+    }
+
+    /// The result of `get_sink`, once available (Algorithm 3 lines 10–14:
+    /// the flag is simply sink membership of the adopted set).
+    pub fn detection(&self) -> Option<SinkDetection> {
+        let sink = self.sink.clone()?;
+        Some(SinkDetection {
+            is_sink_member: sink.contains(self.sink_algo_self_id),
+            sink,
+        })
+    }
+
+    fn flush_sink(ctx: &mut Context<'_, SdMsg>, out: Vec<(ProcessId, SinkMsg)>) {
+        for (to, m) in out {
+            ctx.learn(to);
+            ctx.send(to, SdMsg::Sink(m));
+        }
+    }
+
+    /// Sink found by the SINK algorithm: adopt it and answer all askers.
+    fn maybe_adopt_own_verdict(&mut self, ctx: &mut Context<'_, SdMsg>) {
+        if self.sink.is_some() {
+            return;
+        }
+        let Some(verdict) = self.sink_algo.verdict().cloned() else {
+            return;
+        };
+        self.sink = Some(verdict.sink.clone());
+        for j in self.asked_us.clone().iter() {
+            if j != ctx.self_id() {
+                ctx.learn(j);
+                ctx.send(j, SdMsg::SinkValue(verdict.sink.clone()));
+            }
+        }
+    }
+
+    fn on_get_sink(&mut self, ctx: &mut Context<'_, SdMsg>, from: ProcessId) {
+        if self.asked_us.insert(from) {
+            if let Some(sink) = self.sink.clone() {
+                ctx.learn(from);
+                ctx.send(from, SdMsg::SinkValue(sink));
+            }
+        }
+    }
+
+    /// Direct mode: (re)send GET_SINK to every newly known process.
+    fn ask_direct(&mut self, ctx: &mut Context<'_, SdMsg>) {
+        if self.sink.is_some() || self.mode != GetSinkMode::Direct {
+            return;
+        }
+        for j in self.sink_algo.known().clone().iter() {
+            if j != ctx.self_id() && self.asked_by_us.insert(j) {
+                ctx.learn(j);
+                ctx.send(j, SdMsg::GetSink);
+            }
+        }
+    }
+
+    fn on_sink_value(&mut self, ctx: &mut Context<'_, SdMsg>, from: ProcessId, v: ProcessSet) {
+        if self.sink.is_some() {
+            return;
+        }
+        match self.values.iter_mut().find(|(set, _)| *set == v) {
+            Some((_, senders)) => {
+                senders.insert(from);
+            }
+            None => {
+                self.values.push((v.clone(), ProcessSet::singleton(from)));
+            }
+        }
+        // Lines 15-16: adopt a value repeated more than f times.
+        if let Some((set, _)) = self
+            .values
+            .iter()
+            .find(|(_, senders)| senders.len() > self.f)
+        {
+            self.sink = Some(set.clone());
+            // Late askers still get answers.
+            for j in self.asked_us.clone().iter() {
+                if j != ctx.self_id() {
+                    ctx.learn(j);
+                    ctx.send(j, SdMsg::SinkValue(set.clone()));
+                }
+            }
+        }
+    }
+
+}
+
+impl Actor<SdMsg> for SinkDetectorActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, SdMsg>) {
+        self.sink_algo_self_id = ctx.self_id();
+        self.sink_algo = SinkCore::new(ctx.self_id(), self.pd.clone(), self.f);
+        self.rrb = RrbCore::new(ctx.self_id(), self.f);
+        // Line 5: broadcast GET_SINK.
+        match self.mode {
+            GetSinkMode::Direct => {}
+            GetSinkMode::ReachableBroadcast => {
+                let (_, out) = self.rrb.broadcast(&self.pd.clone(), ());
+                for (to, m) in out {
+                    ctx.send(to, SdMsg::GetSinkRb(m));
+                }
+            }
+        }
+        // Line 7: run SINK.
+        let out = self.sink_algo.start();
+        Self::flush_sink(ctx, out);
+        self.ask_direct(ctx);
+        self.maybe_adopt_own_verdict(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SdMsg>, from: ProcessId, msg: SdMsg) {
+        match msg {
+            SdMsg::Sink(m) => {
+                let out = self.sink_algo.on_message(from, m);
+                Self::flush_sink(ctx, out);
+                self.ask_direct(ctx);
+                self.maybe_adopt_own_verdict(ctx);
+            }
+            SdMsg::GetSink => self.on_get_sink(ctx, from),
+            SdMsg::GetSinkRb(m) => {
+                let neighbors = ctx.known().clone();
+                let (out, delivery) = self.rrb.on_copy(from, m, &neighbors);
+                for (to, fwd) in out {
+                    ctx.send(to, SdMsg::GetSinkRb(fwd));
+                }
+                if let Some(d) = delivery {
+                    self.on_get_sink(ctx, d.origin);
+                }
+            }
+            SdMsg::SinkValue(v) => self.on_sink_value(ctx, from, v),
+        }
+    }
+}
+
+/// A Byzantine process that answers `GET_SINK` with a forged sink value and
+/// otherwise behaves like an omission adversary.
+pub struct LyingSinkValueActor {
+    /// The forged value it spreads.
+    pub fake_sink: ProcessSet,
+}
+
+/// A Byzantine process that **equivocates** sink values: each asker gets a
+/// different forged set (the `> f` repetition rule of Algorithm 3 must
+/// filter every one of them, since no forged set can repeat through more
+/// than `f` faulty processes).
+pub struct EquivocatingSinkValueActor {
+    asked: u32,
+}
+
+impl EquivocatingSinkValueActor {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        EquivocatingSinkValueActor { asked: 0 }
+    }
+}
+
+impl Default for EquivocatingSinkValueActor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Actor<SdMsg> for EquivocatingSinkValueActor {
+    fn on_start(&mut self, _ctx: &mut Context<'_, SdMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SdMsg>, from: ProcessId, msg: SdMsg) {
+        match msg {
+            SdMsg::GetSink | SdMsg::GetSinkRb(_) => {
+                // A fresh forged set per asker.
+                self.asked += 1;
+                let fake = ProcessSet::from_ids([self.asked % 3, 40 + self.asked]);
+                ctx.send(from, SdMsg::SinkValue(fake));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor<SdMsg> for LyingSinkValueActor {
+    fn on_start(&mut self, _ctx: &mut Context<'_, SdMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SdMsg>, from: ProcessId, msg: SdMsg) {
+        match msg {
+            SdMsg::GetSink | SdMsg::GetSinkRb(_) => {
+                ctx.send(from, SdMsg::SinkValue(self.fake_sink.clone()));
+            }
+            SdMsg::Sink(SinkMsg::Discover) => {
+                // Stay discoverable so the run matches Definition 7's
+                // assumptions (omission on everything else).
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::validate_detection;
+    use scup_graph::{generators, sink, KnowledgeGraph};
+    use scup_sim::adversary::SilentActor;
+    use scup_sim::{NetworkConfig, Simulation};
+
+    fn run_sd(
+        kg: &KnowledgeGraph,
+        f: usize,
+        faulty: &ProcessSet,
+        mode: GetSinkMode,
+        lying: bool,
+        seed: u64,
+    ) -> Simulation<SdMsg> {
+        let mut sim =
+            Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(150, 10, seed));
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                if lying {
+                    sim.add_actor(Box::new(LyingSinkValueActor {
+                        fake_sink: ProcessSet::from_ids([0, 99]),
+                    }));
+                } else {
+                    sim.add_actor(Box::new(SilentActor::new()));
+                }
+            } else {
+                sim.add_actor(Box::new(SinkDetectorActor::new(kg.pd(i).clone(), f, mode)));
+            }
+        }
+        sim.run_until_quiet(2_000_000);
+        sim
+    }
+
+    fn check_theorem6(
+        kg: &KnowledgeGraph,
+        f: usize,
+        faulty: &ProcessSet,
+        mode: GetSinkMode,
+        lying: bool,
+        seed: u64,
+    ) {
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        let correct = kg.graph().vertex_set().difference(faulty);
+        let sim = run_sd(kg, f, faulty, mode, lying, seed);
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                continue;
+            }
+            let actor = sim.actor_as::<SinkDetectorActor>(i).unwrap();
+            let d = actor
+                .detection()
+                .unwrap_or_else(|| panic!("correct process {i} must receive V_sink (Theorem 6)"));
+            validate_detection(i, &d, &v_sink, &correct, f).unwrap();
+            // Our implementation is exact even for non-sink members.
+            assert_eq!(d.sink, v_sink);
+        }
+    }
+
+    #[test]
+    fn theorem6_direct_mode_fig2() {
+        let kg = generators::fig2();
+        for seed in 0..4 {
+            check_theorem6(&kg, 1, &ProcessSet::new(), GetSinkMode::Direct, false, seed);
+        }
+    }
+
+    #[test]
+    fn theorem6_rb_mode_fig2() {
+        let kg = generators::fig2();
+        for seed in 0..3 {
+            check_theorem6(
+                &kg,
+                1,
+                &ProcessSet::new(),
+                GetSinkMode::ReachableBroadcast,
+                false,
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn theorem6_with_silent_fault() {
+        let kg = generators::fig2();
+        for faulty_id in [0u32, 2, 4, 6] {
+            check_theorem6(
+                &kg,
+                1,
+                &ProcessSet::from_ids([faulty_id]),
+                GetSinkMode::Direct,
+                false,
+                faulty_id as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn theorem6_with_lying_sink_value() {
+        // The adversary answers GET_SINK with a forged set; the > f
+        // repetition rule filters it out.
+        let kg = generators::fig2();
+        for faulty_id in [1u32, 3, 5] {
+            check_theorem6(
+                &kg,
+                1,
+                &ProcessSet::from_ids([faulty_id]),
+                GetSinkMode::Direct,
+                true,
+                faulty_id as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn theorem6_with_equivocating_sink_values() {
+        // Each asker receives a different forged set; none can repeat more
+        // than f times, so Algorithm 3 never adopts a forgery.
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        for faulty_id in [0u32, 4] {
+            let faulty = ProcessSet::from_ids([faulty_id]);
+            let correct = kg.graph().vertex_set().difference(&faulty);
+            let mut sim = Simulation::new(
+                kg.clone(),
+                NetworkConfig::partially_synchronous(150, 10, faulty_id as u64),
+            );
+            for i in kg.processes() {
+                if faulty.contains(i) {
+                    sim.add_actor(Box::new(EquivocatingSinkValueActor::new()));
+                } else {
+                    sim.add_actor(Box::new(SinkDetectorActor::new(
+                        kg.pd(i).clone(),
+                        1,
+                        GetSinkMode::Direct,
+                    )));
+                }
+            }
+            sim.run_until_quiet(2_000_000);
+            for i in kg.processes() {
+                if faulty.contains(i) {
+                    continue;
+                }
+                let d = sim
+                    .actor_as::<SinkDetectorActor>(i)
+                    .unwrap()
+                    .detection()
+                    .expect("detection despite equivocation");
+                validate_detection(i, &d, &v_sink, &correct, 1).unwrap();
+                assert_eq!(d.sink, v_sink);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (kg, faulty) = generators::random_byzantine_safe(6, 5, 1, &mut rng);
+            check_theorem6(&kg, 1, &faulty, GetSinkMode::Direct, true, seed);
+        }
+    }
+
+    #[test]
+    fn distributed_refines_perfect_oracle() {
+        use crate::oracle::{PerfectSinkDetector, SinkDetector};
+        let kg = generators::fig2();
+        let perfect = PerfectSinkDetector::new(&kg).unwrap();
+        let sim = run_sd(&kg, 1, &ProcessSet::new(), GetSinkMode::Direct, false, 9);
+        for i in kg.processes() {
+            let d = sim
+                .actor_as::<SinkDetectorActor>(i)
+                .unwrap()
+                .detection()
+                .unwrap();
+            let p = perfect.get_sink(i, 1);
+            assert_eq!(d.is_sink_member, p.is_sink_member, "{i}");
+            assert_eq!(d.sink, p.sink, "{i}");
+        }
+    }
+}

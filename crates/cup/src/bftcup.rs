@@ -1,0 +1,641 @@
+//! BFT-CUP consensus (Theorem 1): the baseline the paper compares Stellar
+//! against.
+//!
+//! Under a Byzantine-safe `k`-OSR participant detector whose sink has at
+//! least `2f + 1` correct members, BFT-CUP \[17\] solves consensus as
+//! follows:
+//!
+//! 1. every process runs `SINK` discovery ([`crate::discovery`]);
+//! 2. sink members — who learn `V_sink` exactly (Lemma 6) — run a
+//!    quorum-based Byzantine consensus among themselves with quorums of
+//!    size `q = ⌈(|V_sink| + f + 1) / 2⌉`;
+//! 3. the decision is disseminated: non-sink members adopt a value vouched
+//!    by `f + 1` distinct processes.
+//!
+//! The sink-internal protocol here is a deliberately compact PBFT-style
+//! loop (propose / echo / commit with view changes and value locking):
+//!
+//! - a member *locks* `(v, val)` after seeing `q` echoes for `val` in view
+//!   `v`, and from then on echoes only `val`;
+//! - it decides after `q` commits;
+//! - on timeout it ships its lock in a `ViewChange` to the next leader,
+//!   who must re-propose the highest lock it collects.
+//!
+//! Safety rests on quorum intersection: two quorums of size `q` intersect
+//! in more than `f` processes, so a committed value is locked by at least
+//! one correct member of every later quorum, and correct members never
+//! echo against their lock. A Byzantine leader can therefore stall only
+//! its own views, not cause disagreement. (This is a reproduction-scale
+//! substitute for \[17\]'s full protocol; see DESIGN.md.)
+
+use std::collections::BTreeMap;
+
+use scup_graph::{ProcessId, ProcessSet};
+use scup_sim::{Actor, Context, SimMessage};
+
+use crate::discovery::{SinkCore, SinkMsg};
+
+/// The value type BFT-CUP agrees on.
+pub type Value = u64;
+
+/// Messages of the BFT-CUP protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BftMsg {
+    /// Embedded `SINK` discovery traffic.
+    Sink(SinkMsg),
+    /// The view leader's proposal.
+    Propose {
+        /// View number.
+        view: u64,
+        /// Proposed value.
+        value: Value,
+    },
+    /// First-phase vote.
+    Echo {
+        /// View number.
+        view: u64,
+        /// Echoed value.
+        value: Value,
+    },
+    /// Second-phase vote.
+    Commit {
+        /// View number.
+        view: u64,
+        /// Committed value.
+        value: Value,
+    },
+    /// Timeout notice carrying the sender's lock, addressed to the new
+    /// view's leader.
+    ViewChange {
+        /// The view being entered.
+        view: u64,
+        /// The sender's current lock, if any.
+        lock: Option<(u64, Value)>,
+    },
+    /// Decision dissemination.
+    Decide(
+        /// The decided value.
+        Value,
+    ),
+    /// A non-sink member's request for the decision.
+    AskDecision,
+}
+
+impl SimMessage for BftMsg {
+    fn size_hint(&self) -> usize {
+        match self {
+            BftMsg::Sink(m) => 1 + m.size_hint(),
+            BftMsg::ViewChange { .. } => 25,
+            _ => 17,
+        }
+    }
+}
+
+/// Timer tags.
+const VIEW_TIMER: u64 = 1;
+
+/// Configuration of a BFT-CUP run.
+#[derive(Debug, Clone)]
+pub struct BftConfig {
+    /// Fault threshold `f`.
+    pub f: usize,
+    /// Base view timeout in ticks (doubled per view).
+    pub view_timeout: u64,
+}
+
+impl BftConfig {
+    /// A configuration with the given `f` and a view timeout suited to the
+    /// network's `Δ`.
+    pub fn new(f: usize, view_timeout: u64) -> Self {
+        BftConfig { f, view_timeout }
+    }
+}
+
+/// A correct BFT-CUP participant (sink or non-sink — the role emerges from
+/// discovery).
+pub struct BftCupActor {
+    config: BftConfig,
+    pd: ProcessSet,
+    proposal: Value,
+    sink: SinkCore,
+    // Consensus state (sink members only).
+    members: ProcessSet,
+    view: u64,
+    echoed_in_view: bool,
+    committed_in_view: bool,
+    lock: Option<(u64, Value)>,
+    echoes: BTreeMap<(u64, Value), ProcessSet>,
+    commits: BTreeMap<(u64, Value), ProcessSet>,
+    view_changes: BTreeMap<u64, BTreeMap<ProcessId, Option<(u64, Value)>>>,
+    proposed_in_view: bool,
+    started_consensus: bool,
+    // Dissemination.
+    askers: ProcessSet,
+    asked: ProcessSet,
+    decide_votes: BTreeMap<Value, ProcessSet>,
+    decision: Option<Value>,
+}
+
+impl BftCupActor {
+    /// Creates a participant with participant detector `pd`, proposing
+    /// `proposal`.
+    pub fn new(pd: ProcessSet, proposal: Value, config: BftConfig) -> Self {
+        BftCupActor {
+            sink: SinkCore::new(ProcessId::new(u32::MAX), pd.clone(), config.f),
+            config,
+            pd,
+            proposal,
+            members: ProcessSet::new(),
+            view: 0,
+            echoed_in_view: false,
+            committed_in_view: false,
+            lock: None,
+            echoes: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            view_changes: BTreeMap::new(),
+            proposed_in_view: false,
+            started_consensus: false,
+            askers: ProcessSet::new(),
+            asked: ProcessSet::new(),
+            decide_votes: BTreeMap::new(),
+            decision: None,
+        }
+    }
+
+    /// The decided value, once the protocol terminates at this process.
+    pub fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    /// `true` if discovery certified this process as a sink member.
+    pub fn is_sink_member(&self) -> bool {
+        self.sink.verdict().is_some()
+    }
+
+    /// Quorum size `q = ⌈(|V_sink| + f + 1) / 2⌉` (Algorithm 2's sink slice
+    /// size — the same threshold).
+    fn quorum(&self) -> usize {
+        (self.members.len() + self.config.f + 1).div_ceil(2)
+    }
+
+    fn leader(&self, view: u64) -> ProcessId {
+        let ids = self.members.to_vec();
+        ids[(view as usize) % ids.len()]
+    }
+
+    fn flush_sink(ctx: &mut Context<'_, BftMsg>, out: Vec<(ProcessId, SinkMsg)>) {
+        for (to, m) in out {
+            ctx.learn(to);
+            ctx.send(to, BftMsg::Sink(m));
+        }
+    }
+
+    fn send_members(&self, ctx: &mut Context<'_, BftMsg>, msg: BftMsg) {
+        for j in &self.members {
+            if j != ctx.self_id() {
+                // Member ids were learned from discovery payloads.
+                ctx.learn(j);
+                ctx.send(j, msg.clone());
+            }
+        }
+    }
+
+    /// Delivers a consensus message to self without a network hop.
+    fn self_deliver(&mut self, ctx: &mut Context<'_, BftMsg>, msg: BftMsg) {
+        let me = ctx.self_id();
+        self.on_consensus(ctx, me, msg);
+    }
+
+    fn maybe_start_consensus(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        if self.started_consensus {
+            return;
+        }
+        let Some(verdict) = self.sink.verdict().cloned() else {
+            return;
+        };
+        self.started_consensus = true;
+        self.members = verdict.sink;
+        self.enter_view(ctx, 0);
+    }
+
+    fn enter_view(&mut self, ctx: &mut Context<'_, BftMsg>, view: u64) {
+        self.view = view;
+        self.echoed_in_view = false;
+        self.committed_in_view = false;
+        self.proposed_in_view = false;
+        let timeout = self.config.view_timeout << view.min(16);
+        ctx.set_timer(timeout, VIEW_TIMER + (view << 8));
+        // Echoes for this view may have arrived while we lagged behind;
+        // re-evaluate them so a late joiner can still commit.
+        let ready: Vec<Value> = self
+            .echoes
+            .iter()
+            .filter(|((v, _), voters)| *v == view && voters.len() >= self.quorum())
+            .map(|((_, val), _)| *val)
+            .collect();
+        for value in ready {
+            if !self.committed_in_view {
+                self.committed_in_view = true;
+                self.lock = Some((view, value));
+                self.send_members(ctx, BftMsg::Commit { view, value });
+                self.self_deliver(ctx, BftMsg::Commit { view, value });
+            }
+        }
+        if self.decision.is_some() {
+            return;
+        }
+        if self.leader(view) == ctx.self_id() {
+            // View 0 needs no justification; later views wait for
+            // view-change messages (handled in `maybe_propose`).
+            if view == 0 {
+                let value = self.proposal;
+                self.proposed_in_view = true;
+                self.send_members(ctx, BftMsg::Propose { view, value });
+                self.self_deliver(ctx, BftMsg::Propose { view, value });
+            } else {
+                self.maybe_propose(ctx);
+            }
+        }
+    }
+
+    /// Leader of a view > 0: propose once `q` view-change messages arrived,
+    /// adopting the highest lock among them.
+    fn maybe_propose(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        if self.proposed_in_view || self.decision.is_some() {
+            return;
+        }
+        let view = self.view;
+        if view == 0 || self.leader(view) != ctx.self_id() {
+            return;
+        }
+        let Some(vcs) = self.view_changes.get(&view) else {
+            return;
+        };
+        let voters: ProcessSet = vcs
+            .keys()
+            .copied()
+            .filter(|j| self.members.contains(*j))
+            .collect();
+        if voters.len() < self.quorum() {
+            return;
+        }
+        let highest_lock = vcs
+            .values()
+            .flatten()
+            .max_by_key(|(v, _)| *v)
+            .map(|(_, val)| *val);
+        // Also respect our own lock.
+        let own = self.lock.map(|(_, val)| val);
+        let value = highest_lock.or(own).unwrap_or(self.proposal);
+        self.proposed_in_view = true;
+        self.send_members(ctx, BftMsg::Propose { view, value });
+        self.self_deliver(ctx, BftMsg::Propose { view, value });
+    }
+
+    fn on_consensus(&mut self, ctx: &mut Context<'_, BftMsg>, from: ProcessId, msg: BftMsg) {
+        if !self.started_consensus || self.decision.is_some() {
+            return;
+        }
+        if !self.members.contains(from) && from != ctx.self_id() {
+            return; // Consensus is sink-internal.
+        }
+        match msg {
+            BftMsg::Propose { view, value } => {
+                if view != self.view || from != self.leader(view) || self.echoed_in_view {
+                    return;
+                }
+                // Echo unless it conflicts with our lock.
+                if let Some((_, locked)) = self.lock {
+                    if locked != value {
+                        return;
+                    }
+                }
+                self.echoed_in_view = true;
+                self.send_members(ctx, BftMsg::Echo { view, value });
+                self.self_deliver(ctx, BftMsg::Echo { view, value });
+            }
+            BftMsg::Echo { view, value } => {
+                let voters = self.echoes.entry((view, value)).or_default();
+                voters.insert(from);
+                if view == self.view && voters.len() >= self.quorum() && !self.committed_in_view {
+                    self.committed_in_view = true;
+                    self.lock = Some((view, value));
+                    self.send_members(ctx, BftMsg::Commit { view, value });
+                    self.self_deliver(ctx, BftMsg::Commit { view, value });
+                }
+            }
+            BftMsg::Commit { view, value } => {
+                let voters = self.commits.entry((view, value)).or_default();
+                voters.insert(from);
+                if voters.len() >= self.quorum() {
+                    self.decide(ctx, value);
+                }
+            }
+            BftMsg::ViewChange { view, lock } => {
+                self.view_changes.entry(view).or_default().insert(from, lock);
+                // Amplification: f + 1 view changes for a higher view pull
+                // us along even without our own timeout.
+                let count = self.view_changes[&view]
+                    .keys()
+                    .filter(|j| self.members.contains(**j))
+                    .count();
+                if view > self.view && count > self.config.f {
+                    let own_lock = self.lock;
+                    self.send_members(ctx, BftMsg::ViewChange { view, lock: own_lock });
+                    self.view_changes
+                        .entry(view)
+                        .or_default()
+                        .insert(ctx.self_id(), own_lock);
+                    self.enter_view(ctx, view);
+                }
+                self.maybe_propose(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Context<'_, BftMsg>, value: Value) {
+        if self.decision.is_some() {
+            return;
+        }
+        self.decision = Some(value);
+        // Disseminate to everyone who asked and to the sink.
+        let targets = self.askers.union(&self.members);
+        for j in &targets {
+            if j != ctx.self_id() {
+                ctx.learn(j);
+                ctx.send(j, BftMsg::Decide(value));
+            }
+        }
+    }
+
+    /// Non-sink path: ask newly discovered processes for the decision.
+    fn ask_new_contacts(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        if self.decision.is_some() || self.sink.verdict().is_some() {
+            return;
+        }
+        for j in self.sink.known().clone().iter() {
+            if j != ctx.self_id() && !self.asked.contains(j) {
+                self.asked.insert(j);
+                ctx.learn(j);
+                ctx.send(j, BftMsg::AskDecision);
+            }
+        }
+    }
+}
+
+impl Actor<BftMsg> for BftCupActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.config.f);
+        let out = self.sink.start();
+        Self::flush_sink(ctx, out);
+        self.maybe_start_consensus(ctx);
+        self.ask_new_contacts(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, BftMsg>, from: ProcessId, msg: BftMsg) {
+        match msg {
+            BftMsg::Sink(m) => {
+                let out = self.sink.on_message(from, m);
+                Self::flush_sink(ctx, out);
+                self.maybe_start_consensus(ctx);
+                self.ask_new_contacts(ctx);
+            }
+            BftMsg::AskDecision => {
+                self.askers.insert(from);
+                if let Some(v) = self.decision {
+                    ctx.send(from, BftMsg::Decide(v));
+                }
+            }
+            BftMsg::Decide(v) => {
+                if self.decision.is_some() {
+                    return;
+                }
+                let votes = self.decide_votes.entry(v).or_default();
+                votes.insert(from);
+                // A sink member's decision is backed by its own quorum; a
+                // non-sink member needs f + 1 matching vouchers.
+                if votes.len() > self.config.f {
+                    self.decide(ctx, v);
+                }
+            }
+            other => self.on_consensus(ctx, from, other),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, BftMsg>, tag: u64) {
+        if self.decision.is_some() || !self.started_consensus {
+            return;
+        }
+        let timer_view = tag >> 8;
+        if timer_view != self.view {
+            return; // Stale timer from an earlier view.
+        }
+        let next = self.view + 1;
+        let own_lock = self.lock;
+        self.send_members(ctx, BftMsg::ViewChange { view: next, lock: own_lock });
+        self.view_changes
+            .entry(next)
+            .or_default()
+            .insert(ctx.self_id(), own_lock);
+        self.enter_view(ctx, next);
+        self.maybe_propose(ctx);
+    }
+}
+
+/// A Byzantine sink member that equivocates as leader: proposes different
+/// values to different members, echoes both, and stays silent otherwise.
+pub struct EquivocatingLeader {
+    pd: ProcessSet,
+    sink: SinkCore,
+    f: usize,
+    values: (Value, Value),
+    attacked: bool,
+}
+
+impl EquivocatingLeader {
+    /// Creates the adversary; when its discovery completes it sends
+    /// `values.0` to half the members and `values.1` to the rest.
+    pub fn new(pd: ProcessSet, f: usize, values: (Value, Value)) -> Self {
+        EquivocatingLeader {
+            sink: SinkCore::new(ProcessId::new(u32::MAX), pd.clone(), f),
+            pd,
+            f,
+            values,
+            attacked: false,
+        }
+    }
+
+    fn attack(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        if self.attacked {
+            return;
+        }
+        let Some(verdict) = self.sink.verdict().cloned() else {
+            return;
+        };
+        self.attacked = true;
+        let members = verdict.sink.to_vec();
+        for (idx, j) in members.iter().enumerate() {
+            if *j == ctx.self_id() {
+                continue;
+            }
+            let value = if idx % 2 == 0 { self.values.0 } else { self.values.1 };
+            ctx.learn(*j);
+            ctx.send(*j, BftMsg::Propose { view: 0, value });
+            ctx.send(*j, BftMsg::Echo { view: 0, value });
+        }
+    }
+}
+
+impl Actor<BftMsg> for EquivocatingLeader {
+    fn on_start(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.f);
+        let out = self.sink.start();
+        BftCupActor::flush_sink(ctx, out);
+        self.attack(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, BftMsg>, from: ProcessId, msg: BftMsg) {
+        if let BftMsg::Sink(m) = msg {
+            let out = self.sink.on_message(from, m);
+            BftCupActor::flush_sink(ctx, out);
+            self.attack(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_graph::{generators, sink, KnowledgeGraph};
+    use scup_sim::adversary::SilentActor;
+    use scup_sim::{NetworkConfig, Simulation};
+
+    fn run_bftcup(
+        kg: &KnowledgeGraph,
+        f: usize,
+        faulty: &ProcessSet,
+        adversary: &str,
+        seed: u64,
+    ) -> Simulation<BftMsg> {
+        let config = NetworkConfig::partially_synchronous(100, 10, seed);
+        let mut sim = Simulation::new(kg.clone(), config);
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                match adversary {
+                    "silent" => sim.add_actor(Box::new(SilentActor::new())),
+                    "equivocate" => sim.add_actor(Box::new(EquivocatingLeader::new(
+                        kg.pd(i).clone(),
+                        f,
+                        (666, 777),
+                    ))),
+                    other => panic!("unknown adversary {other}"),
+                };
+            } else {
+                sim.add_actor(Box::new(BftCupActor::new(
+                    kg.pd(i).clone(),
+                    100 + i.as_u32() as u64,
+                    BftConfig::new(f, 400),
+                )));
+            }
+        }
+        sim.run_while(
+            |s| {
+                !s.knowledge_graph().processes().all(|i| {
+                    faulty.contains(i)
+                        || s.actor_as::<BftCupActor>(i)
+                            .is_some_and(|a| a.decision().is_some())
+                })
+            },
+            2_000_000,
+        );
+        sim
+    }
+
+    fn assert_consensus(kg: &KnowledgeGraph, sim: &Simulation<BftMsg>, faulty: &ProcessSet) -> Value {
+        let mut decided = None;
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                continue;
+            }
+            let a = sim.actor_as::<BftCupActor>(i).unwrap();
+            let d = a
+                .decision()
+                .unwrap_or_else(|| panic!("correct process {i} must decide (termination)"));
+            match decided {
+                None => decided = Some(d),
+                Some(prev) => assert_eq!(prev, d, "agreement violated at {i}"),
+            }
+        }
+        decided.unwrap()
+    }
+
+    #[test]
+    fn consensus_without_faults() {
+        let kg = generators::fig2();
+        for seed in 0..3 {
+            let sim = run_bftcup(&kg, 1, &ProcessSet::new(), "silent", seed);
+            let v = assert_consensus(&kg, &sim, &ProcessSet::new());
+            // Validity: some process proposed it.
+            assert!((100..107).contains(&v), "decided {v} must be a proposal");
+        }
+    }
+
+    #[test]
+    fn consensus_with_silent_sink_member() {
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        let faulty = ProcessSet::singleton(v_sink.first().unwrap());
+        for seed in 0..3 {
+            let sim = run_bftcup(&kg, 1, &faulty, "silent", seed);
+            let v = assert_consensus(&kg, &sim, &faulty);
+            assert!((100..107).contains(&v));
+        }
+    }
+
+    #[test]
+    fn consensus_with_silent_nonsink_member() {
+        let kg = generators::fig2();
+        let faulty = ProcessSet::from_ids([5]);
+        let sim = run_bftcup(&kg, 1, &faulty, "silent", 7);
+        assert_consensus(&kg, &sim, &faulty);
+    }
+
+    #[test]
+    fn consensus_with_equivocating_sink_member() {
+        let kg = generators::fig2();
+        // Process 0 is the view-0 leader (lowest id in the sink {0,1,2,3});
+        // make it equivocate.
+        let faulty = ProcessSet::from_ids([0]);
+        for seed in 0..3 {
+            let sim = run_bftcup(&kg, 1, &faulty, "equivocate", seed);
+            let v = assert_consensus(&kg, &sim, &faulty);
+            // Safety: never decide both adversary values; in fact the
+            // decided value must be unique across processes (checked) —
+            // and with locks it is one value only.
+            assert!(v != 666 || v != 777);
+        }
+    }
+
+    #[test]
+    fn consensus_on_random_byzantine_safe_graph() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..2u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (kg, faulty) = generators::random_byzantine_safe(6, 4, 1, &mut rng);
+            let sim = run_bftcup(&kg, 1, &faulty, "silent", seed);
+            assert_consensus(&kg, &sim, &faulty);
+        }
+    }
+
+    #[test]
+    fn quorum_size_formula() {
+        let a = BftCupActor::new(ProcessSet::from_ids([1, 2]), 0, BftConfig::new(1, 100));
+        // Empty members → quorum of (0 + 2) / 2 = 1; after discovery the
+        // real value is used. Just check the arithmetic helper.
+        assert_eq!(a.quorum(), 1);
+        let mut b = BftCupActor::new(ProcessSet::from_ids([1, 2]), 0, BftConfig::new(1, 100));
+        b.members = ProcessSet::from_ids([0, 1, 2, 3]);
+        assert_eq!(b.quorum(), 3); // ⌈(4 + 2) / 2⌉
+    }
+}

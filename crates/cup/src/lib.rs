@@ -1,0 +1,36 @@
+//! The BFT-CUP substrate: participant detectors, distributed sink
+//! discovery (the `SINK` algorithm), reachable-reliable broadcast, and the
+//! BFT-CUP consensus baseline.
+//!
+//! The paper under reproduction treats the machinery of Alchieri et al.'s
+//! BFT-CUP \[17\] as a black box with stated properties:
+//!
+//! - **`SINK`** (Lemma 6): executed by a correct sink member it terminates
+//!   and returns `⟨true, V_sink⟩`; non-sink members may never terminate it.
+//!   Implemented in [`discovery`] as a message-passing actor with an
+//!   async-safe termination rule (see the module docs for the accuracy
+//!   argument).
+//! - **Reachable-reliable broadcast** (RB-Validity/Integrity/Agreement over
+//!   `f`-reachability, Definition 9). Implemented in [`rrb`] as
+//!   path-carrying flooding with node-disjoint-path acceptance.
+//! - **BFT-CUP consensus** (Theorem 1): sink members agree via a
+//!   quorum-based protocol and disseminate the decision; non-sink members
+//!   adopt a value vouched by `f + 1` sink members. Implemented in
+//!   [`bftcup`]; it is the baseline the paper compares Stellar against.
+//!
+//! ## Adversary scope
+//!
+//! Byzantine behaviours exercised against these protocols: silence
+//! (omission), hiding knowledge (subset lies about `PD_i`), lying in the
+//! check/echo phases, lying about sink values, and equivocation. Lies that
+//! *invent* process identities during discovery are excluded: defending
+//! against identity injection is \[17\]'s contribution and is treated as
+//! out of scope here, exactly as the paper treats `SINK` as a given oracle
+//! (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bftcup;
+pub mod discovery;
+pub mod rrb;

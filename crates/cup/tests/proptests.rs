@@ -1,0 +1,160 @@
+//! Property-based tests for the BFT-CUP substrate.
+//!
+//! - Lemma 6 as a property over random Byzantine-safe graphs, seeds, GST
+//!   values and adversary placements;
+//! - `RrbCore`'s disjoint-family acceptance versus structural facts;
+//! - BFT-CUP agreement/validity as a property over random runs.
+
+use proptest::prelude::*;
+use scup_cup::bftcup::{BftConfig, BftCupActor, BftMsg};
+use scup_cup::discovery::{LyingSinkActor, SinkActor, SinkMsg};
+use scup_graph::{generators, sink, ProcessId, ProcessSet};
+use scup_sim::adversary::SilentActor;
+use scup_sim::{NetworkConfig, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lemma6_property(seed in 0u64..10_000, gst in 0u64..400, lying in proptest::bool::ANY) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (kg, faulty) = generators::random_byzantine_safe(5, 4, 1, &mut rng);
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+
+        let mut sim: Simulation<SinkMsg> =
+            Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(gst, 10, seed));
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                if lying {
+                    let pd = kg.pd(i);
+                    let admitted: ProcessSet = pd.iter().take(pd.len() / 2).collect();
+                    sim.add_actor(Box::new(LyingSinkActor::new(admitted, ProcessSet::from_ids([0]))));
+                } else {
+                    sim.add_actor(Box::new(SilentActor::new()));
+                }
+            } else {
+                sim.add_actor(Box::new(SinkActor::new(kg.pd(i).clone(), 1)));
+            }
+        }
+        sim.run_until_quiet(2_000_000);
+
+        for i in kg.processes() {
+            if faulty.contains(i) { continue; }
+            let actor = sim.actor_as::<SinkActor>(i).unwrap();
+            if v_sink.contains(i) {
+                let v = actor.verdict();
+                prop_assert!(v.is_some(), "sink member {} must terminate", i);
+                prop_assert_eq!(&v.unwrap().sink, &v_sink, "sink accuracy at {}", i);
+            } else {
+                prop_assert!(actor.verdict().is_none(), "non-sink {} must not self-certify", i);
+            }
+        }
+    }
+
+    #[test]
+    fn bftcup_agreement_property(seed in 0u64..10_000, gst in 0u64..300) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbf7);
+        let (kg, faulty) = generators::random_byzantine_safe(5, 3, 1, &mut rng);
+
+        let mut sim: Simulation<BftMsg> =
+            Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(gst, 10, seed));
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                sim.add_actor(Box::new(SilentActor::new()));
+            } else {
+                sim.add_actor(Box::new(BftCupActor::new(
+                    kg.pd(i).clone(),
+                    100 + i.as_u32() as u64,
+                    BftConfig::new(1, 400),
+                )));
+            }
+        }
+        let correct: Vec<ProcessId> =
+            kg.processes().filter(|i| !faulty.contains(*i)).collect();
+        sim.run_while(
+            |s| {
+                !correct.iter().all(|&i| {
+                    s.actor_as::<BftCupActor>(i).is_some_and(|a| a.decision().is_some())
+                })
+            },
+            3_000_000,
+        );
+        let mut value = None;
+        for &i in &correct {
+            let d = sim.actor_as::<BftCupActor>(i).unwrap().decision();
+            prop_assert!(d.is_some(), "termination at {}", i);
+            match value {
+                None => value = d,
+                Some(prev) => prop_assert_eq!(d, Some(prev), "agreement at {}", i),
+            }
+        }
+        // Validity (silent adversary): the value is a correct proposal.
+        let v = value.unwrap();
+        prop_assert!(
+            correct.iter().any(|i| 100 + i.as_u32() as u64 == v),
+            "decided {} must be a correct process's proposal", v
+        );
+    }
+}
+
+mod rrb_props {
+    use super::*;
+    use scup_cup::rrb::{RrbCore, RrbMsg};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Forged copies (paths all containing a fixed faulty node) are
+        /// never delivered with f = 1, regardless of how many arrive.
+        #[test]
+        fn forgery_needs_disjoint_liars(paths in proptest::collection::vec(
+            proptest::collection::vec(1u32..8, 1..4), 1..6)
+        ) {
+            let me = ProcessId::new(9);
+            let origin = ProcessId::new(0);
+            let byz = ProcessId::new(7);
+            let mut core: RrbCore<u64> = RrbCore::new(me, 1).with_forward_quota(100);
+            let nbrs = ProcessSet::from_ids([0, 7]);
+            for p in &paths {
+                // Build a path [origin, ..., byz]: always contains byz last
+                // (the channel sender), mimicking forgery injection.
+                let mut path = vec![origin];
+                for &x in p {
+                    let id = ProcessId::new(x);
+                    if id != origin && id != byz && id != me && !path.contains(&id) {
+                        path.push(id);
+                    }
+                }
+                path.push(byz);
+                let msg = RrbMsg { origin, seq: 0, payload: 666u64, path };
+                let (_, delivery) = core.on_copy(byz, msg, &nbrs);
+                prop_assert!(delivery.is_none(), "forgery delivered");
+            }
+            prop_assert_eq!(core.delivered(origin, 0), None);
+        }
+
+        /// Two copies over genuinely disjoint internal paths always deliver
+        /// with f = 1.
+        #[test]
+        fn disjoint_paths_deliver(a in 1u32..5, b in 5u32..9) {
+            let me = ProcessId::new(20);
+            let origin = ProcessId::new(0);
+            let mut core: RrbCore<u64> = RrbCore::new(me, 1);
+            let nbrs = ProcessSet::from_ids([a, b]);
+            let m1 = RrbMsg {
+                origin, seq: 0, payload: 5u64,
+                path: vec![origin, ProcessId::new(a)],
+            };
+            let m2 = RrbMsg {
+                origin, seq: 0, payload: 5u64,
+                path: vec![origin, ProcessId::new(b)],
+            };
+            let (_, d1) = core.on_copy(ProcessId::new(a), m1, &nbrs);
+            prop_assert!(d1.is_none(), "one path is not enough for f = 1");
+            let (_, d2) = core.on_copy(ProcessId::new(b), m2, &nbrs);
+            prop_assert!(d2.is_some(), "two disjoint paths must deliver");
+        }
+    }
+}

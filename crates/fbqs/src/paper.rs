@@ -1,0 +1,86 @@
+//! The paper's running slice examples.
+//!
+//! Section III-D assigns the following hand-crafted slices to the Fig. 1
+//! knowledge graph (paper labels):
+//!
+//! ```text
+//! S1 = {{2,5}}   S2 = {{4}}       S3 = {{5,7}}
+//! S4 = {{5,6}, {6,8}}             S5 = {{6,7}}
+//! S6 = {{5,7}, {7,8}}             S7 = {{5,6}, {6,8}}
+//! ```
+//!
+//! Process 8 is the Byzantine process (`F = {8}`) and "is not required to
+//! define its slices"; we conservatively give it the empty family so it
+//! never joins a quorum in global analyses. With these slices
+//! `Q5 = Q6 = Q7 = {5,6,7}` and the unique maximal consensus cluster is
+//! `C2 = {1,...,7}`.
+
+use scup_graph::ProcessSet;
+
+use crate::{Fbqs, SliceFamily};
+
+/// The slice assignment of Section III-D over the Fig. 1 graph, 0-based
+/// (paper process `k` is id `k - 1`).
+pub fn fig1_system() -> Fbqs {
+    fn s(ids: &[&[u32]]) -> SliceFamily {
+        SliceFamily::explicit(
+            ids.iter()
+                .map(|slice| ProcessSet::from_ids(slice.iter().map(|v| v - 1))),
+        )
+    }
+    Fbqs::new(vec![
+        s(&[&[2, 5]]),          // S1
+        s(&[&[4]]),             // S2
+        s(&[&[5, 7]]),          // S3
+        s(&[&[5, 6], &[6, 8]]), // S4
+        s(&[&[6, 7]]),          // S5
+        s(&[&[5, 7], &[7, 8]]), // S6
+        s(&[&[5, 6], &[6, 8]]), // S7
+        SliceFamily::empty(),   // S8: Byzantine, undeclared
+    ])
+}
+
+/// The correct set `W = {1,...,7}` of the Fig. 1 example (0-based).
+pub fn fig1_correct() -> ProcessSet {
+    ProcessSet::from_ids([0, 1, 2, 3, 4, 5, 6])
+}
+
+/// The faulty set `F = {8}` of the Fig. 1 example (0-based).
+pub fn fig1_faulty() -> ProcessSet {
+    ProcessSet::from_ids([7])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum;
+    use scup_graph::ProcessId;
+
+    #[test]
+    fn slices_match_paper() {
+        let sys = fig1_system();
+        assert_eq!(sys.n(), 8);
+        // S4 (0-based 3) = {{4,5}, {5,7}}.
+        let s4 = sys.slices(ProcessId::new(3));
+        assert!(s4.has_slice_within(&ProcessSet::from_ids([4, 5])));
+        assert!(s4.has_slice_within(&ProcessSet::from_ids([5, 7])));
+        assert!(!s4.has_slice_within(&ProcessSet::from_ids([4, 7])));
+    }
+
+    #[test]
+    fn byzantine_process_declares_nothing() {
+        let sys = fig1_system();
+        assert!(!sys.slices(ProcessId::new(7)).has_slices());
+        // Therefore no quorum contains it.
+        let with8 = ProcessSet::from_ids([4, 5, 6, 7]);
+        assert!(!quorum::is_quorum(&sys, &with8));
+    }
+
+    #[test]
+    fn correct_and_faulty_partition() {
+        let w = fig1_correct();
+        let f = fig1_faulty();
+        assert!(w.is_disjoint(&f));
+        assert_eq!(w.union(&f), ProcessSet::full(8));
+    }
+}

@@ -1,0 +1,334 @@
+use std::fmt;
+
+use scup_graph::ProcessSet;
+
+/// The set of quorum slices `S_i` of one process.
+///
+/// Two representations are supported:
+///
+/// - [`SliceFamily::Explicit`]: a literal list of slices, as in the paper's
+///   Fig. 1 example (`S_4 = {{5,6}, {6,8}}`);
+/// - [`SliceFamily::AllSubsets`]: *all subsets of `of` with exactly `size`
+///   members* — the shape produced by Algorithm 2 (`build_slices`). The
+///   family has `C(|of|, size)` slices; keeping it symbolic lets
+///   [`has_slice_within`](SliceFamily::has_slice_within) answer in
+///   `O(|of| / 64)` words instead of enumerating.
+///
+/// A process whose family contains no slice at all (empty `Explicit` list,
+/// or `AllSubsets` with `size > |of|`) can never belong to any quorum.
+///
+/// # Example
+///
+/// ```
+/// use scup_fbqs::SliceFamily;
+/// use scup_graph::ProcessSet;
+///
+/// let f = SliceFamily::all_subsets(ProcessSet::from_ids([0, 1, 2, 3]), 3);
+/// assert!(f.has_slice_within(&ProcessSet::from_ids([0, 1, 2, 9])));
+/// assert!(!f.has_slice_within(&ProcessSet::from_ids([0, 1, 9])));
+/// assert_eq!(f.slice_count(), 4); // C(4, 3)
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub enum SliceFamily {
+    /// A literal list of slices.
+    Explicit(Vec<ProcessSet>),
+    /// All subsets of `of` with exactly `size` members.
+    AllSubsets {
+        /// The ground set the slices are drawn from.
+        of: ProcessSet,
+        /// The exact size of every slice.
+        size: usize,
+    },
+}
+
+impl SliceFamily {
+    /// Creates an explicit family from an iterator of slices.
+    pub fn explicit<I: IntoIterator<Item = ProcessSet>>(slices: I) -> Self {
+        SliceFamily::Explicit(slices.into_iter().collect())
+    }
+
+    /// Creates the symbolic family of all `size`-subsets of `of`.
+    pub fn all_subsets(of: ProcessSet, size: usize) -> Self {
+        SliceFamily::AllSubsets { of, size }
+    }
+
+    /// The empty family: a process that trusts no slice and therefore can
+    /// never join a quorum.
+    pub fn empty() -> Self {
+        SliceFamily::Explicit(Vec::new())
+    }
+
+    /// Returns `true` if some slice `S` of the family satisfies `S ⊆ q` —
+    /// the per-member test inside Algorithm 1 (line 2).
+    pub fn has_slice_within(&self, q: &ProcessSet) -> bool {
+        match self {
+            SliceFamily::Explicit(slices) => slices.iter().any(|s| s.is_subset(q)),
+            SliceFamily::AllSubsets { of, size } => {
+                *size <= of.len() && of.intersection_len(q) >= *size
+            }
+        }
+    }
+
+    /// Returns `true` if `b` is **v-blocking** for this family: `b`
+    /// intersects every slice. A v-blocking set can prevent the process
+    /// from ever reaching agreement through its slices, and conversely, in
+    /// SCP's federated voting a claim backed by a v-blocking set can be
+    /// safely adopted.
+    ///
+    /// A family with no slices is vacuously blocked by every set, including
+    /// the empty one.
+    pub fn is_v_blocked_by(&self, b: &ProcessSet) -> bool {
+        match self {
+            SliceFamily::Explicit(slices) => slices.iter().all(|s| !s.is_disjoint(b)),
+            SliceFamily::AllSubsets { of, size } => {
+                // Every size-subset of `of` intersects b ⟺ it is impossible
+                // to pick `size` members avoiding b ⟺ |of \ b| < size.
+                // (If size > |of| there are no slices: vacuously blocked.)
+                of.difference(b).len() < *size
+            }
+        }
+    }
+
+    /// The union of all slices — the processes this family refers to. For
+    /// a process `i` with participant detector `PD_i`, the paper assumes
+    /// this union equals `Π_i` (Section III-D).
+    pub fn members(&self) -> ProcessSet {
+        match self {
+            SliceFamily::Explicit(slices) => {
+                let mut m = ProcessSet::new();
+                for s in slices {
+                    m.union_with(s);
+                }
+                m
+            }
+            SliceFamily::AllSubsets { of, size } => {
+                if *size == 0 || *size > of.len() {
+                    ProcessSet::new()
+                } else {
+                    of.clone()
+                }
+            }
+        }
+    }
+
+    /// Number of slices in the family (`C(|of|, size)` for the symbolic
+    /// form, saturating at `usize::MAX`).
+    pub fn slice_count(&self) -> usize {
+        match self {
+            SliceFamily::Explicit(slices) => slices.len(),
+            SliceFamily::AllSubsets { of, size } => binomial_saturating(of.len(), *size),
+        }
+    }
+
+    /// Returns `true` if the family has at least one slice.
+    pub fn has_slices(&self) -> bool {
+        match self {
+            SliceFamily::Explicit(slices) => !slices.is_empty(),
+            SliceFamily::AllSubsets { of, size } => *size <= of.len(),
+        }
+    }
+
+    /// The size of the smallest slice, or `None` if the family is empty.
+    pub fn min_slice_size(&self) -> Option<usize> {
+        match self {
+            SliceFamily::Explicit(slices) => slices.iter().map(ProcessSet::len).min(),
+            SliceFamily::AllSubsets { of, size } => (*size <= of.len()).then_some(*size),
+        }
+    }
+
+    /// Materializes the family into an explicit list of slices.
+    ///
+    /// Returns `None` if the family has more than `limit` slices — callers
+    /// must opt into the combinatorial cost.
+    pub fn enumerate(&self, limit: usize) -> Option<Vec<ProcessSet>> {
+        if self.slice_count() > limit {
+            return None;
+        }
+        match self {
+            SliceFamily::Explicit(slices) => Some(slices.clone()),
+            SliceFamily::AllSubsets { of, size } => {
+                if *size > of.len() {
+                    // Unsatisfiable family: zero slices.
+                    return Some(Vec::new());
+                }
+                let ids = of.to_vec();
+                let mut out = Vec::new();
+                let mut current = Vec::new();
+                subsets_of_size(&ids, *size, 0, &mut current, &mut out);
+                Some(out)
+            }
+        }
+    }
+}
+
+fn subsets_of_size(
+    ids: &[scup_graph::ProcessId],
+    size: usize,
+    start: usize,
+    current: &mut Vec<scup_graph::ProcessId>,
+    out: &mut Vec<ProcessSet>,
+) {
+    if current.len() == size {
+        out.push(current.iter().copied().collect());
+        return;
+    }
+    let needed = size - current.len();
+    for idx in start..=ids.len().saturating_sub(needed) {
+        current.push(ids[idx]);
+        subsets_of_size(ids, size, idx + 1, current, out);
+        current.pop();
+    }
+}
+
+fn binomial_saturating(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
+}
+
+impl fmt::Debug for SliceFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceFamily::Explicit(slices) => {
+                write!(f, "{{")?;
+                for (i, s) in slices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, "}}")
+            }
+            SliceFamily::AllSubsets { of, size } => {
+                write!(f, "all {size}-subsets of {of}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_has_slice_within() {
+        let f = SliceFamily::explicit([
+            ProcessSet::from_ids([1, 2]),
+            ProcessSet::from_ids([3]),
+        ]);
+        assert!(f.has_slice_within(&ProcessSet::from_ids([1, 2, 9])));
+        assert!(f.has_slice_within(&ProcessSet::from_ids([3])));
+        assert!(!f.has_slice_within(&ProcessSet::from_ids([1, 9])));
+    }
+
+    #[test]
+    fn symbolic_matches_enumerated() {
+        let of = ProcessSet::from_ids([0, 1, 2, 3, 4]);
+        let f = SliceFamily::all_subsets(of.clone(), 3);
+        let enumerated = SliceFamily::explicit(f.enumerate(100).unwrap());
+        // Compare on a range of query sets.
+        for q_bits in 0u32..64 {
+            let q: ProcessSet = (0..6u32)
+                .filter(|b| q_bits & (1 << b) != 0)
+                .map(scup_graph::ProcessId::new)
+                .collect();
+            assert_eq!(
+                f.has_slice_within(&q),
+                enumerated.has_slice_within(&q),
+                "q = {q}"
+            );
+            assert_eq!(
+                f.is_v_blocked_by(&q),
+                enumerated.is_v_blocked_by(&q),
+                "blocking, q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_family_blocks_everything_and_joins_nothing() {
+        let f = SliceFamily::empty();
+        assert!(!f.has_slice_within(&ProcessSet::from_ids([0, 1, 2])));
+        assert!(f.is_v_blocked_by(&ProcessSet::new()));
+        assert!(!f.has_slices());
+        assert_eq!(f.min_slice_size(), None);
+        assert!(f.members().is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_all_subsets() {
+        let f = SliceFamily::all_subsets(ProcessSet::from_ids([0, 1]), 3);
+        assert!(!f.has_slices());
+        assert!(!f.has_slice_within(&ProcessSet::from_ids([0, 1, 2, 3])));
+        assert!(f.is_v_blocked_by(&ProcessSet::new()));
+        assert_eq!(f.slice_count(), 0);
+        assert!(f.members().is_empty());
+    }
+
+    #[test]
+    fn zero_size_slices_are_always_satisfied() {
+        let f = SliceFamily::all_subsets(ProcessSet::from_ids([0, 1]), 0);
+        assert!(f.has_slice_within(&ProcessSet::new()));
+        // The empty slice is disjoint from everything: nothing v-blocks.
+        assert!(!f.is_v_blocked_by(&ProcessSet::from_ids([0, 1])));
+    }
+
+    #[test]
+    fn v_blocking_explicit() {
+        let f = SliceFamily::explicit([
+            ProcessSet::from_ids([1, 2]),
+            ProcessSet::from_ids([2, 3]),
+        ]);
+        assert!(f.is_v_blocked_by(&ProcessSet::from_ids([2])));
+        assert!(f.is_v_blocked_by(&ProcessSet::from_ids([1, 3])));
+        assert!(!f.is_v_blocked_by(&ProcessSet::from_ids([1])));
+    }
+
+    #[test]
+    fn v_blocking_symbolic() {
+        // All 2-subsets of {0,1,2}: {0,1},{0,2},{1,2}. Blocking needs to hit
+        // each, i.e. leave fewer than 2 members free.
+        let f = SliceFamily::all_subsets(ProcessSet::from_ids([0, 1, 2]), 2);
+        assert!(f.is_v_blocked_by(&ProcessSet::from_ids([0, 1])));
+        assert!(!f.is_v_blocked_by(&ProcessSet::from_ids([0])));
+    }
+
+    #[test]
+    fn slice_count_binomial() {
+        let f = SliceFamily::all_subsets(ProcessSet::full(10), 4);
+        assert_eq!(f.slice_count(), 210);
+        let big = SliceFamily::all_subsets(ProcessSet::full(200), 100);
+        assert_eq!(big.slice_count(), usize::MAX);
+        assert_eq!(big.enumerate(1_000_000), None);
+    }
+
+    #[test]
+    fn members_unions_slices() {
+        let f = SliceFamily::explicit([
+            ProcessSet::from_ids([1, 2]),
+            ProcessSet::from_ids([4]),
+        ]);
+        assert_eq!(f.members(), ProcessSet::from_ids([1, 2, 4]));
+        let g = SliceFamily::all_subsets(ProcessSet::from_ids([5, 6]), 1);
+        assert_eq!(g.members(), ProcessSet::from_ids([5, 6]));
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let f = SliceFamily::all_subsets(ProcessSet::full(6), 3);
+        assert_eq!(f.slice_count(), 20);
+        assert!(f.enumerate(19).is_none());
+        let slices = f.enumerate(20).unwrap();
+        assert_eq!(slices.len(), 20);
+        assert!(slices.iter().all(|s| s.len() == 3));
+    }
+}

@@ -1,0 +1,110 @@
+use std::fmt;
+
+use scup_graph::{ProcessId, ProcessSet};
+
+use crate::SliceFamily;
+
+/// A Federated Byzantine Quorum System: one [`SliceFamily`] per process.
+///
+/// This is the *declared* view of the system — the slices processes claim
+/// in their messages. Byzantine processes may declare arbitrary slices (the
+/// paper notes they "can define \[their\] slices arbitrarily"); protocol-level
+/// equivocation about slices is modeled in the simulation crates, while this
+/// structure supports the global analyses of Sections IV–V.
+///
+/// # Example
+///
+/// ```
+/// use scup_fbqs::{Fbqs, SliceFamily};
+/// use scup_graph::ProcessSet;
+///
+/// let sys = Fbqs::new(vec![
+///     SliceFamily::explicit([ProcessSet::from_ids([1])]),
+///     SliceFamily::explicit([ProcessSet::from_ids([0])]),
+/// ]);
+/// assert_eq!(sys.n(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Fbqs {
+    families: Vec<SliceFamily>,
+}
+
+impl Fbqs {
+    /// Creates a system from per-process slice families; process `i` gets
+    /// `families[i]`.
+    pub fn new(families: Vec<SliceFamily>) -> Self {
+        Fbqs { families }
+    }
+
+    /// Number of processes `|Π|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.families.len()
+    }
+
+    /// The slice family `S_i` of process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn slices(&self, i: ProcessId) -> &SliceFamily {
+        &self.families[i.index()]
+    }
+
+    /// Replaces the slice family of process `i` (used by adversaries and by
+    /// incremental slice-building protocols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_slices(&mut self, i: ProcessId, family: SliceFamily) {
+        self.families[i.index()] = family;
+    }
+
+    /// Iterates over all process ids.
+    pub fn processes(&self) -> impl ExactSizeIterator<Item = ProcessId> + '_ {
+        (0..self.n() as u32).map(ProcessId::new)
+    }
+
+    /// The full process set `Π`.
+    pub fn universe(&self) -> ProcessSet {
+        ProcessSet::full(self.n())
+    }
+
+    /// `Π_i`: the processes referenced by `i`'s slices (the paper assumes
+    /// `⋃ S_i = Π_i`).
+    pub fn known_by(&self, i: ProcessId) -> ProcessSet {
+        self.slices(i).members()
+    }
+}
+
+impl fmt::Debug for Fbqs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fbqs(n={})", self.n())?;
+        for i in self.processes() {
+            writeln!(f, "  S_{} = {:?}", i.as_u32(), self.slices(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut sys = Fbqs::new(vec![
+            SliceFamily::explicit([ProcessSet::from_ids([1, 2])]),
+            SliceFamily::empty(),
+            SliceFamily::all_subsets(ProcessSet::from_ids([0, 1]), 1),
+        ]);
+        assert_eq!(sys.n(), 3);
+        assert_eq!(sys.universe(), ProcessSet::full(3));
+        assert_eq!(sys.known_by(ProcessId::new(0)), ProcessSet::from_ids([1, 2]));
+        assert_eq!(sys.known_by(ProcessId::new(2)), ProcessSet::from_ids([0, 1]));
+        sys.set_slices(ProcessId::new(1), SliceFamily::explicit([ProcessSet::from_ids([0])]));
+        assert!(sys.slices(ProcessId::new(1)).has_slices());
+    }
+}

@@ -1,0 +1,96 @@
+//! v-blocking sets.
+//!
+//! A set `B` is **v-blocking** for a process `i` when `B` intersects every
+//! slice of `i`. v-blocking sets play two roles:
+//!
+//! - *safety-negative*: if all members of some v-blocking set of `i` are
+//!   faulty, `i` can be prevented from using any slice (the quantitative
+//!   form of the paper's Lemma 2 — `i` needs at least one all-correct
+//!   slice);
+//! - *protocol-positive*: in SCP's federated voting, a statement asserted by
+//!   a v-blocking set of `i` can be *accepted* by `i` even without a quorum,
+//!   since at least one correct trusted process stands behind it.
+
+use scup_graph::{ProcessId, ProcessSet};
+
+use crate::Fbqs;
+
+/// Returns `true` if `b` is v-blocking for process `i` in `sys`.
+pub fn is_v_blocking(sys: &Fbqs, i: ProcessId, b: &ProcessSet) -> bool {
+    sys.slices(i).is_v_blocked_by(b)
+}
+
+/// Lemma 2 (quantified): returns `true` iff process `i` keeps at least one
+/// slice fully inside `correct` — equivalently, the faulty set is *not*
+/// v-blocking for `i`.
+pub fn has_correct_slice(sys: &Fbqs, i: ProcessId, correct: &ProcessSet) -> bool {
+    sys.slices(i).has_slice_within(correct)
+}
+
+/// Returns the processes for which `b` is v-blocking.
+pub fn blocked_processes(sys: &Fbqs, b: &ProcessSet) -> ProcessSet {
+    sys.processes().filter(|&i| is_v_blocking(sys, i, b)).collect()
+}
+
+/// Lemma 2 as a system-wide check: every process in `members` must have at
+/// least one slice composed entirely of processes in `correct`. Returns the
+/// first violator, or `None` if the requirement holds.
+pub fn find_member_without_correct_slice(
+    sys: &Fbqs,
+    members: &ProcessSet,
+    correct: &ProcessSet,
+) -> Option<ProcessId> {
+    members.iter().find(|&i| !has_correct_slice(sys, i, correct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn fig1_correct_slices_survive_f8() {
+        // With F = {8}, every correct process of the paper's example keeps a
+        // fully correct slice (Lemma 2 is satisfiable).
+        let sys = paper::fig1_system();
+        let w = paper::fig1_correct();
+        assert_eq!(find_member_without_correct_slice(&sys, &w, &w), None);
+    }
+
+    #[test]
+    fn faulty_set_blocks_single_slice_processes() {
+        let sys = paper::fig1_system();
+        // S2 = {{4}} (0-based {3}): the set {3} is v-blocking for process 1.
+        assert!(is_v_blocking(&sys, p(1), &ProcessSet::from_ids([3])));
+        // S5 = {{6,7}} (0-based {{5,6}}): {5} blocks, {3} does not.
+        assert!(is_v_blocking(&sys, p(4), &ProcessSet::from_ids([5])));
+        assert!(!is_v_blocking(&sys, p(4), &ProcessSet::from_ids([3])));
+    }
+
+    #[test]
+    fn blocked_processes_of_sink_core() {
+        let sys = paper::fig1_system();
+        // Every correct process' slices lean on the sink core {4,5,6}:
+        // blocking all three blocks everyone (including 7, vacuously).
+        let b = ProcessSet::from_ids([4, 5, 6]);
+        let blocked = blocked_processes(&sys, &b);
+        assert!(blocked.is_superset(&ProcessSet::from_ids([2, 3, 4, 5, 6, 7])));
+    }
+
+    #[test]
+    fn lemma2_violation_detected() {
+        let sys = paper::fig1_system();
+        // If 4 (paper 5) were faulty too, process 3 (paper 4) with slices
+        // {{4,5},{5,7}} — 0-based — keeps {4,5}... make correct exclude 5:
+        // then S4's slices {4,5} and {5,7} both die.
+        let correct = ProcessSet::from_ids([0, 1, 2, 3, 4, 6]);
+        assert_eq!(
+            find_member_without_correct_slice(&sys, &correct, &correct),
+            Some(p(3))
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for `scup-fbqs`.
+//!
+//! Invariants checked on random slice systems:
+//! - symbolic (`AllSubsets`) and enumerated families agree on every query;
+//! - the quorum closure is a quorum (or empty), is contained in its input,
+//!   is a fixed point, and contains every quorum inside the input;
+//! - unions of quorums are quorums;
+//! - v-blocking and `has_slice_within` are complementary through the
+//!   correct/faulty partition.
+
+use proptest::prelude::*;
+use scup_fbqs::{quorum, Fbqs, SliceFamily};
+use scup_graph::{ProcessId, ProcessSet};
+
+const N: usize = 8;
+
+fn arb_subset(n: usize) -> impl Strategy<Value = ProcessSet> {
+    proptest::collection::vec(proptest::bool::ANY, n).prop_map(|bits| {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| ProcessId::new(i as u32))
+            .collect()
+    })
+}
+
+fn arb_family(n: usize) -> impl Strategy<Value = SliceFamily> {
+    prop_oneof![
+        proptest::collection::vec(arb_subset(n), 0..4).prop_map(SliceFamily::explicit),
+        (arb_subset(n), 0usize..=n).prop_map(|(of, size)| SliceFamily::all_subsets(of, size)),
+    ]
+}
+
+fn arb_system() -> impl Strategy<Value = Fbqs> {
+    proptest::collection::vec(arb_family(N), N).prop_map(Fbqs::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn symbolic_and_enumerated_agree(of in arb_subset(N), size in 0usize..=N, q in arb_subset(N), b in arb_subset(N)) {
+        let sym = SliceFamily::all_subsets(of.clone(), size);
+        let slices = sym.enumerate(usize::MAX).expect("small family");
+        let exp = SliceFamily::explicit(slices);
+        prop_assert_eq!(sym.has_slice_within(&q), exp.has_slice_within(&q));
+        prop_assert_eq!(sym.is_v_blocked_by(&b), exp.is_v_blocked_by(&b));
+        prop_assert_eq!(sym.slice_count(), exp.slice_count());
+        prop_assert_eq!(sym.min_slice_size(), exp.min_slice_size());
+        prop_assert_eq!(sym.members(), exp.members());
+    }
+
+    #[test]
+    fn closure_properties(sys in arb_system(), u in arb_subset(N)) {
+        let c = quorum::quorum_closure(&sys, &u);
+        prop_assert!(c.is_subset(&u), "closure shrinks");
+        prop_assert!(c.is_empty() || quorum::is_quorum(&sys, &c), "closure is a quorum");
+        prop_assert_eq!(quorum::quorum_closure(&sys, &c).clone(), c.clone(), "closure is idempotent");
+        // Closure contains every quorum inside u.
+        if let Some(quorums) = quorum::enumerate_quorums(&sys, &u, 1 << N) {
+            for q in quorums {
+                prop_assert!(q.is_subset(&c), "quorum {} escapes closure {}", q, c);
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_quorums_is_quorum(sys in arb_system(), a in arb_subset(N), b in arb_subset(N)) {
+        let qa = quorum::quorum_closure(&sys, &a);
+        let qb = quorum::quorum_closure(&sys, &b);
+        if !qa.is_empty() && !qb.is_empty() {
+            prop_assert!(quorum::is_quorum(&sys, &qa.union(&qb)));
+        }
+    }
+
+    #[test]
+    fn minimal_quorum_is_minimal(sys in arb_system(), u in arb_subset(N)) {
+        for i in &u {
+            if let Some(q) = quorum::minimal_quorum_of_within(&sys, i, &u) {
+                prop_assert!(quorum::is_quorum_for(&sys, &q, i));
+                // No single-member removal (followed by closure) retains i.
+                for v in &q {
+                    if v == i { continue; }
+                    let mut trial = q.clone();
+                    trial.remove(v);
+                    let closed = quorum::quorum_closure(&sys, &trial);
+                    prop_assert!(!(closed.contains(i) && closed.len() < q.len()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_complements_correct_slices(family in arb_family(N), correct in arb_subset(N)) {
+        let faulty = ProcessSet::full(N).difference(&correct);
+        // has_slice_within(correct) ⟺ faulty is NOT v-blocking, provided all
+        // slices only mention processes 0..N.
+        prop_assert_eq!(
+            family.has_slice_within(&correct),
+            !family.is_v_blocked_by(&faulty)
+        );
+    }
+
+    #[test]
+    fn is_quorum_matches_definition(sys in arb_system(), q in arb_subset(N)) {
+        let expected = !q.is_empty()
+            && q.iter().all(|i| sys.slices(i).has_slice_within(&q));
+        prop_assert_eq!(quorum::is_quorum(&sys, &q), expected);
+    }
+}

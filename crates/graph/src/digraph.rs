@@ -1,0 +1,297 @@
+use std::fmt;
+
+use crate::{GraphError, ProcessId, ProcessSet};
+
+/// A directed graph over the contiguous vertex set `{0, 1, ..., n-1}`.
+///
+/// Adjacency is stored as [`ProcessSet`]s in both directions, so masked
+/// traversals (`G \ F` style restrictions, ubiquitous in Definitions 6–7)
+/// are word-parallel intersections rather than per-edge filtering.
+///
+/// Self-loops are rejected: in a knowledge connectivity graph (Definition 5)
+/// the edge `(i, j)` means *`i` knows `j`*, and participant detectors never
+/// report the querying process itself.
+///
+/// # Example
+///
+/// ```
+/// use scup_graph::{DiGraph, ProcessId, ProcessSet};
+///
+/// let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.has_edge(ProcessId::new(0), ProcessId::new(1)));
+/// assert_eq!(*g.successors(ProcessId::new(1)), ProcessSet::from_ids([2]));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    succ: Vec<ProcessSet>,
+    pred: Vec<ProcessSet>,
+    edges: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            succ: vec![ProcessSet::new(); n],
+            pred: vec![ProcessSet::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` vertices and the given raw edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n` or any edge is a self-loop.
+    pub fn from_edges<I: IntoIterator<Item = (u32, u32)>>(n: usize, edges: I) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(ProcessId::new(u), ProcessId::new(v));
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Iterates over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = ProcessId> + '_ {
+        (0..self.vertex_count() as u32).map(ProcessId::new)
+    }
+
+    /// The full vertex set as a [`ProcessSet`].
+    pub fn vertex_set(&self) -> ProcessSet {
+        ProcessSet::full(self.vertex_count())
+    }
+
+    /// Adds the edge `u → v`, returning `true` if it was not already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is out of
+    /// range, and [`GraphError::SelfLoop`] if `u == v`.
+    pub fn try_add_edge(&mut self, u: ProcessId, v: ProcessId) -> Result<bool, GraphError> {
+        let n = self.vertex_count();
+        for id in [u, v] {
+            if id.index() >= n {
+                return Err(GraphError::VertexOutOfRange { id, n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { id: u });
+        }
+        let fresh = self.succ[u.index()].insert(v);
+        if fresh {
+            self.pred[v.index()].insert(u);
+            self.edges += 1;
+        }
+        Ok(fresh)
+    }
+
+    /// Adds the edge `u → v`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops; use
+    /// [`DiGraph::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, u: ProcessId, v: ProcessId) -> bool {
+        match self.try_add_edge(u, v) {
+            Ok(fresh) => fresh,
+            Err(e) => panic!("add_edge({u}, {v}): {e}"),
+        }
+    }
+
+    /// Returns `true` if the edge `u → v` exists.
+    pub fn has_edge(&self, u: ProcessId, v: ProcessId) -> bool {
+        self.succ.get(u.index()).is_some_and(|s| s.contains(v))
+    }
+
+    /// The out-neighborhood of `u` (the processes `u` knows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn successors(&self, u: ProcessId) -> &ProcessSet {
+        &self.succ[u.index()]
+    }
+
+    /// The in-neighborhood of `u` (the processes that know `u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn predecessors(&self, u: ProcessId) -> &ProcessSet {
+        &self.pred[u.index()]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: ProcessId) -> usize {
+        self.succ[u.index()].len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: ProcessId) -> usize {
+        self.pred[u.index()].len()
+    }
+
+    /// Iterates over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.successors(u).iter().map(move |v| (u, v)))
+    }
+
+    /// Returns the graph with every edge reversed.
+    pub fn reverse(&self) -> DiGraph {
+        DiGraph {
+            succ: self.pred.clone(),
+            pred: self.succ.clone(),
+            edges: self.edges,
+        }
+    }
+
+    /// Returns the symmetric closure: the undirected graph `G` obtained from
+    /// `G_di` (Section III-E), represented as a digraph with edges in both
+    /// directions.
+    pub fn to_undirected(&self) -> DiGraph {
+        let mut g = self.clone();
+        for u in self.vertices() {
+            let preds = self.predecessors(u).clone();
+            for v in &preds {
+                if !g.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Returns the subgraph induced by `keep`, with the *same* vertex
+    /// numbering (vertices outside `keep` become isolated).
+    ///
+    /// This realizes `G \ F` from Definition 7 with `keep = V \ F`, without
+    /// renumbering — all algorithms in this crate accept a `within` mask, so
+    /// this is mostly a convenience for display and tests.
+    pub fn induced(&self, keep: &ProcessSet) -> DiGraph {
+        let mut g = DiGraph::new(self.vertex_count());
+        for u in self.vertices() {
+            if !keep.contains(u) {
+                continue;
+            }
+            for v in &self.successors(u).intersection(keep) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DiGraph(n={}, m={})", self.vertex_count(), self.edge_count())?;
+        for u in self.vertices() {
+            if !self.successors(u).is_empty() {
+                writeln!(f, "  {} -> {}", u, self.successors(u))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = DiGraph::new(4);
+        assert!(g.add_edge(p(0), p(1)));
+        assert!(!g.add_edge(p(0), p(1)));
+        assert!(g.has_edge(p(0), p(1)));
+        assert!(!g.has_edge(p(1), p(0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_degree(p(0)), 1);
+        assert_eq!(g.in_degree(p(1)), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_out_of_range() {
+        let mut g = DiGraph::new(2);
+        assert_eq!(
+            g.try_add_edge(p(0), p(0)),
+            Err(GraphError::SelfLoop { id: p(0) })
+        );
+        assert_eq!(
+            g.try_add_edge(p(0), p(5)),
+            Err(GraphError::VertexOutOfRange { id: p(5), n: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn add_edge_panics_on_self_loop() {
+        DiGraph::new(1).add_edge(p(0), p(0));
+    }
+
+    #[test]
+    fn reverse_swaps_directions() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = g.reverse();
+        assert!(r.has_edge(p(1), p(0)));
+        assert!(r.has_edge(p(2), p(1)));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn to_undirected_symmetrizes() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let u = g.to_undirected();
+        assert!(u.has_edge(p(1), p(0)));
+        assert!(u.has_edge(p(0), p(1)));
+        assert!(u.has_edge(p(2), p(1)));
+        assert_eq!(u.edge_count(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_numbering() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let keep = ProcessSet::from_ids([0, 1, 2]);
+        let s = g.induced(&keep);
+        assert!(s.has_edge(p(0), p(1)));
+        assert!(s.has_edge(p(1), p(2)));
+        assert!(!s.has_edge(p(2), p(3)));
+        assert!(!s.has_edge(p(3), p(0)));
+        assert_eq!(s.vertex_count(), 4);
+        assert_eq!(s.edge_count(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_enumerates_all() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2), (2, 1)]);
+        let mut es: Vec<_> = g.edges().map(|(a, b)| (a.as_u32(), b.as_u32())).collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn vertex_set_is_full_range() {
+        let g = DiGraph::new(5);
+        assert_eq!(g.vertex_set(), ProcessSet::full(5));
+    }
+}

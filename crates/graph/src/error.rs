@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::ProcessId;
+
+/// Errors produced when constructing or mutating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was outside the graph's `0..n` vertex range.
+    VertexOutOfRange {
+        /// The offending id.
+        id: ProcessId,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(i, i)` was rejected: in a knowledge connectivity graph a
+    /// process's participant detector never reports the process itself.
+    SelfLoop {
+        /// The vertex at both endpoints.
+        id: ProcessId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { id, n } => {
+                write!(f, "vertex {id} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { id } => {
+                write!(f, "self-loop on {id} rejected: participant detectors never report the process itself")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfRange {
+            id: ProcessId::new(9),
+            n: 4,
+        };
+        assert_eq!(e.to_string(), "vertex p9 out of range for graph with 4 vertices");
+        let e = GraphError::SelfLoop { id: ProcessId::new(2) };
+        assert!(e.to_string().contains("self-loop on p2"));
+    }
+}

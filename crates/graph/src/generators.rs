@@ -1,0 +1,377 @@
+//! Knowledge-connectivity graph generators.
+//!
+//! Includes the paper's two concrete graphs (Fig. 1 and Fig. 2), a
+//! generalized counterexample family for Theorem 2, seeded random `k`-OSR
+//! graphs for simulation and benchmarking, and small structural helpers.
+//!
+//! All ids are 0-based; the paper's figures use 1-based labels, so the
+//! paper's process `k` is id `k - 1` here.
+
+use rand::seq::IteratorRandom;
+use rand::{Rng, RngExt as _};
+
+use crate::{kosr, DiGraph, KnowledgeGraph, ProcessId, ProcessSet};
+
+/// The 8-participant knowledge connectivity graph of **Fig. 1**.
+///
+/// Participant detectors (paper labels): `PD_1 = {2,5}`, `PD_2 = {4}`,
+/// `PD_3 = {5,7}`, `PD_4 = {5,6,8}`, `PD_5 = {6,7}`, `PD_6 = {5,7,8}`,
+/// `PD_7 = {5,6,8}`, `PD_8 = {6,7}`. The sink component is `{5,6,7,8}`
+/// (ids `{4,5,6,7}`).
+pub fn fig1() -> KnowledgeGraph {
+    KnowledgeGraph::from_paper_pds(
+        8,
+        &[
+            (1, &[2, 5]),
+            (2, &[4]),
+            (3, &[5, 7]),
+            (4, &[5, 6, 8]),
+            (5, &[6, 7]),
+            (6, &[5, 7, 8]),
+            (7, &[5, 6, 8]),
+            (8, &[6, 7]),
+        ],
+    )
+}
+
+/// The 7-participant graph of **Fig. 2**, used as the counterexample in
+/// Theorem 2.
+///
+/// Participant detectors (paper labels): `PD_1 = {2,3,4}`, `PD_2 = {1,3,4}`,
+/// `PD_3 = {1,2,4}`, `PD_4 = {1,2,3}`, `PD_5 = {1,6,7}`, `PD_6 = {4,5,7}`,
+/// `PD_7 = {3,5,6}`. This graph is 3-OSR with sink `{1,2,3,4}`
+/// (ids `{0,1,2,3}`), yet locally defined slices admit the two disjoint
+/// quorums `{5,6,7}` and `{1,2,3,4}`.
+pub fn fig2() -> KnowledgeGraph {
+    KnowledgeGraph::from_paper_pds(
+        7,
+        &[
+            (1, &[2, 3, 4]),
+            (2, &[1, 3, 4]),
+            (3, &[1, 2, 4]),
+            (4, &[1, 2, 3]),
+            (5, &[1, 6, 7]),
+            (6, &[4, 5, 7]),
+            (7, &[3, 5, 6]),
+        ],
+    )
+}
+
+/// A generalized Fig. 2 counterexample family.
+///
+/// The sink is a complete digraph on ids `0..sink_size`; `outer_size`
+/// non-sink processes `s, s+1, ..., s+r-1` sit on a directed cycle where
+/// each outer process knows the next two outer processes and one sink
+/// member. For `sink_size ≥ 3` and `outer_size ≥ 3` the result is 2-OSR,
+/// and with `f = 1` the locally defined slices of Theorem 2 yield two
+/// disjoint quorums (the whole sink, and the whole outer ring).
+///
+/// # Panics
+///
+/// Panics if `sink_size < 3` or `outer_size < 3`.
+pub fn fig2_family(sink_size: usize, outer_size: usize) -> KnowledgeGraph {
+    assert!(sink_size >= 3, "sink must have at least 3 members");
+    assert!(outer_size >= 3, "outer ring must have at least 3 members");
+    let s = sink_size;
+    let r = outer_size;
+    let mut g = DiGraph::new(s + r);
+    // Complete sink.
+    for u in 0..s {
+        for v in 0..s {
+            if u != v {
+                g.add_edge(ProcessId::new(u as u32), ProcessId::new(v as u32));
+            }
+        }
+    }
+    // Outer ring: o_i knows o_{i+1}, o_{i+2} and sink member i mod s.
+    for i in 0..r {
+        let o = |j: usize| ProcessId::new((s + j % r) as u32);
+        g.add_edge(o(i), o(i + 1));
+        g.add_edge(o(i), o(i + 2));
+        g.add_edge(o(i), ProcessId::new((i % s) as u32));
+    }
+    KnowledgeGraph::from_graph(g)
+}
+
+/// A complete digraph on `n` vertices (every process knows every other).
+pub fn complete(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                g.add_edge(ProcessId::new(u as u32), ProcessId::new(v as u32));
+            }
+        }
+    }
+    g
+}
+
+/// A directed cycle `0 → 1 → ... → n-1 → 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn cycle(n: usize) -> DiGraph {
+    assert!(n >= 2, "cycle needs at least 2 vertices");
+    DiGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+}
+
+/// The circulant digraph `C(n; 1..=k)`: vertex `i` has edges to
+/// `i+1, ..., i+k (mod n)`. For `n > k` this graph is `k`-strongly
+/// connected, which makes it the canonical sink skeleton for random `k`-OSR
+/// graphs.
+///
+/// # Panics
+///
+/// Panics if `n <= k` or `k == 0`.
+pub fn circulant(n: usize, k: usize) -> DiGraph {
+    assert!(k >= 1, "circulant needs k >= 1");
+    assert!(n > k, "circulant needs n > k");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in 1..=k {
+            g.add_edge(ProcessId::new(i as u32), ProcessId::new(((i + j) % n) as u32));
+        }
+    }
+    g
+}
+
+/// Configuration for [`random_kosr`].
+#[derive(Debug, Clone)]
+pub struct KosrConfig {
+    /// Number of sink members (ids `0..sink_size`).
+    pub sink_size: usize,
+    /// Number of non-sink members (ids `sink_size..sink_size+nonsink_size`).
+    pub nonsink_size: usize,
+    /// Connectivity parameter `k` of Definition 6.
+    pub k: usize,
+    /// Probability of adding each candidate extra knowledge edge
+    /// (non-sink → anyone, sink → sink); adds realism without breaking
+    /// any `k`-OSR condition.
+    pub extra_edge_prob: f64,
+}
+
+impl KosrConfig {
+    /// A configuration with the given sizes and `k`, no extra edges.
+    pub fn new(sink_size: usize, nonsink_size: usize, k: usize) -> Self {
+        KosrConfig {
+            sink_size,
+            nonsink_size,
+            k,
+            extra_edge_prob: 0.0,
+        }
+    }
+
+    /// Sets the extra-edge probability.
+    pub fn with_extra_edges(mut self, p: f64) -> Self {
+        self.extra_edge_prob = p;
+        self
+    }
+
+    /// Total number of processes.
+    pub fn n(&self) -> usize {
+        self.sink_size + self.nonsink_size
+    }
+}
+
+/// Generates a random `k`-OSR knowledge connectivity graph (Definition 6).
+///
+/// Construction: the sink is the circulant `C(sink_size; 1..=k)` (hence
+/// `k`-strongly connected); every non-sink process knows `k` distinct
+/// uniformly chosen sink members (hence `k` node-disjoint paths to every
+/// sink member, by the directed fan lemma), plus random extra edges per
+/// [`KosrConfig::extra_edge_prob`]. The result is `k`-OSR by construction;
+/// debug builds assert it.
+///
+/// # Panics
+///
+/// Panics if `sink_size <= k` or `k == 0`.
+pub fn random_kosr<R: Rng + ?Sized>(config: &KosrConfig, rng: &mut R) -> KnowledgeGraph {
+    let s = config.sink_size;
+    let n = config.n();
+    let k = config.k;
+    let mut g = crate::DiGraph::new(n);
+
+    // Sink skeleton.
+    let skeleton = circulant(s, k);
+    for (u, v) in skeleton.edges() {
+        g.add_edge(u, v);
+    }
+
+    // Non-sink processes: k distinct sink contacts each.
+    for v in s..n {
+        let contacts = (0..s as u32).sample(rng, k);
+        for c in contacts {
+            g.add_edge(ProcessId::new(v as u32), ProcessId::new(c));
+        }
+    }
+
+    // Extra knowledge edges that cannot break k-OSR: from sink only to
+    // sink; from non-sink to anyone.
+    if config.extra_edge_prob > 0.0 {
+        for u in 0..n {
+            let limit = if u < s { s } else { n };
+            for v in 0..limit {
+                if u != v
+                    && !g.has_edge(ProcessId::new(u as u32), ProcessId::new(v as u32))
+                    && rng.random_bool(config.extra_edge_prob)
+                {
+                    g.add_edge(ProcessId::new(u as u32), ProcessId::new(v as u32));
+                }
+            }
+        }
+    }
+
+    debug_assert!(
+        kosr::is_k_osr(&g, k),
+        "random_kosr construction must be {k}-OSR"
+    );
+    KnowledgeGraph::from_graph(g)
+}
+
+/// Generates a random knowledge graph that is **Byzantine-safe**
+/// (Definition 7) for a randomly drawn failure set of size `f`, together
+/// with that failure set, satisfying Theorem 1's premise.
+///
+/// The graph is built with redundancy `2f + 1` (sink circulant
+/// `C(·; 1..=2f+1)`, `2f + 1` sink contacts per non-sink process), so after
+/// removing any `f` vertices at least `f + 1` disjoint paths survive and the
+/// sink stays `(f+1)`-strongly connected. The sink keeps at least `2f + 1`
+/// correct members.
+///
+/// # Panics
+///
+/// Panics if `sink_size < 3f + 2` (needed for `2f+1` correct members plus a
+/// `(2f+1)`-connected circulant after up to `f` sink failures).
+pub fn random_byzantine_safe<R: Rng + ?Sized>(
+    sink_size: usize,
+    nonsink_size: usize,
+    f: usize,
+    rng: &mut R,
+) -> (KnowledgeGraph, ProcessSet) {
+    assert!(
+        sink_size >= 3 * f + 2,
+        "sink_size must be at least 3f + 2 = {}",
+        3 * f + 2
+    );
+    let config = KosrConfig::new(sink_size, nonsink_size, 2 * f + 1).with_extra_edges(0.05);
+    let kg = random_kosr(&config, rng);
+    let n = config.n();
+
+    // Draw f faulty processes, keeping at least 2f + 1 correct in the sink.
+    let mut faulty = ProcessSet::new();
+    let max_sink_faults = sink_size - (2 * f + 1);
+    let mut sink_faults = 0usize;
+    while faulty.len() < f {
+        let v = rng.random_range(0..n as u32);
+        let in_sink = (v as usize) < sink_size;
+        if in_sink && sink_faults >= max_sink_faults {
+            continue;
+        }
+        if faulty.insert(ProcessId::new(v)) && in_sink {
+            sink_faults += 1;
+        }
+    }
+    debug_assert!(kosr::satisfies_theorem1(kg.graph(), f, &faulty));
+    (kg, faulty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connectivity, sink};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_matches_paper_pds() {
+        let g = fig1();
+        assert_eq!(g.n(), 8);
+        // PD_1 = {2, 5} → pd(0) = {1, 4}.
+        assert_eq!(*g.pd(ProcessId::new(0)), ProcessSet::from_ids([1, 4]));
+        // PD_2 = {4} → pd(1) = {3}.
+        assert_eq!(*g.pd(ProcessId::new(1)), ProcessSet::from_ids([3]));
+        // PD_8 = {6, 7} → pd(7) = {5, 6}.
+        assert_eq!(*g.pd(ProcessId::new(7)), ProcessSet::from_ids([5, 6]));
+        // Sink is {5,6,7,8} → {4,5,6,7}.
+        assert_eq!(
+            sink::unique_sink(g.graph()),
+            Some(ProcessSet::from_ids([4, 5, 6, 7]))
+        );
+    }
+
+    #[test]
+    fn fig2_matches_paper_pds() {
+        let g = fig2();
+        assert_eq!(g.n(), 7);
+        assert_eq!(*g.pd(ProcessId::new(4)), ProcessSet::from_ids([0, 5, 6]));
+        assert_eq!(
+            sink::unique_sink(g.graph()),
+            Some(ProcessSet::from_ids([0, 1, 2, 3]))
+        );
+        // Paper: "This graph represents a 3-OSR PD".
+        assert!(kosr::is_k_osr(g.graph(), 3));
+    }
+
+    #[test]
+    fn fig2_family_is_2_osr() {
+        for (s, r) in [(3, 3), (4, 5), (5, 8)] {
+            let g = fig2_family(s, r);
+            assert!(
+                kosr::is_k_osr(g.graph(), 2),
+                "fig2_family({s}, {r}) must be 2-OSR"
+            );
+            assert_eq!(
+                sink::unique_sink(g.graph()).unwrap().len(),
+                s,
+                "sink must be the complete core"
+            );
+        }
+    }
+
+    #[test]
+    fn circulant_connectivity() {
+        for (n, k) in [(5, 1), (7, 2), (9, 3)] {
+            let g = circulant(n, k);
+            assert_eq!(
+                connectivity::strong_connectivity(&g, &g.vertex_set()),
+                k,
+                "C({n}; 1..={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn random_kosr_is_kosr_across_seeds() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = KosrConfig::new(7, 6, 2).with_extra_edges(0.2);
+            let g = random_kosr(&config, &mut rng);
+            assert!(kosr::is_k_osr(g.graph(), 2), "seed {seed}");
+            assert_eq!(sink::unique_sink(g.graph()), Some(ProcessSet::full(7)));
+        }
+    }
+
+    #[test]
+    fn random_byzantine_safe_satisfies_theorem1() {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, faulty) = random_byzantine_safe(5, 4, 1, &mut rng);
+            assert_eq!(faulty.len(), 1);
+            assert!(kosr::satisfies_theorem1(g.graph(), 1, &faulty), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn helpers_shapes() {
+        assert_eq!(complete(4).edge_count(), 12);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(circulant(6, 2).edge_count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink must have at least 3")]
+    fn fig2_family_validates() {
+        fig2_family(2, 5);
+    }
+}

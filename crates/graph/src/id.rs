@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Identifier of a process (participant) in the system.
+///
+/// Processes are numbered contiguously from `0` within a [`DiGraph`]. The
+/// paper's figures use 1-based labels; generators in [`generators`] document
+/// the shift (paper's process `k` is `ProcessId::new(k - 1)`).
+///
+/// [`DiGraph`]: crate::DiGraph
+/// [`generators`]: crate::generators
+///
+/// # Example
+///
+/// ```
+/// use scup_graph::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from its 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the 0-based index of this process as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ProcessId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+impl From<ProcessId> for u32 {
+    #[inline]
+    fn from(p: ProcessId) -> Self {
+        p.0
+    }
+}
+
+impl From<ProcessId> for usize {
+    #[inline]
+    fn from(p: ProcessId) -> Self {
+        p.index()
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = ProcessId::new(42);
+        assert_eq!(u32::from(p), 42);
+        assert_eq!(usize::from(p), 42);
+        assert_eq!(ProcessId::from(42u32), p);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(ProcessId::new(7), ProcessId::new(7));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", ProcessId::new(5)), "p5");
+        assert_eq!(format!("{:?}", ProcessId::new(5)), "p5");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ProcessId::default(), ProcessId::new(0));
+    }
+}

@@ -1,0 +1,167 @@
+use std::fmt;
+
+use crate::{DiGraph, ProcessId, ProcessSet};
+
+/// A knowledge connectivity graph `G_di` (Definition 5) together with its
+/// participant-detector view.
+///
+/// The vertex set is `Π = {0, ..., n-1}` and the edge `(i, j)` exists iff
+/// `j ∈ PD_i`, i.e. process `i` *initially knows* process `j`. The edge
+/// relation describes initial knowledge, **not** network connectivity: the
+/// underlying communication network is complete, but `i` may only address
+/// `j` if `i` knows `j` (Section III-A).
+///
+/// # Example
+///
+/// ```
+/// use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
+///
+/// // PD_0 = {1, 2}, PD_1 = {2}, PD_2 = {1}.
+/// let kg = KnowledgeGraph::from_pds(vec![
+///     ProcessSet::from_ids([1, 2]),
+///     ProcessSet::from_ids([2]),
+///     ProcessSet::from_ids([1]),
+/// ]);
+/// assert_eq!(*kg.pd(ProcessId::new(0)), ProcessSet::from_ids([1, 2]));
+/// assert_eq!(kg.n(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct KnowledgeGraph {
+    graph: DiGraph,
+}
+
+impl KnowledgeGraph {
+    /// Builds the knowledge graph from per-process participant detector
+    /// outputs: `pds[i]` is `PD_i`, the set of processes `i` initially knows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `PD_i` contains `i` itself or an id `>= pds.len()`.
+    pub fn from_pds(pds: Vec<ProcessSet>) -> Self {
+        let n = pds.len();
+        let mut graph = DiGraph::new(n);
+        for (i, pd) in pds.iter().enumerate() {
+            let i = ProcessId::new(i as u32);
+            for j in pd {
+                graph.add_edge(i, j);
+            }
+        }
+        KnowledgeGraph { graph }
+    }
+
+    /// Builds a knowledge graph from 1-based `(process, knows)` pairs as
+    /// printed in the paper's figures; process `k` becomes id `k - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `0` or greater than `n`.
+    pub fn from_paper_pds(n: usize, pds: &[(u32, &[u32])]) -> Self {
+        let mut sets = vec![ProcessSet::new(); n];
+        for (i, knows) in pds {
+            assert!(*i >= 1 && (*i as usize) <= n, "paper label {i} out of 1..={n}");
+            for j in *knows {
+                assert!(*j >= 1 && (*j as usize) <= n, "paper label {j} out of 1..={n}");
+                sets[(*i - 1) as usize].insert(ProcessId::new(j - 1));
+            }
+        }
+        KnowledgeGraph::from_pds(sets)
+    }
+
+    /// Wraps an existing digraph as a knowledge graph.
+    pub fn from_graph(graph: DiGraph) -> Self {
+        KnowledgeGraph { graph }
+    }
+
+    /// The number of processes `|Π|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// The participant detector output `PD_i`: the processes `i` initially
+    /// knows (the out-neighborhood of `i` in `G_di`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn pd(&self, i: ProcessId) -> &ProcessSet {
+        self.graph.successors(i)
+    }
+
+    /// The underlying directed graph `G_di`.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Consumes the wrapper and returns the underlying graph.
+    pub fn into_graph(self) -> DiGraph {
+        self.graph
+    }
+
+    /// Iterates over all process ids.
+    pub fn processes(&self) -> impl ExactSizeIterator<Item = ProcessId> + '_ {
+        self.graph.vertices()
+    }
+
+    /// All participant-detector outputs, indexed by process.
+    pub fn pds(&self) -> Vec<ProcessSet> {
+        self.processes().map(|i| self.pd(i).clone()).collect()
+    }
+}
+
+impl From<DiGraph> for KnowledgeGraph {
+    fn from(graph: DiGraph) -> Self {
+        KnowledgeGraph::from_graph(graph)
+    }
+}
+
+impl fmt::Debug for KnowledgeGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "KnowledgeGraph(n={})", self.n())?;
+        for i in self.processes() {
+            writeln!(f, "  PD_{} = {}", i.as_u32(), self.pd(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pds_builds_edges() {
+        let kg = KnowledgeGraph::from_pds(vec![
+            ProcessSet::from_ids([1]),
+            ProcessSet::from_ids([0, 2]),
+            ProcessSet::new(),
+        ]);
+        assert_eq!(kg.n(), 3);
+        assert!(kg.graph().has_edge(ProcessId::new(0), ProcessId::new(1)));
+        assert!(kg.graph().has_edge(ProcessId::new(1), ProcessId::new(2)));
+        assert!(!kg.graph().has_edge(ProcessId::new(2), ProcessId::new(0)));
+        assert_eq!(kg.pds().len(), 3);
+    }
+
+    #[test]
+    fn paper_labels_shift_to_zero_based() {
+        let kg = KnowledgeGraph::from_paper_pds(3, &[(1, &[2, 3]), (2, &[3])]);
+        assert_eq!(*kg.pd(ProcessId::new(0)), ProcessSet::from_ids([1, 2]));
+        assert_eq!(*kg.pd(ProcessId::new(1)), ProcessSet::from_ids([2]));
+        assert!(kg.pd(ProcessId::new(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn paper_labels_validate_range() {
+        KnowledgeGraph::from_paper_pds(2, &[(1, &[3])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn pd_must_not_contain_self() {
+        KnowledgeGraph::from_pds(vec![ProcessSet::from_ids([0])]);
+    }
+}

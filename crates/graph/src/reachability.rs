@@ -1,0 +1,128 @@
+//! `f`-reachability (Definition 9).
+//!
+//! Process `j` is *`f`-reachable* from `i` in `G_di` iff there are at least
+//! `f + 1` node-disjoint paths from `i` to `j` composed only of correct
+//! processes. The reachable-reliable broadcast of Section VI delivers
+//! messages exactly to the `f`-reachable processes, and the paper relies on
+//! the BFT-CUP result that **all sink members are `f`-reachable from any
+//! process** in a Byzantine-safe `k`-OSR graph.
+
+use crate::{flow, DiGraph, ProcessId, ProcessSet};
+
+/// Returns `true` iff `j` is `f`-reachable from `i` (Definition 9):
+/// at least `f + 1` internally node-disjoint `i → j` paths whose vertices
+/// (including the endpoints) all lie in `correct`.
+pub fn is_f_reachable(
+    g: &DiGraph,
+    f: usize,
+    i: ProcessId,
+    j: ProcessId,
+    correct: &ProcessSet,
+) -> bool {
+    if i == j {
+        // Trivially reachable from itself when correct.
+        return correct.contains(i);
+    }
+    flow::max_vertex_disjoint_paths(g, i, j, correct) >= f + 1
+}
+
+/// Returns the set of processes `f`-reachable from `i`.
+pub fn f_reachable_set(g: &DiGraph, f: usize, i: ProcessId, correct: &ProcessSet) -> ProcessSet {
+    correct
+        .iter()
+        .filter(|&j| is_f_reachable(g, f, i, j, correct))
+        .collect()
+}
+
+/// Checks the BFT-CUP lemma the sink detector relies on: every correct sink
+/// member is `f`-reachable from every correct process. Returns the first
+/// violating pair, or `None` if the property holds.
+pub fn find_unreachable_sink_pair(
+    g: &DiGraph,
+    f: usize,
+    sink: &ProcessSet,
+    correct: &ProcessSet,
+) -> Option<(ProcessId, ProcessId)> {
+    let correct_sink = sink.intersection(correct);
+    for i in correct {
+        for j in &correct_sink {
+            if i != j && !is_f_reachable(g, f, i, j, correct) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, sink};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn direct_and_indirect_paths_count() {
+        // 0 -> 2 and 0 -> 1 -> 2: two disjoint paths, so 1-reachable.
+        let g = DiGraph::from_edges(3, [(0, 2), (0, 1), (1, 2)]);
+        let all = g.vertex_set();
+        assert!(is_f_reachable(&g, 1, p(0), p(2), &all));
+        assert!(!is_f_reachable(&g, 2, p(0), p(2), &all));
+    }
+
+    #[test]
+    fn faulty_vertices_break_paths() {
+        let g = DiGraph::from_edges(3, [(0, 2), (0, 1), (1, 2)]);
+        // If 1 is faulty, only the direct path remains.
+        let correct = ProcessSet::from_ids([0, 2]);
+        assert!(!is_f_reachable(&g, 1, p(0), p(2), &correct));
+        assert!(is_f_reachable(&g, 0, p(0), p(2), &correct));
+    }
+
+    #[test]
+    fn self_reachability() {
+        let g = DiGraph::new(2);
+        assert!(is_f_reachable(&g, 3, p(0), p(0), &g.vertex_set()));
+        assert!(!is_f_reachable(&g, 0, p(0), p(0), &ProcessSet::from_ids([1])));
+    }
+
+    #[test]
+    fn fig2_sink_is_1_reachable_from_everyone() {
+        // Fig. 2 is 3-OSR, so with any single fault every correct process
+        // still has ≥ 2 = f + 1 disjoint correct paths to each correct sink
+        // member (the BFT-CUP reachability lemma the sink detector uses).
+        let g = generators::fig2();
+        let s = sink::unique_sink(g.graph()).unwrap();
+        for fv in g.graph().vertices() {
+            let correct = g.graph().vertex_set().difference(&ProcessSet::singleton(fv));
+            assert_eq!(
+                find_unreachable_sink_pair(g.graph(), 1, &s, &correct),
+                None,
+                "faulty = {fv}: every correct process must 1-reach every correct sink member"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_nonsink_p2_is_not_1_reachable_to_sink() {
+        // Paper process 2 knows only process 4, so it has a single disjoint
+        // path into the sink: 0-reachable but not 1-reachable.
+        let g = generators::fig1();
+        let all = g.graph().vertex_set();
+        assert!(is_f_reachable(g.graph(), 0, p(1), p(4), &all));
+        assert!(!is_f_reachable(g.graph(), 1, p(1), p(4), &all));
+    }
+
+    #[test]
+    fn f_reachable_set_contents() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2), (2, 1)]);
+        let all = g.vertex_set();
+        let set = f_reachable_set(&g, 1, p(0), &all);
+        // 0 itself, 1 and 2 (two disjoint direct/indirect paths), 3 (via 1 and 2).
+        assert!(set.contains(p(0)));
+        assert!(set.contains(p(3)));
+        assert!(set.contains(p(1)) && set.contains(p(2)));
+    }
+}

@@ -1,0 +1,264 @@
+//! Strongly connected components (iterative Tarjan) and the condensation DAG.
+//!
+//! The condensation is the basis of `k`-One-Sink-Reducibility (Definition 6,
+//! condition 2): reducing `G_di` to its strongly connected components must
+//! yield a DAG with exactly one sink.
+
+use std::collections::BTreeSet;
+
+use crate::{DiGraph, ProcessId, ProcessSet};
+
+/// The strongly-connected-component decomposition of a (masked) digraph.
+///
+/// Produced by [`decompose`]. Component indices are arbitrary but stable for
+/// a given input.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `comp_of[v] = Some(c)` iff vertex `v` is inside the mask and belongs
+    /// to component `c`.
+    comp_of: Vec<Option<usize>>,
+    /// The member set of each component.
+    components: Vec<ProcessSet>,
+    /// Successor components of each component in the condensation DAG.
+    cond_succ: Vec<BTreeSet<usize>>,
+}
+
+impl SccDecomposition {
+    /// Number of strongly connected components.
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component index of vertex `v`, or `None` if `v` was outside the
+    /// traversal mask.
+    pub fn component_of(&self, v: ProcessId) -> Option<usize> {
+        self.comp_of.get(v.index()).copied().flatten()
+    }
+
+    /// The member set of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.count()`.
+    pub fn component(&self, c: usize) -> &ProcessSet {
+        &self.components[c]
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[ProcessSet] {
+        &self.components
+    }
+
+    /// Successor components of `c` in the condensation DAG.
+    pub fn condensation_successors(&self, c: usize) -> &BTreeSet<usize> {
+        &self.cond_succ[c]
+    }
+
+    /// Indices of the *sink* components: components with no outgoing edge in
+    /// the condensation DAG.
+    pub fn sink_components(&self) -> Vec<usize> {
+        (0..self.count())
+            .filter(|&c| self.cond_succ[c].is_empty())
+            .collect()
+    }
+
+    /// If the condensation has exactly one sink, returns its member set.
+    pub fn unique_sink(&self) -> Option<&ProcessSet> {
+        match self.sink_components().as_slice() {
+            [c] => Some(&self.components[*c]),
+            _ => None,
+        }
+    }
+
+    /// `true` if the whole masked graph is one strongly connected component.
+    pub fn is_strongly_connected(&self) -> bool {
+        self.count() == 1
+    }
+}
+
+/// Computes the strongly connected components of `g` restricted to `within`,
+/// using an iterative Tarjan so deep graphs cannot overflow the call stack.
+pub fn decompose(g: &DiGraph, within: &ProcessSet) -> SccDecomposition {
+    let n = g.vertex_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp_of: Vec<Option<usize>> = vec![None; n];
+    let mut components: Vec<ProcessSet> = Vec::new();
+    let mut stack: Vec<ProcessId> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS frame: (vertex, iterator over masked successors).
+    struct Frame {
+        v: ProcessId,
+        succ: Vec<ProcessId>,
+        next: usize,
+    }
+
+    for root in within {
+        if index[root.index()] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        index[root.index()] = next_index;
+        low[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+        frames.push(Frame {
+            v: root,
+            succ: g.successors(root).intersection(within).to_vec(),
+            next: 0,
+        });
+
+        while let Some(frame) = frames.last_mut() {
+            if frame.next < frame.succ.len() {
+                let w = frame.succ[frame.next];
+                frame.next += 1;
+                if index[w.index()] == usize::MAX {
+                    index[w.index()] = next_index;
+                    low[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    frames.push(Frame {
+                        v: w,
+                        succ: g.successors(w).intersection(within).to_vec(),
+                        next: 0,
+                    });
+                } else if on_stack[w.index()] {
+                    let v = frame.v;
+                    low[v.index()] = low[v.index()].min(index[w.index()]);
+                }
+            } else {
+                let v = frame.v;
+                if low[v.index()] == index[v.index()] {
+                    let c = components.len();
+                    let mut members = ProcessSet::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp_of[w.index()] = Some(c);
+                        members.insert(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(members);
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let pv = parent.v;
+                    low[pv.index()] = low[pv.index()].min(low[v.index()]);
+                }
+            }
+        }
+    }
+
+    // Build condensation edges.
+    let mut cond_succ = vec![BTreeSet::new(); components.len()];
+    for u in within {
+        let cu = comp_of[u.index()].expect("masked vertex must have a component");
+        for v in &g.successors(u).intersection(within) {
+            let cv = comp_of[v.index()].expect("masked vertex must have a component");
+            if cu != cv {
+                cond_succ[cu].insert(cv);
+            }
+        }
+    }
+
+    SccDecomposition {
+        comp_of,
+        components,
+        cond_succ,
+    }
+}
+
+/// Computes the SCC decomposition of the whole graph.
+pub fn decompose_full(g: &DiGraph) -> SccDecomposition {
+    decompose(g, &g.vertex_set())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let d = decompose_full(&g);
+        assert_eq!(d.count(), 1);
+        assert!(d.is_strongly_connected());
+        assert_eq!(*d.component(0), ProcessSet::from_ids([0, 1, 2]));
+    }
+
+    #[test]
+    fn chain_of_components() {
+        // {0,1} -> {2} -> {3,4}
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]);
+        let d = decompose_full(&g);
+        assert_eq!(d.count(), 3);
+        let c01 = d.component_of(p(0)).unwrap();
+        assert_eq!(d.component_of(p(1)), Some(c01));
+        let c2 = d.component_of(p(2)).unwrap();
+        let c34 = d.component_of(p(3)).unwrap();
+        assert_eq!(d.component_of(p(4)), Some(c34));
+        assert!(d.condensation_successors(c01).contains(&c2));
+        assert!(d.condensation_successors(c2).contains(&c34));
+        assert_eq!(d.sink_components(), vec![c34]);
+        assert_eq!(*d.unique_sink().unwrap(), ProcessSet::from_ids([3, 4]));
+    }
+
+    #[test]
+    fn two_sinks_have_no_unique_sink() {
+        // 0 -> 1, 0 -> 2 ; 1 and 2 are separate sinks.
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2)]);
+        let d = decompose_full(&g);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sink_components().len(), 2);
+        assert!(d.unique_sink().is_none());
+    }
+
+    #[test]
+    fn mask_excludes_vertices() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let within = ProcessSet::from_ids([0, 1]);
+        let d = decompose(&g, &within);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.component_of(p(2)), None);
+        assert_eq!(*d.unique_sink().unwrap(), ProcessSet::from_ids([0, 1]));
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = DiGraph::new(3);
+        let d = decompose_full(&g);
+        assert_eq!(d.count(), 3);
+        // All three are sinks.
+        assert_eq!(d.sink_components().len(), 3);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        let n = 50_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(p(i as u32), p(i as u32 + 1));
+        }
+        let d = decompose_full(&g);
+        assert_eq!(d.count(), n);
+        assert_eq!(d.sink_components().len(), 1);
+    }
+
+    #[test]
+    fn nested_cycles_merge() {
+        // 0->1->2->0 and 1->3->1: all one SCC.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)]);
+        let d = decompose_full(&g);
+        assert_eq!(d.count(), 1);
+    }
+}

@@ -1,0 +1,503 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::FromIterator;
+use std::ops::{BitAnd, BitOr, Sub};
+
+use crate::ProcessId;
+
+const BITS: usize = 64;
+
+/// A set of [`ProcessId`]s backed by a bitset.
+///
+/// `ProcessSet` is the workhorse collection of the workspace: quorums,
+/// slices, participant-detector outputs and fault sets are all process sets,
+/// and quorum checks reduce to word-parallel intersection/subset tests.
+///
+/// The representation keeps the invariant that no trailing all-zero block is
+/// stored, so structural equality and hashing coincide with set equality.
+///
+/// # Example
+///
+/// ```
+/// use scup_graph::ProcessSet;
+///
+/// let q1 = ProcessSet::from_ids([0, 1, 2, 3]);
+/// let q2 = ProcessSet::from_ids([2, 3, 4]);
+/// assert_eq!(q1.intersection(&q2), ProcessSet::from_ids([2, 3]));
+/// assert_eq!(q1.intersection_len(&q2), 2);
+/// assert!(ProcessSet::from_ids([2]).is_subset(&q2));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct ProcessSet {
+    blocks: Vec<u64>,
+}
+
+impl ProcessSet {
+    /// Creates an empty set.
+    #[inline]
+    pub fn new() -> Self {
+        ProcessSet { blocks: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for ids `0..n` without reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        ProcessSet {
+            blocks: Vec::with_capacity(n.div_ceil(BITS)),
+        }
+    }
+
+    /// Creates the set containing only `id`.
+    pub fn singleton(id: ProcessId) -> Self {
+        let mut s = ProcessSet::new();
+        s.insert(id);
+        s
+    }
+
+    /// Creates the full set `{0, 1, ..., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut blocks = vec![!0u64; n / BITS];
+        let rem = n % BITS;
+        if rem > 0 {
+            blocks.push((1u64 << rem) - 1);
+        }
+        let mut s = ProcessSet { blocks };
+        s.normalize();
+        s
+    }
+
+    /// Creates a set from any iterable of raw `u32` ids.
+    ///
+    /// Convenience constructor used pervasively in tests and examples.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        ids.into_iter().map(ProcessId::new).collect()
+    }
+
+    /// Inserts `id`; returns `true` if the set did not already contain it.
+    pub fn insert(&mut self, id: ProcessId) -> bool {
+        let (b, bit) = (id.index() / BITS, id.index() % BITS);
+        if b >= self.blocks.len() {
+            self.blocks.resize(b + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.blocks[b] & mask == 0;
+        self.blocks[b] |= mask;
+        fresh
+    }
+
+    /// Removes `id`; returns `true` if the set contained it.
+    pub fn remove(&mut self, id: ProcessId) -> bool {
+        let (b, bit) = (id.index() / BITS, id.index() % BITS);
+        if b >= self.blocks.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let present = self.blocks[b] & mask != 0;
+        self.blocks[b] &= !mask;
+        if present {
+            self.normalize();
+        }
+        present
+    }
+
+    /// Returns `true` if the set contains `id`.
+    #[inline]
+    pub fn contains(&self, id: ProcessId) -> bool {
+        let (b, bit) = (id.index() / BITS, id.index() % BITS);
+        self.blocks.get(b).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Returns the union `self ∪ other` as a new set.
+    pub fn union(&self, other: &ProcessSet) -> ProcessSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Adds all elements of `other` into `self`.
+    pub fn union_with(&mut self, other: &ProcessSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// Returns the intersection `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &ProcessSet) -> ProcessSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Keeps only the elements also present in `other`.
+    pub fn intersect_with(&mut self, other: &ProcessSet) {
+        self.blocks.truncate(other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+        self.normalize();
+    }
+
+    /// Returns the difference `self \ other` as a new set.
+    pub fn difference(&self, other: &ProcessSet) -> ProcessSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Removes all elements of `other` from `self`.
+    pub fn difference_with(&mut self, other: &ProcessSet) {
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+        self.normalize();
+    }
+
+    /// Returns `|self ∩ other|` without allocating.
+    ///
+    /// This is the hot operation behind the paper's threshold-based
+    /// intertwined check `|Q ∩ Q'| > f` (Section III-F).
+    pub fn intersection_len(&self, other: &ProcessSet) -> usize {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &ProcessSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false;
+        }
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if every element of `other` is in `self`.
+    #[inline]
+    pub fn is_superset(&self, other: &ProcessSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Returns `true` if `self ∩ other = ∅`.
+    pub fn is_disjoint(&self, other: &ProcessSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns the smallest id in the set, if any.
+    pub fn first(&self) -> Option<ProcessId> {
+        for (i, w) in self.blocks.iter().enumerate() {
+            if *w != 0 {
+                return Some(ProcessId::new((i * BITS + w.trailing_zeros() as usize) as u32));
+            }
+        }
+        None
+    }
+
+    /// Returns an arbitrary (the smallest) element and removes it.
+    pub fn pop_first(&mut self) -> Option<ProcessId> {
+        let id = self.first()?;
+        self.remove(id);
+        Some(id)
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the ids into a `Vec`, ascending.
+    pub fn to_vec(&self) -> Vec<ProcessId> {
+        self.iter().collect()
+    }
+
+    fn normalize(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+}
+
+/// Iterator over the elements of a [`ProcessSet`] in ascending order.
+#[derive(Clone)]
+pub struct Iter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(ProcessId::new((self.block_idx * BITS + bit) as u32));
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest: usize = self.blocks[self.block_idx.min(self.blocks.len())..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let n = rest + self.current.count_ones() as usize
+            - self
+                .blocks
+                .get(self.block_idx)
+                .copied()
+                .unwrap_or(0)
+                .count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for ProcessSet {
+    fn from(ids: [u32; N]) -> Self {
+        ProcessSet::from_ids(ids)
+    }
+}
+
+impl PartialOrd for ProcessSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcessSet {
+    /// Lexicographic order on the ascending element sequence, so that e.g.
+    /// `{0, 5} < {1}` and `{1} < {1, 2}`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl BitOr for &ProcessSet {
+    type Output = ProcessSet;
+    fn bitor(self, rhs: &ProcessSet) -> ProcessSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for &ProcessSet {
+    type Output = ProcessSet;
+    fn bitand(self, rhs: &ProcessSet) -> ProcessSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for &ProcessSet {
+    type Output = ProcessSet;
+    fn sub(self, rhs: &ProcessSet) -> ProcessSet {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, id) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", id.as_u32())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId::new(3)));
+        assert!(!s.insert(ProcessId::new(3)));
+        assert!(s.contains(ProcessId::new(3)));
+        assert!(!s.contains(ProcessId::new(4)));
+        assert!(s.remove(ProcessId::new(3)));
+        assert!(!s.remove(ProcessId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cross_block_elements() {
+        let mut s = ProcessSet::new();
+        s.insert(ProcessId::new(0));
+        s.insert(ProcessId::new(63));
+        s.insert(ProcessId::new(64));
+        s.insert(ProcessId::new(200));
+        assert_eq!(s.len(), 4);
+        assert_eq!(
+            s.to_vec(),
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(63),
+                ProcessId::new(64),
+                ProcessId::new(200)
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = ProcessSet::new();
+        a.insert(ProcessId::new(5));
+        let mut b = ProcessSet::new();
+        b.insert(ProcessId::new(5));
+        b.insert(ProcessId::new(300));
+        b.remove(ProcessId::new(300));
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn full_set() {
+        let s = ProcessSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(ProcessId::new(0)));
+        assert!(s.contains(ProcessId::new(69)));
+        assert!(!s.contains(ProcessId::new(70)));
+        assert!(ProcessSet::full(0).is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcessSet::from_ids([1, 2, 3, 64]);
+        let b = ProcessSet::from_ids([3, 64, 100]);
+        assert_eq!(a.union(&b), ProcessSet::from_ids([1, 2, 3, 64, 100]));
+        assert_eq!(a.intersection(&b), ProcessSet::from_ids([3, 64]));
+        assert_eq!(a.difference(&b), ProcessSet::from_ids([1, 2]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&ProcessSet::from_ids([5, 99])));
+    }
+
+    #[test]
+    fn operator_sugar() {
+        let a = ProcessSet::from_ids([1, 2]);
+        let b = ProcessSet::from_ids([2, 3]);
+        assert_eq!(&a | &b, ProcessSet::from_ids([1, 2, 3]));
+        assert_eq!(&a & &b, ProcessSet::from_ids([2]));
+        assert_eq!(&a - &b, ProcessSet::from_ids([1]));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = ProcessSet::from_ids([1, 2]);
+        let b = ProcessSet::from_ids([1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(ProcessSet::new().is_subset(&a));
+        // Subset where self has more blocks but they are trailing zeros.
+        let mut c = ProcessSet::from_ids([1]);
+        c.insert(ProcessId::new(500));
+        c.remove(ProcessId::new(500));
+        assert!(c.is_subset(&a));
+    }
+
+    #[test]
+    fn first_and_pop() {
+        let mut s = ProcessSet::from_ids([65, 7, 130]);
+        assert_eq!(s.first(), Some(ProcessId::new(7)));
+        assert_eq!(s.pop_first(), Some(ProcessId::new(7)));
+        assert_eq!(s.pop_first(), Some(ProcessId::new(65)));
+        assert_eq!(s.pop_first(), Some(ProcessId::new(130)));
+        assert_eq!(s.pop_first(), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_elements() {
+        let a = ProcessSet::from_ids([0, 5]);
+        let b = ProcessSet::from_ids([1]);
+        let c = ProcessSet::from_ids([1, 2]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_formats_ids() {
+        let s = ProcessSet::from_ids([4, 5, 6]);
+        assert_eq!(s.to_string(), "{4, 5, 6}");
+        assert_eq!(ProcessSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn iter_size_hint_is_exact() {
+        let s = ProcessSet::from_ids([0, 63, 64, 127, 128]);
+        let it = s.iter();
+        assert_eq!(it.size_hint(), (5, Some(5)));
+        let mut it2 = s.iter();
+        it2.next();
+        assert_eq!(it2.size_hint(), (4, Some(4)));
+    }
+}

@@ -1,0 +1,79 @@
+//! Sink components of knowledge connectivity graphs.
+//!
+//! A component `G_sink` of `G_di` is a **sink component** iff there is no
+//! path from a node in `G_sink` to other nodes of `G_di` except nodes in
+//! `G_sink` itself (Section III-E). A process is a *sink member* iff it
+//! belongs to the sink component. In Fig. 1 the sink is `{5, 6, 7, 8}`
+//! (0-based: `{4, 5, 6, 7}`).
+
+use crate::{scc, DiGraph, ProcessId, ProcessSet};
+
+/// Returns all sink components of `g` restricted to `within`.
+///
+/// A `k`-OSR graph has exactly one (Definition 6, condition 2); graphs under
+/// construction or after failures may have several.
+pub fn sink_components(g: &DiGraph, within: &ProcessSet) -> Vec<ProcessSet> {
+    let d = scc::decompose(g, within);
+    d.sink_components()
+        .into_iter()
+        .map(|c| d.component(c).clone())
+        .collect()
+}
+
+/// Returns the unique sink component of `g`, or `None` if the condensation
+/// has zero or more than one sink.
+pub fn unique_sink(g: &DiGraph) -> Option<ProcessSet> {
+    unique_sink_within(g, &g.vertex_set())
+}
+
+/// Returns the unique sink component of `g` restricted to `within`.
+pub fn unique_sink_within(g: &DiGraph, within: &ProcessSet) -> Option<ProcessSet> {
+    let d = scc::decompose(g, within);
+    d.unique_sink().cloned()
+}
+
+/// Returns `true` if `v` is a sink member of `g` (Section III-E).
+///
+/// Returns `false` when the sink is not unique — membership is then
+/// ill-defined and callers should treat the graph as malformed.
+pub fn is_sink_member(g: &DiGraph, v: ProcessId) -> bool {
+    unique_sink(g).is_some_and(|s| s.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_sink_of_chain() {
+        // 0 -> 1 -> {2 <-> 3}
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 2)]);
+        assert_eq!(unique_sink(&g), Some(ProcessSet::from_ids([2, 3])));
+        assert!(is_sink_member(&g, ProcessId::new(2)));
+        assert!(!is_sink_member(&g, ProcessId::new(0)));
+    }
+
+    #[test]
+    fn multiple_sinks_yield_none() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2)]);
+        assert_eq!(unique_sink(&g), None);
+        assert_eq!(sink_components(&g, &g.vertex_set()).len(), 2);
+        assert!(!is_sink_member(&g, ProcessId::new(1)));
+    }
+
+    #[test]
+    fn whole_graph_strongly_connected_is_its_own_sink() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(unique_sink(&g), Some(ProcessSet::from_ids([0, 1, 2])));
+    }
+
+    #[test]
+    fn mask_changes_sink() {
+        // 0 -> 1 -> 2 ; masked to {0, 1}, the sink is {1}.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(
+            unique_sink_within(&g, &ProcessSet::from_ids([0, 1])),
+            Some(ProcessSet::from_ids([1]))
+        );
+    }
+}

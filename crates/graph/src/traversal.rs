@@ -1,0 +1,102 @@
+//! Basic masked graph traversals (BFS reachability).
+//!
+//! All functions take a `within` mask restricting the traversal to a vertex
+//! subset — the idiom used throughout the crate to realize `G \ F`
+//! (Definition 7) without rebuilding graphs.
+
+use std::collections::VecDeque;
+
+use crate::{DiGraph, ProcessId, ProcessSet};
+
+/// Returns the set of vertices reachable from `from` by directed paths that
+/// stay inside `within` (including `from` itself, if it is in `within`).
+///
+/// This is the `known_i` computation underlying step 1 of the `SINK`
+/// algorithm (Section VI): the maximal set of processes `i` can (transitively)
+/// learn about.
+pub fn reachable_set(g: &DiGraph, from: ProcessId, within: &ProcessSet) -> ProcessSet {
+    let mut seen = ProcessSet::new();
+    if !within.contains(from) {
+        return seen;
+    }
+    seen.insert(from);
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for v in &g.successors(u).intersection(within) {
+            if seen.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns the set of vertices reachable from `from` in the *undirected*
+/// version of `g`, staying inside `within`.
+pub fn undirected_reachable_set(g: &DiGraph, from: ProcessId, within: &ProcessSet) -> ProcessSet {
+    let mut seen = ProcessSet::new();
+    if !within.contains(from) {
+        return seen;
+    }
+    seen.insert(from);
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        let nbrs = g.successors(u).union(g.predecessors(u));
+        for v in &nbrs.intersection(within) {
+            if seen.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if there is a directed path `from → to` inside `within`.
+pub fn has_path(g: &DiGraph, from: ProcessId, to: ProcessId, within: &ProcessSet) -> bool {
+    reachable_set(g, from, within).contains(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn reachable_follows_direction() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (3, 0)]);
+        let all = g.vertex_set();
+        assert_eq!(reachable_set(&g, p(0), &all), ProcessSet::from_ids([0, 1, 2]));
+        assert_eq!(reachable_set(&g, p(3), &all), ProcessSet::from_ids([0, 1, 2, 3]));
+        assert_eq!(reachable_set(&g, p(2), &all), ProcessSet::from_ids([2]));
+    }
+
+    #[test]
+    fn mask_blocks_traversal() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let within = ProcessSet::from_ids([0, 1, 3]);
+        assert_eq!(reachable_set(&g, p(0), &within), ProcessSet::from_ids([0, 1]));
+        // Source outside the mask reaches nothing.
+        assert!(reachable_set(&g, p(2), &within).is_empty());
+    }
+
+    #[test]
+    fn undirected_ignores_direction() {
+        let g = DiGraph::from_edges(4, [(1, 0), (1, 2), (3, 2)]);
+        let all = g.vertex_set();
+        assert_eq!(
+            undirected_reachable_set(&g, p(0), &all),
+            ProcessSet::from_ids([0, 1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn has_path_works() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let all = g.vertex_set();
+        assert!(has_path(&g, p(0), p(2), &all));
+        assert!(!has_path(&g, p(2), p(0), &all));
+    }
+}

@@ -1,0 +1,485 @@
+//! The SCP node: nomination plus the ballot protocol, as a simulator actor.
+//!
+//! Protocol outline (per node):
+//!
+//! 1. **Nomination** — vote `nominate(x)` for the own input; *echo* other
+//!    processes' nominees (vote for them too) until a first candidate is
+//!    confirmed. Confirmed nominees form the candidate set; the ballot
+//!    value is the maximum candidate (any deterministic combine works).
+//! 2. **Ballots** — for ballot `n` with value `v` (the locked value if any,
+//!    else the current candidate): vote `prepare(n, v)`; once `prepare` is
+//!    confirmed, lock `v` and vote `commit(n, v)`; once `commit` is
+//!    confirmed, **externalize** `v`. A per-ballot timer bumps `n` when the
+//!    ballot stalls (partial synchrony: after `GST` some ballot completes).
+//!
+//! Every envelope carries its *origin* and the origin's declared slices;
+//! federated voting evaluates quorums against those attached slices
+//! (Algorithm 1) and v-blocking sets against the node's own slices.
+//!
+//! ## Envelope gossip
+//!
+//! Knowledge connectivity is directed: a process `j` may be unable to
+//! address `i` even though `i`'s quorums depend on `j`'s pledges. Like the
+//! Stellar overlay, nodes therefore **flood** every new envelope to every
+//! process they know. Envelopes are origin-attributed; as in stellar-core,
+//! they are signed, so relays cannot forge pledges of correct processes —
+//! the simulator models signature verification by trusting the `origin`
+//! field of relayed envelopes (Byzantine processes may still equivocate
+//! *their own* envelopes arbitrarily).
+
+use std::collections::BTreeSet;
+
+use scup_fbqs::SliceFamily;
+use scup_graph::ProcessId;
+use scup_sim::{Actor, Context, SimMessage};
+
+use crate::statement::{Statement, Value};
+use crate::voting::{QuorumCheck, VoteLevel, VoteTracker};
+
+/// An SCP envelope: a federated-voting pledge by `origin`, carrying the
+/// origin's declared slices, relayed through the overlay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScpMsg {
+    /// The process whose pledge this is (signature-verified in real
+    /// Stellar; trusted here — see module docs).
+    pub origin: ProcessId,
+    /// The origin's declared slice family (`S_i` attached to every
+    /// message, Section III-D).
+    pub slices: SliceFamily,
+    /// The statement being pledged.
+    pub stmt: Statement,
+    /// `true` for an accept-level pledge, `false` for a vote.
+    pub accept: bool,
+}
+
+impl SimMessage for ScpMsg {
+    fn size_hint(&self) -> usize {
+        let slice_size = match &self.slices {
+            SliceFamily::Explicit(slices) => slices.iter().map(|s| 4 * s.len() + 2).sum::<usize>(),
+            SliceFamily::AllSubsets { of, .. } => 4 * of.len() + 6,
+        };
+        slice_size + 22
+    }
+}
+
+/// Configuration of an SCP node.
+#[derive(Debug, Clone)]
+pub struct ScpConfig {
+    /// The node's quorum slices.
+    pub slices: SliceFamily,
+    /// The node's input value.
+    pub input: Value,
+    /// Base ballot timeout in ticks (grows linearly with the counter).
+    pub ballot_timeout: u64,
+    /// Fallback: if no candidate is confirmed by this many ticks, the own
+    /// input is promoted to candidate so ballots can start.
+    pub nomination_timeout: u64,
+}
+
+impl ScpConfig {
+    /// A configuration with the given slices and input, and timeouts suited
+    /// to a `Δ = 10` network.
+    pub fn new(slices: SliceFamily, input: Value) -> Self {
+        ScpConfig {
+            slices,
+            input,
+            ballot_timeout: 200,
+            nomination_timeout: 400,
+        }
+    }
+}
+
+const NOMINATION_TIMER: u64 = 2;
+
+/// A correct SCP node.
+pub struct ScpNode {
+    config: ScpConfig,
+    tracker: VoteTracker,
+    check: QuorumCheck,
+    /// Envelopes already processed/relayed: (origin, stmt, accept).
+    seen: BTreeSet<(ProcessId, Statement, bool)>,
+    /// Confirmed nominees.
+    candidates: Vec<Value>,
+    /// Highest ballot counter entered.
+    ballot: u64,
+    /// Value locked by a confirmed prepare.
+    lock: Option<Value>,
+    externalized: Option<Value>,
+}
+
+impl ScpNode {
+    /// Creates a node.
+    pub fn new(config: ScpConfig) -> Self {
+        ScpNode {
+            config,
+            tracker: VoteTracker::new(),
+            check: QuorumCheck::new(),
+            seen: BTreeSet::new(),
+            candidates: Vec::new(),
+            ballot: 0,
+            lock: None,
+            externalized: None,
+        }
+    }
+
+    /// The externalized (decided) value, once consensus is reached.
+    pub fn externalized(&self) -> Option<Value> {
+        self.externalized
+    }
+
+    /// The current ballot counter (diagnostic).
+    pub fn ballot_counter(&self) -> u64 {
+        self.ballot
+    }
+
+    /// The confirmed candidate values (diagnostic).
+    pub fn candidates(&self) -> &[Value] {
+        &self.candidates
+    }
+
+    fn broadcast_own(&mut self, ctx: &mut Context<'_, ScpMsg>, stmt: Statement, accept: bool) {
+        let msg = ScpMsg {
+            origin: ctx.self_id(),
+            slices: self.config.slices.clone(),
+            stmt,
+            accept,
+        };
+        self.seen.insert((ctx.self_id(), stmt, accept));
+        ctx.broadcast_known(msg);
+    }
+
+    fn vote(&mut self, ctx: &mut Context<'_, ScpMsg>, stmt: Statement) {
+        if self.tracker.vote(ctx.self_id(), stmt) {
+            self.broadcast_own(ctx, stmt, false);
+        }
+    }
+
+    /// The ballot value for the next ballot: the lock wins, else the best
+    /// candidate, else the own input.
+    fn ballot_value(&self) -> Value {
+        self.lock
+            .or_else(|| self.candidates.iter().max().copied())
+            .unwrap_or(self.config.input)
+    }
+
+    fn start_ballot(&mut self, ctx: &mut Context<'_, ScpMsg>, n: u64) {
+        if self.externalized.is_some() {
+            return;
+        }
+        self.ballot = n;
+        let v = self.ballot_value();
+        self.vote(ctx, Statement::Prepare(n, v));
+        ctx.set_timer(self.config.ballot_timeout * (n + 1), n << 8);
+        self.reevaluate(ctx);
+    }
+
+    /// Runs the federated-voting rules and reacts to newly accepted /
+    /// confirmed statements.
+    fn reevaluate(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        loop {
+            let changes = self
+                .tracker
+                .update(ctx.self_id(), &self.config.slices, &self.check);
+            if changes.is_empty() {
+                return;
+            }
+            for (stmt, level) in changes {
+                if level == VoteLevel::Accepted {
+                    self.broadcast_own(ctx, stmt, true);
+                }
+                if level != VoteLevel::Confirmed {
+                    continue;
+                }
+                match stmt {
+                    Statement::Nominate(v) => {
+                        if !self.candidates.contains(&v) {
+                            self.candidates.push(v);
+                        }
+                        // First candidate: enter ballot 1.
+                        if self.ballot == 0 {
+                            self.start_ballot(ctx, 1);
+                        }
+                    }
+                    Statement::Prepare(n, v) => {
+                        // Lock the value and push for commit.
+                        self.lock = Some(v);
+                        self.vote(ctx, Statement::Commit(n, v));
+                    }
+                    Statement::Commit(_, v) => {
+                        if self.externalized.is_none() {
+                            self.externalized = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<ScpMsg> for ScpNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        let input = self.config.input;
+        self.vote(ctx, Statement::Nominate(input));
+        ctx.set_timer(self.config.nomination_timeout, NOMINATION_TIMER);
+        self.reevaluate(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ScpMsg>, _from: ProcessId, msg: ScpMsg) {
+        // Flood-style gossip with dedup; `origin` is signature-verified.
+        if msg.origin == ctx.self_id()
+            || !self.seen.insert((msg.origin, msg.stmt, msg.accept))
+        {
+            return;
+        }
+        ctx.broadcast_known(msg.clone());
+
+        self.check.record_slices(msg.origin, msg.slices.clone());
+        if msg.accept {
+            self.tracker.record_accept(msg.origin, msg.stmt);
+        } else {
+            self.tracker.record_vote(msg.origin, msg.stmt);
+        }
+        // Nomination echo: before any ballot starts, adopt others'
+        // nominees so a quorum of votes can form.
+        if self.ballot == 0 && msg.stmt.is_nomination() && self.externalized.is_none() {
+            self.vote(ctx, msg.stmt);
+        }
+        self.reevaluate(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ScpMsg>, tag: u64) {
+        if self.externalized.is_some() {
+            return;
+        }
+        if tag == NOMINATION_TIMER {
+            // No candidate confirmed in time: fall back to the own input so
+            // ballots can start.
+            if self.ballot == 0 {
+                self.candidates.push(self.config.input);
+                self.start_ballot(ctx, 1);
+            }
+            return;
+        }
+        let timer_ballot = tag >> 8;
+        if timer_ballot == self.ballot {
+            // The ballot stalled: bump the counter and retry with the
+            // (possibly locked) value.
+            let next = self.ballot + 1;
+            self.start_ballot(ctx, next);
+        }
+    }
+}
+
+/// A Byzantine SCP node that equivocates: it sends conflicting nomination
+/// votes and conflicting ballot pledges to different peers, each carrying
+/// forged slices claiming whatever quorum suits the lie.
+pub struct EquivocatingScpNode {
+    /// The two values it plays against each other.
+    pub values: (Value, Value),
+    /// The slice family it attaches (typically a forged, tiny one).
+    pub fake_slices: SliceFamily,
+}
+
+impl EquivocatingScpNode {
+    /// Creates the adversary.
+    pub fn new(values: (Value, Value), fake_slices: SliceFamily) -> Self {
+        EquivocatingScpNode {
+            values,
+            fake_slices,
+        }
+    }
+
+    fn equivocate(&self, ctx: &mut Context<'_, ScpMsg>, stmts: (Statement, Statement)) {
+        let known = ctx.known().clone();
+        let me = ctx.self_id();
+        for (idx, j) in known.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let stmt = if idx % 2 == 0 { stmts.0 } else { stmts.1 };
+            ctx.send(
+                j,
+                ScpMsg {
+                    origin: me,
+                    slices: self.fake_slices.clone(),
+                    stmt,
+                    accept: true,
+                },
+            );
+        }
+    }
+}
+
+impl Actor<ScpMsg> for EquivocatingScpNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        let (a, b) = self.values;
+        self.equivocate(ctx, (Statement::Nominate(a), Statement::Nominate(b)));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ScpMsg>, _from: ProcessId, msg: ScpMsg) {
+        // Mirror ballot statements with conflicting values, once per
+        // incoming counter (bounded noise).
+        let (a, b) = self.values;
+        if let Some(n) = msg.stmt.counter() {
+            if n > 4 {
+                return; // keep the run finite
+            }
+            match msg.stmt {
+                Statement::Prepare(..) => {
+                    self.equivocate(ctx, (Statement::Prepare(n, a), Statement::Prepare(n, b)));
+                }
+                Statement::Commit(..) => {
+                    self.equivocate(ctx, (Statement::Commit(n, a), Statement::Commit(n, b)));
+                }
+                Statement::Nominate(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_fbqs::paper;
+    use scup_graph::ProcessSet;
+    use scup_graph::generators;
+    use scup_sim::adversary::SilentActor;
+    use scup_sim::{NetworkConfig, Simulation};
+
+    /// Builds the Fig. 1 setting: paper slices, process 8 Byzantine.
+    fn fig1_sim(seed: u64, byzantine: Box<dyn Actor<ScpMsg>>) -> Simulation<ScpMsg> {
+        let kg = generators::fig1();
+        let sys = paper::fig1_system();
+        let mut sim = Simulation::new(kg, NetworkConfig::partially_synchronous(150, 10, seed));
+        for i in 0..7u32 {
+            let i = ProcessId::new(i);
+            let config = ScpConfig::new(sys.slices(i).clone(), 10 + i.as_u32() as u64);
+            sim.add_actor(Box::new(ScpNode::new(config)));
+        }
+        sim.add_actor(byzantine);
+        sim
+    }
+
+    fn assert_scp_consensus(sim: &Simulation<ScpMsg>, correct: &[u32]) -> Value {
+        let mut decided = None;
+        for &i in correct {
+            let node = sim.actor_as::<ScpNode>(ProcessId::new(i)).unwrap();
+            let v = node.externalized().unwrap_or_else(|| {
+                panic!(
+                    "node {i} did not externalize (ballot {}, candidates {:?})",
+                    node.ballot_counter(),
+                    node.candidates()
+                )
+            });
+            match decided {
+                None => decided = Some(v),
+                Some(prev) => assert_eq!(prev, v, "agreement violated at node {i}"),
+            }
+        }
+        decided.unwrap()
+    }
+
+    fn run_to_decision(sim: &mut Simulation<ScpMsg>, correct: &[u32]) {
+        let ids: Vec<ProcessId> = correct.iter().map(|&i| ProcessId::new(i)).collect();
+        sim.run_while(
+            |s| {
+                !ids.iter()
+                    .all(|&i| s.actor_as::<ScpNode>(i).is_some_and(|n| n.externalized().is_some()))
+            },
+            3_000_000,
+        );
+    }
+
+    #[test]
+    fn fig1_scp_reaches_consensus_with_silent_byzantine() {
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        for seed in 0..4 {
+            let mut sim = fig1_sim(seed, Box::new(SilentActor::new()));
+            run_to_decision(&mut sim, &correct);
+            let v = assert_scp_consensus(&sim, &correct);
+            assert!((10..17).contains(&v), "validity: {v} must be an input");
+        }
+    }
+
+    #[test]
+    fn fig1_scp_safe_under_equivocation() {
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        for seed in 0..4 {
+            let adversary = EquivocatingScpNode::new(
+                (666, 777),
+                SliceFamily::explicit([ProcessSet::from_ids([7])]),
+            );
+            let mut sim = fig1_sim(seed, Box::new(adversary));
+            run_to_decision(&mut sim, &correct);
+            // Agreement must hold even against the equivocator; the value
+            // may be one the adversary nominated (weak validity), but all
+            // correct nodes agree.
+            assert_scp_consensus(&sim, &correct);
+        }
+    }
+
+    #[test]
+    fn synchronous_run_decides() {
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let kg = generators::fig1();
+        let sys = paper::fig1_system();
+        let mut sim = Simulation::new(kg, NetworkConfig::synchronous(10, 42));
+        for i in 0..7u32 {
+            let i = ProcessId::new(i);
+            sim.add_actor(Box::new(ScpNode::new(ScpConfig::new(
+                sys.slices(i).clone(),
+                20,
+            ))));
+        }
+        sim.add_actor(Box::new(SilentActor::new()));
+        run_to_decision(&mut sim, &correct);
+        // All inputs equal: strong validity — the decision must be 20.
+        assert_eq!(assert_scp_consensus(&sim, &correct), 20);
+    }
+
+    #[test]
+    fn split_quorums_can_externalize_differently() {
+        // Theorem 2 as a protocol run: Fig. 2 with locally defined slices
+        // (all subsets of PD_i of size |PD_i| - 1). The sink {0,1,2,3} and
+        // the outer ring {4,5,6} form disjoint quorums; with inputs far
+        // apart, some schedules externalize different values in the two
+        // quorums — SCP loses agreement, exactly the paper's point.
+        let kg = generators::fig2();
+        let mut disagreements = 0;
+        let mut decided_runs = 0;
+        for seed in 0..12 {
+            let mut sim =
+                Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(80, 10, seed));
+            for i in kg.processes() {
+                let pd = kg.pd(i).clone();
+                let size = pd.len() - 1;
+                let slices = SliceFamily::all_subsets(pd, size);
+                // Sink processes propose small values, outer ones large.
+                let input = if i.as_u32() < 4 { 1 } else { 100 + i.as_u32() as u64 };
+                sim.add_actor(Box::new(ScpNode::new(ScpConfig::new(slices, input))));
+            }
+            sim.run_while(
+                |s| {
+                    !kg.processes().all(|i| {
+                        s.actor_as::<ScpNode>(i)
+                            .is_some_and(|n| n.externalized().is_some())
+                    })
+                },
+                2_000_000,
+            );
+            let sink_v = sim.actor_as::<ScpNode>(ProcessId::new(0)).unwrap().externalized();
+            let outer_v = sim.actor_as::<ScpNode>(ProcessId::new(4)).unwrap().externalized();
+            if let (Some(a), Some(b)) = (sink_v, outer_v) {
+                decided_runs += 1;
+                if a != b {
+                    disagreements += 1;
+                }
+            }
+        }
+        assert!(decided_runs > 0, "some runs must decide");
+        assert!(
+            disagreements > 0,
+            "disjoint quorums must disagree on some schedule ({decided_runs} decided runs)"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Statements federated voting ranges over.
+
+use std::fmt;
+
+/// The value type SCP agrees on.
+pub type Value = u64;
+
+/// A statement subject to federated voting (vote → accept → confirm).
+///
+/// Nomination statements propose candidate values; ballot statements drive
+/// the prepare/commit cascade for a specific ballot `(counter, value)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Statement {
+    /// "Value `v` is a nominee."
+    Nominate(
+        /// The nominated value.
+        Value,
+    ),
+    /// "Ballot `(counter, value)` is prepared" — no lower conflicting
+    /// ballot can commit.
+    Prepare(
+        /// The ballot counter.
+        u64,
+        /// The ballot value.
+        Value,
+    ),
+    /// "Ballot `(counter, value)` is committed."
+    Commit(
+        /// The ballot counter.
+        u64,
+        /// The ballot value.
+        Value,
+    ),
+}
+
+impl Statement {
+    /// The value the statement is about.
+    pub fn value(&self) -> Value {
+        match self {
+            Statement::Nominate(v) | Statement::Prepare(_, v) | Statement::Commit(_, v) => *v,
+        }
+    }
+
+    /// The ballot counter, if this is a ballot statement.
+    pub fn counter(&self) -> Option<u64> {
+        match self {
+            Statement::Nominate(_) => None,
+            Statement::Prepare(n, _) | Statement::Commit(n, _) => Some(*n),
+        }
+    }
+
+    /// `true` for nomination statements.
+    pub fn is_nomination(&self) -> bool {
+        matches!(self, Statement::Nominate(_))
+    }
+}
+
+impl fmt::Debug for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Nominate(v) => write!(f, "nominate({v})"),
+            Statement::Prepare(n, v) => write!(f, "prepare({n}, {v})"),
+            Statement::Commit(n, v) => write!(f, "commit({n}, {v})"),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Statement::Nominate(7).value(), 7);
+        assert_eq!(Statement::Prepare(3, 8).value(), 8);
+        assert_eq!(Statement::Commit(3, 8).counter(), Some(3));
+        assert_eq!(Statement::Nominate(7).counter(), None);
+        assert!(Statement::Nominate(7).is_nomination());
+        assert!(!Statement::Commit(1, 1).is_nomination());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            Statement::Commit(1, 2),
+            Statement::Nominate(9),
+            Statement::Prepare(1, 2),
+        ];
+        v.sort();
+        assert_eq!(v[0], Statement::Nominate(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Statement::Prepare(2, 5).to_string(), "prepare(2, 5)");
+    }
+}

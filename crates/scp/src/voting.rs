@@ -1,0 +1,342 @@
+//! Federated voting: the vote → accept → confirm cascade of SCP.
+//!
+//! A process *votes* for a statement it is willing to assert. It *accepts*
+//! the statement once either
+//!
+//! - a quorum (through its own slices, evaluated by Algorithm 1 against the
+//!   slices attached to the members' messages) has voted-or-accepted it, or
+//! - a v-blocking set of its slices has accepted it (at least one correct
+//!   trusted process stands behind the claim, so it is safe to join);
+//!
+//! and it *confirms* (acts on) the statement once a quorum has accepted it.
+//!
+//! [`VoteTracker`] keeps the per-statement tally; [`QuorumCheck`] holds the
+//! slice registry built from received envelopes and answers the
+//! quorum/v-blocking queries.
+
+use std::collections::BTreeMap;
+
+use scup_fbqs::SliceFamily;
+use scup_graph::{ProcessId, ProcessSet};
+
+use crate::statement::Statement;
+
+/// How far a process has progressed on one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VoteLevel {
+    /// No pledge yet.
+    None,
+    /// Voted for the statement.
+    Voted,
+    /// Accepted the statement.
+    Accepted,
+    /// Confirmed the statement (quorum of accepts).
+    Confirmed,
+}
+
+/// The slice registry: the latest slice family each process attached to a
+/// message, used to evaluate Algorithm 1 from a single process's local
+/// view.
+#[derive(Debug, Clone, Default)]
+pub struct QuorumCheck {
+    slices: BTreeMap<ProcessId, SliceFamily>,
+}
+
+impl QuorumCheck {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        QuorumCheck::default()
+    }
+
+    /// Records the slice family attached to a message from `from`
+    /// (overwriting earlier ones — a Byzantine equivocator is pinned to its
+    /// most recent claim).
+    pub fn record_slices(&mut self, from: ProcessId, slices: SliceFamily) {
+        self.slices.insert(from, slices);
+    }
+
+    /// The registered slices of `from`, if any message arrived yet.
+    pub fn slices_of(&self, from: ProcessId) -> Option<&SliceFamily> {
+        self.slices.get(&from)
+    }
+
+    /// Returns `true` if `candidates` contains a quorum that includes
+    /// `self_id` — the quorum side of the accept/confirm rules.
+    ///
+    /// Computes the quorum closure of `candidates` using the registered
+    /// slices (processes with unknown slices cannot certify and are
+    /// dropped), then checks membership of `self_id`. Exactly Algorithm 1
+    /// applied to the largest plausible quorum.
+    pub fn has_quorum_through(
+        &self,
+        self_id: ProcessId,
+        own_slices: &SliceFamily,
+        candidates: &ProcessSet,
+    ) -> bool {
+        let mut current = candidates.clone();
+        loop {
+            let mut removed = false;
+            for i in current.clone().iter() {
+                let family = if i == self_id {
+                    Some(own_slices)
+                } else {
+                    self.slices.get(&i)
+                };
+                let keep = family.is_some_and(|fam| fam.has_slice_within(&current));
+                if !keep {
+                    current.remove(i);
+                    removed = true;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+        current.contains(self_id)
+    }
+
+    /// Returns `true` if `accepters` is v-blocking for `own_slices` — the
+    /// blocking side of the accept rule.
+    pub fn is_v_blocking(&self, own_slices: &SliceFamily, accepters: &ProcessSet) -> bool {
+        own_slices.is_v_blocked_by(accepters)
+    }
+}
+
+/// Per-statement federated-voting tally for one process.
+#[derive(Debug, Clone, Default)]
+pub struct VoteTracker {
+    voted: BTreeMap<Statement, ProcessSet>,
+    accepted: BTreeMap<Statement, ProcessSet>,
+    mine: BTreeMap<Statement, VoteLevel>,
+}
+
+impl VoteTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        VoteTracker::default()
+    }
+
+    /// Records a remote vote.
+    pub fn record_vote(&mut self, from: ProcessId, stmt: Statement) {
+        self.voted.entry(stmt).or_default().insert(from);
+    }
+
+    /// Records a remote accept (an accept implies a vote).
+    pub fn record_accept(&mut self, from: ProcessId, stmt: Statement) {
+        self.voted.entry(stmt).or_default().insert(from);
+        self.accepted.entry(stmt).or_default().insert(from);
+    }
+
+    /// Registers our own vote for `stmt` (no-op if we already pledged).
+    /// Returns `true` if this is a new vote that should be broadcast.
+    pub fn vote(&mut self, self_id: ProcessId, stmt: Statement) -> bool {
+        let level = self.mine.entry(stmt).or_insert(VoteLevel::None);
+        if *level >= VoteLevel::Voted {
+            return false;
+        }
+        *level = VoteLevel::Voted;
+        self.voted.entry(stmt).or_default().insert(self_id);
+        true
+    }
+
+    /// Our level on `stmt`.
+    pub fn level(&self, stmt: Statement) -> VoteLevel {
+        self.mine.get(&stmt).copied().unwrap_or(VoteLevel::None)
+    }
+
+    /// All statements we confirmed.
+    pub fn confirmed(&self) -> impl Iterator<Item = Statement> + '_ {
+        self.mine
+            .iter()
+            .filter(|(_, l)| **l == VoteLevel::Confirmed)
+            .map(|(s, _)| *s)
+    }
+
+    /// The processes that voted-or-accepted `stmt`.
+    pub fn voters(&self, stmt: Statement) -> ProcessSet {
+        self.voted.get(&stmt).cloned().unwrap_or_default()
+    }
+
+    /// The processes that accepted `stmt`.
+    pub fn accepters(&self, stmt: Statement) -> ProcessSet {
+        self.accepted.get(&stmt).cloned().unwrap_or_default()
+    }
+
+    /// Re-evaluates the accept/confirm rules for every known statement.
+    /// Returns the statements whose level rose, with their new level —
+    /// the caller broadcasts new accepts and reacts to confirmations.
+    pub fn update(
+        &mut self,
+        self_id: ProcessId,
+        own_slices: &SliceFamily,
+        check: &QuorumCheck,
+    ) -> Vec<(Statement, VoteLevel)> {
+        let mut changes = Vec::new();
+        let statements: Vec<Statement> = self
+            .voted
+            .keys()
+            .chain(self.accepted.keys())
+            .copied()
+            .collect();
+        for stmt in statements {
+            loop {
+                let level = self.level(stmt);
+                let next = match level {
+                    VoteLevel::None | VoteLevel::Voted => {
+                        let accepters = self.accepters(stmt);
+                        let can_accept = check.is_v_blocking(own_slices, &accepters)
+                            || (level == VoteLevel::Voted
+                                && check.has_quorum_through(
+                                    self_id,
+                                    own_slices,
+                                    &self.voters(stmt),
+                                ));
+                        if can_accept {
+                            self.accepted.entry(stmt).or_default().insert(self_id);
+                            self.voted.entry(stmt).or_default().insert(self_id);
+                            self.mine.insert(stmt, VoteLevel::Accepted);
+                            changes.push((stmt, VoteLevel::Accepted));
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    VoteLevel::Accepted => {
+                        if check.has_quorum_through(self_id, own_slices, &self.accepters(stmt)) {
+                            self.mine.insert(stmt, VoteLevel::Confirmed);
+                            changes.push((stmt, VoteLevel::Confirmed));
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    VoteLevel::Confirmed => false,
+                };
+                if !next {
+                    break;
+                }
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_fbqs::paper;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Registry loaded with the paper's Fig. 1 slices (Section III-D).
+    fn fig1_check() -> QuorumCheck {
+        let sys = paper::fig1_system();
+        let mut check = QuorumCheck::new();
+        for i in sys.processes() {
+            check.record_slices(i, sys.slices(i).clone());
+        }
+        check
+    }
+
+    #[test]
+    fn quorum_through_sink_core() {
+        let check = fig1_check();
+        let sys = paper::fig1_system();
+        // {4,5,6} is a quorum for each of its members.
+        let q = ProcessSet::from_ids([4, 5, 6]);
+        for i in [4u32, 5, 6] {
+            assert!(check.has_quorum_through(p(i), sys.slices(p(i)), &q));
+        }
+        // ...but not for process 0, which is outside.
+        assert!(!check.has_quorum_through(p(0), sys.slices(p(0)), &q));
+        // {4,5} contains no quorum.
+        assert!(!check.has_quorum_through(p(4), sys.slices(p(4)), &ProcessSet::from_ids([4, 5])));
+    }
+
+    #[test]
+    fn unknown_slices_cannot_certify() {
+        let mut check = QuorumCheck::new();
+        let sys = paper::fig1_system();
+        // Only process 4's slices are known: closure drops 5 and 6.
+        check.record_slices(p(4), sys.slices(p(4)).clone());
+        let q = ProcessSet::from_ids([4, 5, 6]);
+        assert!(!check.has_quorum_through(p(4), sys.slices(p(4)), &q));
+    }
+
+    #[test]
+    fn accept_via_quorum_of_votes() {
+        let check = fig1_check();
+        let sys = paper::fig1_system();
+        let mut tracker = VoteTracker::new();
+        let stmt = Statement::Nominate(9);
+        assert!(tracker.vote(p(4), stmt));
+        assert!(!tracker.vote(p(4), stmt), "idempotent");
+        tracker.record_vote(p(5), stmt);
+        tracker.record_vote(p(6), stmt);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        assert!(changes.contains(&(stmt, VoteLevel::Accepted)));
+        assert_eq!(tracker.level(stmt), VoteLevel::Accepted);
+    }
+
+    #[test]
+    fn accept_via_v_blocking_without_vote() {
+        let check = fig1_check();
+        let sys = paper::fig1_system();
+        let mut tracker = VoteTracker::new();
+        let stmt = Statement::Nominate(3);
+        // Process 4 (paper 5, slices {{5,6}} 0-based): {5} alone is
+        // v-blocking... S5 = {{6,7}} paper → 0-based {5,6}: need both? A
+        // single slice family is blocked by any set hitting the slice.
+        tracker.record_accept(p(5), stmt);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        assert!(
+            changes.contains(&(stmt, VoteLevel::Accepted)),
+            "v-blocking accept without own vote"
+        );
+    }
+
+    #[test]
+    fn confirm_needs_quorum_of_accepts() {
+        let check = fig1_check();
+        let sys = paper::fig1_system();
+        let mut tracker = VoteTracker::new();
+        let stmt = Statement::Prepare(1, 2);
+        tracker.vote(p(4), stmt);
+        tracker.record_accept(p(5), stmt);
+        tracker.record_accept(p(6), stmt);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        // Accept via v-blocking {5,6}, then confirm via quorum {4,5,6} of
+        // accepts, in one cascade.
+        assert!(changes.contains(&(stmt, VoteLevel::Accepted)));
+        assert!(changes.contains(&(stmt, VoteLevel::Confirmed)));
+        assert_eq!(tracker.level(stmt), VoteLevel::Confirmed);
+        assert_eq!(tracker.confirmed().collect::<Vec<_>>(), vec![stmt]);
+    }
+
+    #[test]
+    fn votes_alone_do_not_confirm() {
+        let check = fig1_check();
+        let sys = paper::fig1_system();
+        let mut tracker = VoteTracker::new();
+        let stmt = Statement::Commit(1, 2);
+        tracker.vote(p(4), stmt);
+        tracker.record_vote(p(5), stmt);
+        tracker.record_vote(p(6), stmt);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        // Quorum of votes → accept; but confirms need a quorum of accepts,
+        // and only we accepted.
+        assert_eq!(changes, vec![(stmt, VoteLevel::Accepted)]);
+    }
+
+    #[test]
+    fn byzantine_slice_equivocation_pins_latest() {
+        let mut check = QuorumCheck::new();
+        let a = SliceFamily::explicit([ProcessSet::from_ids([1])]);
+        let b = SliceFamily::explicit([ProcessSet::from_ids([2])]);
+        check.record_slices(p(9), a);
+        check.record_slices(p(9), b.clone());
+        assert_eq!(check.slices_of(p(9)), Some(&b));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for SCP.
+//!
+//! The central safety property: on systems whose correct processes form a
+//! consensus cluster, no run — across seeds, GST values, and adversary
+//! placements — externalizes two different values at correct nodes.
+
+use proptest::prelude::*;
+use scup_fbqs::{paper, SliceFamily};
+use scup_graph::{generators, ProcessId, ProcessSet};
+use scup_scp::node::EquivocatingScpNode;
+use scup_scp::{ScpConfig, ScpMsg, ScpNode};
+use scup_sim::adversary::SilentActor;
+use scup_sim::{NetworkConfig, Simulation};
+
+/// Algorithm 2 of the paper, inlined to avoid a dev-dependency cycle with
+/// the core crate: sink members get all ⌈(|V|+f+1)/2⌉-subsets of V_sink,
+/// non-sink members all (f+1)-subsets.
+fn algorithm2_slices(v_sink: &ProcessSet, is_member: bool, f: usize) -> SliceFamily {
+    let size = if is_member {
+        (v_sink.len() + f + 1).div_ceil(2)
+    } else {
+        f + 1
+    };
+    SliceFamily::all_subsets(v_sink.clone(), size)
+}
+
+fn run_fig1(
+    seed: u64,
+    gst: u64,
+    equivocate: bool,
+    inputs: &[u64; 7],
+) -> (Simulation<ScpMsg>, Vec<Option<u64>>) {
+    let kg = generators::fig1();
+    let sys = paper::fig1_system();
+    let mut sim = Simulation::new(kg, NetworkConfig::partially_synchronous(gst, 10, seed));
+    for i in 0..7u32 {
+        let id = ProcessId::new(i);
+        sim.add_actor(Box::new(ScpNode::new(ScpConfig::new(
+            sys.slices(id).clone(),
+            inputs[i as usize],
+        ))));
+    }
+    if equivocate {
+        sim.add_actor(Box::new(EquivocatingScpNode::new(
+            (1_000_001, 1_000_002),
+            SliceFamily::explicit([ProcessSet::from_ids([7])]),
+        )));
+    } else {
+        sim.add_actor(Box::new(SilentActor::new()));
+    }
+    sim.run_while(
+        |s| {
+            !(0..7u32).all(|i| {
+                s.actor_as::<ScpNode>(ProcessId::new(i))
+                    .is_some_and(|n| n.externalized().is_some())
+            })
+        },
+        3_000_000,
+    );
+    let decisions = (0..7u32)
+        .map(|i| {
+            sim.actor_as::<ScpNode>(ProcessId::new(i))
+                .unwrap()
+                .externalized()
+        })
+        .collect();
+    (sim, decisions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scp_agreement_and_termination_on_fig1(
+        seed in 0u64..100_000,
+        gst in 0u64..300,
+        equivocate in proptest::bool::ANY,
+        base in 1u64..1000,
+    ) {
+        let inputs = [base, base + 1, base + 2, base + 3, base + 4, base + 5, base + 6];
+        let (_, decisions) = run_fig1(seed, gst, equivocate, &inputs);
+        let mut value = None;
+        for (i, d) in decisions.iter().enumerate() {
+            prop_assert!(d.is_some(), "node {} did not externalize", i);
+            match value {
+                None => value = *d,
+                Some(prev) => prop_assert_eq!(Some(prev), *d, "disagreement at node {}", i),
+            }
+        }
+        if !equivocate {
+            // Validity with a silent adversary: a correct input decided.
+            let v = value.unwrap();
+            prop_assert!(inputs.contains(&v), "decided {} not an input", v);
+        }
+    }
+
+    #[test]
+    fn scp_strong_validity_on_unanimous_inputs(seed in 0u64..100_000, gst in 0u64..200) {
+        let inputs = [7u64; 7];
+        let (_, decisions) = run_fig1(seed, gst, false, &inputs);
+        for d in &decisions {
+            prop_assert_eq!(*d, Some(7));
+        }
+    }
+
+    #[test]
+    fn scp_with_algorithm2_slices_on_random_graphs(seed in 0u64..50_000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (kg, faulty) = generators::random_byzantine_safe(5, 3, 1, &mut rng);
+        let v_sink = scup_graph::sink::unique_sink(kg.graph()).unwrap();
+        let mut sim = Simulation::new(
+            kg.clone(),
+            NetworkConfig::partially_synchronous(seed % 200, 10, seed),
+        );
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                sim.add_actor(Box::new(SilentActor::new()));
+            } else {
+                let slices = algorithm2_slices(&v_sink, v_sink.contains(i), 1);
+                sim.add_actor(Box::new(ScpNode::new(ScpConfig::new(
+                    slices,
+                    10 + i.as_u32() as u64,
+                ))));
+            }
+        }
+        let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
+        sim.run_while(
+            |s| {
+                !correct.iter().all(|&i| {
+                    s.actor_as::<ScpNode>(i).is_some_and(|n| n.externalized().is_some())
+                })
+            },
+            3_000_000,
+        );
+        let mut value = None;
+        for &i in &correct {
+            let d = sim.actor_as::<ScpNode>(i).unwrap().externalized();
+            prop_assert!(d.is_some(), "termination at {}", i);
+            match value {
+                None => value = d,
+                Some(prev) => prop_assert_eq!(d, Some(prev), "agreement at {}", i),
+            }
+        }
+    }
+}

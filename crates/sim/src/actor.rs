@@ -1,0 +1,191 @@
+use std::any::Any;
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use scup_graph::{ProcessId, ProcessSet};
+
+use crate::SimTime;
+
+/// Marker trait for protocol messages carried by the simulator.
+///
+/// `size_hint` feeds the byte counters in [`SimReport`](crate::SimReport);
+/// the default of 1 counts messages instead of bytes.
+pub trait SimMessage: Clone + Debug + 'static {
+    /// Approximate wire size of the message, in abstract bytes.
+    fn size_hint(&self) -> usize {
+        1
+    }
+}
+
+/// A deterministic protocol state machine driven by the simulator.
+///
+/// Correct processes implement their protocol here; Byzantine processes are
+/// simply adversarial implementations (the simulator does not privilege
+/// either). The `Any` supertrait lets tests downcast actors back to their
+/// concrete type after a run.
+pub trait Actor<M: SimMessage>: Any {
+    /// Called once at time zero, before any message flows.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>);
+
+    /// Called when a message from `from` is delivered. The simulator
+    /// guarantees `from` is the true sender (authenticated channels) and
+    /// has already added `from` to this process's knowledge.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ProcessId, msg: M);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// The per-callback handle an [`Actor`] uses to interact with the world:
+/// sending messages, arming timers, reading the clock and its evolving
+/// knowledge set.
+pub struct Context<'a, M> {
+    pub(crate) self_id: ProcessId,
+    pub(crate) now: SimTime,
+    pub(crate) known: &'a mut ProcessSet,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) outbox: Vec<(ProcessId, M)>,
+    pub(crate) timers: Vec<(u64, u64)>,
+}
+
+impl<M> Context<'_, M> {
+    /// This process's id.
+    #[inline]
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The processes this process currently knows (`Π_i`): its participant
+    /// detector output plus every process it has heard from.
+    #[inline]
+    pub fn known(&self) -> &ProcessSet {
+        self.known
+    }
+
+    /// Returns `true` if this process knows `j` and may therefore address
+    /// it.
+    pub fn knows(&self, j: ProcessId) -> bool {
+        self.known.contains(j)
+    }
+
+    /// Registers an identity learned from a message *payload* (e.g. a
+    /// participant-detector set relayed during discovery). Knowing a
+    /// process's id is what enables addressing it in the CUP model
+    /// (Section III-A); senders of received messages are learned
+    /// automatically, payload-borne ids must be registered explicitly.
+    pub fn learn(&mut self, j: ProcessId) {
+        if j != self.self_id {
+            self.known.insert(j);
+        }
+    }
+
+    /// Sends `msg` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process does not know `to` — the addressing rule of
+    /// Section III-A. Use [`Context::knows`] to guard speculative sends.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        assert!(
+            self.known.contains(to),
+            "{} attempted to send to unknown process {to}",
+            self.self_id
+        );
+        assert_ne!(to, self.self_id, "{} attempted to send to itself", self.self_id);
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends a clone of `msg` to every currently known process.
+    pub fn broadcast_known(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for j in self.known.clone().iter() {
+            if j != self.self_id {
+                self.send(j, msg.clone());
+            }
+        }
+    }
+
+    /// Arms a timer that fires `delay > 0` ticks from now, delivering `tag`
+    /// to [`Actor::on_timer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` (zero-delay timers would starve delivery).
+    pub fn set_timer(&mut self, delay: u64, tag: u64) {
+        assert!(delay > 0, "timers must have positive delay");
+        self.timers.push((delay, tag));
+    }
+
+    /// A deterministic per-run random source (seeded by
+    /// [`NetworkConfig::seed`](crate::NetworkConfig)).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct M;
+    impl SimMessage for M {}
+
+    fn ctx<'a>(known: &'a mut ProcessSet, rng: &'a mut StdRng) -> Context<'a, M> {
+        Context {
+            self_id: ProcessId::new(0),
+            now: SimTime::ZERO,
+            known,
+            rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn send_requires_knowledge() {
+        let mut known = ProcessSet::from_ids([1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = ctx(&mut known, &mut rng);
+        c.send(ProcessId::new(1), M);
+        assert_eq!(c.outbox.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn send_to_unknown_panics() {
+        let mut known = ProcessSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = ctx(&mut known, &mut rng);
+        c.send(ProcessId::new(3), M);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive delay")]
+    fn zero_delay_timer_panics() {
+        let mut known = ProcessSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = ctx(&mut known, &mut rng);
+        c.set_timer(0, 1);
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut known = ProcessSet::from_ids([0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = ctx(&mut known, &mut rng);
+        c.broadcast_known(M);
+        assert_eq!(c.outbox.len(), 2);
+    }
+}

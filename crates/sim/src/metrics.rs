@@ -1,0 +1,55 @@
+use std::fmt;
+
+use crate::SimTime;
+
+/// Aggregate statistics of a simulation run, as returned by
+/// [`Simulation::run_until_quiet`](crate::Simulation::run_until_quiet).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to actors.
+    pub messages_delivered: u64,
+    /// Sum of [`SimMessage::size_hint`](crate::SimMessage::size_hint) over
+    /// sent messages.
+    pub bytes_sent: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// `true` if the run stopped because the event queue drained (vs.
+    /// hitting the time horizon or a stop predicate).
+    pub quiescent: bool,
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} bytes={} timers={} end={} quiescent={}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.bytes_sent,
+            self.timers_fired,
+            self.end_time,
+            self.quiescent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_fields() {
+        let r = SimReport {
+            messages_sent: 3,
+            end_time: SimTime::from_ticks(9),
+            ..SimReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("sent=3"));
+        assert!(s.contains("end=t9"));
+    }
+}

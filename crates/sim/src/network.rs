@@ -1,0 +1,76 @@
+use crate::SimTime;
+
+/// Partially synchronous network parameters (Section III-A; Dwork–Lynch–
+/// Stockmeyer).
+///
+/// Before `gst` a message sent at time `s` is delivered at an adversarially
+/// chosen time in `[s + 1, max(s, gst) + delta]` — finite (reliable
+/// channels) but unbounded relative to `delta` while `gst` is far away. At
+/// and after `gst`, delivery happens within `[s + 1, s + delta]`.
+///
+/// The adversarial choice is realized by the seeded RNG, which is enough to
+/// exercise reorderings; tests sweep seeds and `gst` values.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// The global stabilization time. `SimTime::ZERO` models a synchronous
+    /// run from the start.
+    pub gst: SimTime,
+    /// Post-GST delivery bound `Δ`, in ticks (must be ≥ 1).
+    pub delta: u64,
+    /// Seed for all simulation randomness (delays and actor RNGs).
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// A synchronous network (`GST = 0`) with the given `Δ` and seed.
+    pub fn synchronous(delta: u64, seed: u64) -> Self {
+        NetworkConfig {
+            gst: SimTime::ZERO,
+            delta,
+            seed,
+        }
+    }
+
+    /// A partially synchronous network that stabilizes at `gst`.
+    pub fn partially_synchronous(gst: u64, delta: u64, seed: u64) -> Self {
+        NetworkConfig {
+            gst: SimTime::from_ticks(gst),
+            delta,
+            seed,
+        }
+    }
+
+    /// Latest possible delivery time for a message sent at `sent`.
+    pub fn max_delivery(&self, sent: SimTime) -> SimTime {
+        let base = sent.max(self.gst);
+        base + self.delta
+    }
+}
+
+impl Default for NetworkConfig {
+    /// Synchronous, `Δ = 10`, seed 0.
+    fn default() -> Self {
+        NetworkConfig::synchronous(10, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_bounds() {
+        let c = NetworkConfig::partially_synchronous(100, 10, 7);
+        // Sent before GST: bounded by GST + delta.
+        assert_eq!(c.max_delivery(SimTime::from_ticks(5)), SimTime::from_ticks(110));
+        // Sent after GST: bounded by send + delta.
+        assert_eq!(c.max_delivery(SimTime::from_ticks(200)), SimTime::from_ticks(210));
+    }
+
+    #[test]
+    fn default_is_synchronous() {
+        let c = NetworkConfig::default();
+        assert_eq!(c.gst, SimTime::ZERO);
+        assert_eq!(c.delta, 10);
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulated time, in abstract ticks.
+///
+/// The simulator assigns no physical meaning to a tick; protocols only rely
+/// on ordering and on the post-`GST` delivery bound `Δ` expressed in ticks.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero, the start of every run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw ticks.
+    #[inline]
+    pub const fn from_ticks(t: u64) -> Self {
+        SimTime(t)
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(t: u64) -> Self {
+        SimTime(t)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(t - SimTime::from_ticks(4), 6);
+        assert_eq!(SimTime::ZERO.saturating_sub(t), 0);
+        assert_eq!(t.saturating_sub(SimTime::from_ticks(3)), 7);
+        let mut u = t;
+        u += 2;
+        assert_eq!(u, SimTime::from_ticks(12));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t7");
+    }
+}

@@ -1,0 +1,108 @@
+use scup_graph::ProcessId;
+
+use crate::SimTime;
+
+/// One recorded simulator event (see [`Trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Sent {
+        /// Send time.
+        at: SimTime,
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Scheduled delivery time.
+        deliver_at: SimTime,
+        /// Debug rendering of the payload.
+        payload: String,
+    },
+    /// A message was delivered to its receiver.
+    Delivered {
+        /// Delivery time.
+        at: SimTime,
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Debug rendering of the payload.
+        payload: String,
+    },
+    /// A timer fired.
+    Timer {
+        /// Fire time.
+        at: SimTime,
+        /// The process whose timer fired.
+        process: ProcessId,
+        /// The timer tag.
+        tag: u64,
+    },
+}
+
+/// An optional in-memory event log for debugging protocol runs.
+///
+/// Disabled by default; enabling it costs one `format!` per event.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Enables recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Returns `true` if recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Timer {
+            at: SimTime::ZERO,
+            process: ProcessId::new(0),
+            tag: 1,
+        });
+        assert!(t.events().is_empty());
+        t.enable();
+        t.push(TraceEvent::Timer {
+            at: SimTime::ZERO,
+            process: ProcessId::new(0),
+            tag: 1,
+        });
+        assert_eq!(t.events().len(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the paper's Fig. 1 example, end to end.
+//!
+//! Builds the 8-participant knowledge connectivity graph, inspects its sink,
+//! checks the hand-crafted slices of Section III-D form a single maximal
+//! consensus cluster, and runs SCP on it to externalize a value.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use scup_fbqs::{cluster, paper, quorum};
+use scup_graph::{generators, sink, ProcessId, ProcessSet};
+use scup_scp::{ScpConfig, ScpNode};
+use scup_sim::adversary::SilentActor;
+use scup_sim::{NetworkConfig, Simulation};
+
+fn main() {
+    // 1. The knowledge connectivity graph of Fig. 1 (0-based ids).
+    let kg = generators::fig1();
+    println!("knowledge graph: {} processes, {} edges", kg.n(), kg.graph().edge_count());
+
+    let v_sink = sink::unique_sink(kg.graph()).expect("Fig. 1 has a unique sink");
+    println!("sink component (0-based): {v_sink}");
+
+    // 2. The Section III-D slice assignment, and the quorums it induces.
+    let sys = paper::fig1_system();
+    let w = paper::fig1_correct();
+    let core = ProcessSet::from_ids([4, 5, 6]);
+    println!("is_quorum({core}) = {}", quorum::is_quorum(&sys, &core));
+
+    let maximal = cluster::maximal_consensus_clusters(
+        &sys,
+        &w,
+        &w,
+        cluster::IntertwinedMode::CorrectWitness,
+        1 << 12,
+    )
+    .expect("Fig. 1 is small enough for the exhaustive check");
+    println!("maximal consensus clusters: {maximal:?}");
+    assert_eq!(maximal, vec![w.clone()], "all correct processes form the unique maximal cluster");
+
+    // 3. Run SCP: 7 correct nodes with the paper's slices, process 8 silent.
+    let mut sim = Simulation::new(kg, NetworkConfig::partially_synchronous(150, 10, 1));
+    for i in 0..7u32 {
+        let i = ProcessId::new(i);
+        sim.add_actor(Box::new(ScpNode::new(ScpConfig::new(
+            sys.slices(i).clone(),
+            40 + i.as_u32() as u64,
+        ))));
+    }
+    sim.add_actor(Box::new(SilentActor::new()));
+    sim.run_while(
+        |s| {
+            !(0..7u32).all(|i| {
+                s.actor_as::<ScpNode>(ProcessId::new(i))
+                    .is_some_and(|n| n.externalized().is_some())
+            })
+        },
+        2_000_000,
+    );
+
+    let mut value = None;
+    for i in 0..7u32 {
+        let node = sim.actor_as::<ScpNode>(ProcessId::new(i)).unwrap();
+        let v = node.externalized().expect("every correct node externalizes");
+        println!("node {} externalized {v}", i + 1);
+        match value {
+            None => value = Some(v),
+            Some(prev) => assert_eq!(prev, v, "agreement"),
+        }
+    }
+    println!("consensus reached on {} in {}", value.unwrap(), sim.now());
+}

@@ -1,0 +1,47 @@
+//! The Theorem 2 counterexample, both statically (disjoint quorums) and
+//! dynamically (SCP runs that externalize different values).
+//!
+//! Run: `cargo run --release --example theorem2_counterexample`
+
+use scup_graph::{generators, ProcessSet};
+use stellar_cup::attempts::LocalSliceStrategy;
+use stellar_cup::consensus::{self, EndToEndConfig};
+use stellar_cup::theorems;
+
+fn main() {
+    let kg = generators::fig2();
+
+    // Static: the violation witness of Theorem 2.
+    let v = theorems::theorem2_violation(&kg, LocalSliceStrategy::AllButOne, 1)
+        .expect("Fig. 2 must exhibit the violation");
+    println!("Theorem 2 witness on Fig. 2 (0-based ids):");
+    println!("  Q1 = {}  Q2 = {}  |Q1 ∩ Q2| = {}", v.q1, v.q2, v.intersection_len);
+
+    // Dynamic: run SCP with those local slices until a schedule splits the
+    // two quorums.
+    println!("searching for a disagreeing schedule...");
+    for seed in 0..40u64 {
+        let config = EndToEndConfig {
+            seed,
+            gst: 80,
+            inputs: Some(vec![1, 1, 1, 1, 104, 105, 106]),
+            ..EndToEndConfig::default()
+        };
+        let outcome = consensus::run_local_slices_pipeline(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            LocalSliceStrategy::AllButOne,
+            &config,
+        );
+        if outcome.decisions.iter().all(Option::is_some) && !outcome.agreement() {
+            println!("  seed {seed}: AGREEMENT VIOLATED");
+            for (i, d) in outcome.decisions.iter().enumerate() {
+                println!("    node {} externalized {:?}", i + 1, d.unwrap());
+            }
+            println!("Stellar cannot solve consensus from PD_i and f alone (Corollary 1).");
+            return;
+        }
+    }
+    panic!("no disagreement found — increase the seed range");
+}

@@ -1,0 +1,34 @@
+//! "Can my network run Stellar with minimal knowledge?" — the operator-
+//! facing API: feed a knowledge connectivity graph and a fault threshold,
+//! get a structured verdict with the failing condition when the answer is
+//! no.
+//!
+//! Run: `cargo run --release --example verify_network`
+
+use scup_graph::generators;
+use stellar_cup::report::verify_network;
+
+fn main() {
+    println!("--- Fig. 2 (the paper's 3-OSR example), f = 1 ---");
+    print!("{}", verify_network(&generators::fig2(), 1));
+
+    println!();
+    println!("--- Fig. 1 (illustration only: 1-OSR), f = 1 ---");
+    print!("{}", verify_network(&generators::fig1(), 1));
+
+    println!();
+    println!("--- Fig. 1, f = 0 ---");
+    print!("{}", verify_network(&generators::fig1(), 0));
+
+    println!();
+    println!("--- Undersized sink (K3 core), f = 1 ---");
+    print!("{}", verify_network(&generators::fig2_family(3, 4), 1));
+
+    println!();
+    println!("--- Random 40-process network, f = 2 ---");
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(11);
+    let config = generators::KosrConfig::new(12, 28, 3).with_extra_edges(0.05);
+    let kg = generators::random_kosr(&config, &mut rng);
+    print!("{}", verify_network(&kg, 2));
+}

@@ -1,0 +1,7 @@
+//! Facade crate; see the workspace member crates for the actual library.
+pub use scup_cup as cup;
+pub use scup_fbqs as fbqs;
+pub use scup_graph as graph;
+pub use scup_scp as scp;
+pub use scup_sim as sim;
+pub use stellar_cup as core;

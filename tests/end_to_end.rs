@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: the full paper pipeline
+//! (graph → sink detector → slices → SCP) and its negative counterpart.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scup_graph::{generators, kosr, sink, ProcessSet};
+use stellar_cup::attempts::LocalSliceStrategy;
+use stellar_cup::consensus::{self, EndToEndConfig, ScpAdversary};
+use stellar_cup::sink_detector::GetSinkMode;
+
+#[test]
+fn positive_pipeline_across_graphs_and_seeds() {
+    for graph_seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (kg, faulty) = generators::random_byzantine_safe(5, 4, 1, &mut rng);
+        assert!(kosr::satisfies_theorem1(kg.graph(), 1, &faulty));
+        for run_seed in 0..2u64 {
+            let config = EndToEndConfig {
+                seed: run_seed,
+                ..EndToEndConfig::default()
+            };
+            let outcome = consensus::run_end_to_end(&kg, 1, &faulty, &config);
+            assert!(outcome.agreement(), "graph {graph_seed} run {run_seed}");
+            assert!(outcome.validity(), "graph {graph_seed} run {run_seed}");
+        }
+    }
+}
+
+#[test]
+fn positive_pipeline_with_rrb_get_sink() {
+    let kg = generators::fig2();
+    let config = EndToEndConfig {
+        get_sink_mode: GetSinkMode::ReachableBroadcast,
+        ..EndToEndConfig::default()
+    };
+    let outcome = consensus::run_end_to_end(&kg, 1, &ProcessSet::from_ids([6]), &config);
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn positive_pipeline_under_equivocation_everywhere() {
+    let kg = generators::fig2();
+    let v_sink = sink::unique_sink(kg.graph()).unwrap();
+    for faulty_id in [0u32, 4] {
+        let faulty = ProcessSet::from_ids([faulty_id]);
+        let in_sink = v_sink.contains(scup_graph::ProcessId::new(faulty_id));
+        let config = EndToEndConfig {
+            adversary: ScpAdversary::Equivocate,
+            seed: 99,
+            ..EndToEndConfig::default()
+        };
+        let outcome = consensus::run_end_to_end(&kg, 1, &faulty, &config);
+        assert!(
+            outcome.agreement(),
+            "equivocating faulty {faulty_id} (in_sink = {in_sink})"
+        );
+    }
+}
+
+#[test]
+fn detections_match_the_global_sink() {
+    let kg = generators::fig2();
+    let v_sink = sink::unique_sink(kg.graph()).unwrap();
+    let outcome = consensus::run_end_to_end(&kg, 1, &ProcessSet::new(), &EndToEndConfig::default());
+    for (i, d) in outcome.detections.iter().enumerate() {
+        let d = d.as_ref().expect("every correct process detects");
+        assert_eq!(d.sink, v_sink, "process {i}");
+        assert_eq!(
+            d.is_sink_member,
+            v_sink.contains(scup_graph::ProcessId::new(i as u32))
+        );
+    }
+}
+
+#[test]
+fn negative_pipeline_reproduces_corollary1() {
+    let kg = generators::fig2();
+    let mut disagreement = false;
+    for seed in 0..30u64 {
+        let config = EndToEndConfig {
+            seed,
+            gst: 80,
+            inputs: Some(vec![1, 1, 1, 1, 104, 105, 106]),
+            ..EndToEndConfig::default()
+        };
+        let outcome = consensus::run_local_slices_pipeline(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            LocalSliceStrategy::AllButOne,
+            &config,
+        );
+        if outcome.decisions.iter().all(Option::is_some) && !outcome.agreement() {
+            disagreement = true;
+            break;
+        }
+    }
+    assert!(disagreement, "Corollary 1: some schedule must split the quorums");
+}
+
+#[test]
+fn larger_network_decides() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (kg, faulty) = generators::random_byzantine_safe(8, 16, 2, &mut rng);
+    let config = EndToEndConfig::default();
+    let outcome = consensus::run_end_to_end(&kg, 2, &faulty, &config);
+    assert!(outcome.agreement(), "n = {} with f = 2", kg.n());
+}
