@@ -71,11 +71,19 @@ fn bench_quorum_closure(c: &mut Criterion) {
 fn bench_intersection_len(c: &mut Criterion) {
     // The threshold intertwined primitive |Q ∩ Q'| > f.
     let a = ProcessSet::full(512);
-    let b: ProcessSet = (0..512u32).filter(|i| i % 3 == 0).map(scup_graph::ProcessId::new).collect();
+    let b: ProcessSet = (0..512u32)
+        .filter(|i| i % 3 == 0)
+        .map(scup_graph::ProcessId::new)
+        .collect();
     c.bench_function("processset/intersection_len_512", |bch| {
         bch.iter(|| black_box(&a).intersection_len(black_box(&b)))
     });
 }
 
-criterion_group!(benches, bench_is_quorum, bench_quorum_closure, bench_intersection_len);
+criterion_group!(
+    benches,
+    bench_is_quorum,
+    bench_quorum_closure,
+    bench_intersection_len
+);
 criterion_main!(benches);

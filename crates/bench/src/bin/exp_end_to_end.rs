@@ -16,11 +16,24 @@ fn main() {
 
     table::section("Positive pipeline: PD + f + sink detector => SCP solves consensus");
     table::header(
-        &["scenario", "n", "adversary", "agree", "valid", "sd msgs", "scp msgs", "ticks"],
+        &[
+            "scenario",
+            "n",
+            "adversary",
+            "agree",
+            "valid",
+            "sd msgs",
+            "scp msgs",
+            "ticks",
+        ],
         &[22, 4, 10, 6, 6, 9, 9, 8],
     );
     let mut scenarios = workloads::fig2_scenarios();
-    scenarios.extend(workloads::scaling_scenarios(1, &[(5, 3), (6, 6), (8, 8)], 3));
+    scenarios.extend(workloads::scaling_scenarios(
+        1,
+        &[(5, 3), (6, 6), (8, 8)],
+        3,
+    ));
     for sc in &scenarios {
         for adversary in [ScpAdversary::Silent, ScpAdversary::Equivocate] {
             let mut agree = 0u64;

@@ -43,7 +43,7 @@ fn main() {
     let minimal = quorum::minimal_quorums(&sys, &w, 1 << 12).unwrap();
     println!(
         "  minimal quorums among W: {}",
-        minimal.iter().map(|q| paper_set(q)).collect::<Vec<_>>().join(", ")
+        minimal.iter().map(paper_set).collect::<Vec<_>>().join(", ")
     );
 
     table::section("Consensus clusters (Definitions 3-4)");
@@ -62,6 +62,6 @@ fn main() {
     let maximal = cluster::maximal_consensus_clusters(&sys, &w, &w, mode, 1 << 12).unwrap();
     println!(
         "  maximal consensus clusters: {}   (paper: C2 only)",
-        maximal.iter().map(|c| paper_set(c)).collect::<Vec<_>>().join(", ")
+        maximal.iter().map(paper_set).collect::<Vec<_>>().join(", ")
     );
 }

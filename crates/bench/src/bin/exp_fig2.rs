@@ -37,8 +37,19 @@ fn main() {
     println!("  |Q1 ∩ Q2| = {}  (needs > f = 1)", v.intersection_len);
 
     table::section("Generalized counterexample family (sink s, outer r)");
-    table::header(&["s", "r", "n", "2-OSR", "violation", "|Q1∩Q2|"], &[4, 4, 5, 6, 9, 8]);
-    for (s, r) in [(3usize, 3usize), (4, 4), (4, 6), (5, 8), (6, 10), (8, 16), (10, 20)] {
+    table::header(
+        &["s", "r", "n", "2-OSR", "violation", "|Q1∩Q2|"],
+        &[4, 4, 5, 6, 9, 8],
+    );
+    for (s, r) in [
+        (3usize, 3usize),
+        (4, 4),
+        (4, 6),
+        (5, 8),
+        (6, 10),
+        (8, 16),
+        (10, 20),
+    ] {
         let g = generators::fig2_family(s, r);
         let is_kosr = kosr::is_k_osr(g.graph(), 2);
         let violation = theorems::theorem2_violation(&g, LocalSliceStrategy::AllButOne, 1);

@@ -32,7 +32,11 @@ fn run_one(
                 sim.add_actor(Box::new(SilentActor::new()));
             }
         } else {
-            sim.add_actor(Box::new(SinkDetectorActor::new(sc.kg.pd(i).clone(), sc.f, mode)));
+            sim.add_actor(Box::new(SinkDetectorActor::new(
+                sc.kg.pd(i).clone(),
+                sc.f,
+                mode,
+            )));
         }
     }
     let report = sim.run_until_quiet(5_000_000);
@@ -52,13 +56,25 @@ fn run_one(
             None => ok = false,
         }
     }
-    (ok, report.messages_sent, report.bytes_sent, report.end_time.ticks())
+    (
+        ok,
+        report.messages_sent,
+        report.bytes_sent,
+        report.end_time.ticks(),
+    )
 }
 
 fn main() {
     println!("Experiment A3/T6: distributed sink detector (Algorithm 3).");
 
-    let sizes = [(5usize, 3usize), (5, 8), (6, 12), (8, 16), (10, 24), (12, 36)];
+    let sizes = [
+        (5usize, 3usize),
+        (5, 8),
+        (6, 12),
+        (8, 16),
+        (10, 24),
+        (12, 36),
+    ];
     for (mode, mode_name) in [
         (GetSinkMode::Direct, "direct"),
         (GetSinkMode::ReachableBroadcast, "rrb"),

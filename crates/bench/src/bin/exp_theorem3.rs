@@ -33,8 +33,8 @@ fn main() {
             .map(|v| v.is_none());
         let l5 = theorems::lemma5_nonsink_pairs_intertwined(&sys, &v_sink, &correct, sc.f, limit)
             .map(|v| v.is_none());
-        let t3 = theorems::theorem3_all_intertwined(&sys, &correct, sc.f, limit)
-            .map(|v| v.is_none());
+        let t3 =
+            theorems::theorem3_all_intertwined(&sys, &correct, sc.f, limit).map(|v| v.is_none());
         let t4 = theorems::theorem4_quorum_availability(&sys, &correct).is_empty();
         let t5 = theorems::theorem5_consensus_cluster(&sys, &correct, sc.f, limit);
         let fmt = |r: Result<bool, _>| match r {

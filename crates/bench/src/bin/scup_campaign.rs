@@ -1,0 +1,204 @@
+//! `scup-campaign` — run declarative scenario campaigns and emit JSON
+//! reports.
+//!
+//! ```text
+//! scup-campaign [OPTIONS] <CAMPAIGN.toml|.json>...
+//!
+//! OPTIONS:
+//!   --threads N         override worker threads (0 = one per CPU)
+//!   --out PATH          write the JSON report here (`-` = stdout);
+//!                       default: target/campaign-reports/<name>.json
+//!   --list-adversaries  print the adversary registry and exit
+//!   -h, --help          this text
+//! ```
+//!
+//! Exit status is non-zero when any run fails its oracle mode or cannot
+//! be configured.
+//!
+//! Run: `cargo run --bin scup-campaign -- campaigns/fig1.toml`
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use scup_harness::campaign::CampaignReport;
+use scup_harness::{campaign_from_str, AdversaryRegistry};
+
+struct Options {
+    threads: Option<usize>,
+    out: Option<String>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: scup-campaign [--threads N] [--out PATH|-] [--list-adversaries] <campaign.toml>..."
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        threads: None,
+        out: None,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            "--list-adversaries" => {
+                for strategy in AdversaryRegistry::builtin().strategies() {
+                    println!("{:<14} {}", strategy.name, strategy.description);
+                }
+                return Ok(None);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                options.threads = Some(v.parse().map_err(|_| "--threads needs an integer")?);
+            }
+            "--out" => {
+                options.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            file => options.files.push(PathBuf::from(file)),
+        }
+    }
+    if options.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(Some(options))
+}
+
+fn summary(report: &CampaignReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign `{}`: {} runs on {} threads in {:.2}s — {} passed, {} failed",
+        report.name,
+        report.runs.len(),
+        report.threads,
+        report.wall_micros as f64 / 1e6,
+        report.passed(),
+        report.failed(),
+    );
+
+    // Per-scenario rollup, in declaration order.
+    let mut order: Vec<&str> = Vec::new();
+    for run in &report.runs {
+        if !order.contains(&run.scenario.as_str()) {
+            order.push(&run.scenario);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>5} {:>5} {:>6} {:>12} {:>10}",
+        "scenario", "runs", "pass", "fail", "msgs/run", "ticks/run"
+    );
+    for name in order {
+        let runs: Vec<_> = report.runs.iter().filter(|r| r.scenario == name).collect();
+        let pass = runs.iter().filter(|r| r.passed).count();
+        let msgs: u64 = runs.iter().map(|r| r.messages_sent).sum();
+        let ticks: u64 = runs.iter().map(|r| r.end_ticks).sum();
+        let count = runs.len() as u64;
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>5} {:>5} {:>6} {:>12} {:>10}",
+            name,
+            count,
+            pass,
+            runs.len() - pass,
+            msgs / count.max(1),
+            ticks / count.max(1),
+        );
+    }
+
+    for run in report.runs.iter().filter(|r| !r.passed) {
+        match &run.error {
+            Some(e) => {
+                let _ = writeln!(out, "  FAIL {}/seed {}: {e}", run.scenario, run.seed);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  FAIL {}/seed {}: {}",
+                    run.scenario,
+                    run.seed,
+                    run.invariants.violations.join("; ")
+                );
+            }
+        }
+    }
+    out
+}
+
+fn default_out_path(campaign_name: &str) -> PathBuf {
+    Path::new("target")
+        .join("campaign-reports")
+        .join(format!("{campaign_name}.json"))
+}
+
+fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut campaign = campaign_from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(threads) = options.threads {
+        campaign.threads = threads;
+    }
+
+    let report = campaign.run();
+    // With `--out -` the JSON owns stdout; the human summary moves to
+    // stderr so the report stays machine-parseable.
+    if options.out.as_deref() == Some("-") {
+        eprint!("{}", summary(&report));
+    } else {
+        print!("{}", summary(&report));
+    }
+
+    let json = report.to_json().pretty();
+    match options.out.as_deref() {
+        Some("-") => print!("{json}"),
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            println!("  report: {path}");
+        }
+        None => {
+            let out = default_out_path(&report.name);
+            if let Some(dir) = out.parent() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
+            println!("  report: {}", out.display());
+        }
+    }
+    Ok(report.all_passed())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut all_passed = true;
+    for file in &options.files {
+        match run_file(file, &options) {
+            Ok(passed) => all_passed &= passed,
+            Err(e) => {
+                eprintln!("error: {e}");
+                all_passed = false;
+            }
+        }
+    }
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

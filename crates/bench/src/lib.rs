@@ -13,7 +13,10 @@
 pub mod table {
     /// Prints a header row followed by a separator.
     pub fn header(cols: &[&str], widths: &[usize]) {
-        row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+        row(
+            &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            widths,
+        );
         let total: usize = widths.iter().sum::<usize>() + 3 * widths.len();
         println!("{}", "-".repeat(total));
     }
@@ -70,8 +73,7 @@ pub mod workloads {
         sizes
             .iter()
             .map(|&(sink, nonsink)| {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ ((sink as u64) << 8) ^ nonsink as u64);
+                let mut rng = StdRng::seed_from_u64(seed ^ ((sink as u64) << 8) ^ nonsink as u64);
                 let (kg, faulty) = generators::random_byzantine_safe(sink, nonsink, f, &mut rng);
                 Scenario {
                     name: format!("rand/s={sink}/ns={nonsink}/f={f}"),

@@ -59,7 +59,8 @@ pub fn build_local_system(kg: &KnowledgeGraph, strategy: LocalSliceStrategy, f: 
 
 /// Lemma 1 check: every slice of every process only references `PD_i`.
 pub fn lemma1_holds(kg: &KnowledgeGraph, sys: &Fbqs) -> bool {
-    kg.processes().all(|i| sys.slices(i).members().is_subset(kg.pd(i)))
+    kg.processes()
+        .all(|i| sys.slices(i).members().is_subset(kg.pd(i)))
 }
 
 /// Lemma 2 check: every process in `members` keeps at least one slice free

@@ -19,7 +19,7 @@ use scup_fbqs::SliceFamily;
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 use scup_scp::node::EquivocatingScpNode;
 use scup_scp::{ScpConfig, ScpNode, Value};
-use scup_sim::adversary::SilentActor;
+use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
 use scup_sim::{NetworkConfig, SimReport, Simulation};
 
 use crate::attempts::LocalSliceStrategy;
@@ -27,7 +27,11 @@ use crate::build_slices::build_slices;
 use crate::oracle::SinkDetection;
 use crate::sink_detector::{GetSinkMode, SinkDetectorActor};
 
-/// How the Byzantine processes behave during the SCP phase.
+/// How the Byzantine processes behave during the pipeline.
+///
+/// `Silent`, `Equivocate` and `ForgedSlice` keep faulty processes silent
+/// during the knowledge-increasing phase (the behaviour Lemma 2 relies
+/// on); `Crash` and `Echo` apply their behaviour to both phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScpAdversary {
     /// Stay silent (crash-like).
@@ -35,6 +39,16 @@ pub enum ScpAdversary {
     Silent,
     /// Equivocate votes and forge slices.
     Equivocate,
+    /// Vote consistently but attach forged (self-only) slices.
+    ForgedSlice,
+    /// Reflect every received message to every known process.
+    Echo,
+    /// Behave correctly, then fail-stop after `after` deliveries in each
+    /// phase.
+    Crash {
+        /// Number of deliveries after which the process goes silent.
+        after: u64,
+    },
 }
 
 /// Configuration of an end-to-end run.
@@ -128,11 +142,11 @@ impl Outcome {
     pub fn validity(&self) -> bool {
         match self.decided_value() {
             None => false,
-            Some(v) => self
-                .inputs
-                .iter()
-                .enumerate()
-                .any(|(i, input)| *input == v && !self.faulty.contains(ProcessId::new(i as u32))),
+            Some(v) => {
+                self.inputs.iter().enumerate().any(|(i, input)| {
+                    *input == v && !self.faulty.contains(ProcessId::new(i as u32))
+                })
+            }
         }
     }
 }
@@ -142,7 +156,8 @@ fn default_inputs(n: usize) -> Vec<Value> {
 }
 
 /// Phase 1: runs Algorithm 3 for every correct process and returns the
-/// detections (faulty processes stay silent).
+/// detections. Faulty processes stay silent, except under the `Crash`
+/// adversary (correct until fail-stop) and the `Echo` adversary.
 pub fn run_sink_detection(
     kg: &KnowledgeGraph,
     f: usize,
@@ -153,7 +168,14 @@ pub fn run_sink_detection(
     let mut sim = Simulation::new(kg.clone(), net);
     for i in kg.processes() {
         if faulty.contains(i) {
-            sim.add_actor(Box::new(SilentActor::new()));
+            match config.adversary {
+                ScpAdversary::Crash { after } => sim.add_actor(Box::new(CrashActor::new(
+                    SinkDetectorActor::new(kg.pd(i).clone(), f, config.get_sink_mode),
+                    after,
+                ))),
+                ScpAdversary::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                _ => sim.add_actor(Box::new(SilentActor::new())),
+            };
         } else {
             sim.add_actor(Box::new(SinkDetectorActor::new(
                 kg.pd(i).clone(),
@@ -168,6 +190,10 @@ pub fn run_sink_detection(
         .map(|i| {
             sim.actor_as::<SinkDetectorActor>(i)
                 .and_then(SinkDetectorActor::detection)
+                .or_else(|| {
+                    sim.actor_as::<CrashActor<SinkDetectorActor>>(i)
+                        .and_then(|c| c.inner().detection())
+                })
         })
         .collect();
     (detections, report)
@@ -192,6 +218,17 @@ pub fn run_scp_with_slices(
                     (u64::MAX - 1, u64::MAX),
                     SliceFamily::explicit([ProcessSet::singleton(i)]),
                 ))),
+                ScpAdversary::ForgedSlice => sim.add_actor(Box::new(EquivocatingScpNode::new(
+                    (u64::MAX - 2, u64::MAX - 2),
+                    SliceFamily::explicit([ProcessSet::singleton(i)]),
+                ))),
+                ScpAdversary::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                ScpAdversary::Crash { after } => {
+                    // Correct-then-fail-stop: runs real SCP with its own
+                    // slices until the crash point.
+                    let scp_config = ScpConfig::new(slices[i.index()].clone(), inputs[i.index()]);
+                    sim.add_actor(Box::new(CrashActor::new(ScpNode::new(scp_config), after)))
+                }
             };
         } else {
             let scp_config = ScpConfig::new(slices[i.index()].clone(), inputs[i.index()]);
@@ -201,9 +238,10 @@ pub fn run_scp_with_slices(
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
     let report = sim.run_while(
         |s| {
-            !correct
-                .iter()
-                .all(|&i| s.actor_as::<ScpNode>(i).is_some_and(|n| n.externalized().is_some()))
+            !correct.iter().all(|&i| {
+                s.actor_as::<ScpNode>(i)
+                    .is_some_and(|n| n.externalized().is_some())
+            })
         },
         config.max_ticks,
     );
@@ -347,7 +385,10 @@ mod tests {
                 disagreements += 1;
             }
         }
-        assert!(disagreements > 0, "local slices must break agreement on some schedule");
+        assert!(
+            disagreements > 0,
+            "local slices must break agreement on some schedule"
+        );
     }
 
     #[test]

@@ -102,9 +102,7 @@ impl LedgerOutcome {
         self.chains
             .iter()
             .enumerate()
-            .find(|(i, c)| {
-                !self.faulty.contains(ProcessId::new(*i as u32)) && c.is_some()
-            })
+            .find(|(i, c)| !self.faulty.contains(ProcessId::new(*i as u32)) && c.is_some())
             .and_then(|(_, c)| c.as_deref())
     }
 }

@@ -62,4 +62,4 @@ pub mod sink_detector;
 pub mod theorems;
 
 pub use build_slices::build_slices;
-pub use oracle::{PerfectSinkDetector, SinkDetector, SinkDetection};
+pub use oracle::{PerfectSinkDetector, SinkDetection, SinkDetector};

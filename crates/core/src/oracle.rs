@@ -142,7 +142,10 @@ mod tests {
         let kg = generators::fig2();
         let sd = PerfectSinkDetector::new(&kg).unwrap();
         let v_sink = ProcessSet::from_ids([0, 1, 2, 3]);
-        let correct = kg.graph().vertex_set().difference(&ProcessSet::from_ids([2]));
+        let correct = kg
+            .graph()
+            .vertex_set()
+            .difference(&ProcessSet::from_ids([2]));
         for i in kg.processes() {
             let d = sd.get_sink(i, 1);
             validate_detection(i, &d, &v_sink, &correct, 1).unwrap();

@@ -102,7 +102,11 @@ impl std::fmt::Display for NetworkReport {
         }
         line(out, "unique sink (Def. 8 satisfiable)", &self.unique_sink)?;
         line(out, "(f+1)-OSR knowledge (Def. 6)", &self.kosr)?;
-        line(out, "sink margin >= 2f+1 correct (Thm 1/4 premise)", &self.sink_margin)?;
+        line(
+            out,
+            "sink margin >= 2f+1 correct (Thm 1/4 premise)",
+            &self.sink_margin,
+        )?;
         line(out, "quorum availability (Thm 4)", &self.availability)?;
         line(out, "intertwined quorums (Thm 3)", &self.intertwined)?;
         writeln!(

@@ -193,7 +193,6 @@ impl SinkDetectorActor {
             }
         }
     }
-
 }
 
 impl Actor<SdMsg> for SinkDetectorActor {
@@ -319,8 +318,10 @@ mod tests {
         lying: bool,
         seed: u64,
     ) -> Simulation<SdMsg> {
-        let mut sim =
-            Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(150, 10, seed));
+        let mut sim = Simulation::new(
+            kg.clone(),
+            NetworkConfig::partially_synchronous(150, 10, seed),
+        );
         for i in kg.processes() {
             if faulty.contains(i) {
                 if lying {

@@ -268,7 +268,10 @@ mod tests {
     fn lemmata_3_4_5_on_fig2() {
         let kg = generators::fig2();
         let (sys, v_sink) = algorithm2_system(&kg, 1).unwrap();
-        let correct = kg.graph().vertex_set().difference(&ProcessSet::from_ids([3]));
+        let correct = kg
+            .graph()
+            .vertex_set()
+            .difference(&ProcessSet::from_ids([3]));
         assert_eq!(
             lemma3_sink_pairs_intertwined(&sys, &v_sink, &correct, 1, LIMIT).unwrap(),
             None
@@ -320,7 +323,10 @@ mod tests {
             let (sys, v_sink) = algorithm2_system(&kg, 1).unwrap();
             let correct = kg.graph().vertex_set().difference(&faulty);
             assert!(sink_has_enough_correct(&v_sink, &correct, 1));
-            assert_eq!(theorem3_all_intertwined(&sys, &correct, 1, LIMIT).unwrap(), None);
+            assert_eq!(
+                theorem3_all_intertwined(&sys, &correct, 1, LIMIT).unwrap(),
+                None
+            );
             assert!(theorem4_quorum_availability(&sys, &correct).is_empty());
             assert!(theorem5_consensus_cluster(&sys, &correct, 1, LIMIT).unwrap());
         }

@@ -134,7 +134,10 @@ fn theorem4_premise_is_tight() {
     let kg = generators::fig2();
     let (sys, v_sink) = theorems::algorithm2_system(&kg, 1).unwrap();
     // 3 correct sink members (= 2f + 1): holds.
-    let correct3 = kg.graph().vertex_set().difference(&ProcessSet::from_ids([0]));
+    let correct3 = kg
+        .graph()
+        .vertex_set()
+        .difference(&ProcessSet::from_ids([0]));
     assert!(theorems::sink_has_enough_correct(&v_sink, &correct3, 1));
     assert!(theorems::theorem4_quorum_availability(&sys, &correct3).is_empty());
     // 2 correct sink members (= 2f): fails.

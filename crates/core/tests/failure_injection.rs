@@ -16,8 +16,10 @@ fn run_with_crash(crash_victim: u32, crash_after: u64, seed: u64) -> bool {
     let faulty = ProcessSet::from_ids([crash_victim]);
     let correct = kg.graph().vertex_set().difference(&faulty);
 
-    let mut sim: Simulation<SdMsg> =
-        Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(120, 10, seed));
+    let mut sim: Simulation<SdMsg> = Simulation::new(
+        kg.clone(),
+        NetworkConfig::partially_synchronous(120, 10, seed),
+    );
     for i in kg.processes() {
         let actor = SinkDetectorActor::new(kg.pd(i).clone(), f, GetSinkMode::Direct);
         if i.as_u32() == crash_victim {
@@ -59,8 +61,8 @@ fn sink_detector_survives_crashes_at_every_point() {
 #[test]
 fn end_to_end_survives_scp_phase_crash() {
     use scup_scp::{ScpConfig, ScpMsg, ScpNode};
-    use stellar_cup::consensus::{run_sink_detection, EndToEndConfig};
     use stellar_cup::build_slices;
+    use stellar_cup::consensus::{run_sink_detection, EndToEndConfig};
 
     let kg = generators::fig2();
     let faulty = ProcessSet::from_ids([2]);
@@ -98,7 +100,10 @@ fn end_to_end_survives_scp_phase_crash() {
     let mut value = None;
     for &i in &correct {
         let d = sim.actor_as::<ScpNode>(i).unwrap().externalized();
-        assert!(d.is_some(), "correct {i} must externalize despite the crash");
+        assert!(
+            d.is_some(),
+            "correct {i} must externalize despite the crash"
+        );
         match value {
             None => value = d,
             Some(prev) => assert_eq!(d, Some(prev), "agreement at {i}"),

@@ -332,7 +332,10 @@ impl BftCupActor {
                 }
             }
             BftMsg::ViewChange { view, lock } => {
-                self.view_changes.entry(view).or_default().insert(from, lock);
+                self.view_changes
+                    .entry(view)
+                    .or_default()
+                    .insert(from, lock);
                 // Amplification: f + 1 view changes for a higher view pull
                 // us along even without our own timeout.
                 let count = self.view_changes[&view]
@@ -341,7 +344,13 @@ impl BftCupActor {
                     .count();
                 if view > self.view && count > self.config.f {
                     let own_lock = self.lock;
-                    self.send_members(ctx, BftMsg::ViewChange { view, lock: own_lock });
+                    self.send_members(
+                        ctx,
+                        BftMsg::ViewChange {
+                            view,
+                            lock: own_lock,
+                        },
+                    );
                     self.view_changes
                         .entry(view)
                         .or_default()
@@ -433,7 +442,13 @@ impl Actor<BftMsg> for BftCupActor {
         }
         let next = self.view + 1;
         let own_lock = self.lock;
-        self.send_members(ctx, BftMsg::ViewChange { view: next, lock: own_lock });
+        self.send_members(
+            ctx,
+            BftMsg::ViewChange {
+                view: next,
+                lock: own_lock,
+            },
+        );
         self.view_changes
             .entry(next)
             .or_default()
@@ -479,7 +494,11 @@ impl EquivocatingLeader {
             if *j == ctx.self_id() {
                 continue;
             }
-            let value = if idx % 2 == 0 { self.values.0 } else { self.values.1 };
+            let value = if idx % 2 == 0 {
+                self.values.0
+            } else {
+                self.values.1
+            };
             ctx.learn(*j);
             ctx.send(*j, BftMsg::Propose { view: 0, value });
             ctx.send(*j, BftMsg::Echo { view: 0, value });
@@ -552,7 +571,11 @@ mod tests {
         sim
     }
 
-    fn assert_consensus(kg: &KnowledgeGraph, sim: &Simulation<BftMsg>, faulty: &ProcessSet) -> Value {
+    fn assert_consensus(
+        kg: &KnowledgeGraph,
+        sim: &Simulation<BftMsg>,
+        faulty: &ProcessSet,
+    ) -> Value {
         let mut decided = None;
         for i in kg.processes() {
             if faulty.contains(i) {

@@ -144,11 +144,7 @@ impl SinkCore {
         self.known = self.pd.clone();
         self.known.insert(self.self_id);
         self.replied.insert(self.self_id);
-        let mut out: SinkOutbox = self
-            .pd
-            .iter()
-            .map(|j| (j, SinkMsg::Discover))
-            .collect();
+        let mut out: SinkOutbox = self.pd.iter().map(|j| (j, SinkMsg::Discover)).collect();
         out.extend(self.try_fire());
         out
     }
@@ -371,7 +367,11 @@ mod tests {
                 assert!(verdict.is_sink_member);
                 assert_eq!(verdict.sink, v_sink, "sink accuracy for {i}");
             } else {
-                assert_eq!(actor.verdict(), None, "non-sink {i} must not decide via SINK");
+                assert_eq!(
+                    actor.verdict(),
+                    None,
+                    "non-sink {i} must not decide via SINK"
+                );
             }
         }
     }
@@ -460,11 +460,16 @@ mod tests {
         let out = core.on_message(p(2), SinkMsg::DiscoverReply(ProcessSet::from_ids([0, 1])));
         // All replied → fired: sends Check to 1 and 2.
         assert_eq!(
-            out.iter().filter(|(_, m)| matches!(m, SinkMsg::Check(_))).count(),
+            out.iter()
+                .filter(|(_, m)| matches!(m, SinkMsg::Check(_)))
+                .count(),
             2
         );
         assert!(core.discovery_done());
-        assert!(core.verdict().is_none(), "needs 3 matching echoes, has 1 (self)");
+        assert!(
+            core.verdict().is_none(),
+            "needs 3 matching echoes, has 1 (self)"
+        );
         let all = ProcessSet::from_ids([0, 1, 2]);
         core.on_message(p(1), SinkMsg::CheckReply(all.clone()));
         assert!(core.verdict().is_none());

@@ -106,7 +106,11 @@ impl<P: Clone + PartialEq> RrbCore<P> {
 
     /// `reachable_bcast(payload, self)`: returns the copies to send to the
     /// given neighbors and records a local self-delivery.
-    pub fn broadcast(&mut self, neighbors: &ProcessSet, payload: P) -> (u64, Vec<(ProcessId, RrbMsg<P>)>) {
+    pub fn broadcast(
+        &mut self,
+        neighbors: &ProcessSet,
+        payload: P,
+    ) -> (u64, Vec<(ProcessId, RrbMsg<P>)>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.delivered.insert((self.self_id, seq), payload.clone());
@@ -266,7 +270,12 @@ mod tests {
             }
             self.core = Some(core);
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, RrbMsg<u64>>, from: ProcessId, msg: RrbMsg<u64>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, RrbMsg<u64>>,
+            from: ProcessId,
+            msg: RrbMsg<u64>,
+        ) {
             let neighbors = ctx.known().clone();
             let core = self.core.as_mut().unwrap();
             let (out, _delivery) = core.on_copy(from, msg, &neighbors);
@@ -291,7 +300,12 @@ mod tests {
             };
             ctx.broadcast_known(forged);
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, RrbMsg<u64>>, _from: ProcessId, _msg: RrbMsg<u64>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, RrbMsg<u64>>,
+            _from: ProcessId,
+            _msg: RrbMsg<u64>,
+        ) {
             let me = ctx.self_id();
             let forged = RrbMsg {
                 origin: ProcessId::new(0),
@@ -303,8 +317,17 @@ mod tests {
         }
     }
 
-    fn run(kg: &KnowledgeGraph, f: usize, origin_value: u64, forger: Option<ProcessId>, seed: u64) -> Simulation<RrbMsg<u64>> {
-        let mut sim = Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(50, 5, seed));
+    fn run(
+        kg: &KnowledgeGraph,
+        f: usize,
+        origin_value: u64,
+        forger: Option<ProcessId>,
+        seed: u64,
+    ) -> Simulation<RrbMsg<u64>> {
+        let mut sim = Simulation::new(
+            kg.clone(),
+            NetworkConfig::partially_synchronous(50, 5, seed),
+        );
         for i in kg.processes() {
             if Some(i) == forger {
                 sim.add_actor(Box::new(Forger));

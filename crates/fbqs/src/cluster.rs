@@ -94,8 +94,10 @@ pub fn is_consensus_cluster(
     mode: IntertwinedMode,
     limit: usize,
 ) -> Result<bool, EnumerationTooLarge> {
-    Ok(check_consensus_cluster(sys, candidate, correct, universe, mode, limit)?
-        .is_consensus_cluster())
+    Ok(
+        check_consensus_cluster(sys, candidate, correct, universe, mode, limit)?
+            .is_consensus_cluster(),
+    )
 }
 
 /// Enumerates **all** consensus clusters among subsets of `correct`
@@ -245,14 +247,9 @@ mod tests {
         let all = sys.universe();
         // Each clique is available but the union is not intertwined — the
         // situation of Theorem 2.
-        let maximal = maximal_consensus_clusters(
-            &sys,
-            &all,
-            &all,
-            IntertwinedMode::Threshold(0),
-            1 << 10,
-        )
-        .unwrap();
+        let maximal =
+            maximal_consensus_clusters(&sys, &all, &all, IntertwinedMode::Threshold(0), 1 << 10)
+                .unwrap();
         assert_eq!(maximal.len(), 2);
         assert!(!all_correct_form_unique_maximal_cluster(
             &sys,

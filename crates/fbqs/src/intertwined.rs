@@ -132,7 +132,10 @@ mod tests {
         let w = paper::fig1_correct();
         // Definition 2 with W as the correct set.
         let r = check_intertwined(&sys, &w, &w, &w, 1 << 12).unwrap();
-        assert_eq!(r, None, "paper: every two correct processes are intertwined");
+        assert_eq!(
+            r, None,
+            "paper: every two correct processes are intertwined"
+        );
     }
 
     #[test]

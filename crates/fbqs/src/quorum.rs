@@ -109,7 +109,11 @@ pub fn minimal_quorum_of_within(sys: &Fbqs, i: ProcessId, u: &ProcessSet) -> Opt
 /// Exponential in `|universe|`; returns `None` when `2^|universe|` exceeds
 /// `limit` so callers must opt into the cost. Intended for verification on
 /// small systems (the paper's figures have `n ≤ 8`).
-pub fn enumerate_quorums(sys: &Fbqs, universe: &ProcessSet, limit: usize) -> Option<Vec<ProcessSet>> {
+pub fn enumerate_quorums(
+    sys: &Fbqs,
+    universe: &ProcessSet,
+    limit: usize,
+) -> Option<Vec<ProcessSet>> {
     let ids = universe.to_vec();
     let n = ids.len();
     if n >= usize::BITS as usize - 1 || (1usize << n) > limit {
@@ -136,10 +140,7 @@ pub fn minimal_quorums(sys: &Fbqs, universe: &ProcessSet, limit: usize) -> Optio
     let all = enumerate_quorums(sys, universe, limit)?;
     let minimal: Vec<ProcessSet> = all
         .iter()
-        .filter(|q| {
-            !all.iter()
-                .any(|other| other != *q && other.is_subset(q))
-        })
+        .filter(|q| !all.iter().any(|other| other != *q && other.is_subset(q)))
         .cloned()
         .collect();
     Some(minimal)

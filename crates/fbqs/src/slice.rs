@@ -221,10 +221,7 @@ mod tests {
 
     #[test]
     fn explicit_has_slice_within() {
-        let f = SliceFamily::explicit([
-            ProcessSet::from_ids([1, 2]),
-            ProcessSet::from_ids([3]),
-        ]);
+        let f = SliceFamily::explicit([ProcessSet::from_ids([1, 2]), ProcessSet::from_ids([3])]);
         assert!(f.has_slice_within(&ProcessSet::from_ids([1, 2, 9])));
         assert!(f.has_slice_within(&ProcessSet::from_ids([3])));
         assert!(!f.has_slice_within(&ProcessSet::from_ids([1, 9])));
@@ -284,10 +281,7 @@ mod tests {
 
     #[test]
     fn v_blocking_explicit() {
-        let f = SliceFamily::explicit([
-            ProcessSet::from_ids([1, 2]),
-            ProcessSet::from_ids([2, 3]),
-        ]);
+        let f = SliceFamily::explicit([ProcessSet::from_ids([1, 2]), ProcessSet::from_ids([2, 3])]);
         assert!(f.is_v_blocked_by(&ProcessSet::from_ids([2])));
         assert!(f.is_v_blocked_by(&ProcessSet::from_ids([1, 3])));
         assert!(!f.is_v_blocked_by(&ProcessSet::from_ids([1])));
@@ -313,10 +307,7 @@ mod tests {
 
     #[test]
     fn members_unions_slices() {
-        let f = SliceFamily::explicit([
-            ProcessSet::from_ids([1, 2]),
-            ProcessSet::from_ids([4]),
-        ]);
+        let f = SliceFamily::explicit([ProcessSet::from_ids([1, 2]), ProcessSet::from_ids([4])]);
         assert_eq!(f.members(), ProcessSet::from_ids([1, 2, 4]));
         let g = SliceFamily::all_subsets(ProcessSet::from_ids([5, 6]), 1);
         assert_eq!(g.members(), ProcessSet::from_ids([5, 6]));

@@ -102,9 +102,18 @@ mod tests {
         ]);
         assert_eq!(sys.n(), 3);
         assert_eq!(sys.universe(), ProcessSet::full(3));
-        assert_eq!(sys.known_by(ProcessId::new(0)), ProcessSet::from_ids([1, 2]));
-        assert_eq!(sys.known_by(ProcessId::new(2)), ProcessSet::from_ids([0, 1]));
-        sys.set_slices(ProcessId::new(1), SliceFamily::explicit([ProcessSet::from_ids([0])]));
+        assert_eq!(
+            sys.known_by(ProcessId::new(0)),
+            ProcessSet::from_ids([1, 2])
+        );
+        assert_eq!(
+            sys.known_by(ProcessId::new(2)),
+            ProcessSet::from_ids([0, 1])
+        );
+        sys.set_slices(
+            ProcessId::new(1),
+            SliceFamily::explicit([ProcessSet::from_ids([0])]),
+        );
         assert!(sys.slices(ProcessId::new(1)).has_slices());
     }
 }

@@ -29,7 +29,9 @@ pub fn has_correct_slice(sys: &Fbqs, i: ProcessId, correct: &ProcessSet) -> bool
 
 /// Returns the processes for which `b` is v-blocking.
 pub fn blocked_processes(sys: &Fbqs, b: &ProcessSet) -> ProcessSet {
-    sys.processes().filter(|&i| is_v_blocking(sys, i, b)).collect()
+    sys.processes()
+        .filter(|&i| is_v_blocking(sys, i, b))
+        .collect()
 }
 
 /// Lemma 2 as a system-wide check: every process in `members` must have at
@@ -40,7 +42,9 @@ pub fn find_member_without_correct_slice(
     members: &ProcessSet,
     correct: &ProcessSet,
 ) -> Option<ProcessId> {
-    members.iter().find(|&i| !has_correct_slice(sys, i, correct))
+    members
+        .iter()
+        .find(|&i| !has_correct_slice(sys, i, correct))
 }
 
 #[cfg(test)]

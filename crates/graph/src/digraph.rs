@@ -112,6 +112,21 @@ impl DiGraph {
         }
     }
 
+    /// Removes the edge `u → v`, returning `true` if it was present.
+    ///
+    /// Out-of-range endpoints are a no-op returning `false`.
+    pub fn remove_edge(&mut self, u: ProcessId, v: ProcessId) -> bool {
+        if u.index() >= self.vertex_count() || v.index() >= self.vertex_count() {
+            return false;
+        }
+        let removed = self.succ[u.index()].remove(v);
+        if removed {
+            self.pred[v.index()].remove(u);
+            self.edges -= 1;
+        }
+        removed
+    }
+
     /// Returns `true` if the edge `u → v` exists.
     pub fn has_edge(&self, u: ProcessId, v: ProcessId) -> bool {
         self.succ.get(u.index()).is_some_and(|s| s.contains(v))
@@ -200,7 +215,12 @@ impl DiGraph {
 
 impl fmt::Debug for DiGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DiGraph(n={}, m={})", self.vertex_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "DiGraph(n={}, m={})",
+            self.vertex_count(),
+            self.edge_count()
+        )?;
         for u in self.vertices() {
             if !self.successors(u).is_empty() {
                 writeln!(f, "  {} -> {}", u, self.successors(u))?;

@@ -47,8 +47,13 @@ mod tests {
             id: ProcessId::new(9),
             n: 4,
         };
-        assert_eq!(e.to_string(), "vertex p9 out of range for graph with 4 vertices");
-        let e = GraphError::SelfLoop { id: ProcessId::new(2) };
+        assert_eq!(
+            e.to_string(),
+            "vertex p9 out of range for graph with 4 vertices"
+        );
+        let e = GraphError::SelfLoop {
+            id: ProcessId::new(2),
+        };
         assert!(e.to_string().contains("self-loop on p2"));
     }
 }

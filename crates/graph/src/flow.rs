@@ -44,7 +44,10 @@ impl FlowNetwork {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) {
-        assert!(u < self.head.len() && v < self.head.len(), "flow edge out of range");
+        assert!(
+            u < self.head.len() && v < self.head.len(),
+            "flow edge out of range"
+        );
         let e = self.to.len() as u32;
         self.to.push(v as u32);
         self.cap.push(cap);
@@ -60,7 +63,10 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
-        assert!(s < self.head.len() && t < self.head.len(), "terminal out of range");
+        assert!(
+            s < self.head.len() && t < self.head.len(),
+            "terminal out of range"
+        );
         assert_ne!(s, t, "max_flow requires distinct terminals");
         let n = self.head.len();
         let mut flow = 0i64;
@@ -178,28 +184,40 @@ mod tests {
     #[test]
     fn single_path() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
-        assert_eq!(max_vertex_disjoint_paths(&g, p(0), p(2), &g.vertex_set()), 1);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, p(0), p(2), &g.vertex_set()),
+            1
+        );
     }
 
     #[test]
     fn two_disjoint_paths() {
         // 0 -> 1 -> 3, 0 -> 2 -> 3.
         let g = DiGraph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]);
-        assert_eq!(max_vertex_disjoint_paths(&g, p(0), p(3), &g.vertex_set()), 2);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, p(0), p(3), &g.vertex_set()),
+            2
+        );
     }
 
     #[test]
     fn shared_internal_vertex_limits_to_one() {
         // Two edge-disjoint paths that share vertex 2: only 1 node-disjoint.
         let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (2, 4)]);
-        assert_eq!(max_vertex_disjoint_paths(&g, p(0), p(4), &g.vertex_set()), 1);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, p(0), p(4), &g.vertex_set()),
+            1
+        );
     }
 
     #[test]
     fn direct_edge_counts_as_a_path() {
         // Direct 0 -> 2 plus 0 -> 1 -> 2 = 2 internally disjoint paths.
         let g = DiGraph::from_edges(3, [(0, 2), (0, 1), (1, 2)]);
-        assert_eq!(max_vertex_disjoint_paths(&g, p(0), p(2), &g.vertex_set()), 2);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, p(0), p(2), &g.vertex_set()),
+            2
+        );
     }
 
     #[test]
@@ -234,7 +252,10 @@ mod tests {
     #[test]
     fn no_path_is_zero() {
         let g = DiGraph::from_edges(3, [(1, 0), (2, 1)]);
-        assert_eq!(max_vertex_disjoint_paths(&g, p(0), p(2), &g.vertex_set()), 0);
+        assert_eq!(
+            max_vertex_disjoint_paths(&g, p(0), p(2), &g.vertex_set()),
+            0
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use rand::seq::IteratorRandom;
 use rand::{Rng, RngExt as _};
 
-use crate::{kosr, DiGraph, KnowledgeGraph, ProcessId, ProcessSet};
+use crate::{kosr, sink, DiGraph, KnowledgeGraph, ProcessId, ProcessSet};
 
 /// The 8-participant knowledge connectivity graph of **Fig. 1**.
 ///
@@ -130,7 +130,10 @@ pub fn circulant(n: usize, k: usize) -> DiGraph {
     let mut g = DiGraph::new(n);
     for i in 0..n {
         for j in 1..=k {
-            g.add_edge(ProcessId::new(i as u32), ProcessId::new(((i + j) % n) as u32));
+            g.add_edge(
+                ProcessId::new(i as u32),
+                ProcessId::new(((i + j) % n) as u32),
+            );
         }
     }
     g
@@ -276,6 +279,276 @@ pub fn random_byzantine_safe<R: Rng + ?Sized>(
     (kg, faulty)
 }
 
+/// Generates an Erdős–Rényi random digraph `G(n, p)`: each of the
+/// `n(n - 1)` ordered pairs becomes an edge independently with
+/// probability `p`.
+///
+/// ER digraphs carry no `k`-OSR guarantee — most draws have several sink
+/// components — which is exactly what makes them useful as a *negative*
+/// scenario family: they exercise the solvability analysis and the
+/// harness's conditional oracles rather than the happy path.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.random_bool(p) {
+                g.add_edge(ProcessId::new(u as u32), ProcessId::new(v as u32));
+            }
+        }
+    }
+    g
+}
+
+/// Generates a scale-free knowledge graph by directed preferential
+/// attachment.
+///
+/// Construction: the initial core is a complete digraph on `m + 1`
+/// mutually-knowing processes; every later process joins knowing `m`
+/// distinct earlier processes, drawn with probability proportional to
+/// `in_degree + 1` (Barabási–Albert with add-one smoothing). Models the
+/// "well-known bootstrap nodes" shape of open networks: a few hubs end up
+/// known by almost everyone.
+///
+/// By construction the core is the unique sink component and every later
+/// process reaches it, so the result is always 1-OSR; higher `k` is not
+/// guaranteed.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn scale_free<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> KnowledgeGraph {
+    assert!(m >= 1, "scale_free needs m >= 1");
+    assert!(n >= m + 1, "scale_free needs n >= m + 1");
+    let mut g = DiGraph::new(n);
+    for u in 0..=m {
+        for v in 0..=m {
+            if u != v {
+                g.add_edge(ProcessId::new(u as u32), ProcessId::new(v as u32));
+            }
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = ProcessSet::new();
+        while chosen.len() < m {
+            // Weighted draw over 0..v by in_degree + 1, via total-weight
+            // inversion; v is small in practice so the scan is fine.
+            let total: usize = (0..v)
+                .map(|u| g.in_degree(ProcessId::new(u as u32)) + 1)
+                .sum();
+            let mut ticket = rng.random_range(0..total);
+            for u in 0..v {
+                let w = g.in_degree(ProcessId::new(u as u32)) + 1;
+                if ticket < w {
+                    chosen.insert(ProcessId::new(u as u32));
+                    break;
+                }
+                ticket -= w;
+            }
+        }
+        for u in chosen.iter() {
+            g.add_edge(ProcessId::new(v as u32), u);
+        }
+    }
+    debug_assert!(kosr::is_k_osr(&g, 1), "scale_free must be 1-OSR");
+    KnowledgeGraph::from_graph(g)
+}
+
+/// Configuration for [`clustered`].
+#[derive(Debug, Clone)]
+pub struct ClusteredConfig {
+    /// Number of clusters; cluster 0 is the core.
+    pub clusters: usize,
+    /// Processes per cluster.
+    pub cluster_size: usize,
+    /// Probability of each extra intra-cluster edge (beyond the cycle that
+    /// keeps every cluster strongly connected).
+    pub intra_extra_prob: f64,
+    /// Knowledge edges from each non-core cluster into the core. With
+    /// `bridges >= 1` the core is the unique sink; with `bridges == 0` and
+    /// `inter_extra_prob == 0.0` the graph is fully partitioned into
+    /// `clusters` sink components.
+    pub bridges: usize,
+    /// Probability of extra cross-cluster edges (from non-core clusters to
+    /// any other cluster; the core never points outward).
+    pub inter_extra_prob: f64,
+}
+
+impl ClusteredConfig {
+    /// A configuration with the given shape and no extra randomness.
+    pub fn new(clusters: usize, cluster_size: usize, bridges: usize) -> Self {
+        ClusteredConfig {
+            clusters,
+            cluster_size,
+            intra_extra_prob: 0.0,
+            bridges,
+            inter_extra_prob: 0.0,
+        }
+    }
+
+    /// Sets the intra- and inter-cluster extra-edge probabilities.
+    pub fn with_extra_edges(mut self, intra: f64, inter: f64) -> Self {
+        self.intra_extra_prob = intra;
+        self.inter_extra_prob = inter;
+        self
+    }
+
+    /// Total number of processes.
+    pub fn n(&self) -> usize {
+        self.clusters * self.cluster_size
+    }
+}
+
+/// Generates a clustered (community-structured) knowledge graph.
+///
+/// Each cluster is a directed cycle plus random intra-cluster edges, so
+/// every cluster is strongly connected. Cluster 0 is the **core**: it has
+/// no outgoing knowledge, and every other cluster sends `bridges` edges
+/// into it (plus optional random cross-cluster edges). Consequences:
+///
+/// - `bridges >= 1`: the core is the unique sink component — a federated
+///   "tiered" topology (Stellar's real deployment shape);
+/// - `bridges == 0`, `inter_extra_prob == 0.0`: a fully partitioned
+///   system with one sink per cluster — the pathological case the SINK
+///   detector must *not* silently accept.
+///
+/// # Panics
+///
+/// Panics if `clusters == 0` or `cluster_size < 2`.
+pub fn clustered<R: Rng + ?Sized>(config: &ClusteredConfig, rng: &mut R) -> KnowledgeGraph {
+    assert!(config.clusters >= 1, "clustered needs at least one cluster");
+    assert!(
+        config.cluster_size >= 2,
+        "clustered needs cluster_size >= 2 (intra-cluster cycle)"
+    );
+    let s = config.cluster_size;
+    let n = config.n();
+    let mut g = DiGraph::new(n);
+    let member = |c: usize, j: usize| ProcessId::new((c * s + j) as u32);
+
+    for c in 0..config.clusters {
+        // Strongly connected skeleton.
+        for j in 0..s {
+            g.add_edge(member(c, j), member(c, (j + 1) % s));
+        }
+        // Extra intra-cluster knowledge.
+        if config.intra_extra_prob > 0.0 {
+            for j in 0..s {
+                for l in 0..s {
+                    if j != l
+                        && !g.has_edge(member(c, j), member(c, l))
+                        && rng.random_bool(config.intra_extra_prob)
+                    {
+                        g.add_edge(member(c, j), member(c, l));
+                    }
+                }
+            }
+        }
+        if c == 0 {
+            continue;
+        }
+        // Bridges into the core.
+        let mut added = 0usize;
+        while added < config.bridges && added < s * s {
+            let from = member(c, rng.random_range(0..s as u32) as usize);
+            let to = member(0, rng.random_range(0..s as u32) as usize);
+            if g.add_edge(from, to) {
+                added += 1;
+            }
+        }
+        // Extra cross-cluster knowledge (never out of the core).
+        if config.inter_extra_prob > 0.0 {
+            for j in 0..s {
+                for v in 0..n {
+                    let target = ProcessId::new(v as u32);
+                    let from = member(c, j);
+                    if v / s != c
+                        && from != target
+                        && !g.has_edge(from, target)
+                        && rng.random_bool(config.inter_extra_prob)
+                    {
+                        g.add_edge(from, target);
+                    }
+                }
+            }
+        }
+    }
+    KnowledgeGraph::from_graph(g)
+}
+
+/// Configuration for [`perturb_kosr`].
+#[derive(Debug, Clone)]
+pub struct PerturbConfig {
+    /// The `k` whose `k`-OSR property must survive the perturbation.
+    pub k: usize,
+    /// Number of random edge additions to attempt.
+    pub additions: usize,
+    /// Number of random edge deletions to attempt (each deletion is
+    /// validated with the full Definition-6 checker and reverted if it
+    /// breaks `k`-OSR).
+    pub deletions: usize,
+}
+
+/// Randomly perturbs a `k`-OSR knowledge graph while provably preserving
+/// `k`-OSR, yielding scenario variety around a known-good topology (e.g.
+/// the paper's Fig. 1 and Fig. 2).
+///
+/// Additions only draw from edges that cannot break `k`-OSR (sink members
+/// only gain knowledge of other sink members; non-sink members may gain
+/// knowledge of anyone) — the same closure property [`random_kosr`] uses.
+/// Deletions are attempted on random existing edges and kept only if the
+/// Definition-6 checker still accepts the graph *and* the sink component
+/// is unchanged.
+///
+/// # Panics
+///
+/// Panics if `kg` is not `k`-OSR for `config.k` to begin with.
+pub fn perturb_kosr<R: Rng + ?Sized>(
+    kg: &KnowledgeGraph,
+    config: &PerturbConfig,
+    rng: &mut R,
+) -> KnowledgeGraph {
+    let mut g = kg.graph().clone();
+    let k = config.k;
+    assert!(
+        kosr::is_k_osr(&g, k),
+        "perturb_kosr input must already be {k}-OSR"
+    );
+    let sink = sink::unique_sink(&g).expect("k-OSR graphs have a unique sink");
+    let n = g.vertex_count();
+
+    for _ in 0..config.additions {
+        let u = ProcessId::new(rng.random_range(0..n as u32));
+        let v = ProcessId::new(rng.random_range(0..n as u32));
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        if sink.contains(u) && !sink.contains(v) {
+            continue; // would give the sink an outgoing edge
+        }
+        g.add_edge(u, v);
+    }
+
+    for _ in 0..config.deletions {
+        let all: Vec<(ProcessId, ProcessId)> = g.edges().collect();
+        if all.is_empty() {
+            break;
+        }
+        let (u, v) = all[rng.random_range(0..all.len())];
+        g.remove_edge(u, v);
+        // k-OSR alone is not enough: stripping a sink member's out-edges
+        // can split it off into a smaller sink that still checks out
+        // (singletons are vacuously k-strongly-connected). The sink set
+        // itself must survive.
+        if !kosr::is_k_osr(&g, k) || sink::unique_sink(&g).as_ref() != Some(&sink) {
+            g.add_edge(u, v);
+        }
+    }
+
+    debug_assert!(kosr::is_k_osr(&g, k));
+    debug_assert_eq!(sink::unique_sink(&g), Some(sink));
+    KnowledgeGraph::from_graph(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,7 +631,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let (g, faulty) = random_byzantine_safe(5, 4, 1, &mut rng);
             assert_eq!(faulty.len(), 1);
-            assert!(kosr::satisfies_theorem1(g.graph(), 1, &faulty), "seed {seed}");
+            assert!(
+                kosr::satisfies_theorem1(g.graph(), 1, &faulty),
+                "seed {seed}"
+            );
         }
     }
 
@@ -373,5 +649,143 @@ mod tests {
     #[should_panic(expected = "sink must have at least 3")]
     fn fig2_family_validates() {
         fig2_family(2, 5);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.vertex_count(), 10);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 90);
+    }
+
+    #[test]
+    fn erdos_renyi_is_reproducible() {
+        let a = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(5));
+        let b = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(6));
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn scale_free_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kg = scale_free(30, 3, &mut rng);
+        let g = kg.graph();
+        assert_eq!(g.vertex_count(), 30);
+        // Core of m + 1 = 4 complete; every later process has out-degree m.
+        assert_eq!(
+            sink::unique_sink(g),
+            Some(ProcessSet::from_ids([0, 1, 2, 3]))
+        );
+        for v in 4..30u32 {
+            assert_eq!(g.out_degree(ProcessId::new(v)), 3, "joiner {v}");
+        }
+        assert!(kosr::is_k_osr(g, 1));
+    }
+
+    #[test]
+    fn scale_free_prefers_high_degree_targets() {
+        // With strong preferential attachment, the core must collect far
+        // more knowledge than the median joiner.
+        let mut rng = StdRng::seed_from_u64(3);
+        let kg = scale_free(120, 2, &mut rng);
+        let g = kg.graph();
+        let core_in: usize = (0..3u32).map(|v| g.in_degree(ProcessId::new(v))).sum();
+        let tail_in: usize = (60..120u32).map(|v| g.in_degree(ProcessId::new(v))).sum();
+        assert!(
+            core_in > tail_in,
+            "core in-degree {core_in} vs late-joiner total {tail_in}"
+        );
+    }
+
+    #[test]
+    fn clustered_with_bridges_has_core_sink() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ClusteredConfig::new(4, 5, 2).with_extra_edges(0.3, 0.05);
+        let kg = clustered(&config, &mut rng);
+        assert_eq!(kg.n(), 20);
+        assert_eq!(
+            sink::unique_sink(kg.graph()),
+            Some(ProcessSet::from_ids(0..5u32)),
+            "core cluster must be the unique sink"
+        );
+    }
+
+    #[test]
+    fn clustered_without_bridges_is_partitioned() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = ClusteredConfig::new(3, 4, 0);
+        let kg = clustered(&config, &mut rng);
+        let sinks = sink::sink_components(kg.graph(), &kg.graph().vertex_set());
+        assert_eq!(sinks.len(), 3, "each cluster is its own sink");
+    }
+
+    #[test]
+    fn perturb_kosr_preserves_property_on_figures() {
+        for (kg, k) in [(fig1(), 1), (fig2(), 3)] {
+            let orig_sink = sink::unique_sink(kg.graph()).unwrap();
+            for seed in 0..4u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let config = PerturbConfig {
+                    k,
+                    additions: 6,
+                    deletions: 4,
+                };
+                let p = perturb_kosr(&kg, &config, &mut rng);
+                assert!(kosr::is_k_osr(p.graph(), k), "k={k} seed={seed}");
+                assert_eq!(
+                    sink::unique_sink(p.graph()),
+                    Some(orig_sink.clone()),
+                    "perturbation must not move the sink"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_kosr_deletion_heavy_keeps_sink() {
+        // Regression: deleting a sink member's out-edges one by one can
+        // pass the bare k-OSR check (a shrunken sink is vacuously
+        // k-strongly-connected), so the deletion loop must also pin the
+        // sink set. Seed 0 with 12 deletions used to shrink Fig. 1's sink
+        // to {5, 7}.
+        let kg = fig1();
+        let orig_sink = sink::unique_sink(kg.graph()).unwrap();
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = PerturbConfig {
+                k: 1,
+                additions: 0,
+                deletions: 12,
+            };
+            let p = perturb_kosr(&kg, &config, &mut rng);
+            assert_eq!(
+                sink::unique_sink(p.graph()),
+                Some(orig_sink.clone()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_kosr_actually_perturbs() {
+        let kg = fig2();
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = PerturbConfig {
+            k: 3,
+            // Attempts, not guaranteed insertions: most draws are rejected
+            // on Fig. 2 (the sink is already complete), so use plenty.
+            additions: 60,
+            deletions: 0,
+        };
+        let p = perturb_kosr(&kg, &config, &mut rng);
+        assert!(
+            p.graph().edge_count() > kg.graph().edge_count(),
+            "additions should land on a sparse graph"
+        );
     }
 }

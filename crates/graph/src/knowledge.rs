@@ -58,9 +58,15 @@ impl KnowledgeGraph {
     pub fn from_paper_pds(n: usize, pds: &[(u32, &[u32])]) -> Self {
         let mut sets = vec![ProcessSet::new(); n];
         for (i, knows) in pds {
-            assert!(*i >= 1 && (*i as usize) <= n, "paper label {i} out of 1..={n}");
+            assert!(
+                *i >= 1 && (*i as usize) <= n,
+                "paper label {i} out of 1..={n}"
+            );
             for j in *knows {
-                assert!(*j >= 1 && (*j as usize) <= n, "paper label {j} out of 1..={n}");
+                assert!(
+                    *j >= 1 && (*j as usize) <= n,
+                    "paper label {j} out of 1..={n}"
+                );
                 sets[(*i - 1) as usize].insert(ProcessId::new(j - 1));
             }
         }

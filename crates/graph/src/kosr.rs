@@ -191,7 +191,10 @@ mod tests {
         // 2 has PD_2 = {4}, a single outgoing edge, so it is not 2-OSR.
         let g = generators::fig1();
         assert!(is_k_osr(g.graph(), 1));
-        assert!(!is_k_osr(g.graph(), 2), "PD_2 = {{4}} gives only one path out of paper's p2");
+        assert!(
+            !is_k_osr(g.graph(), 2),
+            "PD_2 = {{4}} gives only one path out of paper's p2"
+        );
     }
 
     #[test]
@@ -251,10 +254,7 @@ mod tests {
     fn missing_paths_fail_condition_4() {
         // Sink {1,2,3} complete (2-strongly-connected); 0 has a single edge
         // into the sink, so only 1 disjoint path with k = 2.
-        let g = DiGraph::from_edges(
-            4,
-            [(1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2), (0, 1)],
-        );
+        let g = DiGraph::from_edges(4, [(1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2), (0, 1)]);
         let report = check_kosr(&g, 2);
         assert!(report.sink_k_connected);
         assert!(!report.nonsink_paths_ok);
@@ -277,6 +277,10 @@ mod tests {
         // single faulty process (the paper argues "whether the faulty
         // process is a sink member or not").
         let g = generators::fig2();
-        assert!(is_byzantine_safe_for_all(g.graph(), 1, &g.graph().vertex_set()));
+        assert!(is_byzantine_safe_for_all(
+            g.graph(),
+            1,
+            &g.graph().vertex_set()
+        ));
     }
 }

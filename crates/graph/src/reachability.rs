@@ -85,7 +85,13 @@ mod tests {
     fn self_reachability() {
         let g = DiGraph::new(2);
         assert!(is_f_reachable(&g, 3, p(0), p(0), &g.vertex_set()));
-        assert!(!is_f_reachable(&g, 0, p(0), p(0), &ProcessSet::from_ids([1])));
+        assert!(!is_f_reachable(
+            &g,
+            0,
+            p(0),
+            p(0),
+            &ProcessSet::from_ids([1])
+        ));
     }
 
     #[test]
@@ -96,7 +102,10 @@ mod tests {
         let g = generators::fig2();
         let s = sink::unique_sink(g.graph()).unwrap();
         for fv in g.graph().vertices() {
-            let correct = g.graph().vertex_set().difference(&ProcessSet::singleton(fv));
+            let correct = g
+                .graph()
+                .vertex_set()
+                .difference(&ProcessSet::singleton(fv));
             assert_eq!(
                 find_unreachable_sink_pair(g.graph(), 1, &s, &correct),
                 None,

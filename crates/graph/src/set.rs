@@ -187,7 +187,10 @@ impl ProcessSet {
         if self.blocks.len() > other.blocks.len() {
             return false;
         }
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if every element of `other` is in `self`.
@@ -198,14 +201,19 @@ impl ProcessSet {
 
     /// Returns `true` if `self ∩ other = ∅`.
     pub fn is_disjoint(&self, other: &ProcessSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Returns the smallest id in the set, if any.
     pub fn first(&self) -> Option<ProcessId> {
         for (i, w) in self.blocks.iter().enumerate() {
             if *w != 0 {
-                return Some(ProcessId::new((i * BITS + w.trailing_zeros() as usize) as u32));
+                return Some(ProcessId::new(
+                    (i * BITS + w.trailing_zeros() as usize) as u32,
+                ));
             }
         }
         None

@@ -68,8 +68,14 @@ mod tests {
     fn reachable_follows_direction() {
         let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (3, 0)]);
         let all = g.vertex_set();
-        assert_eq!(reachable_set(&g, p(0), &all), ProcessSet::from_ids([0, 1, 2]));
-        assert_eq!(reachable_set(&g, p(3), &all), ProcessSet::from_ids([0, 1, 2, 3]));
+        assert_eq!(
+            reachable_set(&g, p(0), &all),
+            ProcessSet::from_ids([0, 1, 2])
+        );
+        assert_eq!(
+            reachable_set(&g, p(3), &all),
+            ProcessSet::from_ids([0, 1, 2, 3])
+        );
         assert_eq!(reachable_set(&g, p(2), &all), ProcessSet::from_ids([2]));
     }
 
@@ -77,7 +83,10 @@ mod tests {
     fn mask_blocks_traversal() {
         let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
         let within = ProcessSet::from_ids([0, 1, 3]);
-        assert_eq!(reachable_set(&g, p(0), &within), ProcessSet::from_ids([0, 1]));
+        assert_eq!(
+            reachable_set(&g, p(0), &within),
+            ProcessSet::from_ids([0, 1])
+        );
         // Source outside the mask reaches nothing.
         assert!(reachable_set(&g, p(2), &within).is_empty());
     }

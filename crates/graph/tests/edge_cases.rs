@@ -15,7 +15,10 @@ fn empty_and_singleton_graphs() {
     let g0 = DiGraph::new(0);
     assert_eq!(g0.vertex_count(), 0);
     assert!(scc::decompose_full(&g0).components().is_empty());
-    assert!(connectivity::is_undirected_connected(&g0, &ProcessSet::new()));
+    assert!(connectivity::is_undirected_connected(
+        &g0,
+        &ProcessSet::new()
+    ));
     assert_eq!(sink::unique_sink(&g0), None, "no components, no sink");
 
     let g1 = DiGraph::new(1);
@@ -32,8 +35,16 @@ fn two_vertex_graphs() {
     // Both edges: one SCC.
     let g = DiGraph::from_edges(2, [(0, 1), (1, 0)]);
     assert_eq!(sink::unique_sink(&g), Some(ProcessSet::from_ids([0, 1])));
-    assert!(connectivity::is_k_strongly_connected(&g, 1, &g.vertex_set()));
-    assert!(!connectivity::is_k_strongly_connected(&g, 2, &g.vertex_set()));
+    assert!(connectivity::is_k_strongly_connected(
+        &g,
+        1,
+        &g.vertex_set()
+    ));
+    assert!(!connectivity::is_k_strongly_connected(
+        &g,
+        2,
+        &g.vertex_set()
+    ));
 }
 
 #[test]
@@ -55,7 +66,10 @@ fn f_zero_everywhere() {
 fn faulty_set_equal_to_everything_is_rejected() {
     let g = generators::complete(3);
     let all = g.vertex_set();
-    assert!(!kosr::is_byzantine_safe(&g, 3, &all), "F must be a strict subset");
+    assert!(
+        !kosr::is_byzantine_safe(&g, 3, &all),
+        "F must be a strict subset"
+    );
 }
 
 #[test]

@@ -136,4 +136,71 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn erdos_renyi_respects_parameters(seed in 0u64..1_000, n in 2usize..16, p_milli in 0usize..=1_000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let p = p_milli as f64 / 1_000.0;
+        let g = generators::erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.vertex_count(), n);
+        prop_assert!(g.edge_count() <= n * (n - 1));
+        for (u, v) in g.edges() {
+            prop_assert!(u != v, "no self-loops");
+        }
+        // Seeded generation must be reproducible.
+        let h = generators::erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn scale_free_respects_parameters(seed in 0u64..1_000, n_extra in 0usize..20, m in 1usize..4) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let n = m + 1 + n_extra;
+        let kg = generators::scale_free(n, m, &mut StdRng::seed_from_u64(seed));
+        let g = kg.graph();
+        prop_assert_eq!(g.vertex_count(), n);
+        // Core is complete; every joiner knows exactly m earlier processes.
+        let core = ProcessSet::from_ids(0..=(m as u32));
+        prop_assert_eq!(scup_graph::sink::unique_sink(g), Some(core));
+        for v in (m + 1)..n {
+            let pid = ProcessId::new(v as u32);
+            prop_assert_eq!(g.out_degree(pid), m);
+            for w in g.successors(pid).iter() {
+                prop_assert!(w.as_u32() < v as u32, "joiners only know earlier processes");
+            }
+        }
+        prop_assert!(kosr::is_k_osr(g, 1));
+        let again = generators::scale_free(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(kg.graph(), again.graph());
+    }
+
+    #[test]
+    fn clustered_respects_parameters(seed in 0u64..1_000, clusters in 1usize..5, size in 2usize..6, bridges in 0usize..4) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let config = generators::ClusteredConfig::new(clusters, size, bridges)
+            .with_extra_edges(0.2, 0.1);
+        let kg = generators::clustered(&config, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(kg.n(), clusters * size);
+        let sinks = scup_graph::sink::sink_components(kg.graph(), &kg.graph().vertex_set());
+        if bridges >= 1 {
+            // Core cluster is the unique sink.
+            prop_assert_eq!(sinks.len(), 1);
+            prop_assert_eq!(&sinks[0], &ProcessSet::from_ids(0..size as u32));
+        } else if config.inter_extra_prob == 0.0 {
+            prop_assert_eq!(sinks.len(), clusters, "partitioned: one sink per cluster");
+        }
+        let again = generators::clustered(&config, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(kg.graph(), again.graph());
+    }
+
+    #[test]
+    fn perturb_kosr_preserves_kosr(seed in 0u64..500, additions in 0usize..10, deletions in 0usize..6) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let base = generators::fig2();
+        let config = generators::PerturbConfig { k: 3, additions, deletions };
+        let p = generators::perturb_kosr(&base, &config, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(kosr::is_k_osr(p.graph(), 3));
+        let again = generators::perturb_kosr(&base, &config, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(p.graph(), again.graph());
+    }
 }

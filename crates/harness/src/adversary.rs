@@ -1,0 +1,212 @@
+//! The adversary strategy registry.
+//!
+//! The workspace grew one Byzantine behaviour per protocol crate
+//! ([`scup_sim::adversary::SilentActor`],
+//! [`scup_scp::node::EquivocatingScpNode`],
+//! [`scup_cup::bftcup::EquivocatingLeader`], …). This module unifies them
+//! behind one protocol-agnostic [`AdversaryKind`] plus a name registry, so
+//! scenario files can say `adversary = "equivocate"` and every protocol
+//! driver maps the kind to its own actor.
+
+use std::collections::BTreeMap;
+
+use stellar_cup::consensus::ScpAdversary;
+
+/// A protocol-agnostic Byzantine behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Never send anything (the Lemma-2 behaviour; subsumes crashes in an
+    /// asynchronous analysis).
+    Silent,
+    /// Behave correctly, then fail-stop after `after` message deliveries.
+    Crash {
+        /// Deliveries before the stop.
+        after: u64,
+    },
+    /// Reflect every received message to every known process.
+    Echo,
+    /// Send conflicting protocol values to different processes.
+    Equivocate,
+    /// Participate consistently but advertise forged (self-only) quorum
+    /// slices; in slice-free protocols this degrades to equivocation.
+    ForgedSlice,
+}
+
+impl AdversaryKind {
+    /// Maps the kind onto the Stellar pipeline's adversary configuration.
+    pub fn to_scp(self) -> ScpAdversary {
+        match self {
+            AdversaryKind::Silent => ScpAdversary::Silent,
+            AdversaryKind::Crash { after } => ScpAdversary::Crash { after },
+            AdversaryKind::Echo => ScpAdversary::Echo,
+            AdversaryKind::Equivocate => ScpAdversary::Equivocate,
+            AdversaryKind::ForgedSlice => ScpAdversary::ForgedSlice,
+        }
+    }
+
+    /// `true` when the behaviour cannot inject values of its own, so the
+    /// validity oracle ("the decided value was proposed by a correct
+    /// process") is a sound requirement.
+    pub fn preserves_validity(self) -> bool {
+        match self {
+            AdversaryKind::Silent | AdversaryKind::Crash { .. } | AdversaryKind::Echo => true,
+            AdversaryKind::Equivocate | AdversaryKind::ForgedSlice => false,
+        }
+    }
+}
+
+/// A named, documented adversary strategy.
+#[derive(Debug, Clone)]
+pub struct AdversaryStrategy {
+    /// Registry name (what scenario files reference).
+    pub name: String,
+    /// One-line description for reports and `--list` output.
+    pub description: String,
+    /// The behaviour.
+    pub kind: AdversaryKind,
+}
+
+/// Name → strategy lookup.
+///
+/// [`AdversaryRegistry::builtin`] registers the five stock strategies;
+/// [`AdversaryRegistry::register`] accepts custom ones. [`resolve`] also
+/// understands the parameterized form `crash:<n>`.
+///
+/// [`resolve`]: AdversaryRegistry::resolve
+#[derive(Debug, Clone)]
+pub struct AdversaryRegistry {
+    strategies: BTreeMap<String, AdversaryStrategy>,
+}
+
+impl AdversaryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        AdversaryRegistry {
+            strategies: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with the stock strategies.
+    pub fn builtin() -> Self {
+        let mut r = AdversaryRegistry::new();
+        r.register(AdversaryStrategy {
+            name: "silent".into(),
+            description: "never sends anything (crash-like; the Lemma 2 behaviour)".into(),
+            kind: AdversaryKind::Silent,
+        });
+        r.register(AdversaryStrategy {
+            name: "crash".into(),
+            description: "correct until fail-stop after N deliveries (default 5; `crash:N`)".into(),
+            kind: AdversaryKind::Crash { after: 5 },
+        });
+        r.register(AdversaryStrategy {
+            name: "echo".into(),
+            description: "reflects every received message to every known process".into(),
+            kind: AdversaryKind::Echo,
+        });
+        r.register(AdversaryStrategy {
+            name: "equivocate".into(),
+            description: "sends conflicting values to different processes and forges slices".into(),
+            kind: AdversaryKind::Equivocate,
+        });
+        r.register(AdversaryStrategy {
+            name: "forged-slice".into(),
+            description: "votes consistently but attaches forged self-only quorum slices".into(),
+            kind: AdversaryKind::ForgedSlice,
+        });
+        r
+    }
+
+    /// Adds (or replaces) a strategy.
+    pub fn register(&mut self, strategy: AdversaryStrategy) {
+        self.strategies.insert(strategy.name.clone(), strategy);
+    }
+
+    /// Looks a strategy up by exact name.
+    pub fn get(&self, name: &str) -> Option<&AdversaryStrategy> {
+        self.strategies.get(name)
+    }
+
+    /// Resolves a scenario-file adversary reference to a behaviour.
+    ///
+    /// Accepts exact registry names plus the parameterized spelling
+    /// `crash:<n>` (fail-stop after `n` deliveries).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known strategies when the name does
+    /// not resolve.
+    pub fn resolve(&self, reference: &str) -> Result<AdversaryKind, String> {
+        if let Some(strategy) = self.strategies.get(reference) {
+            return Ok(strategy.kind);
+        }
+        if let Some(n) = reference.strip_prefix("crash:") {
+            let after: u64 = n
+                .parse()
+                .map_err(|_| format!("bad crash parameter in `{reference}`"))?;
+            return Ok(AdversaryKind::Crash { after });
+        }
+        Err(format!(
+            "unknown adversary `{reference}`; known: {}",
+            self.names().join(", ")
+        ))
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.strategies.keys().map(String::as_str).collect()
+    }
+
+    /// All registered strategies, sorted by name.
+    pub fn strategies(&self) -> impl Iterator<Item = &AdversaryStrategy> {
+        self.strategies.values()
+    }
+}
+
+impl Default for AdversaryRegistry {
+    fn default() -> Self {
+        AdversaryRegistry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_the_paper_behaviours() {
+        let r = AdversaryRegistry::builtin();
+        assert_eq!(
+            r.names(),
+            vec!["crash", "echo", "equivocate", "forged-slice", "silent"]
+        );
+        assert_eq!(r.resolve("silent").unwrap(), AdversaryKind::Silent);
+        assert_eq!(
+            r.resolve("crash:9").unwrap(),
+            AdversaryKind::Crash { after: 9 }
+        );
+        assert!(r.resolve("crash:x").is_err());
+        assert!(r.resolve("nope").unwrap_err().contains("known:"));
+    }
+
+    #[test]
+    fn validity_soundness_classification() {
+        assert!(AdversaryKind::Silent.preserves_validity());
+        assert!(AdversaryKind::Crash { after: 1 }.preserves_validity());
+        assert!(AdversaryKind::Echo.preserves_validity());
+        assert!(!AdversaryKind::Equivocate.preserves_validity());
+        assert!(!AdversaryKind::ForgedSlice.preserves_validity());
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut r = AdversaryRegistry::builtin();
+        r.register(AdversaryStrategy {
+            name: "my-silent".into(),
+            description: "alias".into(),
+            kind: AdversaryKind::Silent,
+        });
+        assert_eq!(r.resolve("my-silent").unwrap(), AdversaryKind::Silent);
+        assert_eq!(r.strategies().count(), 6);
+    }
+}

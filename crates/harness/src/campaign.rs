@@ -1,0 +1,464 @@
+//! Campaigns: a scenario matrix, a parallel runner, and structured
+//! reports.
+//!
+//! A [`Campaign`] expands every scenario into `(scenario, seed)` run
+//! specs and fans them out across worker threads. Each run is
+//! deterministic in `(scenario, seed)` — topology, fault placement, and
+//! the simulation schedule all derive from the seed — so the report is
+//! identical whatever the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use scup_scp::Value;
+
+use crate::adversary::AdversaryRegistry;
+use crate::json::Json;
+use crate::oracle::{self, InvariantReport};
+use crate::protocol;
+use crate::scenario::Scenario;
+use crate::topology;
+
+/// A named batch of scenarios.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name (used in the report and default output path).
+    pub name: String,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// The scenarios to run.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// The outcome of one `(scenario, seed)` run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Topology family name.
+    pub family: String,
+    /// Adversary reference.
+    pub adversary: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Number of processes.
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// The faulty processes.
+    pub faulty: Vec<u32>,
+    /// Oracle verdict.
+    pub invariants: InvariantReport,
+    /// The agreed value when agreement held and someone decided.
+    pub decided_value: Option<Value>,
+    /// Messages sent across phases.
+    pub messages_sent: u64,
+    /// Simulated end time.
+    pub end_ticks: u64,
+    /// Wall-clock duration of the run, microseconds.
+    pub wall_micros: u64,
+    /// Pass/fail under the scenario's oracle mode.
+    pub passed: bool,
+    /// A configuration error, if the run could not even start (bad
+    /// adversary name, unsatisfiable fault placement).
+    pub error: Option<String>,
+}
+
+/// The aggregated outcome of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Every run, ordered by (scenario declaration order, seed).
+    pub runs: Vec<RunRecord>,
+    /// Wall-clock duration of the whole campaign, microseconds.
+    pub wall_micros: u64,
+}
+
+impl Campaign {
+    /// Runs every `(scenario, seed)` pair, in parallel.
+    pub fn run(&self) -> CampaignReport {
+        let started = Instant::now();
+        let registry = AdversaryRegistry::builtin();
+
+        let specs: Vec<(usize, &Scenario, u64)> = self
+            .scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, s)| {
+                (s.seed_base..s.seed_base + s.seeds).map(move |seed| (idx, s, seed))
+            })
+            .collect();
+
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(specs.len().max(1))
+        } else {
+            self.threads
+        };
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; specs.len()]);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, scenario, seed)) = specs.get(i) else {
+                        break;
+                    };
+                    let record = run_one(scenario, seed, &registry);
+                    slots.lock().unwrap()[i] = Some(record);
+                });
+            }
+        });
+
+        let runs = slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
+
+        CampaignReport {
+            name: self.name.clone(),
+            threads,
+            runs,
+            wall_micros: started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+/// Executes one `(scenario, seed)` run.
+pub fn run_one(scenario: &Scenario, seed: u64, registry: &AdversaryRegistry) -> RunRecord {
+    let started = Instant::now();
+    let mut record = RunRecord {
+        scenario: scenario.name.clone(),
+        family: scenario.topology.family_name().to_string(),
+        adversary: scenario.adversary.clone(),
+        protocol: scenario.protocol.name().to_string(),
+        seed,
+        n: 0,
+        f: scenario.f,
+        faulty: Vec::new(),
+        invariants: InvariantReport {
+            termination: false,
+            agreement: false,
+            validity: None,
+            premise: false,
+            violations: Vec::new(),
+        },
+        decided_value: None,
+        messages_sent: 0,
+        end_ticks: 0,
+        wall_micros: 0,
+        passed: false,
+        error: None,
+    };
+
+    let adversary = match registry.resolve(&scenario.adversary) {
+        Ok(kind) => kind,
+        Err(e) => {
+            record.error = Some(e);
+            record.wall_micros = started.elapsed().as_micros() as u64;
+            return record;
+        }
+    };
+
+    // Generators assert their parameter contracts (e.g. `scale_free needs
+    // n >= m + 1`); a typo in one scenario must become that run's error,
+    // not abort the whole campaign process.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_configured(scenario, seed, adversary, &mut record)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => record.error = Some(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            record.error = Some(format!("configuration panic: {msg}"));
+        }
+    }
+    record.wall_micros = started.elapsed().as_micros() as u64;
+    record
+}
+
+fn run_configured(
+    scenario: &Scenario,
+    seed: u64,
+    adversary: crate::adversary::AdversaryKind,
+    record: &mut RunRecord,
+) -> Result<(), String> {
+    let (kg, generated) = topology::instantiate(&scenario.topology, scenario.f, seed);
+    record.n = kg.n();
+
+    let faulty = topology::place_faults(&scenario.faults, &kg, generated, seed)?;
+    record.faulty = faulty.iter().map(|p| p.as_u32()).collect();
+
+    let output = protocol::execute(
+        scenario.protocol,
+        &kg,
+        scenario.f,
+        &faulty,
+        adversary,
+        &scenario.network,
+        seed,
+    );
+
+    let invariants = oracle::evaluate(
+        &kg,
+        scenario.f,
+        &faulty,
+        &output.inputs,
+        &output.decisions,
+        adversary,
+    );
+
+    record.decided_value = if invariants.agreement {
+        kg.processes()
+            .filter(|i| !faulty.contains(*i))
+            .find_map(|i| output.decisions[i.index()])
+    } else {
+        None
+    };
+    record.passed = invariants.passes(scenario.oracle);
+    record.invariants = invariants;
+    record.messages_sent = output.messages_sent;
+    record.end_ticks = output.end_ticks;
+    Ok(())
+}
+
+impl CampaignReport {
+    /// Number of passing runs.
+    pub fn passed(&self) -> usize {
+        self.runs.iter().filter(|r| r.passed).count()
+    }
+
+    /// Number of failing runs.
+    pub fn failed(&self) -> usize {
+        self.runs.len() - self.passed()
+    }
+
+    /// `true` when every run passed its oracle mode.
+    pub fn all_passed(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// The report as structured JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("campaign", Json::Str(self.name.clone())),
+            ("threads", Json::Int(self.threads as i64)),
+            ("total_runs", Json::Int(self.runs.len() as i64)),
+            ("passed", Json::Int(self.passed() as i64)),
+            ("failed", Json::Int(self.failed() as i64)),
+            ("wall_micros", Json::Int(self.wall_micros as i64)),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl RunRecord {
+    /// The record as structured JSON.
+    pub fn to_json(&self) -> Json {
+        let inv = &self.invariants;
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("family", Json::Str(self.family.clone())),
+            ("adversary", Json::Str(self.adversary.clone())),
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("seed", Json::Int(self.seed as i64)),
+            ("n", Json::Int(self.n as i64)),
+            ("f", Json::Int(self.f as i64)),
+            (
+                "faulty",
+                Json::Arr(self.faulty.iter().map(|&v| Json::Int(v as i64)).collect()),
+            ),
+            (
+                "oracles",
+                Json::obj([
+                    ("termination", Json::Bool(inv.termination)),
+                    ("agreement", Json::Bool(inv.agreement)),
+                    (
+                        "validity",
+                        inv.validity.map(Json::Bool).unwrap_or(Json::Null),
+                    ),
+                    ("premise", Json::Bool(inv.premise)),
+                    (
+                        "violations",
+                        Json::Arr(
+                            inv.violations
+                                .iter()
+                                .map(|v| Json::Str(v.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "decided_value",
+                self.decided_value
+                    .map(|v| Json::Int(v as i64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("messages_sent", Json::Int(self.messages_sent as i64)),
+            ("end_ticks", Json::Int(self.end_ticks as i64)),
+            ("wall_micros", Json::Int(self.wall_micros as i64)),
+            ("passed", Json::Bool(self.passed)),
+            (
+                "error",
+                self.error
+                    .as_ref()
+                    .map(|e| Json::Str(e.clone()))
+                    .unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FaultPlacement, OracleMode, TopologySpec};
+
+    fn tiny_campaign(threads: usize) -> Campaign {
+        Campaign {
+            name: "test".into(),
+            threads,
+            scenarios: vec![
+                Scenario::builder("fig2-silent")
+                    .topology(TopologySpec::Fig2)
+                    .faults(FaultPlacement::Ids(vec![5]))
+                    .seeds(0, 3)
+                    .build(),
+                // Fig. 1 is 1-OSR, so BFT-CUP needs f = 0 there.
+                Scenario::builder("fig1-bft")
+                    .topology(TopologySpec::Fig1)
+                    .f(0)
+                    .protocol(crate::scenario::ProtocolSpec::BftCup)
+                    .faults(FaultPlacement::None)
+                    .seeds(0, 2)
+                    .build(),
+            ],
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_passes() {
+        let report = tiny_campaign(2).run();
+        assert_eq!(report.runs.len(), 5);
+        for run in &report.runs {
+            assert!(
+                run.passed,
+                "{}/{} failed: {:?} {:?}",
+                run.scenario, run.seed, run.invariants.violations, run.error
+            );
+        }
+        assert!(report.all_passed());
+    }
+
+    #[test]
+    fn report_is_independent_of_thread_count() {
+        let a = tiny_campaign(1).run();
+        let b = tiny_campaign(4).run();
+        assert_eq!(a.runs.len(), b.runs.len());
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!((&x.scenario, x.seed), (&y.scenario, y.seed), "ordering");
+            assert_eq!(x.decided_value, y.decided_value);
+            assert_eq!(x.messages_sent, y.messages_sent);
+            assert_eq!(x.end_ticks, y.end_ticks);
+            assert_eq!(x.invariants, y.invariants);
+        }
+    }
+
+    #[test]
+    fn bad_adversary_is_a_run_error_not_a_panic() {
+        let mut c = tiny_campaign(1);
+        c.scenarios[0].adversary = "wat".into();
+        let report = c.run();
+        let bad: Vec<_> = report.runs.iter().filter(|r| r.error.is_some()).collect();
+        assert_eq!(bad.len(), 3);
+        assert!(!report.all_passed());
+    }
+
+    #[test]
+    fn invalid_topology_parameters_are_a_run_error_not_a_process_abort() {
+        // scale_free asserts n >= m + 1; the panic must be contained.
+        let report = Campaign {
+            name: "bad-params".into(),
+            threads: 2,
+            scenarios: vec![Scenario::builder("impossible")
+                .topology(TopologySpec::ScaleFree { n: 3, m: 4 })
+                .seeds(0, 2)
+                .build()],
+        }
+        .run();
+        assert_eq!(report.runs.len(), 2);
+        for run in &report.runs {
+            let err = run.error.as_ref().expect("run carries the error");
+            assert!(err.contains("n >= m + 1"), "{err}");
+            assert!(!run.passed);
+        }
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = Campaign {
+            name: "shape".into(),
+            threads: 1,
+            scenarios: vec![Scenario::builder("s")
+                .topology(TopologySpec::Fig2)
+                .faults(FaultPlacement::Ids(vec![0]))
+                .seeds(0, 1)
+                .build()],
+        }
+        .run();
+        let json = report.to_json();
+        assert_eq!(json.get("campaign").unwrap().as_str(), Some("shape"));
+        assert_eq!(json.get("total_runs").unwrap().as_i64(), Some(1));
+        let run = &json.get("runs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(run.get("family").unwrap().as_str(), Some("fig2"));
+        let oracles = run.get("oracles").unwrap();
+        assert_eq!(oracles.get("agreement").unwrap().as_bool(), Some(true));
+        // The JSON must parse back.
+        assert!(crate::json::parse(&json.pretty()).is_ok());
+    }
+
+    #[test]
+    fn observe_mode_never_fails() {
+        // Non-converging runs burn events until `max_ticks` (SCP ballot
+        // timers re-arm forever), so exploratory sweeps get a small
+        // horizon.
+        let network = crate::scenario::NetworkSpec {
+            max_ticks: 30_000,
+            ..Default::default()
+        };
+        let report = Campaign {
+            name: "er".into(),
+            threads: 0,
+            scenarios: vec![Scenario::builder("er")
+                .topology(TopologySpec::ErdosRenyi { n: 8, p: 0.2 })
+                .faults(FaultPlacement::None)
+                .network(network)
+                .oracle(OracleMode::Observe)
+                .seeds(0, 4)
+                .build()],
+        }
+        .run();
+        assert!(report.all_passed());
+    }
+}

@@ -1,0 +1,271 @@
+//! Invariant oracles: agreement, validity, termination — judged against
+//! the `stellar-cup` / `scup-graph` predicates rather than re-derived.
+//!
+//! The oracles separate the three classical consensus properties so a
+//! report can say *which* one broke:
+//!
+//! - **termination** — every correct process decided within the horizon;
+//! - **agreement** — no two correct processes decided differently (checked
+//!   even on partial termination);
+//! - **validity** — the decided value was proposed by a correct process.
+//!   Only judged when the adversary cannot inject values
+//!   ([`AdversaryKind::preserves_validity`]); otherwise recorded as
+//!   not-applicable.
+//!
+//! The **premise** is the paper's structural precondition (Theorem 1 /
+//! Theorem 5): the knowledge graph is Byzantine-safe for the actual faulty
+//! set and the sink keeps at least `2f + 1` correct members. Under
+//! [`OracleMode::Conditional`](crate::scenario::OracleMode::Conditional) a
+//! violation only fails the run when the premise held — exactly the
+//! implication the theorems state.
+
+use scup_graph::{kosr, sink, KnowledgeGraph, ProcessId, ProcessSet};
+use scup_scp::Value;
+use stellar_cup::theorems;
+
+use crate::adversary::AdversaryKind;
+use crate::scenario::OracleMode;
+
+/// The oracle verdict for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Every correct process decided.
+    pub termination: bool,
+    /// All correct decisions are equal.
+    pub agreement: bool,
+    /// Decided value was proposed by a correct process; `None` when the
+    /// adversary may inject values (not judged).
+    pub validity: Option<bool>,
+    /// The structural premise of the paper's positive theorems held for
+    /// this graph and faulty set.
+    pub premise: bool,
+    /// Human-readable descriptions of each violation.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// `true` when all applicable oracles hold.
+    pub fn holds(&self) -> bool {
+        self.termination && self.agreement && self.validity.unwrap_or(true)
+    }
+
+    /// Whether this run passes under the given oracle mode.
+    pub fn passes(&self, mode: OracleMode) -> bool {
+        match mode {
+            OracleMode::Require => self.holds(),
+            OracleMode::Conditional => !self.premise || self.holds(),
+            OracleMode::Observe => true,
+        }
+    }
+}
+
+/// Evaluates the oracles for one run.
+///
+/// `decisions[i]` is process `i`'s decided value (`None` when undecided or
+/// faulty); `inputs[i]` its proposal.
+pub fn evaluate(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    inputs: &[Value],
+    decisions: &[Option<Value>],
+    adversary: AdversaryKind,
+) -> InvariantReport {
+    let mut violations = Vec::new();
+    let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
+
+    // Termination.
+    let undecided: Vec<ProcessId> = correct
+        .iter()
+        .copied()
+        .filter(|i| decisions[i.index()].is_none())
+        .collect();
+    let termination = undecided.is_empty();
+    if !termination {
+        violations.push(format!(
+            "termination: {} of {} correct processes undecided ({})",
+            undecided.len(),
+            correct.len(),
+            join_ids(&undecided)
+        ));
+    }
+
+    // Agreement over the decisions that exist.
+    let mut decided: Vec<(ProcessId, Value)> = correct
+        .iter()
+        .copied()
+        .filter_map(|i| decisions[i.index()].map(|v| (i, v)))
+        .collect();
+    decided.sort_by_key(|&(_, v)| v);
+    let agreement = decided.windows(2).all(|w| w[0].1 == w[1].1);
+    if !agreement {
+        let (lo, hi) = (decided.first().unwrap(), decided.last().unwrap());
+        violations.push(format!(
+            "agreement: {} decided {} but {} decided {}",
+            lo.0, lo.1, hi.0, hi.1
+        ));
+    }
+
+    // Validity, when the adversary cannot have injected values. A
+    // fail-stop process proposes honestly before crashing, so under the
+    // crash adversary its input is a legitimate decision too; a silent
+    // process never transmitted its proposal at all.
+    let validity = if adversary.preserves_validity() {
+        let crash = matches!(adversary, AdversaryKind::Crash { .. });
+        let ok = decided.iter().all(|&(_, v)| {
+            inputs.iter().enumerate().any(|(i, &input)| {
+                input == v && (crash || !faulty.contains(ProcessId::new(i as u32)))
+            })
+        });
+        if !ok {
+            violations.push("validity: a decided value was proposed by no correct process".into());
+        }
+        Some(ok)
+    } else {
+        None
+    };
+
+    // Structural premise, straight from the scup predicates.
+    let all = kg.graph().vertex_set();
+    let correct_set = all.difference(faulty);
+    let premise = kosr::satisfies_theorem1(kg.graph(), f, faulty)
+        && sink::unique_sink(kg.graph())
+            .is_some_and(|v_sink| theorems::sink_has_enough_correct(&v_sink, &correct_set, f));
+
+    InvariantReport {
+        termination,
+        agreement,
+        validity,
+        premise,
+        violations,
+    }
+}
+
+fn join_ids(ids: &[ProcessId]) -> String {
+    ids.iter()
+        .map(|i| i.as_u32().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scup_graph::generators;
+
+    fn fig2_inputs() -> Vec<Value> {
+        (0..7).map(|i| 100 + i as Value).collect()
+    }
+
+    #[test]
+    fn clean_run_passes_everything() {
+        let kg = generators::fig2();
+        let faulty = ProcessSet::from_ids([5]);
+        let decisions: Vec<Option<Value>> = (0..7)
+            .map(|i| if i == 5 { None } else { Some(100) })
+            .collect();
+        let r = evaluate(
+            &kg,
+            1,
+            &faulty,
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+        );
+        assert!(r.termination && r.agreement);
+        assert_eq!(r.validity, Some(true));
+        assert!(r.premise);
+        assert!(r.holds() && r.violations.is_empty());
+        assert!(r.passes(OracleMode::Require));
+    }
+
+    #[test]
+    fn disagreement_is_caught_and_described() {
+        let kg = generators::fig2();
+        let decisions: Vec<Option<Value>> = vec![
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(2),
+            Some(2),
+            Some(2),
+        ];
+        let r = evaluate(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+        );
+        assert!(!r.agreement);
+        assert!(r.violations.iter().any(|v| v.starts_with("agreement:")));
+        assert!(!r.passes(OracleMode::Require));
+        assert!(r.passes(OracleMode::Observe));
+    }
+
+    #[test]
+    fn missing_decision_breaks_termination_only() {
+        let kg = generators::fig2();
+        let mut decisions = vec![Some(100); 7];
+        decisions[2] = None;
+        let r = evaluate(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+        );
+        assert!(!r.termination);
+        assert!(r.agreement);
+    }
+
+    #[test]
+    fn validity_not_judged_for_injecting_adversaries() {
+        let kg = generators::fig2();
+        // Everyone decided a value nobody correct proposed.
+        let decisions = vec![Some(u64::MAX); 7];
+        let r = evaluate(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Equivocate,
+        );
+        assert_eq!(r.validity, None);
+        assert!(r.holds(), "agreement+termination hold; validity N/A");
+        let r2 = evaluate(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+        );
+        assert_eq!(r2.validity, Some(false));
+        assert!(!r2.holds());
+    }
+
+    #[test]
+    fn premise_fails_on_partitioned_graphs() {
+        // Two disjoint sinks: no unique sink, premise must be false, and
+        // conditional mode must not fail the run.
+        let g = scup_graph::DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let kg = KnowledgeGraph::from_graph(g);
+        let r = evaluate(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &[1, 2, 3, 4],
+            &[None, None, None, None],
+            AdversaryKind::Silent,
+        );
+        assert!(!r.premise);
+        assert!(!r.holds());
+        assert!(r.passes(OracleMode::Conditional));
+        assert!(!r.passes(OracleMode::Require));
+    }
+}

@@ -1,0 +1,505 @@
+//! Campaign-file loading: TOML and JSON.
+//!
+//! Offline build: no serde. The TOML dialect is the small declarative
+//! subset campaign files need — top-level `key = value` pairs for the
+//! campaign, `[[scenario]]` table arrays, strings / integers / floats /
+//! booleans / flat arrays, `#` comments — and both formats funnel into the
+//! same [`Json`] shape before [`campaign_from_json`] builds the
+//! [`Campaign`]:
+//!
+//! ```toml
+//! name = "example"
+//! threads = 0
+//!
+//! [[scenario]]
+//! name = "fig2-silent"
+//! topology = "fig2"
+//! f = 1
+//! adversary = "silent"
+//! faulty = [5]
+//! seeds = 16
+//! ```
+
+use crate::campaign::Campaign;
+use crate::json::{self, Json};
+use crate::scenario::{
+    FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec,
+};
+use stellar_cup::attempts::LocalSliceStrategy;
+
+/// Loads a campaign from TOML or JSON text, deciding by syntax (JSON
+/// documents start with `{`).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem.
+pub fn campaign_from_str(input: &str) -> Result<Campaign, String> {
+    let trimmed = input.trim_start();
+    let doc = if trimmed.starts_with('{') {
+        json::parse(input)?
+    } else {
+        toml_to_json(input)?
+    };
+    campaign_from_json(&doc)
+}
+
+/// Builds a campaign from the common document shape
+/// `{name, threads?, scenario: [...]}`.
+///
+/// # Errors
+///
+/// Returns a description of the first schema problem.
+pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("campaign needs a string `name`")?
+        .to_string();
+    let threads = get_usize(doc, "threads")?.unwrap_or(0);
+    let scenario_docs = doc
+        .get("scenario")
+        .and_then(Json::as_arr)
+        .ok_or("campaign needs at least one [[scenario]]")?;
+    if scenario_docs.is_empty() {
+        return Err("campaign needs at least one [[scenario]]".into());
+    }
+    let mut scenarios = Vec::with_capacity(scenario_docs.len());
+    for (i, s) in scenario_docs.iter().enumerate() {
+        scenarios.push(scenario_from_json(s).map_err(|e| format!("scenario #{}: {e}", i + 1))?);
+    }
+    Ok(Campaign {
+        name,
+        threads,
+        scenarios,
+    })
+}
+
+fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("needs a string `name`")?
+        .to_string();
+
+    let topology = topology_from_json(doc)?;
+    let f = get_usize(doc, "f")?.unwrap_or(1);
+
+    let adversary = doc
+        .get("adversary")
+        .map(|v| v.as_str().ok_or("`adversary` must be a string"))
+        .transpose()?
+        .unwrap_or("silent")
+        .to_string();
+
+    let faults = faults_from_json(doc, f)?;
+    let protocol = protocol_from_json(doc)?;
+
+    let defaults = NetworkSpec::default();
+    let network = NetworkSpec {
+        gst: get_u64(doc, "gst")?.unwrap_or(defaults.gst),
+        delta: get_u64(doc, "delta")?.unwrap_or(defaults.delta),
+        max_ticks: get_u64(doc, "max_ticks")?.unwrap_or(defaults.max_ticks),
+    };
+
+    let seeds = get_u64(doc, "seeds")?.unwrap_or(8);
+    if seeds == 0 {
+        return Err("`seeds` must be at least 1".into());
+    }
+    let seed_base = get_u64(doc, "seed_base")?.unwrap_or(0);
+
+    let oracle = match doc.get("oracle").map(|v| v.as_str()) {
+        None => OracleMode::Require,
+        Some(Some("require")) => OracleMode::Require,
+        Some(Some("conditional")) => OracleMode::Conditional,
+        Some(Some("observe")) => OracleMode::Observe,
+        Some(other) => {
+            return Err(format!(
+                "bad `oracle` {other:?}; use require | conditional | observe"
+            ))
+        }
+    };
+
+    Ok(Scenario {
+        name,
+        topology,
+        f,
+        adversary,
+        faults,
+        protocol,
+        network,
+        seeds,
+        seed_base,
+        oracle,
+    })
+}
+
+fn topology_from_json(doc: &Json) -> Result<TopologySpec, String> {
+    let family = doc
+        .get("topology")
+        .and_then(Json::as_str)
+        .ok_or("needs a string `topology`")?;
+    let req_usize = |key: &str| -> Result<usize, String> {
+        get_usize(doc, key)?.ok_or(format!("topology `{family}` needs integer `{key}`"))
+    };
+    let req_f64 = |key: &str| -> Result<f64, String> {
+        get_f64(doc, key)?.ok_or(format!("topology `{family}` needs number `{key}`"))
+    };
+    match family {
+        "fig1" => Ok(TopologySpec::Fig1),
+        "fig2" => Ok(TopologySpec::Fig2),
+        "fig2-family" => Ok(TopologySpec::Fig2Family {
+            sink: req_usize("sink")?,
+            outer: req_usize("outer")?,
+        }),
+        "random-kosr" => Ok(TopologySpec::RandomKosr {
+            sink: req_usize("sink")?,
+            nonsink: req_usize("nonsink")?,
+            k: req_usize("k")?,
+            extra_edge_prob: get_f64(doc, "extra_edge_prob")?.unwrap_or(0.0),
+        }),
+        "byzantine-safe" => Ok(TopologySpec::ByzantineSafe {
+            sink: req_usize("sink")?,
+            nonsink: req_usize("nonsink")?,
+        }),
+        "erdos-renyi" => Ok(TopologySpec::ErdosRenyi {
+            n: req_usize("n")?,
+            p: req_f64("p")?,
+        }),
+        "scale-free" => Ok(TopologySpec::ScaleFree {
+            n: req_usize("n")?,
+            m: req_usize("m")?,
+        }),
+        "clustered" => Ok(TopologySpec::Clustered {
+            clusters: req_usize("clusters")?,
+            cluster_size: req_usize("cluster_size")?,
+            bridges: get_usize(doc, "bridges")?.unwrap_or(1),
+            intra_extra_prob: get_f64(doc, "intra_extra_prob")?.unwrap_or(0.0),
+            inter_extra_prob: get_f64(doc, "inter_extra_prob")?.unwrap_or(0.0),
+        }),
+        "perturbed-fig1" => Ok(TopologySpec::PerturbedFig1 {
+            additions: get_usize(doc, "additions")?.unwrap_or(10),
+            deletions: get_usize(doc, "deletions")?.unwrap_or(0),
+        }),
+        "perturbed-fig2" => Ok(TopologySpec::PerturbedFig2 {
+            additions: get_usize(doc, "additions")?.unwrap_or(10),
+            deletions: get_usize(doc, "deletions")?.unwrap_or(0),
+        }),
+        other => Err(format!(
+            "unknown topology `{other}`; known: fig1, fig2, fig2-family, random-kosr, \
+             byzantine-safe, erdos-renyi, scale-free, clustered, perturbed-fig1, perturbed-fig2"
+        )),
+    }
+}
+
+fn faults_from_json(doc: &Json, f: usize) -> Result<FaultPlacement, String> {
+    if let Some(ids) = doc.get("faulty") {
+        let arr = ids.as_arr().ok_or("`faulty` must be an array of ids")?;
+        let mut out = Vec::with_capacity(arr.len());
+        for v in arr {
+            let id = v.as_i64().ok_or("`faulty` entries must be integers")?;
+            if id < 0 {
+                return Err("`faulty` ids must be non-negative".into());
+            }
+            out.push(id as u32);
+        }
+        if doc.get("fault_placement").is_some() {
+            return Err("give `faulty` or `fault_placement`, not both".into());
+        }
+        if doc.get("fault_count").is_some() {
+            return Err("give `faulty` or `fault_count`, not both".into());
+        }
+        return Ok(FaultPlacement::Ids(out));
+    }
+    let count = get_usize(doc, "fault_count")?.unwrap_or(f);
+    match doc.get("fault_placement").map(|v| v.as_str()) {
+        None => {
+            if doc.get("fault_count").is_some() {
+                return Err(
+                    "`fault_count` without `fault_placement` would be silently ignored; \
+                     add fault_placement = random | sink | nonsink | generator"
+                        .into(),
+                );
+            }
+            Ok(FaultPlacement::None)
+        }
+        Some(Some("none")) => Ok(FaultPlacement::None),
+        Some(Some("generator")) => Ok(FaultPlacement::Generator),
+        Some(Some("random")) => Ok(FaultPlacement::Random { count }),
+        Some(Some("sink")) => Ok(FaultPlacement::Sink { count }),
+        Some(Some("nonsink")) => Ok(FaultPlacement::NonSink { count }),
+        Some(other) => Err(format!(
+            "bad `fault_placement` {other:?}; use none | generator | random | sink | nonsink \
+             (or a `faulty` id list)"
+        )),
+    }
+}
+
+fn protocol_from_json(doc: &Json) -> Result<ProtocolSpec, String> {
+    match doc.get("protocol").map(|v| v.as_str()) {
+        None => Ok(ProtocolSpec::StellarMinimal),
+        Some(Some("stellar-minimal")) => Ok(ProtocolSpec::StellarMinimal),
+        Some(Some("stellar-local-all-but-one")) => {
+            Ok(ProtocolSpec::StellarLocal(LocalSliceStrategy::AllButOne))
+        }
+        Some(Some("stellar-local-survive-f")) => {
+            Ok(ProtocolSpec::StellarLocal(LocalSliceStrategy::SurviveF))
+        }
+        Some(Some("stellar-local-f-plus-one")) => {
+            Ok(ProtocolSpec::StellarLocal(LocalSliceStrategy::FPlusOne))
+        }
+        Some(Some("bft-cup")) => Ok(ProtocolSpec::BftCup),
+        Some(other) => Err(format!(
+            "bad `protocol` {other:?}; use stellar-minimal | stellar-local-all-but-one | \
+             stellar-local-survive-f | stellar-local-f-plus-one | bft-cup"
+        )),
+    }
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let i = v.as_i64().ok_or(format!("`{key}` must be an integer"))?;
+            u64::try_from(i)
+                .map(Some)
+                .map_err(|_| format!("`{key}` must be non-negative"))
+        }
+    }
+}
+
+fn get_usize(doc: &Json, key: &str) -> Result<Option<usize>, String> {
+    Ok(get_u64(doc, key)?.map(|v| v as usize))
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or(format!("`{key}` must be a number")),
+    }
+}
+
+/// Parses the campaign-TOML subset into the common document shape.
+///
+/// # Errors
+///
+/// Returns `(line number, message)` on the first malformed line.
+pub fn toml_to_json(input: &str) -> Result<Json, String> {
+    let mut top: Vec<(String, Json)> = Vec::new();
+    let mut scenarios: Vec<Json> = Vec::new();
+    let mut current: Option<Vec<(String, Json)>> = None;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        let err = |msg: &str| format!("toml line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[scenario]]" {
+            if let Some(done) = current.take() {
+                scenarios.push(Json::Obj(done));
+            }
+            current = Some(Vec::new());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err("only [[scenario]] tables are supported"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(err(&format!("bad key `{key}`")));
+        }
+        let value = parse_toml_value(value.trim()).map_err(|e| err(&e))?;
+        let target = current.as_mut().unwrap_or(&mut top);
+        if target.iter().any(|(k, _)| k == key) {
+            return Err(err(&format!("duplicate key `{key}`")));
+        }
+        target.push((key.to_string(), value));
+    }
+    if let Some(done) = current.take() {
+        scenarios.push(Json::Obj(done));
+    }
+    top.push(("scenario".to_string(), Json::Arr(scenarios)));
+    Ok(Json::Obj(top))
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(text: &str) -> Result<Json, String> {
+    if text.is_empty() {
+        return Err("missing value".into());
+    }
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or("unterminated string")?;
+        if inner.contains('"') {
+            return Err("strings with embedded quotes are not supported".into());
+        }
+        return Ok(Json::Str(inner.to_string()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or("unterminated array")?;
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Json::Arr(Vec::new()));
+        }
+        let items = inner
+            .split(',')
+            .map(|item| parse_toml_value(item.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Json::Arr(items));
+    }
+    match text {
+        "true" => return Ok(Json::Bool(true)),
+        "false" => return Ok(Json::Bool(false)),
+        _ => {}
+    }
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    if let Ok(i) = clean.parse::<i64>() {
+        return Ok(Json::Int(i));
+    }
+    if let Ok(f) = clean.parse::<f64>() {
+        return Ok(Json::Float(f));
+    }
+    Err(format!("cannot parse value `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# A small campaign.
+name = "example"
+threads = 2
+
+[[scenario]]
+name = "fig2-silent"          # the paper's counterexample graph
+topology = "fig2"
+f = 1
+adversary = "silent"
+faulty = [5]
+seeds = 4
+seed_base = 10
+gst = 100
+oracle = "require"
+
+[[scenario]]
+name = "er-sweep"
+topology = "erdos-renyi"
+n = 12
+p = 0.25
+fault_placement = "random"
+fault_count = 2
+protocol = "stellar-minimal"
+oracle = "conditional"
+max_ticks = 1_000_000
+"#;
+
+    #[test]
+    fn parses_the_example_campaign() {
+        let c = campaign_from_str(EXAMPLE).unwrap();
+        assert_eq!(c.name, "example");
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.scenarios.len(), 2);
+
+        let s0 = &c.scenarios[0];
+        assert_eq!(s0.name, "fig2-silent");
+        assert_eq!(s0.topology, TopologySpec::Fig2);
+        assert_eq!(s0.faults, FaultPlacement::Ids(vec![5]));
+        assert_eq!((s0.seed_base, s0.seeds), (10, 4));
+        assert_eq!(s0.network.gst, 100);
+        assert_eq!(s0.network.delta, NetworkSpec::default().delta);
+
+        let s1 = &c.scenarios[1];
+        assert_eq!(s1.topology, TopologySpec::ErdosRenyi { n: 12, p: 0.25 });
+        assert_eq!(s1.faults, FaultPlacement::Random { count: 2 });
+        assert_eq!(s1.oracle, OracleMode::Conditional);
+        assert_eq!(s1.network.max_ticks, 1_000_000);
+    }
+
+    #[test]
+    fn json_equivalent_loads_identically() {
+        let json = r#"{
+            "name": "example", "threads": 2,
+            "scenario": [
+                {"name": "fig2-silent", "topology": "fig2", "f": 1,
+                 "adversary": "silent", "faulty": [5], "seeds": 4,
+                 "seed_base": 10, "gst": 100, "oracle": "require"}
+            ]
+        }"#;
+        let c = campaign_from_str(json).unwrap();
+        assert_eq!(c.name, "example");
+        assert_eq!(c.scenarios[0].faults, FaultPlacement::Ids(vec![5]));
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        let cases = [
+            ("name = \"x\"", "at least one"),
+            (
+                "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"nope\"",
+                "unknown topology",
+            ),
+            (
+                "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"erdos-renyi\"\nn = 5",
+                "needs number `p`",
+            ),
+            (
+                "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig1\"\noracle = \"maybe\"",
+                "bad `oracle`",
+            ),
+            (
+                "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig1\"\nfaulty = [1]\nfault_placement = \"sink\"",
+                "not both",
+            ),
+            (
+                "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig1\"\nfault_count = 2",
+                "silently ignored",
+            ),
+            (
+                "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig1\"\nfaulty = [1]\nfault_count = 2",
+                "not both",
+            ),
+        ];
+        for (input, needle) in cases {
+            let err = campaign_from_str(input).unwrap_err();
+            assert!(err.contains(needle), "{input:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn toml_syntax_errors_carry_line_numbers() {
+        let err = campaign_from_str("name = \"x\"\nbad line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = campaign_from_str("name = \"x\"\n[table]\n").unwrap_err();
+        assert!(err.contains("[[scenario]]"), "{err}");
+        let err = campaign_from_str("name = \"x\"\nname = \"y\"\n").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        assert_eq!(strip_comment("a = \"x # y\" # real"), "a = \"x # y\" ");
+        assert_eq!(strip_comment("# whole line"), "");
+    }
+}

@@ -1,0 +1,211 @@
+//! Protocol drivers: one function per [`ProtocolSpec`] that takes a
+//! concrete `(graph, faulty, adversary, network, seed)` and produces the
+//! per-process decision vector the oracles judge.
+
+use scup_cup::bftcup::{BftConfig, BftCupActor, BftMsg, EquivocatingLeader};
+use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
+use scup_scp::Value;
+use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
+use scup_sim::{NetworkConfig, Simulation};
+use stellar_cup::consensus::{self, EndToEndConfig};
+use stellar_cup::sink_detector::GetSinkMode;
+
+use crate::adversary::AdversaryKind;
+use crate::scenario::{NetworkSpec, ProtocolSpec};
+
+/// What one protocol execution produced.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutput {
+    /// Per-process proposals.
+    pub inputs: Vec<Value>,
+    /// Per-process decisions (`None` = undecided or faulty).
+    pub decisions: Vec<Option<Value>>,
+    /// Messages sent across all phases.
+    pub messages_sent: u64,
+    /// Messages delivered across all phases.
+    pub messages_delivered: u64,
+    /// Simulated end time of the last phase.
+    pub end_ticks: u64,
+}
+
+/// Runs one protocol execution.
+pub fn execute(
+    protocol: ProtocolSpec,
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    adversary: AdversaryKind,
+    network: &NetworkSpec,
+    seed: u64,
+) -> ProtocolOutput {
+    match protocol {
+        ProtocolSpec::StellarMinimal => {
+            let config = pipeline_config(adversary, network, seed);
+            let outcome = consensus::run_end_to_end(kg, f, faulty, &config);
+            ProtocolOutput {
+                inputs: outcome.inputs,
+                decisions: outcome.decisions,
+                messages_sent: outcome.sd_report.messages_sent + outcome.scp_report.messages_sent,
+                messages_delivered: outcome.sd_report.messages_delivered
+                    + outcome.scp_report.messages_delivered,
+                end_ticks: outcome.scp_report.end_time.ticks(),
+            }
+        }
+        ProtocolSpec::StellarLocal(strategy) => {
+            let config = pipeline_config(adversary, network, seed);
+            let outcome = consensus::run_local_slices_pipeline(kg, f, faulty, strategy, &config);
+            ProtocolOutput {
+                inputs: outcome.inputs,
+                decisions: outcome.decisions,
+                messages_sent: outcome.scp_report.messages_sent,
+                messages_delivered: outcome.scp_report.messages_delivered,
+                end_ticks: outcome.scp_report.end_time.ticks(),
+            }
+        }
+        ProtocolSpec::BftCup => run_bftcup(kg, f, faulty, adversary, network, seed),
+    }
+}
+
+fn pipeline_config(adversary: AdversaryKind, network: &NetworkSpec, seed: u64) -> EndToEndConfig {
+    EndToEndConfig {
+        seed,
+        gst: network.gst,
+        delta: network.delta,
+        get_sink_mode: GetSinkMode::Direct,
+        adversary: adversary.to_scp(),
+        inputs: None,
+        max_ticks: network.max_ticks,
+    }
+}
+
+/// The BFT-CUP baseline (Theorem 1): discovery + quorum consensus in the
+/// sink, dissemination to the outside.
+fn run_bftcup(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    adversary: AdversaryKind,
+    network: &NetworkSpec,
+    seed: u64,
+) -> ProtocolOutput {
+    let inputs: Vec<Value> = (0..kg.n()).map(|i| 100 + i as Value).collect();
+    let net = NetworkConfig::partially_synchronous(network.gst, network.delta, seed);
+    let mut sim: Simulation<BftMsg> = Simulation::new(kg.clone(), net);
+    // View timeout must comfortably exceed pre-GST delays or view changes
+    // churn; 500 matches the workspace's experiment binaries.
+    let bft_config = BftConfig::new(f, (network.delta * 4).max(500));
+
+    for i in kg.processes() {
+        if faulty.contains(i) {
+            match adversary {
+                AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
+                AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                AdversaryKind::Crash { after } => sim.add_actor(Box::new(CrashActor::new(
+                    BftCupActor::new(kg.pd(i).clone(), inputs[i.index()], bft_config.clone()),
+                    after,
+                ))),
+                // BFT-CUP has no slices to forge; both value-injecting
+                // kinds map to the equivocating leader.
+                AdversaryKind::Equivocate | AdversaryKind::ForgedSlice => sim.add_actor(Box::new(
+                    EquivocatingLeader::new(kg.pd(i).clone(), f, (u64::MAX - 1, u64::MAX)),
+                )),
+            };
+        } else {
+            sim.add_actor(Box::new(BftCupActor::new(
+                kg.pd(i).clone(),
+                inputs[i.index()],
+                bft_config.clone(),
+            )));
+        }
+    }
+
+    let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
+    let report = sim.run_while(
+        |s| {
+            !correct.iter().all(|&i| {
+                s.actor_as::<BftCupActor>(i)
+                    .is_some_and(|a| a.decision().is_some())
+            })
+        },
+        network.max_ticks,
+    );
+    let decisions = kg
+        .processes()
+        .map(|i| {
+            sim.actor_as::<BftCupActor>(i)
+                .and_then(BftCupActor::decision)
+        })
+        .collect();
+
+    ProtocolOutput {
+        inputs,
+        decisions,
+        messages_sent: report.messages_sent,
+        messages_delivered: report.messages_delivered,
+        end_ticks: report.end_time.ticks(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TopologySpec;
+    use crate::topology;
+    use stellar_cup::attempts::LocalSliceStrategy;
+
+    #[test]
+    fn stellar_minimal_on_fig2_decides() {
+        let (kg, _) = topology::instantiate(&TopologySpec::Fig2, 1, 0);
+        let faulty = ProcessSet::from_ids([5]);
+        let out = execute(
+            ProtocolSpec::StellarMinimal,
+            &kg,
+            1,
+            &faulty,
+            AdversaryKind::Silent,
+            &NetworkSpec::default(),
+            0,
+        );
+        for i in 0..7usize {
+            if i == 5 {
+                continue;
+            }
+            assert!(out.decisions[i].is_some(), "process {i} must decide");
+        }
+        assert!(out.messages_sent > 0 && out.end_ticks > 0);
+    }
+
+    #[test]
+    fn bftcup_on_fig1_decides() {
+        // Fig. 1 is 1-OSR: process 2 (id 1) has a single disjoint path to
+        // the sink, so BFT-CUP is only guaranteed fault-free (f = 0).
+        let (kg, _) = topology::instantiate(&TopologySpec::Fig1, 0, 3);
+        let out = execute(
+            ProtocolSpec::BftCup,
+            &kg,
+            0,
+            &ProcessSet::new(),
+            AdversaryKind::Silent,
+            &NetworkSpec::default(),
+            3,
+        );
+        let decided: Vec<Value> = out.decisions.iter().flatten().copied().collect();
+        assert_eq!(decided.len(), 8, "all processes decide");
+        assert!(decided.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stellar_local_runs() {
+        let (kg, _) = topology::instantiate(&TopologySpec::Fig2, 1, 1);
+        let out = execute(
+            ProtocolSpec::StellarLocal(LocalSliceStrategy::AllButOne),
+            &kg,
+            1,
+            &ProcessSet::new(),
+            AdversaryKind::Silent,
+            &NetworkSpec::default(),
+            1,
+        );
+        assert_eq!(out.inputs.len(), 7);
+    }
+}

@@ -1,0 +1,351 @@
+//! The declarative scenario model.
+//!
+//! A [`Scenario`] names everything one experiment needs — topology family,
+//! fault threshold, adversary strategy, fault placement, protocol, network
+//! timing, seed range, and oracle mode — as plain data. Campaign files
+//! (TOML or JSON) deserialize into this type; the builder serves
+//! programmatic use.
+
+use stellar_cup::attempts::LocalSliceStrategy;
+
+/// A parameterized topology family.
+///
+/// Every family is instantiated deterministically from a per-run seed (see
+/// [`crate::topology::instantiate`]); the paper's fixed figures simply
+/// ignore the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's Fig. 1 (8 processes, sink `{5,6,7,8}`).
+    Fig1,
+    /// The paper's Fig. 2 (7 processes, the Theorem-2 counterexample).
+    Fig2,
+    /// The generalized Fig. 2 family: complete sink + outer ring.
+    Fig2Family {
+        /// Sink size (≥ 3).
+        sink: usize,
+        /// Outer-ring size (≥ 3).
+        outer: usize,
+    },
+    /// Random `k`-OSR graphs (circulant sink + `k` contacts per outsider).
+    RandomKosr {
+        /// Sink size.
+        sink: usize,
+        /// Non-sink size.
+        nonsink: usize,
+        /// Connectivity parameter of Definition 6.
+        k: usize,
+        /// Extra-edge probability.
+        extra_edge_prob: f64,
+    },
+    /// Random Byzantine-safe graphs together with a generator-drawn
+    /// faulty set satisfying Theorem 1's premise (use with
+    /// [`FaultPlacement::Generator`]).
+    ByzantineSafe {
+        /// Sink size (≥ 3f + 2).
+        sink: usize,
+        /// Non-sink size.
+        nonsink: usize,
+    },
+    /// Erdős–Rényi digraphs `G(n, p)` — no structural guarantee; pair
+    /// with [`OracleMode::Conditional`].
+    ErdosRenyi {
+        /// Number of processes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Scale-free graphs by preferential attachment (always 1-OSR).
+    ScaleFree {
+        /// Number of processes.
+        n: usize,
+        /// Out-degree of each joining process.
+        m: usize,
+    },
+    /// Clustered/partitioned community graphs.
+    Clustered {
+        /// Number of clusters (cluster 0 is the core).
+        clusters: usize,
+        /// Processes per cluster.
+        cluster_size: usize,
+        /// Knowledge edges from each non-core cluster into the core
+        /// (0 ⇒ fully partitioned).
+        bridges: usize,
+        /// Extra intra-cluster edge probability.
+        intra_extra_prob: f64,
+        /// Extra cross-cluster edge probability.
+        inter_extra_prob: f64,
+    },
+    /// `k`-OSR-preserving random perturbations of Fig. 1 (`k = 1`).
+    PerturbedFig1 {
+        /// Edge-addition attempts.
+        additions: usize,
+        /// Edge-deletion attempts (validated, reverted on violation).
+        deletions: usize,
+    },
+    /// `k`-OSR-preserving random perturbations of Fig. 2 (`k = 3`).
+    PerturbedFig2 {
+        /// Edge-addition attempts.
+        additions: usize,
+        /// Edge-deletion attempts (validated, reverted on violation).
+        deletions: usize,
+    },
+}
+
+impl TopologySpec {
+    /// The family name used in campaign files and reports.
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            TopologySpec::Fig1 => "fig1",
+            TopologySpec::Fig2 => "fig2",
+            TopologySpec::Fig2Family { .. } => "fig2-family",
+            TopologySpec::RandomKosr { .. } => "random-kosr",
+            TopologySpec::ByzantineSafe { .. } => "byzantine-safe",
+            TopologySpec::ErdosRenyi { .. } => "erdos-renyi",
+            TopologySpec::ScaleFree { .. } => "scale-free",
+            TopologySpec::Clustered { .. } => "clustered",
+            TopologySpec::PerturbedFig1 { .. } => "perturbed-fig1",
+            TopologySpec::PerturbedFig2 { .. } => "perturbed-fig2",
+        }
+    }
+}
+
+/// Where the faulty processes sit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlacement {
+    /// No faults.
+    None,
+    /// Use the faulty set drawn by the topology generator
+    /// (only [`TopologySpec::ByzantineSafe`] provides one).
+    Generator,
+    /// `count` faulty processes drawn uniformly per run.
+    Random {
+        /// How many processes fail.
+        count: usize,
+    },
+    /// `count` faulty processes drawn uniformly from the sink component.
+    Sink {
+        /// How many processes fail.
+        count: usize,
+    },
+    /// `count` faulty processes drawn uniformly outside the sink.
+    NonSink {
+        /// How many processes fail.
+        count: usize,
+    },
+    /// A fixed list of (0-based) process ids.
+    Ids(Vec<u32>),
+}
+
+/// Which consensus pipeline the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// The paper's positive pipeline: distributed sink detector →
+    /// Algorithm 2 slices → SCP (Theorems 3–5).
+    StellarMinimal,
+    /// The negative pipeline: local slices from `PD_i` and `f` only
+    /// (Theorem 2 / Corollary 1 territory).
+    StellarLocal(LocalSliceStrategy),
+    /// The BFT-CUP baseline (Theorem 1).
+    BftCup,
+}
+
+impl ProtocolSpec {
+    /// The protocol name used in campaign files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::StellarMinimal => "stellar-minimal",
+            ProtocolSpec::StellarLocal(LocalSliceStrategy::AllButOne) => {
+                "stellar-local-all-but-one"
+            }
+            ProtocolSpec::StellarLocal(LocalSliceStrategy::SurviveF) => "stellar-local-survive-f",
+            ProtocolSpec::StellarLocal(LocalSliceStrategy::FPlusOne) => "stellar-local-f-plus-one",
+            ProtocolSpec::BftCup => "bft-cup",
+        }
+    }
+}
+
+/// Partially synchronous network timing for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Global stabilization time.
+    pub gst: u64,
+    /// Post-GST delivery bound `Δ`.
+    pub delta: u64,
+    /// Simulated-time horizon per phase.
+    ///
+    /// Converging runs stop well before the horizon; runs that *cannot*
+    /// converge (e.g. Erdős–Rényi sweeps under `observe`) keep re-arming
+    /// protocol timers until it, so give exploratory scenarios a horizon
+    /// in the tens of thousands, not the default millions.
+    pub max_ticks: u64,
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        NetworkSpec {
+            gst: 150,
+            delta: 10,
+            max_ticks: 3_000_000,
+        }
+    }
+}
+
+/// How oracle violations affect a run's pass/fail status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleMode {
+    /// Every run must satisfy agreement, validity and termination.
+    #[default]
+    Require,
+    /// Runs must satisfy the oracles only when the structural premise
+    /// (Byzantine-safe `k`-OSR with enough correct sink members) holds;
+    /// premise-violating runs are recorded but never fail.
+    Conditional,
+    /// Runs never fail; oracle outcomes are only recorded.
+    Observe,
+}
+
+impl OracleMode {
+    /// The mode name used in campaign files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OracleMode::Require => "require",
+            OracleMode::Conditional => "conditional",
+            OracleMode::Observe => "observe",
+        }
+    }
+}
+
+/// One declarative experiment: a topology family × adversary × protocol ×
+/// seed range, with the oracle policy to judge it by.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (unique within a campaign).
+    pub name: String,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Fault threshold `f` the protocols are configured with.
+    pub f: usize,
+    /// Adversary strategy name, resolved against the
+    /// [`registry`](crate::adversary::AdversaryRegistry) (e.g. `"silent"`,
+    /// `"equivocate"`, `"crash:5"`).
+    pub adversary: String,
+    /// Fault placement.
+    pub faults: FaultPlacement,
+    /// Protocol under test.
+    pub protocol: ProtocolSpec,
+    /// Network timing.
+    pub network: NetworkSpec,
+    /// Number of seeds (runs) for this scenario.
+    pub seeds: u64,
+    /// First seed; runs use `seed_base..seed_base + seeds`.
+    pub seed_base: u64,
+    /// Oracle policy.
+    pub oracle: OracleMode,
+}
+
+impl Scenario {
+    /// Starts building a scenario with defaults (Fig. 2, `f = 1`, silent
+    /// adversary, no faults, positive pipeline, 8 seeds, `require`).
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                topology: TopologySpec::Fig2,
+                f: 1,
+                adversary: "silent".to_string(),
+                faults: FaultPlacement::None,
+                protocol: ProtocolSpec::StellarMinimal,
+                network: NetworkSpec::default(),
+                seeds: 8,
+                seed_base: 0,
+                oracle: OracleMode::Require,
+            },
+        }
+    }
+}
+
+/// Fluent construction of [`Scenario`]s; see [`Scenario::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the topology family.
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.scenario.topology = t;
+        self
+    }
+
+    /// Sets the fault threshold.
+    pub fn f(mut self, f: usize) -> Self {
+        self.scenario.f = f;
+        self
+    }
+
+    /// Sets the adversary strategy name.
+    pub fn adversary(mut self, name: impl Into<String>) -> Self {
+        self.scenario.adversary = name.into();
+        self
+    }
+
+    /// Sets the fault placement.
+    pub fn faults(mut self, p: FaultPlacement) -> Self {
+        self.scenario.faults = p;
+        self
+    }
+
+    /// Sets the protocol.
+    pub fn protocol(mut self, p: ProtocolSpec) -> Self {
+        self.scenario.protocol = p;
+        self
+    }
+
+    /// Sets the network timing.
+    pub fn network(mut self, n: NetworkSpec) -> Self {
+        self.scenario.network = n;
+        self
+    }
+
+    /// Sets the seed range.
+    pub fn seeds(mut self, base: u64, count: u64) -> Self {
+        self.scenario.seed_base = base;
+        self.scenario.seeds = count;
+        self
+    }
+
+    /// Sets the oracle mode.
+    pub fn oracle(mut self, o: OracleMode) -> Self {
+        self.scenario.oracle = o;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Scenario {
+        self.scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let s = Scenario::builder("t")
+            .topology(TopologySpec::ScaleFree { n: 30, m: 2 })
+            .f(0)
+            .adversary("echo")
+            .faults(FaultPlacement::Random { count: 1 })
+            .protocol(ProtocolSpec::BftCup)
+            .seeds(7, 3)
+            .oracle(OracleMode::Observe)
+            .build();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.topology.family_name(), "scale-free");
+        assert_eq!(s.adversary, "echo");
+        assert_eq!(s.protocol.name(), "bft-cup");
+        assert_eq!((s.seed_base, s.seeds), (7, 3));
+        assert_eq!(s.oracle.name(), "observe");
+    }
+}

@@ -226,9 +226,7 @@ impl Actor<ScpMsg> for ScpNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, ScpMsg>, _from: ProcessId, msg: ScpMsg) {
         // Flood-style gossip with dedup; `origin` is signature-verified.
-        if msg.origin == ctx.self_id()
-            || !self.seen.insert((msg.origin, msg.stmt, msg.accept))
-        {
+        if msg.origin == ctx.self_id() || !self.seen.insert((msg.origin, msg.stmt, msg.accept)) {
             return;
         }
         ctx.broadcast_known(msg.clone());
@@ -341,8 +339,8 @@ impl Actor<ScpMsg> for EquivocatingScpNode {
 mod tests {
     use super::*;
     use scup_fbqs::paper;
-    use scup_graph::ProcessSet;
     use scup_graph::generators;
+    use scup_graph::ProcessSet;
     use scup_sim::adversary::SilentActor;
     use scup_sim::{NetworkConfig, Simulation};
 
@@ -383,8 +381,10 @@ mod tests {
         let ids: Vec<ProcessId> = correct.iter().map(|&i| ProcessId::new(i)).collect();
         sim.run_while(
             |s| {
-                !ids.iter()
-                    .all(|&i| s.actor_as::<ScpNode>(i).is_some_and(|n| n.externalized().is_some()))
+                !ids.iter().all(|&i| {
+                    s.actor_as::<ScpNode>(i)
+                        .is_some_and(|n| n.externalized().is_some())
+                })
             },
             3_000_000,
         );
@@ -448,14 +448,20 @@ mod tests {
         let mut disagreements = 0;
         let mut decided_runs = 0;
         for seed in 0..12 {
-            let mut sim =
-                Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(80, 10, seed));
+            let mut sim = Simulation::new(
+                kg.clone(),
+                NetworkConfig::partially_synchronous(80, 10, seed),
+            );
             for i in kg.processes() {
                 let pd = kg.pd(i).clone();
                 let size = pd.len() - 1;
                 let slices = SliceFamily::all_subsets(pd, size);
                 // Sink processes propose small values, outer ones large.
-                let input = if i.as_u32() < 4 { 1 } else { 100 + i.as_u32() as u64 };
+                let input = if i.as_u32() < 4 {
+                    1
+                } else {
+                    100 + i.as_u32() as u64
+                };
                 sim.add_actor(Box::new(ScpNode::new(ScpConfig::new(slices, input))));
             }
             sim.run_while(
@@ -467,8 +473,14 @@ mod tests {
                 },
                 2_000_000,
             );
-            let sink_v = sim.actor_as::<ScpNode>(ProcessId::new(0)).unwrap().externalized();
-            let outer_v = sim.actor_as::<ScpNode>(ProcessId::new(4)).unwrap().externalized();
+            let sink_v = sim
+                .actor_as::<ScpNode>(ProcessId::new(0))
+                .unwrap()
+                .externalized();
+            let outer_v = sim
+                .actor_as::<ScpNode>(ProcessId::new(4))
+                .unwrap()
+                .externalized();
             if let (Some(a), Some(b)) = (sink_v, outer_v) {
                 decided_runs += 1;
                 if a != b {

@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             Statement::Commit(1, 2),
             Statement::Nominate(9),
             Statement::Prepare(1, 2),

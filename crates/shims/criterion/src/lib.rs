@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`] — with a simple wall-clock
+//! runner: a warm-up pass sizes the batch, then `sample_size` timed batches
+//! are taken and min/median/max per-iteration times are printed. There is
+//! no statistical analysis, HTML report, or baseline comparison; the point
+//! is that `cargo bench` runs and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-invocation measurement driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id labelled by the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        run_one(self, None, &id, sample_size, f);
+        self
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group, passing `input` to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let name = self.name.clone();
+        run_one(self.criterion, Some(&name), &id, samples, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let name = self.name.clone();
+        run_one(self.criterion, Some(&name), &id.into(), samples, f);
+        self
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+
+    // Warm-up: find an iteration count that fills the warm-up window.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= criterion.warm_up || iters >= 1 << 20 {
+            let per_iter = b.elapsed.as_nanos().max(1) / iters as u128;
+            let budget = criterion.measurement.as_nanos() / samples.max(1) as u128;
+            iters = ((budget / per_iter) as u64).clamp(1, 1 << 24);
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter_ns: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() / iters as u128);
+    }
+    per_iter_ns.sort_unstable();
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{full:<50} time: [{} {} {}]  ({} iters x {} samples)",
+        fmt_ns(per_iter_ns[0]),
+        fmt_ns(median),
+        fmt_ns(*per_iter_ns.last().unwrap()),
+        iters,
+        samples,
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark entry point: `criterion_group!(name, fn1, fn2, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary: `criterion_main!(group1, group2)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(3),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let n = 5u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the (small) `rand` API surface the workspace uses,
+//! backed by a deterministic xoshiro256++ generator:
+//!
+//! - [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`];
+//! - the [`Rng`] base trait and the [`RngExt`] extension trait with
+//!   [`RngExt::random_range`] / [`RngExt::random_bool`];
+//! - [`seq::IteratorRandom::sample`] (reservoir sampling of `k` distinct
+//!   items).
+//!
+//! Determinism is the property everything downstream relies on: the same
+//! seed must yield the same stream on every platform and every run, because
+//! simulation schedules, generated topologies, and campaign reports are all
+//! keyed by seed. Statistical quality beyond "good enough for simulation"
+//! is a non-goal.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt as _, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.random_range(0..100u32), b.random_range(0..100u32));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+///
+/// The only required method; everything else is provided by [`RngExt`].
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A sub-range of an integer type that [`RngExt::random_range`] can sample
+/// uniformly.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // i128 keeps negative starts (and full u64 ranges) exact.
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                ((self.start as i128) + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = ((end as i128) - (start as i128)) as u128 + 1;
+                ((start as i128) + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Uniform draw from `0..span` (`span >= 1`) by rejection sampling, so the
+/// distribution is exactly uniform rather than modulo-biased.
+fn uniform_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span >= 1);
+    if span == 1 {
+        return 0;
+    }
+    if span > u64::MAX as u128 {
+        // Only reachable for `0..=u64::MAX`: every u64 is in range.
+        return rng.next_u64() as u128;
+    }
+    let span = span as u64;
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span) as u128;
+        }
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 bits of mantissa: map the draw to [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// seeded through SplitMix64 exactly as the xoshiro reference code
+    /// recommends.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random sampling from iterators.
+pub mod seq {
+    use super::{Rng, RngExt as _};
+
+    /// Extends every sized iterator with reservoir sampling.
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Draws up to `amount` items uniformly without replacement
+        /// (fewer if the iterator is shorter). Distinct iterator items stay
+        /// distinct in the sample; order is unspecified.
+        fn sample<R: Rng + ?Sized>(self, rng: &mut R, amount: usize) -> Vec<Self::Item> {
+            let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+            for (i, item) in self.enumerate() {
+                if i < amount {
+                    reservoir.push(item);
+                } else {
+                    let j = rng.random_range(0..=i);
+                    if j < amount {
+                        reservoir[j] = item;
+                    }
+                }
+            }
+            reservoir
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IteratorRandom as _;
+    use super::{RngExt as _, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        use super::Rng as _;
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v = rng.random_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5..=7u64);
+            assert!((5..=7).contains(&w));
+        }
+        assert_eq!(rng.random_range(4..5usize), 4, "singleton range");
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_starts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seen_neg = false;
+        let mut seen_pos = false;
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5..5i32);
+            assert!((-5..5).contains(&v));
+            seen_neg |= v < 0;
+            seen_pos |= v >= 0;
+            let w = rng.random_range(-3..=-1i64);
+            assert!((-3..=-1).contains(&w));
+        }
+        assert!(seen_neg && seen_pos, "both halves of the range reachable");
+        assert_eq!(rng.random_range(i32::MIN..=i32::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // span = 2^64: exercises the every-u64-is-in-range branch.
+        let _ = rng.random_range(0..=u64::MAX);
+        let v = rng.random_range(i64::MIN..=i64::MAX);
+        let _ = v; // any i64 is valid; the draw must simply not panic
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn random_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn sample_is_distinct_and_sized() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let mut s = (0u32..10).sample(&mut rng, 4);
+            assert_eq!(s.len(), 4);
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4, "sampled items must be distinct");
+            assert!(s.iter().all(|&x| x < 10));
+        }
+        assert_eq!((0u32..3).sample(&mut rng, 5).len(), 3, "short iterator");
+    }
+}

@@ -99,7 +99,11 @@ impl<M> Context<'_, M> {
             "{} attempted to send to unknown process {to}",
             self.self_id
         );
-        assert_ne!(to, self.self_id, "{} attempted to send to itself", self.self_id);
+        assert_ne!(
+            to, self.self_id,
+            "{} attempted to send to itself",
+            self.self_id
+        );
         self.outbox.push((to, msg));
     }
 

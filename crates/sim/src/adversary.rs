@@ -127,10 +127,8 @@ mod tests {
     #[test]
     fn silent_actor_sends_nothing() {
         // Two processes that know each other; one silent.
-        let kg = KnowledgeGraph::from_pds(vec![
-            ProcessSet::from_ids([1]),
-            ProcessSet::from_ids([0]),
-        ]);
+        let kg =
+            KnowledgeGraph::from_pds(vec![ProcessSet::from_ids([1]), ProcessSet::from_ids([0])]);
         let mut sim = Simulation::new(kg, NetworkConfig::default());
         sim.add_actor(Box::new(Counter { seen: 0 }));
         sim.add_actor(Box::new(SilentActor::new()));
@@ -141,10 +139,8 @@ mod tests {
 
     #[test]
     fn echo_actor_reflects() {
-        let kg = KnowledgeGraph::from_pds(vec![
-            ProcessSet::from_ids([1]),
-            ProcessSet::from_ids([0]),
-        ]);
+        let kg =
+            KnowledgeGraph::from_pds(vec![ProcessSet::from_ids([1]), ProcessSet::from_ids([0])]);
         let mut sim = Simulation::new(kg, NetworkConfig::default());
         sim.add_actor(Box::new(Counter { seen: 0 }));
         sim.add_actor(Box::new(EchoActor::new()));

@@ -62,9 +62,15 @@ mod tests {
     fn delivery_bounds() {
         let c = NetworkConfig::partially_synchronous(100, 10, 7);
         // Sent before GST: bounded by GST + delta.
-        assert_eq!(c.max_delivery(SimTime::from_ticks(5)), SimTime::from_ticks(110));
+        assert_eq!(
+            c.max_delivery(SimTime::from_ticks(5)),
+            SimTime::from_ticks(110)
+        );
         // Sent after GST: bounded by send + delta.
-        assert_eq!(c.max_delivery(SimTime::from_ticks(200)), SimTime::from_ticks(210));
+        assert_eq!(
+            c.max_delivery(SimTime::from_ticks(200)),
+            SimTime::from_ticks(210)
+        );
     }
 
     #[test]

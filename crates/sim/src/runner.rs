@@ -442,7 +442,9 @@ mod tests {
         sim.run_until_quiet(10_000);
         let events = sim.trace().events();
         assert!(events.iter().any(|e| matches!(e, TraceEvent::Sent { .. })));
-        assert!(events.iter().any(|e| matches!(e, TraceEvent::Delivered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Delivered { .. })));
         assert!(events.iter().any(|e| matches!(e, TraceEvent::Timer { .. })));
     }
 

@@ -17,11 +17,18 @@ fn main() {
 
     let slots = 5;
     let outcome = ledger::run_ledger(&kg, 1, &faulty, slots, &EndToEndConfig::default());
-    assert!(outcome.consistent(slots), "all correct processes hold the same chain");
+    assert!(
+        outcome.consistent(slots),
+        "all correct processes hold the same chain"
+    );
 
     let chain = outcome.chain().unwrap();
     assert!(validate_chain(chain));
-    println!("agreed chain ({} blocks, {} total messages):", chain.len(), outcome.total_messages);
+    println!(
+        "agreed chain ({} blocks, {} total messages):",
+        chain.len(),
+        outcome.total_messages
+    );
     for block in chain {
         println!(
             "  slot {}: value {}  parent {:016x}  hash {:016x}",

@@ -15,7 +15,11 @@ use scup_sim::{NetworkConfig, Simulation};
 fn main() {
     // 1. The knowledge connectivity graph of Fig. 1 (0-based ids).
     let kg = generators::fig1();
-    println!("knowledge graph: {} processes, {} edges", kg.n(), kg.graph().edge_count());
+    println!(
+        "knowledge graph: {} processes, {} edges",
+        kg.n(),
+        kg.graph().edge_count()
+    );
 
     let v_sink = sink::unique_sink(kg.graph()).expect("Fig. 1 has a unique sink");
     println!("sink component (0-based): {v_sink}");
@@ -35,7 +39,11 @@ fn main() {
     )
     .expect("Fig. 1 is small enough for the exhaustive check");
     println!("maximal consensus clusters: {maximal:?}");
-    assert_eq!(maximal, vec![w.clone()], "all correct processes form the unique maximal cluster");
+    assert_eq!(
+        maximal,
+        vec![w.clone()],
+        "all correct processes form the unique maximal cluster"
+    );
 
     // 3. Run SCP: 7 correct nodes with the paper's slices, process 8 silent.
     let mut sim = Simulation::new(kg, NetworkConfig::partially_synchronous(150, 10, 1));
@@ -60,7 +68,9 @@ fn main() {
     let mut value = None;
     for i in 0..7u32 {
         let node = sim.actor_as::<ScpNode>(ProcessId::new(i)).unwrap();
-        let v = node.externalized().expect("every correct node externalizes");
+        let v = node
+            .externalized()
+            .expect("every correct node externalizes");
         println!("node {} externalized {v}", i + 1);
         match value {
             None => value = Some(v),

@@ -15,7 +15,10 @@ fn main() {
     let v = theorems::theorem2_violation(&kg, LocalSliceStrategy::AllButOne, 1)
         .expect("Fig. 2 must exhibit the violation");
     println!("Theorem 2 witness on Fig. 2 (0-based ids):");
-    println!("  Q1 = {}  Q2 = {}  |Q1 ∩ Q2| = {}", v.q1, v.q2, v.intersection_len);
+    println!(
+        "  Q1 = {}  Q2 = {}  |Q1 ∩ Q2| = {}",
+        v.q1, v.q2, v.intersection_len
+    );
 
     // Dynamic: run SCP with those local slices until a schedule splits the
     // two quorums.

@@ -95,7 +95,10 @@ fn negative_pipeline_reproduces_corollary1() {
             break;
         }
     }
-    assert!(disagreement, "Corollary 1: some schedule must split the quorums");
+    assert!(
+        disagreement,
+        "Corollary 1: some schedule must split the quorums"
+    );
 }
 
 #[test]

@@ -49,7 +49,10 @@ fn fig1_c2_is_the_unique_maximal_cluster() {
     let w = paper::fig1_correct();
     let mode = cluster::IntertwinedMode::CorrectWitness;
     let all = cluster::all_consensus_clusters(&sys, &w, &w, mode, 1 << 12).unwrap();
-    assert!(all.contains(&ProcessSet::from_ids([4, 5, 6])), "C1 is a cluster");
+    assert!(
+        all.contains(&ProcessSet::from_ids([4, 5, 6])),
+        "C1 is a cluster"
+    );
     assert!(all.contains(&w), "C2 is a cluster");
     assert!(all.len() > 2, "\"a few consensus clusters\"");
     assert_eq!(
@@ -77,7 +80,11 @@ fn lemmas_1_and_2_hold_for_the_counterexample_slices() {
 fn theorem2_proof_steps() {
     let kg = generators::fig2();
     assert!(kosr::is_k_osr(kg.graph(), 3));
-    assert!(kosr::is_byzantine_safe_for_all(kg.graph(), 1, &kg.graph().vertex_set()));
+    assert!(kosr::is_byzantine_safe_for_all(
+        kg.graph(),
+        1,
+        &kg.graph().vertex_set()
+    ));
     let sys = stellar_cup::attempts::build_local_system(&kg, LocalSliceStrategy::AllButOne, 1);
     let q1 = ProcessSet::from_ids([4, 5, 6]);
     let q2 = ProcessSet::from_ids([0, 1, 2, 3]);
@@ -113,7 +120,10 @@ fn algorithm2_shapes() {
 fn theorems_3_4_5_on_fig2() {
     let kg = generators::fig2();
     let (sys, v_sink) = theorems::algorithm2_system(&kg, 1).unwrap();
-    let correct = kg.graph().vertex_set().difference(&ProcessSet::from_ids([1]));
+    let correct = kg
+        .graph()
+        .vertex_set()
+        .difference(&ProcessSet::from_ids([1]));
     assert!(theorems::sink_has_enough_correct(&v_sink, &correct, 1));
     assert_eq!(
         theorems::theorem3_all_intertwined(&sys, &correct, 1, 1 << 18).unwrap(),
@@ -147,11 +157,7 @@ fn headline_results() {
     // "We propose an oracle – sink detector – by which participants can
     // solve consensus using SCP."
     let (sys, _) = theorems::algorithm2_system(&kg, 1).unwrap();
-    assert!(theorems::theorem5_consensus_cluster(
-        &sys,
-        &kg.graph().vertex_set(),
-        1,
-        1 << 18
-    )
-    .unwrap());
+    assert!(
+        theorems::theorem5_consensus_cluster(&sys, &kg.graph().vertex_set(), 1, 1 << 18).unwrap()
+    );
 }

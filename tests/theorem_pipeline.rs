@@ -56,8 +56,10 @@ fn bftcup_and_scp_sd_agree_on_solvability() {
         let (kg, faulty) = generators::random_byzantine_safe(5, 4, 1, &mut rng);
 
         // BFT-CUP.
-        let mut sim: Simulation<BftMsg> =
-            Simulation::new(kg.clone(), NetworkConfig::partially_synchronous(100, 10, seed));
+        let mut sim: Simulation<BftMsg> = Simulation::new(
+            kg.clone(),
+            NetworkConfig::partially_synchronous(100, 10, seed),
+        );
         for i in kg.processes() {
             if faulty.contains(i) {
                 sim.add_actor(Box::new(SilentActor::new()));
@@ -127,11 +129,8 @@ fn paper_quote_pipeline_order_matters() {
     // (no knowledge increase) fails; after Algorithm 3 it works. Both paths
     // exercised above; this asserts the contrast on one graph.
     let kg = generators::fig2();
-    let violation = theorems::theorem2_violation(
-        &kg,
-        stellar_cup::attempts::LocalSliceStrategy::AllButOne,
-        1,
-    );
+    let violation =
+        theorems::theorem2_violation(&kg, stellar_cup::attempts::LocalSliceStrategy::AllButOne, 1);
     assert!(violation.is_some(), "before: quorum intersection fails");
     let (sys, _) = theorems::algorithm2_system(&kg, 1).unwrap();
     let correct = kg.graph().vertex_set();
