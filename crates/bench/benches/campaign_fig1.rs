@@ -1,0 +1,39 @@
+//! Bench A5 — wall-clock of the Fig. 1 acceptance campaign.
+//!
+//! This is the end-to-end number the perf work optimizes for: topology
+//! instantiation, fault placement, the full sink-detector + SCP (or
+//! BFT-CUP) simulation, and oracle evaluation for every `(scenario, seed)`
+//! pair of `campaigns/fig1.toml`. Runs single-threaded so the measurement
+//! is about per-run cost, not scheduling.
+//!
+//! `CRITERION_JSON=BENCH_PR2.json cargo bench -p scup-bench --bench
+//! campaign_fig1` appends the result to the checked-in baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scup_harness::campaign_from_str;
+
+const FIG1_TOML: &str = include_str!("../../../campaigns/fig1.toml");
+
+fn bench_fig1_campaign(c: &mut Criterion) {
+    let mut campaign = campaign_from_str(FIG1_TOML).expect("fig1 campaign parses");
+    campaign.threads = 1;
+    // The full acceptance matrix (144 runs) takes ~0.5 s; trim each
+    // scenario to 4 seeds so the bench iterates in reasonable time while
+    // still covering every scenario kind.
+    for scenario in &mut campaign.scenarios {
+        scenario.seeds = scenario.seeds.min(4);
+    }
+    let mut group = c.benchmark_group("fig1_campaign");
+    group.sample_size(3);
+    group.bench_function("threads1_seeds4", |b| {
+        b.iter(|| {
+            let report = campaign.run();
+            assert!(report.all_passed(), "fig1 campaign must stay green");
+            report.runs.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_campaign);
+criterion_main!(benches);

@@ -1,14 +1,18 @@
-//! Bench A1 — Algorithm 1 (`is_quorum`) and quorum closure.
+//! Bench A1 — Algorithm 1 (`is_quorum`) and quorum closure: the naive
+//! reference predicates vs the compiled [`QuorumEngine`] fast path.
 //!
 //! Includes the DESIGN.md ablation: symbolic `AllSubsets` slice families vs
 //! materialized explicit lists — the symbolic form keeps Algorithm 2's
 //! combinatorial families polynomial to query.
+//!
+//! `CRITERION_JSON=BENCH_PR2.json cargo bench -p scup-bench --bench
+//! quorum_ops` regenerates the checked-in baseline (see README).
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scup_fbqs::{quorum, Fbqs, SliceFamily};
-use scup_graph::ProcessSet;
+use scup_fbqs::{quorum, Fbqs, QuorumEngine, SliceFamily};
+use scup_graph::{ProcessId, ProcessSet};
 use stellar_cup::oracle::{PerfectSinkDetector, SinkDetector};
 
 /// Algorithm-2 system over a single sink of size `n` with threshold `f`.
@@ -23,6 +27,23 @@ fn sink_system(n: usize, f: usize) -> Fbqs {
     Fbqs::new(families)
 }
 
+/// Worst case for the closure: a dependency chain (`S_i = {{i+1}}`) where
+/// removing the last process unravels the whole set one member per round —
+/// the naive rescan does `O(n)` rounds of `O(n)` checks while the worklist
+/// touches each process once.
+fn chain_system(n: usize) -> Fbqs {
+    let families = (0..n)
+        .map(|i| {
+            if i + 1 < n {
+                SliceFamily::explicit([ProcessSet::from_ids([(i as u32) + 1])])
+            } else {
+                SliceFamily::explicit([ProcessSet::from_ids([i as u32])])
+            }
+        })
+        .collect();
+    Fbqs::new(families)
+}
+
 fn bench_is_quorum(c: &mut Criterion) {
     let mut group = c.benchmark_group("is_quorum");
     for n in [8usize, 16, 32, 64, 128] {
@@ -30,6 +51,11 @@ fn bench_is_quorum(c: &mut Criterion) {
         let q = ProcessSet::full(n);
         group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
             b.iter(|| quorum::is_quorum(black_box(&sys), black_box(&q)))
+        });
+        let engine = QuorumEngine::from_system(&sys);
+        let mut scratch = engine.scratch();
+        group.bench_with_input(BenchmarkId::new("engine", n), &n, |b, _| {
+            b.iter(|| black_box(&engine).is_quorum_in(black_box(&q), &mut scratch))
         });
     }
     // Ablation: symbolic vs enumerated on a size where enumeration is
@@ -56,13 +82,47 @@ fn bench_is_quorum(c: &mut Criterion) {
 
 fn bench_quorum_closure(c: &mut Criterion) {
     let mut group = c.benchmark_group("quorum_closure");
-    for n in [8usize, 16, 32, 64] {
+    for n in [8usize, 16, 32, 64, 128, 256] {
         let sys = sink_system(n, 1);
         // Worst-ish case: closure from the full set minus a scattering.
         let mut u = ProcessSet::full(n);
-        u.remove(scup_graph::ProcessId::new(0));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        u.remove(ProcessId::new(0));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| quorum::quorum_closure(black_box(&sys), black_box(&u)))
+        });
+        let engine = QuorumEngine::from_system(&sys);
+        let mut scratch = engine.scratch();
+        let mut out = ProcessSet::new();
+        group.bench_with_input(BenchmarkId::new("engine", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(&engine).quorum_closure_in(black_box(&u), &mut scratch, &mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Closure scaling on the cascade worst case: the naive rescan is
+/// quadratic in `n`, the engine's worklist linear.
+fn bench_closure_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_closure_cascade");
+    for n in [32usize, 64, 128, 256] {
+        let sys = chain_system(n);
+        // Dropping the chain anchor unravels everything.
+        let mut u = ProcessSet::full(n);
+        u.remove(ProcessId::new(n as u32 - 1));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| quorum::quorum_closure(black_box(&sys), black_box(&u)))
+        });
+        let engine = QuorumEngine::from_system(&sys);
+        let mut scratch = engine.scratch();
+        let mut out = ProcessSet::new();
+        group.bench_with_input(BenchmarkId::new("engine", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(&engine).quorum_closure_in(black_box(&u), &mut scratch, &mut out);
+                out.len()
+            })
         });
     }
     group.finish();
@@ -84,6 +144,7 @@ criterion_group!(
     benches,
     bench_is_quorum,
     bench_quorum_closure,
+    bench_closure_cascade,
     bench_intersection_len
 );
 criterion_main!(benches);

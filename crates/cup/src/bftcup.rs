@@ -383,9 +383,11 @@ impl BftCupActor {
         if self.decision.is_some() || self.sink.verdict().is_some() {
             return;
         }
-        for j in self.sink.known().clone().iter() {
-            if j != ctx.self_id() && !self.asked.contains(j) {
-                self.asked.insert(j);
+        // `known` and `asked` are disjoint fields: iterate directly instead
+        // of cloning the knowledge set on every discovery step.
+        let me = ctx.self_id();
+        for j in self.sink.known().iter() {
+            if j != me && self.asked.insert(j) {
                 ctx.learn(j);
                 ctx.send(j, BftMsg::AskDecision);
             }

@@ -189,7 +189,9 @@ impl SinkCore {
     }
 
     fn try_fire(&mut self) -> SinkOutbox {
-        if self.fired || self.known.difference(&self.replied).len() > self.f {
+        // `difference_len` avoids materializing the difference set on every
+        // reply (the rule is re-evaluated once per DiscoverReply).
+        if self.fired || self.known.difference_len(&self.replied) > self.f {
             return Vec::new();
         }
         self.fired = true;

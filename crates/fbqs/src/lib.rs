@@ -16,6 +16,9 @@
 //! - [`Fbqs`]: a system assigning a slice family to every process;
 //! - [`quorum`]: Algorithm 1, quorum closure (greatest fixed point),
 //!   minimal-quorum search and bounded enumeration;
+//! - [`engine`]: [`QuorumEngine`], the compiled fast path — packed slice
+//!   bitmask rows, a worklist closure, and reusable scratch buffers for
+//!   the simulator/campaign hot loops;
 //! - [`vblocking`]: v-blocking sets (used by SCP's federated voting);
 //! - [`intertwined`]: Definition 2 and the threshold form `|Q ∩ Q'| > f` of
 //!   Section III-F;
@@ -41,10 +44,12 @@ mod slice;
 mod system;
 
 pub mod cluster;
+pub mod engine;
 pub mod intertwined;
 pub mod paper;
 pub mod quorum;
 pub mod vblocking;
 
+pub use engine::{EngineScratch, QuorumEngine};
 pub use slice::SliceFamily;
 pub use system::Fbqs;

@@ -13,8 +13,11 @@ use crate::{Fbqs, SliceFamily};
 /// Algorithm 1 — `is_quorum(Q, S_Q)`: returns `true` iff every member of
 /// `q` has a slice contained in `q`, per the system's declared slices.
 /// The empty set is not a quorum.
+///
+/// This is the reference implementation; hot paths should compile a
+/// [`crate::QuorumEngine`] instead.
 pub fn is_quorum(sys: &Fbqs, q: &ProcessSet) -> bool {
-    is_quorum_with(q, |i| sys.slices(i).clone())
+    !q.is_empty() && q.iter().all(|i| sys.slices(i).has_slice_within(q))
 }
 
 /// Algorithm 1 with caller-provided slices `S_Q` — the form used inside
@@ -43,22 +46,28 @@ pub fn is_quorum_for(sys: &Fbqs, q: &ProcessSet, i: ProcessId) -> bool {
 ///
 /// Quorum availability checks reduce to this closure: a set `I` owns a
 /// quorum for each of its members iff `quorum_closure(I) == I`.
+///
+/// This is the reference (full-rescan) implementation; hot paths should
+/// compile a [`crate::QuorumEngine`], whose worklist fixpoint re-examines
+/// only the processes whose slices touched a removed member.
 pub fn quorum_closure(sys: &Fbqs, u: &ProcessSet) -> ProcessSet {
     let mut current = u.clone();
+    // One buffer reused across rounds: removals are collected first because
+    // Definition 1 is evaluated against the current candidate set, not a
+    // half-updated one.
+    let mut losers: Vec<ProcessId> = Vec::new();
     loop {
-        let mut removed = false;
-        // Collect removals first: Definition 1 is evaluated against the
-        // current candidate set, not a half-updated one.
-        let losers: Vec<ProcessId> = current
-            .iter()
-            .filter(|&i| !sys.slices(i).has_slice_within(&current))
-            .collect();
-        for i in losers {
-            current.remove(i);
-            removed = true;
-        }
-        if !removed {
+        losers.clear();
+        losers.extend(
+            current
+                .iter()
+                .filter(|&i| !sys.slices(i).has_slice_within(&current)),
+        );
+        if losers.is_empty() {
             return current;
+        }
+        for &i in &losers {
+            current.remove(i);
         }
     }
 }

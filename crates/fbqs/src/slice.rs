@@ -79,7 +79,7 @@ impl SliceFamily {
     /// the empty one.
     pub fn is_v_blocked_by(&self, b: &ProcessSet) -> bool {
         match self {
-            SliceFamily::Explicit(slices) => slices.iter().all(|s| !s.is_disjoint(b)),
+            SliceFamily::Explicit(slices) => slices.iter().all(|s| s.intersects(b)),
             SliceFamily::AllSubsets { of, size } => {
                 // Every size-subset of `of` intersects b ⟺ it is impossible
                 // to pick `size` members avoiding b ⟺ |of \ b| < size.

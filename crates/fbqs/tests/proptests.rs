@@ -9,7 +9,7 @@
 //!   correct/faulty partition.
 
 use proptest::prelude::*;
-use scup_fbqs::{quorum, Fbqs, SliceFamily};
+use scup_fbqs::{quorum, vblocking, Fbqs, QuorumEngine, SliceFamily};
 use scup_graph::{ProcessId, ProcessSet};
 
 const N: usize = 8;
@@ -106,5 +106,48 @@ proptest! {
         let expected = !q.is_empty()
             && q.iter().all(|i| sys.slices(i).has_slice_within(&q));
         prop_assert_eq!(quorum::is_quorum(&sys, &q), expected);
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_predicates(sys in arb_system(), q in arb_subset(N), b in arb_subset(N)) {
+        let engine = QuorumEngine::from_system(&sys);
+        let mut scratch = engine.scratch();
+        prop_assert_eq!(
+            engine.is_quorum_in(&q, &mut scratch),
+            quorum::is_quorum(&sys, &q),
+            "is_quorum disagrees on {}", q
+        );
+        let mut closed = ProcessSet::new();
+        engine.quorum_closure_in(&q, &mut scratch, &mut closed);
+        prop_assert_eq!(
+            closed,
+            quorum::quorum_closure(&sys, &q),
+            "quorum_closure disagrees on {}", q
+        );
+        prop_assert_eq!(
+            engine.contains_quorum_in(&q, &mut scratch),
+            quorum::contains_quorum(&sys, &q)
+        );
+        for i in sys.processes() {
+            prop_assert_eq!(
+                engine.is_v_blocking(i, &b),
+                vblocking::is_v_blocking(&sys, i, &b),
+                "v-blocking disagrees for {} on {}", i, b
+            );
+        }
+        prop_assert_eq!(engine.blocked_processes(&b), vblocking::blocked_processes(&sys, &b));
+    }
+
+    #[test]
+    fn incremental_engine_agrees_with_batch(sys in arb_system(), q in arb_subset(N)) {
+        // Rows recorded one at a time (protocol-style), in reverse order
+        // and with an interleaved overwrite, must match batch compilation.
+        let mut engine = QuorumEngine::new(0);
+        for i in (0..sys.n() as u32).rev().map(ProcessId::new) {
+            engine.set_slices(i, &SliceFamily::empty());
+            engine.set_slices(i, sys.slices(i));
+        }
+        prop_assert_eq!(engine.is_quorum(&q), quorum::is_quorum(&sys, &q));
+        prop_assert_eq!(engine.quorum_closure(&q), quorum::quorum_closure(&sys, &q));
     }
 }

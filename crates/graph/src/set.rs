@@ -27,9 +27,25 @@ const BITS: usize = 64;
 /// assert_eq!(q1.intersection_len(&q2), 2);
 /// assert!(ProcessSet::from_ids([2]).is_subset(&q2));
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Default, PartialEq, Eq, Hash)]
 pub struct ProcessSet {
     blocks: Vec<u64>,
+}
+
+impl Clone for ProcessSet {
+    fn clone(&self) -> Self {
+        ProcessSet {
+            blocks: self.blocks.clone(),
+        }
+    }
+
+    /// Reuses the existing allocation when possible — the workhorse of the
+    /// allocation-free hot paths (`x.clone_from(&y)` instead of
+    /// `x = y.clone()`).
+    fn clone_from(&mut self, source: &Self) {
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&source.blocks);
+    }
 }
 
 impl ProcessSet {
@@ -205,6 +221,69 @@ impl ProcessSet {
             .iter()
             .zip(&other.blocks)
             .all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` if `self ∩ other ≠ ∅` — the word-parallel test behind
+    /// explicit-slice v-blocking checks.
+    #[inline]
+    pub fn intersects(&self, other: &ProcessSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Returns `|self \ other|` without allocating — the non-allocating
+    /// form of `self.difference(other).len()` used by discovery wait rules.
+    pub fn difference_len(&self, other: &ProcessSet) -> usize {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(k, a)| {
+                let b = other.blocks.get(k).copied().unwrap_or(0);
+                (a & !b).count_ones() as usize
+            })
+            .sum()
+    }
+
+    /// Keeps only the elements for which `keep` returns `true`, in place —
+    /// the non-allocating counterpart of filter-and-recollect.
+    pub fn retain<F: FnMut(ProcessId) -> bool>(&mut self, mut keep: F) {
+        for k in 0..self.blocks.len() {
+            let mut word = self.blocks[k];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let id = ProcessId::new((k * BITS + bit) as u32);
+                if !keep(id) {
+                    self.blocks[k] &= !(1u64 << bit);
+                }
+            }
+        }
+        self.normalize();
+    }
+
+    /// The backing `u64` words, least-significant id first. No trailing
+    /// all-zero word is ever present. Exposed for word-parallel engines
+    /// (e.g. `scup-fbqs`'s `QuorumEngine`) that pack sets into fixed-stride
+    /// rows.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Builds a set directly from backing words (trailing zero words are
+    /// stripped to restore the representation invariant).
+    pub fn from_words(blocks: Vec<u64>) -> Self {
+        let mut s = ProcessSet { blocks };
+        s.normalize();
+        s
+    }
+
+    /// Replaces the contents with the given words, reusing the existing
+    /// allocation (the non-allocating counterpart of
+    /// [`ProcessSet::from_words`]).
+    pub fn copy_from_words(&mut self, blocks: &[u64]) {
+        self.blocks.clear();
+        self.blocks.extend_from_slice(blocks);
+        self.normalize();
     }
 
     /// Returns the smallest id in the set, if any.
@@ -497,6 +576,57 @@ mod tests {
         let s = ProcessSet::from_ids([4, 5, 6]);
         assert_eq!(s.to_string(), "{4, 5, 6}");
         assert_eq!(ProcessSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn difference_len_matches_difference() {
+        let a = ProcessSet::from_ids([1, 2, 3, 64, 200]);
+        let b = ProcessSet::from_ids([3, 64, 100]);
+        assert_eq!(a.difference_len(&b), a.difference(&b).len());
+        assert_eq!(b.difference_len(&a), b.difference(&a).len());
+        assert_eq!(a.difference_len(&ProcessSet::new()), a.len());
+        assert_eq!(ProcessSet::new().difference_len(&a), 0);
+    }
+
+    #[test]
+    fn intersects_is_disjoint_complement() {
+        let a = ProcessSet::from_ids([1, 65]);
+        let b = ProcessSet::from_ids([65]);
+        let c = ProcessSet::from_ids([2]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&ProcessSet::new()));
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut s = ProcessSet::from_ids([0, 5, 63, 64, 130]);
+        s.retain(|id| id.as_u32() % 2 == 0);
+        assert_eq!(s, ProcessSet::from_ids([0, 64, 130]));
+        s.retain(|_| false);
+        assert!(s.is_empty());
+        assert_eq!(s.as_words().len(), 0, "retain normalizes");
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let s = ProcessSet::from_ids([3, 64, 190]);
+        let rebuilt = ProcessSet::from_words(s.as_words().to_vec());
+        assert_eq!(s, rebuilt);
+        // Trailing zero words are stripped.
+        let padded = ProcessSet::from_words(vec![0b1000, 0, 0]);
+        assert_eq!(padded, ProcessSet::from_ids([3]));
+        assert_eq!(padded.as_words(), &[0b1000]);
+    }
+
+    #[test]
+    fn clone_from_reuses_allocation() {
+        let big = ProcessSet::from_ids([500]);
+        let mut target = big.clone();
+        target.clone_from(&ProcessSet::from_ids([1]));
+        assert_eq!(target, ProcessSet::from_ids([1]));
+        target.clone_from(&big);
+        assert_eq!(target, big);
     }
 
     #[test]

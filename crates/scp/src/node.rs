@@ -26,11 +26,21 @@
 //! the simulator models signature verification by trusting the `origin`
 //! field of relayed envelopes (Byzantine processes may still equivocate
 //! *their own* envelopes arbitrarily).
+//!
+//! Flooding alone is not enough on slim topologies: a process learned
+//! *late* (its identity arriving by relay after the core already
+//! externalized) would never see the envelopes that flowed before it was
+//! known, and its externalization could stall forever — the scale-free
+//! `m = 2` straggler found by the PR-1 campaign sweeps. Nodes therefore
+//! (a) register the *origin* of every relayed envelope in their knowledge
+//! set, and (b) keep the full envelope backlog, re-sending it once to
+//! every newly learned process so latecomers can replay the ballot and
+//! externalize state they missed.
 
 use std::collections::BTreeSet;
 
 use scup_fbqs::SliceFamily;
-use scup_graph::ProcessId;
+use scup_graph::{ProcessId, ProcessSet};
 use scup_sim::{Actor, Context, SimMessage};
 
 use crate::statement::{Statement, Value};
@@ -98,6 +108,11 @@ pub struct ScpNode {
     check: QuorumCheck,
     /// Envelopes already processed/relayed: (origin, stmt, accept).
     seen: BTreeSet<(ProcessId, Statement, bool)>,
+    /// Every distinct envelope, kept for late-learned processes (see the
+    /// module docs on straggler repair).
+    backlog: Vec<ScpMsg>,
+    /// Processes already brought up to date with the backlog.
+    synced: ProcessSet,
     /// Confirmed nominees.
     candidates: Vec<Value>,
     /// Highest ballot counter entered.
@@ -115,6 +130,8 @@ impl ScpNode {
             tracker: VoteTracker::new(),
             check: QuorumCheck::new(),
             seen: BTreeSet::new(),
+            backlog: Vec::new(),
+            synced: ProcessSet::new(),
             candidates: Vec::new(),
             ballot: 0,
             lock: None,
@@ -145,7 +162,29 @@ impl ScpNode {
             accept,
         };
         self.seen.insert((ctx.self_id(), stmt, accept));
+        self.backlog.push(msg.clone());
         ctx.broadcast_known(msg);
+    }
+
+    /// Straggler repair: sends the whole envelope backlog to processes we
+    /// learned after those envelopes flowed. Newly learned processes join
+    /// the regular flood from now on, so one catch-up each suffices.
+    fn sync_latecomers(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        let me = ctx.self_id();
+        if ctx.known().difference_len(&self.synced) == 0 {
+            return;
+        }
+        let newcomers: Vec<ProcessId> = ctx
+            .known()
+            .iter()
+            .filter(|&j| j != me && !self.synced.contains(j))
+            .collect();
+        for j in newcomers {
+            for msg in &self.backlog {
+                ctx.send(j, msg.clone());
+            }
+            self.synced.insert(j);
+        }
     }
 
     fn vote(&mut self, ctx: &mut Context<'_, ScpMsg>, stmt: Statement) {
@@ -179,7 +218,7 @@ impl ScpNode {
         loop {
             let changes = self
                 .tracker
-                .update(ctx.self_id(), &self.config.slices, &self.check);
+                .update(ctx.self_id(), &self.config.slices, &mut self.check);
             if changes.is_empty() {
                 return;
             }
@@ -218,6 +257,10 @@ impl ScpNode {
 
 impl Actor<ScpMsg> for ScpNode {
     fn on_start(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        // Everyone known from the start receives every envelope through the
+        // regular flood; only processes learned later need a catch-up.
+        self.synced.clone_from(ctx.known());
+        self.synced.insert(ctx.self_id());
         let input = self.config.input;
         self.vote(ctx, Statement::Nominate(input));
         ctx.set_timer(self.config.nomination_timeout, NOMINATION_TIMER);
@@ -225,13 +268,18 @@ impl Actor<ScpMsg> for ScpNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, ScpMsg>, _from: ProcessId, msg: ScpMsg) {
+        // Envelopes are origin-attributed: a relay teaches us the origin's
+        // identity, and any newly learned process (origin *or* sender —
+        // even of an echo of our own envelopes) gets the backlog it
+        // missed (straggler repair — see module docs). This must run
+        // before the own-origin early return below.
+        ctx.learn(msg.origin);
+        self.sync_latecomers(ctx);
         // Flood-style gossip with dedup; `origin` is signature-verified.
         if msg.origin == ctx.self_id() || !self.seen.insert((msg.origin, msg.stmt, msg.accept)) {
             return;
         }
-        ctx.broadcast_known(msg.clone());
-
-        self.check.record_slices(msg.origin, msg.slices.clone());
+        self.check.record_slices(msg.origin, &msg.slices);
         if msg.accept {
             self.tracker.record_accept(msg.origin, msg.stmt);
         } else {
@@ -242,6 +290,8 @@ impl Actor<ScpMsg> for ScpNode {
         if self.ballot == 0 && msg.stmt.is_nomination() && self.externalized.is_none() {
             self.vote(ctx, msg.stmt);
         }
+        ctx.broadcast_known(msg.clone());
+        self.backlog.push(msg);
         self.reevaluate(ctx);
     }
 

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use scup_fbqs::SliceFamily;
+use scup_fbqs::{EngineScratch, QuorumEngine, SliceFamily};
 use scup_graph::{ProcessId, ProcessSet};
 
 use crate::statement::Statement;
@@ -35,11 +35,17 @@ pub enum VoteLevel {
 }
 
 /// The slice registry: the latest slice family each process attached to a
-/// message, used to evaluate Algorithm 1 from a single process's local
-/// view.
+/// message, compiled into a [`QuorumEngine`] so Algorithm 1 runs on packed
+/// bitmask rows with reusable scratch — the per-message federated-voting
+/// re-evaluation is the simulator's hottest loop.
 #[derive(Debug, Clone, Default)]
 pub struct QuorumCheck {
     slices: BTreeMap<ProcessId, SliceFamily>,
+    engine: Option<QuorumEngine>,
+    scratch: EngineScratch,
+    closure: ProcessSet,
+    /// The `(self_id, own_slices)` pair currently compiled into the engine.
+    own_row: Option<(ProcessId, SliceFamily)>,
 }
 
 impl QuorumCheck {
@@ -50,9 +56,28 @@ impl QuorumCheck {
 
     /// Records the slice family attached to a message from `from`
     /// (overwriting earlier ones — a Byzantine equivocator is pinned to its
-    /// most recent claim).
-    pub fn record_slices(&mut self, from: ProcessId, slices: SliceFamily) {
-        self.slices.insert(from, slices);
+    /// most recent claim). Recompiles the process's engine row, and clones
+    /// the family into the registry, only when the claim actually changed.
+    pub fn record_slices(&mut self, from: ProcessId, slices: &SliceFamily) {
+        if let Some((own, _)) = &self.own_row {
+            if *own == from {
+                // A recorded claim for our own id would fight the own-slices
+                // override; force re-compilation on the next quorum query.
+                self.own_row = None;
+                self.engine
+                    .get_or_insert_with(|| QuorumEngine::new(0))
+                    .set_slices(from, slices);
+                self.slices.insert(from, slices.clone());
+                return;
+            }
+        }
+        if self.slices.get(&from) == Some(slices) {
+            return;
+        }
+        self.engine
+            .get_or_insert_with(|| QuorumEngine::new(0))
+            .set_slices(from, slices);
+        self.slices.insert(from, slices.clone());
     }
 
     /// The registered slices of `from`, if any message arrived yet.
@@ -63,36 +88,39 @@ impl QuorumCheck {
     /// Returns `true` if `candidates` contains a quorum that includes
     /// `self_id` — the quorum side of the accept/confirm rules.
     ///
-    /// Computes the quorum closure of `candidates` using the registered
-    /// slices (processes with unknown slices cannot certify and are
-    /// dropped), then checks membership of `self_id`. Exactly Algorithm 1
-    /// applied to the largest plausible quorum.
+    /// Computes the quorum closure of `candidates` on the compiled engine
+    /// (processes with unknown slices cannot certify and are dropped), then
+    /// checks membership of `self_id`. Exactly Algorithm 1 applied to the
+    /// largest plausible quorum, without the per-call set clones and
+    /// full-rescan rounds of the pre-engine implementation.
     pub fn has_quorum_through(
-        &self,
+        &mut self,
         self_id: ProcessId,
         own_slices: &SliceFamily,
         candidates: &ProcessSet,
     ) -> bool {
-        let mut current = candidates.clone();
-        loop {
-            let mut removed = false;
-            for i in current.clone().iter() {
-                let family = if i == self_id {
-                    Some(own_slices)
-                } else {
-                    self.slices.get(&i)
-                };
-                let keep = family.is_some_and(|fam| fam.has_slice_within(&current));
-                if !keep {
-                    current.remove(i);
-                    removed = true;
+        let engine = self.engine.get_or_insert_with(|| QuorumEngine::new(0));
+        match &self.own_row {
+            Some((own, fam)) if *own == self_id && fam == own_slices => {}
+            previous => {
+                // Restore the row displaced by an earlier own-slices
+                // override for a *different* self id (callers may query on
+                // behalf of several processes): back to its recorded claim,
+                // or to no-slices when none was ever recorded.
+                if let Some((old_id, _)) = previous {
+                    if *old_id != self_id {
+                        match self.slices.get(old_id) {
+                            Some(fam) => engine.set_slices(*old_id, fam),
+                            None => engine.set_slices(*old_id, &SliceFamily::empty()),
+                        }
+                    }
                 }
-            }
-            if !removed {
-                break;
+                engine.set_slices(self_id, own_slices);
+                self.own_row = Some((self_id, own_slices.clone()));
             }
         }
-        current.contains(self_id)
+        engine.quorum_closure_in(candidates, &mut self.scratch, &mut self.closure);
+        self.closure.contains(self_id)
     }
 
     /// Returns `true` if `accepters` is v-blocking for `own_slices` — the
@@ -165,11 +193,14 @@ impl VoteTracker {
     /// Re-evaluates the accept/confirm rules for every known statement.
     /// Returns the statements whose level rose, with their new level —
     /// the caller broadcasts new accepts and reacts to confirmations.
+    ///
+    /// Takes the check mutably: quorum queries run on its compiled engine,
+    /// reusing its scratch buffers across statements and calls.
     pub fn update(
         &mut self,
         self_id: ProcessId,
         own_slices: &SliceFamily,
-        check: &QuorumCheck,
+        check: &mut QuorumCheck,
     ) -> Vec<(Statement, VoteLevel)> {
         let mut changes = Vec::new();
         let statements: Vec<Statement> = self
@@ -178,18 +209,19 @@ impl VoteTracker {
             .chain(self.accepted.keys())
             .copied()
             .collect();
+        let empty = ProcessSet::new();
         for stmt in statements {
             loop {
                 let level = self.level(stmt);
                 let next = match level {
                     VoteLevel::None | VoteLevel::Voted => {
-                        let accepters = self.accepters(stmt);
-                        let can_accept = check.is_v_blocking(own_slices, &accepters)
+                        let accepters = self.accepted.get(&stmt).unwrap_or(&empty);
+                        let can_accept = check.is_v_blocking(own_slices, accepters)
                             || (level == VoteLevel::Voted
                                 && check.has_quorum_through(
                                     self_id,
                                     own_slices,
-                                    &self.voters(stmt),
+                                    self.voted.get(&stmt).unwrap_or(&empty),
                                 ));
                         if can_accept {
                             self.accepted.entry(stmt).or_default().insert(self_id);
@@ -202,7 +234,11 @@ impl VoteTracker {
                         }
                     }
                     VoteLevel::Accepted => {
-                        if check.has_quorum_through(self_id, own_slices, &self.accepters(stmt)) {
+                        if check.has_quorum_through(
+                            self_id,
+                            own_slices,
+                            self.accepted.get(&stmt).unwrap_or(&empty),
+                        ) {
                             self.mine.insert(stmt, VoteLevel::Confirmed);
                             changes.push((stmt, VoteLevel::Confirmed));
                             true
@@ -235,14 +271,14 @@ mod tests {
         let sys = paper::fig1_system();
         let mut check = QuorumCheck::new();
         for i in sys.processes() {
-            check.record_slices(i, sys.slices(i).clone());
+            check.record_slices(i, sys.slices(i));
         }
         check
     }
 
     #[test]
     fn quorum_through_sink_core() {
-        let check = fig1_check();
+        let mut check = fig1_check();
         let sys = paper::fig1_system();
         // {4,5,6} is a quorum for each of its members.
         let q = ProcessSet::from_ids([4, 5, 6]);
@@ -260,14 +296,14 @@ mod tests {
         let mut check = QuorumCheck::new();
         let sys = paper::fig1_system();
         // Only process 4's slices are known: closure drops 5 and 6.
-        check.record_slices(p(4), sys.slices(p(4)).clone());
+        check.record_slices(p(4), sys.slices(p(4)));
         let q = ProcessSet::from_ids([4, 5, 6]);
         assert!(!check.has_quorum_through(p(4), sys.slices(p(4)), &q));
     }
 
     #[test]
     fn accept_via_quorum_of_votes() {
-        let check = fig1_check();
+        let mut check = fig1_check();
         let sys = paper::fig1_system();
         let mut tracker = VoteTracker::new();
         let stmt = Statement::Nominate(9);
@@ -275,14 +311,14 @@ mod tests {
         assert!(!tracker.vote(p(4), stmt), "idempotent");
         tracker.record_vote(p(5), stmt);
         tracker.record_vote(p(6), stmt);
-        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
         assert!(changes.contains(&(stmt, VoteLevel::Accepted)));
         assert_eq!(tracker.level(stmt), VoteLevel::Accepted);
     }
 
     #[test]
     fn accept_via_v_blocking_without_vote() {
-        let check = fig1_check();
+        let mut check = fig1_check();
         let sys = paper::fig1_system();
         let mut tracker = VoteTracker::new();
         let stmt = Statement::Nominate(3);
@@ -290,7 +326,7 @@ mod tests {
         // v-blocking... S5 = {{6,7}} paper → 0-based {5,6}: need both? A
         // single slice family is blocked by any set hitting the slice.
         tracker.record_accept(p(5), stmt);
-        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
         assert!(
             changes.contains(&(stmt, VoteLevel::Accepted)),
             "v-blocking accept without own vote"
@@ -299,14 +335,14 @@ mod tests {
 
     #[test]
     fn confirm_needs_quorum_of_accepts() {
-        let check = fig1_check();
+        let mut check = fig1_check();
         let sys = paper::fig1_system();
         let mut tracker = VoteTracker::new();
         let stmt = Statement::Prepare(1, 2);
         tracker.vote(p(4), stmt);
         tracker.record_accept(p(5), stmt);
         tracker.record_accept(p(6), stmt);
-        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
         // Accept via v-blocking {5,6}, then confirm via quorum {4,5,6} of
         // accepts, in one cascade.
         assert!(changes.contains(&(stmt, VoteLevel::Accepted)));
@@ -317,14 +353,14 @@ mod tests {
 
     #[test]
     fn votes_alone_do_not_confirm() {
-        let check = fig1_check();
+        let mut check = fig1_check();
         let sys = paper::fig1_system();
         let mut tracker = VoteTracker::new();
         let stmt = Statement::Commit(1, 2);
         tracker.vote(p(4), stmt);
         tracker.record_vote(p(5), stmt);
         tracker.record_vote(p(6), stmt);
-        let changes = tracker.update(p(4), sys.slices(p(4)), &check);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
         // Quorum of votes → accept; but confirms need a quorum of accepts,
         // and only we accepted.
         assert_eq!(changes, vec![(stmt, VoteLevel::Accepted)]);
@@ -335,8 +371,8 @@ mod tests {
         let mut check = QuorumCheck::new();
         let a = SliceFamily::explicit([ProcessSet::from_ids([1])]);
         let b = SliceFamily::explicit([ProcessSet::from_ids([2])]);
-        check.record_slices(p(9), a);
-        check.record_slices(p(9), b.clone());
+        check.record_slices(p(9), &a);
+        check.record_slices(p(9), &b);
         assert_eq!(check.slices_of(p(9)), Some(&b));
     }
 }

@@ -8,6 +8,12 @@
 //! are taken and min/median/max per-iteration times are printed. There is
 //! no statistical analysis, HTML report, or baseline comparison; the point
 //! is that `cargo bench` runs and prints comparable numbers.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! completed benchmark also appends a record to it, keeping the file a
+//! single valid JSON array across multiple bench binaries — this is how
+//! the checked-in `BENCH_*.json` baselines and the CI bench-smoke
+//! artifact are produced (see the README's Performance section).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -201,6 +207,49 @@ fn run_one<F: FnMut(&mut Bencher)>(
         iters,
         samples,
     );
+    // cfg!(test) keeps the shim's own unit tests hermetic: a developer's
+    // exported CRITERION_JSON must not collect junk records from them.
+    if let (false, Ok(path)) = (cfg!(test), std::env::var("CRITERION_JSON")) {
+        if !path.is_empty() {
+            let entry = format!(
+                "{{\"name\": \"{}\", \"ns_min\": {}, \"ns_median\": {}, \"ns_max\": {}, \"iters\": {}, \"samples\": {}}}",
+                full.replace('"', "'"),
+                per_iter_ns[0],
+                median,
+                per_iter_ns.last().unwrap(),
+                iters,
+                samples,
+            );
+            if let Err(e) = append_json_entry(std::path::Path::new(&path), &entry) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Appends one JSON object to the array stored at `path`, creating the
+/// file as `[entry]` when absent. The file stays a single valid JSON array
+/// even when several bench binaries append to it in sequence.
+fn append_json_entry(path: &std::path::Path, entry: &str) -> std::io::Result<()> {
+    let updated = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(body) => {
+                    let body = body.trim_end();
+                    if body.ends_with('[') {
+                        format!("{body}\n  {entry}\n]\n")
+                    } else {
+                        format!("{body},\n  {entry}\n]\n")
+                    }
+                }
+                // Unrecognized content: start over rather than corrupt it.
+                None => format!("[\n  {entry}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {entry}\n]\n"),
+    };
+    std::fs::write(path, updated)
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -239,6 +288,26 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_append_keeps_file_a_valid_array() {
+        let dir = std::env::temp_dir().join("criterion-shim-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let _ = std::fs::remove_file(&path);
+        append_json_entry(&path, "{\"name\": \"a\", \"ns_median\": 1}").unwrap();
+        append_json_entry(&path, "{\"name\": \"b\", \"ns_median\": 2}").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.trim_start().starts_with('['), "{content}");
+        assert!(content.trim_end().ends_with(']'), "{content}");
+        assert_eq!(content.matches("\"name\"").count(), 2, "{content}");
+        assert_eq!(
+            content.matches(',').count(),
+            3,
+            "one comma between entries, one per entry body: {content}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
 
     #[test]
     fn bench_function_runs_and_prints() {

@@ -46,8 +46,8 @@ pub struct Context<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) known: &'a mut ProcessSet,
     pub(crate) rng: &'a mut StdRng,
-    pub(crate) outbox: Vec<(ProcessId, M)>,
-    pub(crate) timers: Vec<(u64, u64)>,
+    pub(crate) outbox: &'a mut Vec<(ProcessId, M)>,
+    pub(crate) timers: &'a mut Vec<(u64, u64)>,
 }
 
 impl<M> Context<'_, M> {
@@ -112,9 +112,12 @@ impl<M> Context<'_, M> {
     where
         M: Clone,
     {
-        for j in self.known.clone().iter() {
-            if j != self.self_id {
-                self.send(j, msg.clone());
+        // Iterate the knowledge set directly (disjoint borrow from the
+        // outbox) instead of cloning it per broadcast.
+        let me = self.self_id;
+        for j in self.known.iter() {
+            if j != me {
+                self.outbox.push((j, msg.clone()));
             }
         }
     }
@@ -146,22 +149,39 @@ mod tests {
     struct M;
     impl SimMessage for M {}
 
-    fn ctx<'a>(known: &'a mut ProcessSet, rng: &'a mut StdRng) -> Context<'a, M> {
-        Context {
-            self_id: ProcessId::new(0),
-            now: SimTime::ZERO,
-            known,
-            rng,
-            outbox: Vec::new(),
-            timers: Vec::new(),
+    struct CtxBufs {
+        known: ProcessSet,
+        rng: StdRng,
+        outbox: Vec<(ProcessId, M)>,
+        timers: Vec<(u64, u64)>,
+    }
+
+    impl CtxBufs {
+        fn new(known: ProcessSet) -> Self {
+            CtxBufs {
+                known,
+                rng: StdRng::seed_from_u64(0),
+                outbox: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+
+        fn ctx(&mut self) -> Context<'_, M> {
+            Context {
+                self_id: ProcessId::new(0),
+                now: SimTime::ZERO,
+                known: &mut self.known,
+                rng: &mut self.rng,
+                outbox: &mut self.outbox,
+                timers: &mut self.timers,
+            }
         }
     }
 
     #[test]
     fn send_requires_knowledge() {
-        let mut known = ProcessSet::from_ids([1]);
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut c = ctx(&mut known, &mut rng);
+        let mut bufs = CtxBufs::new(ProcessSet::from_ids([1]));
+        let mut c = bufs.ctx();
         c.send(ProcessId::new(1), M);
         assert_eq!(c.outbox.len(), 1);
     }
@@ -169,26 +189,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown process")]
     fn send_to_unknown_panics() {
-        let mut known = ProcessSet::new();
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut c = ctx(&mut known, &mut rng);
-        c.send(ProcessId::new(3), M);
+        let mut bufs = CtxBufs::new(ProcessSet::new());
+        bufs.ctx().send(ProcessId::new(3), M);
     }
 
     #[test]
     #[should_panic(expected = "positive delay")]
     fn zero_delay_timer_panics() {
-        let mut known = ProcessSet::new();
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut c = ctx(&mut known, &mut rng);
-        c.set_timer(0, 1);
+        let mut bufs = CtxBufs::new(ProcessSet::new());
+        bufs.ctx().set_timer(0, 1);
     }
 
     #[test]
     fn broadcast_skips_self() {
-        let mut known = ProcessSet::from_ids([0, 1, 2]);
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut c = ctx(&mut known, &mut rng);
+        let mut bufs = CtxBufs::new(ProcessSet::from_ids([0, 1, 2]));
+        let mut c = bufs.ctx();
         c.broadcast_known(M);
         assert_eq!(c.outbox.len(), 2);
     }

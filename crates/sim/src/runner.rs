@@ -68,6 +68,11 @@ pub struct Simulation<M: SimMessage> {
     report: SimReport,
     trace: Trace,
     started: bool,
+    /// Dispatch buffers reused across every actor callback: the outbox and
+    /// timer lists live for one `dispatch` call but keep their capacity for
+    /// the whole run, so steady-state event processing allocates nothing.
+    outbox_buf: Vec<(ProcessId, M)>,
+    timers_buf: Vec<(u64, u64)>,
 }
 
 impl<M: SimMessage> Simulation<M> {
@@ -88,6 +93,8 @@ impl<M: SimMessage> Simulation<M> {
             report: SimReport::default(),
             trace: Trace::new(),
             started: false,
+            outbox_buf: Vec::new(),
+            timers_buf: Vec::new(),
         }
     }
 
@@ -177,30 +184,36 @@ impl<M: SimMessage> Simulation<M> {
     }
 
     /// Runs one callback on process `pid` with a fresh context, then flushes
-    /// the produced sends and timers into the queue.
+    /// the produced sends and timers into the queue. The outbox/timer
+    /// buffers are taken from (and returned to) the simulation so the hot
+    /// event loop reuses their capacity instead of allocating per event.
     fn dispatch<F>(&mut self, pid: ProcessId, f: F)
     where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
     {
+        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        let mut timers = std::mem::take(&mut self.timers_buf);
+        debug_assert!(outbox.is_empty() && timers.is_empty());
         let mut ctx = Context {
             self_id: pid,
             now: self.now,
             known: &mut self.known[pid.index()],
             rng: &mut self.rng,
-            outbox: Vec::new(),
-            timers: Vec::new(),
+            outbox: &mut outbox,
+            timers: &mut timers,
         };
         f(&mut *self.actors[pid.index()], &mut ctx);
-        let Context { outbox, timers, .. } = ctx;
-        for (to, msg) in outbox {
+        for (to, msg) in outbox.drain(..) {
             let deliver_at = self.delivery_time();
-            self.trace.push(TraceEvent::Sent {
-                at: self.now,
-                from: pid,
-                to,
-                deliver_at,
-                payload: format!("{msg:?}"),
-            });
+            if self.trace.is_enabled() {
+                self.trace.push(TraceEvent::Sent {
+                    at: self.now,
+                    from: pid,
+                    to,
+                    deliver_at,
+                    payload: format!("{msg:?}"),
+                });
+            }
             self.report.messages_sent += 1;
             self.report.bytes_sent += msg.size_hint() as u64;
             self.seq += 1;
@@ -210,7 +223,7 @@ impl<M: SimMessage> Simulation<M> {
                 kind: EventKind::Deliver { from: pid, to, msg },
             });
         }
-        for (delay, tag) in timers {
+        for (delay, tag) in timers.drain(..) {
             self.seq += 1;
             self.queue.push(QueueEntry {
                 at: self.now + delay,
@@ -218,6 +231,8 @@ impl<M: SimMessage> Simulation<M> {
                 kind: EventKind::Timer { process: pid, tag },
             });
         }
+        self.outbox_buf = outbox;
+        self.timers_buf = timers;
     }
 
     /// Draws an adversarial-but-legal delivery time for a message sent now:
@@ -242,12 +257,14 @@ impl<M: SimMessage> Simulation<M> {
                 // Authenticated channel: receiving teaches the receiver the
                 // sender's identity (Section III-A).
                 self.known[to.index()].insert(from);
-                self.trace.push(TraceEvent::Delivered {
-                    at: self.now,
-                    from,
-                    to,
-                    payload: format!("{msg:?}"),
-                });
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Delivered {
+                        at: self.now,
+                        from,
+                        to,
+                        payload: format!("{msg:?}"),
+                    });
+                }
                 self.report.messages_delivered += 1;
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
