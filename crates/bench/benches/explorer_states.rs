@@ -1,0 +1,83 @@
+//! Explorer throughput: canonical states per second on the explore-campaign
+//! systems.
+//!
+//! Each benchmark runs a full bounded exploration; the state counts are
+//! deterministic (see `crates/mc/tests/explore.rs`), so the shim's
+//! `Throughput::Elements` annotation turns the measured time into a
+//! states/second rate — the number tracked in `BENCH_PR3.json`.
+//!
+//! Run: `cargo bench -p scup-bench --bench explorer_states`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scup_harness::scenario::{ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, TopologySpec};
+use scup_harness::AdversaryRegistry;
+use scup_mc::campaign::explore_scenario;
+use stellar_cup::attempts::LocalSliceStrategy;
+
+/// The n = 4 fig1-style system (2-member sink + silent outsiders).
+fn sink2(max_steps: u32, adversary: &str) -> Scenario {
+    Scenario::builder("sink2")
+        .topology(TopologySpec::RandomKosr {
+            sink: 2,
+            nonsink: 2,
+            k: 1,
+            extra_edge_prob: 0.0,
+        })
+        .f(0)
+        .adversary(adversary)
+        .faults(FaultPlacement::Ids(vec![2, 3]))
+        .inputs(vec![3, 9])
+        .explore(ExploreSpec {
+            max_steps,
+            timer_budget: 0,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// The seeded non-intertwined system (counterexample search included).
+fn split22() -> Scenario {
+    Scenario::builder("split22")
+        .topology(TopologySpec::Clustered {
+            clusters: 2,
+            cluster_size: 2,
+            bridges: 0,
+            intra_extra_prob: 0.0,
+            inter_extra_prob: 0.0,
+        })
+        .f(0)
+        .protocol(ProtocolSpec::StellarLocal(LocalSliceStrategy::SurviveF))
+        .faults(FaultPlacement::None)
+        .inputs(vec![1, 1, 2, 2])
+        .explore(ExploreSpec {
+            max_steps: 48,
+            timer_budget: 0,
+            ..Default::default()
+        })
+        .build()
+}
+
+fn bench_explorer(c: &mut Criterion) {
+    let registry = AdversaryRegistry::builtin();
+
+    // Establish the deterministic state counts once, then annotate the
+    // timed runs with them.
+    let cases = [
+        ("sink2-full", sink2(64, "silent"), 1usize),
+        ("sink2-equiv-s7", sink2(7, "equivocate"), 1),
+        ("split22-cex", split22(), 1),
+    ];
+    for (name, scenario, threads) in cases {
+        let states = explore_scenario(&scenario, threads, &registry).states;
+        let mut group = c.benchmark_group("explore_states");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(states));
+        group.bench_with_input(BenchmarkId::new(name, states), &scenario, |b, scenario| {
+            b.iter(|| explore_scenario(scenario, threads, &registry).states);
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

@@ -6,11 +6,18 @@
 //!
 //! OPTIONS:
 //!   --threads N         override worker threads (0 = one per CPU)
+//!   --mode MODE         override the campaign mode (sample | explore)
 //!   --out PATH          write the JSON report here (`-` = stdout);
 //!                       default: target/campaign-reports/<name>.json
 //!   --list-adversaries  print the adversary registry and exit
 //!   -h, --help          this text
 //! ```
+//!
+//! Campaign files declare their own mode: `mode = "sample"` (default)
+//! fans seeded runs out through the timed simulator; `mode = "explore"`
+//! hands the scenarios to the `scup-mc` bounded model checker, which
+//! exhaustively enumerates delivery orders and adversary choice points up
+//! to each scenario's bounds.
 //!
 //! Exit status is non-zero when any run fails its oracle mode or cannot
 //! be configured.
@@ -20,22 +27,25 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use scup_harness::campaign::CampaignReport;
+use scup_harness::campaign::{CampaignMode, CampaignReport};
 use scup_harness::{campaign_from_str, AdversaryRegistry};
 
 struct Options {
     threads: Option<usize>,
+    mode: Option<CampaignMode>,
     out: Option<String>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: scup-campaign [--threads N] [--out PATH|-] [--list-adversaries] <campaign.toml>..."
+    "usage: scup-campaign [--threads N] [--mode sample|explore] [--out PATH|-] \
+     [--list-adversaries] <campaign.toml>..."
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut options = Options {
         threads: None,
+        mode: None,
         out: None,
         files: Vec::new(),
     };
@@ -55,6 +65,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 options.threads = Some(v.parse().map_err(|_| "--threads needs an integer")?);
+            }
+            "--mode" => {
+                options.mode = Some(match it.next().map(String::as_str) {
+                    Some("sample") => CampaignMode::Sample,
+                    Some("explore") => CampaignMode::Explore,
+                    _ => return Err("--mode needs `sample` or `explore`".into()),
+                });
             }
             "--out" => {
                 options.out = Some(it.next().ok_or("--out needs a path")?.clone());
@@ -140,23 +157,14 @@ fn default_out_path(campaign_name: &str) -> PathBuf {
         .join(format!("{campaign_name}.json"))
 }
 
-fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut campaign = campaign_from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    if let Some(threads) = options.threads {
-        campaign.threads = threads;
-    }
-
-    let report = campaign.run();
+fn emit(options: &Options, human: &str, name: &str, json: String) -> Result<(), String> {
     // With `--out -` the JSON owns stdout; the human summary moves to
     // stderr so the report stays machine-parseable.
     if options.out.as_deref() == Some("-") {
-        eprint!("{}", summary(&report));
+        eprint!("{human}");
     } else {
-        print!("{}", summary(&report));
+        print!("{human}");
     }
-
-    let json = report.to_json().pretty();
     match options.out.as_deref() {
         Some("-") => print!("{json}"),
         Some(path) => {
@@ -164,7 +172,7 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
             println!("  report: {path}");
         }
         None => {
-            let out = default_out_path(&report.name);
+            let out = default_out_path(name);
             if let Some(dir) = out.parent() {
                 std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             }
@@ -172,7 +180,41 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
             println!("  report: {}", out.display());
         }
     }
-    Ok(report.all_passed())
+    Ok(())
+}
+
+fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut campaign = campaign_from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(threads) = options.threads {
+        campaign.threads = threads;
+    }
+    if let Some(mode) = options.mode {
+        campaign.mode = mode;
+    }
+
+    match campaign.mode {
+        CampaignMode::Sample => {
+            let report = campaign.run();
+            emit(
+                options,
+                &summary(&report),
+                &report.name,
+                report.to_json().pretty(),
+            )?;
+            Ok(report.all_passed())
+        }
+        CampaignMode::Explore => {
+            let report = scup_mc::run_explore_campaign(&campaign);
+            emit(
+                options,
+                &scup_mc::summary(&report),
+                &report.name,
+                report.to_json().pretty(),
+            )?;
+            Ok(report.all_passed())
+        }
+    }
 }
 
 fn main() -> ExitCode {

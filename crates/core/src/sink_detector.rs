@@ -73,6 +73,7 @@ impl SimMessage for SdMsg {
 /// After the run, [`SinkDetectorActor::detection`] returns the
 /// `⟨flag, V⟩` of `get_sink` — `Some` for every correct process
 /// (Theorem 6).
+#[derive(Clone)]
 pub struct SinkDetectorActor {
     pd: ProcessSet,
     f: usize,

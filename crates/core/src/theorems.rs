@@ -18,7 +18,7 @@
 //! *exhaustive* (explicit quorum enumeration on small systems, used to
 //! validate the structural argument).
 
-use scup_fbqs::{cluster, intertwined, quorum, Fbqs, SliceFamily};
+use scup_fbqs::{cluster, intertwined, quorum, Fbqs, QuorumEngine, SliceFamily};
 use scup_graph::{sink, KnowledgeGraph, ProcessId, ProcessSet};
 
 use crate::attempts::{build_local_system, LocalSliceStrategy};
@@ -51,10 +51,15 @@ pub fn theorem2_violation(
     let all = kg.graph().vertex_set();
     let nonsink = all.difference(&v_sink);
 
+    // One compiled engine serves the structural closures and the
+    // exhaustive fallback sweep (the naive predicates remain the proptest
+    // oracle).
+    let engine = QuorumEngine::from_system(&sys);
+
     // The structural split the proof uses: the sink closes on itself, and
     // the non-sink members may close among themselves.
-    let q1 = quorum::quorum_closure(&sys, &nonsink);
-    let q2 = quorum::quorum_closure(&sys, &v_sink);
+    let q1 = engine.quorum_closure(&nonsink);
+    let q2 = engine.quorum_closure(&v_sink);
     if !q1.is_empty() && !q2.is_empty() && q1.intersection_len(&q2) <= f {
         return Some(QuorumIntersectionViolation {
             intersection_len: q1.intersection_len(&q2),
@@ -63,7 +68,7 @@ pub fn theorem2_violation(
         });
     }
     // Fall back to exhaustive search on small systems.
-    let quorums = quorum::enumerate_quorums(&sys, &all, 1 << 20)?;
+    let quorums = quorum::enumerate_quorums_compiled(&engine, &all, 1 << 20)?;
     for (i, q1) in quorums.iter().enumerate() {
         for q2 in &quorums[i + 1..] {
             if q1.intersection_len(q2) <= f {
@@ -111,15 +116,21 @@ pub fn lemma4_mixed_pairs_intertwined(
     limit: usize,
 ) -> Result<Option<intertwined::Violation>, intertwined::EnumerationTooLarge> {
     // The pairwise check over the union covers mixed pairs; restricted
-    // variants keep the lemma structure visible in reports.
+    // variants keep the lemma structure visible in reports. One compiled
+    // engine serves every pair.
+    let engine = QuorumEngine::from_system(sys);
     let sink_members = v_sink.intersection(correct);
     let nonsink_members = correct.difference(v_sink);
     for i in &sink_members {
         for j in &nonsink_members {
             let pair = ProcessSet::from_ids([i.as_u32(), j.as_u32()]);
-            if let Some(v) =
-                intertwined::check_threshold_intertwined(sys, &pair, &sys.universe(), f, limit)?
-            {
+            if let Some(v) = intertwined::check_threshold_intertwined_compiled(
+                &engine,
+                &pair,
+                &sys.universe(),
+                f,
+                limit,
+            )? {
                 return Ok(Some(v));
             }
         }
@@ -155,8 +166,11 @@ pub fn theorem3_all_intertwined(
 /// correct processes — equivalently the correct set is quorum-closed.
 /// Returns the correct processes *without* such a quorum (empty = theorem
 /// holds).
+///
+/// Runs on a compiled [`QuorumEngine`] (worklist closure); the naive
+/// [`quorum::quorum_closure`] remains the proptest oracle.
 pub fn theorem4_quorum_availability(sys: &Fbqs, correct: &ProcessSet) -> ProcessSet {
-    let closure = quorum::quorum_closure(sys, correct);
+    let closure = QuorumEngine::from_system(sys).quorum_closure(correct);
     correct.difference(&closure)
 }
 

@@ -113,6 +113,7 @@ impl BftConfig {
 
 /// A correct BFT-CUP participant (sink or non-sink — the role emerges from
 /// discovery).
+#[derive(Clone)]
 pub struct BftCupActor {
     config: BftConfig,
     pd: ProcessSet,

@@ -8,7 +8,7 @@
 
 use scup_graph::{ProcessId, ProcessSet};
 
-use crate::{Fbqs, SliceFamily};
+use crate::{Fbqs, QuorumEngine, SliceFamily};
 
 /// Algorithm 1 — `is_quorum(Q, S_Q)`: returns `true` iff every member of
 /// `q` has a slice contained in `q`, per the system's declared slices.
@@ -118,7 +118,50 @@ pub fn minimal_quorum_of_within(sys: &Fbqs, i: ProcessId, u: &ProcessSet) -> Opt
 /// Exponential in `|universe|`; returns `None` when `2^|universe|` exceeds
 /// `limit` so callers must opt into the cost. Intended for verification on
 /// small systems (the paper's figures have `n ≤ 8`).
+///
+/// Compiles the system into a [`QuorumEngine`] once and runs the
+/// per-subset Algorithm 1 tests on packed bitmask rows; the proptest
+/// oracle checks it against [`enumerate_quorums_naive`].
 pub fn enumerate_quorums(
+    sys: &Fbqs,
+    universe: &ProcessSet,
+    limit: usize,
+) -> Option<Vec<ProcessSet>> {
+    enumerate_quorums_compiled(&QuorumEngine::from_system(sys), universe, limit)
+}
+
+/// [`enumerate_quorums`] over an already compiled engine — the form the
+/// global analyses (intertwined checks, consensus clusters) use so one
+/// compilation serves every member/candidate.
+pub fn enumerate_quorums_compiled(
+    engine: &QuorumEngine,
+    universe: &ProcessSet,
+    limit: usize,
+) -> Option<Vec<ProcessSet>> {
+    let ids = universe.to_vec();
+    let n = ids.len();
+    if n >= usize::BITS as usize - 1 || (1usize << n) > limit {
+        return None;
+    }
+    let mut scratch = engine.scratch();
+    let mut out = Vec::new();
+    for mask in 1usize..(1 << n) {
+        let q: ProcessSet = ids
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| mask & (1 << b) != 0)
+            .map(|(_, &id)| id)
+            .collect();
+        if engine.is_quorum_in(&q, &mut scratch) {
+            out.push(q);
+        }
+    }
+    Some(out)
+}
+
+/// The reference (enum-dispatch, per-call) enumeration — kept as the
+/// proptest oracle for [`enumerate_quorums`].
+pub fn enumerate_quorums_naive(
     sys: &Fbqs,
     universe: &ProcessSet,
     limit: usize,
@@ -167,9 +210,26 @@ pub fn minimal_quorums_of(
     universe: &ProcessSet,
     limit: usize,
 ) -> Option<Vec<ProcessSet>> {
-    let all = enumerate_quorums(sys, universe, limit)?;
+    minimal_quorums_of_compiled(&QuorumEngine::from_system(sys), i, universe, limit)
+}
+
+/// [`minimal_quorums_of`] over an already compiled engine.
+pub fn minimal_quorums_of_compiled(
+    engine: &QuorumEngine,
+    i: ProcessId,
+    universe: &ProcessSet,
+    limit: usize,
+) -> Option<Vec<ProcessSet>> {
+    let all = enumerate_quorums_compiled(engine, universe, limit)?;
+    Some(minimal_containing(&all, i))
+}
+
+/// The inclusion-minimal elements of `all` that contain `i` — shared by
+/// the per-process minimal-quorum queries and the intertwined sweeps
+/// (which enumerate the universe once and slice it per member).
+pub(crate) fn minimal_containing(all: &[ProcessSet], i: ProcessId) -> Vec<ProcessSet> {
     let with_i: Vec<&ProcessSet> = all.iter().filter(|q| q.contains(i)).collect();
-    let minimal: Vec<ProcessSet> = with_i
+    with_i
         .iter()
         .filter(|q| {
             !with_i
@@ -177,8 +237,7 @@ pub fn minimal_quorums_of(
                 .any(|other| *other != **q && other.is_subset(q))
         })
         .map(|q| (*q).clone())
-        .collect();
-    Some(minimal)
+        .collect()
 }
 
 #[cfg(test)]

@@ -150,4 +150,37 @@ proptest! {
         prop_assert_eq!(engine.is_quorum(&q), quorum::is_quorum(&sys, &q));
         prop_assert_eq!(engine.quorum_closure(&q), quorum::quorum_closure(&sys, &q));
     }
+
+    #[test]
+    fn compiled_enumeration_matches_naive(sys in arb_system(), u in arb_subset(N)) {
+        // The global analyses now run on the compiled engine; the naive
+        // enum-dispatch sweep remains their oracle.
+        prop_assert_eq!(
+            quorum::enumerate_quorums(&sys, &u, 1 << N),
+            quorum::enumerate_quorums_naive(&sys, &u, 1 << N)
+        );
+    }
+
+    #[test]
+    fn compiled_cluster_check_matches_naive(sys in arb_system(), cand in arb_subset(N), f in 0usize..3) {
+        use scup_fbqs::cluster::{self, IntertwinedMode};
+        let all = sys.universe();
+        // Naive reference for Definition 3, straight off the reference
+        // predicates: availability = closure fixed point, intersection =
+        // threshold-intertwined over naive minimal quorums.
+        let naive_avail = !cand.is_empty() && quorum::quorum_closure(&sys, &cand) == cand;
+        let report = cluster::check_consensus_cluster(
+            &sys, &cand, &all, &all, IntertwinedMode::Threshold(f), 1 << N,
+        ).expect("within limit");
+        prop_assert_eq!(report.availability, naive_avail);
+        // The violation witness (if any) must be a real pair of quorums
+        // intersecting in at most f processes.
+        if let Some(v) = &report.intersection_violation {
+            prop_assert!(quorum::is_quorum(&sys, &v.qi));
+            prop_assert!(quorum::is_quorum(&sys, &v.qj));
+            prop_assert!(v.qi.contains(v.i) && v.qj.contains(v.j));
+            prop_assert!(v.intersection_len <= f);
+            prop_assert!(cand.contains(v.i) && cand.contains(v.j));
+        }
+    }
 }

@@ -26,11 +26,37 @@ use crate::protocol;
 use crate::scenario::Scenario;
 use crate::topology;
 
+/// How a campaign executes its scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignMode {
+    /// Run `(scenario, seed)` samples through the timed simulator
+    /// ([`Campaign::run`]).
+    #[default]
+    Sample,
+    /// Exhaustively explore every schedule up to the scenario's
+    /// [`ExploreSpec`](crate::scenario::ExploreSpec) bounds. Executed by
+    /// the `scup-mc` crate (which depends on this one); [`Campaign::run`]
+    /// always samples — the `scup-campaign` CLI dispatches on this flag.
+    Explore,
+}
+
+impl CampaignMode {
+    /// The mode name used in campaign files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignMode::Sample => "sample",
+            CampaignMode::Explore => "explore",
+        }
+    }
+}
+
 /// A named batch of scenarios.
 #[derive(Debug, Clone)]
 pub struct Campaign {
     /// Campaign name (used in the report and default output path).
     pub name: String,
+    /// Execution mode (sampling or exhaustive exploration).
+    pub mode: CampaignMode,
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
     /// The scenarios to run.
@@ -227,6 +253,7 @@ fn run_configured(
         &faulty,
         adversary,
         &scenario.network,
+        scenario.resolved_inputs(kg.n()),
         seed,
     );
 
@@ -352,6 +379,7 @@ mod tests {
     fn tiny_campaign(threads: usize) -> Campaign {
         Campaign {
             name: "test".into(),
+            mode: CampaignMode::Sample,
             threads,
             scenarios: vec![
                 Scenario::builder("fig2-silent")
@@ -423,6 +451,7 @@ mod tests {
         // scale_free asserts n >= m + 1; the panic must be contained.
         let report = Campaign {
             name: "bad-params".into(),
+            mode: CampaignMode::Sample,
             threads: 2,
             scenarios: vec![Scenario::builder("impossible")
                 .topology(TopologySpec::ScaleFree { n: 3, m: 4 })
@@ -442,6 +471,7 @@ mod tests {
     fn json_report_shape() {
         let report = Campaign {
             name: "shape".into(),
+            mode: CampaignMode::Sample,
             threads: 1,
             scenarios: vec![Scenario::builder("s")
                 .topology(TopologySpec::Fig2)
@@ -472,6 +502,7 @@ mod tests {
         };
         let report = Campaign {
             name: "er".into(),
+            mode: CampaignMode::Sample,
             threads: 0,
             scenarios: vec![Scenario::builder("er")
                 .topology(TopologySpec::ErdosRenyi { n: 8, p: 0.2 })

@@ -33,6 +33,7 @@
 //!
 //! let campaign = Campaign {
 //!     name: "doc".into(),
+//!     mode: Default::default(),
 //!     threads: 2,
 //!     scenarios: vec![Scenario::builder("fig2")
 //!         .topology(TopologySpec::Fig2)
@@ -58,7 +59,9 @@ pub mod scenario;
 pub mod topology;
 
 pub use adversary::{AdversaryKind, AdversaryRegistry, AdversaryStrategy};
-pub use campaign::{Campaign, CampaignReport, RunRecord};
+pub use campaign::{Campaign, CampaignMode, CampaignReport, RunRecord};
 pub use oracle::InvariantReport;
 pub use parse::campaign_from_str;
-pub use scenario::{FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec};
+pub use scenario::{
+    ExploreSpec, FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec,
+};

@@ -20,10 +20,10 @@
 //! seeds = 16
 //! ```
 
-use crate::campaign::Campaign;
+use crate::campaign::{Campaign, CampaignMode};
 use crate::json::{self, Json};
 use crate::scenario::{
-    FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec,
+    ExploreSpec, FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec,
 };
 use stellar_cup::attempts::LocalSliceStrategy;
 
@@ -56,6 +56,12 @@ pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
         .ok_or("campaign needs a string `name`")?
         .to_string();
     let threads = get_usize(doc, "threads")?.unwrap_or(0);
+    let mode = match doc.get("mode").map(|v| v.as_str()) {
+        None => CampaignMode::Sample,
+        Some(Some("sample")) => CampaignMode::Sample,
+        Some(Some("explore")) => CampaignMode::Explore,
+        Some(other) => return Err(format!("bad `mode` {other:?}; use sample | explore")),
+    };
     let scenario_docs = doc
         .get("scenario")
         .and_then(Json::as_arr)
@@ -69,6 +75,7 @@ pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
     }
     Ok(Campaign {
         name,
+        mode,
         threads,
         scenarios,
     })
@@ -119,6 +126,37 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         }
     };
 
+    let inputs = match doc.get("inputs") {
+        None => None,
+        Some(v) => {
+            let arr = v.as_arr().ok_or("`inputs` must be an array of integers")?;
+            if arr.is_empty() {
+                return Err("`inputs` must not be empty".into());
+            }
+            let mut out = Vec::with_capacity(arr.len());
+            for item in arr {
+                let value = item.as_i64().ok_or("`inputs` entries must be integers")?;
+                if value < 0 {
+                    return Err("`inputs` entries must be non-negative".into());
+                }
+                out.push(value as u64);
+            }
+            Some(out)
+        }
+    };
+
+    let defaults = ExploreSpec::default();
+    let explore = ExploreSpec {
+        max_steps: get_u32(doc, "max_steps")?.unwrap_or(defaults.max_steps),
+        max_states: get_u64(doc, "max_states")?.unwrap_or(defaults.max_states),
+        timer_budget: get_u32(doc, "timer_budget")?.unwrap_or(defaults.timer_budget),
+        frontier_depth: get_u32(doc, "frontier_depth")?.unwrap_or(defaults.frontier_depth),
+        expect_violation: match doc.get("expect_violation") {
+            None => defaults.expect_violation,
+            Some(v) => v.as_bool().ok_or("`expect_violation` must be a boolean")?,
+        },
+    };
+
     Ok(Scenario {
         name,
         topology,
@@ -130,6 +168,8 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         seeds,
         seed_base,
         oracle,
+        inputs,
+        explore,
     })
 }
 
@@ -269,6 +309,15 @@ fn get_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
 
 fn get_usize(doc: &Json, key: &str) -> Result<Option<usize>, String> {
     Ok(get_u64(doc, key)?.map(|v| v as usize))
+}
+
+fn get_u32(doc: &Json, key: &str) -> Result<Option<u32>, String> {
+    match get_u64(doc, key)? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v)
+            .map(Some)
+            .map_err(|_| format!("`{key}` must fit in 32 bits")),
+    }
 }
 
 fn get_f64(doc: &Json, key: &str) -> Result<Option<f64>, String> {

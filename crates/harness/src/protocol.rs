@@ -28,7 +28,9 @@ pub struct ProtocolOutput {
     pub end_ticks: u64,
 }
 
-/// Runs one protocol execution.
+/// Runs one protocol execution. `inputs` must have one proposal per
+/// process (see [`Scenario::resolved_inputs`](crate::Scenario::resolved_inputs)).
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's fields
 pub fn execute(
     protocol: ProtocolSpec,
     kg: &KnowledgeGraph,
@@ -36,11 +38,13 @@ pub fn execute(
     faulty: &ProcessSet,
     adversary: AdversaryKind,
     network: &NetworkSpec,
+    inputs: Vec<Value>,
     seed: u64,
 ) -> ProtocolOutput {
+    debug_assert_eq!(inputs.len(), kg.n());
     match protocol {
         ProtocolSpec::StellarMinimal => {
-            let config = pipeline_config(adversary, network, seed);
+            let config = pipeline_config(adversary, network, inputs, seed);
             let outcome = consensus::run_end_to_end(kg, f, faulty, &config);
             ProtocolOutput {
                 inputs: outcome.inputs,
@@ -52,7 +56,7 @@ pub fn execute(
             }
         }
         ProtocolSpec::StellarLocal(strategy) => {
-            let config = pipeline_config(adversary, network, seed);
+            let config = pipeline_config(adversary, network, inputs, seed);
             let outcome = consensus::run_local_slices_pipeline(kg, f, faulty, strategy, &config);
             ProtocolOutput {
                 inputs: outcome.inputs,
@@ -62,18 +66,23 @@ pub fn execute(
                 end_ticks: outcome.scp_report.end_time.ticks(),
             }
         }
-        ProtocolSpec::BftCup => run_bftcup(kg, f, faulty, adversary, network, seed),
+        ProtocolSpec::BftCup => run_bftcup(kg, f, faulty, adversary, network, inputs, seed),
     }
 }
 
-fn pipeline_config(adversary: AdversaryKind, network: &NetworkSpec, seed: u64) -> EndToEndConfig {
+fn pipeline_config(
+    adversary: AdversaryKind,
+    network: &NetworkSpec,
+    inputs: Vec<Value>,
+    seed: u64,
+) -> EndToEndConfig {
     EndToEndConfig {
         seed,
         gst: network.gst,
         delta: network.delta,
         get_sink_mode: GetSinkMode::Direct,
         adversary: adversary.to_scp(),
-        inputs: None,
+        inputs: Some(inputs),
         max_ticks: network.max_ticks,
     }
 }
@@ -86,9 +95,9 @@ fn run_bftcup(
     faulty: &ProcessSet,
     adversary: AdversaryKind,
     network: &NetworkSpec,
+    inputs: Vec<Value>,
     seed: u64,
 ) -> ProtocolOutput {
-    let inputs: Vec<Value> = (0..kg.n()).map(|i| 100 + i as Value).collect();
     let net = NetworkConfig::partially_synchronous(network.gst, network.delta, seed);
     let mut sim: Simulation<BftMsg> = Simulation::new(kg.clone(), net);
     // View timeout must comfortably exceed pre-GST delays or view changes
@@ -164,6 +173,7 @@ mod tests {
             &faulty,
             AdversaryKind::Silent,
             &NetworkSpec::default(),
+            (0..7).map(|i| 100 + i as Value).collect(),
             0,
         );
         for i in 0..7usize {
@@ -187,6 +197,7 @@ mod tests {
             &ProcessSet::new(),
             AdversaryKind::Silent,
             &NetworkSpec::default(),
+            (0..8).map(|i| 100 + i as Value).collect(),
             3,
         );
         let decided: Vec<Value> = out.decisions.iter().flatten().copied().collect();
@@ -204,6 +215,7 @@ mod tests {
             &ProcessSet::new(),
             AdversaryKind::Silent,
             &NetworkSpec::default(),
+            (0..7).map(|i| 100 + i as Value).collect(),
             1,
         );
         assert_eq!(out.inputs.len(), 7);

@@ -215,6 +215,53 @@ impl OracleMode {
     }
 }
 
+/// Bounds and expectations for exhaustive exploration (`mode = "explore"`
+/// campaigns, run by the `scup-mc` bounded model checker).
+///
+/// Sampling fields keep their meaning where sensible: the scenario's
+/// `seed_base` still seeds topology instantiation, fault placement and the
+/// (deterministic) knowledge-increase phase; `seeds` is ignored — the
+/// explorer quantifies over schedules, not seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreSpec {
+    /// Maximum branching steps per explored schedule (absorbed no-op
+    /// deliveries are free). Schedules cut here count as `truncated` and
+    /// mark the exploration incomplete.
+    pub max_steps: u32,
+    /// Safety valve on distinct states; exceeding it aborts the scenario
+    /// with an error (raise the bound rather than trusting a capped
+    /// exploration).
+    pub max_states: u64,
+    /// How many timer events each process may fire (the untimed semantics
+    /// treats a pending timer as a schedulable choice; re-arming would
+    /// otherwise make the space infinite).
+    pub timer_budget: u32,
+    /// The explorer shards the first `frontier_depth` branch decisions
+    /// across workers. Purely a parallelism knob — results are identical
+    /// for any value.
+    pub frontier_depth: u32,
+    /// `true` for seeded-counterexample scenarios: the run *passes* iff a
+    /// safety violation is found (and its minimal trace is reported).
+    pub expect_violation: bool,
+}
+
+impl Default for ExploreSpec {
+    fn default() -> Self {
+        ExploreSpec {
+            // Conservative: large systems with distinct inputs explode
+            // combinatorially, and forcing `--mode explore` onto a
+            // sampling campaign must fail fast with the cap message, not
+            // grind for hours. Scenarios written for exploration set
+            // their own bounds (see campaigns/explore.toml).
+            max_steps: 64,
+            max_states: 200_000,
+            timer_budget: 1,
+            frontier_depth: 2,
+            expect_violation: false,
+        }
+    }
+}
+
 /// One declarative experiment: a topology family × adversary × protocol ×
 /// seed range, with the oracle policy to judge it by.
 #[derive(Debug, Clone)]
@@ -241,9 +288,31 @@ pub struct Scenario {
     pub seed_base: u64,
     /// Oracle policy.
     pub oracle: OracleMode,
+    /// Per-process input override (`inputs[i]` is process `i`'s proposal;
+    /// shorter lists repeat cyclically). `None` = the default distinct
+    /// inputs `100 + i`. Fewer distinct values shrink the nomination
+    /// space — the lever that makes exhaustive exploration of a scenario
+    /// tractable.
+    pub inputs: Option<Vec<u64>>,
+    /// Exploration bounds (used only under `mode = "explore"`).
+    pub explore: ExploreSpec,
 }
 
 impl Scenario {
+    /// The concrete per-process inputs for an `n`-process instantiation:
+    /// the override repeated cyclically, or the default distinct `100 + i`
+    /// (an empty override — constructible through the builder, rejected by
+    /// the campaign-file parser — falls back to the default rather than
+    /// dividing by zero).
+    pub fn resolved_inputs(&self, n: usize) -> Vec<u64> {
+        match self.inputs.as_deref() {
+            Some(values) if !values.is_empty() => {
+                (0..n).map(|i| values[i % values.len()]).collect()
+            }
+            _ => (0..n).map(|i| 100 + i as u64).collect(),
+        }
+    }
+
     /// Starts building a scenario with defaults (Fig. 2, `f = 1`, silent
     /// adversary, no faults, positive pipeline, 8 seeds, `require`).
     pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
@@ -259,6 +328,8 @@ impl Scenario {
                 seeds: 8,
                 seed_base: 0,
                 oracle: OracleMode::Require,
+                inputs: None,
+                explore: ExploreSpec::default(),
             },
         }
     }
@@ -320,6 +391,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the exploration bounds.
+    pub fn explore(mut self, e: ExploreSpec) -> Self {
+        self.scenario.explore = e;
+        self
+    }
+
+    /// Overrides the per-process inputs (cyclic when shorter than `n`).
+    pub fn inputs(mut self, inputs: Vec<u64>) -> Self {
+        self.scenario.inputs = Some(inputs);
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> Scenario {
         self.scenario
@@ -329,6 +412,16 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn inputs_resolve_cyclically_and_tolerate_empty_overrides() {
+        let s = Scenario::builder("t").inputs(vec![4, 5]).build();
+        assert_eq!(s.resolved_inputs(3), vec![4, 5, 4]);
+        // The builder (unlike the parser) allows an empty override; it
+        // must fall back to the defaults, not divide by zero.
+        let empty = Scenario::builder("t").inputs(vec![]).build();
+        assert_eq!(empty.resolved_inputs(3), vec![100, 101, 102]);
+    }
 
     #[test]
     fn builder_round_trip() {

@@ -1,0 +1,220 @@
+//! Scenario → explorable system: resolves a harness [`Scenario`] into the
+//! concrete graph, faulty set, slice assignment and actor roster the
+//! explorer branches over.
+//!
+//! Exploration quantifies over *SCP schedules*: the knowledge-increase
+//! phase (Algorithm 3) runs once, deterministically in the scenario's
+//! `seed_base`, exactly as in the sampled pipeline — its output (each
+//! correct process's sink detection, hence its Algorithm-2 slices) is part
+//! of the system under exploration, not a branch point. The negative
+//! pipeline builds slices locally and needs no pre-phase at all.
+
+use scup_fbqs::SliceFamily;
+use scup_graph::{kosr, sink, KnowledgeGraph, ProcessId, ProcessSet};
+use scup_harness::scenario::{ProtocolSpec, Scenario};
+use scup_harness::{topology, AdversaryKind, AdversaryRegistry};
+use scup_scp::node::EquivocatingScpNode;
+use scup_scp::{ScpConfig, ScpMsg, ScpNode, Value};
+use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
+use scup_sim::ExploreSim;
+use stellar_cup::build_slices::build_slices;
+use stellar_cup::consensus::{self, EndToEndConfig};
+use stellar_cup::sink_detector::GetSinkMode;
+use stellar_cup::theorems;
+
+/// The resolved, concrete system one scenario explores.
+pub struct Setup {
+    /// The knowledge graph.
+    pub kg: KnowledgeGraph,
+    /// Fault threshold.
+    pub f: usize,
+    /// The faulty processes.
+    pub faulty: ProcessSet,
+    /// Per-process inputs.
+    pub inputs: Vec<Value>,
+    /// Per-process slice families (empty for faulty processes).
+    pub slices: Vec<SliceFamily>,
+    /// The Byzantine behaviour.
+    pub adversary: AdversaryKind,
+    /// The paper's structural premise (Byzantine-safe `k`-OSR with enough
+    /// correct sink members) — computed once; it is schedule-independent.
+    pub premise: bool,
+    /// Timer budget per process (see
+    /// [`ExploreSpec`](scup_harness::scenario::ExploreSpec)).
+    pub timer_budget: u32,
+}
+
+impl Setup {
+    /// Resolves a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the scenario cannot be explored (unknown
+    /// adversary, unsatisfiable fault placement, or a protocol without
+    /// exploration support).
+    pub fn from_scenario(
+        scenario: &Scenario,
+        registry: &AdversaryRegistry,
+    ) -> Result<Self, String> {
+        let adversary = registry.resolve(&scenario.adversary)?;
+        let seed = scenario.seed_base;
+        let (kg, generated) = topology::instantiate(&scenario.topology, scenario.f, seed);
+        let faulty = topology::place_faults(&scenario.faults, &kg, generated, seed)?;
+        let inputs: Vec<Value> = scenario.resolved_inputs(kg.n());
+
+        let slices = match scenario.protocol {
+            ProtocolSpec::StellarMinimal => {
+                let config = EndToEndConfig {
+                    seed,
+                    gst: scenario.network.gst,
+                    delta: scenario.network.delta,
+                    get_sink_mode: GetSinkMode::Direct,
+                    adversary: adversary.to_scp(),
+                    inputs: None,
+                    max_ticks: scenario.network.max_ticks,
+                };
+                let (detections, _) =
+                    consensus::run_sink_detection(&kg, scenario.f, &faulty, &config);
+                detections
+                    .iter()
+                    .map(|d| match d {
+                        Some(d) => build_slices(d, scenario.f),
+                        None => SliceFamily::empty(),
+                    })
+                    .collect()
+            }
+            ProtocolSpec::StellarLocal(strategy) => kg
+                .processes()
+                .map(|i| strategy.build(kg.pd(i), scenario.f))
+                .collect(),
+            ProtocolSpec::BftCup => {
+                return Err(
+                    "explore mode drives the SCP phase; protocol `bft-cup` has no \
+                     exploration support (use stellar-minimal or a stellar-local variant)"
+                        .into(),
+                )
+            }
+        };
+
+        let all = kg.graph().vertex_set();
+        let correct = all.difference(&faulty);
+        let premise = kosr::satisfies_theorem1(kg.graph(), scenario.f, &faulty)
+            && sink::unique_sink(kg.graph()).is_some_and(|v_sink| {
+                theorems::sink_has_enough_correct(&v_sink, &correct, scenario.f)
+            });
+
+        Ok(Setup {
+            kg,
+            f: scenario.f,
+            faulty,
+            inputs,
+            slices,
+            adversary,
+            premise,
+            timer_budget: scenario.explore.timer_budget,
+        })
+    }
+
+    /// How many adversary variants the explorer enumerates: the
+    /// equivocator chooses *which* peers receive which conflicting value —
+    /// both split parities are explored. `ForgedSlice` plays one value
+    /// consistently (its lie is the slice family), so its split rotation
+    /// is behaviourally identical and enumerating it would double-count
+    /// every state; value-preserving behaviours have no free choice
+    /// beyond the schedule.
+    pub fn variants(&self) -> u32 {
+        match self.adversary {
+            AdversaryKind::Equivocate if !self.faulty.is_empty() => 2,
+            _ => 1,
+        }
+    }
+
+    /// Builds the (unstarted) choice-driven simulation for one adversary
+    /// variant. Mirrors the sampled pipeline's actor roster
+    /// (`consensus::run_scp_with_slices`), with the variant rotating the
+    /// equivocators' victim split.
+    pub fn build_sim(&self, variant: u32) -> ExploreSim<ScpMsg> {
+        let mut sim = ExploreSim::new(self.kg.clone(), self.timer_budget);
+        for i in self.kg.processes() {
+            if self.faulty.contains(i) {
+                match self.adversary {
+                    AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
+                    AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                    AdversaryKind::Equivocate => sim.add_actor(Box::new(
+                        EquivocatingScpNode::new(
+                            (u64::MAX - 1, u64::MAX),
+                            SliceFamily::explicit([ProcessSet::singleton(i)]),
+                        )
+                        .with_split(variant as usize),
+                    )),
+                    AdversaryKind::ForgedSlice => sim.add_actor(Box::new(
+                        EquivocatingScpNode::new(
+                            (u64::MAX - 2, u64::MAX - 2),
+                            SliceFamily::explicit([ProcessSet::singleton(i)]),
+                        )
+                        .with_split(variant as usize),
+                    )),
+                    AdversaryKind::Crash { after } => {
+                        let config =
+                            ScpConfig::new(self.slices[i.index()].clone(), self.inputs[i.index()]);
+                        sim.add_actor(Box::new(CrashActor::new(ScpNode::new(config), after)))
+                    }
+                };
+            } else {
+                let config = ScpConfig::new(self.slices[i.index()].clone(), self.inputs[i.index()]);
+                sim.add_actor(Box::new(ScpNode::new(config)));
+            }
+        }
+        sim
+    }
+
+    /// The per-process decisions in the current state (`None` for faulty
+    /// or undecided processes).
+    pub fn decisions(&self, sim: &ExploreSim<ScpMsg>) -> Vec<Option<Value>> {
+        self.kg
+            .processes()
+            .map(|i| {
+                if self.faulty.contains(i) {
+                    None
+                } else {
+                    sim.actor_as::<ScpNode>(i).and_then(ScpNode::externalized)
+                }
+            })
+            .collect()
+    }
+
+    /// The correct processes.
+    pub fn correct(&self) -> ProcessSet {
+        self.kg.graph().vertex_set().difference(&self.faulty)
+    }
+
+    /// Cheap per-state safety check: `true` when the decisions so far
+    /// already violate agreement, or (for value-preserving adversaries)
+    /// validity. Both violations are stable — externalized values never
+    /// change — so flagging them at the first state they appear in yields
+    /// the minimal-depth witness.
+    pub fn violates(&self, decisions: &[Option<Value>]) -> bool {
+        let crash = matches!(self.adversary, AdversaryKind::Crash { .. });
+        let check_validity = self.adversary.preserves_validity();
+        let mut agreed: Option<Value> = None;
+        for i in self.correct().iter() {
+            let Some(v) = decisions[i.index()] else {
+                continue;
+            };
+            match agreed {
+                None => agreed = Some(v),
+                Some(prev) if prev != v => return true,
+                Some(_) => {}
+            }
+            if check_validity {
+                let proposed_ok = self.inputs.iter().enumerate().any(|(j, &input)| {
+                    input == v && (crash || !self.faulty.contains(ProcessId::new(j as u32)))
+                });
+                if !proposed_ok {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}

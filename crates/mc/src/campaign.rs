@@ -1,0 +1,306 @@
+//! Explore-mode campaign execution: one record per scenario, workers
+//! sharded over frontier subtrees within each scenario.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use scup_harness::campaign::Campaign;
+use scup_harness::{oracle, AdversaryRegistry, OracleMode, Scenario};
+use scup_sim::TraceEvent;
+
+use crate::build::Setup;
+use crate::explorer::{merge_visited, Class, Engine, StateCapExceeded, Visited};
+use crate::report::{CexReport, ExploreRecord, ExploreReport};
+
+/// Runs an explore-mode campaign: every scenario is exhaustively explored
+/// up to its [`ExploreSpec`](scup_harness::scenario::ExploreSpec) bounds.
+///
+/// Scenarios run serially; within each, frontier subtrees are sharded
+/// across `campaign.threads` workers (0 = one per CPU). All deterministic
+/// record fields are identical for any worker count.
+pub fn run_explore_campaign(campaign: &Campaign) -> ExploreReport {
+    let started = Instant::now();
+    let registry = AdversaryRegistry::builtin();
+    let threads = if campaign.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        campaign.threads
+    }
+    .max(1);
+
+    let records = campaign
+        .scenarios
+        .iter()
+        .map(|s| explore_scenario(s, threads, &registry))
+        .collect();
+
+    ExploreReport {
+        name: campaign.name.clone(),
+        threads,
+        records,
+        wall_micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+/// Explores one scenario.
+pub fn explore_scenario(
+    scenario: &Scenario,
+    threads: usize,
+    registry: &AdversaryRegistry,
+) -> ExploreRecord {
+    let started = Instant::now();
+    let mut record = ExploreRecord {
+        scenario: scenario.name.clone(),
+        family: scenario.topology.family_name().to_string(),
+        adversary: scenario.adversary.clone(),
+        protocol: scenario.protocol.name().to_string(),
+        n: 0,
+        f: scenario.f,
+        faulty: Vec::new(),
+        premise: false,
+        variants: 0,
+        states: 0,
+        expanded: 0,
+        decided: 0,
+        quiescent_undecided: 0,
+        truncated: 0,
+        violating: 0,
+        decided_values: Vec::new(),
+        complete: false,
+        min_violation_depth: None,
+        violation: None,
+        passed: false,
+        error: None,
+        wall_micros: 0,
+    };
+
+    // Topology generators assert their parameter contracts; contain any
+    // panic as this scenario's error, like the sampling runner does.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        explore_configured(scenario, threads, registry, &mut record)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => record.error = Some(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            record.error = Some(format!("configuration panic: {msg}"));
+        }
+    }
+    record.wall_micros = started.elapsed().as_micros() as u64;
+    record
+}
+
+fn explore_configured(
+    scenario: &Scenario,
+    threads: usize,
+    registry: &AdversaryRegistry,
+    record: &mut ExploreRecord,
+) -> Result<(), String> {
+    let setup = Setup::from_scenario(scenario, registry)?;
+    record.n = setup.kg.n();
+    record.faulty = setup.faulty.iter().map(|p| p.as_u32()).collect();
+    record.premise = setup.premise;
+    let variants = setup.variants();
+    record.variants = variants;
+
+    let engine = Engine::new(&setup, scenario.explore);
+    let cap_error = |_: StateCapExceeded| {
+        format!(
+            "state cap exceeded ({} states); raise `max_states` or tighten \
+             `max_steps`/`timer_budget`",
+            scenario.explore.max_states
+        )
+    };
+
+    // Serial prefix: the first `frontier_depth` branch decisions of every
+    // variant, recorded into the shared ancestor map.
+    let mut prefix: Visited = Visited::new();
+    let mut roots: Vec<(u32, Vec<u32>)> = Vec::new();
+    for variant in 0..variants {
+        for path in engine.frontier(variant, &mut prefix).map_err(cap_error)? {
+            roots.push((variant, path));
+        }
+    }
+
+    // Sharded subtree exploration: worker `w` takes roots `w, w+T, …`,
+    // each starting from a copy of the ancestor map. Merging by minimal
+    // depth makes the union partition-independent.
+    let workers = threads.min(roots.len()).max(1);
+    let merged = std::thread::scope(|scope| -> Result<Visited, StateCapExceeded> {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let roots = &roots;
+                let engine = &engine;
+                let prefix = &prefix;
+                scope.spawn(move || -> Result<Visited, StateCapExceeded> {
+                    let mut visited = prefix.clone();
+                    for (variant, path) in roots.iter().skip(w).step_by(workers) {
+                        engine.dfs(*variant, path, &mut visited)?;
+                    }
+                    Ok(visited)
+                })
+            })
+            .collect();
+        let mut merged = prefix.clone();
+        for handle in handles {
+            merge_visited(
+                &mut merged,
+                handle.join().expect("explore worker panicked")?,
+            );
+        }
+        // The per-worker checks are early aborts; this is the actual
+        // valve. A worker map is a subset of the union, so whether the
+        // scenario errors depends only on the (partition-independent)
+        // union size — never on the worker count.
+        if merged.len() as u64 > scenario.explore.max_states {
+            return Err(StateCapExceeded);
+        }
+        Ok(merged)
+    })
+    .map_err(cap_error)?;
+
+    // Every statistic below is a pure function of the merged map.
+    let mut decided: BTreeSet<u64> = BTreeSet::new();
+    let mut min_violation: Option<u32> = None;
+    for &(depth, class) in merged.values() {
+        record.states += 1;
+        match class {
+            Class::Expanded => record.expanded += 1,
+            Class::Truncated => record.truncated += 1,
+            Class::QuiescentUndecided => record.quiescent_undecided += 1,
+            Class::Decided(v) => {
+                record.decided += 1;
+                decided.insert(v);
+            }
+            Class::Violating => {
+                record.violating += 1;
+                min_violation = Some(min_violation.map_or(depth, |d| d.min(depth)));
+            }
+        }
+    }
+    record.decided_values = decided.into_iter().collect();
+    record.complete = record.truncated == 0;
+    record.min_violation_depth = min_violation;
+
+    if let Some(d_star) = min_violation {
+        let (variant, path) = engine
+            .find_cex(variants, d_star)
+            .expect("a violating state at depth d* is reachable by construction");
+        record.violation = Some(render_cex(&setup, &engine, variant, &path));
+    }
+
+    record.passed = if scenario.explore.expect_violation {
+        record.violation.is_some()
+    } else {
+        match scenario.oracle {
+            OracleMode::Require => record.violating == 0,
+            OracleMode::Conditional => !record.premise || record.violating == 0,
+            OracleMode::Observe => true,
+        }
+    };
+    Ok(())
+}
+
+/// Replays the counterexample path with tracing on and renders it.
+fn render_cex(setup: &Setup, engine: &Engine<'_>, variant: u32, path: &[u32]) -> CexReport {
+    let mut sim = setup.build_sim(variant);
+    sim.enable_trace();
+    engine.replay_into(&mut sim, path);
+    let decisions = setup.decisions(&sim);
+
+    let schedule = sim
+        .trace()
+        .events()
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Delivered {
+                from, to, payload, ..
+            } => format!("deliver {from}->{to}: {payload}"),
+            TraceEvent::Timer { process, tag, .. } => format!("timer {process} tag {tag}"),
+            TraceEvent::Sent { .. } => unreachable!("ExploreSim only records deliveries"),
+        })
+        .collect();
+
+    let invariants = oracle::evaluate(
+        &setup.kg,
+        setup.f,
+        &setup.faulty,
+        &setup.inputs,
+        &decisions,
+        setup.adversary,
+    );
+    let violations = invariants
+        .violations
+        .into_iter()
+        // Termination is a liveness property; mid-schedule states are
+        // legitimately undecided.
+        .filter(|v| !v.starts_with("termination"))
+        .collect();
+
+    CexReport {
+        depth: path.len() as u32,
+        variant,
+        violations,
+        schedule,
+        decisions,
+    }
+}
+
+/// Human-readable summary of an explore report (mirrors the sampling
+/// CLI's rollup).
+pub fn summary(report: &ExploreReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let passed = report.records.iter().filter(|r| r.passed).count();
+    let _ = writeln!(
+        out,
+        "campaign `{}` (explore): {} scenarios on {} threads in {:.2}s — {} passed, {} failed",
+        report.name,
+        report.records.len(),
+        report.threads,
+        report.wall_micros as f64 / 1e6,
+        passed,
+        report.records.len() - passed,
+    );
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>9} {:>9} {:>7} {:>6} {:>9} {:>6}",
+        "scenario", "states", "decided", "quiet", "trunc", "violating", "pass"
+    );
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "  {:<26} {:>9} {:>9} {:>7} {:>6} {:>9} {:>6}",
+            r.scenario,
+            r.states,
+            r.decided,
+            r.quiescent_undecided,
+            r.truncated,
+            r.violating,
+            if r.passed { "ok" } else { "FAIL" },
+        );
+        if let Some(e) = &r.error {
+            let _ = writeln!(out, "    error: {e}");
+        }
+        if let Some(cex) = &r.violation {
+            let _ = writeln!(
+                out,
+                "    minimal counterexample (depth {}, variant {}): {}",
+                cex.depth,
+                cex.variant,
+                cex.violations.join("; ")
+            );
+            for line in &cex.schedule {
+                let _ = writeln!(out, "      {line}");
+            }
+        }
+    }
+    out
+}

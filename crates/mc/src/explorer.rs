@@ -1,0 +1,359 @@
+//! The bounded DFS explorer: visited-state memoization, commutation
+//! collapsing, sharded parallel frontier, and canonical minimal
+//! counterexamples.
+//!
+//! # State graph
+//!
+//! A node is a *canonical* simulation state: all absorbed (no-op)
+//! deliveries drained. An edge fires one of the canonical branching
+//! choices — **every** pending event, deduplicated by event hash (see
+//! [`ExploreSim::choices`] for why no recipient may be privileged). Two
+//! reductions keep this tractable without losing schedules: absorbed
+//! no-op deliveries fire eagerly without branching, and commuting
+//! interleavings (deliveries to distinct recipients in either order)
+//! converge to one canonical state hash, so diamonds cost their
+//! intermediate states but never duplicate subtrees.
+//!
+//! # Determinism across worker counts
+//!
+//! The first `frontier_depth` branch decisions are expanded serially; the
+//! resulting frontier roots are sharded across workers by stride (no
+//! shared cursor, no mutex — the PR 2 campaign batching, applied to
+//! subtree roots). Each worker runs a label-correcting DFS: a state is
+//! re-expanded when reached at a strictly smaller depth, so every worker
+//! computes the true minimal depth of each state reachable from its
+//! roots. Per-worker maps are merged by minimum depth, and
+//! `reachable(⋃ roots) = ⋃ reachable(rootsᵂ)`, so the merged map — and
+//! every statistic derived from it — is identical for 1, 2 or 8 workers.
+//! Counterexamples are *recomputed* from the merged verdict (minimal
+//! violation depth) by one serial lexicographic search, never taken from
+//! whichever worker stumbled on one first.
+
+use std::collections::HashMap;
+
+use scup_harness::scenario::ExploreSpec;
+use scup_scp::{ScpMsg, Value};
+use scup_sim::{ExploreSim, SimState};
+
+use crate::build::Setup;
+
+/// What one canonical state is: an inner node or one of the leaf kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Inner node: expanded further.
+    Expanded,
+    /// Depth bound hit — exploration is incomplete past this state.
+    Truncated,
+    /// The decisions so far violate agreement or validity.
+    Violating,
+    /// Every correct process externalized the same value. Terminal even
+    /// with deliveries still pending: externalization is write-once, so no
+    /// extension can change any safety verdict — the remaining flood tail
+    /// carries no information.
+    Decided(Value),
+    /// No events pending; undecided or partially decided (no violation).
+    QuiescentUndecided,
+}
+
+/// The visited map: canonical state hash → (minimal depth, class at that
+/// depth). Only lookups and merges touch it — never iteration order.
+pub type Visited = HashMap<u128, (u32, Class)>;
+
+/// The state cap of [`ExploreSpec::max_states`] was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateCapExceeded;
+
+/// One exploration engine over a resolved scenario.
+pub struct Engine<'a> {
+    setup: &'a Setup,
+    spec: ExploreSpec,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates the engine.
+    pub fn new(setup: &'a Setup, spec: ExploreSpec) -> Self {
+        Engine { setup, spec }
+    }
+
+    /// Builds a simulation for `variant` and replays a canonical choice
+    /// path: drain absorbed events, fire the recorded choice, repeat.
+    pub fn replay(&self, variant: u32, path: &[u32]) -> ExploreSim<ScpMsg> {
+        let mut sim = self.setup.build_sim(variant);
+        self.replay_into(&mut sim, path);
+        sim
+    }
+
+    /// Replays a canonical choice path into a caller-prepared simulation
+    /// (e.g. one with tracing enabled for counterexample rendering).
+    pub fn replay_into(&self, sim: &mut ExploreSim<ScpMsg>, path: &[u32]) {
+        sim.start();
+        for &choice in path {
+            sim.drain_absorbed();
+            sim.fire(choice as usize);
+        }
+        sim.drain_absorbed();
+    }
+
+    /// Classifies the (canonical) current state.
+    fn classify(&self, sim: &ExploreSim<ScpMsg>, depth: u32) -> Class {
+        let decisions = self.setup.decisions(sim);
+        if self.setup.violates(&decisions) {
+            return Class::Violating;
+        }
+        let correct = self.setup.correct();
+        let mut agreed = None;
+        let mut all_decided = true;
+        for i in correct.iter() {
+            match (decisions[i.index()], agreed) {
+                (None, _) => {
+                    all_decided = false;
+                    break;
+                }
+                (Some(v), None) => agreed = Some(v),
+                // classify ran after `violates`: equal by construction.
+                (Some(_), Some(_)) => {}
+            }
+        }
+        if all_decided {
+            if let Some(v) = agreed {
+                return Class::Decided(v);
+            }
+        }
+        if sim.is_quiescent() {
+            return Class::QuiescentUndecided;
+        }
+        if depth >= self.spec.max_steps {
+            Class::Truncated
+        } else {
+            Class::Expanded
+        }
+    }
+
+    /// Records the canonical state in `visited`; returns the branching
+    /// choices when the state is an inner node seen at a new minimal
+    /// depth. Label-correcting: a strictly shallower revisit re-expands.
+    fn visit(&self, sim: &ExploreSim<ScpMsg>, visited: &mut Visited) -> Option<Vec<usize>> {
+        let depth = sim.steps() as u32;
+        let hash = sim.state_hash();
+        if let Some(&(prev_depth, prev_class)) = visited.get(&hash) {
+            if prev_depth <= depth {
+                debug_assert!(
+                    prev_depth < depth || prev_class == self.classify(sim, depth),
+                    "state classification must be a function of (state, depth)"
+                );
+                return None;
+            }
+        }
+        let class = self.classify(sim, depth);
+        visited.insert(hash, (depth, class));
+        if class == Class::Expanded {
+            Some(sim.choices())
+        } else {
+            None
+        }
+    }
+
+    /// Depth-first exploration of the subtree rooted at `path` for one
+    /// adversary variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateCapExceeded`] when `visited` outgrows the safety
+    /// valve.
+    pub fn dfs(
+        &self,
+        variant: u32,
+        path: &[u32],
+        visited: &mut Visited,
+    ) -> Result<(), StateCapExceeded> {
+        struct Frame {
+            state: SimState<ScpMsg>,
+            choices: Vec<usize>,
+            next: usize,
+        }
+
+        let mut sim = self.replay(variant, path);
+        let Some(choices) = self.visit(&sim, visited) else {
+            return Ok(());
+        };
+        let mut stack = vec![Frame {
+            state: sim.snapshot(),
+            choices,
+            next: 0,
+        }];
+        while let Some(top) = stack.last_mut() {
+            if visited.len() as u64 > self.spec.max_states {
+                return Err(StateCapExceeded);
+            }
+            let Some(&choice) = top.choices.get(top.next) else {
+                stack.pop();
+                continue;
+            };
+            top.next += 1;
+            // A frame is pushed with the live sim exactly in `state`, so
+            // the first child skips the (actor-forking) restore.
+            if top.next > 1 {
+                sim.restore(&top.state);
+            }
+            sim.fire(choice);
+            sim.drain_absorbed();
+            // Single-choice chains run in place — no snapshot, no restore.
+            let mut choices = self.visit(&sim, visited);
+            while let Some(c) = choices.as_deref() {
+                let [only] = c else { break };
+                sim.fire(*only);
+                sim.drain_absorbed();
+                choices = self.visit(&sim, visited);
+            }
+            if let Some(choices) = choices {
+                stack.push(Frame {
+                    state: sim.snapshot(),
+                    choices,
+                    next: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serially expands the first [`ExploreSpec::frontier_depth`] branch
+    /// decisions of one variant, recording the prefix states in `visited`
+    /// and returning the frontier root paths to shard across workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateCapExceeded`] when the prefix alone outgrows the cap.
+    pub fn frontier(
+        &self,
+        variant: u32,
+        visited: &mut Visited,
+    ) -> Result<Vec<Vec<u32>>, StateCapExceeded> {
+        let mut layer: Vec<Vec<u32>> = vec![Vec::new()];
+        for _ in 0..self.spec.frontier_depth {
+            let mut next = Vec::new();
+            for path in &layer {
+                if visited.len() as u64 > self.spec.max_states {
+                    return Err(StateCapExceeded);
+                }
+                let sim = self.replay(variant, path);
+                if let Some(choices) = self.visit(&sim, visited) {
+                    for choice in choices {
+                        let mut extended = path.clone();
+                        extended.push(choice as u32);
+                        next.push(extended);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Ok(Vec::new());
+            }
+            layer = next;
+        }
+        Ok(layer)
+    }
+
+    /// Finds the canonical minimal counterexample once the merged map
+    /// established that the minimal violating depth is `d_star`: one
+    /// serial depth-limited DFS per variant, choices in ascending order,
+    /// stopping at the first violating state. Independent of the parallel
+    /// traversal, hence identical for every worker count.
+    pub fn find_cex(&self, variants: u32, d_star: u32) -> Option<(u32, Vec<u32>)> {
+        for variant in 0..variants {
+            let mut visited: HashMap<u128, u32> = HashMap::new();
+            let mut sim = self.setup.build_sim(variant);
+            sim.start();
+            sim.drain_absorbed();
+            if let Some(found) = self.cex_dfs(&mut sim, d_star, &mut visited) {
+                return Some((variant, found));
+            }
+        }
+        None
+    }
+
+    fn cex_dfs(
+        &self,
+        sim: &mut ExploreSim<ScpMsg>,
+        d_star: u32,
+        visited: &mut HashMap<u128, u32>,
+    ) -> Option<Vec<u32>> {
+        struct Frame {
+            state: SimState<ScpMsg>,
+            choices: Vec<usize>,
+            next: usize,
+        }
+        let enter = |sim: &ExploreSim<ScpMsg>,
+                     visited: &mut HashMap<u128, u32>,
+                     path: &[u32]|
+         -> Result<Option<Vec<usize>>, Vec<u32>> {
+            let depth = sim.steps() as u32;
+            if self.setup.violates(&self.setup.decisions(sim)) {
+                return Err(path.to_vec());
+            }
+            if depth >= d_star {
+                return Ok(None);
+            }
+            match visited.get(&sim.state_hash()) {
+                Some(&prev) if prev <= depth => Ok(None),
+                _ => {
+                    visited.insert(sim.state_hash(), depth);
+                    Ok(Some(sim.choices()))
+                }
+            }
+        };
+
+        let mut path: Vec<u32> = Vec::new();
+        let mut stack = match enter(sim, visited, &path) {
+            Err(found) => return Some(found),
+            Ok(None) => return None,
+            Ok(Some(choices)) => vec![Frame {
+                state: sim.snapshot(),
+                choices,
+                next: 0,
+            }],
+        };
+        while let Some(top) = stack.last_mut() {
+            let Some(&choice) = top.choices.get(top.next) else {
+                stack.pop();
+                path.pop();
+                continue;
+            };
+            top.next += 1;
+            // First child: the live sim is already in `state` (see dfs).
+            if top.next > 1 {
+                sim.restore(&top.state);
+            }
+            sim.fire(choice);
+            sim.drain_absorbed();
+            path.push(choice as u32);
+            match enter(sim, visited, &path) {
+                Err(found) => return Some(found),
+                Ok(Some(choices)) => stack.push(Frame {
+                    state: sim.snapshot(),
+                    choices,
+                    next: 0,
+                }),
+                Ok(None) => {
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Merges worker maps by minimal depth (commutative and associative, so
+/// the merge order — and the worker count — cannot change the result).
+pub fn merge_visited(into: &mut Visited, from: Visited) {
+    for (hash, (depth, class)) in from {
+        match into.get_mut(&hash) {
+            Some(entry) => {
+                if depth < entry.0 {
+                    *entry = (depth, class);
+                }
+            }
+            None => {
+                into.insert(hash, (depth, class));
+            }
+        }
+    }
+}

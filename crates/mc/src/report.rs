@@ -1,0 +1,215 @@
+//! Exploration reports: per-scenario records, counterexample rendering,
+//! and the JSON shape.
+//!
+//! Every field except the `wall_micros` timings is a pure function of the
+//! campaign file — identical across runs, machines and worker counts. The
+//! determinism test in `tests/explore.rs` pins that down.
+
+use scup_harness::json::Json;
+use scup_scp::Value;
+
+/// A rendered minimal counterexample: the canonical shortest schedule
+/// (ties broken lexicographically by choice order) reaching a safety
+/// violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CexReport {
+    /// Branching depth of the violating state (absorbed no-op deliveries
+    /// excluded).
+    pub depth: u32,
+    /// The adversary variant (victim split) the schedule drives.
+    pub variant: u32,
+    /// The violated oracles, as human-readable descriptions.
+    pub violations: Vec<String>,
+    /// The full replayable schedule (every fired event, absorbed ones
+    /// included), rendered from the trace module.
+    pub schedule: Vec<String>,
+    /// Per-process decisions in the violating state.
+    pub decisions: Vec<Option<Value>>,
+}
+
+/// The exploration outcome for one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Topology family name.
+    pub family: String,
+    /// Adversary reference.
+    pub adversary: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// The faulty processes.
+    pub faulty: Vec<u32>,
+    /// The structural premise of the positive theorems held.
+    pub premise: bool,
+    /// Adversary variants explored.
+    pub variants: u32,
+    /// Distinct canonical states visited (all variants).
+    pub states: u64,
+    /// Inner (expanded) states.
+    pub expanded: u64,
+    /// Terminal states where every correct process externalized the same
+    /// value (the safety verdict is frozen there, pending flood or not).
+    pub decided: u64,
+    /// Quiescent states with partial or no decision (agreement intact).
+    pub quiescent_undecided: u64,
+    /// States cut by the step bound (exploration incomplete past them).
+    pub truncated: u64,
+    /// States whose decisions violate agreement or validity.
+    pub violating: u64,
+    /// Every value some fully-decided terminal state agreed on.
+    pub decided_values: Vec<Value>,
+    /// `true` when no state was truncated: the verdict covers *every*
+    /// schedule within the timer budget, not just the bounded prefix.
+    pub complete: bool,
+    /// Minimal branching depth of a violation, if any exists.
+    pub min_violation_depth: Option<u32>,
+    /// The canonical minimal counterexample, if a violation exists.
+    pub violation: Option<CexReport>,
+    /// Pass/fail under the scenario's oracle mode and `expect_violation`.
+    pub passed: bool,
+    /// A configuration error, if the scenario could not be explored.
+    pub error: Option<String>,
+    /// Wall-clock duration, microseconds (excluded from determinism).
+    pub wall_micros: u64,
+}
+
+/// The aggregated outcome of an explore-mode campaign.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Campaign name.
+    pub name: String,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// One record per scenario, in declaration order.
+    pub records: Vec<ExploreRecord>,
+    /// Wall-clock duration of the whole campaign, microseconds.
+    pub wall_micros: u64,
+}
+
+impl ExploreReport {
+    /// `true` when every scenario passed.
+    pub fn all_passed(&self) -> bool {
+        self.records.iter().all(|r| r.passed)
+    }
+
+    /// The report as structured JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("campaign", Json::Str(self.name.clone())),
+            ("mode", Json::Str("explore".into())),
+            ("threads", Json::Int(self.threads as i64)),
+            ("scenarios", Json::Int(self.records.len() as i64)),
+            (
+                "passed",
+                Json::Int(self.records.iter().filter(|r| r.passed).count() as i64),
+            ),
+            (
+                "failed",
+                Json::Int(self.records.iter().filter(|r| !r.passed).count() as i64),
+            ),
+            ("wall_micros", Json::Int(self.wall_micros as i64)),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(ExploreRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ExploreRecord {
+    /// The record as structured JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("family", Json::Str(self.family.clone())),
+            ("adversary", Json::Str(self.adversary.clone())),
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("n", Json::Int(self.n as i64)),
+            ("f", Json::Int(self.f as i64)),
+            (
+                "faulty",
+                Json::Arr(self.faulty.iter().map(|&v| Json::Int(v as i64)).collect()),
+            ),
+            ("premise", Json::Bool(self.premise)),
+            ("variants", Json::Int(self.variants as i64)),
+            ("states", Json::Int(self.states as i64)),
+            ("expanded", Json::Int(self.expanded as i64)),
+            ("decided", Json::Int(self.decided as i64)),
+            (
+                "quiescent_undecided",
+                Json::Int(self.quiescent_undecided as i64),
+            ),
+            ("truncated", Json::Int(self.truncated as i64)),
+            ("violating", Json::Int(self.violating as i64)),
+            (
+                "decided_values",
+                Json::Arr(
+                    self.decided_values
+                        .iter()
+                        .map(|&v| Json::Int(v as i64))
+                        .collect(),
+                ),
+            ),
+            ("complete", Json::Bool(self.complete)),
+            (
+                "min_violation_depth",
+                self.min_violation_depth
+                    .map(|d| Json::Int(d as i64))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "violation",
+                self.violation
+                    .as_ref()
+                    .map(CexReport::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+            ("passed", Json::Bool(self.passed)),
+            (
+                "error",
+                self.error
+                    .as_ref()
+                    .map(|e| Json::Str(e.clone()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("wall_micros", Json::Int(self.wall_micros as i64)),
+        ])
+    }
+}
+
+impl CexReport {
+    /// The counterexample as structured JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("depth", Json::Int(self.depth as i64)),
+            ("variant", Json::Int(self.variant as i64)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "schedule",
+                Json::Arr(self.schedule.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "decisions",
+                Json::Arr(
+                    self.decisions
+                        .iter()
+                        .map(|d| d.map(|v| Json::Int(v as i64)).unwrap_or(Json::Null))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}

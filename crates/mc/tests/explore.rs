@@ -1,0 +1,236 @@
+//! Integration tests for the bounded model checker: determinism across
+//! worker counts, exhaustive verdicts on the campaign systems, and the
+//! seeded counterexample.
+
+use scup_harness::campaign::{Campaign, CampaignMode};
+use scup_harness::scenario::{ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, TopologySpec};
+use scup_harness::AdversaryRegistry;
+use scup_mc::campaign::explore_scenario;
+use scup_mc::{run_explore_campaign, ExploreRecord};
+use stellar_cup::attempts::LocalSliceStrategy;
+
+/// The n = 4 positive system of `campaigns/explore.toml`: a 2-member
+/// sink with two silent Byzantine outsiders.
+fn sink2(steps: u32, timer_budget: u32, adversary: &str, inputs: Vec<u64>) -> Scenario {
+    Scenario::builder("sink2")
+        .topology(TopologySpec::RandomKosr {
+            sink: 2,
+            nonsink: 2,
+            k: 1,
+            extra_edge_prob: 0.0,
+        })
+        .f(0)
+        .adversary(adversary)
+        .faults(FaultPlacement::Ids(vec![2, 3]))
+        .inputs(inputs)
+        .explore(ExploreSpec {
+            max_steps: steps,
+            timer_budget,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// The seeded known-bad system: two disjoint 2-cliques with local slices.
+fn split22() -> Scenario {
+    Scenario::builder("split22")
+        .topology(TopologySpec::Clustered {
+            clusters: 2,
+            cluster_size: 2,
+            bridges: 0,
+            intra_extra_prob: 0.0,
+            inter_extra_prob: 0.0,
+        })
+        .f(0)
+        .protocol(ProtocolSpec::StellarLocal(LocalSliceStrategy::SurviveF))
+        .faults(FaultPlacement::None)
+        .inputs(vec![1, 1, 2, 2])
+        .explore(ExploreSpec {
+            max_steps: 48,
+            timer_budget: 0,
+            expect_violation: true,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// A step-bounded cut of the bad system: still finds the depth-16
+/// violation, at a small fraction of the full 20 880-state space (keeps
+/// the debug-mode suite fast and stresses truncated-state merging).
+fn split22_bounded() -> Scenario {
+    let mut s = split22();
+    s.explore.max_steps = 17;
+    s
+}
+
+fn without_wall(mut r: ExploreRecord) -> ExploreRecord {
+    r.wall_micros = 0;
+    r
+}
+
+#[test]
+fn exhaustive_pass_on_the_positive_system() {
+    let r = explore_scenario(
+        &sink2(64, 0, "silent", vec![3, 9]),
+        2,
+        &AdversaryRegistry::builtin(),
+    );
+    assert_eq!(r.error, None);
+    assert!(r.complete, "the state space must be exhausted");
+    assert_eq!(r.truncated, 0);
+    assert_eq!(r.violating, 0);
+    // Both proposals are reachable decisions (nomination order picks the
+    // winner), but no schedule ever splits them.
+    assert_eq!(r.decided_values, vec![3, 9]);
+    assert!(r.decided > 0);
+    // Silent Byzantines beyond f = 0: the structural premise does not
+    // hold — yet safety holds on every schedule, which is the point.
+    assert!(!r.premise);
+    assert!(r.passed);
+    // The canonical state count is part of the deterministic contract; a
+    // change here means the protocol or the reductions changed.
+    assert_eq!(r.states, 1_785);
+}
+
+#[test]
+fn timer_choices_stay_safe_and_exhaustive() {
+    let no_timers = explore_scenario(
+        &sink2(96, 0, "silent", vec![7]),
+        2,
+        &AdversaryRegistry::builtin(),
+    );
+    let r = explore_scenario(
+        &sink2(96, 1, "silent", vec![7]),
+        2,
+        &AdversaryRegistry::builtin(),
+    );
+    assert_eq!(r.error, None);
+    assert!(r.complete);
+    assert_eq!(r.violating, 0);
+    assert_eq!(r.decided_values, vec![7]);
+    assert_eq!(r.states, 1_116);
+    assert!(
+        r.states > no_timers.states,
+        "timer choice points must enlarge the space"
+    );
+}
+
+#[test]
+fn equivocation_explores_both_victim_splits() {
+    let r = explore_scenario(
+        &sink2(6, 0, "equivocate", vec![7]),
+        2,
+        &AdversaryRegistry::builtin(),
+    );
+    assert_eq!(r.error, None);
+    assert_eq!(r.variants, 2, "both adversary splits are choice points");
+    assert_eq!(r.violating, 0, "agreement survives the equivocator");
+    assert!(
+        !r.complete,
+        "the bounded run is transparent about truncation"
+    );
+    assert!(r.truncated > 0);
+}
+
+#[test]
+fn seeded_bad_system_yields_minimal_counterexample() {
+    let r = explore_scenario(&split22(), 2, &AdversaryRegistry::builtin());
+    assert_eq!(r.error, None);
+    assert!(r.complete);
+    assert!(
+        r.violating > 0,
+        "every maximal schedule splits the decision"
+    );
+    assert_eq!(r.min_violation_depth, Some(16));
+    assert!(!r.premise, "two sinks: the structural premise fails");
+    let cex = r.violation.expect("minimal counterexample rendered");
+    assert_eq!(cex.depth, 16);
+    assert!(
+        cex.violations.iter().any(|v| v.starts_with("agreement:")),
+        "{:?}",
+        cex.violations
+    );
+    assert!(
+        cex.schedule.len() >= cex.depth as usize,
+        "the schedule includes every fired event"
+    );
+    // The split decision is visible in the final state.
+    let decided: Vec<_> = cex.decisions.iter().flatten().collect();
+    assert!(decided.contains(&&1) && decided.contains(&&2));
+    assert!(r.passed, "expect_violation makes the find a pass");
+}
+
+#[test]
+fn bftcup_scenarios_are_a_clean_error() {
+    let mut s = split22();
+    s.protocol = ProtocolSpec::BftCup;
+    let r = explore_scenario(&s, 1, &AdversaryRegistry::builtin());
+    assert!(r.error.expect("unsupported").contains("bft-cup"));
+    assert!(!r.passed);
+}
+
+#[test]
+fn reports_are_bit_identical_across_worker_counts() {
+    // The acceptance bar: 1, 2 and 8 workers must produce identical
+    // deterministic fields — visited maps merge by minimal depth and the
+    // counterexample is recomputed canonically, so sharding cannot leak
+    // into the report.
+    let campaign = |threads: usize| Campaign {
+        name: "det".into(),
+        mode: CampaignMode::Explore,
+        threads,
+        scenarios: vec![
+            // A bounded (truncated) scenario stresses the min-depth merge.
+            sink2(10, 0, "silent", vec![3, 9]),
+            sink2(5, 0, "equivocate", vec![7]),
+            split22_bounded(),
+        ],
+    };
+    let base = run_explore_campaign(&campaign(1));
+    assert!(base.all_passed());
+    for threads in [2, 8] {
+        let other = run_explore_campaign(&campaign(threads));
+        for (a, b) in base.records.iter().zip(&other.records) {
+            assert_eq!(
+                without_wall(a.clone()),
+                without_wall(b.clone()),
+                "threads=1 vs threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn explore_campaign_json_round_trips() {
+    let campaign = Campaign {
+        name: "json".into(),
+        mode: CampaignMode::Explore,
+        threads: 2,
+        scenarios: vec![split22_bounded()],
+    };
+    let report = run_explore_campaign(&campaign);
+    let json = report.to_json();
+    assert_eq!(json.get("mode").unwrap().as_str(), Some("explore"));
+    let rec = &json.get("records").unwrap().as_arr().unwrap()[0];
+    assert_eq!(rec.get("complete").unwrap().as_bool(), Some(false));
+    assert!(rec.get("violation").unwrap().get("schedule").is_some());
+    assert!(scup_harness::json::parse(&json.pretty()).is_ok());
+}
+
+#[test]
+fn campaign_file_parses_into_explore_mode() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../campaigns/explore.toml"),
+    )
+    .expect("campaigns/explore.toml");
+    let campaign = scup_harness::campaign_from_str(&text).unwrap();
+    assert_eq!(campaign.mode, CampaignMode::Explore);
+    assert_eq!(campaign.scenarios.len(), 5);
+    let bad = campaign
+        .scenarios
+        .iter()
+        .find(|s| s.name == "split-quorums-bad")
+        .unwrap();
+    assert!(bad.explore.expect_violation);
+    assert_eq!(bad.inputs.as_deref(), Some(&[1, 1, 2, 2][..]));
+}

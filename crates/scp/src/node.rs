@@ -41,10 +41,49 @@ use std::collections::BTreeSet;
 
 use scup_fbqs::SliceFamily;
 use scup_graph::{ProcessId, ProcessSet};
-use scup_sim::{Actor, Context, SimMessage};
+use scup_sim::{Actor, Context, SimMessage, StateHasher};
 
 use crate::statement::{Statement, Value};
 use crate::voting::{QuorumCheck, VoteLevel, VoteTracker};
+
+/// Feeds a canonical fingerprint of a slice family into `h` (exploration
+/// state hashing).
+fn hash_family(h: &mut StateHasher, family: &SliceFamily) {
+    match family {
+        SliceFamily::Explicit(slices) => {
+            h.write_u8(1);
+            h.write_u64(slices.len() as u64);
+            for s in slices {
+                h.write_set(s);
+            }
+        }
+        SliceFamily::AllSubsets { of, size } => {
+            h.write_u8(2);
+            h.write_set(of);
+            h.write_u64(*size as u64);
+        }
+    }
+}
+
+/// Feeds a canonical fingerprint of a statement into `h`.
+fn hash_statement(h: &mut StateHasher, stmt: &Statement) {
+    match stmt {
+        Statement::Nominate(v) => {
+            h.write_u8(1);
+            h.write_u64(*v);
+        }
+        Statement::Prepare(n, v) => {
+            h.write_u8(2);
+            h.write_u64(*n);
+            h.write_u64(*v);
+        }
+        Statement::Commit(n, v) => {
+            h.write_u8(3);
+            h.write_u64(*n);
+            h.write_u64(*v);
+        }
+    }
+}
 
 /// An SCP envelope: a federated-voting pledge by `origin`, carrying the
 /// origin's declared slices, relayed through the overlay.
@@ -69,6 +108,13 @@ impl SimMessage for ScpMsg {
             SliceFamily::AllSubsets { of, .. } => 4 * of.len() + 6,
         };
         slice_size + 22
+    }
+
+    fn fingerprint(&self, h: &mut StateHasher) {
+        h.write_u32(self.origin.as_u32());
+        hash_family(h, &self.slices);
+        hash_statement(h, &self.stmt);
+        h.write_bool(self.accept);
     }
 }
 
@@ -102,6 +148,7 @@ impl ScpConfig {
 const NOMINATION_TIMER: u64 = 2;
 
 /// A correct SCP node.
+#[derive(Clone)]
 pub struct ScpNode {
     config: ScpConfig,
     tracker: VoteTracker,
@@ -109,8 +156,10 @@ pub struct ScpNode {
     /// Envelopes already processed/relayed: (origin, stmt, accept).
     seen: BTreeSet<(ProcessId, Statement, bool)>,
     /// Every distinct envelope, kept for late-learned processes (see the
-    /// module docs on straggler repair).
-    backlog: Vec<ScpMsg>,
+    /// module docs on straggler repair). Copy-on-write: exploration forks
+    /// a node per visited state, and sharing the backlog until the next
+    /// append keeps the fork cheap.
+    backlog: std::sync::Arc<Vec<ScpMsg>>,
     /// Processes already brought up to date with the backlog.
     synced: ProcessSet,
     /// Confirmed nominees.
@@ -130,7 +179,7 @@ impl ScpNode {
             tracker: VoteTracker::new(),
             check: QuorumCheck::new(),
             seen: BTreeSet::new(),
-            backlog: Vec::new(),
+            backlog: std::sync::Arc::new(Vec::new()),
             synced: ProcessSet::new(),
             candidates: Vec::new(),
             ballot: 0,
@@ -162,7 +211,7 @@ impl ScpNode {
             accept,
         };
         self.seen.insert((ctx.self_id(), stmt, accept));
-        self.backlog.push(msg.clone());
+        std::sync::Arc::make_mut(&mut self.backlog).push(msg.clone());
         ctx.broadcast_known(msg);
     }
 
@@ -180,7 +229,7 @@ impl ScpNode {
             .filter(|&j| j != me && !self.synced.contains(j))
             .collect();
         for j in newcomers {
-            for msg in &self.backlog {
+            for msg in self.backlog.iter() {
                 ctx.send(j, msg.clone());
             }
             self.synced.insert(j);
@@ -291,7 +340,7 @@ impl Actor<ScpMsg> for ScpNode {
             self.vote(ctx, msg.stmt);
         }
         ctx.broadcast_known(msg.clone());
-        self.backlog.push(msg);
+        std::sync::Arc::make_mut(&mut self.backlog).push(msg);
         self.reevaluate(ctx);
     }
 
@@ -316,16 +365,78 @@ impl Actor<ScpMsg> for ScpNode {
             self.start_ballot(ctx, next);
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn Actor<ScpMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    /// Canonical state fingerprint. `tracker` and `backlog` are not hashed
+    /// directly: the tally is the deterministic monotone fixpoint of the
+    /// hashed envelope set (`seen`) and slice registry, and the backlog
+    /// holds exactly the distinct envelopes of `seen` (its order only
+    /// permutes future catch-up sends, which the explorer treats as a
+    /// multiset anyway).
+    fn fingerprint(&self, h: &mut StateHasher) {
+        h.write_u64(self.config.input);
+        h.write_u64(self.seen.len() as u64);
+        for (origin, stmt, accept) in &self.seen {
+            h.write_u32(origin.as_u32());
+            hash_statement(h, stmt);
+            h.write_bool(*accept);
+        }
+        for (i, fam) in self.check.recorded() {
+            h.write_u32(i.as_u32());
+            hash_family(h, fam);
+        }
+        h.write_set(&self.synced);
+        let mut candidates = self.candidates.clone();
+        candidates.sort_unstable();
+        h.write_u64(candidates.len() as u64);
+        for v in candidates {
+            h.write_u64(v);
+        }
+        h.write_u64(self.ballot);
+        h.write_bool(self.lock.is_some());
+        h.write_u64(self.lock.unwrap_or(0));
+        h.write_bool(self.externalized.is_some());
+        h.write_u64(self.externalized.unwrap_or(0));
+    }
+
+    /// A delivery is a no-op iff the envelope was already processed (this
+    /// covers echoes of our own envelopes: `broadcast_own` records them in
+    /// `seen`) and neither the knowledge set nor the latecomer-sync state
+    /// can change. All three conditions are monotone — once absorbed,
+    /// absorbed in every extension.
+    fn absorbs(
+        &self,
+        self_id: ProcessId,
+        known: &ProcessSet,
+        _from: ProcessId,
+        msg: &ScpMsg,
+    ) -> bool {
+        (msg.origin == self_id || known.contains(msg.origin))
+            && known.difference_len(&self.synced) == 0
+            && self.seen.contains(&(msg.origin, msg.stmt, msg.accept))
+    }
 }
+
+/// Ballot counters above this are ignored by the equivocator (bounded
+/// noise keeps runs — and explored state spaces — finite).
+const EQUIVOCATION_NOISE_CAP: u64 = 4;
 
 /// A Byzantine SCP node that equivocates: it sends conflicting nomination
 /// votes and conflicting ballot pledges to different peers, each carrying
 /// forged slices claiming whatever quorum suits the lie.
+#[derive(Clone)]
 pub struct EquivocatingScpNode {
     /// The two values it plays against each other.
     pub values: (Value, Value),
     /// The slice family it attaches (typically a forged, tiny one).
     pub fake_slices: SliceFamily,
+    /// Rotation of the victim split: peer `idx` gets the first value when
+    /// `(idx + split)` is even. The bounded model checker enumerates
+    /// splits as adversary choice points; sampled runs keep the default 0.
+    split: usize,
 }
 
 impl EquivocatingScpNode {
@@ -334,7 +445,14 @@ impl EquivocatingScpNode {
         EquivocatingScpNode {
             values,
             fake_slices,
+            split: 0,
         }
+    }
+
+    /// Rotates which peers receive which of the two conflicting values.
+    pub fn with_split(mut self, split: usize) -> Self {
+        self.split = split;
+        self
     }
 
     fn equivocate(&self, ctx: &mut Context<'_, ScpMsg>, stmts: (Statement, Statement)) {
@@ -344,7 +462,11 @@ impl EquivocatingScpNode {
             if j == me {
                 continue;
             }
-            let stmt = if idx % 2 == 0 { stmts.0 } else { stmts.1 };
+            let stmt = if (idx + self.split).is_multiple_of(2) {
+                stmts.0
+            } else {
+                stmts.1
+            };
             ctx.send(
                 j,
                 ScpMsg {
@@ -369,7 +491,7 @@ impl Actor<ScpMsg> for EquivocatingScpNode {
         // incoming counter (bounded noise).
         let (a, b) = self.values;
         if let Some(n) = msg.stmt.counter() {
-            if n > 4 {
+            if n > EQUIVOCATION_NOISE_CAP {
                 return; // keep the run finite
             }
             match msg.stmt {
@@ -381,6 +503,36 @@ impl Actor<ScpMsg> for EquivocatingScpNode {
                 }
                 Statement::Nominate(_) => {}
             }
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Actor<ScpMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    /// Stateless between events, but behaviourally parameterized: the
+    /// configuration (values, forged slices, split) must distinguish
+    /// differently configured adversaries in the state hash.
+    fn fingerprint(&self, h: &mut StateHasher) {
+        h.write_u64(self.values.0);
+        h.write_u64(self.values.1);
+        hash_family(h, &self.fake_slices);
+        h.write_u64(self.split as u64);
+    }
+
+    /// Nomination envelopes and out-of-cap ballot counters draw no
+    /// response; the adversary is stateless, so such deliveries stay
+    /// no-ops forever.
+    fn absorbs(
+        &self,
+        _self_id: ProcessId,
+        _known: &ProcessSet,
+        _from: ProcessId,
+        msg: &ScpMsg,
+    ) -> bool {
+        match msg.stmt.counter() {
+            None => true,
+            Some(n) => n > EQUIVOCATION_NOISE_CAP,
         }
     }
 }

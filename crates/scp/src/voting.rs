@@ -38,7 +38,12 @@ pub enum VoteLevel {
 /// message, compiled into a [`QuorumEngine`] so Algorithm 1 runs on packed
 /// bitmask rows with reusable scratch — the per-message federated-voting
 /// re-evaluation is the simulator's hottest loop.
-#[derive(Debug, Clone, Default)]
+///
+/// The engine, scratch and closure buffers are *derived* state: `Clone`
+/// copies only the registry and rebuilds the engine lazily on the next
+/// query. Exploration forks one `QuorumCheck` per SCP node per visited
+/// state, and most forked nodes are never queried before the next fork.
+#[derive(Debug, Default)]
 pub struct QuorumCheck {
     slices: BTreeMap<ProcessId, SliceFamily>,
     engine: Option<QuorumEngine>,
@@ -48,10 +53,38 @@ pub struct QuorumCheck {
     own_row: Option<(ProcessId, SliceFamily)>,
 }
 
+impl Clone for QuorumCheck {
+    fn clone(&self) -> Self {
+        QuorumCheck {
+            slices: self.slices.clone(),
+            engine: None,
+            scratch: EngineScratch::default(),
+            closure: ProcessSet::new(),
+            own_row: self.own_row.clone(),
+        }
+    }
+}
+
 impl QuorumCheck {
     /// Creates an empty registry.
     pub fn new() -> Self {
         QuorumCheck::default()
+    }
+
+    /// The compiled engine, rebuilt from the registry when a fork dropped
+    /// it (recorded claims first, then the own-slices override on top).
+    fn engine_mut(&mut self) -> &mut QuorumEngine {
+        if self.engine.is_none() {
+            let mut engine = QuorumEngine::new(0);
+            for (i, fam) in &self.slices {
+                engine.set_slices(*i, fam);
+            }
+            if let Some((own, fam)) = &self.own_row {
+                engine.set_slices(*own, fam);
+            }
+            self.engine = Some(engine);
+        }
+        self.engine.as_mut().expect("just built")
     }
 
     /// Records the slice family attached to a message from `from`
@@ -64,9 +97,9 @@ impl QuorumCheck {
                 // A recorded claim for our own id would fight the own-slices
                 // override; force re-compilation on the next quorum query.
                 self.own_row = None;
-                self.engine
-                    .get_or_insert_with(|| QuorumEngine::new(0))
-                    .set_slices(from, slices);
+                if let Some(engine) = &mut self.engine {
+                    engine.set_slices(from, slices);
+                }
                 self.slices.insert(from, slices.clone());
                 return;
             }
@@ -74,15 +107,21 @@ impl QuorumCheck {
         if self.slices.get(&from) == Some(slices) {
             return;
         }
-        self.engine
-            .get_or_insert_with(|| QuorumEngine::new(0))
-            .set_slices(from, slices);
+        if let Some(engine) = &mut self.engine {
+            engine.set_slices(from, slices);
+        }
         self.slices.insert(from, slices.clone());
     }
 
     /// The registered slices of `from`, if any message arrived yet.
     pub fn slices_of(&self, from: ProcessId) -> Option<&SliceFamily> {
         self.slices.get(&from)
+    }
+
+    /// Every recorded `(process, slices)` claim, in process-id order —
+    /// canonical iteration for exploration state fingerprints.
+    pub fn recorded(&self) -> impl Iterator<Item = (ProcessId, &SliceFamily)> + '_ {
+        self.slices.iter().map(|(i, fam)| (*i, fam))
     }
 
     /// Returns `true` if `candidates` contains a quorum that includes
@@ -99,7 +138,8 @@ impl QuorumCheck {
         own_slices: &SliceFamily,
         candidates: &ProcessSet,
     ) -> bool {
-        let engine = self.engine.get_or_insert_with(|| QuorumEngine::new(0));
+        self.engine_mut();
+        let engine = self.engine.as_mut().expect("engine_mut built it");
         match &self.own_row {
             Some((own, fam)) if *own == self_id && fam == own_slices => {}
             previous => {

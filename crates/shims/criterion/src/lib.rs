@@ -70,6 +70,16 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+/// A throughput annotation: the shim reports derived per-second rates
+/// alongside the raw times (and in the JSON report), mirroring criterion's
+/// `Throughput::Elements`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration
+    /// (e.g. explored states); the report derives elements/second.
+    Elements(u64),
+}
+
 /// The top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
@@ -94,6 +104,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            throughput: None,
         }
     }
 
@@ -105,7 +116,7 @@ impl Criterion {
     ) -> &mut Self {
         let id = id.into();
         let sample_size = self.sample_size;
-        run_one(self, None, &id, sample_size, f);
+        run_one(self, None, &id, sample_size, None, f);
         self
     }
 }
@@ -121,12 +132,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Overrides the number of timed samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates the group's benchmarks with a throughput: the report
+    /// gains a derived per-second rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -139,7 +158,10 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let name = self.name.clone();
-        run_one(self.criterion, Some(&name), &id, samples, |b| f(b, input));
+        let throughput = self.throughput;
+        run_one(self.criterion, Some(&name), &id, samples, throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -151,7 +173,15 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let name = self.name.clone();
-        run_one(self.criterion, Some(&name), &id.into(), samples, f);
+        let throughput = self.throughput;
+        run_one(
+            self.criterion,
+            Some(&name),
+            &id.into(),
+            samples,
+            throughput,
+            f,
+        );
         self
     }
 
@@ -164,6 +194,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     group: Option<&str>,
     id: &BenchmarkId,
     samples: usize,
+    throughput: Option<Throughput>,
     mut f: F,
 ) {
     let full = match group {
@@ -199,26 +230,45 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
     per_iter_ns.sort_unstable();
     let median = per_iter_ns[per_iter_ns.len() / 2];
-    println!(
-        "{full:<50} time: [{} {} {}]  ({} iters x {} samples)",
-        fmt_ns(per_iter_ns[0]),
-        fmt_ns(median),
-        fmt_ns(*per_iter_ns.last().unwrap()),
-        iters,
-        samples,
-    );
+    let elements = throughput.map(|Throughput::Elements(n)| n);
+    let rate = elements.map(|n| (n as f64 * 1e9 / median.max(1) as f64) as u64);
+    match rate {
+        Some(rate) => println!(
+            "{full:<50} time: [{} {} {}]  thrpt: {rate} elem/s  ({} iters x {} samples)",
+            fmt_ns(per_iter_ns[0]),
+            fmt_ns(median),
+            fmt_ns(*per_iter_ns.last().unwrap()),
+            iters,
+            samples,
+        ),
+        None => println!(
+            "{full:<50} time: [{} {} {}]  ({} iters x {} samples)",
+            fmt_ns(per_iter_ns[0]),
+            fmt_ns(median),
+            fmt_ns(*per_iter_ns.last().unwrap()),
+            iters,
+            samples,
+        ),
+    }
     // cfg!(test) keeps the shim's own unit tests hermetic: a developer's
     // exported CRITERION_JSON must not collect junk records from them.
     if let (false, Ok(path)) = (cfg!(test), std::env::var("CRITERION_JSON")) {
         if !path.is_empty() {
+            let throughput_fields = match (elements, rate) {
+                (Some(n), Some(r)) => {
+                    format!(", \"elements\": {n}, \"elems_per_sec\": {r}")
+                }
+                _ => String::new(),
+            };
             let entry = format!(
-                "{{\"name\": \"{}\", \"ns_min\": {}, \"ns_median\": {}, \"ns_max\": {}, \"iters\": {}, \"samples\": {}}}",
+                "{{\"name\": \"{}\", \"ns_min\": {}, \"ns_median\": {}, \"ns_max\": {}, \"iters\": {}, \"samples\": {}{}}}",
                 full.replace('"', "'"),
                 per_iter_ns[0],
                 median,
                 per_iter_ns.last().unwrap(),
                 iters,
                 samples,
+                throughput_fields,
             );
             if let Err(e) = append_json_entry(std::path::Path::new(&path), &entry) {
                 eprintln!("criterion shim: cannot write {path}: {e}");

@@ -4,6 +4,7 @@ use std::fmt::Debug;
 use rand::rngs::StdRng;
 use scup_graph::{ProcessId, ProcessSet};
 
+use crate::explore::StateHasher;
 use crate::SimTime;
 
 /// Marker trait for protocol messages carried by the simulator.
@@ -14,6 +15,15 @@ pub trait SimMessage: Clone + Debug + 'static {
     /// Approximate wire size of the message, in abstract bytes.
     fn size_hint(&self) -> usize {
         1
+    }
+
+    /// Feeds a canonical fingerprint of the payload into `h` — two
+    /// messages must fingerprint equal iff delivering them is
+    /// indistinguishable. The default hashes the `Debug` rendering, which
+    /// is correct for any value type whose `Debug` output determines it;
+    /// override to hash fields directly on hot exploration paths.
+    fn fingerprint(&self, h: &mut StateHasher) {
+        h.write_str(&format!("{self:?}"));
     }
 }
 
@@ -35,6 +45,39 @@ pub trait Actor<M: SimMessage>: Any {
     /// Called when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
         let _ = (ctx, tag);
+    }
+
+    /// Exploration support: a deep copy of this actor's current state, or
+    /// `None` when the actor cannot be forked. The bounded model checker
+    /// ([`ExploreSim`](crate::ExploreSim)) requires every actor of an
+    /// explored run to implement this (typically `Some(Box::new(
+    /// self.clone()))`).
+    fn fork(&self) -> Option<Box<dyn Actor<M>>> {
+        None
+    }
+
+    /// Exploration support: feeds a canonical fingerprint of the actor's
+    /// state into `h`. Two actors must fingerprint equal only if they are
+    /// behaviourally identical (same future reactions to every event) —
+    /// an under-discriminating fingerprint makes visited-state pruning
+    /// unsound. Derived caches need not be hashed when they are a
+    /// deterministic function of hashed state. The default hashes nothing,
+    /// which is only correct for stateless actors.
+    fn fingerprint(&self, h: &mut StateHasher) {
+        let _ = h;
+    }
+
+    /// Exploration support: returns `true` when delivering `msg` from
+    /// `from` is guaranteed to be a complete no-op — no state change, no
+    /// sends, no timers — *and will remain one in every reachable
+    /// extension of this state* (monotone dedup state, e.g. an envelope
+    /// already seen). `self_id` is this actor's process id and `known` its
+    /// current knowledge set (actors otherwise only see their id through
+    /// the callback context). The explorer fires absorbed events eagerly
+    /// without branching on them. The default (`false`) is always sound.
+    fn absorbs(&self, self_id: ProcessId, known: &ProcessSet, from: ProcessId, msg: &M) -> bool {
+        let _ = (self_id, known, from, msg);
+        false
     }
 }
 

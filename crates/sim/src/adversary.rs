@@ -6,9 +6,10 @@
 //! attacks (lying about `known_i`, forging `SINK` replies, equivocating SCP
 //! statements) live next to the protocols they attack.
 
-use scup_graph::ProcessId;
+use scup_graph::{ProcessId, ProcessSet};
 
 use crate::actor::{Actor, Context, SimMessage};
+use crate::explore::StateHasher;
 
 /// A faulty process that never sends anything — the behaviour the proof of
 /// Lemma 2 relies on ("faulty processes can stay silent during an execution
@@ -30,6 +31,21 @@ impl SilentActor {
 impl<M: SimMessage> Actor<M> for SilentActor {
     fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
     fn on_message(&mut self, _ctx: &mut Context<'_, M>, _from: ProcessId, _msg: M) {}
+    fn fork(&self) -> Option<Box<dyn Actor<M>>> {
+        Some(Box::new(*self))
+    }
+    // Stateless: the default (empty) fingerprint is exact, and every
+    // delivery is a no-op — the explorer never branches on deliveries to a
+    // silent process.
+    fn absorbs(
+        &self,
+        _self_id: ProcessId,
+        _known: &ProcessSet,
+        _from: ProcessId,
+        _msg: &M,
+    ) -> bool {
+        true
+    }
 }
 
 /// A faulty process that echoes every received message back to its sender
@@ -51,10 +67,16 @@ impl<M: SimMessage> Actor<M> for EchoActor {
     fn on_message(&mut self, ctx: &mut Context<'_, M>, _from: ProcessId, msg: M) {
         ctx.broadcast_known(msg);
     }
+    // Stateless (exact empty fingerprint), but deliveries are never
+    // absorbed: every one produces an echo burst.
+    fn fork(&self) -> Option<Box<dyn Actor<M>>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Wraps a correct actor and crashes it (drops all deliveries) from the
 /// `crash_after`-th received message onwards — fail-stop behaviour mid-run.
+#[derive(Clone)]
 pub struct CrashActor<A> {
     inner: A,
     crash_after: u64,
@@ -82,7 +104,10 @@ impl<A> CrashActor<A> {
     }
 }
 
-impl<M: SimMessage, A: Actor<M>> Actor<M> for CrashActor<A> {
+// The `Clone` bound (new in the explore-support revision) lets the wrapper
+// fork for exploration; every wrapped protocol actor in the workspace is a
+// plain cloneable state machine.
+impl<M: SimMessage, A: Actor<M> + Clone> Actor<M> for CrashActor<A> {
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         if self.crash_after > 0 {
             self.inner.on_start(ctx);
@@ -100,6 +125,25 @@ impl<M: SimMessage, A: Actor<M>> Actor<M> for CrashActor<A> {
             self.inner.on_timer(ctx, tag);
         }
     }
+    fn fork(&self) -> Option<Box<dyn Actor<M>>> {
+        Some(Box::new(self.clone()))
+    }
+    fn fingerprint(&self, h: &mut StateHasher) {
+        h.write_u64(self.crash_after);
+        h.write_u64(self.received);
+        self.inner.fingerprint(h);
+    }
+    // A delivery before the crash point always advances `received` (state
+    // change); after it, everything is dropped — permanently.
+    fn absorbs(
+        &self,
+        _self_id: ProcessId,
+        _known: &ProcessSet,
+        _from: ProcessId,
+        _msg: &M,
+    ) -> bool {
+        self.crashed()
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +156,7 @@ mod tests {
     struct Num(#[allow(dead_code)] u32);
     impl SimMessage for Num {}
 
+    #[derive(Clone)]
     struct Counter {
         seen: u32,
     }

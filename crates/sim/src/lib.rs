@@ -67,8 +67,10 @@ mod time;
 mod trace;
 
 pub mod adversary;
+pub mod explore;
 
 pub use actor::{Actor, Context, SimMessage};
+pub use explore::{ExploreEvent, ExploreSim, SimState, StateHasher};
 pub use metrics::SimReport;
 pub use network::NetworkConfig;
 pub use runner::Simulation;
