@@ -1,10 +1,22 @@
 //! Explorer throughput: canonical states per second on the explore-campaign
 //! systems.
 //!
-//! Each benchmark runs a full bounded exploration; the state counts are
-//! deterministic (see `crates/mc/tests/explore.rs`), so the shim's
-//! `Throughput::Elements` annotation turns the measured time into a
-//! states/second rate — the number tracked in `BENCH_PR3.json`.
+//! Two kinds of rows, both tracked in `BENCH_PR4.json`:
+//!
+//! - `*-unreduced` rows run with every reduction off and count their own
+//!   visited states — the *per-state* throughput of the explorer core
+//!   (fork/fire/hash), comparable state-for-state with `BENCH_PR3.json`;
+//! - plain rows run with the default reductions (symmetry + eager-inert)
+//!   but keep the **unreduced** state count as the element denominator:
+//!   the run certifies the same full schedule space, so elements/second
+//!   measures how fast the explorer buys the *verification task* — the
+//!   number the PR 4 ≥ 5× target is scored on (`split22-cex` verifies the
+//!   same 20 880-state space; the reductions collapse what must be
+//!   materialized to do it).
+//!
+//! The unreduced counts are re-derived here at bench start (not
+//! hard-coded), so a semantics change shows up as a changed element count
+//! in the row name rather than a silently wrong rate.
 //!
 //! Run: `cargo bench -p scup-bench --bench explorer_states`
 
@@ -57,22 +69,38 @@ fn split22() -> Scenario {
         .build()
 }
 
+fn without_reductions(mut s: Scenario) -> Scenario {
+    s.explore.symmetry = false;
+    s.explore.sleep_sets = false;
+    s.explore.eager_inert = false;
+    s
+}
+
 fn bench_explorer(c: &mut Criterion) {
     let registry = AdversaryRegistry::builtin();
 
-    // Establish the deterministic state counts once, then annotate the
-    // timed runs with them.
     let cases = [
         ("sink2-full", sink2(64, "silent"), 1usize),
         ("sink2-equiv-s7", sink2(7, "equivocate"), 1),
         ("split22-cex", split22(), 1),
     ];
     for (name, scenario, threads) in cases {
-        let states = explore_scenario(&scenario, threads, &registry).states;
+        // The deterministic unreduced state count: the size of the
+        // schedule space every row below certifies.
+        let unreduced = without_reductions(scenario.clone());
+        let space = explore_scenario(&unreduced, threads, &registry).states;
+
         let mut group = c.benchmark_group("explore_states");
         group.sample_size(10);
-        group.throughput(Throughput::Elements(states));
-        group.bench_with_input(BenchmarkId::new(name, states), &scenario, |b, scenario| {
+        group.throughput(Throughput::Elements(space));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}-unreduced"), space),
+            &unreduced,
+            |b, scenario| {
+                b.iter(|| explore_scenario(scenario, threads, &registry).states);
+            },
+        );
+        group.bench_with_input(BenchmarkId::new(name, space), &scenario, |b, scenario| {
             b.iter(|| explore_scenario(scenario, threads, &registry).states);
         });
         group.finish();

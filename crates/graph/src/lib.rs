@@ -43,6 +43,7 @@ pub mod connectivity;
 pub mod flow;
 pub mod generators;
 pub mod kosr;
+pub mod pmap;
 pub mod reachability;
 pub mod scc;
 pub mod sink;
@@ -52,4 +53,5 @@ pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use id::ProcessId;
 pub use knowledge::KnowledgeGraph;
+pub use pmap::{PersistentMap, PersistentSet, PersistentVec};
 pub use set::ProcessSet;

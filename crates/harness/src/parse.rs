@@ -73,6 +73,22 @@ pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
     for (i, s) in scenario_docs.iter().enumerate() {
         scenarios.push(scenario_from_json(s).map_err(|e| format!("scenario #{}: {e}", i + 1))?);
     }
+    if mode == CampaignMode::Explore {
+        // Fail at load time, naming the offending scenario — a generic
+        // per-record error at run time buries the fix.
+        if let Some(s) = scenarios
+            .iter()
+            .find(|s| s.protocol == ProtocolSpec::BftCup)
+        {
+            return Err(format!(
+                "scenario `{}`: protocol `bft-cup` has no exploration support (explore \
+                 mode drives the SCP phase); run it under the sampling runner \
+                 (`mode = \"sample\"`, the default) or switch the protocol to \
+                 stellar-minimal / a stellar-local variant",
+                s.name
+            ));
+        }
+    }
     Ok(Campaign {
         name,
         mode,
@@ -154,6 +170,18 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         expect_violation: match doc.get("expect_violation") {
             None => defaults.expect_violation,
             Some(v) => v.as_bool().ok_or("`expect_violation` must be a boolean")?,
+        },
+        symmetry: match doc.get("symmetry") {
+            None => defaults.symmetry,
+            Some(v) => v.as_bool().ok_or("`symmetry` must be a boolean")?,
+        },
+        sleep_sets: match doc.get("sleep_sets") {
+            None => defaults.sleep_sets,
+            Some(v) => v.as_bool().ok_or("`sleep_sets` must be a boolean")?,
+        },
+        eager_inert: match doc.get("eager_inert") {
+            None => defaults.eager_inert,
+            Some(v) => v.as_bool().ok_or("`eager_inert` must be a boolean")?,
         },
     };
 
@@ -534,6 +562,46 @@ max_ticks = 1_000_000
             let err = campaign_from_str(input).unwrap_err();
             assert!(err.contains(needle), "{input:?} → {err}");
         }
+    }
+
+    #[test]
+    fn explore_mode_rejects_bftcup_naming_the_scenario() {
+        let text = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "fine"
+topology = "fig1"
+
+[[scenario]]
+name = "baseline-run"
+topology = "fig1"
+protocol = "bft-cup"
+"#;
+        let err = campaign_from_str(text).unwrap_err();
+        assert!(err.contains("`baseline-run`"), "{err}");
+        assert!(err.contains("bft-cup"), "{err}");
+        assert!(err.contains("mode = \"sample\""), "{err}");
+        // The same scenarios load fine under the sampling runner.
+        let sampled = text.replace("mode = \"explore\"", "mode = \"sample\"");
+        assert!(campaign_from_str(&sampled).is_ok());
+        // Reduction knobs parse.
+        let knobs = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "s"
+topology = "fig1"
+symmetry = false
+sleep_sets = true
+eager_inert = false
+"#;
+        let c = campaign_from_str(knobs).unwrap();
+        assert!(!c.scenarios[0].explore.symmetry);
+        assert!(c.scenarios[0].explore.sleep_sets);
+        assert!(!c.scenarios[0].explore.eager_inert);
     }
 
     #[test]

@@ -243,6 +243,33 @@ pub struct ExploreSpec {
     /// `true` for seeded-counterexample scenarios: the run *passes* iff a
     /// safety violation is found (and its minimal trace is reported).
     pub expect_violation: bool,
+    /// Symmetry reduction: quotient states by renamings of interchangeable
+    /// processes (equal slices, inputs and adversary role, verified
+    /// against the FBQS). Shrinks the state *count*; sound — reduced and
+    /// unreduced exploration agree on every verdict. On by default; turn
+    /// off to compare (the differential soundness tests do).
+    pub symmetry: bool,
+    /// Sleep-set partial-order reduction over commuting deliveries.
+    /// Verdict-preserving (violation/no-violation, minimal depth, decided
+    /// values, completeness — pinned by the differential tests); the raw
+    /// state census may shrink where interleavings are trace-equivalent
+    /// to extensions of terminal states. Off by default: with the
+    /// label-correcting visited cache, the sleep-aware re-expansion (a
+    /// revisit whose sleep set no cover subsumes re-expands fully)
+    /// typically costs more transitions than the pruning saves on these
+    /// flood-heavy state graphs — measure per scenario before enabling.
+    pub sleep_sets: bool,
+    /// Persistent-set reduction over *threshold-inert* deliveries: an
+    /// enabled delivery that provably commutes with every alternative
+    /// (a vote for an already-accepted statement from a fully-registered
+    /// correct origin — it cannot change any quorum threshold) is fired
+    /// eagerly as a forced, uncounted move instead of being a branch
+    /// point. Collapses the flood-tail interleavings, shrinking the state
+    /// *count* — the lever that makes a third active proposer
+    /// exhaustible. Depth bookkeeping treats inert fires as free in both
+    /// reduced and unreduced runs of the same spec, so minimal
+    /// counterexample depths remain comparable. On by default.
+    pub eager_inert: bool,
 }
 
 impl Default for ExploreSpec {
@@ -258,6 +285,9 @@ impl Default for ExploreSpec {
             timer_budget: 1,
             frontier_depth: 2,
             expect_violation: false,
+            symmetry: true,
+            sleep_sets: false,
+            eager_inert: true,
         }
     }
 }

@@ -88,11 +88,13 @@ impl Setup {
                 .map(|i| strategy.build(kg.pd(i), scenario.f))
                 .collect(),
             ProtocolSpec::BftCup => {
-                return Err(
-                    "explore mode drives the SCP phase; protocol `bft-cup` has no \
-                     exploration support (use stellar-minimal or a stellar-local variant)"
-                        .into(),
-                )
+                return Err(format!(
+                    "scenario `{}`: explore mode drives the SCP phase; protocol `bft-cup` \
+                     has no exploration support — run this scenario under the sampling \
+                     runner (`mode = \"sample\"`, the default) or switch it to \
+                     stellar-minimal / a stellar-local variant",
+                    scenario.name
+                ))
             }
         };
 

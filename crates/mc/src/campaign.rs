@@ -9,7 +9,7 @@ use scup_harness::{oracle, AdversaryRegistry, OracleMode, Scenario};
 use scup_sim::TraceEvent;
 
 use crate::build::Setup;
-use crate::explorer::{merge_visited, Class, Engine, StateCapExceeded, Visited};
+use crate::explorer::{merge_visited, Class, Engine, StateCapExceeded, Visited, WorkerStats};
 use crate::report::{CexReport, ExploreRecord, ExploreReport};
 
 /// Runs an explore-mode campaign: every scenario is exhaustively explored
@@ -69,6 +69,14 @@ pub fn explore_scenario(
         violating: 0,
         decided_values: Vec::new(),
         complete: false,
+        frontier_roots: 0,
+        symmetry_group: 1,
+        symmetry_classes: Vec::new(),
+        symmetric_states: 0,
+        transitions: 0,
+        sleep_prunes: 0,
+        state_bytes_estimate: 0,
+        peak_memory_bytes: 0,
         min_violation_depth: None,
         violation: None,
         passed: false,
@@ -111,6 +119,14 @@ fn explore_configured(
     record.variants = variants;
 
     let engine = Engine::new(&setup, scenario.explore);
+    record.symmetry_group = engine.symmetry().group_order();
+    record.symmetry_classes = engine.symmetry().class_sizes().to_vec();
+    {
+        let mut probe = setup.build_sim(0);
+        probe.start();
+        probe.drain_absorbed();
+        record.state_bytes_estimate = probe.state_size_estimate();
+    }
     let cap_error = |_: StateCapExceeded| {
         format!(
             "state cap exceeded ({} states); raise `max_states` or tighten \
@@ -122,56 +138,71 @@ fn explore_configured(
     // Serial prefix: the first `frontier_depth` branch decisions of every
     // variant, recorded into the shared ancestor map.
     let mut prefix: Visited = Visited::new();
+    let mut prefix_stats = WorkerStats::default();
     let mut roots: Vec<(u32, Vec<u32>)> = Vec::new();
     for variant in 0..variants {
-        for path in engine.frontier(variant, &mut prefix).map_err(cap_error)? {
+        for path in engine
+            .frontier(variant, &mut prefix, &mut prefix_stats)
+            .map_err(cap_error)?
+        {
             roots.push((variant, path));
         }
     }
+    record.frontier_roots = roots.len() as u64;
 
     // Sharded subtree exploration: worker `w` takes roots `w, w+T, …`,
     // each starting from a copy of the ancestor map. Merging by minimal
     // depth makes the union partition-independent.
     let workers = threads.min(roots.len()).max(1);
-    let merged = std::thread::scope(|scope| -> Result<Visited, StateCapExceeded> {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let roots = &roots;
-                let engine = &engine;
-                let prefix = &prefix;
-                scope.spawn(move || -> Result<Visited, StateCapExceeded> {
-                    let mut visited = prefix.clone();
-                    for (variant, path) in roots.iter().skip(w).step_by(workers) {
-                        engine.dfs(*variant, path, &mut visited)?;
-                    }
-                    Ok(visited)
+    let (merged, stats) = std::thread::scope(
+        |scope| -> Result<(Visited, WorkerStats), StateCapExceeded> {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let roots = &roots;
+                    let engine = &engine;
+                    let prefix = &prefix;
+                    scope.spawn(
+                        move || -> Result<(Visited, WorkerStats), StateCapExceeded> {
+                            let mut visited = prefix.clone();
+                            let mut stats = WorkerStats::default();
+                            for (variant, path) in roots.iter().skip(w).step_by(workers) {
+                                engine.dfs(*variant, path, &mut visited, &mut stats)?;
+                            }
+                            Ok((visited, stats))
+                        },
+                    )
                 })
-            })
-            .collect();
-        let mut merged = prefix.clone();
-        for handle in handles {
-            merge_visited(
-                &mut merged,
-                handle.join().expect("explore worker panicked")?,
-            );
-        }
-        // The per-worker checks are early aborts; this is the actual
-        // valve. A worker map is a subset of the union, so whether the
-        // scenario errors depends only on the (partition-independent)
-        // union size — never on the worker count.
-        if merged.len() as u64 > scenario.explore.max_states {
-            return Err(StateCapExceeded);
-        }
-        Ok(merged)
-    })
+                .collect();
+            let mut merged = prefix.clone();
+            let mut stats = prefix_stats;
+            for handle in handles {
+                let (visited, worker_stats) = handle.join().expect("explore worker panicked")?;
+                merge_visited(&mut merged, visited);
+                stats.absorb(worker_stats);
+            }
+            // The per-worker checks are early aborts; this is the actual
+            // valve. A worker map is a subset of the union, so whether the
+            // scenario errors depends only on the (partition-independent)
+            // union size — never on the worker count.
+            if merged.len() as u64 > scenario.explore.max_states {
+                return Err(StateCapExceeded);
+            }
+            Ok((merged, stats))
+        },
+    )
     .map_err(cap_error)?;
+    record.transitions = stats.transitions;
+    record.sleep_prunes = stats.sleep_prunes;
 
     // Every statistic below is a pure function of the merged map.
     let mut decided: BTreeSet<u64> = BTreeSet::new();
     let mut min_violation: Option<u32> = None;
-    for &(depth, class) in merged.values() {
+    for entry in merged.values() {
         record.states += 1;
-        match class {
+        if entry.symmetric {
+            record.symmetric_states += 1;
+        }
+        match entry.class {
             Class::Expanded => record.expanded += 1,
             Class::Truncated => record.truncated += 1,
             Class::QuiescentUndecided => record.quiescent_undecided += 1,
@@ -181,13 +212,16 @@ fn explore_configured(
             }
             Class::Violating => {
                 record.violating += 1;
-                min_violation = Some(min_violation.map_or(depth, |d| d.min(depth)));
+                min_violation = Some(min_violation.map_or(entry.depth, |d| d.min(entry.depth)));
             }
         }
     }
     record.decided_values = decided.into_iter().collect();
     record.complete = record.truncated == 0;
     record.min_violation_depth = min_violation;
+    // Visited-entry overhead: hash key + depth/class/flag + cover spine.
+    const VISITED_ENTRY_BYTES: u64 = 96;
+    record.peak_memory_bytes = record.states * (record.state_bytes_estimate + VISITED_ENTRY_BYTES);
 
     if let Some(d_star) = min_violation {
         let (variant, path) = engine
@@ -286,6 +320,31 @@ pub fn summary(report: &ExploreReport) -> String {
             r.violating,
             if r.passed { "ok" } else { "FAIL" },
         );
+        if r.error.is_none() {
+            let classes = r
+                .symmetry_classes
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("+");
+            let _ = writeln!(
+                out,
+                "    reductions: symmetry group {} (classes {}), {} symmetric states, \
+                 {} sleep prunes / {} transitions; mem ≈ {:.1} MiB ({} B/state × {} states)",
+                r.symmetry_group,
+                if classes.is_empty() {
+                    "-".to_string()
+                } else {
+                    classes
+                },
+                r.symmetric_states,
+                r.sleep_prunes,
+                r.transitions,
+                r.peak_memory_bytes as f64 / (1024.0 * 1024.0),
+                r.state_bytes_estimate,
+                r.states,
+            );
+        }
         if let Some(e) = &r.error {
             let _ = writeln!(out, "    error: {e}");
         }

@@ -1,33 +1,76 @@
-//! The bounded DFS explorer: visited-state memoization, commutation
-//! collapsing, sharded parallel frontier, and canonical minimal
-//! counterexamples.
+//! The bounded DFS explorer: visited-state memoization, symmetry-canonical
+//! hashing, sleep-set partial-order reduction, sharded parallel frontier,
+//! and canonical minimal counterexamples.
 //!
 //! # State graph
 //!
 //! A node is a *canonical* simulation state: all absorbed (no-op)
-//! deliveries drained. An edge fires one of the canonical branching
-//! choices — **every** pending event, deduplicated by event hash (see
-//! [`ExploreSim::choices`] for why no recipient may be privileged). Two
-//! reductions keep this tractable without losing schedules: absorbed
-//! no-op deliveries fire eagerly without branching, and commuting
-//! interleavings (deliveries to distinct recipients in either order)
-//! converge to one canonical state hash, so diamonds cost their
-//! intermediate states but never duplicate subtrees.
+//! deliveries drained, identified by the **minimum-over-automorphism-group
+//! state hash** (see [`crate::reduce::Symmetry`] — the quotient over
+//! interchangeable processes). An edge fires one of the canonical
+//! branching choices — **every** pending event, deduplicated by event hash
+//! (see [`ExploreSim::choices`] for why no recipient may be privileged).
+//!
+//! Three reductions keep this tractable without losing schedules:
+//!
+//! - **absorbed no-op deliveries** fire eagerly without branching;
+//! - **symmetry**: states that are renamings of one another along verified
+//!   automorphisms collapse to one canonical hash, shrinking the state
+//!   *count*;
+//! - **eager-inert (persistent-set) firing**: a *threshold-inert*
+//!   delivery ([`scup_sim::Actor::threshold_inert`], restricted to
+//!   correct origins) commutes with every enabled alternative — siblings
+//!   at its own recipient by inertness, everything else by
+//!   recipient-disjointness — and stays inert forever, so the singleton
+//!   `{e}` is a valid persistent set: firing `e` immediately (uncounted,
+//!   like a drain) explores a representative of every interleaving. This
+//!   collapses the flood tail and is the reduction that shrinks state
+//!   *counts* by orders of magnitude (38 k instead of > 3 M on the
+//!   3-proposer cycle);
+//! - **sleep sets** (Godefroid-style, over the same dynamic independence
+//!   via [`crate::reduce::ChoiceProfile`]): once a choice `e₁` has been
+//!   explored from a state, sibling subtrees do not re-fire `e₁` until an
+//!   event *dependent* on it fires. Visited caching is sleep-set-aware: a
+//!   state is pruned only when an earlier cover subsumes it (see
+//!   [`Cover`]), with each entry keeping a small Pareto frontier of
+//!   covers.
+//!
+//! Each reduction preserves the **verdict** exactly — violation found or
+//! not, minimal violating depth, decided values, completeness — pinned by
+//! the differential tests against the unreduced semantics. Sleep sets do
+//! *not* always preserve the raw state census: the explorer cuts
+//! exploration at terminal (decided/violating) states, and a state whose
+//! trace-equivalent sibling interleaving hits such a terminal earlier can
+//! be skipped — harmless, because a skipped state's decisions equal those
+//! of an extension of the visited terminal (same event multiset), so its
+//! verdict contribution (violating-ness, decided value, and a ≤-depth
+//! witness) is already on record.
+//!
+//! The once-tempting *recipient-priority* reduction (restricting which
+//! recipients may fire at all) remains out: review of PR 3 showed it
+//! unsound here — a later-created message can overtake a privileged
+//! recipient's queue. The persistent sets used above are singletons of
+//! provably globally-commuting events, which is a different (and sound)
+//! instrument: nothing else is ever *excluded*, exploration of the inert
+//! event is merely *forced first*.
 //!
 //! # Determinism across worker counts
 //!
 //! The first `frontier_depth` branch decisions are expanded serially; the
 //! resulting frontier roots are sharded across workers by stride (no
-//! shared cursor, no mutex — the PR 2 campaign batching, applied to
-//! subtree roots). Each worker runs a label-correcting DFS: a state is
-//! re-expanded when reached at a strictly smaller depth, so every worker
-//! computes the true minimal depth of each state reachable from its
-//! roots. Per-worker maps are merged by minimum depth, and
-//! `reachable(⋃ roots) = ⋃ reachable(rootsᵂ)`, so the merged map — and
-//! every statistic derived from it — is identical for 1, 2 or 8 workers.
-//! Counterexamples are *recomputed* from the merged verdict (minimal
-//! violation depth) by one serial lexicographic search, never taken from
-//! whichever worker stumbled on one first.
+//! shared cursor, no mutex). Each worker runs a label-correcting DFS: a
+//! state is re-expanded when reached at a strictly smaller depth or with
+//! a sleep set no earlier cover subsumes, so every worker computes the
+//! true minimal depth of each state reachable from its roots. Per-worker
+//! maps are merged by minimum depth, and `reachable(⋃ roots) =
+//! ⋃ reachable(rootsᵂ)` (sleep sets preserve per-root reachability), so
+//! the merged map — and every statistic derived from it — is identical
+//! for 1, 2 or 8 workers. Only the traversal *effort* counters
+//! (transitions fired, sleep prunes) depend on the partition; reports
+//! exclude them from the bit-identical contract exactly like wall-clock
+//! times. Counterexamples are *recomputed* from the merged verdict
+//! (minimal violation depth) by one serial lexicographic search, never
+//! taken from whichever worker stumbled on one first.
 
 use std::collections::HashMap;
 
@@ -36,6 +79,7 @@ use scup_scp::{ScpMsg, Value};
 use scup_sim::{ExploreSim, SimState};
 
 use crate::build::Setup;
+use crate::reduce::{ChoiceProfile, Symmetry};
 
 /// What one canonical state is: an inner node or one of the leaf kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,24 +99,127 @@ pub enum Class {
     QuiescentUndecided,
 }
 
-/// The visited map: canonical state hash → (minimal depth, class at that
-/// depth). Only lookups and merges touch it — never iteration order.
-pub type Visited = HashMap<u128, (u32, Class)>;
+/// One visited canonical state: its minimal depth and class (the
+/// deterministic statistics), whether its canonical representative
+/// differs from the state as reached (the symmetry-hit statistic — a pure
+/// function of the state), and the sleep-set covers (worker-local
+/// exploration bookkeeping, never merged).
+#[derive(Debug, Clone)]
+pub struct VisitEntry {
+    /// Minimal branching depth at which the state was reached.
+    pub depth: u32,
+    /// Classification at the minimal depth.
+    pub class: Class,
+    /// The canonical hash differed from the identity hash: some
+    /// interchangeable renaming of this state is the class representative.
+    pub symmetric: bool,
+    /// Pareto frontier of covers under which the state was expanded; a
+    /// revisit is pruned iff some cover subsumes it (see [`Cover`]).
+    covers: Vec<Cover>,
+}
+
+/// One recorded expansion of a visited canonical state.
+///
+/// A cover subsumes a revisit at depth `d` with sleep set `S` (in the
+/// revisit's own frame, identity hash `raw`) iff `depth ≤ d` and either
+/// the cover's sleep set is empty — a full expansion, valid for **every**
+/// orbit member since it promises nothing frame-specific — or the revisit
+/// is the *same* orbit member (`raw` matches) and the cover's sleep is a
+/// subset of `S`. Sleep hashes mention concrete process ids, so non-empty
+/// covers must never cross frames: applying one to a renamed orbit member
+/// would prune schedules nobody explored (caught by the cross-worker
+/// determinism test before this rule carried the frame).
+#[derive(Debug, Clone)]
+struct Cover {
+    depth: u32,
+    /// Identity (pre-canonicalization) hash of the member that was
+    /// expanded; only meaningful for non-empty sleep sets.
+    raw: u128,
+    /// Sorted, deduplicated sleeping event hashes, in `raw`'s frame.
+    sleep: Box<[u128]>,
+}
+
+impl Cover {
+    fn subsumes(&self, depth: u32, raw: u128, sleep: &[u128]) -> bool {
+        self.depth <= depth
+            && (self.sleep.is_empty() || (self.raw == raw && sorted_subset(&self.sleep, sleep)))
+    }
+}
+
+/// The visited map: canonical state hash → [`VisitEntry`]. Only lookups
+/// and merges touch it — never iteration order.
+pub type Visited = HashMap<u128, VisitEntry>;
+
+/// Traversal-effort counters; partition-dependent (excluded from the
+/// bit-identical report contract, like wall-clock times).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerStats {
+    /// Branching events fired during exploration.
+    pub transitions: u64,
+    /// Choices skipped because they were asleep.
+    pub sleep_prunes: u64,
+}
+
+impl WorkerStats {
+    /// Accumulates another worker's counters.
+    pub fn absorb(&mut self, other: WorkerStats) {
+        self.transitions += other.transitions;
+        self.sleep_prunes += other.sleep_prunes;
+    }
+}
 
 /// The state cap of [`ExploreSpec::max_states`] was exceeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StateCapExceeded;
 
+/// `a ⊆ b` for sorted, deduplicated hash slices.
+fn sorted_subset(a: &[u128], b: &[u128]) -> bool {
+    let mut bi = b.iter();
+    'outer: for x in a {
+        for y in bi.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Inserts a cover, dropping existing covers it subsumes.
+fn push_cover(covers: &mut Vec<Cover>, cover: Cover) {
+    covers.retain(|c| !cover.subsumes(c.depth, c.raw, &c.sleep));
+    covers.push(cover);
+}
+
 /// One exploration engine over a resolved scenario.
 pub struct Engine<'a> {
     setup: &'a Setup,
     spec: ExploreSpec,
+    symmetry: Symmetry,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates the engine.
+    /// Creates the engine, computing the scenario's automorphism group
+    /// once (identity-only when `spec.symmetry` is off).
     pub fn new(setup: &'a Setup, spec: ExploreSpec) -> Self {
-        Engine { setup, spec }
+        let symmetry = if spec.symmetry {
+            Symmetry::compute(setup)
+        } else {
+            Symmetry::trivial()
+        };
+        Engine {
+            setup,
+            spec,
+            symmetry,
+        }
+    }
+
+    /// The scenario's automorphism group (for reporting).
+    pub fn symmetry(&self) -> &Symmetry {
+        &self.symmetry
     }
 
     /// Builds a simulation for `variant` and replays a canonical choice
@@ -88,10 +235,43 @@ impl<'a> Engine<'a> {
     pub fn replay_into(&self, sim: &mut ExploreSim<ScpMsg>, path: &[u32]) {
         sim.start();
         for &choice in path {
-            sim.drain_absorbed();
+            self.settle(sim);
             sim.fire(choice as usize);
         }
+        self.settle(sim);
+    }
+
+    /// Canonicalizes the live state: drains absorbed no-op deliveries,
+    /// then (under `eager_inert`) fires every threshold-inert delivery
+    /// from a correct origin as a forced, *uncounted* move — the
+    /// singleton persistent set: such a delivery commutes with every
+    /// enabled alternative (same-recipient siblings by inertness,
+    /// everything else by recipient-disjointness) and stays inert in
+    /// every extension, so exploring only the schedule that fires it
+    /// immediately covers a representative of every interleaving. Fires
+    /// ascend by pending index — deterministic for any worker count.
+    fn settle(&self, sim: &mut ExploreSim<ScpMsg>) {
         sim.drain_absorbed();
+        if !self.spec.eager_inert {
+            return;
+        }
+        'outer: loop {
+            let pending = sim.pending().len();
+            for idx in 0..pending {
+                let correct_origin = match sim.pending_at(idx) {
+                    scup_sim::ExploreEvent::Deliver { msg, .. } => {
+                        !self.setup.faulty.contains(msg.origin)
+                    }
+                    scup_sim::ExploreEvent::Timer { .. } => false,
+                };
+                if correct_origin && sim.is_threshold_inert(idx) {
+                    sim.fire_uncounted(idx);
+                    sim.drain_absorbed();
+                    continue 'outer;
+                }
+            }
+            return;
+        }
     }
 
     /// Classifies the (canonical) current state.
@@ -130,25 +310,86 @@ impl<'a> Engine<'a> {
     }
 
     /// Records the canonical state in `visited`; returns the branching
-    /// choices when the state is an inner node seen at a new minimal
-    /// depth. Label-correcting: a strictly shallower revisit re-expands.
-    fn visit(&self, sim: &ExploreSim<ScpMsg>, visited: &mut Visited) -> Option<Vec<usize>> {
+    /// choices to fire (with their sleep profiles, sleeping ones filtered
+    /// out) when the state is an inner node not subsumed by an earlier
+    /// cover.
+    /// Label-correcting and sleep-aware: a revisit re-expands fully when
+    /// it is strictly shallower, or when no earlier cover explored the
+    /// state under a subset of the current sleep set. (A diff-only
+    /// re-expansion — re-firing just the choices the best cover had left
+    /// asleep — was tried and *dropped*: transplanting a cover's
+    /// coverage promise into a different sleep context creates circular
+    /// justifications, and the differential tests caught it losing a
+    /// violating state.)
+    fn visit(
+        &self,
+        sim: &ExploreSim<ScpMsg>,
+        visited: &mut Visited,
+        sleep: &[ChoiceProfile],
+        stats: &mut WorkerStats,
+    ) -> Option<Vec<(usize, ChoiceProfile)>> {
         let depth = sim.steps() as u32;
-        let hash = sim.state_hash();
-        if let Some(&(prev_depth, prev_class)) = visited.get(&hash) {
-            if prev_depth <= depth {
-                debug_assert!(
-                    prev_depth < depth || prev_class == self.classify(sim, depth),
-                    "state classification must be a function of (state, depth)"
-                );
+        let (hash, raw, symmetric) = self.symmetry.canonical_hash(sim);
+        let mut sleep_hashes: Vec<u128> = sleep.iter().map(|p| p.hash).collect();
+        sleep_hashes.sort_unstable();
+        sleep_hashes.dedup();
+
+        if let Some(entry) = visited.get(&hash) {
+            if entry
+                .covers
+                .iter()
+                .any(|c| c.subsumes(depth, raw, &sleep_hashes))
+            {
                 return None;
             }
         }
         let class = self.classify(sim, depth);
-        visited.insert(hash, (depth, class));
+        let entry = visited.entry(hash).or_insert(VisitEntry {
+            depth,
+            class,
+            symmetric,
+            covers: Vec::new(),
+        });
+        if depth < entry.depth {
+            entry.depth = depth;
+            entry.class = class;
+        } else if depth == entry.depth {
+            debug_assert!(
+                entry.class == class,
+                "state classification must be a function of (state, depth)"
+            );
+        }
         if class == Class::Expanded {
-            Some(sim.choices())
+            let mut choices = Vec::new();
+            for idx in sim.choices() {
+                let profile = ChoiceProfile::of(self.setup, sim, idx, self.spec.sleep_sets);
+                if sleep_hashes.binary_search(&profile.hash).is_ok() {
+                    stats.sleep_prunes += 1;
+                    continue;
+                }
+                choices.push((idx, profile));
+            }
+            push_cover(
+                &mut entry.covers,
+                Cover {
+                    depth,
+                    raw,
+                    sleep: sleep_hashes.into_boxed_slice(),
+                },
+            );
+            Some(choices)
         } else {
+            // Terminal (or truncated): nothing below to cover — an empty
+            // sleep cover makes future dominance purely depth-based (and
+            // frame-free, hence valid for the whole orbit).
+            push_cover(
+                &mut entry.covers,
+                Cover {
+                    depth,
+                    raw: 0,
+                    sleep: Box::new([]),
+                },
+            );
             None
         }
     }
@@ -165,27 +406,30 @@ impl<'a> Engine<'a> {
         variant: u32,
         path: &[u32],
         visited: &mut Visited,
+        stats: &mut WorkerStats,
     ) -> Result<(), StateCapExceeded> {
         struct Frame {
             state: SimState<ScpMsg>,
-            choices: Vec<usize>,
+            choices: Vec<(usize, ChoiceProfile)>,
+            sleep: Vec<ChoiceProfile>,
             next: usize,
         }
 
         let mut sim = self.replay(variant, path);
-        let Some(choices) = self.visit(&sim, visited) else {
+        let Some(choices) = self.visit(&sim, visited, &[], stats) else {
             return Ok(());
         };
         let mut stack = vec![Frame {
             state: sim.snapshot(),
             choices,
+            sleep: Vec::new(),
             next: 0,
         }];
         while let Some(top) = stack.last_mut() {
             if visited.len() as u64 > self.spec.max_states {
                 return Err(StateCapExceeded);
             }
-            let Some(&choice) = top.choices.get(top.next) else {
+            let Some(&(choice, profile)) = top.choices.get(top.next) else {
                 stack.pop();
                 continue;
             };
@@ -195,20 +439,38 @@ impl<'a> Engine<'a> {
             if top.next > 1 {
                 sim.restore(&top.state);
             }
+            // Sleep set of the child: surviving inherited sleepers plus
+            // the already-explored elder siblings — each kept only while
+            // independent of the fired choice (a dependent event wakes
+            // them up).
+            let mut child_sleep: Vec<ChoiceProfile> = if self.spec.sleep_sets {
+                top.sleep
+                    .iter()
+                    .chain(top.choices[..top.next - 1].iter().map(|(_, p)| p))
+                    .filter(|e| e.independent(&profile))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            stats.transitions += 1;
             sim.fire(choice);
-            sim.drain_absorbed();
+            self.settle(&mut sim);
             // Single-choice chains run in place — no snapshot, no restore.
-            let mut choices = self.visit(&sim, visited);
-            while let Some(c) = choices.as_deref() {
-                let [only] = c else { break };
-                sim.fire(*only);
-                sim.drain_absorbed();
-                choices = self.visit(&sim, visited);
+            let mut choices = self.visit(&sim, visited, &child_sleep, stats);
+            while let Some([(only, only_profile)]) = choices.as_deref() {
+                let (only, only_profile) = (*only, *only_profile);
+                child_sleep.retain(|e| e.independent(&only_profile));
+                stats.transitions += 1;
+                sim.fire(only);
+                self.settle(&mut sim);
+                choices = self.visit(&sim, visited, &child_sleep, stats);
             }
             if let Some(choices) = choices {
                 stack.push(Frame {
                     state: sim.snapshot(),
                     choices,
+                    sleep: child_sleep,
                     next: 0,
                 });
             }
@@ -219,6 +481,8 @@ impl<'a> Engine<'a> {
     /// Serially expands the first [`ExploreSpec::frontier_depth`] branch
     /// decisions of one variant, recording the prefix states in `visited`
     /// and returning the frontier root paths to shard across workers.
+    /// The prefix is expanded without sleep sets (full covers), so every
+    /// root subtree starts clean.
     ///
     /// # Errors
     ///
@@ -227,6 +491,7 @@ impl<'a> Engine<'a> {
         &self,
         variant: u32,
         visited: &mut Visited,
+        stats: &mut WorkerStats,
     ) -> Result<Vec<Vec<u32>>, StateCapExceeded> {
         let mut layer: Vec<Vec<u32>> = vec![Vec::new()];
         for _ in 0..self.spec.frontier_depth {
@@ -236,8 +501,8 @@ impl<'a> Engine<'a> {
                     return Err(StateCapExceeded);
                 }
                 let sim = self.replay(variant, path);
-                if let Some(choices) = self.visit(&sim, visited) {
-                    for choice in choices {
+                if let Some(choices) = self.visit(&sim, visited, &[], stats) {
+                    for (choice, _) in choices {
                         let mut extended = path.clone();
                         extended.push(choice as u32);
                         next.push(extended);
@@ -256,13 +521,16 @@ impl<'a> Engine<'a> {
     /// established that the minimal violating depth is `d_star`: one
     /// serial depth-limited DFS per variant, choices in ascending order,
     /// stopping at the first violating state. Independent of the parallel
-    /// traversal, hence identical for every worker count.
+    /// traversal, hence identical for every worker count. (Symmetry
+    /// pruning applies — a renamed violating state witnesses the same
+    /// minimal depth; sleep sets do not, keeping the search lexicographic
+    /// in the raw choice order.)
     pub fn find_cex(&self, variants: u32, d_star: u32) -> Option<(u32, Vec<u32>)> {
         for variant in 0..variants {
             let mut visited: HashMap<u128, u32> = HashMap::new();
             let mut sim = self.setup.build_sim(variant);
             sim.start();
-            sim.drain_absorbed();
+            self.settle(&mut sim);
             if let Some(found) = self.cex_dfs(&mut sim, d_star, &mut visited) {
                 return Some((variant, found));
             }
@@ -292,10 +560,11 @@ impl<'a> Engine<'a> {
             if depth >= d_star {
                 return Ok(None);
             }
-            match visited.get(&sim.state_hash()) {
+            let (hash, _, _) = self.symmetry.canonical_hash(sim);
+            match visited.get(&hash) {
                 Some(&prev) if prev <= depth => Ok(None),
                 _ => {
-                    visited.insert(sim.state_hash(), depth);
+                    visited.insert(hash, depth);
                     Ok(Some(sim.choices()))
                 }
             }
@@ -323,7 +592,7 @@ impl<'a> Engine<'a> {
                 sim.restore(&top.state);
             }
             sim.fire(choice);
-            sim.drain_absorbed();
+            self.settle(sim);
             path.push(choice as u32);
             match enter(sim, visited, &path) {
                 Err(found) => return Some(found),
@@ -343,17 +612,78 @@ impl<'a> Engine<'a> {
 
 /// Merges worker maps by minimal depth (commutative and associative, so
 /// the merge order — and the worker count — cannot change the result).
+/// Covers are worker-local bookkeeping and are not merged.
 pub fn merge_visited(into: &mut Visited, from: Visited) {
-    for (hash, (depth, class)) in from {
+    for (hash, entry) in from {
         match into.get_mut(&hash) {
-            Some(entry) => {
-                if depth < entry.0 {
-                    *entry = (depth, class);
+            Some(existing) => {
+                debug_assert_eq!(
+                    existing.symmetric, entry.symmetric,
+                    "symmetry-hit flag is a function of the state"
+                );
+                if entry.depth < existing.depth {
+                    existing.depth = entry.depth;
+                    existing.class = entry.class;
                 }
             }
             None => {
-                into.insert(hash, (depth, class));
+                into.insert(hash, entry);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_subset_walks_merged() {
+        assert!(sorted_subset(&[], &[]));
+        assert!(sorted_subset(&[], &[1]));
+        assert!(sorted_subset(&[2], &[1, 2, 3]));
+        assert!(sorted_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!sorted_subset(&[0], &[1]));
+        assert!(!sorted_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn covers_keep_a_pareto_frontier() {
+        let cover = |depth, raw, sleep: Vec<u128>| Cover {
+            depth,
+            raw,
+            sleep: sleep.into_boxed_slice(),
+        };
+        let mut covers = Vec::new();
+        push_cover(&mut covers, cover(5, 42, vec![1, 2]));
+        // Dominates (shallower, smaller sleep, same frame): drops the old.
+        push_cover(&mut covers, cover(3, 42, vec![1]));
+        assert_eq!(covers.len(), 1);
+        assert_eq!(covers[0].depth, 3);
+        // Incomparable (deeper but disjoint sleep): coexists.
+        push_cover(&mut covers, cover(7, 42, vec![9]));
+        assert_eq!(covers.len(), 2);
+    }
+
+    #[test]
+    fn nonempty_covers_never_cross_frames() {
+        let c = Cover {
+            depth: 2,
+            raw: 42,
+            sleep: vec![7u128].into_boxed_slice(),
+        };
+        assert!(c.subsumes(3, 42, &[7, 8]), "same frame, subset sleep");
+        assert!(
+            !c.subsumes(3, 43, &[7, 8]),
+            "a renamed orbit member's sleep hashes live in another frame"
+        );
+        let full = Cover {
+            depth: 2,
+            raw: 0,
+            sleep: Box::new([]),
+        };
+        assert!(full.subsumes(3, 43, &[7]), "full expansions are frame-free");
+        assert!(!full.subsumes(1, 43, &[7]), "but still depth-bounded");
     }
 }

@@ -15,12 +15,19 @@
 //!   deterministically, and exploration quantifies over the SCP phase;
 //! - [`explorer`] runs a depth-first search over *canonical* states
 //!   (powered by [`scup_sim::ExploreSim`]'s snapshot/restore and 128-bit
-//!   state hashing) with three schedule-preserving reductions:
-//!   visited-state memoization, eager firing of absorbed no-op
-//!   deliveries, and hash-collapsed commutation diamonds (every pending
-//!   event is a branch choice — privileging a recipient would prune real
-//!   schedules). Equivocating adversaries contribute their victim-split
-//!   choice points as explored variants;
+//!   state hashing) with verdict-preserving reductions: visited-state
+//!   memoization, eager firing of absorbed no-op deliveries,
+//!   hash-collapsed commutation diamonds (every pending event is a
+//!   branch choice — privileging a recipient would prune real
+//!   schedules), a [`reduce`] symmetry quotient over interchangeable
+//!   processes, eager-inert persistent sets over threshold-inert
+//!   deliveries (the lever that exhausts a third active proposer), and
+//!   knob-gated sleep sets. Differential tests pin that every reduction
+//!   agrees with the unreduced semantics on violation/no-violation,
+//!   minimal counterexample depth, decided values and completeness.
+//!   Equivocating adversaries contribute their victim-split choice
+//!   points as explored variants (and disable symmetry — see
+//!   [`reduce`]);
 //! - [`campaign`] integrates with `mode = "explore"` campaign files: the
 //!   first `frontier_depth` branch decisions are sharded across workers
 //!   (deterministic stride, mutex-free), per-worker maps merge by minimal
@@ -86,9 +93,11 @@
 pub mod build;
 pub mod campaign;
 pub mod explorer;
+pub mod reduce;
 pub mod report;
 
 pub use build::Setup;
 pub use campaign::{explore_scenario, run_explore_campaign, summary};
 pub use explorer::{Class, Engine, Visited};
+pub use reduce::Symmetry;
 pub use report::{CexReport, ExploreRecord, ExploreReport};

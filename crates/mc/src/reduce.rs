@@ -1,0 +1,355 @@
+//! Sound state-space reductions: symmetry quotient over interchangeable
+//! nodes, and the choice profiles behind the sleep-set partial-order
+//! reduction.
+//!
+//! # Symmetry
+//!
+//! Two processes are *interchangeable* when transposing them is an
+//! automorphism of the whole initial configuration: the knowledge graph
+//! maps onto itself, each process's slice family maps onto the transposed
+//! process's family (member ids renamed), inputs agree, and the adversary
+//! role is preserved. Verified transpositions generate a product of
+//! symmetric groups (one factor per interchangeability class); every
+//! element of that group maps reachable states to reachable states of the
+//! *same depth and safety verdict*, because the protocol actors treat
+//! process ids opaquely (SCP nodes compare and store ids but never order
+//! behaviour on their numeric values) and the explorer's untimed semantics
+//! carries no id-dependent scheduling.
+//!
+//! The quotient is taken by hashing: the canonical hash of a state is the
+//! **minimum over the group** of the renamed state hashes
+//! ([`ExploreSim::state_hash_perm`]). Sorting per-node sub-fingerprints
+//! alone would *not* be a sound quotient — node A's tally mentions node
+//! B's id, so renaming must be applied to the entire state, which the
+//! min-over-group does.
+//!
+//! Restrictions, each load-bearing for soundness:
+//!
+//! - **Equivocate / forged-slice adversaries disable symmetry.** The
+//!   equivocator picks victims by enumeration parity, so transposing two
+//!   correct victims does not map its behaviour onto itself; a quotient
+//!   would merge genuinely distinct attack schedules.
+//! - **Silent faulty pairs ignore inputs** (a silent actor never reads
+//!   one); every other pair must agree on inputs.
+//! - The permutation group is capped ([`GROUP_CAP`]); oversized classes
+//!   simply contribute nothing (identity-only), which is always sound.
+//!
+//! # Sleep-set independence
+//!
+//! [`ChoiceProfile`] carries what the sleep-set machinery in
+//! [`crate::explorer`] needs to decide whether two enabled events
+//! commute: deliveries to **distinct recipients** always do (disjoint
+//! state footprints, append-only pending multiset — the commuting-diamond
+//! property the hash collapse already relies on), and a delivery that is
+//! **threshold-inert** ([`scup_sim::Actor::threshold_inert`]) commutes
+//! even with siblings at the *same* recipient. Inertness additionally
+//! requires a correct origin: a Byzantine origin could later re-announce
+//! different slices, making the registry write order observable.
+
+use scup_graph::{ProcessId, ProcessSet};
+use scup_harness::AdversaryKind;
+use scup_scp::ScpMsg;
+use scup_sim::{ExploreEvent, ExploreSim, Perm};
+
+use crate::build::Setup;
+
+/// Permutation-group size cap: 6 interchangeable nodes (720 renamed
+/// hashes per state) is far beyond what exhaustible systems need, and the
+/// cap keeps a degenerate all-symmetric scenario from hashing forever.
+const GROUP_CAP: usize = 720;
+
+/// The automorphism group of one scenario, precomputed by
+/// [`Symmetry::compute`]. Trivial (identity-only) when the scenario has no
+/// interchangeable nodes or symmetry is disabled.
+#[derive(Debug, Clone)]
+pub struct Symmetry {
+    /// Every non-identity group element.
+    perms: Vec<Perm>,
+    /// Sizes of the interchangeability classes with at least two members.
+    class_sizes: Vec<u64>,
+}
+
+impl Symmetry {
+    /// The trivial (identity-only) group.
+    pub fn trivial() -> Self {
+        Symmetry {
+            perms: Vec::new(),
+            class_sizes: Vec::new(),
+        }
+    }
+
+    /// Computes the interchangeability classes of `setup` by verifying
+    /// transpositions, and expands them into the full permutation group
+    /// (product of per-class symmetric groups, capped at [`GROUP_CAP`]).
+    pub fn compute(setup: &Setup) -> Self {
+        // Victim-parity adversaries break node interchangeability; see the
+        // module docs.
+        if !setup.faulty.is_empty()
+            && !matches!(
+                setup.adversary,
+                AdversaryKind::Silent | AdversaryKind::Crash { .. } | AdversaryKind::Echo
+            )
+        {
+            return Symmetry::trivial();
+        }
+
+        let n = setup.kg.n();
+        // Union-find over verified transpositions.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if find(&mut parent, i) != find(&mut parent, j)
+                    && transposition_ok(setup, i as u32, j as u32)
+                {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri] = rj;
+                }
+            }
+        }
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            match classes.iter_mut().find(|c| {
+                let head = c[0] as usize;
+                find(&mut parent, head) == root
+            }) {
+                Some(class) => class.push(i as u32),
+                None => classes.push(vec![i as u32]),
+            }
+        }
+        classes.retain(|c| c.len() > 1);
+
+        // Expand the product of symmetric groups, smallest classes first,
+        // stopping before the cap (dropping a class is always sound).
+        classes.sort_by_key(Vec::len);
+        let mut group: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+        let mut class_sizes = Vec::new();
+        for class in &classes {
+            let factor: usize = (1..=class.len()).product();
+            if group.len() * factor > GROUP_CAP {
+                break;
+            }
+            class_sizes.push(class.len() as u64);
+            let arrangements = permutations_of(class);
+            let mut expanded = Vec::with_capacity(group.len() * arrangements.len());
+            for base in &group {
+                for arrangement in &arrangements {
+                    let mut map = base.clone();
+                    for (slot, &member) in class.iter().zip(arrangement) {
+                        map[*slot as usize] = member;
+                    }
+                    expanded.push(map);
+                }
+            }
+            group = expanded;
+        }
+
+        let perms = group
+            .into_iter()
+            .map(Perm::from_map)
+            .filter(|p| !p.is_identity())
+            .collect();
+        Symmetry { perms, class_sizes }
+    }
+
+    /// Group order, identity included.
+    pub fn group_order(&self) -> u64 {
+        self.perms.len() as u64 + 1
+    }
+
+    /// Sizes of the nontrivial interchangeability classes.
+    pub fn class_sizes(&self) -> &[u64] {
+        &self.class_sizes
+    }
+
+    /// `true` when only the identity remains.
+    pub fn is_trivial(&self) -> bool {
+        self.perms.is_empty()
+    }
+
+    /// The canonical (minimum-over-group) state hash, the state's own
+    /// (identity) hash, and whether the state's orbit under the group is
+    /// nontrivial (some renaming yields a different state) — the
+    /// per-state "symmetry hit" statistic. Orbit nontriviality is
+    /// invariant across the orbit, so the flag is a pure function of the
+    /// *canonical* state — deterministic however the class was first
+    /// reached. The identity hash identifies the concrete orbit member:
+    /// sleep-set covers are only comparable within one member's frame
+    /// (event hashes mention concrete process ids).
+    pub fn canonical_hash(&self, sim: &ExploreSim<ScpMsg>) -> (u128, u128, bool) {
+        let identity = sim.state_hash();
+        let mut min = identity;
+        let mut moved = false;
+        for p in &self.perms {
+            let h = sim.state_hash_perm(p);
+            moved |= h != identity;
+            if h < min {
+                min = h;
+            }
+        }
+        (min, identity, moved)
+    }
+}
+
+/// Verifies that transposing `i` and `j` is an automorphism of the
+/// initial configuration.
+fn transposition_ok(setup: &Setup, i: u32, j: u32) -> bool {
+    let (pi, pj) = (ProcessId::new(i), ProcessId::new(j));
+    let faulty_i = setup.faulty.contains(pi);
+    if faulty_i != setup.faulty.contains(pj) {
+        return false;
+    }
+    // Silent/echo faulty processes never read their input; everyone else
+    // must agree on it (crash adversaries wrap a live node, so inputs
+    // matter).
+    let inputless_pair =
+        faulty_i && matches!(setup.adversary, AdversaryKind::Silent | AdversaryKind::Echo);
+    if !inputless_pair && setup.inputs[pi.index()] != setup.inputs[pj.index()] {
+        return false;
+    }
+    let swap = |s: &ProcessSet| -> ProcessSet {
+        s.iter()
+            .map(|p| {
+                if p == pi {
+                    pj
+                } else if p == pj {
+                    pi
+                } else {
+                    p
+                }
+            })
+            .collect()
+    };
+    let swap_id = |u: usize| -> usize {
+        if u == pi.index() {
+            pj.index()
+        } else if u == pj.index() {
+            pi.index()
+        } else {
+            u
+        }
+    };
+    for u in 0..setup.kg.n() {
+        // Knowledge graph: π(PD(u)) = PD(π(u)).
+        let pd_mapped = swap(setup.kg.pd(ProcessId::new(u as u32)));
+        if &pd_mapped != setup.kg.pd(ProcessId::new(swap_id(u) as u32)) {
+            return false;
+        }
+        // Slices: renaming u's family must yield π(u)'s family verbatim
+        // (slice order included — the explorer hashes families as values).
+        let fam = &setup.slices[u];
+        let fam_mapped = match fam {
+            scup_fbqs::SliceFamily::Explicit(slices) => {
+                scup_fbqs::SliceFamily::Explicit(slices.iter().map(&swap).collect())
+            }
+            scup_fbqs::SliceFamily::AllSubsets { of, size } => scup_fbqs::SliceFamily::AllSubsets {
+                of: swap(of),
+                size: *size,
+            },
+        };
+        if fam_mapped != setup.slices[swap_id(u)] {
+            return false;
+        }
+    }
+    true
+}
+
+/// All arrangements of `items` (Heap's algorithm), deterministic order.
+fn permutations_of(items: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    fn heap(k: usize, work: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if k <= 1 {
+            out.push(work.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, work, out);
+            if k.is_multiple_of(2) {
+                work.swap(i, k - 1);
+            } else {
+                work.swap(0, k - 1);
+            }
+        }
+    }
+    heap(work.len(), &mut work, &mut out);
+    out
+}
+
+/// What the sleep-set machinery needs to know about one enabled choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoiceProfile {
+    /// The canonical event hash (sleep sets are matched by hash, so a
+    /// re-created identical delivery stays asleep — it leads exactly where
+    /// the sleeping copy leads).
+    pub hash: u128,
+    /// The event's recipient.
+    pub recipient: u32,
+    /// Threshold-inert delivery from a correct origin (see module docs).
+    pub inert: bool,
+}
+
+impl ChoiceProfile {
+    /// Profiles pending event `idx` of `sim`. `sleep_enabled` gates the
+    /// (non-free) inertness probe; with sleep sets off every event is
+    /// profiled as non-inert.
+    pub fn of(setup: &Setup, sim: &ExploreSim<ScpMsg>, idx: usize, sleep_enabled: bool) -> Self {
+        let event = sim.pending_at(idx);
+        let inert = sleep_enabled
+            && match event {
+                ExploreEvent::Deliver { msg, .. } => {
+                    !setup.faulty.contains(msg.origin) && sim.is_threshold_inert(idx)
+                }
+                ExploreEvent::Timer { .. } => false,
+            };
+        ChoiceProfile {
+            hash: sim.pending_hash(idx),
+            recipient: event.recipient().as_u32(),
+            inert,
+        }
+    }
+
+    /// The dynamic independence relation: distinct recipients always
+    /// commute; same-recipient deliveries commute when either is
+    /// threshold-inert.
+    pub fn independent(&self, other: &ChoiceProfile) -> bool {
+        self.recipient != other.recipient || self.inert || other.inert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutations_cover_factorial() {
+        assert_eq!(permutations_of(&[1]).len(), 1);
+        assert_eq!(permutations_of(&[1, 2]).len(), 2);
+        let p3 = permutations_of(&[0, 1, 2]);
+        assert_eq!(p3.len(), 6);
+        let mut sorted = p3.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "all distinct");
+    }
+
+    #[test]
+    fn perm_roundtrip() {
+        let p = Perm::from_map(vec![2, 1, 0, 3]);
+        assert!(!p.is_identity());
+        assert_eq!(p.apply(ProcessId::new(0)), ProcessId::new(2));
+        assert_eq!(p.apply_inv(ProcessId::new(2)), ProcessId::new(0));
+        assert_eq!(p.apply(ProcessId::new(9)), ProcessId::new(9));
+        assert_eq!(
+            p.apply_set(&ProcessSet::from_ids([0, 3])),
+            ProcessSet::from_ids([2, 3])
+        );
+    }
+}

@@ -1,9 +1,11 @@
 //! Exploration reports: per-scenario records, counterexample rendering,
 //! and the JSON shape.
 //!
-//! Every field except the `wall_micros` timings is a pure function of the
-//! campaign file — identical across runs, machines and worker counts. The
-//! determinism test in `tests/explore.rs` pins that down.
+//! Every field except the `wall_micros` timings and the traversal-effort
+//! counters (`transitions`, `sleep_prunes` — how hard the particular
+//! worker partition had to work, not what it found) is a pure function of
+//! the campaign file — identical across runs, machines and worker counts.
+//! The determinism test in `tests/explore.rs` pins that down.
 
 use scup_harness::json::Json;
 use scup_scp::Value;
@@ -66,6 +68,30 @@ pub struct ExploreRecord {
     /// `true` when no state was truncated: the verdict covers *every*
     /// schedule within the timer budget, not just the bounded prefix.
     pub complete: bool,
+    /// Frontier subtree roots sharded across workers (deterministic: the
+    /// serial prefix expansion does not depend on the worker count).
+    pub frontier_roots: u64,
+    /// Order of the symmetry automorphism group (1 = no reduction).
+    pub symmetry_group: u64,
+    /// Sizes of the interchangeable-process classes the group acts on.
+    pub symmetry_classes: Vec<u64>,
+    /// Visited states whose canonical representative is a *renaming* of
+    /// the state as reached — how often the symmetry quotient collapsed
+    /// something (a pure function of the visited set: deterministic).
+    pub symmetric_states: u64,
+    /// Branching events fired during exploration, summed over workers.
+    /// Traversal effort — partition-dependent, excluded from the
+    /// bit-identical contract (like `wall_micros`).
+    pub transitions: u64,
+    /// Choices skipped by the sleep-set reduction, summed over workers.
+    /// Traversal effort — partition-dependent, excluded from the
+    /// bit-identical contract (like `wall_micros`).
+    pub sleep_prunes: u64,
+    /// Rough bytes per forked state (initial-state estimate).
+    pub state_bytes_estimate: u64,
+    /// Peak-memory estimate: visited entries × (state + visited-entry
+    /// bytes). Deterministic.
+    pub peak_memory_bytes: u64,
     /// Minimal branching depth of a violation, if any exists.
     pub min_violation_depth: Option<u32>,
     /// The canonical minimal counterexample, if a violation exists.
@@ -156,6 +182,28 @@ impl ExploreRecord {
                 ),
             ),
             ("complete", Json::Bool(self.complete)),
+            ("frontier_roots", Json::Int(self.frontier_roots as i64)),
+            ("symmetry_group", Json::Int(self.symmetry_group as i64)),
+            (
+                "symmetry_classes",
+                Json::Arr(
+                    self.symmetry_classes
+                        .iter()
+                        .map(|&c| Json::Int(c as i64))
+                        .collect(),
+                ),
+            ),
+            ("symmetric_states", Json::Int(self.symmetric_states as i64)),
+            ("transitions", Json::Int(self.transitions as i64)),
+            ("sleep_prunes", Json::Int(self.sleep_prunes as i64)),
+            (
+                "state_bytes_estimate",
+                Json::Int(self.state_bytes_estimate as i64),
+            ),
+            (
+                "peak_memory_bytes",
+                Json::Int(self.peak_memory_bytes as i64),
+            ),
             (
                 "min_violation_depth",
                 self.min_violation_depth

@@ -1,0 +1,172 @@
+//! Differential soundness tests: reduced and unreduced exploration must
+//! agree on every verdict, for every small system in the suite.
+//!
+//! Every reduction — symmetry quotient, sleep sets, eager-inert
+//! (persistent-set) firing, and their combinations — must preserve the
+//! verdict tuple against the fully unreduced (PR 3 semantics) baseline:
+//! violation found or not, minimal counterexample depth, completeness,
+//! decided values, pass/fail. None of them may *grow* the state space.
+//!
+//! The raw state census is deliberately not required to match: symmetry
+//! and eager-inert shrink it by design, and sleep sets may skip states
+//! that are trace-equivalent to extensions of visited terminal states
+//! (whose verdict contribution is therefore already on record — see
+//! the explorer module docs).
+//!
+//! One scoping note: the eager-inert comparison runs on *complete*
+//! (untruncated) systems only. Inert fires are free moves, so on a
+//! step-truncated space the same step budget legitimately reaches
+//! deeper under the reduction — the two runs then explore different
+//! cuts of the space and their verdicts are incomparable by
+//! construction, not unsound.
+
+use scup_harness::scenario::{ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, TopologySpec};
+use scup_harness::AdversaryRegistry;
+use scup_mc::campaign::explore_scenario;
+use scup_mc::ExploreRecord;
+use stellar_cup::attempts::LocalSliceStrategy;
+
+fn sink2(steps: u32, timer_budget: u32, adversary: &str, inputs: Vec<u64>) -> Scenario {
+    Scenario::builder("sink2")
+        .topology(TopologySpec::RandomKosr {
+            sink: 2,
+            nonsink: 2,
+            k: 1,
+            extra_edge_prob: 0.0,
+        })
+        .f(0)
+        .adversary(adversary)
+        .faults(FaultPlacement::Ids(vec![2, 3]))
+        .inputs(inputs)
+        .explore(ExploreSpec {
+            max_steps: steps,
+            timer_budget,
+            ..Default::default()
+        })
+        .build()
+}
+
+fn split22(steps: u32) -> Scenario {
+    Scenario::builder("split22")
+        .topology(TopologySpec::Clustered {
+            clusters: 2,
+            cluster_size: 2,
+            bridges: 0,
+            intra_extra_prob: 0.0,
+            inter_extra_prob: 0.0,
+        })
+        .f(0)
+        .protocol(ProtocolSpec::StellarLocal(LocalSliceStrategy::SurviveF))
+        .faults(FaultPlacement::None)
+        .inputs(vec![1, 1, 2, 2])
+        .explore(ExploreSpec {
+            max_steps: steps,
+            timer_budget: 0,
+            expect_violation: true,
+            ..Default::default()
+        })
+        .build()
+}
+
+fn explore_with(mut s: Scenario, symmetry: bool, sleep_sets: bool, eager: bool) -> ExploreRecord {
+    s.explore.symmetry = symmetry;
+    s.explore.sleep_sets = sleep_sets;
+    s.explore.eager_inert = eager;
+    let r = explore_scenario(&s, 2, &AdversaryRegistry::builtin());
+    assert_eq!(r.error, None, "scenario must explore cleanly");
+    r
+}
+
+/// The verdict tuple every sound reduction must preserve.
+fn verdict(r: &ExploreRecord) -> (bool, Option<u32>, bool, Vec<u64>, bool) {
+    (
+        r.violating > 0,
+        r.min_violation_depth,
+        r.complete,
+        r.decided_values.clone(),
+        r.passed,
+    )
+}
+
+/// Every reduction combination agrees with the unreduced baseline on the
+/// verdict of every *complete* (untruncated) system, and never grows the
+/// space.
+#[test]
+// Exhausts split22's full 20 880-state unreduced space 8 ways; affordable
+// in release, slow unoptimized (the explore-smoke CI job runs with
+// --include-ignored).
+#[cfg_attr(debug_assertions, ignore = "release-only; see explore-smoke CI job")]
+fn reductions_agree_on_complete_systems() {
+    let systems: Vec<(&str, Scenario)> = vec![
+        ("sink2-silent", sink2(64, 0, "silent", vec![3, 9])),
+        ("sink2-timers", sink2(96, 1, "silent", vec![7])),
+        ("split22-full", split22(48)),
+    ];
+    for (name, scenario) in systems {
+        let base = explore_with(scenario.clone(), false, false, false);
+        assert!(base.complete, "{name}: baseline must exhaust");
+        for symmetry in [false, true] {
+            for sleep_sets in [false, true] {
+                for eager in [false, true] {
+                    if !symmetry && !sleep_sets && !eager {
+                        continue;
+                    }
+                    let r = explore_with(scenario.clone(), symmetry, sleep_sets, eager);
+                    assert_eq!(
+                        verdict(&r),
+                        verdict(&base),
+                        "{name}: verdict drifted under symmetry={symmetry} \
+                         sleep={sleep_sets} eager={eager}"
+                    );
+                    assert!(
+                        r.states <= base.states,
+                        "{name}: a reduction cannot grow the space"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// On step-truncated spaces the free-move depth metric of `eager_inert`
+/// legitimately diverges, so only the metric-compatible reductions are
+/// compared there.
+#[test]
+fn metric_compatible_reductions_agree_on_bounded_systems() {
+    let systems: Vec<(&str, Scenario)> = vec![
+        ("sink2-equivocate", sink2(6, 0, "equivocate", vec![7])),
+        ("split22-bounded", split22(17)),
+        ("sink2-crash", sink2(7, 0, "crash:3", vec![3, 9])),
+    ];
+    for (name, scenario) in systems {
+        let base = explore_with(scenario.clone(), false, false, false);
+        for (symmetry, sleep_sets) in [(true, false), (false, true), (true, true)] {
+            let r = explore_with(scenario.clone(), symmetry, sleep_sets, false);
+            assert_eq!(
+                verdict(&r),
+                verdict(&base),
+                "{name}: verdict drifted under symmetry={symmetry} sleep={sleep_sets}"
+            );
+            assert!(
+                r.states <= base.states,
+                "{name}: a reduction cannot grow the space"
+            );
+        }
+    }
+}
+
+/// The pinned unreduced counts: the representation and reduction work
+/// must not have changed the *full* semantics. These are the PR 3
+/// exhaustive counts, now reproduced with every reduction off.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only; see explore-smoke CI job")]
+fn unreduced_counts_match_the_pr3_semantics() {
+    let r = explore_with(sink2(64, 0, "silent", vec![3, 9]), false, false, false);
+    assert_eq!(r.states, 1_785);
+    let r = explore_with(sink2(96, 1, "silent", vec![7]), false, false, false);
+    assert_eq!(r.states, 1_116);
+    let r = explore_with(split22(48), false, false, false);
+    assert_eq!(r.states, 20_880);
+    assert_eq!(r.violating, 3_240);
+    assert_eq!(r.min_violation_depth, Some(16));
+}

@@ -63,8 +63,13 @@ fn split22_bounded() -> Scenario {
     s
 }
 
-fn without_wall(mut r: ExploreRecord) -> ExploreRecord {
+/// Strips the fields outside the bit-identical contract: wall-clock time
+/// and the traversal-effort counters (how hard this particular worker
+/// partition worked — not what it found).
+fn deterministic_view(mut r: ExploreRecord) -> ExploreRecord {
     r.wall_micros = 0;
+    r.transitions = 0;
+    r.sleep_prunes = 0;
     r
 }
 
@@ -88,8 +93,11 @@ fn exhaustive_pass_on_the_positive_system() {
     assert!(!r.premise);
     assert!(r.passed);
     // The canonical state count is part of the deterministic contract; a
-    // change here means the protocol or the reductions changed.
-    assert_eq!(r.states, 1_785);
+    // change here means the protocol or the reductions changed. (1 785
+    // without reductions — see tests/differential.rs, which pins that the
+    // verdicts agree; eager-inert flood-tail collapsing plus the
+    // interchangeable-outsider quotient bring it to 287.)
+    assert_eq!(r.states, 287);
 }
 
 #[test]
@@ -108,7 +116,7 @@ fn timer_choices_stay_safe_and_exhaustive() {
     assert!(r.complete);
     assert_eq!(r.violating, 0);
     assert_eq!(r.decided_values, vec![7]);
-    assert_eq!(r.states, 1_116);
+    assert_eq!(r.states, 208);
     assert!(
         r.states > no_timers.states,
         "timer choice points must enlarge the space"
@@ -165,7 +173,16 @@ fn bftcup_scenarios_are_a_clean_error() {
     let mut s = split22();
     s.protocol = ProtocolSpec::BftCup;
     let r = explore_scenario(&s, 1, &AdversaryRegistry::builtin());
-    assert!(r.error.expect("unsupported").contains("bft-cup"));
+    let error = r.error.expect("unsupported");
+    assert!(error.contains("bft-cup"));
+    assert!(
+        error.contains("`split22`"),
+        "the error must name the offending scenario: {error}"
+    );
+    assert!(
+        error.contains("mode = \"sample\""),
+        "the error must point at the sampling runner: {error}"
+    );
     assert!(!r.passed);
 }
 
@@ -175,25 +192,39 @@ fn reports_are_bit_identical_across_worker_counts() {
     // deterministic fields — visited maps merge by minimal depth and the
     // counterexample is recomputed canonically, so sharding cannot leak
     // into the report.
-    let campaign = |threads: usize| Campaign {
-        name: "det".into(),
-        mode: CampaignMode::Explore,
-        threads,
-        scenarios: vec![
-            // A bounded (truncated) scenario stresses the min-depth merge.
-            sink2(10, 0, "silent", vec![3, 9]),
-            sink2(5, 0, "equivocate", vec![7]),
-            split22_bounded(),
-        ],
+    let campaign = |threads: usize| {
+        // Default reductions (symmetry + eager-inert) everywhere, plus
+        // one scenario with sleep sets explicitly on: the sleep-aware
+        // covers are worker-local, so sharding must not leak into any
+        // deterministic field.
+        let mut sleepy = sink2(10, 0, "silent", vec![3, 9]);
+        sleepy.explore.sleep_sets = true;
+        Campaign {
+            name: "det".into(),
+            mode: CampaignMode::Explore,
+            threads,
+            scenarios: vec![
+                // A bounded (truncated) scenario stresses the min-depth merge.
+                sleepy,
+                sink2(5, 0, "equivocate", vec![7]),
+                split22_bounded(),
+            ],
+        }
     };
     let base = run_explore_campaign(&campaign(1));
     assert!(base.all_passed());
+    assert!(
+        base.records
+            .iter()
+            .any(|r| r.symmetry_group > 1 || r.sleep_prunes > 0),
+        "the determinism bar must be cleared with reductions actually engaged"
+    );
     for threads in [2, 8] {
         let other = run_explore_campaign(&campaign(threads));
         for (a, b) in base.records.iter().zip(&other.records) {
             assert_eq!(
-                without_wall(a.clone()),
-                without_wall(b.clone()),
+                deterministic_view(a.clone()),
+                deterministic_view(b.clone()),
                 "threads=1 vs threads={threads}"
             );
         }
@@ -225,7 +256,13 @@ fn campaign_file_parses_into_explore_mode() {
     .expect("campaigns/explore.toml");
     let campaign = scup_harness::campaign_from_str(&text).unwrap();
     assert_eq!(campaign.mode, CampaignMode::Explore);
-    assert_eq!(campaign.scenarios.len(), 5);
+    assert_eq!(campaign.scenarios.len(), 6);
+    let sink3 = campaign
+        .scenarios
+        .iter()
+        .find(|s| s.name == "sink3-proposers")
+        .expect("the three-active-proposer scenario ships in the campaign");
+    assert!(sink3.explore.eager_inert && sink3.explore.symmetry);
     let bad = campaign
         .scenarios
         .iter()

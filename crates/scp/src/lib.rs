@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fingerprint;
 pub mod node;
 pub mod statement;
 pub mod voting;

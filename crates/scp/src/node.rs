@@ -37,53 +37,16 @@
 //! every newly learned process so latecomers can replay the ballot and
 //! externalize state they missed.
 
-use std::collections::BTreeSet;
-
 use scup_fbqs::SliceFamily;
-use scup_graph::{ProcessId, ProcessSet};
+use scup_graph::{PersistentSet, PersistentVec, ProcessId, ProcessSet};
 use scup_sim::{Actor, Context, SimMessage, StateHasher};
 
 use crate::statement::{Statement, Value};
 use crate::voting::{QuorumCheck, VoteLevel, VoteTracker};
 
-/// Feeds a canonical fingerprint of a slice family into `h` (exploration
-/// state hashing).
-fn hash_family(h: &mut StateHasher, family: &SliceFamily) {
-    match family {
-        SliceFamily::Explicit(slices) => {
-            h.write_u8(1);
-            h.write_u64(slices.len() as u64);
-            for s in slices {
-                h.write_set(s);
-            }
-        }
-        SliceFamily::AllSubsets { of, size } => {
-            h.write_u8(2);
-            h.write_set(of);
-            h.write_u64(*size as u64);
-        }
-    }
-}
+use scup_sim::Perm;
 
-/// Feeds a canonical fingerprint of a statement into `h`.
-fn hash_statement(h: &mut StateHasher, stmt: &Statement) {
-    match stmt {
-        Statement::Nominate(v) => {
-            h.write_u8(1);
-            h.write_u64(*v);
-        }
-        Statement::Prepare(n, v) => {
-            h.write_u8(2);
-            h.write_u64(*n);
-            h.write_u64(*v);
-        }
-        Statement::Commit(n, v) => {
-            h.write_u8(3);
-            h.write_u64(*n);
-            h.write_u64(*v);
-        }
-    }
-}
+use crate::fingerprint::{hash_family, hash_family_perm, hash_statement, seen_entry_digest};
 
 /// An SCP envelope: a federated-voting pledge by `origin`, carrying the
 /// origin's declared slices, relayed through the overlay.
@@ -93,8 +56,10 @@ pub struct ScpMsg {
     /// Stellar; trusted here — see module docs).
     pub origin: ProcessId,
     /// The origin's declared slice family (`S_i` attached to every
-    /// message, Section III-D).
-    pub slices: SliceFamily,
+    /// message, Section III-D). Shared: an envelope is cloned once per
+    /// flood recipient and again on every snapshot of the pending event
+    /// multiset, so the family rides behind an `Arc`.
+    pub slices: std::sync::Arc<SliceFamily>,
     /// The statement being pledged.
     pub stmt: Statement,
     /// `true` for an accept-level pledge, `false` for a vote.
@@ -103,7 +68,7 @@ pub struct ScpMsg {
 
 impl SimMessage for ScpMsg {
     fn size_hint(&self) -> usize {
-        let slice_size = match &self.slices {
+        let slice_size = match self.slices.as_ref() {
             SliceFamily::Explicit(slices) => slices.iter().map(|s| 4 * s.len() + 2).sum::<usize>(),
             SliceFamily::AllSubsets { of, .. } => 4 * of.len() + 6,
         };
@@ -113,6 +78,13 @@ impl SimMessage for ScpMsg {
     fn fingerprint(&self, h: &mut StateHasher) {
         h.write_u32(self.origin.as_u32());
         hash_family(h, &self.slices);
+        hash_statement(h, &self.stmt);
+        h.write_bool(self.accept);
+    }
+
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        h.write_u32(perm.apply(self.origin).as_u32());
+        hash_family_perm(h, &self.slices, perm);
         hash_statement(h, &self.stmt);
         h.write_bool(self.accept);
     }
@@ -150,16 +122,28 @@ const NOMINATION_TIMER: u64 = 2;
 /// A correct SCP node.
 #[derive(Clone)]
 pub struct ScpNode {
-    config: ScpConfig,
+    /// Immutable after construction; behind an `Arc` so exploration forks
+    /// share it instead of deep-copying the slice family per visited state.
+    config: std::sync::Arc<ScpConfig>,
+    /// The own slice family as shared by every outgoing envelope.
+    shared_slices: std::sync::Arc<SliceFamily>,
     tracker: VoteTracker,
     check: QuorumCheck,
     /// Envelopes already processed/relayed: (origin, stmt, accept).
-    seen: BTreeSet<(ProcessId, Statement, bool)>,
+    /// Persistent: the dedup set is the node's largest collection, and
+    /// exploration forks a node per visited state — structural sharing
+    /// makes the fork an `Arc` bump and each new envelope a one-chunk
+    /// path copy.
+    seen: PersistentSet<(ProcessId, Statement, bool)>,
+    /// XOR multiset digest of `seen`, maintained incrementally so the
+    /// per-state fingerprint is O(1) in the envelope count (see
+    /// [`crate::fingerprint`]).
+    seen_digest: u128,
     /// Every distinct envelope, kept for late-learned processes (see the
-    /// module docs on straggler repair). Copy-on-write: exploration forks
-    /// a node per visited state, and sharing the backlog until the next
-    /// append keeps the fork cheap.
-    backlog: std::sync::Arc<Vec<ScpMsg>>,
+    /// module docs on straggler repair). Persistent append-only chunks:
+    /// the previous whole-`Vec` copy-on-write re-cloned the entire history
+    /// on the first append after every fork.
+    backlog: PersistentVec<ScpMsg>,
     /// Processes already brought up to date with the backlog.
     synced: ProcessSet,
     /// Confirmed nominees.
@@ -174,12 +158,15 @@ pub struct ScpNode {
 impl ScpNode {
     /// Creates a node.
     pub fn new(config: ScpConfig) -> Self {
+        let shared_slices = std::sync::Arc::new(config.slices.clone());
         ScpNode {
-            config,
+            config: std::sync::Arc::new(config),
+            shared_slices,
             tracker: VoteTracker::new(),
             check: QuorumCheck::new(),
-            seen: BTreeSet::new(),
-            backlog: std::sync::Arc::new(Vec::new()),
+            seen: PersistentSet::new(),
+            seen_digest: 0,
+            backlog: PersistentVec::new(),
             synced: ProcessSet::new(),
             candidates: Vec::new(),
             ballot: 0,
@@ -203,15 +190,26 @@ impl ScpNode {
         &self.candidates
     }
 
+    /// Records an envelope in the dedup set, keeping the incremental
+    /// digest in sync. Returns `true` when the envelope is new.
+    fn note_seen(&mut self, origin: ProcessId, stmt: Statement, accept: bool) -> bool {
+        if self.seen.insert((origin, stmt, accept)) {
+            self.seen_digest ^= seen_entry_digest(origin, &stmt, accept);
+            true
+        } else {
+            false
+        }
+    }
+
     fn broadcast_own(&mut self, ctx: &mut Context<'_, ScpMsg>, stmt: Statement, accept: bool) {
         let msg = ScpMsg {
             origin: ctx.self_id(),
-            slices: self.config.slices.clone(),
+            slices: std::sync::Arc::clone(&self.shared_slices),
             stmt,
             accept,
         };
-        self.seen.insert((ctx.self_id(), stmt, accept));
-        std::sync::Arc::make_mut(&mut self.backlog).push(msg.clone());
+        self.note_seen(ctx.self_id(), stmt, accept);
+        self.backlog.push(msg.clone());
         ctx.broadcast_known(msg);
     }
 
@@ -325,10 +323,17 @@ impl Actor<ScpMsg> for ScpNode {
         ctx.learn(msg.origin);
         self.sync_latecomers(ctx);
         // Flood-style gossip with dedup; `origin` is signature-verified.
-        if msg.origin == ctx.self_id() || !self.seen.insert((msg.origin, msg.stmt, msg.accept)) {
+        if msg.origin == ctx.self_id() || !self.note_seen(msg.origin, msg.stmt, msg.accept) {
             return;
         }
-        self.check.record_slices(msg.origin, &msg.slices);
+        // A changed slice claim invalidates every statement's quorum
+        // evaluation; an unchanged one (the common case — correct origins
+        // always attach the same family) keeps the incremental tally
+        // worklist small.
+        if self.check.slices_of(msg.origin) != Some(&*msg.slices) {
+            self.check.record_slices(msg.origin, &msg.slices);
+            self.tracker.invalidate_all();
+        }
         if msg.accept {
             self.tracker.record_accept(msg.origin, msg.stmt);
         } else {
@@ -340,7 +345,7 @@ impl Actor<ScpMsg> for ScpNode {
             self.vote(ctx, msg.stmt);
         }
         ctx.broadcast_known(msg.clone());
-        std::sync::Arc::make_mut(&mut self.backlog).push(msg);
+        self.backlog.push(msg);
         self.reevaluate(ctx);
     }
 
@@ -375,19 +380,15 @@ impl Actor<ScpMsg> for ScpNode {
     /// hashed envelope set (`seen`) and slice registry, and the backlog
     /// holds exactly the distinct envelopes of `seen` (its order only
     /// permutes future catch-up sends, which the explorer treats as a
-    /// multiset anyway).
+    /// multiset anyway). The envelope set and the registry contribute
+    /// through incrementally maintained XOR digests (see
+    /// [`crate::fingerprint`]), so hashing a node is O(1) in its history.
     fn fingerprint(&self, h: &mut StateHasher) {
         h.write_u64(self.config.input);
         h.write_u64(self.seen.len() as u64);
-        for (origin, stmt, accept) in &self.seen {
-            h.write_u32(origin.as_u32());
-            hash_statement(h, stmt);
-            h.write_bool(*accept);
-        }
-        for (i, fam) in self.check.recorded() {
-            h.write_u32(i.as_u32());
-            hash_family(h, fam);
-        }
+        h.write_u128(self.seen_digest);
+        h.write_u64(self.check.recorded_len() as u64);
+        h.write_u128(self.check.registry_digest());
         h.write_set(&self.synced);
         let mut candidates = self.candidates.clone();
         candidates.sort_unstable();
@@ -418,6 +419,82 @@ impl Actor<ScpMsg> for ScpNode {
             && known.difference_len(&self.synced) == 0
             && self.seen.contains(&(msg.origin, msg.stmt, msg.accept))
     }
+
+    /// [`Actor::fingerprint`] under a process-id renaming. The incremental
+    /// XOR digests pay off twice here: renamed digests are recomputed by
+    /// renaming each entry and XOR-folding — no re-sorting pass, since XOR
+    /// is order-independent.
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        h.write_u64(self.config.input);
+        h.write_u64(self.seen.len() as u64);
+        let seen_digest = self.seen.iter().fold(0u128, |acc, (origin, stmt, accept)| {
+            acc ^ seen_entry_digest(perm.apply(*origin), stmt, *accept)
+        });
+        h.write_u128(seen_digest);
+        h.write_u64(self.check.recorded_len() as u64);
+        h.write_u128(self.check.registry_digest_perm(perm));
+        h.write_set(&perm.apply_set(&self.synced));
+        let mut candidates = self.candidates.clone();
+        candidates.sort_unstable();
+        h.write_u64(candidates.len() as u64);
+        for v in candidates {
+            h.write_u64(v);
+        }
+        h.write_u64(self.ballot);
+        h.write_bool(self.lock.is_some());
+        h.write_u64(self.lock.unwrap_or(0));
+        h.write_bool(self.externalized.is_some());
+        h.write_u64(self.externalized.unwrap_or(0));
+    }
+
+    /// A delivery is *threshold-inert* (commutes with every sibling
+    /// delivery to this node, in both orders, with identical emissions —
+    /// the independence hook behind the sleep-set and persistent-set
+    /// reductions) when the statement's tally entry it would extend can
+    /// no longer be read by any threshold rule:
+    ///
+    /// - a **vote** for a statement already **accepted** here: the accept
+    ///   rule is done with the statement and confirm reads only the
+    ///   accepted set — recording the vote can never tip a threshold;
+    /// - any pledge for a statement already **confirmed** here: both
+    ///   accept and confirm are crossed, the level is final, and neither
+    ///   tally set is consulted again;
+    ///
+    /// in both cases additionally requiring that the origin's identity
+    /// and slice claim are already on file:
+    ///
+    /// - the slice registry is unchanged (claim equal to the recorded
+    ///   one), so no other statement's quorum evaluation shifts;
+    /// - the origin is known and latecomer sync is complete, so no
+    ///   knowledge or catch-up side effects fire;
+    /// - the nomination echo is subsumed: level ≥ accepted ⇒ ≥ voted, so
+    ///   the echo's `vote()` is a no-op;
+    /// - what remains is dedup/backlog bookkeeping (commutative set
+    ///   inserts) plus the relay broadcast, whose emissions do not depend
+    ///   on which same-recipient sibling fired first.
+    ///
+    /// Every condition is monotone (levels only rise, knowledge only
+    /// grows, correct origins never change their claim — the checker
+    /// additionally restricts the hook to correct origins), so inertness
+    /// persists along every extension, as both reductions require.
+    fn threshold_inert(
+        &self,
+        self_id: ProcessId,
+        known: &ProcessSet,
+        _from: ProcessId,
+        msg: &ScpMsg,
+    ) -> bool {
+        if msg.origin == self_id
+            || !known.contains(msg.origin)
+            || known.difference_len(&self.synced) != 0
+        {
+            return false;
+        }
+        let level = self.tracker.level(msg.stmt);
+        let tally_dead =
+            level == VoteLevel::Confirmed || (!msg.accept && level >= VoteLevel::Accepted);
+        tally_dead && self.check.slices_of(msg.origin) == Some(&*msg.slices)
+    }
 }
 
 /// Ballot counters above this are ignored by the equivocator (bounded
@@ -431,8 +508,9 @@ const EQUIVOCATION_NOISE_CAP: u64 = 4;
 pub struct EquivocatingScpNode {
     /// The two values it plays against each other.
     pub values: (Value, Value),
-    /// The slice family it attaches (typically a forged, tiny one).
-    pub fake_slices: SliceFamily,
+    /// The slice family it attaches (typically a forged, tiny one);
+    /// shared by every outgoing envelope.
+    pub fake_slices: std::sync::Arc<SliceFamily>,
     /// Rotation of the victim split: peer `idx` gets the first value when
     /// `(idx + split)` is even. The bounded model checker enumerates
     /// splits as adversary choice points; sampled runs keep the default 0.
@@ -444,7 +522,7 @@ impl EquivocatingScpNode {
     pub fn new(values: (Value, Value), fake_slices: SliceFamily) -> Self {
         EquivocatingScpNode {
             values,
-            fake_slices,
+            fake_slices: std::sync::Arc::new(fake_slices),
             split: 0,
         }
     }
@@ -471,7 +549,7 @@ impl EquivocatingScpNode {
                 j,
                 ScpMsg {
                     origin: me,
-                    slices: self.fake_slices.clone(),
+                    slices: std::sync::Arc::clone(&self.fake_slices),
                     stmt,
                     accept: true,
                 },

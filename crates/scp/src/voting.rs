@@ -14,10 +14,10 @@
 //! slice registry built from received envelopes and answers the
 //! quorum/v-blocking queries.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use scup_fbqs::{EngineScratch, QuorumEngine, SliceFamily};
-use scup_graph::{ProcessId, ProcessSet};
+use scup_graph::{PersistentMap, ProcessId, ProcessSet};
 
 use crate::statement::Statement;
 
@@ -39,28 +39,37 @@ pub enum VoteLevel {
 /// bitmask rows with reusable scratch — the per-message federated-voting
 /// re-evaluation is the simulator's hottest loop.
 ///
-/// The engine, scratch and closure buffers are *derived* state: `Clone`
-/// copies only the registry and rebuilds the engine lazily on the next
-/// query. Exploration forks one `QuorumCheck` per SCP node per visited
-/// state, and most forked nodes are never queried before the next fork.
+/// Exploration forks one `QuorumCheck` per SCP node per visited state, and
+/// most forked nodes are never mutated before the next fork, so every
+/// heavy field is structurally shared: the registry is a
+/// [`PersistentMap`] (clone = `Arc` bump, mutation path-copies one chunk)
+/// and the compiled engine rides behind an `Arc` — a fork keeps querying
+/// the shared compilation and only [`Arc::make_mut`]-copies it when a
+/// divergent slice claim actually arrives. Scratch and closure buffers are
+/// cheap transients and start empty in each clone.
 #[derive(Debug, Default)]
 pub struct QuorumCheck {
-    slices: BTreeMap<ProcessId, SliceFamily>,
-    engine: Option<QuorumEngine>,
+    slices: PersistentMap<ProcessId, SliceFamily>,
+    engine: Option<Arc<QuorumEngine>>,
     scratch: EngineScratch,
     closure: ProcessSet,
     /// The `(self_id, own_slices)` pair currently compiled into the engine.
-    own_row: Option<(ProcessId, SliceFamily)>,
+    own_row: Option<(ProcessId, Arc<SliceFamily>)>,
+    /// XOR multiset digest of the registry, maintained incrementally so
+    /// state fingerprints need not re-walk the recorded claims (see
+    /// [`crate::fingerprint`]).
+    digest: u128,
 }
 
 impl Clone for QuorumCheck {
     fn clone(&self) -> Self {
         QuorumCheck {
             slices: self.slices.clone(),
-            engine: None,
+            engine: self.engine.clone(),
             scratch: EngineScratch::default(),
             closure: ProcessSet::new(),
             own_row: self.own_row.clone(),
+            digest: self.digest,
         }
     }
 }
@@ -71,20 +80,21 @@ impl QuorumCheck {
         QuorumCheck::default()
     }
 
-    /// The compiled engine, rebuilt from the registry when a fork dropped
-    /// it (recorded claims first, then the own-slices override on top).
-    fn engine_mut(&mut self) -> &mut QuorumEngine {
+    /// Ensures the compiled engine exists (recorded claims first, then the
+    /// own-slices override on top). Read-only queries then run on the
+    /// possibly-shared compilation; only row rewrites go through
+    /// [`Arc::make_mut`].
+    fn ensure_engine(&mut self) {
         if self.engine.is_none() {
             let mut engine = QuorumEngine::new(0);
-            for (i, fam) in &self.slices {
+            for (i, fam) in self.slices.iter() {
                 engine.set_slices(*i, fam);
             }
             if let Some((own, fam)) = &self.own_row {
                 engine.set_slices(*own, fam);
             }
-            self.engine = Some(engine);
+            self.engine = Some(Arc::new(engine));
         }
-        self.engine.as_mut().expect("just built")
     }
 
     /// Records the slice family attached to a message from `from`
@@ -98,9 +108,9 @@ impl QuorumCheck {
                 // override; force re-compilation on the next quorum query.
                 self.own_row = None;
                 if let Some(engine) = &mut self.engine {
-                    engine.set_slices(from, slices);
+                    Arc::make_mut(engine).set_slices(from, slices);
                 }
-                self.slices.insert(from, slices.clone());
+                self.record_digested(from, slices);
                 return;
             }
         }
@@ -108,9 +118,42 @@ impl QuorumCheck {
             return;
         }
         if let Some(engine) = &mut self.engine {
-            engine.set_slices(from, slices);
+            Arc::make_mut(engine).set_slices(from, slices);
         }
+        self.record_digested(from, slices);
+    }
+
+    /// Stores the claim, XORing the displaced entry out of the registry
+    /// digest and the new one in.
+    fn record_digested(&mut self, from: ProcessId, slices: &SliceFamily) {
+        if let Some(old) = self.slices.get(&from) {
+            if old == slices {
+                return;
+            }
+            self.digest ^= crate::fingerprint::family_entry_digest(from, old);
+        }
+        self.digest ^= crate::fingerprint::family_entry_digest(from, slices);
         self.slices.insert(from, slices.clone());
+    }
+
+    /// Number of recorded claims.
+    pub fn recorded_len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The incremental XOR digest over every recorded `(process, slices)`
+    /// claim — the O(1) fingerprint contribution of the registry.
+    pub fn registry_digest(&self) -> u128 {
+        self.digest
+    }
+
+    /// [`QuorumCheck::registry_digest`] of the registry with every process
+    /// id renamed through `perm` — the symmetry reduction's slow path,
+    /// recomputed per permutation (XOR needs no re-sorting).
+    pub fn registry_digest_perm(&self, perm: &scup_sim::Perm) -> u128 {
+        self.slices.iter().fold(0u128, |acc, (i, fam)| {
+            acc ^ crate::fingerprint::family_entry_digest_perm(*i, fam, perm)
+        })
     }
 
     /// The registered slices of `from`, if any message arrived yet.
@@ -119,7 +162,8 @@ impl QuorumCheck {
     }
 
     /// Every recorded `(process, slices)` claim, in process-id order —
-    /// canonical iteration for exploration state fingerprints.
+    /// canonical iteration for exploration state fingerprints (identical
+    /// to the pre-persistent-map `BTreeMap` order).
     pub fn recorded(&self) -> impl Iterator<Item = (ProcessId, &SliceFamily)> + '_ {
         self.slices.iter().map(|(i, fam)| (*i, fam))
     }
@@ -138,27 +182,31 @@ impl QuorumCheck {
         own_slices: &SliceFamily,
         candidates: &ProcessSet,
     ) -> bool {
-        self.engine_mut();
-        let engine = self.engine.as_mut().expect("engine_mut built it");
-        match &self.own_row {
-            Some((own, fam)) if *own == self_id && fam == own_slices => {}
-            previous => {
-                // Restore the row displaced by an earlier own-slices
-                // override for a *different* self id (callers may query on
-                // behalf of several processes): back to its recorded claim,
-                // or to no-slices when none was ever recorded.
-                if let Some((old_id, _)) = previous {
-                    if *old_id != self_id {
-                        match self.slices.get(old_id) {
-                            Some(fam) => engine.set_slices(*old_id, fam),
-                            None => engine.set_slices(*old_id, &SliceFamily::empty()),
-                        }
+        self.ensure_engine();
+        let row_current = matches!(
+            &self.own_row,
+            Some((own, fam)) if *own == self_id && **fam == *own_slices
+        );
+        if !row_current {
+            // Restore the row displaced by an earlier own-slices override
+            // for a *different* self id (callers may query on behalf of
+            // several processes): back to its recorded claim, or to
+            // no-slices when none was ever recorded. Row rewrites are the
+            // only place a fork-shared engine compilation gets copied.
+            let previous = self.own_row.take();
+            let engine = Arc::make_mut(self.engine.as_mut().expect("ensured above"));
+            if let Some((old_id, _)) = &previous {
+                if *old_id != self_id {
+                    match self.slices.get(old_id) {
+                        Some(fam) => engine.set_slices(*old_id, fam),
+                        None => engine.set_slices(*old_id, &SliceFamily::empty()),
                     }
                 }
-                engine.set_slices(self_id, own_slices);
-                self.own_row = Some((self_id, own_slices.clone()));
             }
+            engine.set_slices(self_id, own_slices);
+            self.own_row = Some((self_id, Arc::new(own_slices.clone())));
         }
+        let engine = self.engine.as_ref().expect("ensured above");
         engine.quorum_closure_in(candidates, &mut self.scratch, &mut self.closure);
         self.closure.contains(self_id)
     }
@@ -171,11 +219,41 @@ impl QuorumCheck {
 }
 
 /// Per-statement federated-voting tally for one process.
-#[derive(Debug, Clone, Default)]
+///
+/// Structurally shared: exploration forks a tracker per SCP node per
+/// visited state, so the per-statement maps are [`PersistentMap`]s —
+/// `Clone` is three `Arc` bumps, and recording a pledge path-copies one
+/// chunk instead of the whole tally.
+#[derive(Debug, Default)]
 pub struct VoteTracker {
-    voted: BTreeMap<Statement, ProcessSet>,
-    accepted: BTreeMap<Statement, ProcessSet>,
-    mine: BTreeMap<Statement, VoteLevel>,
+    voted: PersistentMap<Statement, ProcessSet>,
+    accepted: PersistentMap<Statement, ProcessSet>,
+    mine: PersistentMap<Statement, VoteLevel>,
+    /// Statements whose tally changed since the last [`VoteTracker::update`]
+    /// — the incremental worklist. A statement's level depends only on its
+    /// own tally sets, the caller's slices, and the slice registry, so
+    /// re-evaluating anything else is wasted quorum queries (the previous
+    /// full-rescan `update` dominated the exploration profile).
+    dirty: Vec<Statement>,
+    /// Set when the slice registry changed: every statement's quorum
+    /// evaluation is stale, so the next update rescans all of them.
+    all_dirty: bool,
+    /// Reusable statement buffer for [`VoteTracker::update`] (transient:
+    /// clones start with a fresh one).
+    stmt_buf: Vec<Statement>,
+}
+
+impl Clone for VoteTracker {
+    fn clone(&self) -> Self {
+        VoteTracker {
+            voted: self.voted.clone(),
+            accepted: self.accepted.clone(),
+            mine: self.mine.clone(),
+            dirty: self.dirty.clone(),
+            all_dirty: self.all_dirty,
+            stmt_buf: Vec::new(),
+        }
+    }
 }
 
 impl VoteTracker {
@@ -184,26 +262,43 @@ impl VoteTracker {
         VoteTracker::default()
     }
 
+    fn mark_dirty(&mut self, stmt: Statement) {
+        if !self.all_dirty && !self.dirty.contains(&stmt) {
+            self.dirty.push(stmt);
+        }
+    }
+
+    /// Marks every statement stale — call after the slice registry (which
+    /// all quorum evaluations read) changed.
+    pub fn invalidate_all(&mut self) {
+        self.all_dirty = true;
+        self.dirty.clear();
+    }
+
     /// Records a remote vote.
     pub fn record_vote(&mut self, from: ProcessId, stmt: Statement) {
-        self.voted.entry(stmt).or_default().insert(from);
+        if self.voted.get_or_default(stmt).insert(from) {
+            self.mark_dirty(stmt);
+        }
     }
 
     /// Records a remote accept (an accept implies a vote).
     pub fn record_accept(&mut self, from: ProcessId, stmt: Statement) {
-        self.voted.entry(stmt).or_default().insert(from);
-        self.accepted.entry(stmt).or_default().insert(from);
+        let fresh_vote = self.voted.get_or_default(stmt).insert(from);
+        if self.accepted.get_or_default(stmt).insert(from) || fresh_vote {
+            self.mark_dirty(stmt);
+        }
     }
 
     /// Registers our own vote for `stmt` (no-op if we already pledged).
     /// Returns `true` if this is a new vote that should be broadcast.
     pub fn vote(&mut self, self_id: ProcessId, stmt: Statement) -> bool {
-        let level = self.mine.entry(stmt).or_insert(VoteLevel::None);
-        if *level >= VoteLevel::Voted {
+        if self.level(stmt) >= VoteLevel::Voted {
             return false;
         }
-        *level = VoteLevel::Voted;
-        self.voted.entry(stmt).or_default().insert(self_id);
+        self.mine.insert(stmt, VoteLevel::Voted);
+        self.voted.get_or_default(stmt).insert(self_id);
+        self.mark_dirty(stmt);
         true
     }
 
@@ -230,9 +325,18 @@ impl VoteTracker {
         self.accepted.get(&stmt).cloned().unwrap_or_default()
     }
 
-    /// Re-evaluates the accept/confirm rules for every known statement.
-    /// Returns the statements whose level rose, with their new level —
-    /// the caller broadcasts new accepts and reacts to confirmations.
+    /// Re-evaluates the accept/confirm rules for every *stale* statement
+    /// (tally changed since the last call, or all of them after a registry
+    /// change). Returns the statements whose level rose, with their new
+    /// level — the caller broadcasts new accepts and reacts to
+    /// confirmations.
+    ///
+    /// Incremental: a statement's level is a monotone function of its own
+    /// tally sets, the caller's slices, and the slice registry. Recording
+    /// paths mark the touched statement dirty and
+    /// [`VoteTracker::invalidate_all`] handles registry changes, so a
+    /// statement whose inputs did not change since its last evaluation
+    /// cannot have a higher level now and is safely skipped.
     ///
     /// Takes the check mutably: quorum queries run on its compiled engine,
     /// reusing its scratch buffers across statements and calls.
@@ -243,14 +347,22 @@ impl VoteTracker {
         check: &mut QuorumCheck,
     ) -> Vec<(Statement, VoteLevel)> {
         let mut changes = Vec::new();
-        let statements: Vec<Statement> = self
-            .voted
-            .keys()
-            .chain(self.accepted.keys())
-            .copied()
-            .collect();
+        let mut statements = std::mem::take(&mut self.stmt_buf);
+        statements.clear();
+        if self.all_dirty {
+            // Every accept is also recorded as a vote, so `voted`'s keys
+            // cover the statement universe.
+            statements.extend(self.voted.keys().copied());
+            self.all_dirty = false;
+            self.dirty.clear();
+        } else {
+            // Ascending statement order, exactly like the full rescan.
+            statements.append(&mut self.dirty);
+            statements.sort_unstable();
+            statements.dedup();
+        }
         let empty = ProcessSet::new();
-        for stmt in statements {
+        for stmt in statements.iter().copied() {
             loop {
                 let level = self.level(stmt);
                 let next = match level {
@@ -264,8 +376,8 @@ impl VoteTracker {
                                     self.voted.get(&stmt).unwrap_or(&empty),
                                 ));
                         if can_accept {
-                            self.accepted.entry(stmt).or_default().insert(self_id);
-                            self.voted.entry(stmt).or_default().insert(self_id);
+                            self.accepted.get_or_default(stmt).insert(self_id);
+                            self.voted.get_or_default(stmt).insert(self_id);
                             self.mine.insert(stmt, VoteLevel::Accepted);
                             changes.push((stmt, VoteLevel::Accepted));
                             true
@@ -293,6 +405,7 @@ impl VoteTracker {
                 }
             }
         }
+        self.stmt_buf = statements;
         changes
     }
 }
@@ -414,5 +527,73 @@ mod tests {
         check.record_slices(p(9), &a);
         check.record_slices(p(9), &b);
         assert_eq!(check.slices_of(p(9)), Some(&b));
+    }
+
+    /// Recomputes the registry digest from scratch, the way the
+    /// incremental bookkeeping must track it.
+    fn digest_from_scratch(check: &QuorumCheck) -> u128 {
+        check.recorded().fold(0u128, |acc, (i, fam)| {
+            acc ^ crate::fingerprint::family_entry_digest(i, fam)
+        })
+    }
+
+    #[test]
+    fn registry_digest_tracks_inserts_and_overwrites() {
+        // The state-hash-stability half of the representation swap: the
+        // incrementally maintained XOR digest must equal a from-scratch
+        // walk of the registry after any insert/overwrite sequence —
+        // including the Byzantine re-announcement path that XORs the
+        // displaced entry back out.
+        let mut check = fig1_check();
+        assert_eq!(check.registry_digest(), digest_from_scratch(&check));
+        let a = SliceFamily::explicit([ProcessSet::from_ids([1])]);
+        let b = SliceFamily::explicit([ProcessSet::from_ids([2])]);
+        check.record_slices(p(9), &a);
+        assert_eq!(check.registry_digest(), digest_from_scratch(&check));
+        check.record_slices(p(9), &b);
+        assert_eq!(check.registry_digest(), digest_from_scratch(&check));
+        // Re-recording the same family is a digest no-op.
+        let before = check.registry_digest();
+        check.record_slices(p(9), &b);
+        assert_eq!(check.registry_digest(), before);
+        // Two registries with the same contents agree regardless of
+        // insertion order (the digest is a function of the set).
+        let mut other = QuorumCheck::new();
+        let sys = paper::fig1_system();
+        for i in sys.processes().collect::<Vec<_>>().into_iter().rev() {
+            other.record_slices(i, sys.slices(i));
+        }
+        other.record_slices(p(9), &b);
+        assert_eq!(other.registry_digest(), check.registry_digest());
+    }
+
+    #[test]
+    fn registry_digest_under_identity_perm_is_the_digest() {
+        let check = fig1_check();
+        let id = scup_sim::Perm::identity(8);
+        assert_eq!(check.registry_digest_perm(&id), check.registry_digest());
+        // A transposition renames entries: digest changes (members moved),
+        // and applying it twice round-trips.
+        let swap = scup_sim::Perm::from_map(vec![1, 0, 2, 3, 4, 5, 6, 7]);
+        let renamed = check.registry_digest_perm(&swap);
+        assert_ne!(renamed, check.registry_digest());
+    }
+
+    #[test]
+    fn forked_checks_share_then_diverge() {
+        // Persistent-map + Arc-engine semantics: a clone answers queries
+        // identically, and divergent slice claims after the fork do not
+        // leak across.
+        let mut a = fig1_check();
+        let sys = paper::fig1_system();
+        let q = ProcessSet::from_ids([4, 5, 6]);
+        assert!(a.has_quorum_through(p(4), sys.slices(p(4)), &q));
+        let mut b = a.clone();
+        assert!(b.has_quorum_through(p(4), sys.slices(p(4)), &q));
+        // Divergence: b learns a forged claim for 5; a is unaffected.
+        b.record_slices(p(5), &SliceFamily::explicit([ProcessSet::from_ids([0])]));
+        assert!(a.has_quorum_through(p(4), sys.slices(p(4)), &q));
+        assert_ne!(a.registry_digest(), b.registry_digest());
+        assert_eq!(a.slices_of(p(5)), Some(sys.slices(p(5))));
     }
 }

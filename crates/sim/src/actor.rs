@@ -4,7 +4,7 @@ use std::fmt::Debug;
 use rand::rngs::StdRng;
 use scup_graph::{ProcessId, ProcessSet};
 
-use crate::explore::StateHasher;
+use crate::explore::{Perm, StateHasher};
 use crate::SimTime;
 
 /// Marker trait for protocol messages carried by the simulator.
@@ -24,6 +24,16 @@ pub trait SimMessage: Clone + Debug + 'static {
     /// override to hash fields directly on hot exploration paths.
     fn fingerprint(&self, h: &mut StateHasher) {
         h.write_str(&format!("{self:?}"));
+    }
+
+    /// Like [`SimMessage::fingerprint`], but with every process id the
+    /// payload mentions renamed through `perm` (symmetry reduction). The
+    /// default delegates to `fingerprint`, which is only sound for
+    /// payloads that mention no process ids; id-bearing payloads must
+    /// override.
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        let _ = perm;
+        self.fingerprint(h);
     }
 }
 
@@ -76,6 +86,41 @@ pub trait Actor<M: SimMessage>: Any {
     /// the callback context). The explorer fires absorbed events eagerly
     /// without branching on them. The default (`false`) is always sound.
     fn absorbs(&self, self_id: ProcessId, known: &ProcessSet, from: ProcessId, msg: &M) -> bool {
+        let _ = (self_id, known, from, msg);
+        false
+    }
+
+    /// Like [`Actor::fingerprint`], but with every process id the hashed
+    /// state mentions renamed through `perm` — the fingerprint this actor
+    /// *would have* at its renamed slot in the `perm`-image run (symmetry
+    /// reduction). Must satisfy: `fingerprint_perm(h, π)` feeds exactly
+    /// what the π-renamed copy of this actor's `fingerprint(h)` would
+    /// feed. The default delegates to `fingerprint`, which is only sound
+    /// for actors whose hashed state mentions no process ids (stateless
+    /// adversaries); the model checker enables symmetry only for rosters
+    /// where every actor upholds this contract.
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        let _ = perm;
+        self.fingerprint(h);
+    }
+
+    /// Exploration support, partial-order reduction: returns `true` when
+    /// delivering `msg` from `from` is *threshold-inert* — not a no-op
+    /// (state may change, the delivery may be relayed), but guaranteed to
+    /// **commute with every other delivery to this actor**, now and in
+    /// every reachable extension of this state (the property must be
+    /// monotone, like [`Actor::absorbs`]). Concretely: processing the
+    /// message must not change any decision-relevant threshold or the
+    /// actor's outgoing behaviour beyond a deterministic relay whose
+    /// emissions are identical whichever same-recipient sibling fires
+    /// first. The default (`false`) is always sound.
+    fn threshold_inert(
+        &self,
+        self_id: ProcessId,
+        known: &ProcessSet,
+        from: ProcessId,
+        msg: &M,
+    ) -> bool {
         let _ = (self_id, known, from, msg);
         false
     }

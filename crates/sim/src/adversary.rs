@@ -133,6 +133,11 @@ impl<M: SimMessage, A: Actor<M> + Clone> Actor<M> for CrashActor<A> {
         h.write_u64(self.received);
         self.inner.fingerprint(h);
     }
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &crate::explore::Perm) {
+        h.write_u64(self.crash_after);
+        h.write_u64(self.received);
+        self.inner.fingerprint_perm(h, perm);
+    }
     // A delivery before the crash point always advances `received` (state
     // change); after it, everything is dropped — permanently.
     fn absorbs(

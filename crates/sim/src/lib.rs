@@ -70,7 +70,7 @@ pub mod adversary;
 pub mod explore;
 
 pub use actor::{Actor, Context, SimMessage};
-pub use explore::{ExploreEvent, ExploreSim, SimState, StateHasher};
+pub use explore::{ExploreEvent, ExploreSim, Perm, SimState, StateHasher};
 pub use metrics::SimReport;
 pub use network::NetworkConfig;
 pub use runner::Simulation;

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail when a benchmark's throughput regresses against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--prefix P] [--min-ratio R]
+
+Both files are criterion-shim JSON arrays (objects with `name` and
+`elems_per_sec`). Every baseline case whose name starts with the prefix
+must appear in the current report with at least `min-ratio` of the
+baseline throughput (default 0.7 — i.e. fail on a >30% regression).
+Element counts are part of the case name, so a semantics change that
+moves a state count shows up as a missing case, not a silently skewed
+ratio.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {e["name"]: e for e in json.load(f) if "elems_per_sec" in e}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--prefix", default="explore_states/")
+    ap.add_argument("--min-ratio", type=float, default=0.7)
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = []
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        if not name.startswith(args.prefix):
+            continue
+        checked += 1
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current report "
+                            f"(element count changed? re-baseline deliberately)")
+            continue
+        ratio = cur["elems_per_sec"] / base["elems_per_sec"]
+        marker = "OK " if ratio >= args.min_ratio else "FAIL"
+        print(f"{marker} {name}: {base['elems_per_sec']} -> "
+              f"{cur['elems_per_sec']} elems/s ({ratio:.2f}x)")
+        if ratio < args.min_ratio:
+            failures.append(f"{name}: {ratio:.2f}x of baseline "
+                            f"(floor {args.min_ratio:.2f}x)")
+    if checked == 0:
+        failures.append(f"no baseline cases matched prefix {args.prefix!r}")
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression check passed ({checked} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
