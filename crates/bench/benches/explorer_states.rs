@@ -1,7 +1,7 @@
 //! Explorer throughput: canonical states per second on the explore-campaign
 //! systems.
 //!
-//! Two kinds of rows, both tracked in `BENCH_PR4.json`:
+//! Two kinds of rows, both tracked in `BENCH_PR5.json`:
 //!
 //! - `*-unreduced` rows run with every reduction off and count their own
 //!   visited states — the *per-state* throughput of the explorer core
@@ -69,6 +69,36 @@ fn split22() -> Scenario {
         .build()
 }
 
+/// The bounded equivocating-leader BFT-CUP system (4-member clique sink,
+/// f = 1, the view-0 leader lies; both victim splits are explored).
+fn bftcup_equiv(max_steps: u32) -> Scenario {
+    Scenario::builder("bftcup-equiv")
+        .topology(TopologySpec::RandomKosr {
+            sink: 4,
+            nonsink: 0,
+            k: 3,
+            extra_edge_prob: 0.0,
+        })
+        .f(1)
+        .adversary("equivocate")
+        .faults(FaultPlacement::Ids(vec![0]))
+        .protocol(ProtocolSpec::BftCup)
+        .inputs(vec![7])
+        .explore(ExploreSpec {
+            max_steps,
+            timer_budget: 0,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// The discovery-interleaved full stack on the fig1-style 4-node system.
+fn sink2_discovery() -> Scenario {
+    let mut s = sink2(64, "silent");
+    s.explore.explore_discovery = true;
+    s
+}
+
 fn without_reductions(mut s: Scenario) -> Scenario {
     s.explore.symmetry = false;
     s.explore.sleep_sets = false;
@@ -83,6 +113,11 @@ fn bench_explorer(c: &mut Criterion) {
         ("sink2-full", sink2(64, "silent"), 1usize),
         ("sink2-equiv-s7", sink2(7, "equivocate"), 1),
         ("split22-cex", split22(), 1),
+        // The PR 5 full-stack baselines: the bounded BFT-CUP
+        // equivocating-leader space and the discovery-interleaved
+        // positive pipeline.
+        ("bftcup-equiv-d5", bftcup_equiv(5), 1),
+        ("sink2-discovery", sink2_discovery(), 1),
     ];
     for (name, scenario, threads) in cases {
         // The deterministic unreduced state count: the size of the

@@ -55,6 +55,7 @@
 pub mod attempts;
 pub mod build_slices;
 pub mod consensus;
+pub mod explore_stack;
 pub mod ledger;
 pub mod oracle;
 pub mod report;

@@ -31,9 +31,9 @@
 use std::collections::BTreeMap;
 
 use scup_graph::{ProcessId, ProcessSet};
-use scup_sim::{Actor, Context, SimMessage};
+use scup_sim::{Actor, Context, Perm, SimMessage, StateHasher};
 
-use crate::discovery::{SinkCore, SinkMsg};
+use crate::discovery::{apply_perm, write_set_perm, SinkCore, SinkMsg};
 
 /// The value type BFT-CUP agrees on.
 pub type Value = u64;
@@ -81,6 +81,57 @@ pub enum BftMsg {
     AskDecision,
 }
 
+impl BftMsg {
+    /// Canonical fingerprint with an optional process-id renaming. Only
+    /// the embedded discovery payloads mention process ids; the consensus
+    /// messages carry views and values, which renaming leaves untouched.
+    fn fingerprint_into(&self, h: &mut StateHasher, perm: Option<&Perm>) {
+        match self {
+            BftMsg::Sink(m) => {
+                h.write_u8(1);
+                m.fingerprint_into(h, perm);
+            }
+            BftMsg::Propose { view, value } => {
+                h.write_u8(2);
+                h.write_u64(*view);
+                h.write_u64(*value);
+            }
+            BftMsg::Echo { view, value } => {
+                h.write_u8(3);
+                h.write_u64(*view);
+                h.write_u64(*value);
+            }
+            BftMsg::Commit { view, value } => {
+                h.write_u8(4);
+                h.write_u64(*view);
+                h.write_u64(*value);
+            }
+            BftMsg::ViewChange { view, lock } => {
+                h.write_u8(5);
+                h.write_u64(*view);
+                write_lock(h, *lock);
+            }
+            BftMsg::Decide(v) => {
+                h.write_u8(6);
+                h.write_u64(*v);
+            }
+            BftMsg::AskDecision => h.write_u8(7),
+        }
+    }
+}
+
+/// Feeds an optional `(view, value)` lock.
+fn write_lock(h: &mut StateHasher, lock: Option<(u64, Value)>) {
+    match lock {
+        Some((v, val)) => {
+            h.write_u8(1);
+            h.write_u64(v);
+            h.write_u64(val);
+        }
+        None => h.write_u8(0),
+    }
+}
+
 impl SimMessage for BftMsg {
     fn size_hint(&self) -> usize {
         match self {
@@ -88,6 +139,14 @@ impl SimMessage for BftMsg {
             BftMsg::ViewChange { .. } => 25,
             _ => 17,
         }
+    }
+
+    fn fingerprint(&self, h: &mut StateHasher) {
+        self.fingerprint_into(h, None);
+    }
+
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        self.fingerprint_into(h, Some(perm));
     }
 }
 
@@ -379,6 +438,93 @@ impl BftCupActor {
         }
     }
 
+    /// Canonical state fingerprint with an optional renaming.
+    ///
+    /// Once a decision exists, every consensus and dissemination field is
+    /// dead — `on_consensus`, `decide`, `ask_new_contacts` and the timer
+    /// handler all early-return, `Decide` handling is a guard away from a
+    /// no-op, and `AskDecision` answers read only the (write-once)
+    /// decision — so the fingerprint collapses to the discovery core plus
+    /// the decision. That collapse is what makes the dissemination flood
+    /// tail finite for the explorer.
+    fn fingerprint_into(&self, h: &mut StateHasher, perm: Option<&Perm>) {
+        write_set_perm(h, &self.pd, perm);
+        h.write_u64(self.config.f as u64);
+        h.write_u64(self.proposal);
+        self.sink.fingerprint_into(h, perm);
+        h.write_bool(self.started_consensus);
+        match self.decision {
+            Some(v) => {
+                h.write_u8(1);
+                h.write_u64(v);
+            }
+            None => {
+                h.write_u8(0);
+                write_set_perm(h, &self.members, perm);
+                h.write_u64(self.view);
+                h.write_bool(self.echoed_in_view);
+                h.write_bool(self.committed_in_view);
+                h.write_bool(self.proposed_in_view);
+                write_lock(h, self.lock);
+                let (entries, digest) = self.tally_digest(perm);
+                h.write_u64(entries);
+                h.write_u128(digest);
+                write_set_perm(h, &self.askers, perm);
+                write_set_perm(h, &self.asked, perm);
+            }
+        }
+    }
+
+    /// XOR multiset digest (plus entry count) over the four consensus
+    /// tallies — order-independent, so the renamed digest is computed by
+    /// renaming each entry, no re-sorting pass.
+    fn tally_digest(&self, perm: Option<&Perm>) -> (u64, u128) {
+        let mut entries = 0u64;
+        let mut digest = 0u128;
+        let mut fold = |tag: u8, a: u64, b: u64, voters: &ProcessSet| {
+            let mut eh = StateHasher::new();
+            eh.write_u8(tag);
+            eh.write_u64(a);
+            eh.write_u64(b);
+            write_set_perm(&mut eh, voters, perm);
+            digest ^= eh.finish();
+            entries += 1;
+        };
+        for ((view, value), voters) in &self.echoes {
+            fold(1, *view, *value, voters);
+        }
+        for ((view, value), voters) in &self.commits {
+            fold(2, *view, *value, voters);
+        }
+        for (value, voters) in &self.decide_votes {
+            fold(3, *value, 0, voters);
+        }
+        for (view, vcs) in &self.view_changes {
+            for (j, lock) in vcs {
+                let mut eh = StateHasher::new();
+                eh.write_u8(4);
+                eh.write_u64(*view);
+                eh.write_u32(apply_perm(*j, perm).as_u32());
+                write_lock(&mut eh, *lock);
+                digest ^= eh.finish();
+                entries += 1;
+            }
+        }
+        (entries, digest)
+    }
+
+    /// `true` when the post-handler hooks (`maybe_start_consensus`,
+    /// `ask_new_contacts`) are guaranteed no-ops given unchanged discovery
+    /// state — the invariant every callback re-establishes.
+    fn post_hooks_quiet(&self) -> bool {
+        (self.started_consensus || self.sink.verdict().is_none())
+            && (self.decision.is_some()
+                || self.sink.verdict().is_some()
+                // All known contacts already asked (only the self id may
+                // sit in the difference — it is never asked).
+                || self.sink.known().difference_len(&self.asked) <= 1)
+    }
+
     /// Non-sink path: ask newly discovered processes for the decision.
     fn ask_new_contacts(&mut self, ctx: &mut Context<'_, BftMsg>) {
         if self.decision.is_some() || self.sink.verdict().is_some() {
@@ -459,15 +605,86 @@ impl Actor<BftMsg> for BftCupActor {
         self.enter_view(ctx, next);
         self.maybe_propose(ctx);
     }
+
+    fn fork(&self) -> Option<Box<dyn Actor<BftMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StateHasher) {
+        self.fingerprint_into(h, None);
+    }
+
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        self.fingerprint_into(h, Some(perm));
+    }
+
+    /// A delivery is a guaranteed no-op when
+    ///
+    /// - it is duplicate/stale discovery traffic the [`SinkCore`] absorbs
+    ///   *and* the post-handler hooks are quiet (nothing to start, nobody
+    ///   left to ask), or
+    /// - it is a consensus or `Decide` message after the decision: every
+    ///   handler early-returns, and the decision is write-once.
+    ///
+    /// All gates are monotone (discovery state and knowledge only grow,
+    /// verdict and decision are write-once), so an absorbed delivery stays
+    /// absorbed in every extension. Pre-decision consensus messages are
+    /// never absorbed — even ones `on_consensus` would drop today (e.g.
+    /// before `started_consensus`), because delivering the same message
+    /// *after* consensus starts is behaviourally different.
+    fn absorbs(
+        &self,
+        _self_id: ProcessId,
+        _known: &ProcessSet,
+        from: ProcessId,
+        msg: &BftMsg,
+    ) -> bool {
+        match msg {
+            BftMsg::Sink(m) => self.sink.absorbs_msg(from, m) && self.post_hooks_quiet(),
+            BftMsg::Propose { .. }
+            | BftMsg::Echo { .. }
+            | BftMsg::Commit { .. }
+            | BftMsg::ViewChange { .. }
+            | BftMsg::Decide(_) => self.decision.is_some(),
+            BftMsg::AskDecision => false,
+        }
+    }
+
+    /// Quorum-settled / static-reply deliveries commute with every
+    /// alternative:
+    ///
+    /// - `Discover` is answered from the static `PD` with no state change
+    ///   (the knowledge gate keeps the learn-the-sender side effect out of
+    ///   the argument);
+    /// - `AskDecision` after the decision sends the write-once decision;
+    ///   the `askers` registration it performs is dead state.
+    fn threshold_inert(
+        &self,
+        _self_id: ProcessId,
+        known: &ProcessSet,
+        from: ProcessId,
+        msg: &BftMsg,
+    ) -> bool {
+        match msg {
+            BftMsg::Sink(m) => known.contains(from) && self.sink.inert_msg(m),
+            BftMsg::AskDecision => known.contains(from) && self.decision.is_some(),
+            _ => false,
+        }
+    }
 }
 
 /// A Byzantine sink member that equivocates as leader: proposes different
 /// values to different members, echoes both, and stays silent otherwise.
+#[derive(Clone)]
 pub struct EquivocatingLeader {
     pd: ProcessSet,
     sink: SinkCore,
     f: usize,
     values: (Value, Value),
+    /// Rotation of the victim split: member `idx` receives the first value
+    /// when `(idx + split)` is even. The bounded model checker enumerates
+    /// both parities as adversary choice points; sampled runs keep 0.
+    split: usize,
     attacked: bool,
 }
 
@@ -480,8 +697,15 @@ impl EquivocatingLeader {
             pd,
             f,
             values,
+            split: 0,
             attacked: false,
         }
+    }
+
+    /// Rotates which members receive which of the two conflicting values.
+    pub fn with_split(mut self, split: usize) -> Self {
+        self.split = split;
+        self
     }
 
     fn attack(&mut self, ctx: &mut Context<'_, BftMsg>) {
@@ -497,7 +721,7 @@ impl EquivocatingLeader {
             if *j == ctx.self_id() {
                 continue;
             }
-            let value = if idx % 2 == 0 {
+            let value = if (idx + self.split).is_multiple_of(2) {
                 self.values.0
             } else {
                 self.values.1
@@ -523,6 +747,64 @@ impl Actor<BftMsg> for EquivocatingLeader {
             BftCupActor::flush_sink(ctx, out);
             self.attack(ctx);
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Actor<BftMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    /// Behaviourally parameterized (values, split) plus the live discovery
+    /// state; `attacked` gates the one-shot burst.
+    fn fingerprint(&self, h: &mut StateHasher) {
+        self.fingerprint_into(h, None);
+    }
+
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        self.fingerprint_into(h, Some(perm));
+    }
+
+    /// Non-discovery deliveries are ignored forever; discovery duplicates
+    /// absorb at the core level, provided the attack trigger cannot fire
+    /// (it is evaluated in the same callback that produces a verdict, so
+    /// a verdict with `attacked == false` never survives a callback).
+    fn absorbs(
+        &self,
+        _self_id: ProcessId,
+        _known: &ProcessSet,
+        from: ProcessId,
+        msg: &BftMsg,
+    ) -> bool {
+        match msg {
+            BftMsg::Sink(m) => {
+                self.sink.absorbs_msg(from, m) && (self.attacked || self.sink.verdict().is_none())
+            }
+            _ => true,
+        }
+    }
+
+    fn threshold_inert(
+        &self,
+        _self_id: ProcessId,
+        known: &ProcessSet,
+        from: ProcessId,
+        msg: &BftMsg,
+    ) -> bool {
+        match msg {
+            BftMsg::Sink(m) => known.contains(from) && self.sink.inert_msg(m),
+            _ => false,
+        }
+    }
+}
+
+impl EquivocatingLeader {
+    fn fingerprint_into(&self, h: &mut StateHasher, perm: Option<&Perm>) {
+        write_set_perm(h, &self.pd, perm);
+        h.write_u64(self.f as u64);
+        h.write_u64(self.values.0);
+        h.write_u64(self.values.1);
+        h.write_u64(self.split as u64);
+        h.write_bool(self.attacked);
+        self.sink.fingerprint_into(h, perm);
     }
 }
 

@@ -48,7 +48,26 @@
 use std::collections::BTreeMap;
 
 use scup_graph::{ProcessId, ProcessSet};
-use scup_sim::{Actor, Context, SimMessage};
+use scup_sim::{Actor, Context, Perm, SimMessage, StateHasher};
+
+/// Feeds `s` into `h`, renamed through `perm` when one is given — the
+/// shared helper behind every CUP-stack fingerprint (exploration hashes
+/// identity and renamed views of the same state through one code path so
+/// they cannot drift).
+pub fn write_set_perm(h: &mut StateHasher, s: &ProcessSet, perm: Option<&Perm>) {
+    match perm {
+        None => h.write_set(s),
+        Some(p) => h.write_set(&p.apply_set(s)),
+    }
+}
+
+/// `id` renamed through `perm` when one is given.
+pub fn apply_perm(id: ProcessId, perm: Option<&Perm>) -> ProcessId {
+    match perm {
+        None => id,
+        Some(p) => p.apply(id),
+    }
+}
 
 /// Messages of the `SINK` protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +84,29 @@ pub enum SinkMsg {
     CheckReply(ProcessSet),
 }
 
+impl SinkMsg {
+    /// Canonical fingerprint with an optional process-id renaming (the
+    /// symmetry reduction hashes the renamed payload through the same
+    /// path).
+    pub fn fingerprint_into(&self, h: &mut StateHasher, perm: Option<&Perm>) {
+        match self {
+            SinkMsg::Discover => h.write_u8(1),
+            SinkMsg::DiscoverReply(s) => {
+                h.write_u8(2);
+                write_set_perm(h, s, perm);
+            }
+            SinkMsg::Check(s) => {
+                h.write_u8(3);
+                write_set_perm(h, s, perm);
+            }
+            SinkMsg::CheckReply(s) => {
+                h.write_u8(4);
+                write_set_perm(h, s, perm);
+            }
+        }
+    }
+}
+
 impl SimMessage for SinkMsg {
     fn size_hint(&self) -> usize {
         match self {
@@ -73,6 +115,14 @@ impl SimMessage for SinkMsg {
                 1 + 4 * s.len()
             }
         }
+    }
+
+    fn fingerprint(&self, h: &mut StateHasher) {
+        self.fingerprint_into(h, None);
+    }
+
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        self.fingerprint_into(h, Some(perm));
     }
 }
 
@@ -226,6 +276,94 @@ impl SinkCore {
             });
         }
     }
+
+    /// Exploration support: canonical fingerprint of the live state, with
+    /// an optional process-id renaming.
+    ///
+    /// Dead state is deliberately skipped — collapsing it is what makes
+    /// the post-verdict flood tail of discovery traffic tractable for the
+    /// model checker, and it is exact because the skipped fields can never
+    /// be read again:
+    ///
+    /// - `replied` is only consulted by the step-1 termination rule
+    ///   ([`SinkCore::try_fire`] early-returns once `fired`), so duplicate
+    ///   replies mutating it after the rule fired are invisible;
+    /// - `pending_askers` is drained at fire time and never refilled
+    ///   (`Check` handling replies directly once `fired`);
+    /// - `echoes` is only consulted by the verdict rule, which
+    ///   early-returns once the verdict exists.
+    ///
+    /// `known` stays hashed forever: `Check` answers carry it, so late
+    /// discovery can still change future emissions.
+    pub fn fingerprint_into(&self, h: &mut StateHasher, perm: Option<&Perm>) {
+        h.write_u32(apply_perm(self.self_id, perm).as_u32());
+        write_set_perm(h, &self.pd, perm);
+        h.write_u64(self.f as u64);
+        write_set_perm(h, &self.known, perm);
+        h.write_bool(self.fired);
+        if !self.fired {
+            write_set_perm(h, &self.replied, perm);
+            let mut askers: Vec<u32> = self
+                .pending_askers
+                .iter()
+                .map(|&p| apply_perm(p, perm).as_u32())
+                .collect();
+            // The queue is drained in one pass whose emissions form a
+            // multiset, so only the *set* of queued askers is behavioural
+            // state — sort to canonicalize (renaming reorders it).
+            askers.sort_unstable();
+            h.write_u64(askers.len() as u64);
+            for a in askers {
+                h.write_u32(a);
+            }
+        }
+        match &self.verdict {
+            Some(v) => {
+                h.write_u8(1);
+                write_set_perm(h, &v.sink, perm);
+            }
+            None => {
+                h.write_u8(0);
+                // XOR multiset digest: order-independent, so the renamed
+                // digest needs no re-sorting pass.
+                let digest = self.echoes.iter().fold(0u128, |acc, (j, set)| {
+                    let mut eh = StateHasher::new();
+                    eh.write_u32(apply_perm(*j, perm).as_u32());
+                    write_set_perm(&mut eh, set, perm);
+                    acc ^ eh.finish()
+                });
+                h.write_u64(self.echoes.len() as u64);
+                h.write_u128(digest);
+            }
+        }
+    }
+
+    /// Exploration support: `true` when delivering `msg` from `from` is a
+    /// complete no-op on the live (fingerprinted) state — and stays one in
+    /// every extension, because every gating condition is monotone:
+    ///
+    /// - a duplicate `DiscoverReply` (sender already counted, payload
+    ///   already known) changes nothing — `known`/`replied` only grow and
+    ///   the fire/verdict rules re-fire only on change;
+    /// - a `CheckReply` after the verdict only mutates the dead `echoes`
+    ///   map (the verdict is write-once).
+    pub fn absorbs_msg(&self, from: ProcessId, msg: &SinkMsg) -> bool {
+        match msg {
+            SinkMsg::DiscoverReply(set) => {
+                self.replied.contains(from) && set.is_subset(&self.known)
+            }
+            SinkMsg::CheckReply(_) => self.verdict.is_some(),
+            SinkMsg::Discover | SinkMsg::Check(_) => false,
+        }
+    }
+
+    /// Exploration support: `true` when delivering `msg` commutes with
+    /// every other delivery to this core, now and forever — `Discover` is
+    /// answered from the static `PD` with no state change, so its
+    /// position in the schedule is irrelevant.
+    pub fn inert_msg(&self, msg: &SinkMsg) -> bool {
+        matches!(msg, SinkMsg::Discover)
+    }
 }
 
 /// A correct process running the `SINK` algorithm standalone.
@@ -233,6 +371,7 @@ impl SinkCore {
 /// Drive it with a [`Simulation`](scup_sim::Simulation); once
 /// [`SinkActor::verdict`] returns `Some`, the process has established sink
 /// membership (Lemma 6). For non-sink members it stays `None` forever.
+#[derive(Clone)]
 pub struct SinkActor {
     core: SinkCore,
     pd: ProcessSet,
@@ -280,6 +419,40 @@ impl Actor<SinkMsg> for SinkActor {
     fn on_message(&mut self, ctx: &mut Context<'_, SinkMsg>, from: ProcessId, msg: SinkMsg) {
         let out = self.core.on_message(from, msg);
         Self::flush(ctx, out);
+    }
+
+    fn fork(&self) -> Option<Box<dyn Actor<SinkMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StateHasher) {
+        self.core.fingerprint_into(h, None);
+    }
+
+    fn fingerprint_perm(&self, h: &mut StateHasher, perm: &Perm) {
+        self.core.fingerprint_into(h, Some(perm));
+    }
+
+    fn absorbs(
+        &self,
+        _self_id: ProcessId,
+        _known: &ProcessSet,
+        from: ProcessId,
+        msg: &SinkMsg,
+    ) -> bool {
+        self.core.absorbs_msg(from, msg)
+    }
+
+    fn threshold_inert(
+        &self,
+        _self_id: ProcessId,
+        known: &ProcessSet,
+        from: ProcessId,
+        msg: &SinkMsg,
+    ) -> bool {
+        // The knowledge gate keeps the delivery's side channel (learning
+        // the sender) out of the commutation argument.
+        known.contains(from) && self.core.inert_msg(msg)
     }
 }
 

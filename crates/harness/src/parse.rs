@@ -74,19 +74,11 @@ pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
         scenarios.push(scenario_from_json(s).map_err(|e| format!("scenario #{}: {e}", i + 1))?);
     }
     if mode == CampaignMode::Explore {
-        // Fail at load time, naming the offending scenario — a generic
+        // Knob combinations the explorer does not support fail at load
+        // time, naming the scenario and the offending knob — a generic
         // per-record error at run time buries the fix.
-        if let Some(s) = scenarios
-            .iter()
-            .find(|s| s.protocol == ProtocolSpec::BftCup)
-        {
-            return Err(format!(
-                "scenario `{}`: protocol `bft-cup` has no exploration support (explore \
-                 mode drives the SCP phase); run it under the sampling runner \
-                 (`mode = \"sample\"`, the default) or switch the protocol to \
-                 stellar-minimal / a stellar-local variant",
-                s.name
-            ));
+        for (doc, s) in scenario_docs.iter().zip(&scenarios) {
+            validate_explore_knobs(doc, s)?;
         }
     }
     Ok(Campaign {
@@ -95,6 +87,33 @@ pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
         threads,
         scenarios,
     })
+}
+
+/// Rejects explore-mode knob combinations without support, naming the
+/// scenario and the knob. (BFT-CUP scenarios themselves explore fine
+/// since the checker grew full-stack drivers; what remains unsupported
+/// are specific reduction/adversary pairings.)
+fn validate_explore_knobs(doc: &Json, s: &Scenario) -> Result<(), String> {
+    let value_injecting = matches!(s.adversary.as_str(), "equivocate" | "forged-slice");
+    // `symmetry` defaults to on and is silently disabled where unsound;
+    // an *explicit* request to combine it with a value-injecting adversary
+    // is a contradiction worth failing loudly on — for every protocol:
+    // the victim-split parity argument is the same for SCP's equivocator
+    // and BFT-CUP's equivocating leader alike.
+    let explicit_symmetry = doc.get("symmetry").and_then(Json::as_bool) == Some(true);
+    if value_injecting && explicit_symmetry {
+        return Err(format!(
+            "scenario `{}`: knob `symmetry = true` is unsupported with the \
+             value-injecting adversary `{}` (the victim split breaks process \
+             interchangeability, so the quotient would merge distinct attack \
+             schedules); drop the `symmetry` knob or switch the adversary",
+            s.name, s.adversary
+        ));
+    }
+    if let Some(err) = s.explore_discovery_unsupported(value_injecting) {
+        return Err(err);
+    }
+    Ok(())
 }
 
 fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
@@ -182,6 +201,10 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         eager_inert: match doc.get("eager_inert") {
             None => defaults.eager_inert,
             Some(v) => v.as_bool().ok_or("`eager_inert` must be a boolean")?,
+        },
+        explore_discovery: match doc.get("explore_discovery") {
+            None => defaults.explore_discovery,
+            Some(v) => v.as_bool().ok_or("`explore_discovery` must be a boolean")?,
         },
     };
 
@@ -565,7 +588,9 @@ max_ticks = 1_000_000
     }
 
     #[test]
-    fn explore_mode_rejects_bftcup_naming_the_scenario() {
+    fn explore_mode_accepts_bftcup_scenarios() {
+        // PR 4 rejected BFT-CUP at load time; the checker has since grown
+        // a BFT-CUP driver, so the supported path must load cleanly.
         let text = r#"
 name = "x"
 mode = "explore"
@@ -579,13 +604,8 @@ name = "baseline-run"
 topology = "fig1"
 protocol = "bft-cup"
 "#;
-        let err = campaign_from_str(text).unwrap_err();
-        assert!(err.contains("`baseline-run`"), "{err}");
-        assert!(err.contains("bft-cup"), "{err}");
-        assert!(err.contains("mode = \"sample\""), "{err}");
-        // The same scenarios load fine under the sampling runner.
-        let sampled = text.replace("mode = \"explore\"", "mode = \"sample\"");
-        assert!(campaign_from_str(&sampled).is_ok());
+        let c = campaign_from_str(text).unwrap();
+        assert_eq!(c.scenarios[1].protocol, ProtocolSpec::BftCup);
         // Reduction knobs parse.
         let knobs = r#"
 name = "x"
@@ -597,11 +617,77 @@ topology = "fig1"
 symmetry = false
 sleep_sets = true
 eager_inert = false
+explore_discovery = true
 "#;
         let c = campaign_from_str(knobs).unwrap();
         assert!(!c.scenarios[0].explore.symmetry);
         assert!(c.scenarios[0].explore.sleep_sets);
         assert!(!c.scenarios[0].explore.eager_inert);
+        assert!(c.scenarios[0].explore.explore_discovery);
+    }
+
+    #[test]
+    fn explore_mode_rejects_unsupported_knob_combinations() {
+        // Explicit symmetry with an equivocating BFT-CUP leader.
+        let text = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "equiv-leader"
+topology = "fig1"
+protocol = "bft-cup"
+adversary = "equivocate"
+faulty = [0]
+symmetry = true
+"#;
+        let err = campaign_from_str(text).unwrap_err();
+        assert!(err.contains("`equiv-leader`"), "{err}");
+        assert!(err.contains("`symmetry = true`"), "{err}");
+        // The same contradiction is rejected for SCP equivocators too —
+        // the victim-parity argument is protocol-independent.
+        let scp = text.replace("protocol = \"bft-cup\"\n", "");
+        let err = campaign_from_str(&scp).unwrap_err();
+        assert!(err.contains("`symmetry = true`"), "{err}");
+        // Dropping the explicit knob makes it load (symmetry is then
+        // silently disabled where unsound).
+        let without = text.replace("symmetry = true\n", "");
+        assert!(campaign_from_str(&without).is_ok());
+        // The same file loads under the sampling runner (knob ignored).
+        let sampled = text.replace("mode = \"explore\"", "mode = \"sample\"");
+        assert!(campaign_from_str(&sampled).is_ok());
+
+        // explore_discovery outside stellar-minimal.
+        let text = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "cup-discovery"
+topology = "fig1"
+protocol = "bft-cup"
+explore_discovery = true
+"#;
+        let err = campaign_from_str(text).unwrap_err();
+        assert!(err.contains("`cup-discovery`"), "{err}");
+        assert!(err.contains("`explore_discovery = true`"), "{err}");
+        assert!(err.contains("stellar-minimal"), "{err}");
+
+        // explore_discovery with a value-injecting adversary.
+        let text = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "stack-equiv"
+topology = "fig1"
+adversary = "equivocate"
+faulty = [0]
+explore_discovery = true
+"#;
+        let err = campaign_from_str(text).unwrap_err();
+        assert!(err.contains("`stack-equiv`"), "{err}");
+        assert!(err.contains("equivocate"), "{err}");
     }
 
     #[test]

@@ -270,6 +270,14 @@ pub struct ExploreSpec {
     /// reduced and unreduced runs of the same spec, so minimal
     /// counterexample depths remain comparable. On by default.
     pub eager_inert: bool,
+    /// Explore the knowledge-increase phase too (`stellar-minimal` only):
+    /// instead of fixing every process's slices by one deterministic
+    /// discovery/sink-detection run, each process runs the full stack —
+    /// Algorithm 3 then Algorithm-2 slices then SCP — inside the explored
+    /// schedule, so discovery message orderings become choice points.
+    /// Off by default (the PR 3 semantics); value-injecting adversaries
+    /// are not yet supported with it.
+    pub explore_discovery: bool,
 }
 
 impl Default for ExploreSpec {
@@ -288,6 +296,7 @@ impl Default for ExploreSpec {
             symmetry: true,
             sleep_sets: false,
             eager_inert: true,
+            explore_discovery: false,
         }
     }
 }
@@ -341,6 +350,36 @@ impl Scenario {
             }
             _ => (0..n).map(|i| 100 + i as u64).collect(),
         }
+    }
+
+    /// Why `explore_discovery = true` cannot be explored for this
+    /// scenario, if it cannot: the knob applies to the `stellar-minimal`
+    /// pipeline only, and value-injecting adversaries are unsupported
+    /// (`value_injecting` is the caller's classification — a string match
+    /// at parse time, the resolved `AdversaryKind` at setup time). The
+    /// single source of truth for both the parse-time and the setup-time
+    /// rejection, so the error text cannot drift between entry paths.
+    pub fn explore_discovery_unsupported(&self, value_injecting: bool) -> Option<String> {
+        if !self.explore.explore_discovery {
+            return None;
+        }
+        if self.protocol != ProtocolSpec::StellarMinimal {
+            return Some(format!(
+                "scenario `{}`: knob `explore_discovery = true` applies to protocol \
+                 `stellar-minimal` only (`{}` has no knowledge-increase phase to \
+                 explore)",
+                self.name,
+                self.protocol.name()
+            ));
+        }
+        if value_injecting {
+            return Some(format!(
+                "scenario `{}`: knob `explore_discovery = true` does not support the \
+                 value-injecting adversary `{}` yet; use silent / echo / crash:N",
+                self.name, self.adversary
+            ));
+        }
+        None
     }
 
     /// Starts building a scenario with defaults (Fig. 2, `f = 1`, silent

@@ -1,14 +1,28 @@
 //! Scenario → explorable system: resolves a harness [`Scenario`] into the
 //! concrete graph, faulty set, slice assignment and actor roster the
-//! explorer branches over.
+//! explorer branches over — and the [`Driver`] that tells the (protocol-
+//! generic) engine how to build, read and attribute one protocol's
+//! simulations.
 //!
-//! Exploration quantifies over *SCP schedules*: the knowledge-increase
-//! phase (Algorithm 3) runs once, deterministically in the scenario's
-//! `seed_base`, exactly as in the sampled pipeline — its output (each
-//! correct process's sink detection, hence its Algorithm-2 slices) is part
-//! of the system under exploration, not a branch point. The negative
-//! pipeline builds slices locally and needs no pre-phase at all.
+//! Three drivers cover the stack:
+//!
+//! - [`ScpDriver`] — the PR 3 semantics: the knowledge-increase phase
+//!   (Algorithm 3) runs once, deterministically in the scenario's
+//!   `seed_base`, exactly as in the sampled pipeline — its output (each
+//!   correct process's sink detection, hence its Algorithm-2 slices) is
+//!   part of the system under exploration, not a branch point. The
+//!   negative pipeline builds slices locally and needs no pre-phase at
+//!   all.
+//! - [`StackDriver`] (`explore_discovery = true`, `stellar-minimal`
+//!   only) — the full stack: every process runs discovery, sink
+//!   detection and SCP *inside* the explored schedule
+//!   ([`stellar_cup::explore_stack::StackActor`]), so knowledge-increase
+//!   message orderings are themselves choice points.
+//! - [`BftDriver`] — the BFT-CUP baseline: `SINK` discovery plus the
+//!   sink-internal quorum protocol and decision dissemination
+//!   ([`scup_cup::bftcup`]), all explorable.
 
+use scup_cup::bftcup::{BftConfig, BftCupActor, BftMsg, EquivocatingLeader};
 use scup_fbqs::SliceFamily;
 use scup_graph::{kosr, sink, KnowledgeGraph, ProcessId, ProcessSet};
 use scup_harness::scenario::{ProtocolSpec, Scenario};
@@ -16,9 +30,10 @@ use scup_harness::{topology, AdversaryKind, AdversaryRegistry};
 use scup_scp::node::EquivocatingScpNode;
 use scup_scp::{ScpConfig, ScpMsg, ScpNode, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
-use scup_sim::ExploreSim;
+use scup_sim::{ExploreSim, SimMessage};
 use stellar_cup::build_slices::build_slices;
 use stellar_cup::consensus::{self, EndToEndConfig};
+use stellar_cup::explore_stack::{StackActor, StackMsg};
 use stellar_cup::sink_detector::GetSinkMode;
 use stellar_cup::theorems;
 
@@ -32,10 +47,17 @@ pub struct Setup {
     pub faulty: ProcessSet,
     /// Per-process inputs.
     pub inputs: Vec<Value>,
-    /// Per-process slice families (empty for faulty processes).
+    /// Per-process slice families (empty for faulty processes; empty
+    /// *altogether* for protocols that build no pre-computed slices —
+    /// BFT-CUP, and the full stack under `explore_discovery`).
     pub slices: Vec<SliceFamily>,
     /// The Byzantine behaviour.
     pub adversary: AdversaryKind,
+    /// The protocol under exploration.
+    pub protocol: ProtocolSpec,
+    /// Whether the knowledge-increase phase is explored in-schedule
+    /// (`stellar-minimal` with `explore_discovery = true`).
+    pub explore_discovery: bool,
     /// The paper's structural premise (Byzantine-safe `k`-OSR with enough
     /// correct sink members) — computed once; it is schedule-independent.
     pub premise: bool,
@@ -50,19 +72,32 @@ impl Setup {
     /// # Errors
     ///
     /// Returns a description when the scenario cannot be explored (unknown
-    /// adversary, unsatisfiable fault placement, or a protocol without
-    /// exploration support).
+    /// adversary, unsatisfiable fault placement, or a knob combination
+    /// without exploration support).
     pub fn from_scenario(
         scenario: &Scenario,
         registry: &AdversaryRegistry,
     ) -> Result<Self, String> {
         let adversary = registry.resolve(&scenario.adversary)?;
         let seed = scenario.seed_base;
+        let explore_discovery = scenario.explore.explore_discovery;
         let (kg, generated) = topology::instantiate(&scenario.topology, scenario.f, seed);
         let faulty = topology::place_faults(&scenario.faults, &kg, generated, seed)?;
         let inputs: Vec<Value> = scenario.resolved_inputs(kg.n());
 
+        // Programmatic `Scenario` construction bypasses the campaign
+        // parser, so the support check runs here too — same shared
+        // validator, same message (classification via the resolved kind).
+        let value_injecting = !matches!(
+            adversary,
+            AdversaryKind::Silent | AdversaryKind::Echo | AdversaryKind::Crash { .. }
+        );
+        if let Some(err) = scenario.explore_discovery_unsupported(value_injecting) {
+            return Err(err);
+        }
+
         let slices = match scenario.protocol {
+            ProtocolSpec::StellarMinimal if explore_discovery => Vec::new(),
             ProtocolSpec::StellarMinimal => {
                 let config = EndToEndConfig {
                     seed,
@@ -87,15 +122,7 @@ impl Setup {
                 .processes()
                 .map(|i| strategy.build(kg.pd(i), scenario.f))
                 .collect(),
-            ProtocolSpec::BftCup => {
-                return Err(format!(
-                    "scenario `{}`: explore mode drives the SCP phase; protocol `bft-cup` \
-                     has no exploration support — run this scenario under the sampling \
-                     runner (`mode = \"sample\"`, the default) or switch it to \
-                     stellar-minimal / a stellar-local variant",
-                    scenario.name
-                ))
-            }
+            ProtocolSpec::BftCup => Vec::new(),
         };
 
         let all = kg.graph().vertex_set();
@@ -112,6 +139,8 @@ impl Setup {
             inputs,
             slices,
             adversary,
+            protocol: scenario.protocol,
+            explore_discovery,
             premise,
             timer_budget: scenario.explore.timer_budget,
         })
@@ -119,70 +148,24 @@ impl Setup {
 
     /// How many adversary variants the explorer enumerates: the
     /// equivocator chooses *which* peers receive which conflicting value —
-    /// both split parities are explored. `ForgedSlice` plays one value
-    /// consistently (its lie is the slice family), so its split rotation
-    /// is behaviourally identical and enumerating it would double-count
-    /// every state; value-preserving behaviours have no free choice
-    /// beyond the schedule.
+    /// both split parities are explored (for SCP's equivocating node and
+    /// for BFT-CUP's equivocating leader alike). Under SCP, `ForgedSlice`
+    /// plays one value consistently (its lie is the slice family), so its
+    /// split rotation is behaviourally identical and enumerating it would
+    /// double-count every state — but BFT-CUP has no slices to forge and
+    /// maps `ForgedSlice` onto the equivocating leader too
+    /// ([`BftDriver::build_sim`]), where the split is a real choice.
+    /// Value-preserving behaviours have no free choice beyond the
+    /// schedule.
     pub fn variants(&self) -> u32 {
-        match self.adversary {
-            AdversaryKind::Equivocate if !self.faulty.is_empty() => 2,
+        if self.faulty.is_empty() {
+            return 1;
+        }
+        match (self.adversary, self.protocol) {
+            (AdversaryKind::Equivocate, _) => 2,
+            (AdversaryKind::ForgedSlice, ProtocolSpec::BftCup) => 2,
             _ => 1,
         }
-    }
-
-    /// Builds the (unstarted) choice-driven simulation for one adversary
-    /// variant. Mirrors the sampled pipeline's actor roster
-    /// (`consensus::run_scp_with_slices`), with the variant rotating the
-    /// equivocators' victim split.
-    pub fn build_sim(&self, variant: u32) -> ExploreSim<ScpMsg> {
-        let mut sim = ExploreSim::new(self.kg.clone(), self.timer_budget);
-        for i in self.kg.processes() {
-            if self.faulty.contains(i) {
-                match self.adversary {
-                    AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
-                    AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
-                    AdversaryKind::Equivocate => sim.add_actor(Box::new(
-                        EquivocatingScpNode::new(
-                            (u64::MAX - 1, u64::MAX),
-                            SliceFamily::explicit([ProcessSet::singleton(i)]),
-                        )
-                        .with_split(variant as usize),
-                    )),
-                    AdversaryKind::ForgedSlice => sim.add_actor(Box::new(
-                        EquivocatingScpNode::new(
-                            (u64::MAX - 2, u64::MAX - 2),
-                            SliceFamily::explicit([ProcessSet::singleton(i)]),
-                        )
-                        .with_split(variant as usize),
-                    )),
-                    AdversaryKind::Crash { after } => {
-                        let config =
-                            ScpConfig::new(self.slices[i.index()].clone(), self.inputs[i.index()]);
-                        sim.add_actor(Box::new(CrashActor::new(ScpNode::new(config), after)))
-                    }
-                };
-            } else {
-                let config = ScpConfig::new(self.slices[i.index()].clone(), self.inputs[i.index()]);
-                sim.add_actor(Box::new(ScpNode::new(config)));
-            }
-        }
-        sim
-    }
-
-    /// The per-process decisions in the current state (`None` for faulty
-    /// or undecided processes).
-    pub fn decisions(&self, sim: &ExploreSim<ScpMsg>) -> Vec<Option<Value>> {
-        self.kg
-            .processes()
-            .map(|i| {
-                if self.faulty.contains(i) {
-                    None
-                } else {
-                    sim.actor_as::<ScpNode>(i).and_then(ScpNode::externalized)
-                }
-            })
-            .collect()
     }
 
     /// The correct processes.
@@ -192,7 +175,7 @@ impl Setup {
 
     /// Cheap per-state safety check: `true` when the decisions so far
     /// already violate agreement, or (for value-preserving adversaries)
-    /// validity. Both violations are stable — externalized values never
+    /// validity. Both violations are stable — decided values never
     /// change — so flagging them at the first state they appear in yields
     /// the minimal-depth witness.
     pub fn violates(&self, decisions: &[Option<Value>]) -> bool {
@@ -218,5 +201,310 @@ impl Setup {
             }
         }
         false
+    }
+}
+
+/// The protocol-specific surface of one exploration: how to build a
+/// simulation for an adversary variant, how to read the per-process
+/// decisions out of a state, and who is accountable for a delivered
+/// message (the origin the eager-inert reduction's correct-origin gate
+/// runs on).
+pub trait Driver: Sync {
+    /// The wire type of the explored protocol.
+    type Msg: SimMessage;
+
+    /// The resolved system.
+    fn setup(&self) -> &Setup;
+
+    /// Builds the (unstarted) choice-driven simulation for one adversary
+    /// variant.
+    fn build_sim(&self, variant: u32) -> ExploreSim<Self::Msg>;
+
+    /// The per-process decisions in the current state (`None` for faulty
+    /// or undecided processes).
+    fn decisions(&self, sim: &ExploreSim<Self::Msg>) -> Vec<Option<Value>>;
+
+    /// The accountable origin of a delivery: the envelope's signed origin
+    /// for relayed SCP traffic, the channel sender for the point-to-point
+    /// CUP protocols.
+    fn msg_origin(&self, from: ProcessId, msg: &Self::Msg) -> ProcessId;
+
+    /// Whether the eager-inert/sleep-set reductions may treat this
+    /// delivery as inert given whether its accountable origin is correct.
+    ///
+    /// The default demands a correct origin — the conservative rule SCP
+    /// needs (a Byzantine origin could re-announce different slices,
+    /// making the registry write order observable). Protocols whose inert
+    /// deliveries are *sender-agnostic static replies* (BFT-CUP's
+    /// `Discover` / post-decision `AskDecision`) may accept any origin:
+    /// the receiver's reaction is a pure function of its own state, so
+    /// the delivery commutes no matter who sent it.
+    fn inert_origin_ok(&self, origin_correct: bool, msg: &Self::Msg) -> bool {
+        let _ = msg;
+        origin_correct
+    }
+}
+
+/// The SCP-phase driver (slices fixed before exploration); see the
+/// [module docs](self).
+pub struct ScpDriver<'a> {
+    setup: &'a Setup,
+}
+
+impl<'a> ScpDriver<'a> {
+    /// Wraps a resolved setup (which must carry pre-computed slices).
+    pub fn new(setup: &'a Setup) -> Self {
+        debug_assert_eq!(setup.slices.len(), setup.kg.n());
+        ScpDriver { setup }
+    }
+}
+
+impl Driver for ScpDriver<'_> {
+    type Msg = ScpMsg;
+
+    fn setup(&self) -> &Setup {
+        self.setup
+    }
+
+    /// Mirrors the sampled pipeline's actor roster
+    /// (`consensus::run_scp_with_slices`), with the variant rotating the
+    /// equivocators' victim split.
+    fn build_sim(&self, variant: u32) -> ExploreSim<ScpMsg> {
+        let setup = self.setup;
+        let mut sim = ExploreSim::new(setup.kg.clone(), setup.timer_budget);
+        for i in setup.kg.processes() {
+            if setup.faulty.contains(i) {
+                match setup.adversary {
+                    AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
+                    AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                    AdversaryKind::Equivocate => sim.add_actor(Box::new(
+                        EquivocatingScpNode::new(
+                            (u64::MAX - 1, u64::MAX),
+                            SliceFamily::explicit([ProcessSet::singleton(i)]),
+                        )
+                        .with_split(variant as usize),
+                    )),
+                    AdversaryKind::ForgedSlice => sim.add_actor(Box::new(
+                        EquivocatingScpNode::new(
+                            (u64::MAX - 2, u64::MAX - 2),
+                            SliceFamily::explicit([ProcessSet::singleton(i)]),
+                        )
+                        .with_split(variant as usize),
+                    )),
+                    AdversaryKind::Crash { after } => {
+                        let config = ScpConfig::new(
+                            setup.slices[i.index()].clone(),
+                            setup.inputs[i.index()],
+                        );
+                        sim.add_actor(Box::new(CrashActor::new(ScpNode::new(config), after)))
+                    }
+                };
+            } else {
+                let config =
+                    ScpConfig::new(setup.slices[i.index()].clone(), setup.inputs[i.index()]);
+                sim.add_actor(Box::new(ScpNode::new(config)));
+            }
+        }
+        sim
+    }
+
+    fn decisions(&self, sim: &ExploreSim<ScpMsg>) -> Vec<Option<Value>> {
+        self.setup
+            .kg
+            .processes()
+            .map(|i| {
+                if self.setup.faulty.contains(i) {
+                    None
+                } else {
+                    sim.actor_as::<ScpNode>(i).and_then(ScpNode::externalized)
+                }
+            })
+            .collect()
+    }
+
+    fn msg_origin(&self, _from: ProcessId, msg: &ScpMsg) -> ProcessId {
+        msg.origin
+    }
+}
+
+/// The BFT-CUP driver: discovery, sink-internal quorum consensus and
+/// decision dissemination, all inside the explored schedule.
+pub struct BftDriver<'a> {
+    setup: &'a Setup,
+}
+
+impl<'a> BftDriver<'a> {
+    /// Wraps a resolved BFT-CUP setup.
+    pub fn new(setup: &'a Setup) -> Self {
+        BftDriver { setup }
+    }
+}
+
+/// View timeout handed to explored BFT-CUP actors. The untimed semantics
+/// ignores timer delays (a pending timer is just a schedulable choice), so
+/// any positive value is equivalent.
+const BFT_VIEW_TIMEOUT: u64 = 400;
+
+impl Driver for BftDriver<'_> {
+    type Msg = BftMsg;
+
+    fn setup(&self) -> &Setup {
+        self.setup
+    }
+
+    /// Mirrors the sampling runner's roster (`protocol::execute` for
+    /// `bft-cup`); the variant rotates the equivocating leader's victim
+    /// split.
+    fn build_sim(&self, variant: u32) -> ExploreSim<BftMsg> {
+        let setup = self.setup;
+        let mut sim = ExploreSim::new(setup.kg.clone(), setup.timer_budget);
+        let config = BftConfig::new(setup.f, BFT_VIEW_TIMEOUT);
+        for i in setup.kg.processes() {
+            if setup.faulty.contains(i) {
+                match setup.adversary {
+                    AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
+                    AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                    AdversaryKind::Crash { after } => sim.add_actor(Box::new(CrashActor::new(
+                        BftCupActor::new(
+                            setup.kg.pd(i).clone(),
+                            setup.inputs[i.index()],
+                            config.clone(),
+                        ),
+                        after,
+                    ))),
+                    // BFT-CUP has no slices to forge; both value-injecting
+                    // kinds map to the equivocating leader.
+                    AdversaryKind::Equivocate | AdversaryKind::ForgedSlice => {
+                        sim.add_actor(Box::new(
+                            EquivocatingLeader::new(
+                                setup.kg.pd(i).clone(),
+                                setup.f,
+                                (u64::MAX - 1, u64::MAX),
+                            )
+                            .with_split(variant as usize),
+                        ))
+                    }
+                };
+            } else {
+                sim.add_actor(Box::new(BftCupActor::new(
+                    setup.kg.pd(i).clone(),
+                    setup.inputs[i.index()],
+                    config.clone(),
+                )));
+            }
+        }
+        sim
+    }
+
+    fn decisions(&self, sim: &ExploreSim<BftMsg>) -> Vec<Option<Value>> {
+        self.setup
+            .kg
+            .processes()
+            .map(|i| {
+                if self.setup.faulty.contains(i) {
+                    None
+                } else {
+                    sim.actor_as::<BftCupActor>(i)
+                        .and_then(BftCupActor::decision)
+                }
+            })
+            .collect()
+    }
+
+    /// BFT-CUP messages are point-to-point and unrelayed: the channel
+    /// sender is the accountable origin.
+    fn msg_origin(&self, from: ProcessId, _msg: &BftMsg) -> ProcessId {
+        from
+    }
+
+    /// Every delivery BFT-CUP actors declare inert is a sender-agnostic
+    /// static reply (`Discover` → static `PD`; post-decision
+    /// `AskDecision` → the write-once decision), so a Byzantine sender
+    /// changes nothing about the commutation argument.
+    fn inert_origin_ok(&self, _origin_correct: bool, _msg: &BftMsg) -> bool {
+        true
+    }
+}
+
+/// The full-stack driver (`explore_discovery = true`): discovery, sink
+/// detection, Algorithm-2 slices and SCP all run inside the explored
+/// schedule.
+pub struct StackDriver<'a> {
+    setup: &'a Setup,
+}
+
+impl<'a> StackDriver<'a> {
+    /// Wraps a resolved full-stack setup.
+    pub fn new(setup: &'a Setup) -> Self {
+        StackDriver { setup }
+    }
+}
+
+impl Driver for StackDriver<'_> {
+    type Msg = StackMsg;
+
+    fn setup(&self) -> &Setup {
+        self.setup
+    }
+
+    fn build_sim(&self, _variant: u32) -> ExploreSim<StackMsg> {
+        let setup = self.setup;
+        let mut sim = ExploreSim::new(setup.kg.clone(), setup.timer_budget);
+        for i in setup.kg.processes() {
+            if setup.faulty.contains(i) {
+                match setup.adversary {
+                    AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
+                    AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
+                    AdversaryKind::Crash { after } => sim.add_actor(Box::new(CrashActor::new(
+                        StackActor::new(setup.kg.pd(i).clone(), setup.f, setup.inputs[i.index()]),
+                        after,
+                    ))),
+                    // Rejected by `Setup::from_scenario`.
+                    AdversaryKind::Equivocate | AdversaryKind::ForgedSlice => {
+                        unreachable!("value-injecting adversaries are rejected at setup time")
+                    }
+                };
+            } else {
+                sim.add_actor(Box::new(StackActor::new(
+                    setup.kg.pd(i).clone(),
+                    setup.f,
+                    setup.inputs[i.index()],
+                )));
+            }
+        }
+        sim
+    }
+
+    fn decisions(&self, sim: &ExploreSim<StackMsg>) -> Vec<Option<Value>> {
+        self.setup
+            .kg
+            .processes()
+            .map(|i| {
+                if self.setup.faulty.contains(i) {
+                    None
+                } else {
+                    sim.actor_as::<StackActor>(i)
+                        .and_then(StackActor::externalized)
+                }
+            })
+            .collect()
+    }
+
+    /// Discovery traffic is point-to-point (sender-accountable); embedded
+    /// SCP envelopes carry their signed origin.
+    fn msg_origin(&self, from: ProcessId, msg: &StackMsg) -> ProcessId {
+        match msg {
+            StackMsg::Sd(_) => from,
+            StackMsg::Scp(m) => m.origin,
+        }
+    }
+
+    /// Discovery-phase inert deliveries are sender-agnostic static
+    /// replies; SCP envelopes keep the conservative correct-origin rule.
+    fn inert_origin_ok(&self, origin_correct: bool, msg: &StackMsg) -> bool {
+        match msg {
+            StackMsg::Sd(_) => true,
+            StackMsg::Scp(_) => origin_correct,
+        }
     }
 }

@@ -5,10 +5,11 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use scup_harness::campaign::Campaign;
+use scup_harness::scenario::ProtocolSpec;
 use scup_harness::{oracle, AdversaryRegistry, OracleMode, Scenario};
 use scup_sim::TraceEvent;
 
-use crate::build::Setup;
+use crate::build::{BftDriver, Driver, ScpDriver, Setup, StackDriver};
 use crate::explorer::{merge_visited, Class, Engine, StateCapExceeded, Visited, WorkerStats};
 use crate::report::{CexReport, ExploreRecord, ExploreReport};
 
@@ -115,14 +116,34 @@ fn explore_configured(
     record.n = setup.kg.n();
     record.faulty = setup.faulty.iter().map(|p| p.as_u32()).collect();
     record.premise = setup.premise;
-    let variants = setup.variants();
-    record.variants = variants;
+    record.variants = setup.variants();
 
-    let engine = Engine::new(&setup, scenario.explore);
+    // Protocol dispatch: one generic exploration, three drivers.
+    match (setup.protocol, setup.explore_discovery) {
+        (ProtocolSpec::BftCup, _) => {
+            explore_with_driver(&BftDriver::new(&setup), scenario, threads, record)
+        }
+        (ProtocolSpec::StellarMinimal, true) => {
+            explore_with_driver(&StackDriver::new(&setup), scenario, threads, record)
+        }
+        _ => explore_with_driver(&ScpDriver::new(&setup), scenario, threads, record),
+    }
+}
+
+fn explore_with_driver<D: Driver>(
+    driver: &D,
+    scenario: &Scenario,
+    threads: usize,
+    record: &mut ExploreRecord,
+) -> Result<(), String> {
+    let setup = driver.setup();
+    let variants = setup.variants();
+
+    let engine = Engine::new(driver, scenario.explore);
     record.symmetry_group = engine.symmetry().group_order();
     record.symmetry_classes = engine.symmetry().class_sizes().to_vec();
     {
-        let mut probe = setup.build_sim(0);
+        let mut probe = driver.build_sim(0);
         probe.start();
         probe.drain_absorbed();
         record.state_bytes_estimate = probe.state_size_estimate();
@@ -227,7 +248,7 @@ fn explore_configured(
         let (variant, path) = engine
             .find_cex(variants, d_star)
             .expect("a violating state at depth d* is reachable by construction");
-        record.violation = Some(render_cex(&setup, &engine, variant, &path));
+        record.violation = Some(render_cex(driver, &engine, variant, &path));
     }
 
     record.passed = if scenario.explore.expect_violation {
@@ -243,11 +264,17 @@ fn explore_configured(
 }
 
 /// Replays the counterexample path with tracing on and renders it.
-fn render_cex(setup: &Setup, engine: &Engine<'_>, variant: u32, path: &[u32]) -> CexReport {
-    let mut sim = setup.build_sim(variant);
+fn render_cex<D: Driver>(
+    driver: &D,
+    engine: &Engine<'_, D>,
+    variant: u32,
+    path: &[u32],
+) -> CexReport {
+    let setup = driver.setup();
+    let mut sim = driver.build_sim(variant);
     sim.enable_trace();
     engine.replay_into(&mut sim, path);
-    let decisions = setup.decisions(&sim);
+    let decisions = driver.decisions(&sim);
 
     let schedule = sim
         .trace()

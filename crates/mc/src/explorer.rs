@@ -75,10 +75,10 @@
 use std::collections::HashMap;
 
 use scup_harness::scenario::ExploreSpec;
-use scup_scp::{ScpMsg, Value};
+use scup_scp::Value;
 use scup_sim::{ExploreSim, SimState};
 
-use crate::build::Setup;
+use crate::build::Driver;
 use crate::reduce::{ChoiceProfile, Symmetry};
 
 /// What one canonical state is: an inner node or one of the leaf kinds.
@@ -194,24 +194,25 @@ fn push_cover(covers: &mut Vec<Cover>, cover: Cover) {
     covers.push(cover);
 }
 
-/// One exploration engine over a resolved scenario.
-pub struct Engine<'a> {
-    setup: &'a Setup,
+/// One exploration engine over a resolved scenario, generic over the
+/// protocol [`Driver`] (SCP phase, BFT-CUP, or the full stack).
+pub struct Engine<'a, D: Driver> {
+    driver: &'a D,
     spec: ExploreSpec,
     symmetry: Symmetry,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, D: Driver> Engine<'a, D> {
     /// Creates the engine, computing the scenario's automorphism group
     /// once (identity-only when `spec.symmetry` is off).
-    pub fn new(setup: &'a Setup, spec: ExploreSpec) -> Self {
+    pub fn new(driver: &'a D, spec: ExploreSpec) -> Self {
         let symmetry = if spec.symmetry {
-            Symmetry::compute(setup)
+            Symmetry::compute(driver.setup())
         } else {
             Symmetry::trivial()
         };
         Engine {
-            setup,
+            driver,
             spec,
             symmetry,
         }
@@ -224,15 +225,15 @@ impl<'a> Engine<'a> {
 
     /// Builds a simulation for `variant` and replays a canonical choice
     /// path: drain absorbed events, fire the recorded choice, repeat.
-    pub fn replay(&self, variant: u32, path: &[u32]) -> ExploreSim<ScpMsg> {
-        let mut sim = self.setup.build_sim(variant);
+    pub fn replay(&self, variant: u32, path: &[u32]) -> ExploreSim<D::Msg> {
+        let mut sim = self.driver.build_sim(variant);
         self.replay_into(&mut sim, path);
         sim
     }
 
     /// Replays a canonical choice path into a caller-prepared simulation
     /// (e.g. one with tracing enabled for counterexample rendering).
-    pub fn replay_into(&self, sim: &mut ExploreSim<ScpMsg>, path: &[u32]) {
+    pub fn replay_into(&self, sim: &mut ExploreSim<D::Msg>, path: &[u32]) {
         sim.start();
         for &choice in path {
             self.settle(sim);
@@ -250,7 +251,7 @@ impl<'a> Engine<'a> {
     /// every extension, so exploring only the schedule that fires it
     /// immediately covers a representative of every interleaving. Fires
     /// ascend by pending index — deterministic for any worker count.
-    fn settle(&self, sim: &mut ExploreSim<ScpMsg>) {
+    fn settle(&self, sim: &mut ExploreSim<D::Msg>) {
         sim.drain_absorbed();
         if !self.spec.eager_inert {
             return;
@@ -258,13 +259,15 @@ impl<'a> Engine<'a> {
         'outer: loop {
             let pending = sim.pending().len();
             for idx in 0..pending {
-                let correct_origin = match sim.pending_at(idx) {
-                    scup_sim::ExploreEvent::Deliver { msg, .. } => {
-                        !self.setup.faulty.contains(msg.origin)
+                let origin_ok = match sim.pending_at(idx) {
+                    scup_sim::ExploreEvent::Deliver { from, msg, .. } => {
+                        let origin = self.driver.msg_origin(*from, msg);
+                        let correct = !self.driver.setup().faulty.contains(origin);
+                        self.driver.inert_origin_ok(correct, msg)
                     }
                     scup_sim::ExploreEvent::Timer { .. } => false,
                 };
-                if correct_origin && sim.is_threshold_inert(idx) {
+                if origin_ok && sim.is_threshold_inert(idx) {
                     sim.fire_uncounted(idx);
                     sim.drain_absorbed();
                     continue 'outer;
@@ -275,12 +278,12 @@ impl<'a> Engine<'a> {
     }
 
     /// Classifies the (canonical) current state.
-    fn classify(&self, sim: &ExploreSim<ScpMsg>, depth: u32) -> Class {
-        let decisions = self.setup.decisions(sim);
-        if self.setup.violates(&decisions) {
+    fn classify(&self, sim: &ExploreSim<D::Msg>, depth: u32) -> Class {
+        let decisions = self.driver.decisions(sim);
+        if self.driver.setup().violates(&decisions) {
             return Class::Violating;
         }
-        let correct = self.setup.correct();
+        let correct = self.driver.setup().correct();
         let mut agreed = None;
         let mut all_decided = true;
         for i in correct.iter() {
@@ -323,7 +326,7 @@ impl<'a> Engine<'a> {
     /// violating state.)
     fn visit(
         &self,
-        sim: &ExploreSim<ScpMsg>,
+        sim: &ExploreSim<D::Msg>,
         visited: &mut Visited,
         sleep: &[ChoiceProfile],
         stats: &mut WorkerStats,
@@ -362,7 +365,7 @@ impl<'a> Engine<'a> {
         if class == Class::Expanded {
             let mut choices = Vec::new();
             for idx in sim.choices() {
-                let profile = ChoiceProfile::of(self.setup, sim, idx, self.spec.sleep_sets);
+                let profile = ChoiceProfile::of(self.driver, sim, idx, self.spec.sleep_sets);
                 if sleep_hashes.binary_search(&profile.hash).is_ok() {
                     stats.sleep_prunes += 1;
                     continue;
@@ -408,8 +411,8 @@ impl<'a> Engine<'a> {
         visited: &mut Visited,
         stats: &mut WorkerStats,
     ) -> Result<(), StateCapExceeded> {
-        struct Frame {
-            state: SimState<ScpMsg>,
+        struct Frame<M: scup_sim::SimMessage> {
+            state: SimState<M>,
             choices: Vec<(usize, ChoiceProfile)>,
             sleep: Vec<ChoiceProfile>,
             next: usize,
@@ -528,7 +531,7 @@ impl<'a> Engine<'a> {
     pub fn find_cex(&self, variants: u32, d_star: u32) -> Option<(u32, Vec<u32>)> {
         for variant in 0..variants {
             let mut visited: HashMap<u128, u32> = HashMap::new();
-            let mut sim = self.setup.build_sim(variant);
+            let mut sim = self.driver.build_sim(variant);
             sim.start();
             self.settle(&mut sim);
             if let Some(found) = self.cex_dfs(&mut sim, d_star, &mut visited) {
@@ -540,21 +543,21 @@ impl<'a> Engine<'a> {
 
     fn cex_dfs(
         &self,
-        sim: &mut ExploreSim<ScpMsg>,
+        sim: &mut ExploreSim<D::Msg>,
         d_star: u32,
         visited: &mut HashMap<u128, u32>,
     ) -> Option<Vec<u32>> {
-        struct Frame {
-            state: SimState<ScpMsg>,
+        struct Frame<M: scup_sim::SimMessage> {
+            state: SimState<M>,
             choices: Vec<usize>,
             next: usize,
         }
-        let enter = |sim: &ExploreSim<ScpMsg>,
+        let enter = |sim: &ExploreSim<D::Msg>,
                      visited: &mut HashMap<u128, u32>,
                      path: &[u32]|
          -> Result<Option<Vec<usize>>, Vec<u32>> {
             let depth = sim.steps() as u32;
-            if self.setup.violates(&self.setup.decisions(sim)) {
+            if self.driver.setup().violates(&self.driver.decisions(sim)) {
                 return Err(path.to_vec());
             }
             if depth >= d_star {

@@ -96,7 +96,7 @@ pub mod explorer;
 pub mod reduce;
 pub mod report;
 
-pub use build::Setup;
+pub use build::{BftDriver, Driver, ScpDriver, Setup, StackDriver};
 pub use campaign::{explore_scenario, run_explore_campaign, summary};
 pub use explorer::{Class, Engine, Visited};
 pub use reduce::Symmetry;

@@ -46,10 +46,10 @@
 //! requires a correct origin: a Byzantine origin could later re-announce
 //! different slices, making the registry write order observable.
 
-use scup_graph::{ProcessId, ProcessSet};
+use scup_graph::{sink, ProcessId, ProcessSet};
+use scup_harness::scenario::ProtocolSpec;
 use scup_harness::AdversaryKind;
-use scup_scp::ScpMsg;
-use scup_sim::{ExploreEvent, ExploreSim, Perm};
+use scup_sim::{ExploreEvent, ExploreSim, Perm, SimMessage};
 
 use crate::build::Setup;
 
@@ -92,6 +92,21 @@ impl Symmetry {
         {
             return Symmetry::trivial();
         }
+        // BFT-CUP breaks id-opacity *inside the sink*: the view leader is
+        // picked by the numeric order of the member ids (`leader(v) =
+        // sorted(members)[v mod |members|]`), so transposing two sink
+        // members does not map runs onto runs — renaming the ids does not
+        // rename the leader schedule. Processes outside the sink never
+        // enter the leader rotation (discovery, asking and `f + 1`
+        // adoption are all set-based), so their transpositions remain
+        // sound. No unique sink ⇒ no sound class at all.
+        let bft_nonsink: Option<ProcessSet> = match setup.protocol {
+            ProtocolSpec::BftCup => match sink::unique_sink(setup.kg.graph()) {
+                Some(v_sink) => Some(setup.kg.graph().vertex_set().difference(&v_sink)),
+                None => return Symmetry::trivial(),
+            },
+            _ => None,
+        };
 
         let n = setup.kg.n();
         // Union-find over verified transpositions.
@@ -105,6 +120,13 @@ impl Symmetry {
         }
         for i in 0..n {
             for j in i + 1..n {
+                if let Some(nonsink) = &bft_nonsink {
+                    if !nonsink.contains(ProcessId::new(i as u32))
+                        || !nonsink.contains(ProcessId::new(j as u32))
+                    {
+                        continue;
+                    }
+                }
                 if find(&mut parent, i) != find(&mut parent, j)
                     && transposition_ok(setup, i as u32, j as u32)
                 {
@@ -183,7 +205,7 @@ impl Symmetry {
     /// reached. The identity hash identifies the concrete orbit member:
     /// sleep-set covers are only comparable within one member's frame
     /// (event hashes mention concrete process ids).
-    pub fn canonical_hash(&self, sim: &ExploreSim<ScpMsg>) -> (u128, u128, bool) {
+    pub fn canonical_hash<M: SimMessage>(&self, sim: &ExploreSim<M>) -> (u128, u128, bool) {
         let identity = sim.state_hash();
         let mut min = identity;
         let mut moved = false;
@@ -244,6 +266,12 @@ fn transposition_ok(setup: &Setup, i: u32, j: u32) -> bool {
         }
         // Slices: renaming u's family must yield π(u)'s family verbatim
         // (slice order included — the explorer hashes families as values).
+        // Protocols without pre-computed slices (BFT-CUP, full stack)
+        // derive every slice-like structure deterministically from the
+        // graph, whose symmetry the PD check above already verifies.
+        if setup.slices.is_empty() {
+            continue;
+        }
         let fam = &setup.slices[u];
         let fam_mapped = match fam {
             scup_fbqs::SliceFamily::Explicit(slices) => {
@@ -300,12 +328,19 @@ impl ChoiceProfile {
     /// Profiles pending event `idx` of `sim`. `sleep_enabled` gates the
     /// (non-free) inertness probe; with sleep sets off every event is
     /// profiled as non-inert.
-    pub fn of(setup: &Setup, sim: &ExploreSim<ScpMsg>, idx: usize, sleep_enabled: bool) -> Self {
+    pub fn of<D: crate::build::Driver>(
+        driver: &D,
+        sim: &ExploreSim<D::Msg>,
+        idx: usize,
+        sleep_enabled: bool,
+    ) -> Self {
         let event = sim.pending_at(idx);
         let inert = sleep_enabled
             && match event {
-                ExploreEvent::Deliver { msg, .. } => {
-                    !setup.faulty.contains(msg.origin) && sim.is_threshold_inert(idx)
+                ExploreEvent::Deliver { from, msg, .. } => {
+                    let origin = driver.msg_origin(*from, msg);
+                    let correct = !driver.setup().faulty.contains(origin);
+                    driver.inert_origin_ok(correct, msg) && sim.is_threshold_inert(idx)
                 }
                 ExploreEvent::Timer { .. } => false,
             };

@@ -68,6 +68,59 @@ fn split22(steps: u32) -> Scenario {
         .build()
 }
 
+/// The fig1-style BFT-CUP system (2-member sink, silent outsiders).
+fn bftcup_sink2(steps: u32, timer_budget: u32) -> Scenario {
+    Scenario::builder("bftcup-sink2")
+        .topology(TopologySpec::RandomKosr {
+            sink: 2,
+            nonsink: 2,
+            k: 1,
+            extra_edge_prob: 0.0,
+        })
+        .f(0)
+        .adversary("silent")
+        .faults(FaultPlacement::Ids(vec![2, 3]))
+        .protocol(ProtocolSpec::BftCup)
+        .inputs(vec![3, 9])
+        .explore(ExploreSpec {
+            max_steps: steps,
+            timer_budget,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// The bounded equivocating-leader BFT-CUP system (4-member clique sink,
+/// f = 1, the view-0 leader lies).
+fn bftcup_equiv_leader(steps: u32) -> Scenario {
+    Scenario::builder("bftcup-equiv-leader")
+        .topology(TopologySpec::RandomKosr {
+            sink: 4,
+            nonsink: 0,
+            k: 3,
+            extra_edge_prob: 0.0,
+        })
+        .f(1)
+        .adversary("equivocate")
+        .faults(FaultPlacement::Ids(vec![0]))
+        .protocol(ProtocolSpec::BftCup)
+        .inputs(vec![7])
+        .explore(ExploreSpec {
+            max_steps: steps,
+            timer_budget: 0,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// The discovery-interleaved full-stack system: same graph as `sink2`,
+/// but Algorithm 3 runs inside the explored schedule.
+fn sink2_discovery(steps: u32) -> Scenario {
+    let mut s = sink2(steps, 0, "silent", vec![3, 9]);
+    s.explore.explore_discovery = true;
+    s
+}
+
 fn explore_with(mut s: Scenario, symmetry: bool, sleep_sets: bool, eager: bool) -> ExploreRecord {
     s.explore.symmetry = symmetry;
     s.explore.sleep_sets = sleep_sets;
@@ -101,6 +154,11 @@ fn reductions_agree_on_complete_systems() {
         ("sink2-silent", sink2(64, 0, "silent", vec![3, 9])),
         ("sink2-timers", sink2(96, 1, "silent", vec![7])),
         ("split22-full", split22(48)),
+        // The full-stack systems: BFT-CUP (with and without view-change
+        // timers) and the discovery-interleaved positive pipeline.
+        ("bftcup-sink2", bftcup_sink2(64, 0)),
+        ("bftcup-sink2-timers", bftcup_sink2(96, 1)),
+        ("sink2-discovery", sink2_discovery(64)),
     ];
     for (name, scenario) in systems {
         let base = explore_with(scenario.clone(), false, false, false);
@@ -137,6 +195,15 @@ fn metric_compatible_reductions_agree_on_bounded_systems() {
         ("sink2-equivocate", sink2(6, 0, "equivocate", vec![7])),
         ("split22-bounded", split22(17)),
         ("sink2-crash", sink2(7, 0, "crash:3", vec![3, 9])),
+        // Both BFT-CUP equivocation variants and a truncated cut of the
+        // discovery-interleaved stack.
+        ("bftcup-equiv-leader", bftcup_equiv_leader(4)),
+        ("bftcup-crash", {
+            let mut s = bftcup_sink2(7, 0);
+            s.adversary = "crash:3".into();
+            s
+        }),
+        ("sink2-discovery-bounded", sink2_discovery(12)),
     ];
     for (name, scenario) in systems {
         let base = explore_with(scenario.clone(), false, false, false);
@@ -169,4 +236,19 @@ fn unreduced_counts_match_the_pr3_semantics() {
     assert_eq!(r.states, 20_880);
     assert_eq!(r.violating, 3_240);
     assert_eq!(r.min_violation_depth, Some(16));
+}
+
+/// The full (unreduced) semantics of the new full-stack systems, pinned:
+/// a change here means the protocol models themselves changed, not just a
+/// reduction.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only; see explore-smoke CI job")]
+fn unreduced_counts_pin_the_full_stack_semantics() {
+    let r = explore_with(bftcup_sink2(64, 0), false, false, false);
+    assert_eq!(r.states, 180);
+    assert!(r.complete && r.violating == 0);
+    let r = explore_with(sink2_discovery(64), false, false, false);
+    assert_eq!(r.states, 21_516);
+    assert!(r.complete && r.violating == 0);
+    assert_eq!(r.decided_values, vec![3, 9]);
 }

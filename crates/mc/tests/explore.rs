@@ -168,22 +168,100 @@ fn seeded_bad_system_yields_minimal_counterexample() {
     assert!(r.passed, "expect_violation makes the find a pass");
 }
 
+/// The fig1-style BFT-CUP system of `campaigns/explore.toml`.
+fn bftcup_sink2(steps: u32, timer_budget: u32) -> Scenario {
+    Scenario::builder("bftcup-sink2")
+        .topology(TopologySpec::RandomKosr {
+            sink: 2,
+            nonsink: 2,
+            k: 1,
+            extra_edge_prob: 0.0,
+        })
+        .f(0)
+        .adversary("silent")
+        .faults(FaultPlacement::Ids(vec![2, 3]))
+        .protocol(ProtocolSpec::BftCup)
+        .inputs(vec![3, 9])
+        .explore(ExploreSpec {
+            max_steps: steps,
+            timer_budget,
+            ..Default::default()
+        })
+        .build()
+}
+
 #[test]
-fn bftcup_scenarios_are_a_clean_error() {
-    let mut s = split22();
-    s.protocol = ProtocolSpec::BftCup;
-    let r = explore_scenario(&s, 1, &AdversaryRegistry::builtin());
-    let error = r.error.expect("unsupported");
-    assert!(error.contains("bft-cup"));
+fn bftcup_explores_exhaustively_with_no_agreement_split() {
+    let r = explore_scenario(&bftcup_sink2(64, 0), 2, &AdversaryRegistry::builtin());
+    assert_eq!(r.error, None, "BFT-CUP now has exploration support");
+    assert!(r.complete, "the fig1-style system must be exhausted");
+    assert_eq!(r.violating, 0, "no schedule splits a decision");
+    // Leader-based consensus: every deciding schedule decides the view-0
+    // leader's proposal (contrast SCP, where nomination order makes both
+    // proposals reachable).
+    assert_eq!(r.decided_values, vec![3]);
+    assert!(r.decided > 0);
+    // Schedules where consensus messages outran the receivers' discovery
+    // quiesce undecided without timers — surfaced, not hidden.
+    assert!(r.quiescent_undecided > 0);
+    assert!(r.passed);
+    // Deterministic canonical state count (see campaigns/explore.toml).
+    assert_eq!(r.states, 145);
+}
+
+#[test]
+fn bftcup_timer_choices_recover_stalled_schedules() {
+    let no_timers = explore_scenario(&bftcup_sink2(64, 0), 2, &AdversaryRegistry::builtin());
+    let r = explore_scenario(&bftcup_sink2(96, 1), 2, &AdversaryRegistry::builtin());
+    assert_eq!(r.error, None);
+    assert!(r.complete);
+    assert_eq!(r.violating, 0);
     assert!(
-        error.contains("`split22`"),
-        "the error must name the offending scenario: {error}"
+        r.states > no_timers.states,
+        "view-change timers enlarge the space"
     );
-    assert!(
-        error.contains("mode = \"sample\""),
-        "the error must point at the sampling runner: {error}"
+    // View rotation makes the second member's proposal reachable too: a
+    // schedule where view 0 stalls hands the proposer role to member 1.
+    assert_eq!(r.decided_values, vec![3, 9]);
+}
+
+#[test]
+fn bftcup_forged_slice_explores_both_victim_splits() {
+    // BFT-CUP has no slices to forge: `forged-slice` maps onto the same
+    // split-parameterized equivocating leader as `equivocate`, so both
+    // adversary names must enumerate BOTH victim-split variants and
+    // produce the identical record (a `variants() == 1` regression would
+    // silently halve the explored attack schedules while still reporting
+    // `complete`).
+    let scenario = |adversary: &str| {
+        let mut s = bftcup_sink2(4, 0);
+        s.topology = TopologySpec::RandomKosr {
+            sink: 4,
+            nonsink: 0,
+            k: 3,
+            extra_edge_prob: 0.0,
+        };
+        s.f = 1;
+        s.adversary = adversary.into();
+        s.faults = FaultPlacement::Ids(vec![0]);
+        s.inputs = Some(vec![7]);
+        s
+    };
+    let registry = AdversaryRegistry::builtin();
+    let equiv = explore_scenario(&scenario("equivocate"), 2, &registry);
+    let forged = explore_scenario(&scenario("forged-slice"), 2, &registry);
+    assert_eq!(equiv.error, None);
+    assert_eq!(forged.error, None);
+    assert_eq!(equiv.variants, 2, "both split parities are choice points");
+    assert_eq!(forged.variants, 2, "forged-slice is the same BFT adversary");
+    // Only the adversary *name* may differ between the two records.
+    let mut forged = deterministic_view(forged);
+    forged.adversary = "equivocate".into();
+    assert_eq!(
+        forged,
+        deterministic_view(equiv),
+        "identical rosters must explore identically"
     );
-    assert!(!r.passed);
 }
 
 #[test]
@@ -199,6 +277,22 @@ fn reports_are_bit_identical_across_worker_counts() {
         // deterministic field.
         let mut sleepy = sink2(10, 0, "silent", vec![3, 9]);
         sleepy.explore.sleep_sets = true;
+        // The full-stack drivers ride the same contract: BFT-CUP (with
+        // its two equivocation variants) and the discovery-interleaved
+        // stack, bounded to keep the debug suite quick.
+        let mut discovery = sink2(12, 0, "silent", vec![3, 9]);
+        discovery.explore.explore_discovery = true;
+        let mut bft_equiv = bftcup_sink2(3, 0);
+        bft_equiv.topology = TopologySpec::RandomKosr {
+            sink: 4,
+            nonsink: 0,
+            k: 3,
+            extra_edge_prob: 0.0,
+        };
+        bft_equiv.f = 1;
+        bft_equiv.adversary = "equivocate".into();
+        bft_equiv.faults = FaultPlacement::Ids(vec![0]);
+        bft_equiv.inputs = Some(vec![7]);
         Campaign {
             name: "det".into(),
             mode: CampaignMode::Explore,
@@ -208,6 +302,9 @@ fn reports_are_bit_identical_across_worker_counts() {
                 sleepy,
                 sink2(5, 0, "equivocate", vec![7]),
                 split22_bounded(),
+                bftcup_sink2(64, 0),
+                bft_equiv,
+                discovery,
             ],
         }
     };
@@ -219,6 +316,52 @@ fn reports_are_bit_identical_across_worker_counts() {
             .any(|r| r.symmetry_group > 1 || r.sleep_prunes > 0),
         "the determinism bar must be cleared with reductions actually engaged"
     );
+    for threads in [2, 8] {
+        let other = run_explore_campaign(&campaign(threads));
+        for (a, b) in base.records.iter().zip(&other.records) {
+            assert_eq!(
+                deterministic_view(a.clone()),
+                deterministic_view(b.clone()),
+                "threads=1 vs threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+// Runs the three new campaign scenarios at their full campaign bounds
+// across 1/2/8 workers; affordable in release, slow unoptimized.
+#[cfg_attr(debug_assertions, ignore = "release-only; see explore-smoke CI job")]
+fn new_campaign_scenarios_are_bit_identical_across_worker_counts() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../campaigns/explore.toml"),
+    )
+    .expect("campaigns/explore.toml");
+    let parsed = scup_harness::campaign_from_str(&text).unwrap();
+    let new_names = [
+        "bftcup-sink2-outsiders",
+        "bftcup-equiv-leader",
+        "sink2-discovery-interleaved",
+    ];
+    let scenarios: Vec<_> = parsed
+        .scenarios
+        .iter()
+        .filter(|s| new_names.contains(&s.name.as_str()))
+        .cloned()
+        .collect();
+    assert_eq!(scenarios.len(), 3, "all three new scenarios must ship");
+    let campaign = |threads: usize| Campaign {
+        name: "det-full".into(),
+        mode: CampaignMode::Explore,
+        threads,
+        scenarios: scenarios.clone(),
+    };
+    let base = run_explore_campaign(&campaign(1));
+    assert!(base.all_passed());
+    // The campaign-documented state counts, pinned here so a semantics
+    // change cannot slip through as a silent count drift.
+    let states: Vec<u64> = base.records.iter().map(|r| r.states).collect();
+    assert_eq!(states, vec![145, 117_412, 1_487]);
     for threads in [2, 8] {
         let other = run_explore_campaign(&campaign(threads));
         for (a, b) in base.records.iter().zip(&other.records) {
@@ -256,7 +399,19 @@ fn campaign_file_parses_into_explore_mode() {
     .expect("campaigns/explore.toml");
     let campaign = scup_harness::campaign_from_str(&text).unwrap();
     assert_eq!(campaign.mode, CampaignMode::Explore);
-    assert_eq!(campaign.scenarios.len(), 6);
+    assert_eq!(campaign.scenarios.len(), 9);
+    let bftcup = campaign
+        .scenarios
+        .iter()
+        .find(|s| s.name == "bftcup-sink2-outsiders")
+        .expect("the BFT-CUP scenario ships in the campaign");
+    assert_eq!(bftcup.protocol, ProtocolSpec::BftCup);
+    let stack = campaign
+        .scenarios
+        .iter()
+        .find(|s| s.name == "sink2-discovery-interleaved")
+        .expect("the discovery-interleaved scenario ships in the campaign");
+    assert!(stack.explore.explore_discovery);
     let sink3 = campaign
         .scenarios
         .iter()

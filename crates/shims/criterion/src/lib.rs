@@ -211,7 +211,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
         };
         f(&mut b);
         if b.elapsed >= criterion.warm_up || iters >= 1 << 20 {
-            let per_iter = b.elapsed.as_nanos().max(1) / iters as u128;
+            let per_iter = (b.elapsed.as_nanos() / iters as u128).max(1);
             let budget = criterion.measurement.as_nanos() / samples.max(1) as u128;
             iters = ((budget / per_iter) as u64).clamp(1, 1 << 24);
             break;

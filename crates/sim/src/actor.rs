@@ -226,6 +226,50 @@ impl<M> Context<'_, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Runs `f` with a sub-context whose message type is `N`, wrapping
+    /// every send through `wrap` into this context's outbox. Timers, the
+    /// knowledge set and the clock are shared with the outer context.
+    ///
+    /// This is the embedding hook for composite actors (e.g. the
+    /// full-stack discovery → SCP actor): an inner protocol state machine
+    /// written against `Context<'_, N>` runs unchanged inside an outer
+    /// actor whose wire type is an enum over the phases.
+    pub fn with_mapped<N, R>(
+        &mut self,
+        wrap: impl Fn(N) -> M,
+        f: impl FnOnce(&mut Context<'_, N>) -> R,
+    ) -> R {
+        self.with_mapped_scratch(&mut Vec::new(), wrap, f)
+    }
+
+    /// [`Context::with_mapped`] with a caller-owned staging buffer, for
+    /// composite actors on the dispatch hot path: the buffer's allocation
+    /// is reused across deliveries instead of paying a fresh `Vec` per
+    /// call. Always left empty on return (drained into the outer outbox).
+    pub fn with_mapped_scratch<N, R>(
+        &mut self,
+        scratch: &mut Vec<(ProcessId, N)>,
+        wrap: impl Fn(N) -> M,
+        f: impl FnOnce(&mut Context<'_, N>) -> R,
+    ) -> R {
+        debug_assert!(scratch.is_empty());
+        let result = {
+            let mut sub = Context {
+                self_id: self.self_id,
+                now: self.now,
+                known: &mut *self.known,
+                rng: &mut *self.rng,
+                outbox: scratch,
+                timers: &mut *self.timers,
+            };
+            f(&mut sub)
+        };
+        for (to, msg) in scratch.drain(..) {
+            self.outbox.push((to, wrap(msg)));
+        }
+        result
+    }
 }
 
 #[cfg(test)]
