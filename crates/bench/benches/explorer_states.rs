@@ -1,7 +1,7 @@
 //! Explorer throughput: canonical states per second on the explore-campaign
 //! systems.
 //!
-//! Two kinds of rows, both tracked in `BENCH_PR5.json`:
+//! Two kinds of rows, both tracked in `BENCH_PR6.json`:
 //!
 //! - `*-unreduced` rows run with every reduction off and count their own
 //!   visited states — the *per-state* throughput of the explorer core
@@ -20,10 +20,14 @@
 //!
 //! Run: `cargo bench -p scup-bench --bench explorer_states`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, custom_entry, BenchmarkId, Criterion, Throughput,
+};
 use scup_harness::scenario::{ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, TopologySpec};
 use scup_harness::AdversaryRegistry;
-use scup_mc::campaign::explore_scenario;
+use scup_mc::campaign::{explore_scenario, explore_scenario_obs};
+use scup_mc::ObsConfig;
+use scup_obs::chrome::TraceClock;
 use stellar_cup::attempts::LocalSliceStrategy;
 
 /// The n = 4 fig1-style system (2-member sink + silent outsiders).
@@ -99,6 +103,30 @@ fn sink2_discovery() -> Scenario {
     s
 }
 
+/// The three-active-proposer system from `campaigns/explore.toml`: a
+/// 3-member complete sink, no outsiders, one shared proposal — the
+/// largest exhaustible space in the campaign and the obs-overhead
+/// stress case (deep DFS chains, heavy settle phase).
+fn sink3_proposers() -> Scenario {
+    Scenario::builder("sink3-proposers")
+        .topology(TopologySpec::RandomKosr {
+            sink: 3,
+            nonsink: 0,
+            k: 1,
+            extra_edge_prob: 0.0,
+        })
+        .f(0)
+        .adversary("silent")
+        .faults(FaultPlacement::None)
+        .inputs(vec![7])
+        .explore(ExploreSpec {
+            max_steps: 96,
+            timer_budget: 0,
+            ..Default::default()
+        })
+        .build()
+}
+
 fn without_reductions(mut s: Scenario) -> Scenario {
     s.explore.symmetry = false;
     s.explore.sleep_sets = false;
@@ -142,5 +170,93 @@ fn bench_explorer(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_explorer);
+/// Observability overhead: the same exhaustive exploration with
+/// profiling off vs on, plus per-phase wall-time rows from one profiled
+/// run.
+///
+/// Three kinds of rows, all tracked in `BENCH_PR6.json`:
+///
+/// - `explore_obs/<case>-off` — the unobserved explorer (the gated
+///   throughput rows above stay the regression oracle; this row is the
+///   like-for-like denominator measured in the same session);
+/// - `explore_obs/<case>-on` — full profiling (phase laps, occupancy,
+///   depth sampling). The acceptance bar is ≤ 10% below `-off` on
+///   `split22-cex`;
+/// - `explore_phases/<case>/<phase>` — per-phase nanos from one profiled
+///   run, reported via [`custom_entry`]. Warn-only in CI: phase splits
+///   shift with the allocator and machine, so they inform rather than
+///   gate.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let registry = AdversaryRegistry::builtin();
+    let threads = 1usize;
+
+    // sink3-proposers runs ~30 s per exploration; three samples bound the
+    // bench-smoke job while still giving a median.
+    let cases = [
+        ("split22-cex", split22(), 10usize),
+        ("sink3-proposers", sink3_proposers(), 3),
+    ];
+    for (name, scenario, samples) in cases {
+        let states = explore_scenario(&scenario, threads, &registry).states;
+
+        let mut group = c.benchmark_group("explore_obs");
+        group.sample_size(samples);
+        group.throughput(Throughput::Elements(states));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}-off"), states),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| explore_scenario(scenario, threads, &registry).states);
+            },
+        );
+        let profile = ObsConfig {
+            profile: true,
+            trace: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}-on"), states),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let clock = TraceClock::start();
+                    let mut events = Vec::new();
+                    explore_scenario_obs(
+                        scenario,
+                        threads,
+                        &registry,
+                        profile,
+                        &clock,
+                        1,
+                        &mut events,
+                    )
+                    .states
+                });
+            },
+        );
+        group.finish();
+
+        // One profiled run feeds the per-phase rows.
+        let clock = TraceClock::start();
+        let mut events = Vec::new();
+        let record = explore_scenario_obs(
+            &scenario,
+            threads,
+            &registry,
+            profile,
+            &clock,
+            1,
+            &mut events,
+        );
+        let obs = record.obs.expect("profiling populates the obs block");
+        for row in &obs.phases {
+            custom_entry(
+                &format!("explore_phases/{name}/{}", row.phase),
+                row.nanos as u128,
+                None,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_explorer, bench_obs_overhead);
 criterion_main!(benches);

@@ -9,6 +9,16 @@
 //!   --mode MODE         override the campaign mode (sample | explore)
 //!   --out PATH          write the JSON report here (`-` = stdout);
 //!                       default: target/campaign-reports/<name>.json
+//!   --obs               collect observability detail: sample mode gets a
+//!                       live progress ticker on stderr; explore mode adds
+//!                       per-phase timing, visited-set occupancy and
+//!                       re-expansion counts to each record's `obs` block
+//!   --trace-out PATH    write a Chrome-trace-event JSON file (load in
+//!                       Perfetto / chrome://tracing): explore mode emits
+//!                       worker DFS timelines with per-phase spans; sample
+//!                       mode re-runs each scenario's first seed with the
+//!                       simulator trace on and exports the message
+//!                       schedule (one track per process, sim ticks as µs)
 //!   --list-adversaries  print the adversary registry and exit
 //!   -h, --help          this text
 //! ```
@@ -28,18 +38,22 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use scup_harness::campaign::{CampaignMode, CampaignReport};
-use scup_harness::{campaign_from_str, AdversaryRegistry};
+use scup_harness::{campaign_from_str, perfetto, AdversaryRegistry};
+use scup_mc::ObsConfig;
+use scup_obs::chrome::{write_trace_json, ChromeEvent};
 
 struct Options {
     threads: Option<usize>,
     mode: Option<CampaignMode>,
     out: Option<String>,
+    obs: bool,
+    trace_out: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: scup-campaign [--threads N] [--mode sample|explore] [--out PATH|-] \
-     [--list-adversaries] <campaign.toml>..."
+     [--obs] [--trace-out PATH] [--list-adversaries] <campaign.toml>..."
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -47,6 +61,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         threads: None,
         mode: None,
         out: None,
+        obs: false,
+        trace_out: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -75,6 +91,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--out" => {
                 options.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--obs" => options.obs = true,
+            "--trace-out" => {
+                options.trace_out =
+                    Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
@@ -195,26 +216,55 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
 
     match campaign.mode {
         CampaignMode::Sample => {
-            let report = campaign.run();
+            let report = campaign.run_observed(options.obs);
             emit(
                 options,
                 &summary(&report),
                 &report.name,
                 report.to_json().pretty(),
             )?;
+            if let Some(path) = &options.trace_out {
+                // The sampled runs themselves stay untraced (payload
+                // rendering would tax every run); one traced re-run per
+                // scenario gives Perfetto the representative schedule.
+                write_trace(options, path, &perfetto::trace_first_seeds(&campaign))?;
+            }
             Ok(report.all_passed())
         }
         CampaignMode::Explore => {
-            let report = scup_mc::run_explore_campaign(&campaign);
+            let obs = ObsConfig {
+                profile: options.obs || options.trace_out.is_some(),
+                trace: options.trace_out.is_some(),
+            };
+            let (report, events) = scup_mc::run_explore_campaign_obs(&campaign, obs);
             emit(
                 options,
                 &scup_mc::summary(&report),
                 &report.name,
                 report.to_json().pretty(),
             )?;
+            if let Some(path) = &options.trace_out {
+                write_trace(options, path, &events)?;
+            }
             Ok(report.all_passed())
         }
     }
+}
+
+fn write_trace(options: &Options, path: &Path, events: &[ChromeEvent]) -> Result<(), String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, write_trace_json(events))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let note = format!("  trace: {} ({} events)", path.display(), events.len());
+    // With `--out -` the report JSON owns stdout (see `emit`).
+    if options.out.as_deref() == Some("-") {
+        eprintln!("{note}");
+    } else {
+        println!("{note}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

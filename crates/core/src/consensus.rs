@@ -18,9 +18,9 @@
 use scup_fbqs::SliceFamily;
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 use scup_scp::node::EquivocatingScpNode;
-use scup_scp::{ScpConfig, ScpNode, Value};
+use scup_scp::{NodeStats, ScpConfig, ScpNode, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
-use scup_sim::{NetworkConfig, SimReport, Simulation};
+use scup_sim::{NetworkConfig, SimReport, Simulation, TraceEvent};
 
 use crate::attempts::LocalSliceStrategy;
 use crate::build_slices::build_slices;
@@ -68,6 +68,10 @@ pub struct EndToEndConfig {
     pub inputs: Option<Vec<Value>>,
     /// Time horizons for the two phases.
     pub max_ticks: u64,
+    /// Record simulator event traces into [`Outcome::sd_trace`] /
+    /// [`Outcome::scp_trace`]. Off by default: enabling it renders every
+    /// message payload to a string.
+    pub trace: bool,
 }
 
 impl Default for EndToEndConfig {
@@ -80,6 +84,7 @@ impl Default for EndToEndConfig {
             adversary: ScpAdversary::Silent,
             inputs: None,
             max_ticks: 3_000_000,
+            trace: false,
         }
     }
 }
@@ -100,6 +105,16 @@ pub struct Outcome {
     pub sd_report: SimReport,
     /// Metrics of the SCP phase.
     pub scp_report: SimReport,
+    /// Per-node SCP message/ballot-phase counters (default for faulty
+    /// processes and non-`ScpNode` actors). Observational only — never
+    /// part of any verdict.
+    pub node_stats: Vec<NodeStats>,
+    /// Sink-detector-phase event trace (empty unless
+    /// [`EndToEndConfig::trace`]). Times are that phase's sim clock.
+    pub sd_trace: Vec<TraceEvent>,
+    /// SCP-phase event trace (empty unless [`EndToEndConfig::trace`]).
+    /// Times restart at zero — the phase runs its own simulation.
+    pub scp_trace: Vec<TraceEvent>,
 }
 
 impl Outcome {
@@ -164,8 +179,23 @@ pub fn run_sink_detection(
     faulty: &ProcessSet,
     config: &EndToEndConfig,
 ) -> (Vec<Option<SinkDetection>>, SimReport) {
+    let (detections, report, _) = run_sink_detection_traced(kg, f, faulty, config);
+    (detections, report)
+}
+
+/// [`run_sink_detection`], additionally returning the phase's event
+/// trace (empty unless [`EndToEndConfig::trace`]).
+pub fn run_sink_detection_traced(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    config: &EndToEndConfig,
+) -> (Vec<Option<SinkDetection>>, SimReport, Vec<TraceEvent>) {
     let net = NetworkConfig::partially_synchronous(config.gst, config.delta, config.seed);
     let mut sim = Simulation::new(kg.clone(), net);
+    if config.trace {
+        sim.enable_trace();
+    }
     for i in kg.processes() {
         if faulty.contains(i) {
             match config.adversary {
@@ -196,7 +226,8 @@ pub fn run_sink_detection(
                 })
         })
         .collect();
-    (detections, report)
+    let trace = sim.trace().events().to_vec();
+    (detections, report, trace)
 }
 
 /// Phases 2–3: builds slices from the detections (Algorithm 2) and runs
@@ -208,8 +239,31 @@ pub fn run_scp_with_slices(
     inputs: &[Value],
     config: &EndToEndConfig,
 ) -> (Vec<Option<Value>>, SimReport) {
+    let (decisions, report, _, _) =
+        run_scp_with_slices_observed(kg, faulty, slices, inputs, config);
+    (decisions, report)
+}
+
+/// [`run_scp_with_slices`], additionally returning each correct node's
+/// [`NodeStats`] counters (defaults for faulty/non-SCP actors) and the
+/// phase's event trace (empty unless [`EndToEndConfig::trace`]).
+pub fn run_scp_with_slices_observed(
+    kg: &KnowledgeGraph,
+    faulty: &ProcessSet,
+    slices: Vec<SliceFamily>,
+    inputs: &[Value],
+    config: &EndToEndConfig,
+) -> (
+    Vec<Option<Value>>,
+    SimReport,
+    Vec<NodeStats>,
+    Vec<TraceEvent>,
+) {
     let net = NetworkConfig::partially_synchronous(config.gst, config.delta, config.seed ^ 0x5eed);
     let mut sim = Simulation::new(kg.clone(), net);
+    if config.trace {
+        sim.enable_trace();
+    }
     for i in kg.processes() {
         if faulty.contains(i) {
             match config.adversary {
@@ -249,7 +303,16 @@ pub fn run_scp_with_slices(
         .processes()
         .map(|i| sim.actor_as::<ScpNode>(i).and_then(ScpNode::externalized))
         .collect();
-    (decisions, report)
+    let node_stats = kg
+        .processes()
+        .map(|i| {
+            sim.actor_as::<ScpNode>(i)
+                .map(|n| *n.stats())
+                .unwrap_or_default()
+        })
+        .collect();
+    let trace = sim.trace().events().to_vec();
+    (decisions, report, node_stats, trace)
 }
 
 /// The full positive pipeline: sink detector → Algorithm 2 → SCP
@@ -264,7 +327,7 @@ pub fn run_end_to_end(
         .inputs
         .clone()
         .unwrap_or_else(|| default_inputs(kg.n()));
-    let (detections, sd_report) = run_sink_detection(kg, f, faulty, config);
+    let (detections, sd_report, sd_trace) = run_sink_detection_traced(kg, f, faulty, config);
     let slices: Vec<SliceFamily> = detections
         .iter()
         .map(|d| match d {
@@ -272,7 +335,8 @@ pub fn run_end_to_end(
             None => SliceFamily::empty(),
         })
         .collect();
-    let (decisions, scp_report) = run_scp_with_slices(kg, faulty, slices, &inputs, config);
+    let (decisions, scp_report, node_stats, scp_trace) =
+        run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
     Outcome {
         faulty: faulty.clone(),
         inputs,
@@ -280,6 +344,9 @@ pub fn run_end_to_end(
         decisions,
         sd_report,
         scp_report,
+        node_stats,
+        sd_trace,
+        scp_trace,
     }
 }
 
@@ -300,7 +367,8 @@ pub fn run_local_slices_pipeline(
         .processes()
         .map(|i| strategy.build(kg.pd(i), f))
         .collect();
-    let (decisions, scp_report) = run_scp_with_slices(kg, faulty, slices, &inputs, config);
+    let (decisions, scp_report, node_stats, scp_trace) =
+        run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
     Outcome {
         faulty: faulty.clone(),
         inputs,
@@ -308,6 +376,9 @@ pub fn run_local_slices_pipeline(
         decisions,
         sd_report: SimReport::default(),
         scp_report,
+        node_stats,
+        sd_trace: Vec::new(),
+        scp_trace,
     }
 }
 
@@ -400,6 +471,9 @@ mod tests {
             decisions: vec![Some(5), Some(5), None],
             sd_report: SimReport::default(),
             scp_report: SimReport::default(),
+            node_stats: Vec::new(),
+            sd_trace: Vec::new(),
+            scp_trace: Vec::new(),
         };
         assert!(outcome.agreement());
         assert_eq!(outcome.decided_value(), Some(5));

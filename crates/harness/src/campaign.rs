@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use scup_obs::progress::{ProgressCounter, Ticker};
 use scup_scp::Value;
 
 use crate::adversary::AdversaryRegistry;
@@ -88,6 +89,24 @@ pub struct RunRecord {
     pub decided_value: Option<Value>,
     /// Messages sent across phases.
     pub messages_sent: u64,
+    /// Messages delivered across phases.
+    pub messages_delivered: u64,
+    /// Bytes (per message `size_hint`) sent across phases.
+    pub bytes_sent: u64,
+    /// Timers fired across phases.
+    pub timers_fired: u64,
+    /// SCP ballot protocols started, summed over nodes (0 for BFT-CUP).
+    pub ballots_started: u64,
+    /// SCP nomination-phase confirmations, summed over nodes.
+    pub nominations_confirmed: u64,
+    /// SCP prepare-phase confirmations, summed over nodes.
+    pub prepares_confirmed: u64,
+    /// SCP commit-phase confirmations, summed over nodes.
+    pub commits_confirmed: u64,
+    /// The process that sent the most messages (traffic hotspot).
+    pub hot_process: u32,
+    /// Messages sent by that process.
+    pub hot_sent: u64,
     /// Simulated end time.
     pub end_ticks: u64,
     /// Wall-clock duration of the run, microseconds.
@@ -115,6 +134,14 @@ pub struct CampaignReport {
 impl Campaign {
     /// Runs every `(scenario, seed)` pair, in parallel.
     pub fn run(&self) -> CampaignReport {
+        self.run_observed(false)
+    }
+
+    /// Like [`Campaign::run`], with an optional live progress ticker on
+    /// stderr (`runs done/total`, once a second) for long campaigns.
+    /// Progress output never touches stdout, so piped report JSON stays
+    /// clean; the report is identical either way.
+    pub fn run_observed(&self, progress: bool) -> CampaignReport {
         let started = Instant::now();
         let registry = AdversaryRegistry::builtin();
 
@@ -140,16 +167,27 @@ impl Campaign {
         // own vector; records are re-slotted by spec index afterwards, so
         // the report is byte-identical whatever the thread count.
         let threads = threads.max(1);
+        let counter = ProgressCounter::new();
+        let ticker = progress.then(|| {
+            Ticker::spawn(
+                &format!("campaign `{}`", self.name),
+                specs.len() as u64,
+                counter.clone(),
+                std::time::Duration::from_secs(1),
+            )
+        });
         let mut slots: Vec<Option<RunRecord>> = vec![None; specs.len()];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let specs = &specs;
                     let registry = &registry;
+                    let counter = counter.clone();
                     scope.spawn(move || {
                         let mut records = Vec::with_capacity(specs.len() / threads + 1);
                         for &(_, scenario, seed) in specs.iter().skip(w).step_by(threads) {
                             records.push(run_one(scenario, seed, registry));
+                            counter.add(1);
                         }
                         records
                     })
@@ -162,6 +200,9 @@ impl Campaign {
                 }
             }
         });
+        if let Some(t) = ticker {
+            t.finish();
+        }
         let runs = slots
             .into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -197,6 +238,15 @@ pub fn run_one(scenario: &Scenario, seed: u64, registry: &AdversaryRegistry) -> 
         },
         decided_value: None,
         messages_sent: 0,
+        messages_delivered: 0,
+        bytes_sent: 0,
+        timers_fired: 0,
+        ballots_started: 0,
+        nominations_confirmed: 0,
+        prepares_confirmed: 0,
+        commits_confirmed: 0,
+        hot_process: 0,
+        hot_sent: 0,
         end_ticks: 0,
         wall_micros: 0,
         passed: false,
@@ -276,6 +326,24 @@ fn run_configured(
     record.passed = invariants.passes(scenario.oracle);
     record.invariants = invariants;
     record.messages_sent = output.messages_sent;
+    record.messages_delivered = output.messages_delivered;
+    record.bytes_sent = output.bytes_sent;
+    record.timers_fired = output.timers_fired;
+    for ns in &output.node_stats {
+        record.ballots_started += ns.ballots_started;
+        record.nominations_confirmed += ns.nominations_confirmed;
+        record.prepares_confirmed += ns.prepares_confirmed;
+        record.commits_confirmed += ns.commits_confirmed;
+    }
+    if let Some((id, stats)) = output
+        .per_process
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.sent)
+    {
+        record.hot_process = id as u32;
+        record.hot_sent = stats.sent;
+    }
     record.end_ticks = output.end_ticks;
     Ok(())
 }
@@ -357,6 +425,32 @@ impl RunRecord {
                     .unwrap_or(Json::Null),
             ),
             ("messages_sent", Json::Int(self.messages_sent as i64)),
+            (
+                "metrics",
+                Json::obj([
+                    (
+                        "messages_delivered",
+                        Json::Int(self.messages_delivered as i64),
+                    ),
+                    ("bytes_sent", Json::Int(self.bytes_sent as i64)),
+                    ("timers_fired", Json::Int(self.timers_fired as i64)),
+                    ("ballots_started", Json::Int(self.ballots_started as i64)),
+                    (
+                        "nominations_confirmed",
+                        Json::Int(self.nominations_confirmed as i64),
+                    ),
+                    (
+                        "prepares_confirmed",
+                        Json::Int(self.prepares_confirmed as i64),
+                    ),
+                    (
+                        "commits_confirmed",
+                        Json::Int(self.commits_confirmed as i64),
+                    ),
+                    ("hot_process", Json::Int(self.hot_process as i64)),
+                    ("hot_sent", Json::Int(self.hot_sent as i64)),
+                ]),
+            ),
             ("end_ticks", Json::Int(self.end_ticks as i64)),
             ("wall_micros", Json::Int(self.wall_micros as i64)),
             ("passed", Json::Bool(self.passed)),
@@ -409,6 +503,14 @@ mod tests {
                 "{}/{} failed: {:?} {:?}",
                 run.scenario, run.seed, run.invariants.violations, run.error
             );
+            assert!(run.messages_delivered > 0, "delivery metrics populate");
+            assert!(run.bytes_sent > 0, "byte metrics populate");
+            assert!(run.hot_sent > 0, "hotspot metrics populate");
+            if run.scenario == "fig2-silent" {
+                // The SCP phase ran: ballot-phase counters must show it.
+                assert!(run.ballots_started > 0, "scp ballot counters populate");
+                assert!(run.commits_confirmed > 0);
+            }
         }
         assert!(report.all_passed());
     }
@@ -428,6 +530,14 @@ mod tests {
                 assert_eq!(x.faulty, y.faulty);
                 assert_eq!(x.decided_value, y.decided_value);
                 assert_eq!(x.messages_sent, y.messages_sent);
+                assert_eq!(x.messages_delivered, y.messages_delivered);
+                assert_eq!(x.bytes_sent, y.bytes_sent);
+                assert_eq!(x.timers_fired, y.timers_fired);
+                assert_eq!(
+                    (x.ballots_started, x.nominations_confirmed),
+                    (y.ballots_started, y.nominations_confirmed)
+                );
+                assert_eq!((x.hot_process, x.hot_sent), (y.hot_process, y.hot_sent));
                 assert_eq!(x.end_ticks, y.end_ticks);
                 assert_eq!(x.invariants, y.invariants);
                 assert_eq!(x.passed, y.passed);

@@ -23,7 +23,9 @@
 //!   structural premise that makes "must this run succeed?" precise;
 //! - [`campaign`] — the parallel runner: scenario × seed fan-out across
 //!   threads, deterministic per-run results, structured JSON reports;
-//! - [`json`] / [`parse`] — the offline JSON/TOML layer.
+//! - [`json`] / [`parse`] — the offline JSON/TOML layer;
+//! - [`perfetto`] — Chrome-trace export of sampled runs (first seed per
+//!   scenario, simulator ticks rendered as trace microseconds).
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@ pub mod campaign;
 pub mod json;
 pub mod oracle;
 pub mod parse;
+pub mod perfetto;
 pub mod protocol;
 pub mod scenario;
 pub mod topology;

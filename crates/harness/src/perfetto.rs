@@ -1,0 +1,194 @@
+//! Perfetto export of sampled simulation runs: simulator event traces
+//! rendered as Chrome trace events, one process track per scenario, one
+//! thread track per simulated process.
+//!
+//! Simulated ticks map 1:1 to trace microseconds — the exported
+//! timeline is the *logical* network schedule, not wall time, which is
+//! exactly what makes message flight times and timer cadences readable
+//! in the viewer. A message in flight is a `Complete` span on its
+//! sender's track (send tick → delivery tick); deliveries and timer
+//! fires are instants on the receiving process's track.
+
+use scup_obs::chrome::{ArgValue, ChromeEvent};
+use scup_sim::TraceEvent;
+
+use crate::adversary::AdversaryRegistry;
+use crate::campaign::Campaign;
+use crate::{protocol, topology};
+
+/// Converts one phase's simulator trace to Chrome events on process
+/// track `pid`. Thread `tid = i + 1` is simulated process `i`; ticks
+/// shift by `offset_us` so multi-phase pipelines lay out sequentially.
+pub fn sim_trace_to_chrome(
+    events: &[TraceEvent],
+    pid: u32,
+    offset_us: u64,
+    cat: &'static str,
+) -> Vec<ChromeEvent> {
+    let mut out = Vec::with_capacity(events.len());
+    for event in events {
+        match event {
+            TraceEvent::Sent {
+                at,
+                from,
+                to,
+                deliver_at,
+                payload,
+            } => out.push(ChromeEvent::Complete {
+                name: format!("{from}->{to}"),
+                cat,
+                ts: offset_us + at.ticks(),
+                // Zero-length spans vanish in the viewer; clamp to 1 µs.
+                dur: deliver_at.ticks().saturating_sub(at.ticks()).max(1),
+                pid,
+                tid: from.as_u32() + 1,
+                args: vec![
+                    ("payload", ArgValue::Str(payload.clone())),
+                    ("to", ArgValue::U64(to.as_u32() as u64)),
+                ],
+            }),
+            TraceEvent::Delivered {
+                at,
+                from,
+                to,
+                payload,
+            } => out.push(ChromeEvent::Instant {
+                name: format!("deliver {from}->{to}"),
+                cat,
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: to.as_u32() + 1,
+                args: vec![("payload", ArgValue::Str(payload.clone()))],
+            }),
+            TraceEvent::Timer { at, process, tag } => out.push(ChromeEvent::Instant {
+                name: format!("timer {tag}"),
+                cat: "timer",
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: process.as_u32() + 1,
+                args: vec![("tag", ArgValue::U64(*tag))],
+            }),
+        }
+    }
+    out
+}
+
+/// Re-runs the **first seed** of every scenario in `campaign` with
+/// simulator tracing enabled and returns the combined Chrome events —
+/// one Perfetto process track per scenario (pid = declaration index +
+/// 1), one thread track per simulated process. Scenarios that fail to
+/// configure are skipped (the campaign report is where errors belong).
+///
+/// One seed per scenario keeps the export bounded: a trace is a
+/// schedule to *look at*, not a statistic, and every extra seed would
+/// only overlay another copy of the same topology.
+pub fn trace_first_seeds(campaign: &Campaign) -> Vec<ChromeEvent> {
+    let registry = AdversaryRegistry::builtin();
+    let mut events = Vec::new();
+    for (idx, scenario) in campaign.scenarios.iter().enumerate() {
+        let pid = idx as u32 + 1;
+        let seed = scenario.seed_base;
+        let Ok(adversary) = registry.resolve(&scenario.adversary) else {
+            continue;
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (kg, generated) = topology::instantiate(&scenario.topology, scenario.f, seed);
+            let faulty = topology::place_faults(&scenario.faults, &kg, generated, seed).ok()?;
+            Some((
+                kg.n(),
+                protocol::execute_traced(
+                    scenario.protocol,
+                    &kg,
+                    scenario.f,
+                    &faulty,
+                    adversary,
+                    &scenario.network,
+                    scenario.resolved_inputs(kg.n()),
+                    seed,
+                    true,
+                ),
+            ))
+        }));
+        let Ok(Some((n, (_, phase1, phase2)))) = outcome else {
+            continue;
+        };
+        events.push(ChromeEvent::ProcessName {
+            pid,
+            name: format!("{} (seed {seed})", scenario.name),
+        });
+        for i in 0..n as u32 {
+            events.push(ChromeEvent::ThreadName {
+                pid,
+                tid: i + 1,
+                name: format!("process {i}"),
+            });
+        }
+        // Phase traces run on independent sim clocks; lay phase 2 out
+        // after phase 1's end so the pipeline reads left to right.
+        let phase1_end = phase1
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Sent { deliver_at, .. } => deliver_at.ticks(),
+                TraceEvent::Delivered { at, .. } | TraceEvent::Timer { at, .. } => at.ticks(),
+            })
+            .max()
+            .unwrap_or(0);
+        events.extend(sim_trace_to_chrome(&phase1, pid, 0, "sink-detect"));
+        events.extend(sim_trace_to_chrome(&phase2, pid, phase1_end, "consensus"));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignMode;
+    use crate::scenario::{FaultPlacement, Scenario, TopologySpec};
+    use scup_obs::chrome::write_trace_json;
+
+    #[test]
+    fn first_seed_trace_covers_both_phases() {
+        let campaign = Campaign {
+            name: "trace".into(),
+            mode: CampaignMode::Sample,
+            threads: 1,
+            scenarios: vec![Scenario::builder("fig2-silent")
+                .topology(TopologySpec::Fig2)
+                .faults(FaultPlacement::Ids(vec![5]))
+                .seeds(7, 1)
+                .build()],
+        };
+        let events = trace_first_seeds(&campaign);
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e, ChromeEvent::Complete { cat, .. } if *cat == "sink-detect"))
+            .count();
+        let scp_sends = events
+            .iter()
+            .filter(|e| matches!(e, ChromeEvent::Complete { cat, .. } if *cat == "consensus"))
+            .count();
+        assert!(sends > 0, "knowledge-increase phase traffic exported");
+        assert!(scp_sends > 0, "SCP phase traffic exported");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ChromeEvent::ProcessName { name, .. } if name.contains("fig2"))));
+        // And the whole thing serializes to loadable JSON.
+        let json = write_trace_json(&events);
+        assert!(json.contains("\"traceEvents\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn bad_scenarios_are_skipped_not_fatal() {
+        let campaign = Campaign {
+            name: "bad".into(),
+            mode: CampaignMode::Sample,
+            threads: 1,
+            scenarios: vec![Scenario::builder("impossible")
+                .topology(TopologySpec::ScaleFree { n: 3, m: 4 })
+                .seeds(0, 1)
+                .build()],
+        };
+        assert!(trace_first_seeds(&campaign).is_empty());
+    }
+}

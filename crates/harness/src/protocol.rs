@@ -4,9 +4,9 @@
 
 use scup_cup::bftcup::{BftConfig, BftCupActor, BftMsg, EquivocatingLeader};
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
-use scup_scp::Value;
+use scup_scp::{NodeStats, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
-use scup_sim::{NetworkConfig, Simulation};
+use scup_sim::{NetworkConfig, ProcessStats, Simulation, TraceEvent};
 use stellar_cup::consensus::{self, EndToEndConfig};
 use stellar_cup::sink_detector::GetSinkMode;
 
@@ -24,8 +24,18 @@ pub struct ProtocolOutput {
     pub messages_sent: u64,
     /// Messages delivered across all phases.
     pub messages_delivered: u64,
+    /// Bytes (per `size_hint`) handed to the network across all phases.
+    pub bytes_sent: u64,
+    /// Timers fired across all phases.
+    pub timers_fired: u64,
     /// Simulated end time of the last phase.
     pub end_ticks: u64,
+    /// Per-process traffic breakdown, summed across phases (indexed by
+    /// process id).
+    pub per_process: Vec<ProcessStats>,
+    /// Per-node SCP counters (message traffic, ballot-phase
+    /// confirmations); empty for protocols without an SCP phase.
+    pub node_stats: Vec<NodeStats>,
 }
 
 /// Runs one protocol execution. `inputs` must have one proposal per
@@ -41,32 +51,72 @@ pub fn execute(
     inputs: Vec<Value>,
     seed: u64,
 ) -> ProtocolOutput {
+    execute_traced(
+        protocol, kg, f, faulty, adversary, network, inputs, seed, false,
+    )
+    .0
+}
+
+/// Like [`execute`], but when `trace` is on also returns the simulator
+/// event traces of the two phases (knowledge-increase, consensus) for
+/// Perfetto export. Tracing renders every message payload to a string —
+/// use it for one-off exports, not inside sampling loops. Phase traces
+/// are on independent sim clocks (each phase restarts at tick 0).
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's fields
+pub fn execute_traced(
+    protocol: ProtocolSpec,
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    adversary: AdversaryKind,
+    network: &NetworkSpec,
+    inputs: Vec<Value>,
+    seed: u64,
+    trace: bool,
+) -> (ProtocolOutput, Vec<TraceEvent>, Vec<TraceEvent>) {
     debug_assert_eq!(inputs.len(), kg.n());
     match protocol {
         ProtocolSpec::StellarMinimal => {
-            let config = pipeline_config(adversary, network, inputs, seed);
+            let mut config = pipeline_config(adversary, network, inputs, seed);
+            config.trace = trace;
             let outcome = consensus::run_end_to_end(kg, f, faulty, &config);
-            ProtocolOutput {
+            let mut combined = outcome.sd_report.clone();
+            combined.absorb(&outcome.scp_report);
+            let output = ProtocolOutput {
                 inputs: outcome.inputs,
                 decisions: outcome.decisions,
-                messages_sent: outcome.sd_report.messages_sent + outcome.scp_report.messages_sent,
-                messages_delivered: outcome.sd_report.messages_delivered
-                    + outcome.scp_report.messages_delivered,
+                messages_sent: combined.messages_sent,
+                messages_delivered: combined.messages_delivered,
+                bytes_sent: combined.bytes_sent,
+                timers_fired: combined.timers_fired,
                 end_ticks: outcome.scp_report.end_time.ticks(),
-            }
+                per_process: combined.per_process,
+                node_stats: outcome.node_stats,
+            };
+            (output, outcome.sd_trace, outcome.scp_trace)
         }
         ProtocolSpec::StellarLocal(strategy) => {
-            let config = pipeline_config(adversary, network, inputs, seed);
+            let mut config = pipeline_config(adversary, network, inputs, seed);
+            config.trace = trace;
             let outcome = consensus::run_local_slices_pipeline(kg, f, faulty, strategy, &config);
-            ProtocolOutput {
+            let output = ProtocolOutput {
                 inputs: outcome.inputs,
                 decisions: outcome.decisions,
                 messages_sent: outcome.scp_report.messages_sent,
                 messages_delivered: outcome.scp_report.messages_delivered,
+                bytes_sent: outcome.scp_report.bytes_sent,
+                timers_fired: outcome.scp_report.timers_fired,
                 end_ticks: outcome.scp_report.end_time.ticks(),
-            }
+                per_process: outcome.scp_report.per_process.clone(),
+                node_stats: outcome.node_stats,
+            };
+            (output, Vec::new(), outcome.scp_trace)
         }
-        ProtocolSpec::BftCup => run_bftcup(kg, f, faulty, adversary, network, inputs, seed),
+        ProtocolSpec::BftCup => {
+            let (output, events) =
+                run_bftcup(kg, f, faulty, adversary, network, inputs, seed, trace);
+            (output, Vec::new(), events)
+        }
     }
 }
 
@@ -84,11 +134,13 @@ fn pipeline_config(
         adversary: adversary.to_scp(),
         inputs: Some(inputs),
         max_ticks: network.max_ticks,
+        trace: false,
     }
 }
 
 /// The BFT-CUP baseline (Theorem 1): discovery + quorum consensus in the
 /// sink, dissemination to the outside.
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's fields
 fn run_bftcup(
     kg: &KnowledgeGraph,
     f: usize,
@@ -97,9 +149,13 @@ fn run_bftcup(
     network: &NetworkSpec,
     inputs: Vec<Value>,
     seed: u64,
-) -> ProtocolOutput {
+    trace: bool,
+) -> (ProtocolOutput, Vec<TraceEvent>) {
     let net = NetworkConfig::partially_synchronous(network.gst, network.delta, seed);
     let mut sim: Simulation<BftMsg> = Simulation::new(kg.clone(), net);
+    if trace {
+        sim.enable_trace();
+    }
     // View timeout must comfortably exceed pre-GST delays or view changes
     // churn; 500 matches the workspace's experiment binaries.
     let bft_config = BftConfig::new(f, (network.delta * 4).max(500));
@@ -146,13 +202,20 @@ fn run_bftcup(
         })
         .collect();
 
-    ProtocolOutput {
+    let output = ProtocolOutput {
         inputs,
         decisions,
         messages_sent: report.messages_sent,
         messages_delivered: report.messages_delivered,
+        bytes_sent: report.bytes_sent,
+        timers_fired: report.timers_fired,
         end_ticks: report.end_time.ticks(),
-    }
+        per_process: report.per_process,
+        // BFT-CUP has no SCP ballot machinery to count.
+        node_stats: Vec::new(),
+    };
+    let events = sim.trace().events().to_vec();
+    (output, events)
 }
 
 #[cfg(test)]

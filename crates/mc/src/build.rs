@@ -107,6 +107,7 @@ impl Setup {
                     adversary: adversary.to_scp(),
                     inputs: None,
                     max_ticks: scenario.network.max_ticks,
+                    trace: false,
                 };
                 let (detections, _) =
                     consensus::run_sink_detection(&kg, scenario.f, &faulty, &config);

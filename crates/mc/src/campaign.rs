@@ -1,5 +1,14 @@
 //! Explore-mode campaign execution: one record per scenario, workers
 //! sharded over frontier subtrees within each scenario.
+//!
+//! Observability is opt-in via [`ObsConfig`]: profiling adds phase
+//! timing, re-expansion counts and visited-set occupancy to each record
+//! (`obs` field), and tracing emits a Chrome-trace-event timeline —
+//! one Perfetto process track per scenario, one thread track per worker,
+//! spans per frontier root with per-phase breakdown, plus the serial
+//! frontier/merge/counterexample sections on thread 0. Neither mode may
+//! change any deterministic record field (pinned by the differential
+//! obs test in `tests/explore.rs`).
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -7,11 +16,66 @@ use std::time::Instant;
 use scup_harness::campaign::Campaign;
 use scup_harness::scenario::ProtocolSpec;
 use scup_harness::{oracle, AdversaryRegistry, OracleMode, Scenario};
+use scup_obs::chrome::{ArgValue, ChromeEvent, TraceBuffer, TraceClock};
+use scup_obs::profile::Phase;
 use scup_sim::TraceEvent;
 
 use crate::build::{BftDriver, Driver, ScpDriver, Setup, StackDriver};
 use crate::explorer::{merge_visited, Class, Engine, StateCapExceeded, Visited, WorkerStats};
-use crate::report::{CexReport, ExploreRecord, ExploreReport};
+use crate::report::{CexReport, ExploreObs, ExploreRecord, ExploreReport};
+
+/// What an explore campaign should observe about itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsConfig {
+    /// Collect phase timing, re-expansion counts, visited-set occupancy
+    /// and the frontier-depth series into each record's `obs` field.
+    pub profile: bool,
+    /// Emit Chrome-trace-event worker timelines (implies `profile` costs
+    /// for the per-root phase breakdown).
+    pub trace: bool,
+}
+
+impl ObsConfig {
+    /// Everything off — the zero-overhead default.
+    pub fn off() -> Self {
+        ObsConfig::default()
+    }
+
+    /// `true` when per-worker phase profiles must be collected.
+    fn profiling(self) -> bool {
+        self.profile || self.trace
+    }
+}
+
+/// Observability context threaded through one scenario's exploration.
+struct ObsCtx<'a> {
+    config: ObsConfig,
+    clock: &'a TraceClock,
+    pid: u32,
+    events: &'a mut Vec<ChromeEvent>,
+}
+
+impl ObsCtx<'_> {
+    /// Timestamp for a serial span about to start.
+    fn span_start(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Closes a serial (thread-0) span opened at `ts`.
+    fn span_end(&mut self, name: &'static str, ts: u64, args: Vec<(&'static str, ArgValue)>) {
+        if self.config.trace {
+            self.events.push(ChromeEvent::Complete {
+                name: name.to_string(),
+                cat: "serial",
+                ts,
+                dur: self.clock.now_us().saturating_sub(ts),
+                pid: self.pid,
+                tid: 0,
+                args,
+            });
+        }
+    }
+}
 
 /// Runs an explore-mode campaign: every scenario is exhaustively explored
 /// up to its [`ExploreSpec`](scup_harness::scenario::ExploreSpec) bounds.
@@ -20,7 +84,19 @@ use crate::report::{CexReport, ExploreRecord, ExploreReport};
 /// across `campaign.threads` workers (0 = one per CPU). All deterministic
 /// record fields are identical for any worker count.
 pub fn run_explore_campaign(campaign: &Campaign) -> ExploreReport {
+    run_explore_campaign_obs(campaign, ObsConfig::off()).0
+}
+
+/// Runs an explore-mode campaign with observability: like
+/// [`run_explore_campaign`], but additionally returns the Chrome trace
+/// events collected under `obs.trace` (empty when tracing is off) and
+/// fills each record's `obs` field under `obs.profile`.
+pub fn run_explore_campaign_obs(
+    campaign: &Campaign,
+    obs: ObsConfig,
+) -> (ExploreReport, Vec<ChromeEvent>) {
     let started = Instant::now();
+    let clock = TraceClock::start();
     let registry = AdversaryRegistry::builtin();
     let threads = if campaign.threads == 0 {
         std::thread::available_parallelism()
@@ -31,25 +107,64 @@ pub fn run_explore_campaign(campaign: &Campaign) -> ExploreReport {
     }
     .max(1);
 
+    let mut events = Vec::new();
     let records = campaign
         .scenarios
         .iter()
-        .map(|s| explore_scenario(s, threads, &registry))
+        .enumerate()
+        .map(|(i, s)| {
+            // Perfetto track per scenario: pids are 1-based.
+            explore_scenario_obs(
+                s,
+                threads,
+                &registry,
+                obs,
+                &clock,
+                i as u32 + 1,
+                &mut events,
+            )
+        })
         .collect();
 
-    ExploreReport {
+    let report = ExploreReport {
         name: campaign.name.clone(),
         threads,
         records,
         wall_micros: started.elapsed().as_micros() as u64,
-    }
+    };
+    (report, events)
 }
 
-/// Explores one scenario.
+/// Explores one scenario (observability off).
 pub fn explore_scenario(
     scenario: &Scenario,
     threads: usize,
     registry: &AdversaryRegistry,
+) -> ExploreRecord {
+    let clock = TraceClock::start();
+    let mut events = Vec::new();
+    explore_scenario_obs(
+        scenario,
+        threads,
+        registry,
+        ObsConfig::off(),
+        &clock,
+        1,
+        &mut events,
+    )
+}
+
+/// Explores one scenario, collecting profiling and trace events per
+/// `obs`. Trace events land in `events` on the `pid` process track,
+/// timestamped against the shared `clock`.
+pub fn explore_scenario_obs(
+    scenario: &Scenario,
+    threads: usize,
+    registry: &AdversaryRegistry,
+    obs: ObsConfig,
+    clock: &TraceClock,
+    pid: u32,
+    events: &mut Vec<ChromeEvent>,
 ) -> ExploreRecord {
     let started = Instant::now();
     let mut record = ExploreRecord {
@@ -83,12 +198,31 @@ pub fn explore_scenario(
         passed: false,
         error: None,
         wall_micros: 0,
+        obs: None,
+    };
+
+    if obs.trace {
+        events.push(ChromeEvent::ProcessName {
+            pid,
+            name: scenario.name.clone(),
+        });
+        events.push(ChromeEvent::ThreadName {
+            pid,
+            tid: 0,
+            name: "serial".to_string(),
+        });
+    }
+    let mut ctx = ObsCtx {
+        config: obs,
+        clock,
+        pid,
+        events,
     };
 
     // Topology generators assert their parameter contracts; contain any
     // panic as this scenario's error, like the sampling runner does.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        explore_configured(scenario, threads, registry, &mut record)
+        explore_configured(scenario, threads, registry, &mut record, &mut ctx)
     }));
     match outcome {
         Ok(Ok(())) => {}
@@ -111,6 +245,7 @@ fn explore_configured(
     threads: usize,
     registry: &AdversaryRegistry,
     record: &mut ExploreRecord,
+    ctx: &mut ObsCtx<'_>,
 ) -> Result<(), String> {
     let setup = Setup::from_scenario(scenario, registry)?;
     record.n = setup.kg.n();
@@ -121,12 +256,12 @@ fn explore_configured(
     // Protocol dispatch: one generic exploration, three drivers.
     match (setup.protocol, setup.explore_discovery) {
         (ProtocolSpec::BftCup, _) => {
-            explore_with_driver(&BftDriver::new(&setup), scenario, threads, record)
+            explore_with_driver(&BftDriver::new(&setup), scenario, threads, record, ctx)
         }
         (ProtocolSpec::StellarMinimal, true) => {
-            explore_with_driver(&StackDriver::new(&setup), scenario, threads, record)
+            explore_with_driver(&StackDriver::new(&setup), scenario, threads, record, ctx)
         }
-        _ => explore_with_driver(&ScpDriver::new(&setup), scenario, threads, record),
+        _ => explore_with_driver(&ScpDriver::new(&setup), scenario, threads, record, ctx),
     }
 }
 
@@ -135,6 +270,7 @@ fn explore_with_driver<D: Driver>(
     scenario: &Scenario,
     threads: usize,
     record: &mut ExploreRecord,
+    ctx: &mut ObsCtx<'_>,
 ) -> Result<(), String> {
     let setup = driver.setup();
     let variants = setup.variants();
@@ -158,8 +294,13 @@ fn explore_with_driver<D: Driver>(
 
     // Serial prefix: the first `frontier_depth` branch decisions of every
     // variant, recorded into the shared ancestor map.
+    let frontier_ts = ctx.span_start();
     let mut prefix: Visited = Visited::new();
-    let mut prefix_stats = WorkerStats::default();
+    let mut prefix_stats = if ctx.config.profiling() {
+        WorkerStats::profiled()
+    } else {
+        WorkerStats::default()
+    };
     let mut roots: Vec<(u32, Vec<u32>)> = Vec::new();
     for variant in 0..variants {
         for path in engine
@@ -170,36 +311,83 @@ fn explore_with_driver<D: Driver>(
         }
     }
     record.frontier_roots = roots.len() as u64;
+    ctx.span_end(
+        "frontier",
+        frontier_ts,
+        vec![("roots", ArgValue::U64(roots.len() as u64))],
+    );
 
     // Sharded subtree exploration: worker `w` takes roots `w, w+T, …`,
     // each starting from a copy of the ancestor map. Merging by minimal
     // depth makes the union partition-independent.
     let workers = threads.min(roots.len()).max(1);
-    let (merged, stats) = std::thread::scope(
-        |scope| -> Result<(Visited, WorkerStats), StateCapExceeded> {
+    let obs = ctx.config;
+    let clock = ctx.clock;
+    let pid = ctx.pid;
+    let dfs_ts = ctx.span_start();
+    let (merged, stats, buffers) = std::thread::scope(
+        |scope| -> Result<(Visited, WorkerStats, Vec<TraceBuffer>), StateCapExceeded> {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let roots = &roots;
                     let engine = &engine;
                     let prefix = &prefix;
                     scope.spawn(
-                        move || -> Result<(Visited, WorkerStats), StateCapExceeded> {
+                        move || -> Result<(Visited, WorkerStats, TraceBuffer), StateCapExceeded> {
                             let mut visited = prefix.clone();
-                            let mut stats = WorkerStats::default();
-                            for (variant, path) in roots.iter().skip(w).step_by(workers) {
+                            let mut stats = if obs.profiling() {
+                                WorkerStats::profiled()
+                            } else {
+                                WorkerStats::default()
+                            };
+                            let mut buf = if obs.trace {
+                                TraceBuffer::enabled()
+                            } else {
+                                TraceBuffer::disabled()
+                            };
+                            let tid = w as u32 + 1;
+                            scup_obs::obs_event!(
+                                buf,
+                                ChromeEvent::ThreadName {
+                                    pid,
+                                    tid,
+                                    name: format!("worker {w}"),
+                                }
+                            );
+                            for (i, (variant, path)) in
+                                roots.iter().enumerate().skip(w).step_by(workers)
+                            {
+                                let root_ts = clock.now_us();
+                                let before = Phase::ALL.map(|p| stats.profile.nanos(p));
                                 engine.dfs(*variant, path, &mut visited, &mut stats)?;
+                                if buf.is_enabled() {
+                                    push_root_spans(
+                                        &mut buf, &stats, before, root_ts, clock, pid, tid,
+                                        *variant, i,
+                                    );
+                                    buf.push(ChromeEvent::Counter {
+                                        name: format!("visited (worker {w})"),
+                                        ts: clock.now_us(),
+                                        pid,
+                                        series: vec![("states", visited.len() as u64)],
+                                    });
+                                }
                             }
-                            Ok((visited, stats))
+                            stats.visited_peak = (visited.len() as u64, visited.capacity() as u64);
+                            Ok((visited, stats, buf))
                         },
                     )
                 })
                 .collect();
             let mut merged = prefix.clone();
             let mut stats = prefix_stats;
+            let mut buffers = Vec::new();
             for handle in handles {
-                let (visited, worker_stats) = handle.join().expect("explore worker panicked")?;
+                let (visited, worker_stats, buf) =
+                    handle.join().expect("explore worker panicked")?;
                 merge_visited(&mut merged, visited);
                 stats.absorb(worker_stats);
+                buffers.push(buf);
             }
             // The per-worker checks are early aborts; this is the actual
             // valve. A worker map is a subset of the union, so whether the
@@ -208,12 +396,30 @@ fn explore_with_driver<D: Driver>(
             if merged.len() as u64 > scenario.explore.max_states {
                 return Err(StateCapExceeded);
             }
-            Ok((merged, stats))
+            Ok((merged, stats, buffers))
         },
     )
     .map_err(cap_error)?;
+    ctx.span_end(
+        "explore+merge",
+        dfs_ts,
+        vec![("states", ArgValue::U64(merged.len() as u64))],
+    );
+    for buf in buffers {
+        ctx.events.extend(buf.into_events());
+    }
     record.transitions = stats.transitions;
     record.sleep_prunes = stats.sleep_prunes;
+    if ctx.config.profile {
+        record.obs = Some(ExploreObs {
+            phases: ExploreObs::phase_rows(&stats.profile),
+            reexpansions: stats.reexpansions,
+            visited_len: merged.len() as u64,
+            visited_capacity: merged.capacity() as u64,
+            worker_visited_peak: stats.visited_peak.0,
+            depth_samples: stats.depth_samples.clone(),
+        });
+    }
 
     // Every statistic below is a pure function of the merged map.
     let mut decided: BTreeSet<u64> = BTreeSet::new();
@@ -245,10 +451,16 @@ fn explore_with_driver<D: Driver>(
     record.peak_memory_bytes = record.states * (record.state_bytes_estimate + VISITED_ENTRY_BYTES);
 
     if let Some(d_star) = min_violation {
+        let cex_ts = ctx.span_start();
         let (variant, path) = engine
             .find_cex(variants, d_star)
             .expect("a violating state at depth d* is reachable by construction");
         record.violation = Some(render_cex(driver, &engine, variant, &path));
+        ctx.span_end(
+            "find_cex",
+            cex_ts,
+            vec![("depth", ArgValue::U64(d_star as u64))],
+        );
     }
 
     record.passed = if scenario.explore.expect_violation {
@@ -261,6 +473,55 @@ fn explore_with_driver<D: Driver>(
         }
     };
     Ok(())
+}
+
+/// Emits one root span and, nested within it, one child span per phase
+/// whose attributed time grew during this root's DFS, laid out
+/// sequentially from the root's start (the real interleaving is
+/// sub-microsecond; the sequential layout shows the proportions, which
+/// is what the viewer is for).
+#[allow(clippy::too_many_arguments)]
+fn push_root_spans(
+    buf: &mut TraceBuffer,
+    stats: &WorkerStats,
+    before: [u64; Phase::COUNT],
+    root_ts: u64,
+    clock: &TraceClock,
+    pid: u32,
+    tid: u32,
+    variant: u32,
+    root_idx: usize,
+) {
+    let end = clock.now_us();
+    buf.push(ChromeEvent::Complete {
+        name: format!("root {root_idx} (variant {variant})"),
+        cat: "dfs",
+        ts: root_ts,
+        dur: end.saturating_sub(root_ts),
+        pid,
+        tid,
+        args: vec![
+            ("variant", ArgValue::U64(variant as u64)),
+            ("transitions_so_far", ArgValue::U64(stats.transitions)),
+        ],
+    });
+    let mut cursor = root_ts;
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let dur = stats.profile.nanos(*phase).saturating_sub(before[i]) / 1_000;
+        if dur == 0 {
+            continue;
+        }
+        buf.push(ChromeEvent::Complete {
+            name: phase.name().to_string(),
+            cat: "phase",
+            ts: cursor,
+            dur,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+        cursor += dur;
+    }
 }
 
 /// Replays the counterexample path with tracing on and renders it.

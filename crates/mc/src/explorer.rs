@@ -75,6 +75,7 @@
 use std::collections::HashMap;
 
 use scup_harness::scenario::ExploreSpec;
+use scup_obs::profile::{Phase, PhaseProfile};
 use scup_scp::Value;
 use scup_sim::{ExploreSim, SimState};
 
@@ -150,21 +151,95 @@ impl Cover {
 /// and merges touch it — never iteration order.
 pub type Visited = HashMap<u128, VisitEntry>;
 
-/// Traversal-effort counters; partition-dependent (excluded from the
-/// bit-identical report contract, like wall-clock times).
-#[derive(Debug, Default, Clone, Copy)]
+/// Traversal-effort counters and (optional) phase profiling;
+/// partition-dependent (excluded from the bit-identical report contract,
+/// like wall-clock times).
+#[derive(Debug, Clone)]
 pub struct WorkerStats {
     /// Branching events fired during exploration.
     pub transitions: u64,
     /// Choices skipped because they were asleep.
     pub sleep_prunes: u64,
+    /// Revisits of an already-recorded canonical state that no earlier
+    /// cover subsumed, forcing a re-expansion (label correction at work).
+    pub reexpansions: u64,
+    /// Per-phase wall-time attribution (inert unless obs profiling is
+    /// on — see [`WorkerStats::profiled`]).
+    pub profile: PhaseProfile,
+    /// Peak visited-map occupancy across workers: `(len, capacity)` of
+    /// the largest per-worker map (set by the campaign driver).
+    pub visited_peak: (u64, u64),
+    /// Sampled `(transitions, branching depth)` pairs — the
+    /// frontier-depth-over-time series. Stride doubles (with decimation)
+    /// when the buffer fills, bounding it to [`DEPTH_SAMPLE_CAP`].
+    pub depth_samples: Vec<(u64, u32)>,
+    depth_stride: u64,
+}
+
+/// Bound on the per-worker depth-sample series.
+pub const DEPTH_SAMPLE_CAP: usize = 2048;
+
+impl Default for WorkerStats {
+    fn default() -> Self {
+        WorkerStats {
+            transitions: 0,
+            sleep_prunes: 0,
+            reexpansions: 0,
+            profile: PhaseProfile::disabled(),
+            visited_peak: (0, 0),
+            depth_samples: Vec::new(),
+            depth_stride: 64,
+        }
+    }
 }
 
 impl WorkerStats {
-    /// Accumulates another worker's counters.
+    /// Stats with phase profiling and depth sampling switched on.
+    pub fn profiled() -> Self {
+        WorkerStats {
+            profile: PhaseProfile::enabled(),
+            ..WorkerStats::default()
+        }
+    }
+
+    /// Accumulates another worker's counters (profiles sum; the visited
+    /// peak keeps the larger map; depth samples concatenate, decimated
+    /// back under the cap).
     pub fn absorb(&mut self, other: WorkerStats) {
         self.transitions += other.transitions;
         self.sleep_prunes += other.sleep_prunes;
+        self.reexpansions += other.reexpansions;
+        self.profile.merge(&other.profile);
+        if other.visited_peak.0 > self.visited_peak.0 {
+            self.visited_peak = other.visited_peak;
+        }
+        self.depth_samples.extend_from_slice(&other.depth_samples);
+        while self.depth_samples.len() > DEPTH_SAMPLE_CAP {
+            let mut keep = false;
+            self.depth_samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+        }
+    }
+
+    /// Records one frontier-depth sample if profiling is on and the
+    /// stride says so.
+    #[inline]
+    fn sample_depth(&mut self, depth: u32) {
+        if self.profile.is_enabled() && self.transitions.is_multiple_of(self.depth_stride) {
+            self.depth_samples.push((self.transitions, depth));
+            if self.depth_samples.len() >= DEPTH_SAMPLE_CAP {
+                // Halve resolution: keep every other sample, double the
+                // stride.
+                let mut keep = false;
+                self.depth_samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.depth_stride *= 2;
+            }
+        }
     }
 }
 
@@ -332,17 +407,29 @@ impl<'a, D: Driver> Engine<'a, D> {
         stats: &mut WorkerStats,
     ) -> Option<Vec<(usize, ChoiceProfile)>> {
         let depth = sim.steps() as u32;
-        let (hash, raw, symmetric) = self.symmetry.canonical_hash(sim);
+        stats.profile.lap_start();
+        let (hash, raw, symmetric) = if stats.profile.is_enabled() {
+            let raw = self.symmetry.identity_hash(sim);
+            stats.profile.lap(Phase::Fingerprint);
+            let (hash, moved) = self.symmetry.canonicalize_from(sim, raw);
+            stats.profile.lap(Phase::Canonicalize);
+            (hash, raw, moved)
+        } else {
+            self.symmetry.canonical_hash(sim)
+        };
         let mut sleep_hashes: Vec<u128> = sleep.iter().map(|p| p.hash).collect();
         sleep_hashes.sort_unstable();
         sleep_hashes.dedup();
 
+        let mut revisit = false;
         if let Some(entry) = visited.get(&hash) {
+            revisit = true;
             if entry
                 .covers
                 .iter()
                 .any(|c| c.subsumes(depth, raw, &sleep_hashes))
             {
+                stats.profile.lap(Phase::Dedup);
                 return None;
             }
         }
@@ -380,6 +467,10 @@ impl<'a, D: Driver> Engine<'a, D> {
                     sleep: sleep_hashes.into_boxed_slice(),
                 },
             );
+            if revisit {
+                stats.reexpansions += 1;
+            }
+            stats.profile.lap(Phase::Dedup);
             Some(choices)
         } else {
             // Terminal (or truncated): nothing below to cover — an empty
@@ -393,6 +484,7 @@ impl<'a, D: Driver> Engine<'a, D> {
                     sleep: Box::new([]),
                 },
             );
+            stats.profile.lap(Phase::Dedup);
             None
         }
     }
@@ -457,16 +549,24 @@ impl<'a, D: Driver> Engine<'a, D> {
                 Vec::new()
             };
             stats.transitions += 1;
+            stats.profile.lap_start();
             sim.fire(choice);
+            stats.profile.lap(Phase::Expand);
             self.settle(&mut sim);
+            stats.profile.lap(Phase::Settle);
+            stats.sample_depth(sim.steps() as u32);
             // Single-choice chains run in place — no snapshot, no restore.
             let mut choices = self.visit(&sim, visited, &child_sleep, stats);
             while let Some([(only, only_profile)]) = choices.as_deref() {
                 let (only, only_profile) = (*only, *only_profile);
                 child_sleep.retain(|e| e.independent(&only_profile));
                 stats.transitions += 1;
+                stats.profile.lap_start();
                 sim.fire(only);
+                stats.profile.lap(Phase::Expand);
                 self.settle(&mut sim);
+                stats.profile.lap(Phase::Settle);
+                stats.sample_depth(sim.steps() as u32);
                 choices = self.visit(&sim, visited, &child_sleep, stats);
             }
             if let Some(choices) = choices {

@@ -97,7 +97,10 @@ pub mod reduce;
 pub mod report;
 
 pub use build::{BftDriver, Driver, ScpDriver, Setup, StackDriver};
-pub use campaign::{explore_scenario, run_explore_campaign, summary};
+pub use campaign::{
+    explore_scenario, explore_scenario_obs, run_explore_campaign, run_explore_campaign_obs,
+    summary, ObsConfig,
+};
 pub use explorer::{Class, Engine, Visited};
 pub use reduce::Symmetry;
-pub use report::{CexReport, ExploreRecord, ExploreReport};
+pub use report::{CexReport, ExploreObs, ExploreRecord, ExploreReport, PhaseRow};

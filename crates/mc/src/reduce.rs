@@ -206,7 +206,26 @@ impl Symmetry {
     /// sleep-set covers are only comparable within one member's frame
     /// (event hashes mention concrete process ids).
     pub fn canonical_hash<M: SimMessage>(&self, sim: &ExploreSim<M>) -> (u128, u128, bool) {
-        let identity = sim.state_hash();
+        let identity = self.identity_hash(sim);
+        let (min, moved) = self.canonicalize_from(sim, identity);
+        (min, identity, moved)
+    }
+
+    /// The state's own (identity-permutation) hash — the *fingerprint*
+    /// half of [`Symmetry::canonical_hash`], split out so the explorer's
+    /// phase profiler can time it separately from the group sweep.
+    pub fn identity_hash<M: SimMessage>(&self, sim: &ExploreSim<M>) -> u128 {
+        sim.state_hash()
+    }
+
+    /// The min-over-group sweep from a precomputed identity hash — the
+    /// *canonicalize* half of [`Symmetry::canonical_hash`]. Returns the
+    /// canonical hash and the orbit-nontriviality flag.
+    pub fn canonicalize_from<M: SimMessage>(
+        &self,
+        sim: &ExploreSim<M>,
+        identity: u128,
+    ) -> (u128, bool) {
         let mut min = identity;
         let mut moved = false;
         for p in &self.perms {
@@ -216,7 +235,7 @@ impl Symmetry {
                 min = h;
             }
         }
-        (min, identity, moved)
+        (min, moved)
     }
 }
 

@@ -1,14 +1,100 @@
 //! Exploration reports: per-scenario records, counterexample rendering,
 //! and the JSON shape.
 //!
-//! Every field except the `wall_micros` timings and the traversal-effort
+//! Every field except the `wall_micros` timings, the traversal-effort
 //! counters (`transitions`, `sleep_prunes` — how hard the particular
-//! worker partition had to work, not what it found) is a pure function of
-//! the campaign file — identical across runs, machines and worker counts.
-//! The determinism test in `tests/explore.rs` pins that down.
+//! worker partition had to work, not what it found) and the optional
+//! `obs` profiling payload is a pure function of the campaign file —
+//! identical across runs, machines and worker counts. The determinism
+//! test in `tests/explore.rs` pins that down.
 
 use scup_harness::json::Json;
+use scup_obs::profile::{Phase, PhaseProfile};
 use scup_scp::Value;
+
+/// Time and stamp count attributed to one explorer phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Stable phase name (`expand`, `fingerprint`, `canonicalize`,
+    /// `dedup`, `settle`).
+    pub phase: &'static str,
+    /// Total nanoseconds attributed to the phase, summed over workers.
+    pub nanos: u64,
+    /// Number of lap stamps (≈ occurrences) attributed to the phase.
+    pub laps: u64,
+}
+
+/// Observability payload for one explored scenario: phase timing,
+/// re-expansion effort, visited-set occupancy, and the frontier-depth
+/// series. Only present when the campaign ran with profiling on, and
+/// **always excluded from the bit-identical report contract** — every
+/// value here is timing- or partition-dependent, like `wall_micros`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreObs {
+    /// Per-phase wall time, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseRow>,
+    /// Re-expansions of already-visited states (label correction).
+    pub reexpansions: u64,
+    /// Entries in the merged visited map.
+    pub visited_len: u64,
+    /// Allocated capacity of the merged visited map.
+    pub visited_capacity: u64,
+    /// Largest per-worker visited map (entries) before merging.
+    pub worker_visited_peak: u64,
+    /// Sampled `(transitions, branching depth)` pairs over the run.
+    pub depth_samples: Vec<(u64, u32)>,
+}
+
+impl ExploreObs {
+    /// Builds the phase rows from a merged worker profile.
+    pub fn phase_rows(profile: &PhaseProfile) -> Vec<PhaseRow> {
+        Phase::ALL
+            .iter()
+            .map(|&p| PhaseRow {
+                phase: p.name(),
+                nanos: profile.nanos(p),
+                laps: profile.count(p),
+            })
+            .collect()
+    }
+
+    /// The payload as structured JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("phase", Json::Str(r.phase.to_string())),
+                                ("nanos", Json::Int(r.nanos as i64)),
+                                ("laps", Json::Int(r.laps as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("reexpansions", Json::Int(self.reexpansions as i64)),
+            ("visited_len", Json::Int(self.visited_len as i64)),
+            ("visited_capacity", Json::Int(self.visited_capacity as i64)),
+            (
+                "worker_visited_peak",
+                Json::Int(self.worker_visited_peak as i64),
+            ),
+            (
+                "depth_samples",
+                Json::Arr(
+                    self.depth_samples
+                        .iter()
+                        .map(|&(t, d)| Json::Arr(vec![Json::Int(t as i64), Json::Int(d as i64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
 
 /// A rendered minimal counterexample: the canonical shortest schedule
 /// (ties broken lexicographically by choice order) reaching a safety
@@ -102,6 +188,9 @@ pub struct ExploreRecord {
     pub error: Option<String>,
     /// Wall-clock duration, microseconds (excluded from determinism).
     pub wall_micros: u64,
+    /// Profiling payload when the campaign ran with obs profiling on
+    /// (excluded from determinism, like `wall_micros`).
+    pub obs: Option<ExploreObs>,
 }
 
 /// The aggregated outcome of an explore-mode campaign.
@@ -226,6 +315,13 @@ impl ExploreRecord {
                     .unwrap_or(Json::Null),
             ),
             ("wall_micros", Json::Int(self.wall_micros as i64)),
+            (
+                "obs",
+                self.obs
+                    .as_ref()
+                    .map(ExploreObs::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 }

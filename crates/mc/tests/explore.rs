@@ -65,11 +65,14 @@ fn split22_bounded() -> Scenario {
 
 /// Strips the fields outside the bit-identical contract: wall-clock time
 /// and the traversal-effort counters (how hard this particular worker
-/// partition worked — not what it found).
+/// partition worked — not what it found). The `obs` block is effort
+/// telemetry end to end — timings, occupancy, re-expansions — so it is
+/// excluded wholesale.
 fn deterministic_view(mut r: ExploreRecord) -> ExploreRecord {
     r.wall_micros = 0;
     r.transitions = 0;
     r.sleep_prunes = 0;
+    r.obs = None;
     r
 }
 
@@ -369,6 +372,51 @@ fn new_campaign_scenarios_are_bit_identical_across_worker_counts() {
                 deterministic_view(a.clone()),
                 deterministic_view(b.clone()),
                 "threads=1 vs threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn observability_never_changes_a_verdict() {
+    // The observability acceptance bar: profiling and trace collection
+    // ride alongside the search — same verdicts, same state census, same
+    // minimal counterexample depth, bit-identical deterministic fields —
+    // at every worker count. Only the `obs` block and the Chrome events
+    // may differ from an unobserved run.
+    use scup_mc::{run_explore_campaign_obs, ObsConfig};
+    let campaign = |threads: usize| Campaign {
+        name: "obs-diff".into(),
+        mode: CampaignMode::Explore,
+        threads,
+        scenarios: vec![
+            sink2(64, 0, "silent", vec![3, 9]),
+            split22_bounded(),
+            bftcup_sink2(64, 0),
+        ],
+    };
+    let off = run_explore_campaign(&campaign(1));
+    assert!(off.all_passed());
+    assert!(off.records.iter().all(|r| r.obs.is_none()));
+    let full = ObsConfig {
+        profile: true,
+        trace: true,
+    };
+    for threads in [1, 2, 8] {
+        let (on, events) = run_explore_campaign_obs(&campaign(threads), full);
+        assert!(!events.is_empty(), "tracing must emit worker timelines");
+        for (a, b) in off.records.iter().zip(&on.records) {
+            let obs = b.obs.as_ref().expect("profiling populates the obs block");
+            assert!(
+                obs.phases.iter().map(|p| p.laps).sum::<u64>() > 0,
+                "phase laps must be attributed"
+            );
+            assert_eq!(obs.visited_len, a.states, "occupancy matches the census");
+            // Everything inside the bit-identity contract is unchanged.
+            assert_eq!(
+                deterministic_view(a.clone()),
+                deterministic_view(b.clone()),
+                "obs-off/1 vs obs-on/{threads}"
             );
         }
     }

@@ -1,0 +1,424 @@
+//! The Chrome-trace-event model and its JSON serializer.
+//!
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` both load
+//! the legacy JSON trace-event format: an object with a `traceEvents`
+//! array whose entries carry a phase tag (`"X"` complete span, `"i"`
+//! instant, `"C"` counter, `"M"` metadata), microsecond timestamps, and a
+//! `pid`/`tid` pair that selects the track. This module models exactly
+//! the subset the workspace emits and serializes it with a hand-rolled
+//! writer (no serde in the build environment).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A wall-clock origin for trace timestamps: all events in one trace
+/// must share a clock so tracks line up in the viewer.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceClock {
+    origin: Instant,
+}
+
+impl TraceClock {
+    /// Starts the clock at "now".
+    pub fn start() -> Self {
+        TraceClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the clock started.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        TraceClock::start()
+    }
+}
+
+/// An argument value attached to an event's `args` object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON integer.
+    U64(u64),
+}
+
+/// One trace event, in the subset of the Chrome trace-event format the
+/// workspace emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChromeEvent {
+    /// `"ph": "X"` — a complete span with an explicit duration.
+    Complete {
+        /// Span name (the label shown on the slice).
+        name: String,
+        /// Comma-separated categories (filterable in the viewer).
+        cat: &'static str,
+        /// Start, microseconds on the shared clock.
+        ts: u64,
+        /// Duration in microseconds.
+        dur: u64,
+        /// Process track.
+        pid: u32,
+        /// Thread track.
+        tid: u32,
+        /// Extra key/value details shown in the slice panel.
+        args: Vec<(&'static str, ArgValue)>,
+    },
+    /// `"ph": "i"` — a thread-scoped instant marker.
+    Instant {
+        /// Marker name.
+        name: String,
+        /// Categories.
+        cat: &'static str,
+        /// Time, microseconds on the shared clock.
+        ts: u64,
+        /// Process track.
+        pid: u32,
+        /// Thread track.
+        tid: u32,
+        /// Extra details.
+        args: Vec<(&'static str, ArgValue)>,
+    },
+    /// `"ph": "C"` — a counter sample rendered as a value track.
+    Counter {
+        /// Counter track name.
+        name: String,
+        /// Time, microseconds on the shared clock.
+        ts: u64,
+        /// Process track.
+        pid: u32,
+        /// Series values at this sample.
+        series: Vec<(&'static str, u64)>,
+    },
+    /// `"ph": "M"` — names a process track in the viewer.
+    ProcessName {
+        /// Process track.
+        pid: u32,
+        /// Display name.
+        name: String,
+    },
+    /// `"ph": "M"` — names a thread track in the viewer.
+    ThreadName {
+        /// Process track.
+        pid: u32,
+        /// Thread track.
+        tid: u32,
+        /// Display name.
+        name: String,
+    },
+}
+
+/// A bounded, optionally-disabled sink for [`ChromeEvent`]s.
+///
+/// Works with [`obs_event!`](crate::obs_event!): a disabled buffer costs
+/// one branch per call site and never materializes event payloads. The
+/// capacity bound keeps pathological runs (millions of events) from
+/// exhausting memory — overflow increments a drop counter instead.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    enabled: bool,
+    cap: usize,
+    events: Vec<ChromeEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Default event capacity (~a few hundred MB of JSON worst case is
+    /// far above this; 1M events ≈ 150 MB, so cap well below).
+    pub const DEFAULT_CAP: usize = 250_000;
+
+    /// A buffer that drops everything.
+    pub fn disabled() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// An enabled buffer with the default capacity.
+    pub fn enabled() -> Self {
+        TraceBuffer::with_cap(TraceBuffer::DEFAULT_CAP)
+    }
+
+    /// An enabled buffer holding at most `cap` events.
+    pub fn with_cap(cap: usize) -> Self {
+        TraceBuffer {
+            enabled: true,
+            cap,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// `true` if events are recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (counts a drop past capacity).
+    #[inline]
+    pub fn push(&mut self, event: ChromeEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[ChromeEvent] {
+        &self.events
+    }
+
+    /// Events dropped past the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves another buffer's events into this one (capacity still
+    /// applies; drop counts add).
+    pub fn absorb(&mut self, other: TraceBuffer) {
+        self.dropped += other.dropped;
+        for e in other.events {
+            self.push(e);
+        }
+    }
+
+    /// Consumes the buffer, returning its events.
+    pub fn into_events(self) -> Vec<ChromeEvent> {
+        self.events
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn args_into(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            ArgValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn event_into(out: &mut String, e: &ChromeEvent) {
+    match e {
+        ChromeEvent::Complete {
+            name,
+            cat,
+            ts,
+            dur,
+            pid,
+            tid,
+            args,
+        } => {
+            out.push_str("{\"name\":\"");
+            escape_into(out, name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":"
+            );
+            args_into(out, args);
+            out.push('}');
+        }
+        ChromeEvent::Instant {
+            name,
+            cat,
+            ts,
+            pid,
+            tid,
+            args,
+        } => {
+            out.push_str("{\"name\":\"");
+            escape_into(out, name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":"
+            );
+            args_into(out, args);
+            out.push('}');
+        }
+        ChromeEvent::Counter {
+            name,
+            ts,
+            pid,
+            series,
+        } => {
+            out.push_str("{\"name\":\"");
+            escape_into(out, name);
+            let _ = write!(out, "\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"args\":{{");
+            for (i, (k, v)) in series.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":{v}");
+            }
+            out.push_str("}}");
+        }
+        ChromeEvent::ProcessName { pid, name } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\""
+            );
+            escape_into(out, name);
+            out.push_str("\"}}");
+        }
+        ChromeEvent::ThreadName { pid, tid, name } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+            );
+            escape_into(out, name);
+            out.push_str("\"}}");
+        }
+    }
+}
+
+/// Serializes events into a Chrome-trace-event JSON document that
+/// Perfetto and `chrome://tracing` load directly.
+pub fn write_trace_json(events: &[ChromeEvent]) -> String {
+    // ~150 bytes/event is a decent pre-size for the common mix.
+    let mut out = String::with_capacity(32 + events.len() * 150);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        event_into(&mut out, e);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_each_phase_tag() {
+        let events = vec![
+            ChromeEvent::ProcessName {
+                pid: 1,
+                name: "explorer".into(),
+            },
+            ChromeEvent::ThreadName {
+                pid: 1,
+                tid: 2,
+                name: "worker 2".into(),
+            },
+            ChromeEvent::Complete {
+                name: "expand".into(),
+                cat: "phase",
+                ts: 10,
+                dur: 5,
+                pid: 1,
+                tid: 2,
+                args: vec![("states", ArgValue::U64(7))],
+            },
+            ChromeEvent::Instant {
+                name: "cex".into(),
+                cat: "verdict",
+                ts: 20,
+                pid: 1,
+                tid: 2,
+                args: vec![("depth", ArgValue::U64(3))],
+            },
+            ChromeEvent::Counter {
+                name: "visited".into(),
+                ts: 30,
+                pid: 1,
+                series: vec![("len", 42)],
+            },
+        ];
+        let json = write_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"dur\":5"));
+        assert!(json.contains("\"len\":42"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_payload_strings() {
+        let json = write_trace_json(&[ChromeEvent::Instant {
+            name: "msg \"quoted\"\nline".into(),
+            cat: "sim",
+            ts: 0,
+            pid: 0,
+            tid: 0,
+            args: vec![("payload", ArgValue::Str("a\\b\tc".into()))],
+        }]);
+        assert!(json.contains("msg \\\"quoted\\\"\\nline"));
+        assert!(json.contains("a\\\\b\\tc"));
+    }
+
+    #[test]
+    fn buffer_caps_and_counts_drops() {
+        let mut b = TraceBuffer::with_cap(2);
+        for i in 0..4u64 {
+            crate::obs_event!(
+                b,
+                ChromeEvent::Counter {
+                    name: "n".into(),
+                    ts: i,
+                    pid: 0,
+                    series: vec![("v", i)],
+                }
+            );
+        }
+        assert_eq!(b.events().len(), 2);
+        assert_eq!(b.dropped(), 2);
+
+        let mut off = TraceBuffer::disabled();
+        crate::obs_event!(
+            off,
+            ChromeEvent::Counter {
+                name: "n".into(),
+                ts: 0,
+                pid: 0,
+                series: vec![],
+            }
+        );
+        assert!(off.events().is_empty());
+    }
+}

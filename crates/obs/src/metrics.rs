@@ -1,0 +1,554 @@
+//! Named counters, gauges, and log2-bucket histograms with per-worker
+//! shards and lock-free aggregation.
+//!
+//! The flow is: build a [`Registry`] once (it interns metric names and
+//! hands out dense integer ids), give every worker its own [`Shard`]
+//! (plain `u64` arrays — recording is an indexed add, no atomics, no
+//! locks), then combine either by pairwise [`Shard::merge`] after the
+//! workers join or by flushing into a [`SharedMetrics`] cell array with
+//! relaxed atomic RMW ops while they run. Both directions are lock-free;
+//! merge is associative and commutative, so the result is independent of
+//! worker count and join order.
+//!
+//! Gauges have *peak* semantics: recording keeps the maximum observed
+//! value, and merging two shards keeps the larger peak. (A last-writer
+//! gauge would make merge order-dependent, which would leak
+//! nondeterminism into reports.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: bucket `0` holds exactly `0`,
+/// bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[low, high]` value range of bucket `bucket`.
+///
+/// # Panics
+/// If `bucket >= HIST_BUCKETS`.
+#[inline]
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    assert!(bucket < HIST_BUCKETS, "bucket {bucket} out of range");
+    if bucket == 0 {
+        (0, 0)
+    } else if bucket == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (bucket - 1), (1 << bucket) - 1)
+    }
+}
+
+/// Handle for a counter registered in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle for a gauge registered in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle for a histogram registered in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// Interns metric names and assigns the dense ids that [`Shard`]s and
+/// [`SharedMetrics`] index by.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    hists: Vec<String>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a counter and returns its handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push(name.to_owned());
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a peak-semantics gauge and returns its handle.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges.push(name.to_owned());
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a log2-bucket histogram and returns its handle.
+    pub fn histogram(&mut self, name: &str) -> HistId {
+        self.hists.push(name.to_owned());
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Counter names in registration order.
+    pub fn counter_names(&self) -> impl Iterator<Item = (CounterId, &str)> {
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (CounterId(i), n.as_str()))
+    }
+
+    /// Gauge names in registration order.
+    pub fn gauge_names(&self) -> impl Iterator<Item = (GaugeId, &str)> {
+        self.gauges
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (GaugeId(i), n.as_str()))
+    }
+
+    /// Histogram names in registration order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = (HistId, &str)> {
+        self.hists
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (HistId(i), n.as_str()))
+    }
+}
+
+/// A log2-bucket histogram: 65 buckets, plus exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Associative and
+    /// commutative: any merge tree over the same shards yields the same
+    /// histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Raw bucket occupancy (index via [`bucket_of`]).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Bounds on the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// values: returns the `[low, high]` range of the bucket holding the
+    /// quantile, so `low ≤ true_quantile ≤ high`. `None` if empty.
+    ///
+    /// The true quantile here is the value at (1-based) rank
+    /// `ceil(q · count)` (rank 1 for `q = 0`) in the sorted observation
+    /// sequence — the standard inverse-CDF definition.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without floats drifting at the top: q*count rounded up,
+        // clamped into [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bucket, &occupancy) in self.buckets.iter().enumerate() {
+            cumulative += occupancy;
+            if cumulative >= rank {
+                let (low, high) = bucket_bounds(bucket);
+                // Exact extrema tighten the outermost buckets for free.
+                return Some((low.max(self.min), high.min(self.max)));
+            }
+        }
+        // count > 0 guarantees some bucket is non-empty.
+        unreachable!("histogram count/bucket mismatch")
+    }
+}
+
+/// One worker's private metric storage: recording is a plain indexed
+/// `u64` update, with a single `enabled` branch and no synchronization.
+///
+/// A disabled shard ([`Shard::disabled`]) ignores every record and costs
+/// one predictable branch per call.
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    enabled: bool,
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    hists: Vec<Histogram>,
+}
+
+impl Shard {
+    /// Creates an enabled shard sized for `registry`.
+    pub fn for_registry(registry: &Registry) -> Self {
+        Shard {
+            enabled: true,
+            counters: vec![0; registry.counters.len()],
+            gauges: vec![0; registry.gauges.len()],
+            hists: vec![Histogram::default(); registry.hists.len()],
+        }
+    }
+
+    /// Creates a shard that drops every record.
+    pub fn disabled() -> Self {
+        Shard::default()
+    }
+
+    /// `true` if this shard records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        if self.enabled {
+            self.counters[id.0] += by;
+        }
+    }
+
+    /// Raises a peak gauge to at least `value`.
+    #[inline]
+    pub fn gauge_max(&mut self, id: GaugeId, value: u64) {
+        if self.enabled {
+            let g = &mut self.gauges[id.0];
+            *g = (*g).max(value);
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: u64) {
+        if self.enabled {
+            self.hists[id.0].record(value);
+        }
+    }
+
+    /// Folds `other` into this shard (associative, commutative; gauges
+    /// keep the larger peak). Merging an incompatible layout panics;
+    /// merging with a disabled shard is a no-op in the empty direction.
+    pub fn merge(&mut self, other: &Shard) {
+        if !other.enabled {
+            return;
+        }
+        if !self.enabled {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.counters.len(),
+            other.counters.len(),
+            "shard layout mismatch"
+        );
+        assert_eq!(
+            self.gauges.len(),
+            other.gauges.len(),
+            "shard layout mismatch"
+        );
+        assert_eq!(self.hists.len(), other.hists.len(), "shard layout mismatch");
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += o;
+        }
+        for (g, o) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            *g = (*g).max(*o);
+        }
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).copied().unwrap_or(0)
+    }
+
+    /// Current gauge peak.
+    pub fn gauge_value(&self, id: GaugeId) -> u64 {
+        self.gauges.get(id.0).copied().unwrap_or(0)
+    }
+
+    /// Current histogram state (empty default if the shard is disabled).
+    pub fn histogram(&self, id: HistId) -> Histogram {
+        self.hists.get(id.0).cloned().unwrap_or_default()
+    }
+}
+
+// SharedMetrics cell layout per histogram: 65 buckets + count + sum +
+// min + max.
+const HIST_CELLS: usize = HIST_BUCKETS + 4;
+
+/// A lock-free aggregation target shared across threads: a flat array of
+/// atomic cells sized for one [`Registry`].
+///
+/// Workers [`flush`](SharedMetrics::flush) their shards in (draining
+/// them, so repeated flushes never double-count) with relaxed RMW ops —
+/// `fetch_add` for counters/buckets/sums, `fetch_max`/`fetch_min` for
+/// peaks and extrema. Any interleaving of flushes yields the same final
+/// cells, and a live reader ([`snapshot`](SharedMetrics::snapshot)) can
+/// sample mid-run without stopping anyone.
+#[derive(Debug)]
+pub struct SharedMetrics {
+    counters: Vec<AtomicU64>,
+    gauges: Vec<AtomicU64>,
+    hists: Vec<AtomicU64>,
+}
+
+fn atomic_cells(n: usize) -> Vec<AtomicU64> {
+    std::iter::repeat_with(|| AtomicU64::new(0))
+        .take(n)
+        .collect()
+}
+
+impl SharedMetrics {
+    /// Creates zeroed cells sized for `registry`.
+    pub fn for_registry(registry: &Registry) -> Self {
+        let hists = std::iter::repeat_with(|| AtomicU64::new(0))
+            .take(registry.hists.len() * HIST_CELLS)
+            .collect::<Vec<_>>();
+        // min cells start at u64::MAX so fetch_min works from the top.
+        for h in 0..registry.hists.len() {
+            hists[h * HIST_CELLS + HIST_BUCKETS + 2].store(u64::MAX, Ordering::Relaxed);
+        }
+        SharedMetrics {
+            counters: atomic_cells(registry.counters.len()),
+            gauges: atomic_cells(registry.gauges.len()),
+            hists,
+        }
+    }
+
+    /// Adds `by` to a counter directly (for cross-thread live counters
+    /// that bypass shards).
+    pub fn add(&self, id: CounterId, by: u64) {
+        self.counters[id.0].fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Drains `shard` into the shared cells. Lock-free; safe to call
+    /// concurrently from any number of workers. The shard is reset to
+    /// zero so periodic flushing never double-counts.
+    pub fn flush(&self, shard: &mut Shard) {
+        if !shard.enabled {
+            return;
+        }
+        assert_eq!(
+            self.counters.len(),
+            shard.counters.len(),
+            "shard layout mismatch"
+        );
+        assert_eq!(
+            self.gauges.len(),
+            shard.gauges.len(),
+            "shard layout mismatch"
+        );
+        assert_eq!(
+            self.hists.len(),
+            shard.hists.len() * HIST_CELLS,
+            "shard layout mismatch"
+        );
+        for (cell, c) in self.counters.iter().zip(shard.counters.iter_mut()) {
+            if *c != 0 {
+                cell.fetch_add(*c, Ordering::Relaxed);
+                *c = 0;
+            }
+        }
+        for (cell, g) in self.gauges.iter().zip(shard.gauges.iter_mut()) {
+            if *g != 0 {
+                cell.fetch_max(*g, Ordering::Relaxed);
+                *g = 0;
+            }
+        }
+        for (i, h) in shard.hists.iter_mut().enumerate() {
+            if h.count == 0 {
+                continue;
+            }
+            let base = i * HIST_CELLS;
+            for (j, b) in h.buckets.iter().enumerate() {
+                if *b != 0 {
+                    self.hists[base + j].fetch_add(*b, Ordering::Relaxed);
+                }
+            }
+            self.hists[base + HIST_BUCKETS].fetch_add(h.count, Ordering::Relaxed);
+            self.hists[base + HIST_BUCKETS + 1].fetch_add(h.sum, Ordering::Relaxed);
+            self.hists[base + HIST_BUCKETS + 2].fetch_min(h.min, Ordering::Relaxed);
+            self.hists[base + HIST_BUCKETS + 3].fetch_max(h.max, Ordering::Relaxed);
+            *h = Histogram::default();
+        }
+    }
+
+    /// Samples the current cell values into an enabled [`Shard`].
+    pub fn snapshot(&self, registry: &Registry) -> Shard {
+        let mut out = Shard::for_registry(registry);
+        for (c, cell) in out.counters.iter_mut().zip(self.counters.iter()) {
+            *c = cell.load(Ordering::Relaxed);
+        }
+        for (g, cell) in out.gauges.iter_mut().zip(self.gauges.iter()) {
+            *g = cell.load(Ordering::Relaxed);
+        }
+        for (i, h) in out.hists.iter_mut().enumerate() {
+            let base = i * HIST_CELLS;
+            for (j, b) in h.buckets.iter_mut().enumerate() {
+                *b = self.hists[base + j].load(Ordering::Relaxed);
+            }
+            h.count = self.hists[base + HIST_BUCKETS].load(Ordering::Relaxed);
+            h.sum = self.hists[base + HIST_BUCKETS + 1].load(Ordering::Relaxed);
+            h.min = self.hists[base + HIST_BUCKETS + 2].load(Ordering::Relaxed);
+            h.max = self.hists[base + HIST_BUCKETS + 3].load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            let (low, high) = bucket_bounds(b);
+            assert_eq!(bucket_of(low), b);
+            assert_eq!(bucket_of(high), b);
+        }
+    }
+
+    #[test]
+    fn shard_records_and_merges() {
+        let mut reg = Registry::new();
+        let c = reg.counter("sent");
+        let g = reg.gauge("peak_queue");
+        let h = reg.histogram("latency");
+
+        let mut a = Shard::for_registry(&reg);
+        let mut b = Shard::for_registry(&reg);
+        a.inc(c, 3);
+        b.inc(c, 4);
+        a.gauge_max(g, 10);
+        b.gauge_max(g, 7);
+        a.observe(h, 5);
+        b.observe(h, 100);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value(c), 7);
+        assert_eq!(a.gauge_value(g), 10);
+        let hist = a.histogram(h);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 105);
+        assert_eq!(hist.min(), Some(5));
+        assert_eq!(hist.max(), Some(100));
+    }
+
+    #[test]
+    fn disabled_shard_is_inert() {
+        let mut reg = Registry::new();
+        let c = reg.counter("sent");
+        let mut s = Shard::disabled();
+        s.inc(c, 5);
+        assert_eq!(s.counter_value(c), 0);
+        let mut full = Shard::for_registry(&reg);
+        full.inc(c, 2);
+        full.merge(&s);
+        assert_eq!(full.counter_value(c), 2);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile() {
+        let mut h = Histogram::default();
+        let values = [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+        for v in values {
+            h.record(v);
+        }
+        // true quantile = value at rank ceil(q·count): 5th value is 8.
+        for (q, want) in [(0.0, 1u64), (0.5, 8), (0.9, 55), (1.0, 89)] {
+            let (low, high) = h.quantile_bounds(q).unwrap();
+            assert!(
+                low <= want && want <= high,
+                "q={q}: {want} not in [{low}, {high}]"
+            );
+        }
+        assert!(Histogram::default().quantile_bounds(0.5).is_none());
+    }
+
+    #[test]
+    fn shared_flush_matches_serial_merge() {
+        let mut reg = Registry::new();
+        let c = reg.counter("n");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        let shared = SharedMetrics::for_registry(&reg);
+
+        let mut expect = Shard::for_registry(&reg);
+        for worker in 0..4u64 {
+            let mut s = Shard::for_registry(&reg);
+            s.inc(c, worker + 1);
+            s.gauge_max(g, worker * 10);
+            s.observe(h, 1 << worker);
+            expect.merge(&s);
+            shared.flush(&mut s);
+            // drained: a second flush adds nothing
+            shared.flush(&mut s);
+        }
+
+        let snap = shared.snapshot(&reg);
+        assert_eq!(snap.counter_value(c), expect.counter_value(c));
+        assert_eq!(snap.gauge_value(g), expect.gauge_value(g));
+        assert_eq!(snap.histogram(h), expect.histogram(h));
+    }
+}

@@ -1,0 +1,112 @@
+//! Live progress for long campaign runs: a shared completed-work counter
+//! and a stderr ticker thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A cheap cross-thread completed-work counter. Workers bump it; a
+/// [`Ticker`] (or anything else) reads it without coordination.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressCounter {
+    done: Arc<AtomicU64>,
+}
+
+impl ProgressCounter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        ProgressCounter::default()
+    }
+
+    /// Records `n` more completed units.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+/// A background thread that prints `label: done/total` progress lines to
+/// stderr at a fixed interval until [`Ticker::finish`] (or drop).
+///
+/// Output goes to stderr so piped/structured stdout (report JSON) stays
+/// clean.
+#[derive(Debug)]
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Spawns the ticker thread. `total` of 0 prints bare counts.
+    pub fn spawn(label: &str, total: u64, counter: ProgressCounter, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let label = label.to_owned();
+        let handle = std::thread::spawn(move || {
+            let mut last = u64::MAX;
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                let done = counter.done();
+                if done != last {
+                    last = done;
+                    if total > 0 {
+                        eprintln!("{label}: {done}/{total}");
+                    } else {
+                        eprintln!("{label}: {done}");
+                    }
+                }
+            }
+        });
+        Ticker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the ticker and joins its thread.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = ProgressCounter::new();
+        let c2 = c.clone();
+        c.add(2);
+        c2.add(3);
+        assert_eq!(c.done(), 5);
+    }
+
+    #[test]
+    fn ticker_stops_cleanly() {
+        let c = ProgressCounter::new();
+        let t = Ticker::spawn("test", 10, c.clone(), Duration::from_millis(5));
+        c.add(1);
+        std::thread::sleep(Duration::from_millis(15));
+        t.finish();
+    }
+}

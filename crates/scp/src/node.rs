@@ -119,6 +119,36 @@ impl ScpConfig {
 
 const NOMINATION_TIMER: u64 = 2;
 
+/// Per-node observational counters: message traffic by kind and ballot
+/// protocol phase transitions.
+///
+/// Deliberately **not** part of the state fingerprint: two states that
+/// differ only in how much effort it took to reach them are the same
+/// state to the model checker (counters are path-dependent under
+/// visited-state pruning), and the timed simulator reads them only after
+/// a run. They ride along through [`Actor::fork`] like any other field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Envelopes delivered to this node (before dedup).
+    pub envelopes_delivered: u64,
+    /// Delivered envelopes dropped as duplicates (or own echoes).
+    pub envelopes_duplicate: u64,
+    /// Vote-level pledges this node originated.
+    pub votes_sent: u64,
+    /// Accept-level pledges this node originated.
+    pub accepts_sent: u64,
+    /// Envelopes re-sent to late-learned processes (straggler repair).
+    pub catchup_envelopes: u64,
+    /// Ballots entered (counter bumps included).
+    pub ballots_started: u64,
+    /// Nomination statements confirmed.
+    pub nominations_confirmed: u64,
+    /// Prepare statements confirmed (value locks).
+    pub prepares_confirmed: u64,
+    /// Commit statements confirmed (externalizations trigger here).
+    pub commits_confirmed: u64,
+}
+
 /// A correct SCP node.
 #[derive(Clone)]
 pub struct ScpNode {
@@ -153,6 +183,8 @@ pub struct ScpNode {
     /// Value locked by a confirmed prepare.
     lock: Option<Value>,
     externalized: Option<Value>,
+    /// Observational counters; excluded from both fingerprints.
+    stats: NodeStats,
 }
 
 impl ScpNode {
@@ -172,6 +204,7 @@ impl ScpNode {
             ballot: 0,
             lock: None,
             externalized: None,
+            stats: NodeStats::default(),
         }
     }
 
@@ -188,6 +221,11 @@ impl ScpNode {
     /// The confirmed candidate values (diagnostic).
     pub fn candidates(&self) -> &[Value] {
         &self.candidates
+    }
+
+    /// Message and ballot-phase counters (diagnostic; see [`NodeStats`]).
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
     }
 
     /// Records an envelope in the dedup set, keeping the incremental
@@ -209,6 +247,11 @@ impl ScpNode {
             accept,
         };
         self.note_seen(ctx.self_id(), stmt, accept);
+        if accept {
+            self.stats.accepts_sent += 1;
+        } else {
+            self.stats.votes_sent += 1;
+        }
         self.backlog.push(msg.clone());
         ctx.broadcast_known(msg);
     }
@@ -229,6 +272,7 @@ impl ScpNode {
         for j in newcomers {
             for msg in self.backlog.iter() {
                 ctx.send(j, msg.clone());
+                self.stats.catchup_envelopes += 1;
             }
             self.synced.insert(j);
         }
@@ -253,6 +297,7 @@ impl ScpNode {
             return;
         }
         self.ballot = n;
+        self.stats.ballots_started += 1;
         let v = self.ballot_value();
         self.vote(ctx, Statement::Prepare(n, v));
         ctx.set_timer(self.config.ballot_timeout * (n + 1), n << 8);
@@ -278,6 +323,7 @@ impl ScpNode {
                 }
                 match stmt {
                     Statement::Nominate(v) => {
+                        self.stats.nominations_confirmed += 1;
                         if !self.candidates.contains(&v) {
                             self.candidates.push(v);
                         }
@@ -287,11 +333,13 @@ impl ScpNode {
                         }
                     }
                     Statement::Prepare(n, v) => {
+                        self.stats.prepares_confirmed += 1;
                         // Lock the value and push for commit.
                         self.lock = Some(v);
                         self.vote(ctx, Statement::Commit(n, v));
                     }
                     Statement::Commit(_, v) => {
+                        self.stats.commits_confirmed += 1;
                         if self.externalized.is_none() {
                             self.externalized = Some(v);
                         }
@@ -322,8 +370,10 @@ impl Actor<ScpMsg> for ScpNode {
         // before the own-origin early return below.
         ctx.learn(msg.origin);
         self.sync_latecomers(ctx);
+        self.stats.envelopes_delivered += 1;
         // Flood-style gossip with dedup; `origin` is signature-verified.
         if msg.origin == ctx.self_id() || !self.note_seen(msg.origin, msg.stmt, msg.accept) {
+            self.stats.envelopes_duplicate += 1;
             return;
         }
         // A changed slice claim invalidates every statement's quorum
@@ -678,6 +728,27 @@ mod tests {
             run_to_decision(&mut sim, &correct);
             let v = assert_scp_consensus(&sim, &correct);
             assert!((10..17).contains(&v), "validity: {v} must be an input");
+        }
+    }
+
+    #[test]
+    fn node_stats_count_traffic_and_ballot_phases() {
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let mut sim = fig1_sim(0, Box::new(SilentActor::new()));
+        run_to_decision(&mut sim, &correct);
+        assert_scp_consensus(&sim, &correct);
+        for &i in &correct {
+            let s = *sim.actor_as::<ScpNode>(ProcessId::new(i)).unwrap().stats();
+            assert!(s.envelopes_delivered > 0, "node {i}: {s:?}");
+            // Flood gossip guarantees every node sees duplicates.
+            assert!(s.envelopes_duplicate > 0, "node {i}: {s:?}");
+            assert!(s.envelopes_duplicate <= s.envelopes_delivered);
+            assert!(s.votes_sent > 0 && s.accepts_sent > 0, "node {i}: {s:?}");
+            // Externalization implies the full phase ladder fired.
+            assert!(s.ballots_started >= 1, "node {i}: {s:?}");
+            assert!(s.nominations_confirmed >= 1, "node {i}: {s:?}");
+            assert!(s.prepares_confirmed >= 1, "node {i}: {s:?}");
+            assert!(s.commits_confirmed >= 1, "node {i}: {s:?}");
         }
     }
 

@@ -277,6 +277,41 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
 }
 
+/// Reports a hand-measured quantity as a bench row: printed like a
+/// benchmark result and appended to the `CRITERION_JSON` report (when
+/// set) as an entry with `ns_min = ns_median = ns_max = ns` and one
+/// sample.
+///
+/// For numbers a bench derives itself instead of timing through
+/// [`Bencher::iter`] — e.g. per-phase nanos read out of a profiler after
+/// an instrumented run. Rows land in the same JSON array as timed rows,
+/// so baseline tooling can diff them by name.
+pub fn custom_entry(name: &str, ns: u128, elements: Option<u64>) {
+    let rate = elements.map(|n| (n as f64 * 1e9 / (ns.max(1)) as f64) as u64);
+    match rate {
+        Some(rate) => println!(
+            "{name:<50} time: [{}]  thrpt: {rate} elem/s  (reported)",
+            fmt_ns(ns)
+        ),
+        None => println!("{name:<50} time: [{}]  (reported)", fmt_ns(ns)),
+    }
+    if let (false, Ok(path)) = (cfg!(test), std::env::var("CRITERION_JSON")) {
+        if !path.is_empty() {
+            let throughput_fields = match (elements, rate) {
+                (Some(n), Some(r)) => format!(", \"elements\": {n}, \"elems_per_sec\": {r}"),
+                _ => String::new(),
+            };
+            let entry = format!(
+                "{{\"name\": \"{}\", \"ns_min\": {ns}, \"ns_median\": {ns}, \"ns_max\": {ns}, \"iters\": 1, \"samples\": 1{throughput_fields}}}",
+                name.replace('"', "'"),
+            );
+            if let Err(e) = append_json_entry(std::path::Path::new(&path), &entry) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
 /// Appends one JSON object to the array stored at `path`, creating the
 /// file as `[entry]` when absent. The file stays a single valid JSON array
 /// even when several bench binaries append to it in sequence.

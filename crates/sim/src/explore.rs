@@ -562,24 +562,26 @@ impl<M: SimMessage> ExploreSim<M> {
                 // Authenticated channel: receiving teaches the receiver
                 // the sender's identity, exactly like the timed simulator.
                 self.known[to.index()].insert(from);
-                if self.trace.is_enabled() {
-                    self.trace.push(TraceEvent::Delivered {
+                scup_obs::obs_event!(
+                    self.trace,
+                    TraceEvent::Delivered {
                         at: SimTime::from_ticks(self.events_fired),
                         from,
                         to,
                         payload: format!("{msg:?}"),
-                    });
-                }
+                    }
+                );
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg))
             }
             ExploreEvent::Timer { process, tag } => {
-                if self.trace.is_enabled() {
-                    self.trace.push(TraceEvent::Timer {
+                scup_obs::obs_event!(
+                    self.trace,
+                    TraceEvent::Timer {
                         at: SimTime::from_ticks(self.events_fired),
                         process,
                         tag,
-                    });
-                }
+                    }
+                );
                 self.dispatch(process, |actor, ctx| actor.on_timer(ctx, tag))
             }
         }

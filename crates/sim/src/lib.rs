@@ -71,7 +71,7 @@ pub mod explore;
 
 pub use actor::{Actor, Context, SimMessage};
 pub use explore::{ExploreEvent, ExploreSim, Perm, SimState, StateHasher};
-pub use metrics::SimReport;
+pub use metrics::{ProcessStats, SimReport};
 pub use network::NetworkConfig;
 pub use runner::Simulation;
 pub use time::SimTime;

@@ -2,6 +2,27 @@ use std::fmt;
 
 use crate::SimTime;
 
+/// Per-process traffic breakdown inside a [`SimReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Messages this process handed to the network.
+    pub sent: u64,
+    /// Messages delivered to this process.
+    pub delivered: u64,
+    /// Sum of [`SimMessage::size_hint`](crate::SimMessage::size_hint)
+    /// over this process's sent messages.
+    pub bytes_sent: u64,
+}
+
+impl ProcessStats {
+    /// Element-wise sum.
+    pub fn absorb(&mut self, other: &ProcessStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.bytes_sent += other.bytes_sent;
+    }
+}
+
 /// Aggregate statistics of a simulation run, as returned by
 /// [`Simulation::run_until_quiet`](crate::Simulation::run_until_quiet).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -20,6 +41,32 @@ pub struct SimReport {
     /// `true` if the run stopped because the event queue drained (vs.
     /// hitting the time horizon or a stop predicate).
     pub quiescent: bool,
+    /// Per-process sent/delivered/bytes breakdown, indexed by process id
+    /// (empty for reports built before the run started).
+    pub per_process: Vec<ProcessStats>,
+}
+
+impl SimReport {
+    /// Folds another report into this one: counters add, `end_time`
+    /// keeps the maximum, `quiescent` holds only if both runs drained,
+    /// and per-process rows sum element-wise (shorter vectors extend).
+    /// Used to combine the reports of a multi-phase pipeline into one
+    /// per-scenario record.
+    pub fn absorb(&mut self, other: &SimReport) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.bytes_sent += other.bytes_sent;
+        self.timers_fired += other.timers_fired;
+        self.end_time = self.end_time.max(other.end_time);
+        self.quiescent &= other.quiescent;
+        if self.per_process.len() < other.per_process.len() {
+            self.per_process
+                .resize(other.per_process.len(), ProcessStats::default());
+        }
+        for (mine, theirs) in self.per_process.iter_mut().zip(other.per_process.iter()) {
+            mine.absorb(theirs);
+        }
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -51,5 +98,54 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("sent=3"));
         assert!(s.contains("end=t9"));
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_per_process_rows() {
+        let mut a = SimReport {
+            messages_sent: 2,
+            bytes_sent: 20,
+            end_time: SimTime::from_ticks(5),
+            quiescent: true,
+            per_process: vec![
+                ProcessStats {
+                    sent: 2,
+                    delivered: 0,
+                    bytes_sent: 20,
+                },
+                ProcessStats::default(),
+            ],
+            ..SimReport::default()
+        };
+        let b = SimReport {
+            messages_sent: 1,
+            messages_delivered: 3,
+            bytes_sent: 5,
+            end_time: SimTime::from_ticks(9),
+            quiescent: true,
+            per_process: vec![
+                ProcessStats::default(),
+                ProcessStats {
+                    sent: 1,
+                    delivered: 3,
+                    bytes_sent: 5,
+                },
+                ProcessStats {
+                    sent: 0,
+                    delivered: 0,
+                    bytes_sent: 0,
+                },
+            ],
+            ..SimReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.messages_sent, 3);
+        assert_eq!(a.messages_delivered, 3);
+        assert_eq!(a.bytes_sent, 25);
+        assert_eq!(a.end_time, SimTime::from_ticks(9));
+        assert!(a.quiescent);
+        assert_eq!(a.per_process.len(), 3);
+        assert_eq!(a.per_process[0].sent, 2);
+        assert_eq!(a.per_process[1].delivered, 3);
     }
 }

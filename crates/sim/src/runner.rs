@@ -6,8 +6,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 
+use scup_obs::obs_event;
+
 use crate::actor::{Actor, Context, SimMessage};
-use crate::metrics::SimReport;
+use crate::metrics::{ProcessStats, SimReport};
 use crate::network::NetworkConfig;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
@@ -81,6 +83,10 @@ impl<M: SimMessage> Simulation<M> {
     pub fn new(kg: KnowledgeGraph, config: NetworkConfig) -> Self {
         let known = kg.pds();
         let rng = StdRng::seed_from_u64(config.seed);
+        let report = SimReport {
+            per_process: vec![ProcessStats::default(); kg.n()],
+            ..SimReport::default()
+        };
         Simulation {
             config,
             kg,
@@ -90,7 +96,7 @@ impl<M: SimMessage> Simulation<M> {
             seq: 0,
             now: SimTime::ZERO,
             rng,
-            report: SimReport::default(),
+            report,
             trace: Trace::new(),
             started: false,
             outbox_buf: Vec::new(),
@@ -205,17 +211,22 @@ impl<M: SimMessage> Simulation<M> {
         f(&mut *self.actors[pid.index()], &mut ctx);
         for (to, msg) in outbox.drain(..) {
             let deliver_at = self.delivery_time();
-            if self.trace.is_enabled() {
-                self.trace.push(TraceEvent::Sent {
+            obs_event!(
+                self.trace,
+                TraceEvent::Sent {
                     at: self.now,
                     from: pid,
                     to,
                     deliver_at,
                     payload: format!("{msg:?}"),
-                });
-            }
+                }
+            );
+            let bytes = msg.size_hint() as u64;
             self.report.messages_sent += 1;
-            self.report.bytes_sent += msg.size_hint() as u64;
+            self.report.bytes_sent += bytes;
+            let stats = &mut self.report.per_process[pid.index()];
+            stats.sent += 1;
+            stats.bytes_sent += bytes;
             self.seq += 1;
             self.queue.push(QueueEntry {
                 at: deliver_at,
@@ -257,23 +268,28 @@ impl<M: SimMessage> Simulation<M> {
                 // Authenticated channel: receiving teaches the receiver the
                 // sender's identity (Section III-A).
                 self.known[to.index()].insert(from);
-                if self.trace.is_enabled() {
-                    self.trace.push(TraceEvent::Delivered {
+                obs_event!(
+                    self.trace,
+                    TraceEvent::Delivered {
                         at: self.now,
                         from,
                         to,
                         payload: format!("{msg:?}"),
-                    });
-                }
+                    }
+                );
                 self.report.messages_delivered += 1;
+                self.report.per_process[to.index()].delivered += 1;
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
             EventKind::Timer { process, tag } => {
-                self.trace.push(TraceEvent::Timer {
-                    at: self.now,
-                    process,
-                    tag,
-                });
+                obs_event!(
+                    self.trace,
+                    TraceEvent::Timer {
+                        at: self.now,
+                        process,
+                        tag,
+                    }
+                );
                 self.report.timers_fired += 1;
                 self.dispatch(process, |actor, ctx| actor.on_timer(ctx, tag));
             }
@@ -399,6 +415,22 @@ mod tests {
         assert_eq!(report.messages_delivered, 36);
         assert_eq!(report.bytes_sent, 36 * 9);
         assert_eq!(report.timers_fired, 8);
+    }
+
+    #[test]
+    fn per_process_breakdown_sums_to_aggregates() {
+        let mut sim = build(42);
+        let report = sim.run_until_quiet(10_000);
+        assert_eq!(report.per_process.len(), 8);
+        let sent: u64 = report.per_process.iter().map(|p| p.sent).sum();
+        let delivered: u64 = report.per_process.iter().map(|p| p.delivered).sum();
+        let bytes: u64 = report.per_process.iter().map(|p| p.bytes_sent).sum();
+        assert_eq!(sent, report.messages_sent);
+        assert_eq!(delivered, report.messages_delivered);
+        assert_eq!(bytes, report.bytes_sent);
+        // Every fig1 process both pings and is pinged.
+        assert!(report.per_process.iter().all(|p| p.sent > 0));
+        assert!(report.per_process.iter().all(|p| p.delivered > 0));
     }
 
     #[test]

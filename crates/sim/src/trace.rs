@@ -42,7 +42,10 @@ pub enum TraceEvent {
 
 /// An optional in-memory event log for debugging protocol runs.
 ///
-/// Disabled by default; enabling it costs one `format!` per event.
+/// Disabled by default. Producers record through
+/// [`scup_obs::obs_event!`], which skips payload rendering (the
+/// per-event `format!`) entirely while the trace is disabled — enabling
+/// it is what buys the debug strings.
 #[derive(Debug, Default, Clone)]
 pub struct Trace {
     enabled: bool,
@@ -65,7 +68,10 @@ impl Trace {
         self.enabled
     }
 
-    pub(crate) fn push(&mut self, event: TraceEvent) {
+    /// Appends an event if recording is on. Callers that build a payload
+    /// should go through [`scup_obs::obs_event!`] so the payload is never
+    /// rendered for a disabled trace.
+    pub fn push(&mut self, event: TraceEvent) {
         if self.enabled {
             self.events.push(event);
         }
