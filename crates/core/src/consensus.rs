@@ -20,12 +20,15 @@ use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 use scup_scp::node::EquivocatingScpNode;
 use scup_scp::{NodeStats, ScpConfig, ScpNode, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
-use scup_sim::{NetworkConfig, SimReport, Simulation, TraceEvent};
+use scup_sim::{
+    FaultPlan, MemJournal, NetworkConfig, ResilientActor, RetransmitConfig, SimReport, Simulation,
+    TraceEvent,
+};
 
 use crate::attempts::LocalSliceStrategy;
 use crate::build_slices::build_slices;
 use crate::oracle::SinkDetection;
-use crate::sink_detector::{GetSinkMode, SinkDetectorActor};
+use crate::sink_detector::{GetSinkMode, SdMsg, SinkDetectorActor};
 
 /// How the Byzantine processes behave during the pipeline.
 ///
@@ -72,6 +75,16 @@ pub struct EndToEndConfig {
     /// [`Outcome::scp_trace`]. Off by default: enabling it renders every
     /// message payload to a string.
     pub trace: bool,
+    /// Deterministic fault injection, applied to *both* phases (each phase
+    /// runs its own simulation clock, so a crash at tick `t` happens at
+    /// `t` of the sink-detector phase and again at `t` of the SCP phase).
+    /// The default zero plan is bit-identical to a fault-free run.
+    pub faults: FaultPlan,
+    /// Retransmission schedule handed to every correct actor in both
+    /// phases (the sink detectors via [`ResilientActor`], the SCP nodes
+    /// natively). Disabled by default — fault-free runs keep their exact
+    /// historical schedules.
+    pub retransmit: RetransmitConfig,
 }
 
 impl Default for EndToEndConfig {
@@ -85,6 +98,8 @@ impl Default for EndToEndConfig {
             inputs: None,
             max_ticks: 3_000_000,
             trace: false,
+            faults: FaultPlan::default(),
+            retransmit: RetransmitConfig::disabled(),
         }
     }
 }
@@ -115,6 +130,10 @@ pub struct Outcome {
     /// SCP-phase event trace (empty unless [`EndToEndConfig::trace`]).
     /// Times restart at zero — the phase runs its own simulation.
     pub scp_trace: Vec<TraceEvent>,
+    /// Per-process durable journals of the SCP phase (empty records when
+    /// no fault plan journals anything). Feed them to
+    /// [`scup_scp::journal_contradictions`] to audit crash recovery.
+    pub scp_journals: Vec<MemJournal>,
 }
 
 impl Outcome {
@@ -196,6 +215,9 @@ pub fn run_sink_detection_traced(
     if config.trace {
         sim.enable_trace();
     }
+    if !config.faults.is_zero() {
+        sim.set_fault_plan(config.faults.clone());
+    }
     for i in kg.processes() {
         if faulty.contains(i) {
             match config.adversary {
@@ -207,11 +229,17 @@ pub fn run_sink_detection_traced(
                 _ => sim.add_actor(Box::new(SilentActor::new())),
             };
         } else {
-            sim.add_actor(Box::new(SinkDetectorActor::new(
-                kg.pd(i).clone(),
-                f,
-                config.get_sink_mode,
-            )));
+            let actor = SinkDetectorActor::new(kg.pd(i).clone(), f, config.get_sink_mode);
+            if config.retransmit.enabled() {
+                // The sink detectors predate the fault plane; the wrapper
+                // retrofits lossy-link re-announcement onto them.
+                sim.add_actor(Box::new(ResilientActor::new(
+                    actor,
+                    config.retransmit.clone(),
+                )));
+            } else {
+                sim.add_actor(Box::new(actor));
+            }
         }
     }
     let report = sim.run_until_quiet(config.max_ticks);
@@ -223,6 +251,10 @@ pub fn run_sink_detection_traced(
                 .or_else(|| {
                     sim.actor_as::<CrashActor<SinkDetectorActor>>(i)
                         .and_then(|c| c.inner().detection())
+                })
+                .or_else(|| {
+                    sim.actor_as::<ResilientActor<SdMsg, SinkDetectorActor>>(i)
+                        .and_then(|r| r.inner().detection())
                 })
         })
         .collect();
@@ -239,7 +271,7 @@ pub fn run_scp_with_slices(
     inputs: &[Value],
     config: &EndToEndConfig,
 ) -> (Vec<Option<Value>>, SimReport) {
-    let (decisions, report, _, _) =
+    let (decisions, report, _, _, _) =
         run_scp_with_slices_observed(kg, faulty, slices, inputs, config);
     (decisions, report)
 }
@@ -258,11 +290,15 @@ pub fn run_scp_with_slices_observed(
     SimReport,
     Vec<NodeStats>,
     Vec<TraceEvent>,
+    Vec<MemJournal>,
 ) {
     let net = NetworkConfig::partially_synchronous(config.gst, config.delta, config.seed ^ 0x5eed);
     let mut sim = Simulation::new(kg.clone(), net);
     if config.trace {
         sim.enable_trace();
+    }
+    if !config.faults.is_zero() {
+        sim.set_fault_plan(config.faults.clone());
     }
     for i in kg.processes() {
         if faulty.contains(i) {
@@ -285,17 +321,28 @@ pub fn run_scp_with_slices_observed(
                 }
             };
         } else {
-            let scp_config = ScpConfig::new(slices[i.index()].clone(), inputs[i.index()]);
+            let mut scp_config = ScpConfig::new(slices[i.index()].clone(), inputs[i.index()]);
+            scp_config.retransmit = config.retransmit.clone();
             sim.add_actor(Box::new(ScpNode::new(scp_config)));
         }
     }
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
+    // A crash–recover cycle must actually execute (and the recovered node
+    // rejoin) before the phase may stop — otherwise early decisions would
+    // skip the very fault the scenario schedules.
+    let want_recoveries = config
+        .faults
+        .crashes
+        .iter()
+        .filter(|c| c.recover_at.is_some())
+        .count() as u64;
     let report = sim.run_while(
         |s| {
-            !correct.iter().all(|&i| {
-                s.actor_as::<ScpNode>(i)
-                    .is_some_and(|n| n.externalized().is_some())
-            })
+            s.report().recoveries < want_recoveries
+                || !correct.iter().all(|&i| {
+                    s.actor_as::<ScpNode>(i)
+                        .is_some_and(|n| n.externalized().is_some())
+                })
         },
         config.max_ticks,
     );
@@ -312,7 +359,8 @@ pub fn run_scp_with_slices_observed(
         })
         .collect();
     let trace = sim.trace().events().to_vec();
-    (decisions, report, node_stats, trace)
+    let journals = kg.processes().map(|i| sim.journal(i).clone()).collect();
+    (decisions, report, node_stats, trace, journals)
 }
 
 /// The full positive pipeline: sink detector → Algorithm 2 → SCP
@@ -335,7 +383,7 @@ pub fn run_end_to_end(
             None => SliceFamily::empty(),
         })
         .collect();
-    let (decisions, scp_report, node_stats, scp_trace) =
+    let (decisions, scp_report, node_stats, scp_trace, scp_journals) =
         run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
     Outcome {
         faulty: faulty.clone(),
@@ -347,6 +395,7 @@ pub fn run_end_to_end(
         node_stats,
         sd_trace,
         scp_trace,
+        scp_journals,
     }
 }
 
@@ -367,7 +416,7 @@ pub fn run_local_slices_pipeline(
         .processes()
         .map(|i| strategy.build(kg.pd(i), f))
         .collect();
-    let (decisions, scp_report, node_stats, scp_trace) =
+    let (decisions, scp_report, node_stats, scp_trace, scp_journals) =
         run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
     Outcome {
         faulty: faulty.clone(),
@@ -379,6 +428,7 @@ pub fn run_local_slices_pipeline(
         node_stats,
         sd_trace: Vec::new(),
         scp_trace,
+        scp_journals,
     }
 }
 
@@ -474,6 +524,7 @@ mod tests {
             node_stats: Vec::new(),
             sd_trace: Vec::new(),
             scp_trace: Vec::new(),
+            scp_journals: Vec::new(),
         };
         assert!(outcome.agreement());
         assert_eq!(outcome.decided_value(), Some(5));

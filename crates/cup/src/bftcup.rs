@@ -31,7 +31,7 @@
 use std::collections::BTreeMap;
 
 use scup_graph::{ProcessId, ProcessSet};
-use scup_sim::{Actor, Context, Perm, SimMessage, StateHasher};
+use scup_sim::{Actor, Backoff, Context, Journal, Perm, RetransmitConfig, SimMessage, StateHasher};
 
 use crate::discovery::{apply_perm, write_set_perm, SinkCore, SinkMsg};
 
@@ -150,8 +150,23 @@ impl SimMessage for BftMsg {
     }
 }
 
-/// Timer tags.
+/// Timer tags. View timers are `VIEW_TIMER + (view << 8)`.
 const VIEW_TIMER: u64 = 1;
+/// Retransmission rounds. Must be matched *before* the `tag >> 8` view
+/// decode in `on_timer`: `2 >> 8 == 0` would alias the view-0 timer.
+const RETRANSMIT_TIMER: u64 = 2;
+
+// Journal record tags: the durable pledges a crash must not erase.
+/// `[member ids...]` — the sink membership consensus runs over.
+const J_MEMBERS: u64 = 1;
+/// `[view]` — entered a view.
+const J_VIEW: u64 = 2;
+/// `[view, value]` — echoed `value` in `view` (at most one per view).
+const J_ECHO: u64 = 3;
+/// `[view, value]` — locked `value` in `view`.
+const J_LOCK: u64 = 4;
+/// `[value]` — decided.
+const J_DECIDE: u64 = 6;
 
 /// Configuration of a BFT-CUP run.
 #[derive(Debug, Clone)]
@@ -160,14 +175,69 @@ pub struct BftConfig {
     pub f: usize,
     /// Base view timeout in ticks (doubled per view).
     pub view_timeout: u64,
+    /// Retransmission schedule for lossy networks. Disabled by default so
+    /// fault-free runs keep their exact historical schedules; must stay
+    /// disabled under exploration (the retransmission state is excluded
+    /// from fingerprints).
+    pub retransmit: RetransmitConfig,
 }
 
 impl BftConfig {
     /// A configuration with the given `f` and a view timeout suited to the
     /// network's `Δ`.
     pub fn new(f: usize, view_timeout: u64) -> Self {
-        BftConfig { f, view_timeout }
+        BftConfig {
+            f,
+            view_timeout,
+            retransmit: RetransmitConfig::disabled(),
+        }
     }
+}
+
+/// Scans a process's journal for self-contradictions — evidence that a
+/// crash–recovery cycle made it betray a pledge it had durably made:
+///
+/// - two `Echo` pledges for different values in the same view (a correct
+///   member echoes at most once per view);
+/// - locks on different values in the same view;
+/// - two different decisions.
+pub fn journal_contradictions(journal: &dyn Journal) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut echoes: BTreeMap<u64, Value> = BTreeMap::new();
+    let mut locks: BTreeMap<u64, Value> = BTreeMap::new();
+    let mut decided: Option<Value> = None;
+    for rec in journal.records() {
+        match (rec.tag, &rec.words[..]) {
+            (J_ECHO, &[view, value]) => {
+                match echoes.get(&view) {
+                    Some(&prev) if prev != value => {
+                        out.push(format!("echoed {prev} then {value} in view {view}"));
+                    }
+                    _ => {
+                        echoes.insert(view, value);
+                    }
+                };
+            }
+            (J_LOCK, &[view, value]) => {
+                match locks.get(&view) {
+                    Some(&prev) if prev != value => {
+                        out.push(format!("locked {prev} then {value} in view {view}"));
+                    }
+                    _ => {
+                        locks.insert(view, value);
+                    }
+                };
+            }
+            (J_DECIDE, &[value]) => match decided {
+                Some(prev) if prev != value => {
+                    out.push(format!("decided {prev} then {value}"));
+                }
+                _ => decided = Some(value),
+            },
+            _ => {}
+        }
+    }
+    out
 }
 
 /// A correct BFT-CUP participant (sink or non-sink — the role emerges from
@@ -194,6 +264,16 @@ pub struct BftCupActor {
     asked: ProcessSet,
     decide_votes: BTreeMap<Value, ProcessSet>,
     decision: Option<Value>,
+    // Fault tolerance (timed simulations only). The dedup log of sent
+    // messages re-announced on each backoff round; excluded from
+    // fingerprints, so retransmission must stay disabled under
+    // exploration.
+    sent_log: Vec<(ProcessId, BftMsg)>,
+    backoff: Backoff,
+    retransmissions: u64,
+    /// Membership fixed ahead of the run ([`Self::with_members`]):
+    /// consumed by `on_start`, which then skips SINK discovery entirely.
+    preset_members: Option<ProcessSet>,
 }
 
 impl BftCupActor {
@@ -219,7 +299,21 @@ impl BftCupActor {
             asked: ProcessSet::new(),
             decide_votes: BTreeMap::new(),
             decision: None,
+            sent_log: Vec::new(),
+            backoff: Backoff::new(),
+            retransmissions: 0,
+            preset_members: None,
         }
+    }
+
+    /// Fixes the sink membership ahead of the run: `on_start` enters
+    /// view 0 over `members` directly instead of running SINK discovery.
+    /// For membership-fixed exploration (the dual of the SCP drivers'
+    /// pre-computed slices), where discovery orderings would otherwise
+    /// consume the branching budget before a single consensus round.
+    pub fn with_members(mut self, members: ProcessSet) -> Self {
+        self.preset_members = Some(members);
+        self
     }
 
     /// The decided value, once the protocol terminates at this process.
@@ -230,6 +324,11 @@ impl BftCupActor {
     /// `true` if discovery certified this process as a sink member.
     pub fn is_sink_member(&self) -> bool {
         self.sink.verdict().is_some()
+    }
+
+    /// Messages re-sent by retransmission rounds so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     /// Quorum size `q = ⌈(|V_sink| + f + 1) / 2⌉` (Algorithm 2's sink slice
@@ -250,12 +349,44 @@ impl BftCupActor {
         }
     }
 
-    fn send_members(&self, ctx: &mut Context<'_, BftMsg>, msg: BftMsg) {
-        for j in &self.members {
+    /// Instance variant of [`Self::flush_sink`] that also records the
+    /// discovery traffic in the retransmission log (the `SinkCore` absorbs
+    /// the duplicates).
+    fn flush_sink_logged(&mut self, ctx: &mut Context<'_, BftMsg>, out: Vec<(ProcessId, SinkMsg)>) {
+        for (to, m) in out {
+            self.send_logged(ctx, to, BftMsg::Sink(m));
+        }
+    }
+
+    /// Sends `msg` and, when retransmission is enabled, records it in the
+    /// dedup log re-announced on every backoff round.
+    fn send_logged(&mut self, ctx: &mut Context<'_, BftMsg>, to: ProcessId, msg: BftMsg) {
+        ctx.learn(to);
+        if self.config.retransmit.enabled() {
+            let entry = (to, msg);
+            ctx.send(entry.0, entry.1.clone());
+            if !self.sent_log.contains(&entry) {
+                self.sent_log.push(entry);
+            }
+        } else {
+            ctx.send(to, msg);
+        }
+    }
+
+    /// Write-ahead journaling: durable pledges are appended before the
+    /// corresponding message leaves the process. `ctx.journal()` is `None`
+    /// outside timed simulations, making this a no-op there.
+    fn journal(ctx: &mut Context<'_, BftMsg>, tag: u64, words: &[u64]) {
+        if let Some(j) = ctx.journal() {
+            j.append(tag, words);
+        }
+    }
+
+    fn send_members(&mut self, ctx: &mut Context<'_, BftMsg>, msg: BftMsg) {
+        for j in self.members.to_vec() {
             if j != ctx.self_id() {
                 // Member ids were learned from discovery payloads.
-                ctx.learn(j);
-                ctx.send(j, msg.clone());
+                self.send_logged(ctx, j, msg.clone());
             }
         }
     }
@@ -275,6 +406,13 @@ impl BftCupActor {
         };
         self.started_consensus = true;
         self.members = verdict.sink;
+        let ids: Vec<u64> = self
+            .members
+            .to_vec()
+            .iter()
+            .map(|j| j.as_u32() as u64)
+            .collect();
+        Self::journal(ctx, J_MEMBERS, &ids);
         self.enter_view(ctx, 0);
     }
 
@@ -283,6 +421,7 @@ impl BftCupActor {
         self.echoed_in_view = false;
         self.committed_in_view = false;
         self.proposed_in_view = false;
+        Self::journal(ctx, J_VIEW, &[view]);
         let timeout = self.config.view_timeout << view.min(16);
         ctx.set_timer(timeout, VIEW_TIMER + (view << 8));
         // Echoes for this view may have arrived while we lagged behind;
@@ -297,6 +436,7 @@ impl BftCupActor {
             if !self.committed_in_view {
                 self.committed_in_view = true;
                 self.lock = Some((view, value));
+                Self::journal(ctx, J_LOCK, &[view, value]);
                 self.send_members(ctx, BftMsg::Commit { view, value });
                 self.self_deliver(ctx, BftMsg::Commit { view, value });
             }
@@ -371,6 +511,7 @@ impl BftCupActor {
                     }
                 }
                 self.echoed_in_view = true;
+                Self::journal(ctx, J_ECHO, &[view, value]);
                 self.send_members(ctx, BftMsg::Echo { view, value });
                 self.self_deliver(ctx, BftMsg::Echo { view, value });
             }
@@ -380,6 +521,7 @@ impl BftCupActor {
                 if view == self.view && voters.len() >= self.quorum() && !self.committed_in_view {
                     self.committed_in_view = true;
                     self.lock = Some((view, value));
+                    Self::journal(ctx, J_LOCK, &[view, value]);
                     self.send_members(ctx, BftMsg::Commit { view, value });
                     self.self_deliver(ctx, BftMsg::Commit { view, value });
                 }
@@ -428,12 +570,12 @@ impl BftCupActor {
             return;
         }
         self.decision = Some(value);
+        Self::journal(ctx, J_DECIDE, &[value]);
         // Disseminate to everyone who asked and to the sink.
         let targets = self.askers.union(&self.members);
         for j in &targets {
             if j != ctx.self_id() {
-                ctx.learn(j);
-                ctx.send(j, BftMsg::Decide(value));
+                self.send_logged(ctx, j, BftMsg::Decide(value));
             }
         }
     }
@@ -530,32 +672,82 @@ impl BftCupActor {
         if self.decision.is_some() || self.sink.verdict().is_some() {
             return;
         }
-        // `known` and `asked` are disjoint fields: iterate directly instead
-        // of cloning the knowledge set on every discovery step.
         let me = ctx.self_id();
-        for j in self.sink.known().iter() {
-            if j != me && self.asked.insert(j) {
-                ctx.learn(j);
-                ctx.send(j, BftMsg::AskDecision);
-            }
+        let fresh: Vec<ProcessId> = self
+            .sink
+            .known()
+            .iter()
+            .filter(|&j| j != me && !self.asked.contains(j))
+            .collect();
+        for j in fresh {
+            self.asked.insert(j);
+            self.send_logged(ctx, j, BftMsg::AskDecision);
         }
+    }
+
+    /// Arms the next retransmission round, if the schedule has any left.
+    fn arm_retransmit(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        let cfg = self.config.retransmit.clone();
+        if let Some(delay) = self.backoff.next_delay(&cfg, ctx.rng()) {
+            ctx.set_timer(delay, RETRANSMIT_TIMER);
+        }
+    }
+
+    /// One backoff round: re-sends the whole dedup log. Receivers absorb
+    /// the duplicates — discovery dedups at the core, the consensus
+    /// tallies are sets, and `Decide` is write-once.
+    fn retransmit_round(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        for (to, msg) in &self.sent_log {
+            ctx.learn(*to);
+            ctx.send(*to, msg.clone());
+        }
+        self.retransmissions += self.sent_log.len() as u64;
+        self.arm_retransmit(ctx);
     }
 }
 
 impl Actor<BftMsg> for BftCupActor {
     fn on_start(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        if let Some(members) = self.preset_members.take() {
+            // Membership fixed ahead of the run: no discovery traffic,
+            // straight into view 0 (mirrors `maybe_start_consensus`).
+            self.started_consensus = true;
+            self.members = members;
+            let ids: Vec<u64> = self
+                .members
+                .to_vec()
+                .iter()
+                .map(|j| j.as_u32() as u64)
+                .collect();
+            Self::journal(ctx, J_MEMBERS, &ids);
+            self.enter_view(ctx, 0);
+            // A non-member normally registers as an asker with every
+            // contact it meets during discovery; with discovery skipped,
+            // ask the members directly so their `decide()` dissemination
+            // reaches us (f + 1 matching vouchers decide a non-member).
+            if !self.members.contains(ctx.self_id()) {
+                let members = self.members.clone();
+                for j in &members {
+                    self.asked.insert(j);
+                    self.send_logged(ctx, j, BftMsg::AskDecision);
+                }
+            }
+            self.arm_retransmit(ctx);
+            return;
+        }
         self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.config.f);
         let out = self.sink.start();
-        Self::flush_sink(ctx, out);
+        self.flush_sink_logged(ctx, out);
         self.maybe_start_consensus(ctx);
         self.ask_new_contacts(ctx);
+        self.arm_retransmit(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, BftMsg>, from: ProcessId, msg: BftMsg) {
         match msg {
             BftMsg::Sink(m) => {
                 let out = self.sink.on_message(from, m);
-                Self::flush_sink(ctx, out);
+                self.flush_sink_logged(ctx, out);
                 self.maybe_start_consensus(ctx);
                 self.ask_new_contacts(ctx);
             }
@@ -582,6 +774,13 @@ impl Actor<BftMsg> for BftCupActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, BftMsg>, tag: u64) {
+        // Matched before the view decode (`2 >> 8 == 0` would alias the
+        // view-0 timer) and before the decision early-return: peers may
+        // still need re-announcements after we decide.
+        if tag == RETRANSMIT_TIMER {
+            self.retransmit_round(ctx);
+            return;
+        }
         if self.decision.is_some() || !self.started_consensus {
             return;
         }
@@ -604,6 +803,73 @@ impl Actor<BftMsg> for BftCupActor {
             .insert(ctx.self_id(), own_lock);
         self.enter_view(ctx, next);
         self.maybe_propose(ctx);
+    }
+
+    /// Crash recovery: volatile state is gone, so rebuild from the durable
+    /// journal. Discovery restarts from scratch (`SINK` is deterministic
+    /// on the static knowledge graph, so it re-converges to the same
+    /// verdict, and peers absorb the duplicate traffic). The journalled
+    /// pledges are rehydrated so the rejoining process never contradicts
+    /// what it echoed, locked or decided before the crash, and the
+    /// current-view pledges are re-announced for peers that missed them.
+    fn on_recover(&mut self, ctx: &mut Context<'_, BftMsg>, journal: &dyn Journal) {
+        let retransmissions = self.retransmissions;
+        *self = BftCupActor::new(self.pd.clone(), self.proposal, self.config.clone());
+        self.retransmissions = retransmissions;
+
+        self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.config.f);
+        let out = self.sink.start();
+        self.flush_sink_logged(ctx, out);
+
+        let mut echoes: Vec<(u64, Value)> = Vec::new();
+        for rec in journal.records() {
+            match (rec.tag, &rec.words[..]) {
+                (J_MEMBERS, ids) => {
+                    self.started_consensus = true;
+                    self.members = ids.iter().map(|&w| ProcessId::new(w as u32)).collect();
+                }
+                (J_VIEW, &[view]) => self.view = self.view.max(view),
+                (J_ECHO, &[view, value]) => echoes.push((view, value)),
+                (J_LOCK, &[view, value]) if self.lock.is_none_or(|(v, _)| v <= view) => {
+                    self.lock = Some((view, value));
+                }
+                (J_DECIDE, &[value]) => self.decision = Some(value),
+                _ => {}
+            }
+        }
+        if self.started_consensus {
+            // Membership knowledge was volatile; relearn it.
+            for j in self.members.to_vec() {
+                if j != ctx.self_id() {
+                    ctx.learn(j);
+                }
+            }
+            let view = self.view;
+            // Re-announce (not re-make: the journal already holds them)
+            // the current-view pledges, self-delivering so our own tally
+            // entries are rebuilt too.
+            if let Some(&(_, value)) = echoes.iter().rev().find(|(v, _)| *v == view) {
+                self.echoed_in_view = true;
+                self.send_members(ctx, BftMsg::Echo { view, value });
+                self.self_deliver(ctx, BftMsg::Echo { view, value });
+            }
+            if let Some((lv, value)) = self.lock {
+                if lv == view {
+                    self.committed_in_view = true;
+                    self.send_members(ctx, BftMsg::Commit { view, value });
+                    self.self_deliver(ctx, BftMsg::Commit { view, value });
+                }
+            }
+            match self.decision {
+                Some(value) => self.send_members(ctx, BftMsg::Decide(value)),
+                None => {
+                    let timeout = self.config.view_timeout << view.min(16);
+                    ctx.set_timer(timeout, VIEW_TIMER + (view << 8));
+                }
+            }
+        }
+        self.backoff.reset();
+        self.arm_retransmit(ctx);
     }
 
     fn fork(&self) -> Option<Box<dyn Actor<BftMsg>>> {
@@ -686,6 +952,9 @@ pub struct EquivocatingLeader {
     /// both parities as adversary choice points; sampled runs keep 0.
     split: usize,
     attacked: bool,
+    /// Membership fixed ahead of the run ([`Self::with_members`]): the
+    /// attack bursts at `on_start`, with no discovery participation.
+    preset_members: Option<ProcessSet>,
 }
 
 impl EquivocatingLeader {
@@ -699,12 +968,21 @@ impl EquivocatingLeader {
             values,
             split: 0,
             attacked: false,
+            preset_members: None,
         }
     }
 
     /// Rotates which members receive which of the two conflicting values.
     pub fn with_split(mut self, split: usize) -> Self {
         self.split = split;
+        self
+    }
+
+    /// Fixes the sink membership ahead of the run: the equivocation burst
+    /// fires at `on_start` and discovery is skipped (pair with
+    /// [`BftCupActor::with_members`] on the correct actors).
+    pub fn with_members(mut self, members: ProcessSet) -> Self {
+        self.preset_members = Some(members);
         self
     }
 
@@ -716,7 +994,10 @@ impl EquivocatingLeader {
             return;
         };
         self.attacked = true;
-        let members = verdict.sink.to_vec();
+        self.attack_members(ctx, &verdict.sink.to_vec());
+    }
+
+    fn attack_members(&mut self, ctx: &mut Context<'_, BftMsg>, members: &[ProcessId]) {
         for (idx, j) in members.iter().enumerate() {
             if *j == ctx.self_id() {
                 continue;
@@ -735,6 +1016,11 @@ impl EquivocatingLeader {
 
 impl Actor<BftMsg> for EquivocatingLeader {
     fn on_start(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        if let Some(members) = self.preset_members.take() {
+            self.attacked = true;
+            self.attack_members(ctx, &members.to_vec());
+            return;
+        }
         self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.f);
         let out = self.sink.start();
         BftCupActor::flush_sink(ctx, out);
@@ -932,6 +1218,196 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let (kg, faulty) = generators::random_byzantine_safe(6, 4, 1, &mut rng);
             let sim = run_bftcup(&kg, 1, &faulty, "silent", seed);
+            assert_consensus(&kg, &sim, &faulty);
+        }
+    }
+
+    #[test]
+    fn lossy_network_with_retransmission_still_decides() {
+        use scup_sim::{FaultPlan, LossFault};
+        let kg = generators::fig2();
+        for seed in 0..3 {
+            let config = NetworkConfig::partially_synchronous(100, 10, seed);
+            let mut sim = Simulation::new(kg.clone(), config);
+            let heal = 3_000;
+            sim.set_fault_plan(FaultPlan {
+                loss: Some(LossFault {
+                    prob: 0.35,
+                    until: heal,
+                    links: None,
+                }),
+                ..FaultPlan::default()
+            });
+            for i in kg.processes() {
+                let mut config = BftConfig::new(1, 400);
+                config.retransmit = RetransmitConfig::covering(heal, 10);
+                sim.add_actor(Box::new(BftCupActor::new(
+                    kg.pd(i).clone(),
+                    100 + i.as_u32() as u64,
+                    config,
+                )));
+            }
+            sim.run_while(
+                |s| {
+                    !s.knowledge_graph().processes().all(|i| {
+                        s.actor_as::<BftCupActor>(i)
+                            .is_some_and(|a| a.decision().is_some())
+                    })
+                },
+                2_000_000,
+            );
+            assert!(
+                sim.report().messages_dropped > 0,
+                "seed {seed}: loss must bite"
+            );
+            let v = assert_consensus(&kg, &sim, &ProcessSet::new());
+            assert!((100..107).contains(&v));
+            let retransmitted: u64 = kg
+                .processes()
+                .map(|i| sim.actor_as::<BftCupActor>(i).unwrap().retransmissions())
+                .sum();
+            assert!(retransmitted > 0, "seed {seed}: retransmission must fire");
+        }
+    }
+
+    #[test]
+    fn crashed_sink_member_recovers_and_never_contradicts_pledges() {
+        use scup_sim::{CrashFault, FaultPlan};
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        // Crash a non-leader sink member mid-run; the remaining members
+        // still form a quorum, so consensus proceeds without it.
+        let victim = v_sink.to_vec()[1];
+        for seed in 0..3 {
+            let config = NetworkConfig::partially_synchronous(100, 10, seed);
+            let mut sim = Simulation::new(kg.clone(), config);
+            let recover_at = 4_000;
+            sim.set_fault_plan(FaultPlan {
+                crashes: vec![CrashFault {
+                    process: victim,
+                    at: 600,
+                    recover_at: Some(recover_at),
+                }],
+                ..FaultPlan::default()
+            });
+            for i in kg.processes() {
+                let mut config = BftConfig::new(1, 400);
+                config.retransmit = RetransmitConfig::covering(recover_at, 10);
+                sim.add_actor(Box::new(BftCupActor::new(
+                    kg.pd(i).clone(),
+                    100 + i.as_u32() as u64,
+                    config,
+                )));
+            }
+            sim.run_while(
+                |s| {
+                    // Keep running until the crash–recover cycle actually
+                    // happened (fast seeds decide before the crash tick)
+                    // AND everyone — the recovered member included —
+                    // holds the decision.
+                    s.report().recoveries == 0
+                        || !s.knowledge_graph().processes().all(|i| {
+                            s.actor_as::<BftCupActor>(i)
+                                .is_some_and(|a| a.decision().is_some())
+                        })
+                },
+                2_000_000,
+            );
+            assert_eq!(sim.report().crashes, 1);
+            assert_eq!(sim.report().recoveries, 1);
+            // The recovered member rejoins and adopts the agreed value...
+            let v = assert_consensus(&kg, &sim, &ProcessSet::new());
+            assert!((100..107).contains(&v));
+            // ...without contradicting any durable pledge, on any process.
+            for i in kg.processes() {
+                let violations = journal_contradictions(sim.journal(i));
+                assert!(violations.is_empty(), "seed {seed}, {i}: {violations:?}");
+            }
+            assert!(
+                !sim.journal(victim).is_empty(),
+                "the crashed member journalled nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn preset_members_skip_discovery_and_still_decide() {
+        // `with_members` (the explorer's `preresolve_sink` boot path):
+        // every actor gets the sink membership up front, journals it, and
+        // enters view 0 without running the SINK discovery exchange.
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        for seed in 0..3 {
+            let config = NetworkConfig::partially_synchronous(100, 10, seed);
+            let mut sim = Simulation::new(kg.clone(), config);
+            for i in kg.processes() {
+                sim.add_actor(Box::new(
+                    BftCupActor::new(
+                        kg.pd(i).clone(),
+                        100 + i.as_u32() as u64,
+                        BftConfig::new(1, 400),
+                    )
+                    .with_members(v_sink.clone()),
+                ));
+            }
+            sim.run_while(
+                |s| {
+                    !s.knowledge_graph().processes().all(|i| {
+                        s.actor_as::<BftCupActor>(i)
+                            .is_some_and(|a| a.decision().is_some())
+                    })
+                },
+                2_000_000,
+            );
+            let v = assert_consensus(&kg, &sim, &ProcessSet::new());
+            assert!((100..107).contains(&v));
+            // The membership was journalled at boot, before any traffic.
+            for i in kg.processes() {
+                assert!(
+                    !sim.journal(i).is_empty(),
+                    "{i} must journal its preset membership"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preset_equivocating_leader_attacks_immediately_and_safety_holds() {
+        // The adversary twin of `with_members`: the lying view-0 leader
+        // needs no discovery verdict before splitting the members.
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        let faulty = ProcessSet::from_ids([0]);
+        for seed in 0..3 {
+            let config = NetworkConfig::partially_synchronous(100, 10, seed);
+            let mut sim = Simulation::new(kg.clone(), config);
+            for i in kg.processes() {
+                if faulty.contains(i) {
+                    sim.add_actor(Box::new(
+                        EquivocatingLeader::new(kg.pd(i).clone(), 1, (666, 777))
+                            .with_members(v_sink.clone()),
+                    ));
+                } else {
+                    sim.add_actor(Box::new(
+                        BftCupActor::new(
+                            kg.pd(i).clone(),
+                            100 + i.as_u32() as u64,
+                            BftConfig::new(1, 400),
+                        )
+                        .with_members(v_sink.clone()),
+                    ));
+                }
+            }
+            sim.run_while(
+                |s| {
+                    !s.knowledge_graph().processes().all(|i| {
+                        faulty.contains(i)
+                            || s.actor_as::<BftCupActor>(i)
+                                .is_some_and(|a| a.decision().is_some())
+                    })
+                },
+                2_000_000,
+            );
             assert_consensus(&kg, &sim, &faulty);
         }
     }

@@ -65,7 +65,7 @@ pub struct Campaign {
 }
 
 /// The outcome of one `(scenario, seed)` run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Scenario name.
     pub scenario: String,
@@ -107,6 +107,16 @@ pub struct RunRecord {
     pub hot_process: u32,
     /// Messages sent by that process.
     pub hot_sent: u64,
+    /// Messages lost to the fault plan (0 without one).
+    pub messages_dropped: u64,
+    /// Extra deliveries injected by duplication faults.
+    pub messages_duplicated: u64,
+    /// Crash events executed by the fault plan.
+    pub crashes: u64,
+    /// Recovery events executed by the fault plan.
+    pub recoveries: u64,
+    /// Messages re-sent by the protocols' retransmission layer.
+    pub retransmissions: u64,
     /// Simulated end time.
     pub end_ticks: u64,
     /// Wall-clock duration of the run, microseconds.
@@ -231,8 +241,10 @@ pub fn run_one(scenario: &Scenario, seed: u64, registry: &AdversaryRegistry) -> 
         faulty: Vec::new(),
         invariants: InvariantReport {
             termination: false,
+            termination_required: true,
             agreement: false,
             validity: None,
+            pledges_ok: true,
             premise: false,
             violations: Vec::new(),
         },
@@ -247,6 +259,11 @@ pub fn run_one(scenario: &Scenario, seed: u64, registry: &AdversaryRegistry) -> 
         commits_confirmed: 0,
         hot_process: 0,
         hot_sent: 0,
+        messages_dropped: 0,
+        messages_duplicated: 0,
+        crashes: 0,
+        recoveries: 0,
+        retransmissions: 0,
         end_ticks: 0,
         wall_micros: 0,
         passed: false,
@@ -296,6 +313,8 @@ fn run_configured(
     let faulty = topology::place_faults(&scenario.faults, &kg, generated, seed)?;
     record.faulty = faulty.iter().map(|p| p.as_u32()).collect();
 
+    let plan = scenario.fault_plan.to_plan();
+    plan.validate(kg.n())?;
     let output = protocol::execute(
         scenario.protocol,
         &kg,
@@ -303,17 +322,23 @@ fn run_configured(
         &faulty,
         adversary,
         &scenario.network,
+        &scenario.fault_plan,
         scenario.resolved_inputs(kg.n()),
         seed,
     );
 
-    let invariants = oracle::evaluate(
+    // Graceful degradation: a plan that heals (or injects nothing) must
+    // still terminate; an unhealed plan only owes safety.
+    let termination_required = plan.is_zero() || plan.heal_tick().is_some();
+    let invariants = oracle::evaluate_degraded(
         &kg,
         scenario.f,
         &faulty,
         &output.inputs,
         &output.decisions,
         adversary,
+        termination_required,
+        &output.pledge_violations,
     );
 
     record.decided_value = if invariants.agreement {
@@ -344,6 +369,11 @@ fn run_configured(
         record.hot_process = id as u32;
         record.hot_sent = stats.sent;
     }
+    record.messages_dropped = output.messages_dropped;
+    record.messages_duplicated = output.messages_duplicated;
+    record.crashes = output.crashes;
+    record.recoveries = output.recoveries;
+    record.retransmissions = output.retransmissions;
     record.end_ticks = output.end_ticks;
     Ok(())
 }
@@ -401,7 +431,9 @@ impl RunRecord {
                 "oracles",
                 Json::obj([
                     ("termination", Json::Bool(inv.termination)),
+                    ("termination_required", Json::Bool(inv.termination_required)),
                     ("agreement", Json::Bool(inv.agreement)),
+                    ("pledges_ok", Json::Bool(inv.pledges_ok)),
                     (
                         "validity",
                         inv.validity.map(Json::Bool).unwrap_or(Json::Null),
@@ -449,6 +481,14 @@ impl RunRecord {
                     ),
                     ("hot_process", Json::Int(self.hot_process as i64)),
                     ("hot_sent", Json::Int(self.hot_sent as i64)),
+                    ("messages_dropped", Json::Int(self.messages_dropped as i64)),
+                    (
+                        "messages_duplicated",
+                        Json::Int(self.messages_duplicated as i64),
+                    ),
+                    ("crashes", Json::Int(self.crashes as i64)),
+                    ("recoveries", Json::Int(self.recoveries as i64)),
+                    ("retransmissions", Json::Int(self.retransmissions as i64)),
                 ]),
             ),
             ("end_ticks", Json::Int(self.end_ticks as i64)),
@@ -489,6 +529,25 @@ mod tests {
                     .faults(FaultPlacement::None)
                     .seeds(0, 2)
                     .build(),
+                // A healing fault plan: loss + a crash–recover cycle, so
+                // the fault-plane counters are live in these tests.
+                Scenario::builder("fig2-nemesis")
+                    .topology(TopologySpec::Fig2)
+                    .faults(FaultPlacement::Ids(vec![5]))
+                    .fault_plan(crate::scenario::FaultSpec {
+                        loss: 0.3,
+                        loss_until: 1_500,
+                        crash: vec![2],
+                        crash_at: 300,
+                        recover_at: Some(2_000),
+                        ..Default::default()
+                    })
+                    .network(crate::scenario::NetworkSpec {
+                        max_ticks: 100_000,
+                        ..Default::default()
+                    })
+                    .seeds(0, 2)
+                    .build(),
             ],
         }
     }
@@ -496,7 +555,7 @@ mod tests {
     #[test]
     fn campaign_runs_and_passes() {
         let report = tiny_campaign(2).run();
-        assert_eq!(report.runs.len(), 5);
+        assert_eq!(report.runs.len(), 7);
         for run in &report.runs {
             assert!(
                 run.passed,
@@ -510,6 +569,23 @@ mod tests {
                 // The SCP phase ran: ballot-phase counters must show it.
                 assert!(run.ballots_started > 0, "scp ballot counters populate");
                 assert!(run.commits_confirmed > 0);
+            }
+            if run.scenario == "fig2-nemesis" {
+                // The fault plane ran: its counters must show it, and the
+                // healing plan still owes (and delivers) termination.
+                assert!(run.messages_dropped > 0, "loss counters populate");
+                // One planned crash–recover cycle, but the two pipeline
+                // phases (knowledge-increase, consensus) run on
+                // independent sim clocks and each installs the plan — so
+                // the cycle fires once per phase.
+                assert_eq!((run.crashes, run.recoveries), (2, 2));
+                assert!(run.retransmissions > 0, "retransmission populates");
+                assert!(run.invariants.termination_required);
+                assert!(run.invariants.termination);
+            } else {
+                // Fault-free scenarios never touch the fault plane.
+                assert_eq!(run.messages_dropped + run.messages_duplicated, 0);
+                assert_eq!(run.crashes + run.recoveries + run.retransmissions, 0);
             }
         }
         assert!(report.all_passed());
@@ -539,6 +615,12 @@ mod tests {
                 );
                 assert_eq!((x.hot_process, x.hot_sent), (y.hot_process, y.hot_sent));
                 assert_eq!(x.end_ticks, y.end_ticks);
+                // The fault plane draws from the per-run RNG stream, so
+                // its counters are part of the determinism contract too.
+                assert_eq!(x.messages_dropped, y.messages_dropped);
+                assert_eq!(x.messages_duplicated, y.messages_duplicated);
+                assert_eq!((x.crashes, x.recoveries), (y.crashes, y.recoveries));
+                assert_eq!(x.retransmissions, y.retransmissions);
                 assert_eq!(x.invariants, y.invariants);
                 assert_eq!(x.passed, y.passed);
                 assert_eq!(x.error, y.error);

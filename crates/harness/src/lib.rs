@@ -66,5 +66,6 @@ pub use campaign::{Campaign, CampaignMode, CampaignReport, RunRecord};
 pub use oracle::InvariantReport;
 pub use parse::campaign_from_str;
 pub use scenario::{
-    ExploreSpec, FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec,
+    ExploreSpec, FaultPlacement, FaultSpec, NetworkSpec, OracleMode, ProtocolSpec, Scenario,
+    TopologySpec,
 };

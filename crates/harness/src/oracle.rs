@@ -31,11 +31,20 @@ use crate::scenario::OracleMode;
 pub struct InvariantReport {
     /// Every correct process decided.
     pub termination: bool,
+    /// Whether termination is *demanded*: `false` when the scenario's
+    /// fault plan never heals (an unbounded loss window, a partition with
+    /// no end, a crash without recovery). Safety oracles apply either
+    /// way — graceful degradation means a faulted system may stall but
+    /// must never contradict itself.
+    pub termination_required: bool,
     /// All correct decisions are equal.
     pub agreement: bool,
     /// Decided value was proposed by a correct process; `None` when the
     /// adversary may inject values (not judged).
     pub validity: Option<bool>,
+    /// No recovered process contradicted the pledges it journaled before
+    /// crashing (vacuously `true` without crash faults).
+    pub pledges_ok: bool,
     /// The structural premise of the paper's positive theorems held for
     /// this graph and faulty set.
     pub premise: bool,
@@ -44,9 +53,14 @@ pub struct InvariantReport {
 }
 
 impl InvariantReport {
-    /// `true` when all applicable oracles hold.
+    /// `true` when all applicable oracles hold: safety (agreement,
+    /// validity, pledge durability) unconditionally, termination only
+    /// when the fault plan heals.
     pub fn holds(&self) -> bool {
-        self.termination && self.agreement && self.validity.unwrap_or(true)
+        (self.termination || !self.termination_required)
+            && self.agreement
+            && self.validity.unwrap_or(true)
+            && self.pledges_ok
     }
 
     /// Whether this run passes under the given oracle mode.
@@ -59,7 +73,8 @@ impl InvariantReport {
     }
 }
 
-/// Evaluates the oracles for one run.
+/// Evaluates the oracles for one fault-free run (termination required,
+/// no durability findings to judge).
 ///
 /// `decisions[i]` is process `i`'s decided value (`None` when undecided or
 /// faulty); `inputs[i]` its proposal.
@@ -71,6 +86,25 @@ pub fn evaluate(
     decisions: &[Option<Value>],
     adversary: AdversaryKind,
 ) -> InvariantReport {
+    evaluate_degraded(kg, f, faulty, inputs, decisions, adversary, true, &[])
+}
+
+/// Evaluates the oracles for one run under a fault plan: the
+/// graceful-degradation contract. `termination_required` is `false` when
+/// the plan never heals (the run may stall without failing);
+/// `pledge_violations` are the durability oracle's findings — each one is
+/// a safety violation no mode short of `observe` forgives.
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's fields
+pub fn evaluate_degraded(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    inputs: &[Value],
+    decisions: &[Option<Value>],
+    adversary: AdversaryKind,
+    termination_required: bool,
+    pledge_violations: &[String],
+) -> InvariantReport {
     let mut violations = Vec::new();
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
 
@@ -81,7 +115,7 @@ pub fn evaluate(
         .filter(|i| decisions[i.index()].is_none())
         .collect();
     let termination = undecided.is_empty();
-    if !termination {
+    if !termination && termination_required {
         violations.push(format!(
             "termination: {} of {} correct processes undecided ({})",
             undecided.len(),
@@ -125,6 +159,12 @@ pub fn evaluate(
         None
     };
 
+    // Durability: a recovered process must honor its pre-crash pledges.
+    let pledges_ok = pledge_violations.is_empty();
+    for v in pledge_violations {
+        violations.push(format!("durability: {v}"));
+    }
+
     // Structural premise, straight from the scup predicates.
     let all = kg.graph().vertex_set();
     let correct_set = all.difference(faulty);
@@ -134,8 +174,10 @@ pub fn evaluate(
 
     InvariantReport {
         termination,
+        termination_required,
         agreement,
         validity,
+        pledges_ok,
         premise,
         violations,
     }
@@ -267,5 +309,71 @@ mod tests {
         assert!(!r.holds());
         assert!(r.passes(OracleMode::Conditional));
         assert!(!r.passes(OracleMode::Require));
+    }
+
+    #[test]
+    fn unhealed_plan_forgives_stalls_but_not_splits() {
+        let kg = generators::fig2();
+        // Two processes stalled under an unhealed fault plan: not a
+        // violation — termination is not owed.
+        let mut decisions = vec![Some(100); 7];
+        decisions[2] = None;
+        decisions[6] = None;
+        let r = evaluate_degraded(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+            false,
+            &[],
+        );
+        assert!(!r.termination && !r.termination_required);
+        assert!(r.holds(), "{:?}", r.violations);
+        assert!(r.violations.is_empty());
+        assert!(r.passes(OracleMode::Require));
+        // But a split among the processes that DID decide stays a safety
+        // violation whatever the plan.
+        decisions[3] = Some(101);
+        let split = evaluate_degraded(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+            false,
+            &[],
+        );
+        assert!(!split.agreement && !split.holds());
+        assert!(!split.passes(OracleMode::Require));
+    }
+
+    #[test]
+    fn pledge_violations_are_safety_not_liveness() {
+        let kg = generators::fig2();
+        let decisions = vec![Some(100); 7];
+        let findings = vec!["p2 re-voted prepare(1, 7) below its journaled lock".to_string()];
+        let r = evaluate_degraded(
+            &kg,
+            1,
+            &ProcessSet::new(),
+            &fig2_inputs(),
+            &decisions,
+            AdversaryKind::Silent,
+            true,
+            &findings,
+        );
+        assert!(!r.pledges_ok);
+        assert!(r.termination && r.agreement, "only durability is at fault");
+        assert!(!r.holds());
+        // Safety: conditional mode must NOT forgive it (the premise
+        // holds here), and even a premise failure would not — only
+        // observe mode records without judging.
+        assert!(!r.passes(OracleMode::Require));
+        assert!(!r.passes(OracleMode::Conditional));
+        assert!(r.passes(OracleMode::Observe));
+        assert!(r.violations.iter().any(|v| v.starts_with("durability:")));
     }
 }

@@ -23,7 +23,8 @@
 use crate::campaign::{Campaign, CampaignMode};
 use crate::json::{self, Json};
 use crate::scenario::{
-    ExploreSpec, FaultPlacement, NetworkSpec, OracleMode, ProtocolSpec, Scenario, TopologySpec,
+    ExploreSpec, FaultPlacement, FaultSpec, NetworkSpec, OracleMode, ProtocolSpec, Scenario,
+    TopologySpec,
 };
 use stellar_cup::attempts::LocalSliceStrategy;
 
@@ -113,6 +114,9 @@ fn validate_explore_knobs(doc: &Json, s: &Scenario) -> Result<(), String> {
     if let Some(err) = s.explore_discovery_unsupported(value_injecting) {
         return Err(err);
     }
+    if let Some(err) = s.preresolve_sink_unsupported() {
+        return Err(err);
+    }
     Ok(())
 }
 
@@ -134,6 +138,7 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         .to_string();
 
     let faults = faults_from_json(doc, f)?;
+    let fault_plan = fault_spec_from_json(doc)?;
     let protocol = protocol_from_json(doc)?;
 
     let defaults = NetworkSpec::default();
@@ -206,6 +211,10 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
             None => defaults.explore_discovery,
             Some(v) => v.as_bool().ok_or("`explore_discovery` must be a boolean")?,
         },
+        preresolve_sink: match doc.get("preresolve_sink") {
+            None => defaults.preresolve_sink,
+            Some(v) => v.as_bool().ok_or("`preresolve_sink` must be a boolean")?,
+        },
     };
 
     Ok(Scenario {
@@ -214,6 +223,7 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         f,
         adversary,
         faults,
+        fault_plan,
         protocol,
         network,
         seeds,
@@ -222,6 +232,82 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         inputs,
         explore,
     })
+}
+
+/// Reads the `faults = { ... }` inline table into a [`FaultSpec`]; absent
+/// key = the zero spec. Unknown keys are an error — a typo like
+/// `los = 0.3` silently becoming a fault-free run would defeat the
+/// campaign.
+fn fault_spec_from_json(doc: &Json) -> Result<FaultSpec, String> {
+    let Some(table) = doc.get("faults") else {
+        return Ok(FaultSpec::default());
+    };
+    let Json::Obj(fields) = table else {
+        return Err("`faults` must be an inline table, e.g. \
+                    faults = { loss = 0.3, loss_until = 2000 }"
+            .into());
+    };
+    const KNOWN: &[&str] = &[
+        "loss",
+        "loss_until",
+        "dup",
+        "dup_until",
+        "extra_delay",
+        "extra_delay_until",
+        "partition",
+        "partition_from",
+        "partition_until",
+        "crash",
+        "crash_at",
+        "recover_at",
+        "retransmit",
+    ];
+    for (key, _) in fields {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown `faults` key `{key}`; known: {}",
+                KNOWN.join(", ")
+            ));
+        }
+    }
+    let ids = |key: &str| -> Result<Vec<u32>, String> {
+        match table.get(key) {
+            None => Ok(Vec::new()),
+            Some(v) => {
+                let arr = v
+                    .as_arr()
+                    .ok_or(format!("`faults.{key}` must be an array of ids"))?;
+                arr.iter()
+                    .map(|item| {
+                        item.as_i64()
+                            .filter(|&id| id >= 0)
+                            .map(|id| id as u32)
+                            .ok_or(format!("`faults.{key}` ids must be non-negative integers"))
+                    })
+                    .collect()
+            }
+        }
+    };
+    let d = FaultSpec::default();
+    let spec = FaultSpec {
+        loss: get_f64(table, "loss")?.unwrap_or(d.loss),
+        loss_until: get_u64(table, "loss_until")?.unwrap_or(d.loss_until),
+        dup: get_f64(table, "dup")?.unwrap_or(d.dup),
+        dup_until: get_u64(table, "dup_until")?.unwrap_or(d.dup_until),
+        extra_delay: get_u64(table, "extra_delay")?.unwrap_or(d.extra_delay),
+        extra_delay_until: get_u64(table, "extra_delay_until")?.unwrap_or(d.extra_delay_until),
+        partition: ids("partition")?,
+        partition_from: get_u64(table, "partition_from")?.unwrap_or(d.partition_from),
+        partition_until: get_u64(table, "partition_until")?.unwrap_or(d.partition_until),
+        crash: ids("crash")?,
+        crash_at: get_u64(table, "crash_at")?.unwrap_or(d.crash_at),
+        recover_at: get_u64(table, "recover_at")?,
+        retransmit: match table.get("retransmit") {
+            None => d.retransmit,
+            Some(v) => v.as_bool().ok_or("`faults.retransmit` must be a boolean")?,
+        },
+    };
+    Ok(spec)
 }
 
 fn topology_from_json(doc: &Json) -> Result<TopologySpec, String> {
@@ -432,6 +518,29 @@ pub fn toml_to_json(input: &str) -> Result<Json, String> {
     Ok(Json::Obj(top))
 }
 
+/// Splits on top-level commas, respecting brackets, braces and quotes —
+/// the separator logic nested arrays and inline tables share.
+fn split_top_level(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut start = 0;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' | '{' if !in_string => depth += 1,
+            ']' | '}' if !in_string => depth = depth.saturating_sub(1),
+            ',' if !in_string && depth == 0 => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
 /// Drops a `#` comment, respecting quoted strings.
 fn strip_comment(line: &str) -> &str {
     let mut in_string = false;
@@ -462,11 +571,37 @@ fn parse_toml_value(text: &str) -> Result<Json, String> {
         if inner.is_empty() {
             return Ok(Json::Arr(Vec::new()));
         }
-        let items = inner
-            .split(',')
+        let items = split_top_level(inner)
+            .into_iter()
             .map(|item| parse_toml_value(item.trim()))
             .collect::<Result<Vec<_>, _>>()?;
         return Ok(Json::Arr(items));
+    }
+    if let Some(inner) = text.strip_prefix('{') {
+        let inner = inner.strip_suffix('}').ok_or("unterminated inline table")?;
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Json::Obj(Vec::new()));
+        }
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        for item in split_top_level(inner) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or("inline table entries need `key = value`")?;
+            let key = key.trim();
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(format!("bad inline-table key `{key}`"));
+            }
+            if fields.iter().any(|(k, _)| k == key) {
+                return Err(format!("duplicate inline-table key `{key}`"));
+            }
+            fields.push((key.to_string(), parse_toml_value(value.trim())?));
+        }
+        return Ok(Json::Obj(fields));
     }
     match text {
         "true" => return Ok(Json::Bool(true)),
@@ -688,6 +823,73 @@ explore_discovery = true
         let err = campaign_from_str(text).unwrap_err();
         assert!(err.contains("`stack-equiv`"), "{err}");
         assert!(err.contains("equivocate"), "{err}");
+    }
+
+    #[test]
+    fn faults_inline_table_parses_and_rejects_typos() {
+        let text = r#"
+name = "x"
+
+[[scenario]]
+name = "lossy"
+topology = "fig2"
+faulty = [5]
+faults = { loss = 0.3, loss_until = 2000, partition = [0, 1], partition_from = 50, partition_until = 900, crash = [2], crash_at = 300, recover_at = 2500, retransmit = false }
+"#;
+        let c = campaign_from_str(text).unwrap();
+        let spec = &c.scenarios[0].fault_plan;
+        assert_eq!((spec.loss, spec.loss_until), (0.3, 2000));
+        assert_eq!(spec.partition, vec![0, 1]);
+        assert_eq!((spec.partition_from, spec.partition_until), (50, 900));
+        assert_eq!((spec.crash.clone(), spec.crash_at), (vec![2], 300));
+        assert_eq!(spec.recover_at, Some(2500));
+        assert!(!spec.retransmit);
+        // Unstated windows never heal; unstated knobs stay zero.
+        assert_eq!(spec.dup, 0.0);
+        assert_eq!(spec.loss_until, 2000);
+        assert!(spec.to_plan().heal_tick().is_some());
+        // A typo'd key is an error listing the known ones, not a
+        // silently inert fault plan.
+        let typo = text.replace("loss = 0.3", "los = 0.3");
+        let err = campaign_from_str(&typo).unwrap_err();
+        assert!(err.contains("unknown `faults` key `los`"), "{err}");
+        assert!(err.contains("loss_until"), "{err}");
+        // No `faults` key at all is the zero plan.
+        let plain = campaign_from_str(
+            "name = \"x\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig2\"\nfaulty = [5]\n",
+        )
+        .unwrap();
+        assert!(plain.scenarios[0].fault_plan.to_plan().is_zero());
+    }
+
+    #[test]
+    fn preresolve_sink_parses_and_is_bftcup_only() {
+        let text = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "handoff"
+topology = "fig1"
+protocol = "bft-cup"
+preresolve_sink = true
+timer_budget = 2
+"#;
+        let c = campaign_from_str(text).unwrap();
+        assert!(c.scenarios[0].explore.preresolve_sink);
+        assert_eq!(c.scenarios[0].explore.timer_budget, 2);
+        // Default off.
+        let without = text.replace("preresolve_sink = true\n", "");
+        let c = campaign_from_str(&without).unwrap();
+        assert!(!c.scenarios[0].explore.preresolve_sink);
+        // The knob skips the in-schedule discovery phase, which only
+        // BFT-CUP runs — the SCP drivers resolve the sink through their
+        // pre-computed slices already.
+        let scp = text.replace("protocol = \"bft-cup\"\n", "");
+        let err = campaign_from_str(&scp).unwrap_err();
+        assert!(err.contains("`handoff`"), "{err}");
+        assert!(err.contains("`preresolve_sink = true`"), "{err}");
+        assert!(err.contains("bft-cup"), "{err}");
     }
 
     #[test]

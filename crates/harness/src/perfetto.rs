@@ -68,6 +68,38 @@ pub fn sim_trace_to_chrome(
                 tid: process.as_u32() + 1,
                 args: vec![("tag", ArgValue::U64(*tag))],
             }),
+            TraceEvent::Dropped {
+                at,
+                from,
+                to,
+                payload,
+            } => out.push(ChromeEvent::Instant {
+                name: format!("drop {from}->{to}"),
+                cat: "fault",
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: from.as_u32() + 1,
+                args: vec![
+                    ("payload", ArgValue::Str(payload.clone())),
+                    ("to", ArgValue::U64(to.as_u32() as u64)),
+                ],
+            }),
+            TraceEvent::Crashed { at, process } => out.push(ChromeEvent::Instant {
+                name: "crash".into(),
+                cat: "fault",
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: process.as_u32() + 1,
+                args: Vec::new(),
+            }),
+            TraceEvent::Recovered { at, process } => out.push(ChromeEvent::Instant {
+                name: "recover".into(),
+                cat: "fault",
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: process.as_u32() + 1,
+                args: Vec::new(),
+            }),
         }
     }
     out
@@ -103,6 +135,7 @@ pub fn trace_first_seeds(campaign: &Campaign) -> Vec<ChromeEvent> {
                     &faulty,
                     adversary,
                     &scenario.network,
+                    &scenario.fault_plan,
                     scenario.resolved_inputs(kg.n()),
                     seed,
                     true,
@@ -129,7 +162,11 @@ pub fn trace_first_seeds(campaign: &Campaign) -> Vec<ChromeEvent> {
             .iter()
             .map(|e| match e {
                 TraceEvent::Sent { deliver_at, .. } => deliver_at.ticks(),
-                TraceEvent::Delivered { at, .. } | TraceEvent::Timer { at, .. } => at.ticks(),
+                TraceEvent::Delivered { at, .. }
+                | TraceEvent::Timer { at, .. }
+                | TraceEvent::Dropped { at, .. }
+                | TraceEvent::Crashed { at, .. }
+                | TraceEvent::Recovered { at, .. } => at.ticks(),
             })
             .max()
             .unwrap_or(0);

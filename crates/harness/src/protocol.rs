@@ -11,7 +11,7 @@ use stellar_cup::consensus::{self, EndToEndConfig};
 use stellar_cup::sink_detector::GetSinkMode;
 
 use crate::adversary::AdversaryKind;
-use crate::scenario::{NetworkSpec, ProtocolSpec};
+use crate::scenario::{FaultSpec, NetworkSpec, ProtocolSpec};
 
 /// What one protocol execution produced.
 #[derive(Debug, Clone)]
@@ -36,6 +36,20 @@ pub struct ProtocolOutput {
     /// Per-node SCP counters (message traffic, ballot-phase
     /// confirmations); empty for protocols without an SCP phase.
     pub node_stats: Vec<NodeStats>,
+    /// Messages lost to the fault plan across all phases (0 without one).
+    pub messages_dropped: u64,
+    /// Extra deliveries injected by duplication faults.
+    pub messages_duplicated: u64,
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Recovery events executed.
+    pub recoveries: u64,
+    /// Messages re-sent by the protocol's retransmission layer.
+    pub retransmissions: u64,
+    /// Durability-oracle findings: a correct process whose post-recovery
+    /// journal contradicts its pre-crash pledges (always a safety bug,
+    /// regardless of oracle mode).
+    pub pledge_violations: Vec<String>,
 }
 
 /// Runs one protocol execution. `inputs` must have one proposal per
@@ -48,11 +62,12 @@ pub fn execute(
     faulty: &ProcessSet,
     adversary: AdversaryKind,
     network: &NetworkSpec,
+    fault_plan: &FaultSpec,
     inputs: Vec<Value>,
     seed: u64,
 ) -> ProtocolOutput {
     execute_traced(
-        protocol, kg, f, faulty, adversary, network, inputs, seed, false,
+        protocol, kg, f, faulty, adversary, network, fault_plan, inputs, seed, false,
     )
     .0
 }
@@ -70,6 +85,7 @@ pub fn execute_traced(
     faulty: &ProcessSet,
     adversary: AdversaryKind,
     network: &NetworkSpec,
+    fault_plan: &FaultSpec,
     inputs: Vec<Value>,
     seed: u64,
     trace: bool,
@@ -77,11 +93,13 @@ pub fn execute_traced(
     debug_assert_eq!(inputs.len(), kg.n());
     match protocol {
         ProtocolSpec::StellarMinimal => {
-            let mut config = pipeline_config(adversary, network, inputs, seed);
+            let mut config = pipeline_config(adversary, network, fault_plan, inputs, seed);
             config.trace = trace;
             let outcome = consensus::run_end_to_end(kg, f, faulty, &config);
             let mut combined = outcome.sd_report.clone();
             combined.absorb(&outcome.scp_report);
+            let retransmissions = outcome.node_stats.iter().map(|s| s.retransmissions).sum();
+            let pledge_violations = scp_pledge_violations(kg, faulty, &outcome.scp_journals);
             let output = ProtocolOutput {
                 inputs: outcome.inputs,
                 decisions: outcome.decisions,
@@ -92,13 +110,21 @@ pub fn execute_traced(
                 end_ticks: outcome.scp_report.end_time.ticks(),
                 per_process: combined.per_process,
                 node_stats: outcome.node_stats,
+                messages_dropped: combined.messages_dropped,
+                messages_duplicated: combined.messages_duplicated,
+                crashes: combined.crashes,
+                recoveries: combined.recoveries,
+                retransmissions,
+                pledge_violations,
             };
             (output, outcome.sd_trace, outcome.scp_trace)
         }
         ProtocolSpec::StellarLocal(strategy) => {
-            let mut config = pipeline_config(adversary, network, inputs, seed);
+            let mut config = pipeline_config(adversary, network, fault_plan, inputs, seed);
             config.trace = trace;
             let outcome = consensus::run_local_slices_pipeline(kg, f, faulty, strategy, &config);
+            let retransmissions = outcome.node_stats.iter().map(|s| s.retransmissions).sum();
+            let pledge_violations = scp_pledge_violations(kg, faulty, &outcome.scp_journals);
             let output = ProtocolOutput {
                 inputs: outcome.inputs,
                 decisions: outcome.decisions,
@@ -109,20 +135,48 @@ pub fn execute_traced(
                 end_ticks: outcome.scp_report.end_time.ticks(),
                 per_process: outcome.scp_report.per_process.clone(),
                 node_stats: outcome.node_stats,
+                messages_dropped: outcome.scp_report.messages_dropped,
+                messages_duplicated: outcome.scp_report.messages_duplicated,
+                crashes: outcome.scp_report.crashes,
+                recoveries: outcome.scp_report.recoveries,
+                retransmissions,
+                pledge_violations,
             };
             (output, Vec::new(), outcome.scp_trace)
         }
         ProtocolSpec::BftCup => {
-            let (output, events) =
-                run_bftcup(kg, f, faulty, adversary, network, inputs, seed, trace);
+            let (output, events) = run_bftcup(
+                kg, f, faulty, adversary, network, fault_plan, inputs, seed, trace,
+            );
             (output, Vec::new(), events)
         }
     }
 }
 
+/// Re-reads each correct process's SCP journal through the durability
+/// oracle, prefixing findings with the process id.
+fn scp_pledge_violations(
+    kg: &KnowledgeGraph,
+    faulty: &ProcessSet,
+    journals: &[scup_sim::MemJournal],
+) -> Vec<String> {
+    kg.processes()
+        .filter(|i| !faulty.contains(*i))
+        .flat_map(|i| {
+            journals
+                .get(i.index())
+                .map(|j| scup_scp::journal_contradictions(j))
+                .unwrap_or_default()
+                .into_iter()
+                .map(move |v| format!("process {i}: {v}"))
+        })
+        .collect()
+}
+
 fn pipeline_config(
     adversary: AdversaryKind,
     network: &NetworkSpec,
+    fault_plan: &FaultSpec,
     inputs: Vec<Value>,
     seed: u64,
 ) -> EndToEndConfig {
@@ -135,6 +189,8 @@ fn pipeline_config(
         inputs: Some(inputs),
         max_ticks: network.max_ticks,
         trace: false,
+        faults: fault_plan.to_plan(),
+        retransmit: fault_plan.retransmit_config(network),
     }
 }
 
@@ -147,6 +203,7 @@ fn run_bftcup(
     faulty: &ProcessSet,
     adversary: AdversaryKind,
     network: &NetworkSpec,
+    fault_plan: &FaultSpec,
     inputs: Vec<Value>,
     seed: u64,
     trace: bool,
@@ -156,9 +213,14 @@ fn run_bftcup(
     if trace {
         sim.enable_trace();
     }
+    let plan = fault_plan.to_plan();
+    if !plan.is_zero() {
+        sim.set_fault_plan(plan);
+    }
     // View timeout must comfortably exceed pre-GST delays or view changes
     // churn; 500 matches the workspace's experiment binaries.
-    let bft_config = BftConfig::new(f, (network.delta * 4).max(500));
+    let mut bft_config = BftConfig::new(f, (network.delta * 4).max(500));
+    bft_config.retransmit = fault_plan.retransmit_config(network);
 
     for i in kg.processes() {
         if faulty.contains(i) {
@@ -185,20 +247,37 @@ fn run_bftcup(
     }
 
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
+    // Planned crash–recover cycles must actually run (and the recovered
+    // node rejoin) before the sim may stop on all-decided.
+    let want_recoveries = fault_plan.planned_recoveries();
     let report = sim.run_while(
         |s| {
-            !correct.iter().all(|&i| {
-                s.actor_as::<BftCupActor>(i)
-                    .is_some_and(|a| a.decision().is_some())
-            })
+            s.report().recoveries < want_recoveries
+                || !correct.iter().all(|&i| {
+                    s.actor_as::<BftCupActor>(i)
+                        .is_some_and(|a| a.decision().is_some())
+                })
         },
         network.max_ticks,
     );
-    let decisions = kg
+    let decisions: Vec<Option<Value>> = kg
         .processes()
         .map(|i| {
             sim.actor_as::<BftCupActor>(i)
                 .and_then(BftCupActor::decision)
+        })
+        .collect();
+    let retransmissions = correct
+        .iter()
+        .filter_map(|&i| sim.actor_as::<BftCupActor>(i))
+        .map(BftCupActor::retransmissions)
+        .sum();
+    let pledge_violations: Vec<String> = correct
+        .iter()
+        .flat_map(|&i| {
+            scup_cup::bftcup::journal_contradictions(sim.journal(i))
+                .into_iter()
+                .map(move |v| format!("process {i}: {v}"))
         })
         .collect();
 
@@ -213,6 +292,12 @@ fn run_bftcup(
         per_process: report.per_process,
         // BFT-CUP has no SCP ballot machinery to count.
         node_stats: Vec::new(),
+        messages_dropped: report.messages_dropped,
+        messages_duplicated: report.messages_duplicated,
+        crashes: report.crashes,
+        recoveries: report.recoveries,
+        retransmissions,
+        pledge_violations,
     };
     let events = sim.trace().events().to_vec();
     (output, events)
@@ -236,6 +321,7 @@ mod tests {
             &faulty,
             AdversaryKind::Silent,
             &NetworkSpec::default(),
+            &FaultSpec::default(),
             (0..7).map(|i| 100 + i as Value).collect(),
             0,
         );
@@ -260,6 +346,7 @@ mod tests {
             &ProcessSet::new(),
             AdversaryKind::Silent,
             &NetworkSpec::default(),
+            &FaultSpec::default(),
             (0..8).map(|i| 100 + i as Value).collect(),
             3,
         );
@@ -278,6 +365,7 @@ mod tests {
             &ProcessSet::new(),
             AdversaryKind::Silent,
             &NetworkSpec::default(),
+            &FaultSpec::default(),
             (0..7).map(|i| 100 + i as Value).collect(),
             1,
         );

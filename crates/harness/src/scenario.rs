@@ -6,6 +6,10 @@
 //! (TOML or JSON) deserialize into this type; the builder serves
 //! programmatic use.
 
+use scup_graph::{ProcessId, ProcessSet};
+use scup_sim::{
+    CrashFault, DelayFault, DupFault, FaultPlan, LossFault, Partition, RetransmitConfig,
+};
 use stellar_cup::attempts::LocalSliceStrategy;
 
 /// A parameterized topology family.
@@ -134,6 +138,132 @@ pub enum FaultPlacement {
     },
     /// A fixed list of (0-based) process ids.
     Ids(Vec<u32>),
+}
+
+/// Declarative fault-injection spec: the flat, campaign-file-friendly
+/// mirror of [`scup_sim::FaultPlan`], written in TOML as an inline table:
+///
+/// ```toml
+/// faults = { loss = 0.3, loss_until = 2000, crash = [2], crash_at = 300, recover_at = 1500 }
+/// ```
+///
+/// Every window field defaults to `u64::MAX` ("never heals") so a fault
+/// with no explicit end is deliberately unhealed — the graceful-
+/// degradation oracle then requires safety but not termination. The
+/// default spec ([`FaultSpec::default`]) maps to the zero plan, which is
+/// guaranteed not to perturb the delivery schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Probabilistic per-message loss probability (0 = off).
+    pub loss: f64,
+    /// First tick at which loss heals.
+    pub loss_until: u64,
+    /// Probabilistic duplication probability (0 = off).
+    pub dup: f64,
+    /// First tick at which duplication heals.
+    pub dup_until: u64,
+    /// Extra worst-case delivery latency in ticks (0 = off).
+    pub extra_delay: u64,
+    /// First tick at which latency returns to the `Δ` contract.
+    pub extra_delay_until: u64,
+    /// One side of a partition cut (empty = no partition).
+    pub partition: Vec<u32>,
+    /// First tick of the partition window.
+    pub partition_from: u64,
+    /// First tick after the partition heals.
+    pub partition_until: u64,
+    /// Processes that crash (empty = no crashes).
+    pub crash: Vec<u32>,
+    /// Tick at which the `crash` processes go down.
+    pub crash_at: u64,
+    /// Recovery tick for the crashed processes (`None` = down forever).
+    pub recover_at: Option<u64>,
+    /// Whether protocols run their retransmission layer to heal the lossy
+    /// links (`true` by default; a zero plan never retransmits either
+    /// way, preserving bit-identical fault-free schedules).
+    pub retransmit: bool,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            loss: 0.0,
+            loss_until: u64::MAX,
+            dup: 0.0,
+            dup_until: u64::MAX,
+            extra_delay: 0,
+            extra_delay_until: u64::MAX,
+            partition: Vec::new(),
+            partition_from: 0,
+            partition_until: u64::MAX,
+            crash: Vec::new(),
+            crash_at: 0,
+            recover_at: None,
+            retransmit: true,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Lowers the flat spec into the simulator's [`FaultPlan`].
+    pub fn to_plan(&self) -> FaultPlan {
+        FaultPlan {
+            loss: (self.loss > 0.0).then_some(LossFault {
+                prob: self.loss,
+                until: self.loss_until,
+                links: None,
+            }),
+            duplication: (self.dup > 0.0).then_some(DupFault {
+                prob: self.dup,
+                until: self.dup_until,
+            }),
+            extra_delay: (self.extra_delay > 0).then_some(DelayFault {
+                ticks: self.extra_delay,
+                until: self.extra_delay_until,
+            }),
+            partitions: if self.partition.is_empty() {
+                Vec::new()
+            } else {
+                vec![Partition {
+                    side: ProcessSet::from_ids(self.partition.iter().copied()),
+                    from: self.partition_from,
+                    until: self.partition_until,
+                }]
+            },
+            crashes: self
+                .crash
+                .iter()
+                .map(|&p| CrashFault {
+                    process: ProcessId::new(p),
+                    at: self.crash_at,
+                    recover_at: self.recover_at,
+                })
+                .collect(),
+        }
+    }
+
+    /// The retransmission schedule protocols should run under this spec:
+    /// disabled for the zero plan (or when `retransmit = false`),
+    /// otherwise a backoff ladder covering the plan's heal tick — or GST
+    /// for unhealed plans, so senders keep trying for a while but
+    /// eventually quiesce.
+    pub fn retransmit_config(&self, network: &NetworkSpec) -> RetransmitConfig {
+        let plan = self.to_plan();
+        if !self.retransmit || plan.is_zero() {
+            return RetransmitConfig::disabled();
+        }
+        let heal = plan.heal_tick().unwrap_or(0).max(network.gst);
+        RetransmitConfig::covering(heal, network.delta.max(1))
+    }
+
+    /// How many scheduled crash–recover cycles the spec contains.
+    pub fn planned_recoveries(&self) -> u64 {
+        if self.recover_at.is_some() {
+            self.crash.len() as u64
+        } else {
+            0
+        }
+    }
 }
 
 /// Which consensus pipeline the scenario runs.
@@ -278,6 +408,15 @@ pub struct ExploreSpec {
     /// Off by default (the PR 3 semantics); value-injecting adversaries
     /// are not yet supported with it.
     pub explore_discovery: bool,
+    /// Fix BFT-CUP sink membership *before* exploration (`bft-cup` only):
+    /// every actor starts with the graph's unique sink as its resolved
+    /// member set and skips in-schedule SINK discovery — the dual of the
+    /// SCP drivers' pre-computed slices. Discovery orderings stop being
+    /// choice points, so the branching budget goes entirely to the
+    /// consensus rounds (propose/echo/commit and, with a timer budget,
+    /// view changes). Off by default: the full-stack semantics explores
+    /// discovery in-schedule.
+    pub preresolve_sink: bool,
 }
 
 impl Default for ExploreSpec {
@@ -297,6 +436,7 @@ impl Default for ExploreSpec {
             sleep_sets: false,
             eager_inert: true,
             explore_discovery: false,
+            preresolve_sink: false,
         }
     }
 }
@@ -317,6 +457,9 @@ pub struct Scenario {
     pub adversary: String,
     /// Fault placement.
     pub faults: FaultPlacement,
+    /// Network/process fault injection (TOML key `faults = { ... }`);
+    /// the zero spec by default.
+    pub fault_plan: FaultSpec,
     /// Protocol under test.
     pub protocol: ProtocolSpec,
     /// Network timing.
@@ -382,6 +525,26 @@ impl Scenario {
         None
     }
 
+    /// Shared validation for the `preresolve_sink` knob: it fixes BFT-CUP
+    /// sink membership ahead of exploration, so it applies to `bft-cup`
+    /// only. Returns the rejection message, or `None` when the
+    /// combination is supported.
+    pub fn preresolve_sink_unsupported(&self) -> Option<String> {
+        if !self.explore.preresolve_sink {
+            return None;
+        }
+        if self.protocol != ProtocolSpec::BftCup {
+            return Some(format!(
+                "scenario `{}`: knob `preresolve_sink = true` applies to protocol \
+                 `bft-cup` only (`{}` resolves its sink through pre-computed \
+                 slices already)",
+                self.name,
+                self.protocol.name()
+            ));
+        }
+        None
+    }
+
     /// Starts building a scenario with defaults (Fig. 2, `f = 1`, silent
     /// adversary, no faults, positive pipeline, 8 seeds, `require`).
     pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
@@ -392,6 +555,7 @@ impl Scenario {
                 f: 1,
                 adversary: "silent".to_string(),
                 faults: FaultPlacement::None,
+                fault_plan: FaultSpec::default(),
                 protocol: ProtocolSpec::StellarMinimal,
                 network: NetworkSpec::default(),
                 seeds: 8,
@@ -432,6 +596,12 @@ impl ScenarioBuilder {
     /// Sets the fault placement.
     pub fn faults(mut self, p: FaultPlacement) -> Self {
         self.scenario.faults = p;
+        self
+    }
+
+    /// Sets the fault-injection spec.
+    pub fn fault_plan(mut self, spec: FaultSpec) -> Self {
+        self.scenario.fault_plan = spec;
         self
     }
 
@@ -509,5 +679,67 @@ mod tests {
         assert_eq!(s.protocol.name(), "bft-cup");
         assert_eq!((s.seed_base, s.seeds), (7, 3));
         assert_eq!(s.oracle.name(), "observe");
+    }
+
+    #[test]
+    fn fault_spec_lowers_to_the_simulator_plan() {
+        let spec = FaultSpec {
+            loss: 0.25,
+            loss_until: 800,
+            dup: 0.1,
+            dup_until: 600,
+            extra_delay: 15,
+            extra_delay_until: 700,
+            partition: vec![0, 2],
+            partition_from: 50,
+            partition_until: 900,
+            crash: vec![1, 4],
+            crash_at: 100,
+            recover_at: Some(1200),
+            ..Default::default()
+        };
+        let plan = spec.to_plan();
+        assert!(!plan.is_zero());
+        // Every window closes: the plan heals at the latest of them.
+        assert_eq!(plan.heal_tick(), Some(1200));
+        assert_eq!(
+            plan.loss.as_ref().map(|l| (l.prob, l.until)),
+            Some((0.25, 800))
+        );
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(spec.planned_recoveries(), 2);
+        // Dropping the recovery makes the plan unhealed — and the spec
+        // reports no planned recoveries.
+        let down_forever = FaultSpec {
+            recover_at: None,
+            ..spec
+        };
+        assert_eq!(down_forever.to_plan().heal_tick(), None);
+        assert_eq!(down_forever.planned_recoveries(), 0);
+    }
+
+    #[test]
+    fn retransmission_covers_the_heal_and_is_inert_on_zero_plans() {
+        let network = NetworkSpec::default();
+        // The zero plan never retransmits, even though `retransmit`
+        // defaults to true: fault-free schedules stay bit-identical.
+        let zero = FaultSpec::default();
+        assert!(zero.to_plan().is_zero());
+        assert!(!zero.retransmit_config(&network).enabled());
+        // A lossy plan healing after GST retransmits until past the heal.
+        let lossy = FaultSpec {
+            loss: 0.5,
+            loss_until: 2_000,
+            ..Default::default()
+        };
+        let config = lossy.retransmit_config(&network);
+        assert!(config.enabled());
+        // Opting out disables the layer regardless of the plan.
+        let stubborn = FaultSpec {
+            retransmit: false,
+            ..lossy
+        };
+        assert!(!stubborn.retransmit_config(&network).enabled());
     }
 }

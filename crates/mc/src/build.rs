@@ -64,6 +64,10 @@ pub struct Setup {
     /// Timer budget per process (see
     /// [`ExploreSpec`](scup_harness::scenario::ExploreSpec)).
     pub timer_budget: u32,
+    /// Sink membership resolved ahead of exploration (`bft-cup` with
+    /// `preresolve_sink = true`): every actor starts with this member set
+    /// and skips in-schedule discovery.
+    pub preset_sink: Option<ProcessSet>,
 }
 
 impl Setup {
@@ -95,6 +99,23 @@ impl Setup {
         if let Some(err) = scenario.explore_discovery_unsupported(value_injecting) {
             return Err(err);
         }
+        if let Some(err) = scenario.preresolve_sink_unsupported() {
+            return Err(err);
+        }
+        let preset_sink = if scenario.explore.preresolve_sink {
+            match sink::unique_sink(kg.graph()) {
+                Some(v) => Some(v),
+                None => {
+                    return Err(format!(
+                        "scenario `{}`: `preresolve_sink = true` needs a unique sink \
+                         to fix membership to, and this graph has none",
+                        scenario.name
+                    ));
+                }
+            }
+        } else {
+            None
+        };
 
         let slices = match scenario.protocol {
             ProtocolSpec::StellarMinimal if explore_discovery => Vec::new(),
@@ -108,6 +129,10 @@ impl Setup {
                     inputs: None,
                     max_ticks: scenario.network.max_ticks,
                     trace: false,
+                    // The explorer quantifies over schedules, not faults;
+                    // timed fault plans have no untimed counterpart.
+                    faults: scup_sim::FaultPlan::default(),
+                    retransmit: scup_sim::RetransmitConfig::disabled(),
                 };
                 let (detections, _) =
                     consensus::run_sink_detection(&kg, scenario.f, &faulty, &config);
@@ -144,6 +169,7 @@ impl Setup {
             explore_discovery,
             premise,
             timer_budget: scenario.explore.timer_budget,
+            preset_sink,
         })
     }
 
@@ -360,38 +386,46 @@ impl Driver for BftDriver<'_> {
         let setup = self.setup;
         let mut sim = ExploreSim::new(setup.kg.clone(), setup.timer_budget);
         let config = BftConfig::new(setup.f, BFT_VIEW_TIMEOUT);
+        // With `preresolve_sink`, membership is fixed up front and SINK
+        // discovery never enters the schedule (correct actors and the
+        // equivocating leader alike).
+        let bft = |i: ProcessId| {
+            let actor = BftCupActor::new(
+                setup.kg.pd(i).clone(),
+                setup.inputs[i.index()],
+                config.clone(),
+            );
+            match &setup.preset_sink {
+                Some(m) => actor.with_members(m.clone()),
+                None => actor,
+            }
+        };
         for i in setup.kg.processes() {
             if setup.faulty.contains(i) {
                 match setup.adversary {
                     AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
                     AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
-                    AdversaryKind::Crash { after } => sim.add_actor(Box::new(CrashActor::new(
-                        BftCupActor::new(
-                            setup.kg.pd(i).clone(),
-                            setup.inputs[i.index()],
-                            config.clone(),
-                        ),
-                        after,
-                    ))),
+                    AdversaryKind::Crash { after } => {
+                        sim.add_actor(Box::new(CrashActor::new(bft(i), after)))
+                    }
                     // BFT-CUP has no slices to forge; both value-injecting
                     // kinds map to the equivocating leader.
                     AdversaryKind::Equivocate | AdversaryKind::ForgedSlice => {
-                        sim.add_actor(Box::new(
-                            EquivocatingLeader::new(
-                                setup.kg.pd(i).clone(),
-                                setup.f,
-                                (u64::MAX - 1, u64::MAX),
-                            )
-                            .with_split(variant as usize),
-                        ))
+                        let leader = EquivocatingLeader::new(
+                            setup.kg.pd(i).clone(),
+                            setup.f,
+                            (u64::MAX - 1, u64::MAX),
+                        )
+                        .with_split(variant as usize);
+                        let leader = match &setup.preset_sink {
+                            Some(m) => leader.with_members(m.clone()),
+                            None => leader,
+                        };
+                        sim.add_actor(Box::new(leader))
                     }
                 };
             } else {
-                sim.add_actor(Box::new(BftCupActor::new(
-                    setup.kg.pd(i).clone(),
-                    setup.inputs[i.index()],
-                    config.clone(),
-                )));
+                sim.add_actor(Box::new(bft(i)));
             }
         }
         sim

@@ -546,7 +546,12 @@ fn render_cex<D: Driver>(
                 from, to, payload, ..
             } => format!("deliver {from}->{to}: {payload}"),
             TraceEvent::Timer { process, tag, .. } => format!("timer {process} tag {tag}"),
-            TraceEvent::Sent { .. } => unreachable!("ExploreSim only records deliveries"),
+            TraceEvent::Sent { .. }
+            | TraceEvent::Dropped { .. }
+            | TraceEvent::Crashed { .. }
+            | TraceEvent::Recovered { .. } => {
+                unreachable!("ExploreSim only records deliveries and timers")
+            }
         })
         .collect();
 

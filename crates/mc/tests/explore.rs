@@ -268,6 +268,64 @@ fn bftcup_forged_slice_explores_both_victim_splits() {
 }
 
 #[test]
+fn preresolved_sink_makes_view_changes_explorable() {
+    // The `bftcup-equiv-viewchange` campaign scenario, at a depth the
+    // debug suite can afford. `preresolve_sink = true` fixes the sink
+    // membership before exploration, so the SINK discovery exchange never
+    // enters the schedule and the view-0 timers are armed from step 0 —
+    // without it the discovery phase swallows the whole depth budget and
+    // a timer budget changes nothing (the knob exists because the
+    // campaign-bound probe showed identical state counts at budgets 0 and
+    // 2). With it, the budget is the difference between "view 0 only" and
+    // "view changes past the equivocating leader are choice points".
+    let scenario = |timer_budget: u32| {
+        let mut s = bftcup_sink2(6, timer_budget);
+        s.topology = TopologySpec::RandomKosr {
+            sink: 4,
+            nonsink: 0,
+            k: 3,
+            extra_edge_prob: 0.0,
+        };
+        s.f = 1;
+        s.adversary = "equivocate".into();
+        s.faults = FaultPlacement::Ids(vec![0]);
+        s.inputs = Some(vec![7]);
+        s.explore.preresolve_sink = true;
+        s
+    };
+    let registry = AdversaryRegistry::builtin();
+    let view0_only = explore_scenario(&scenario(0), 2, &registry);
+    let r = explore_scenario(&scenario(2), 2, &registry);
+    assert_eq!(r.error, None);
+    assert_eq!(r.violating, 0, "no schedule splits across the handoff");
+    assert_eq!(r.variants, 2, "both victim-split parities still explored");
+    assert!(r.passed);
+    // Pinned canonical counts: budget 2 explores every interleaving of
+    // view timeouts, ViewChange deliveries (carrying view-0 locks) and
+    // the view-1 leader's re-proposal alongside the view-0 traffic.
+    assert_eq!(view0_only.states, 1_122);
+    assert_eq!(r.states, 28_846);
+    // Determinism rides along: the preset-membership boot path must not
+    // leak worker scheduling into the report.
+    let campaign = |threads: usize| Campaign {
+        name: "preresolve-det".into(),
+        mode: CampaignMode::Explore,
+        threads,
+        scenarios: vec![scenario(2)],
+    };
+    let base = run_explore_campaign(&campaign(1));
+    assert!(base.all_passed());
+    for threads in [2, 8] {
+        let other = run_explore_campaign(&campaign(threads));
+        assert_eq!(
+            deterministic_view(base.records[0].clone()),
+            deterministic_view(other.records[0].clone()),
+            "threads=1 vs threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn reports_are_bit_identical_across_worker_counts() {
     // The acceptance bar: 1, 2 and 8 workers must produce identical
     // deterministic fields — visited maps merge by minimal depth and the
@@ -447,7 +505,15 @@ fn campaign_file_parses_into_explore_mode() {
     .expect("campaigns/explore.toml");
     let campaign = scup_harness::campaign_from_str(&text).unwrap();
     assert_eq!(campaign.mode, CampaignMode::Explore);
-    assert_eq!(campaign.scenarios.len(), 9);
+    assert_eq!(campaign.scenarios.len(), 10);
+    let handoff = campaign
+        .scenarios
+        .iter()
+        .find(|s| s.name == "bftcup-equiv-viewchange")
+        .expect("the lock-handoff scenario ships in the campaign");
+    assert!(handoff.explore.preresolve_sink);
+    assert_eq!(handoff.explore.timer_budget, 2);
+    assert_eq!(handoff.explore.max_states, 700_000);
     let bftcup = campaign
         .scenarios
         .iter()

@@ -39,6 +39,6 @@ pub mod node;
 pub mod statement;
 pub mod voting;
 
-pub use node::{NodeStats, ScpConfig, ScpMsg, ScpNode};
+pub use node::{journal_contradictions, NodeStats, ScpConfig, ScpMsg, ScpNode};
 pub use statement::{Statement, Value};
 pub use voting::{QuorumCheck, VoteLevel, VoteTracker};

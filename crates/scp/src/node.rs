@@ -39,7 +39,7 @@
 
 use scup_fbqs::SliceFamily;
 use scup_graph::{PersistentSet, PersistentVec, ProcessId, ProcessSet};
-use scup_sim::{Actor, Context, SimMessage, StateHasher};
+use scup_sim::{Actor, Backoff, Context, Journal, RetransmitConfig, SimMessage, StateHasher};
 
 use crate::statement::{Statement, Value};
 use crate::voting::{QuorumCheck, VoteLevel, VoteTracker};
@@ -102,6 +102,11 @@ pub struct ScpConfig {
     /// Fallback: if no candidate is confirmed by this many ticks, the own
     /// input is promoted to candidate so ballots can start.
     pub nomination_timeout: u64,
+    /// Pledge-rebroadcast schedule for lossy networks (disabled by
+    /// default, so fault-free runs keep their exact historical message
+    /// counts and timer schedules). Must stay disabled under exploration:
+    /// the backoff state is deliberately excluded from the fingerprint.
+    pub retransmit: RetransmitConfig,
 }
 
 impl ScpConfig {
@@ -113,11 +118,86 @@ impl ScpConfig {
             input,
             ballot_timeout: 200,
             nomination_timeout: 400,
+            retransmit: RetransmitConfig::disabled(),
         }
     }
 }
 
 const NOMINATION_TIMER: u64 = 2;
+/// Retransmission-round timer (ballot timers use `n << 8`, so tags 0..256
+/// other than the two named ones are free).
+const RETRANSMIT_TIMER: u64 = 3;
+
+// Durable journal record tags (see [`scup_sim::Journal`]). Word layouts:
+// J_PLEDGE = [kind, counter, value, accept] with kind 0 = Nominate,
+// 1 = Prepare, 2 = Commit; the others carry a single word.
+const J_PLEDGE: u64 = 1;
+const J_LOCK: u64 = 2;
+const J_BALLOT: u64 = 3;
+const J_EXTERNALIZE: u64 = 4;
+const J_CANDIDATE: u64 = 5;
+
+fn encode_stmt(stmt: Statement) -> (u64, u64, u64) {
+    match stmt {
+        Statement::Nominate(v) => (0, 0, v),
+        Statement::Prepare(n, v) => (1, n, v),
+        Statement::Commit(n, v) => (2, n, v),
+    }
+}
+
+fn decode_stmt(kind: u64, n: u64, v: u64) -> Option<Statement> {
+    match kind {
+        0 => Some(Statement::Nominate(v)),
+        1 => Some(Statement::Prepare(n, v)),
+        2 => Some(Statement::Commit(n, v)),
+        _ => None,
+    }
+}
+
+/// Scans a process's durable journal for pledge contradictions — the
+/// safety property crash–recovery must preserve: a recovered node may
+/// re-announce its pre-crash pledges but must never pledge a *different*
+/// value for the same ballot statement, nor externalize two values.
+///
+/// Only voluntary vote-level ballot pledges are scanned (nomination votes
+/// legitimately range over many values, and accept-level pledges follow
+/// the federated-voting evidence rather than the node's own choices).
+pub fn journal_contradictions(journal: &dyn Journal) -> Vec<String> {
+    let mut votes: std::collections::BTreeMap<(u64, u64), u64> = std::collections::BTreeMap::new();
+    let mut externalized: Option<u64> = None;
+    let mut out = Vec::new();
+    for rec in journal.records() {
+        match rec.tag {
+            J_PLEDGE => {
+                let [kind, n, v, accept] = rec.words[..] else {
+                    continue;
+                };
+                if accept != 0 || kind == 0 {
+                    continue;
+                }
+                if let Some(prev) = votes.insert((kind, n), v) {
+                    if prev != v {
+                        let what = if kind == 1 { "prepare" } else { "commit" };
+                        out.push(format!(
+                            "contradictory {what} votes for ballot {n}: {prev} then {v}"
+                        ));
+                    }
+                }
+            }
+            J_EXTERNALIZE => {
+                let [v] = rec.words[..] else { continue };
+                if let Some(prev) = externalized {
+                    if prev != v {
+                        out.push(format!("externalized {prev} then {v}"));
+                    }
+                }
+                externalized = Some(v);
+            }
+            _ => {}
+        }
+    }
+    out
+}
 
 /// Per-node observational counters: message traffic by kind and ballot
 /// protocol phase transitions.
@@ -147,6 +227,9 @@ pub struct NodeStats {
     pub prepares_confirmed: u64,
     /// Commit statements confirmed (externalizations trigger here).
     pub commits_confirmed: u64,
+    /// Envelopes re-flooded by retransmission rounds (pledge rebroadcast
+    /// under a fault plan; always 0 with retransmission disabled).
+    pub retransmissions: u64,
 }
 
 /// A correct SCP node.
@@ -185,14 +268,22 @@ pub struct ScpNode {
     externalized: Option<Value>,
     /// Observational counters; excluded from both fingerprints.
     stats: NodeStats,
+    /// Retransmission schedule state. Excluded from fingerprints:
+    /// retransmission is a timed-simulation facility and must be disabled
+    /// under exploration (see [`ScpConfig::retransmit`]).
+    backoff: Backoff,
 }
 
 impl ScpNode {
     /// Creates a node.
     pub fn new(config: ScpConfig) -> Self {
+        Self::from_shared(std::sync::Arc::new(config))
+    }
+
+    fn from_shared(config: std::sync::Arc<ScpConfig>) -> Self {
         let shared_slices = std::sync::Arc::new(config.slices.clone());
         ScpNode {
-            config: std::sync::Arc::new(config),
+            config,
             shared_slices,
             tracker: VoteTracker::new(),
             check: QuorumCheck::new(),
@@ -205,6 +296,7 @@ impl ScpNode {
             lock: None,
             externalized: None,
             stats: NodeStats::default(),
+            backoff: Backoff::new(),
         }
     }
 
@@ -246,6 +338,12 @@ impl ScpNode {
             stmt,
             accept,
         };
+        // Write-ahead: the pledge hits the durable journal before the
+        // network, so a crash can never lose a pledge peers already saw.
+        if let Some(j) = ctx.journal() {
+            let (kind, n, v) = encode_stmt(stmt);
+            j.append(J_PLEDGE, &[kind, n, v, accept as u64]);
+        }
         self.note_seen(ctx.self_id(), stmt, accept);
         if accept {
             self.stats.accepts_sent += 1;
@@ -298,10 +396,35 @@ impl ScpNode {
         }
         self.ballot = n;
         self.stats.ballots_started += 1;
+        if let Some(j) = ctx.journal() {
+            j.append(J_BALLOT, &[n]);
+        }
         let v = self.ballot_value();
         self.vote(ctx, Statement::Prepare(n, v));
         ctx.set_timer(self.config.ballot_timeout * (n + 1), n << 8);
         self.reevaluate(ctx);
+    }
+
+    /// Arms the next retransmission round, if the schedule has rounds
+    /// left. No-op with retransmission disabled (the default).
+    fn arm_retransmit(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        let cfg = self.config.retransmit.clone();
+        if let Some(delay) = self.backoff.next_delay(&cfg, ctx.rng()) {
+            ctx.set_timer(delay, RETRANSMIT_TIMER);
+        }
+    }
+
+    /// One pledge-rebroadcast round: re-floods the entire envelope
+    /// backlog to every known process. Ack-free — receivers absorb
+    /// duplicates through `seen` — and sound against loss because the
+    /// backlog holds every distinct envelope this node ever saw, own and
+    /// relayed alike.
+    fn retransmit_round(&mut self, ctx: &mut Context<'_, ScpMsg>) {
+        for msg in self.backlog.iter() {
+            ctx.broadcast_known(msg.clone());
+        }
+        self.stats.retransmissions += self.backlog.len() as u64;
+        self.arm_retransmit(ctx);
     }
 
     /// Runs the federated-voting rules and reacts to newly accepted /
@@ -326,6 +449,9 @@ impl ScpNode {
                         self.stats.nominations_confirmed += 1;
                         if !self.candidates.contains(&v) {
                             self.candidates.push(v);
+                            if let Some(j) = ctx.journal() {
+                                j.append(J_CANDIDATE, &[v]);
+                            }
                         }
                         // First candidate: enter ballot 1.
                         if self.ballot == 0 {
@@ -334,14 +460,26 @@ impl ScpNode {
                     }
                     Statement::Prepare(n, v) => {
                         self.stats.prepares_confirmed += 1;
-                        // Lock the value and push for commit.
+                        // Lock the value and push for commit — unless the
+                        // commit would contradict an accept we already
+                        // pledged (a commit vote we could never stand
+                        // behind helps no quorum and muddies the tally).
                         self.lock = Some(v);
-                        self.vote(ctx, Statement::Commit(n, v));
+                        if let Some(j) = ctx.journal() {
+                            j.append(J_LOCK, &[v]);
+                        }
+                        let commit = Statement::Commit(n, v);
+                        if !self.tracker.accept_would_contradict(commit) {
+                            self.vote(ctx, commit);
+                        }
                     }
                     Statement::Commit(_, v) => {
                         self.stats.commits_confirmed += 1;
                         if self.externalized.is_none() {
                             self.externalized = Some(v);
+                            if let Some(j) = ctx.journal() {
+                                j.append(J_EXTERNALIZE, &[v]);
+                            }
                         }
                     }
                 }
@@ -359,6 +497,7 @@ impl Actor<ScpMsg> for ScpNode {
         let input = self.config.input;
         self.vote(ctx, Statement::Nominate(input));
         ctx.set_timer(self.config.nomination_timeout, NOMINATION_TIMER);
+        self.arm_retransmit(ctx);
         self.reevaluate(ctx);
     }
 
@@ -400,6 +539,12 @@ impl Actor<ScpMsg> for ScpNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ScpMsg>, tag: u64) {
+        // Retransmission outlives externalization: peers that lost our
+        // commit-accept envelopes still need them to externalize.
+        if tag == RETRANSMIT_TIMER {
+            self.retransmit_round(ctx);
+            return;
+        }
         if self.externalized.is_some() {
             return;
         }
@@ -419,6 +564,102 @@ impl Actor<ScpMsg> for ScpNode {
             let next = self.ballot + 1;
             self.start_ballot(ctx, next);
         }
+    }
+
+    /// Crash recovery: volatile state is gone; rebuild from the config
+    /// plus the durable journal, then re-announce.
+    ///
+    /// The journal holds exactly the node's own pledges (write-ahead in
+    /// `broadcast_own`), its lock, ballot counter, candidates and
+    /// externalization. Rehydrating those — and re-registering the
+    /// pledges in the vote tracker — guarantees the recovered node never
+    /// votes a conflicting value for a ballot it pledged before the
+    /// crash (checked by [`journal_contradictions`]). Peers' envelopes
+    /// were volatile and are *not* reconstructed here: they flow back in
+    /// through the peers' own retransmission rounds and the flood
+    /// relay, after which `reevaluate` re-derives accepts/confirms from
+    /// evidence as usual.
+    fn on_recover(&mut self, ctx: &mut Context<'_, ScpMsg>, journal: &dyn Journal) {
+        let config = std::sync::Arc::clone(&self.config);
+        let stats = self.stats;
+        *self = ScpNode::from_shared(config);
+        self.stats = stats;
+        let me = ctx.self_id();
+        // Knowledge survives in the simulator (it models the address
+        // book, not process memory); peers already got our backlog.
+        self.synced.clone_from(ctx.known());
+        self.synced.insert(me);
+        for rec in journal.records() {
+            match rec.tag {
+                J_PLEDGE => {
+                    let [kind, n, v, accept] = rec.words[..] else {
+                        continue;
+                    };
+                    let Some(stmt) = decode_stmt(kind, n, v) else {
+                        continue;
+                    };
+                    let accept = accept != 0;
+                    self.note_seen(me, stmt, accept);
+                    if accept {
+                        self.tracker.record_accept(me, stmt);
+                    } else {
+                        self.tracker.vote(me, stmt);
+                    }
+                    self.backlog.push(ScpMsg {
+                        origin: me,
+                        slices: std::sync::Arc::clone(&self.shared_slices),
+                        stmt,
+                        accept,
+                    });
+                }
+                J_LOCK => {
+                    if let [v] = rec.words[..] {
+                        self.lock = Some(v);
+                    }
+                }
+                J_BALLOT => {
+                    if let [n] = rec.words[..] {
+                        self.ballot = self.ballot.max(n);
+                    }
+                }
+                J_EXTERNALIZE => {
+                    if let [v] = rec.words[..] {
+                        self.externalized = Some(v);
+                    }
+                }
+                J_CANDIDATE => {
+                    if let [v] = rec.words[..] {
+                        if !self.candidates.contains(&v) {
+                            self.candidates.push(v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Re-announce every rehydrated pledge (peers dedup via `seen`).
+        let pledges: Vec<ScpMsg> = self.backlog.iter().cloned().collect();
+        for msg in pledges {
+            ctx.broadcast_known(msg);
+        }
+        // Restart the protocol clocks for the phase we crashed in.
+        if self.externalized.is_none() {
+            if self.ballot == 0 {
+                let input = self.config.input;
+                self.vote(ctx, Statement::Nominate(input));
+                ctx.set_timer(self.config.nomination_timeout, NOMINATION_TIMER);
+            } else {
+                ctx.set_timer(
+                    self.config.ballot_timeout * (self.ballot + 1),
+                    self.ballot << 8,
+                );
+            }
+            self.reevaluate(ctx);
+        }
+        // A rejoining node restarts its re-announcement schedule from the
+        // short intervals.
+        self.backoff.reset();
+        self.arm_retransmit(ctx);
     }
 
     fn fork(&self) -> Option<Box<dyn Actor<ScpMsg>>> {
@@ -786,6 +1027,101 @@ mod tests {
         run_to_decision(&mut sim, &correct);
         // All inputs equal: strong validity — the decision must be 20.
         assert_eq!(assert_scp_consensus(&sim, &correct), 20);
+    }
+
+    #[test]
+    fn lossy_network_with_retransmission_still_decides() {
+        use scup_sim::{FaultPlan, LossFault, RetransmitConfig};
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let kg = generators::fig1();
+        let sys = paper::fig1_system();
+        for seed in 0..3 {
+            let mut sim = Simulation::new(
+                kg.clone(),
+                NetworkConfig::partially_synchronous(150, 10, seed),
+            );
+            let heal = 2_000;
+            sim.set_fault_plan(FaultPlan {
+                loss: Some(LossFault {
+                    prob: 0.4,
+                    until: heal,
+                    links: None,
+                }),
+                ..FaultPlan::default()
+            });
+            for i in 0..7u32 {
+                let i = ProcessId::new(i);
+                let mut config = ScpConfig::new(sys.slices(i).clone(), 10 + i.as_u32() as u64);
+                config.retransmit = RetransmitConfig::covering(heal, 10);
+                sim.add_actor(Box::new(ScpNode::new(config)));
+            }
+            sim.add_actor(Box::new(SilentActor::new()));
+            run_to_decision(&mut sim, &correct);
+            let report = sim.report().clone();
+            assert!(report.messages_dropped > 0, "seed {seed}: loss must bite");
+            let v = assert_scp_consensus(&sim, &correct);
+            assert!((10..17).contains(&v));
+            let retransmitted: u64 = correct
+                .iter()
+                .map(|&i| {
+                    sim.actor_as::<ScpNode>(ProcessId::new(i))
+                        .unwrap()
+                        .stats()
+                        .retransmissions
+                })
+                .sum();
+            assert!(retransmitted > 0, "seed {seed}: retransmission must fire");
+        }
+    }
+
+    #[test]
+    fn crashed_node_recovers_rejoins_and_never_contradicts_pledges() {
+        use scup_sim::{CrashFault, FaultPlan, RetransmitConfig};
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let kg = generators::fig1();
+        let sys = paper::fig1_system();
+        for seed in 0..3 {
+            let mut sim = Simulation::new(
+                kg.clone(),
+                NetworkConfig::partially_synchronous(150, 10, seed),
+            );
+            let recover_at = 1_500;
+            sim.set_fault_plan(FaultPlan {
+                crashes: vec![CrashFault {
+                    process: ProcessId::new(2),
+                    at: 300,
+                    recover_at: Some(recover_at),
+                }],
+                ..FaultPlan::default()
+            });
+            for i in 0..7u32 {
+                let i = ProcessId::new(i);
+                let mut config = ScpConfig::new(sys.slices(i).clone(), 10 + i.as_u32() as u64);
+                config.retransmit = RetransmitConfig::covering(recover_at, 10);
+                sim.add_actor(Box::new(ScpNode::new(config)));
+            }
+            sim.add_actor(Box::new(SilentActor::new()));
+            run_to_decision(&mut sim, &correct);
+            let report = sim.report().clone();
+            assert_eq!(report.crashes, 1);
+            assert_eq!(report.recoveries, 1);
+            // The recovered node rejoins and externalizes the agreed value.
+            let v = assert_scp_consensus(&sim, &correct);
+            assert!((10..17).contains(&v));
+            // And no process — the recovered one included — contradicted
+            // its durable pledges.
+            for &i in &correct {
+                let violations = journal_contradictions(sim.journal(ProcessId::new(i)));
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed}, node {i}: {violations:?}"
+                );
+                assert!(
+                    !sim.journal(ProcessId::new(i)).is_empty(),
+                    "node {i} journalled nothing"
+                );
+            }
+        }
     }
 
     #[test]

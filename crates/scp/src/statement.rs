@@ -53,6 +53,34 @@ impl Statement {
     pub fn is_nomination(&self) -> bool {
         matches!(self, Statement::Nominate(_))
     }
+
+    /// SCP's abort semantics, reduced to this statement vocabulary: two
+    /// statements contradict when no correct process may stand behind
+    /// both.
+    ///
+    /// - `Commit(n, v)` vs `Commit(m, w)`: contradictory whenever
+    ///   `v ≠ w` — committing two values is exactly the disagreement
+    ///   consensus forbids.
+    /// - `Prepare(m, w)` entails "every ballot `(k, u)` with `k ≤ m` and
+    ///   `u ≠ w` is aborted", so it contradicts `Commit(n, v)` when
+    ///   `v ≠ w` and `n ≤ m` (a committed ballot cannot also be aborted).
+    /// - Nomination statements contradict nothing.
+    ///
+    /// Federated voting uses this as the accept ratchet: a process never
+    /// *accepts* a statement contradicting one it already accepted (its
+    /// plain votes may be overridden by a v-blocking set, its accepts may
+    /// not). Quorum intersection then carries the ratchet across
+    /// processes: two confirmed `Commit`s of different values would need
+    /// a correct process in the quorum intersection to have accepted
+    /// both.
+    pub fn contradicts(&self, other: &Statement) -> bool {
+        use Statement::*;
+        match (*self, *other) {
+            (Commit(_, v), Commit(_, w)) => v != w,
+            (Commit(n, v), Prepare(m, w)) | (Prepare(m, w), Commit(n, v)) => v != w && n <= m,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Debug for Statement {
@@ -99,5 +127,27 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Statement::Prepare(2, 5).to_string(), "prepare(2, 5)");
+    }
+
+    #[test]
+    fn contradiction_relation() {
+        let c = |a: Statement, b: Statement| a.contradicts(&b);
+        // Two commits of different values always contradict; same value
+        // never does, regardless of counters.
+        assert!(c(Statement::Commit(1, 5), Statement::Commit(9, 6)));
+        assert!(c(Statement::Commit(9, 5), Statement::Commit(1, 6)));
+        assert!(!c(Statement::Commit(1, 5), Statement::Commit(9, 5)));
+        // A higher (or equal) prepare of another value aborts the
+        // committed ballot; a *lower* prepare of another value does not.
+        assert!(c(Statement::Commit(2, 5), Statement::Prepare(3, 6)));
+        assert!(c(Statement::Prepare(3, 6), Statement::Commit(2, 5)));
+        assert!(c(Statement::Commit(2, 5), Statement::Prepare(2, 6)));
+        assert!(!c(Statement::Commit(3, 5), Statement::Prepare(2, 6)));
+        // Same-value prepares and commits live together.
+        assert!(!c(Statement::Commit(2, 5), Statement::Prepare(7, 5)));
+        // Prepares never contradict each other, nominations nothing.
+        assert!(!c(Statement::Prepare(1, 5), Statement::Prepare(2, 6)));
+        assert!(!c(Statement::Nominate(5), Statement::Commit(1, 6)));
+        assert!(!c(Statement::Commit(1, 6), Statement::Nominate(5)));
     }
 }

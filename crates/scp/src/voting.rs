@@ -10,6 +10,15 @@
 //!
 //! and it *confirms* (acts on) the statement once a quorum has accepted it.
 //!
+//! Accepts ratchet: a process never accepts a statement contradicting one
+//! it already accepted ([`Statement::contradicts`]) — a v-blocking set may
+//! override a process's plain *votes*, never its accepts. The ratchet is
+//! what turns quorum intersection into agreement: two confirmed commits
+//! of different values would require a correct process in the quorum
+//! intersection to have accepted both. (Blocked statements stay blocked —
+//! accepts only grow — so the incremental dirty-tracking below remains
+//! sound.)
+//!
 //! [`VoteTracker`] keeps the per-statement tally; [`QuorumCheck`] holds the
 //! slice registry built from received envelopes and answers the
 //! quorum/v-blocking queries.
@@ -307,6 +316,18 @@ impl VoteTracker {
         self.mine.get(&stmt).copied().unwrap_or(VoteLevel::None)
     }
 
+    /// The accept ratchet: `true` when `stmt` contradicts a statement we
+    /// already accepted (or confirmed). A process's plain vote may be
+    /// overridden by a v-blocking set, but its accepts are pledges it
+    /// never walks back — this is what makes two confirmed commits of
+    /// different values impossible whenever correct quorums intersect
+    /// (see [`Statement::contradicts`]).
+    pub fn accept_would_contradict(&self, stmt: Statement) -> bool {
+        self.mine
+            .iter()
+            .any(|(s, l)| *l >= VoteLevel::Accepted && stmt.contradicts(s))
+    }
+
     /// All statements we confirmed.
     pub fn confirmed(&self) -> impl Iterator<Item = Statement> + '_ {
         self.mine
@@ -368,13 +389,14 @@ impl VoteTracker {
                 let next = match level {
                     VoteLevel::None | VoteLevel::Voted => {
                         let accepters = self.accepted.get(&stmt).unwrap_or(&empty);
-                        let can_accept = check.is_v_blocking(own_slices, accepters)
-                            || (level == VoteLevel::Voted
-                                && check.has_quorum_through(
-                                    self_id,
-                                    own_slices,
-                                    self.voted.get(&stmt).unwrap_or(&empty),
-                                ));
+                        let can_accept = !self.accept_would_contradict(stmt)
+                            && (check.is_v_blocking(own_slices, accepters)
+                                || (level == VoteLevel::Voted
+                                    && check.has_quorum_through(
+                                        self_id,
+                                        own_slices,
+                                        self.voted.get(&stmt).unwrap_or(&empty),
+                                    )));
                         if can_accept {
                             self.accepted.get_or_default(stmt).insert(self_id);
                             self.voted.get_or_default(stmt).insert(self_id);
@@ -517,6 +539,53 @@ mod tests {
         // Quorum of votes → accept; but confirms need a quorum of accepts,
         // and only we accepted.
         assert_eq!(changes, vec![(stmt, VoteLevel::Accepted)]);
+    }
+
+    #[test]
+    fn accept_ratchet_blocks_contradicting_commit() {
+        // Process 4 accepts commit(1, 2) through a quorum of votes; a
+        // later commit of a *different* value must never reach Accepted —
+        // not even through a v-blocking set of (Byzantine or confused)
+        // accepters.
+        let mut check = fig1_check();
+        let sys = paper::fig1_system();
+        let mut tracker = VoteTracker::new();
+        let commit_v = Statement::Commit(1, 2);
+        tracker.vote(p(4), commit_v);
+        tracker.record_vote(p(5), commit_v);
+        tracker.record_vote(p(6), commit_v);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
+        assert!(changes.contains(&(commit_v, VoteLevel::Accepted)));
+
+        let commit_w = Statement::Commit(7, 3);
+        assert!(tracker.accept_would_contradict(commit_w));
+        tracker.record_accept(p(5), commit_w);
+        tracker.record_accept(p(6), commit_w);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
+        assert!(
+            !changes.iter().any(|(s, _)| *s == commit_w),
+            "accepted a commit contradicting an accepted commit: {changes:?}"
+        );
+        assert_eq!(tracker.level(commit_w), VoteLevel::None);
+
+        // A higher prepare of another value (aborting the accepted
+        // ballot) is ratcheted out the same way...
+        let prepare_w = Statement::Prepare(2, 3);
+        tracker.vote(p(4), prepare_w);
+        tracker.record_accept(p(5), prepare_w);
+        tracker.record_accept(p(6), prepare_w);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
+        assert!(!changes.iter().any(|(s, _)| *s == prepare_w));
+        assert_eq!(tracker.level(prepare_w), VoteLevel::Voted);
+
+        // ...while the same value keeps flowing freely.
+        let prepare_v = Statement::Prepare(2, 2);
+        assert!(!tracker.accept_would_contradict(prepare_v));
+        tracker.vote(p(4), prepare_v);
+        tracker.record_vote(p(5), prepare_v);
+        tracker.record_vote(p(6), prepare_v);
+        let changes = tracker.update(p(4), sys.slices(p(4)), &mut check);
+        assert!(changes.contains(&(prepare_v, VoteLevel::Accepted)));
     }
 
     #[test]

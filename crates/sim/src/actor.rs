@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use scup_graph::{ProcessId, ProcessSet};
 
 use crate::explore::{Perm, StateHasher};
+use crate::faults::{Journal, MemJournal};
 use crate::SimTime;
 
 /// Marker trait for protocol messages carried by the simulator.
@@ -55,6 +56,22 @@ pub trait Actor<M: SimMessage>: Any {
     /// Called when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
         let _ = (ctx, tag);
+    }
+
+    /// Crash–recovery support: called when the simulator restarts this
+    /// process after a [`FaultPlan`](crate::FaultPlan) crash. `journal`
+    /// is the process's durable log — everything the actor appended via
+    /// [`Context::journal`] while alive survived the crash; everything
+    /// else (fields of `self`) is *conceptually* volatile.
+    ///
+    /// A faithful implementation resets its state as a real reboot would
+    /// and rehydrates ballot-critical pledges from the journal, so the
+    /// recovered process never contradicts what it promised before the
+    /// crash. The default keeps all state (pause-crash semantics), which
+    /// is only honest for actors whose entire state is cheap to persist —
+    /// document the choice either way.
+    fn on_recover(&mut self, ctx: &mut Context<'_, M>, journal: &dyn Journal) {
+        let _ = (ctx, journal);
     }
 
     /// Exploration support: a deep copy of this actor's current state, or
@@ -136,6 +153,10 @@ pub struct Context<'a, M> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) outbox: &'a mut Vec<(ProcessId, M)>,
     pub(crate) timers: &'a mut Vec<(u64, u64)>,
+    /// The process's durable journal, when the host provides one (the
+    /// timed simulator does; the explorer runs journal-free because it
+    /// never models crashes).
+    pub(crate) journal: Option<&'a mut MemJournal>,
 }
 
 impl<M> Context<'_, M> {
@@ -227,6 +248,19 @@ impl<M> Context<'_, M> {
         self.rng
     }
 
+    /// The process's durable [`Journal`], when the host provides one.
+    /// State appended here survives [`FaultPlan`](crate::FaultPlan)
+    /// crashes and is handed back through [`Actor::on_recover`]. Hosts
+    /// without crash semantics (the explorer) return `None`; actors must
+    /// treat journaling as write-only best effort:
+    /// `if let Some(j) = ctx.journal() { j.append(...) }`.
+    pub fn journal(&mut self) -> Option<&mut dyn Journal> {
+        match self.journal.as_deref_mut() {
+            Some(j) => Some(j as &mut dyn Journal),
+            None => None,
+        }
+    }
+
     /// Runs `f` with a sub-context whose message type is `N`, wrapping
     /// every send through `wrap` into this context's outbox. Timers, the
     /// knowledge set and the clock are shared with the outer context.
@@ -262,6 +296,7 @@ impl<M> Context<'_, M> {
                 rng: &mut *self.rng,
                 outbox: scratch,
                 timers: &mut *self.timers,
+                journal: self.journal.as_deref_mut(),
             };
             f(&mut sub)
         };
@@ -306,6 +341,7 @@ mod tests {
                 rng: &mut self.rng,
                 outbox: &mut self.outbox,
                 timers: &mut self.timers,
+                journal: None,
             }
         }
     }

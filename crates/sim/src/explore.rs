@@ -513,6 +513,9 @@ impl<M: SimMessage> ExploreSim<M> {
             rng: &mut self.rng,
             outbox: &mut outbox,
             timers: &mut timers,
+            // The explorer never models crashes, so journal writes would
+            // be dead weight on the hot path; actors see `None` and skip.
+            journal: None,
         };
         f(&mut *self.actors[pid.index()], &mut ctx);
         let mut enqueued = 0;

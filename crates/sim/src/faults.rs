@@ -1,0 +1,500 @@
+//! Deterministic fault injection and durable per-process journals.
+//!
+//! The paper's system model (Section III-A) assumes *reliable*
+//! authenticated channels under partial synchrony, and the simulator
+//! historically granted that assumption for free. A [`FaultPlan`] breaks
+//! it on purpose — probabilistic message loss and duplication, scheduled
+//! partitions, extra per-link latency, and process crash/recover events —
+//! while keeping every run a pure function of `(scenario, seed)`: all
+//! probabilistic choices are drawn from the simulation's seeded RNG in
+//! event order, and all scheduled faults are fixed tick windows.
+//!
+//! Two design rules keep the plane sound:
+//!
+//! - **A zero plan is free.** [`FaultPlan::is_zero`] short-circuits every
+//!   fault check before any RNG draw, so a default/all-zero plan leaves
+//!   the delivery schedule bit-identical to a simulation with no plan at
+//!   all (pinned by differential tests in the harness).
+//! - **Faults heal.** Each fault carries an explicit end of its window
+//!   ([`FaultPlan::heal_tick`]); protocols restore the reliable-channel
+//!   abstraction past that point via retransmission
+//!   ([`crate::retransmit`]). Oracles require termination only when the
+//!   plan fully heals.
+//!
+//! Crash/recover events model fail-recover processes: while down, a
+//! process receives nothing (in-flight messages and timers are lost) and
+//! sends nothing; on recovery the simulator calls
+//! [`Actor::on_recover`](crate::Actor::on_recover) with the process's
+//! [`Journal`] — the durable state actors wrote ballot-critical pledges
+//! to while alive — so a correct implementation rehydrates instead of
+//! contradicting its pre-crash pledges.
+
+use scup_graph::{ProcessId, ProcessSet};
+
+use crate::SimTime;
+
+/// Probabilistic message loss: each message sent strictly before `until`
+/// is dropped with probability `prob`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossFault {
+    /// Drop probability in `[0, 1]`.
+    pub prob: f64,
+    /// First tick at which the links heal (`u64::MAX` = never).
+    pub until: u64,
+    /// Restrict the loss to these directed links (`None` = every link).
+    pub links: Option<Vec<(ProcessId, ProcessId)>>,
+}
+
+/// Probabilistic duplication: each message sent strictly before `until`
+/// is delivered twice with probability `prob` (the copy draws its own
+/// delivery time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DupFault {
+    /// Duplication probability in `[0, 1]`.
+    pub prob: f64,
+    /// First tick at which duplication stops (`u64::MAX` = never).
+    pub until: u64,
+}
+
+/// Extra delivery latency: messages sent strictly before `until` may be
+/// delayed up to `ticks` beyond the partial-synchrony horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayFault {
+    /// Additional worst-case latency in ticks.
+    pub ticks: u64,
+    /// First tick at which latency returns to the `Δ` contract
+    /// (`u64::MAX` = never).
+    pub until: u64,
+}
+
+/// A scheduled network partition: messages crossing the cut between
+/// `side` and its complement, sent at a tick in `[from, until)`, are
+/// dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// One side of the cut (the complement is the other side).
+    pub side: ProcessSet,
+    /// First tick of the partition window.
+    pub from: u64,
+    /// First tick after the partition heals (`u64::MAX` = never).
+    pub until: u64,
+}
+
+/// A scheduled process crash, with optional recovery.
+///
+/// While down the process receives no deliveries or timers (they are
+/// lost, like a real reboot) and runs no callbacks. At `recover_at` the
+/// simulator calls [`Actor::on_recover`](crate::Actor::on_recover) with
+/// the process's [`Journal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashFault {
+    /// The process that crashes.
+    pub process: ProcessId,
+    /// Crash tick.
+    pub at: u64,
+    /// Recovery tick (`None` = crashed for the rest of the run).
+    pub recover_at: Option<u64>,
+}
+
+/// A complete, deterministic fault schedule for one simulation run.
+///
+/// See the [module docs](self) for the contract. Construct with struct
+/// update syntax from [`FaultPlan::default`] (the zero plan) and install
+/// with [`Simulation::set_fault_plan`](crate::Simulation::set_fault_plan).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probabilistic message loss, if any.
+    pub loss: Option<LossFault>,
+    /// Probabilistic message duplication, if any.
+    pub duplication: Option<DupFault>,
+    /// Extra worst-case latency, if any.
+    pub extra_delay: Option<DelayFault>,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crash/recover events.
+    pub crashes: Vec<CrashFault>,
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing: every probability is zero,
+    /// every window empty. A zero plan is guaranteed not to consume RNG
+    /// draws or alter the event schedule in any way.
+    pub fn is_zero(&self) -> bool {
+        self.loss
+            .as_ref()
+            .is_none_or(|l| l.prob <= 0.0 || l.until == 0)
+            && self
+                .duplication
+                .as_ref()
+                .is_none_or(|d| d.prob <= 0.0 || d.until == 0)
+            && self
+                .extra_delay
+                .as_ref()
+                .is_none_or(|d| d.ticks == 0 || d.until == 0)
+            && self.partitions.iter().all(|p| p.until <= p.from)
+            && self.crashes.is_empty()
+    }
+
+    /// The first tick from which the network is fault-free again and
+    /// every crashed process has recovered — or `None` if some fault
+    /// never heals (an unbounded window, or a crash without recovery).
+    ///
+    /// Termination oracles require protocol completion only for plans
+    /// that heal; safety oracles apply unconditionally.
+    pub fn heal_tick(&self) -> Option<u64> {
+        let mut heal = 0u64;
+        let mut window = |until: u64| -> bool {
+            if until == u64::MAX {
+                return false;
+            }
+            heal = heal.max(until);
+            true
+        };
+        if let Some(l) = &self.loss {
+            if l.prob > 0.0 && !window(l.until) {
+                return None;
+            }
+        }
+        if let Some(d) = &self.duplication {
+            if d.prob > 0.0 && !window(d.until) {
+                return None;
+            }
+        }
+        if let Some(d) = &self.extra_delay {
+            if d.ticks > 0 && !window(d.until) {
+                return None;
+            }
+        }
+        for p in &self.partitions {
+            if p.until > p.from && !window(p.until) {
+                return None;
+            }
+        }
+        for c in &self.crashes {
+            match c.recover_at {
+                Some(r) => {
+                    if !window(r) {
+                        return None;
+                    }
+                }
+                None => return None,
+            }
+        }
+        Some(heal)
+    }
+
+    /// Checks the plan against a system of `n` processes: probabilities
+    /// in range, ids in range, recovery after crash.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if let Some(l) = &self.loss {
+            if !prob_ok(l.prob) {
+                return Err(format!("loss prob {} outside [0, 1]", l.prob));
+            }
+            if let Some(links) = &l.links {
+                for (a, b) in links {
+                    if a.index() >= n || b.index() >= n {
+                        return Err(format!("loss link ({a}, {b}) outside 0..{n}"));
+                    }
+                }
+            }
+        }
+        if let Some(d) = &self.duplication {
+            if !prob_ok(d.prob) {
+                return Err(format!("duplication prob {} outside [0, 1]", d.prob));
+            }
+        }
+        for p in &self.partitions {
+            if p.side.iter().any(|i| i.index() >= n) {
+                return Err(format!("partition side {:?} outside 0..{n}", p.side));
+            }
+        }
+        for c in &self.crashes {
+            if c.process.index() >= n {
+                return Err(format!("crash process {} outside 0..{n}", c.process));
+            }
+            if let Some(r) = c.recover_at {
+                if r <= c.at {
+                    return Err(format!(
+                        "crash of {} recovers at {r} <= crash tick {}",
+                        c.process, c.at
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when a message `from → to` sent at `now` crosses an active
+    /// partition cut. Deterministic — no RNG involved.
+    pub fn severed(&self, from: ProcessId, to: ProcessId, now: SimTime) -> bool {
+        let t = now.ticks();
+        self.partitions
+            .iter()
+            .any(|p| t >= p.from && t < p.until && (p.side.contains(from) != p.side.contains(to)))
+    }
+
+    /// The loss probability applying to a message `from → to` sent at
+    /// `now` (0.0 = no loss, no RNG draw needed).
+    pub fn loss_prob(&self, from: ProcessId, to: ProcessId, now: SimTime) -> f64 {
+        match &self.loss {
+            Some(l) if l.prob > 0.0 && now.ticks() < l.until => match &l.links {
+                None => l.prob,
+                Some(links) => {
+                    if links.contains(&(from, to)) {
+                        l.prob
+                    } else {
+                        0.0
+                    }
+                }
+            },
+            _ => 0.0,
+        }
+    }
+
+    /// The duplication probability applying to a message sent at `now`.
+    pub fn dup_prob(&self, now: SimTime) -> f64 {
+        match &self.duplication {
+            Some(d) if d.prob > 0.0 && now.ticks() < d.until => d.prob,
+            _ => 0.0,
+        }
+    }
+
+    /// Extra worst-case latency for a message sent at `now`.
+    pub fn extra_delay(&self, now: SimTime) -> u64 {
+        match &self.extra_delay {
+            Some(d) if now.ticks() < d.until => d.ticks,
+            _ => 0,
+        }
+    }
+}
+
+/// One durable record written by an actor: an opaque protocol-defined
+/// `tag` plus payload words. The simulator never interprets records; the
+/// protocol that wrote them decodes them on recovery (and its
+/// contradiction oracle re-reads them after the run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Protocol-defined record kind.
+    pub tag: u64,
+    /// Payload words.
+    pub words: Vec<u64>,
+}
+
+/// Durable append-only storage that survives crashes — the interface
+/// protocol actors write ballot-critical state through
+/// ([`Context::journal`](crate::Context::journal)) and read back in
+/// [`Actor::on_recover`](crate::Actor::on_recover).
+pub trait Journal {
+    /// Appends a record.
+    fn append(&mut self, tag: u64, words: &[u64]);
+
+    /// All records, in append order.
+    fn records(&self) -> &[JournalRecord];
+}
+
+/// The in-memory [`Journal`] the simulator keeps per process. Unlike
+/// actor state it is *not* reset by a crash.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemJournal {
+    records: Vec<JournalRecord>,
+}
+
+impl MemJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        MemJournal::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends all of `other`'s records after this journal's (used by the
+    /// simulator to splice recovery-time appends after the pre-crash
+    /// prefix).
+    pub fn extend_from(&mut self, other: MemJournal) {
+        self.records.extend(other.records);
+    }
+}
+
+impl Journal for MemJournal {
+    fn append(&mut self, tag: u64, words: &[u64]) {
+        self.records.push(JournalRecord {
+            tag,
+            words: words.to_vec(),
+        });
+    }
+
+    fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero() {
+        assert!(FaultPlan::default().is_zero());
+        let plan = FaultPlan {
+            loss: Some(LossFault {
+                prob: 0.0,
+                until: 100,
+                links: None,
+            }),
+            duplication: Some(DupFault {
+                prob: 0.5,
+                until: 0,
+            }),
+            partitions: vec![Partition {
+                side: ProcessSet::from_ids([0]),
+                from: 50,
+                until: 50,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_zero(), "zero-prob / empty-window faults are zero");
+        assert_eq!(plan.heal_tick(), Some(0));
+    }
+
+    #[test]
+    fn heal_tick_is_latest_window_end() {
+        let plan = FaultPlan {
+            loss: Some(LossFault {
+                prob: 0.3,
+                until: 120,
+                links: None,
+            }),
+            partitions: vec![Partition {
+                side: ProcessSet::from_ids([0, 1]),
+                from: 10,
+                until: 90,
+            }],
+            crashes: vec![CrashFault {
+                process: ProcessId::new(2),
+                at: 40,
+                recover_at: Some(200),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_zero());
+        assert_eq!(plan.heal_tick(), Some(200));
+    }
+
+    #[test]
+    fn unhealed_faults_have_no_heal_tick() {
+        let unrecovered = FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(0),
+                at: 10,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(unrecovered.heal_tick(), None);
+        let forever = FaultPlan {
+            partitions: vec![Partition {
+                side: ProcessSet::from_ids([0]),
+                from: 0,
+                until: u64::MAX,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(forever.heal_tick(), None);
+    }
+
+    #[test]
+    fn partition_severs_cut_only_inside_window() {
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                side: ProcessSet::from_ids([0, 1]),
+                from: 10,
+                until: 20,
+            }],
+            ..FaultPlan::default()
+        };
+        let (a, b, c) = (ProcessId::new(0), ProcessId::new(1), ProcessId::new(2));
+        let t = SimTime::from_ticks;
+        assert!(plan.severed(a, c, t(10)));
+        assert!(plan.severed(c, a, t(19)));
+        assert!(!plan.severed(a, b, t(15)), "same side stays connected");
+        assert!(!plan.severed(a, c, t(9)), "before the window");
+        assert!(!plan.severed(a, c, t(20)), "healed");
+    }
+
+    #[test]
+    fn link_scoped_loss() {
+        let (a, b, c) = (ProcessId::new(0), ProcessId::new(1), ProcessId::new(2));
+        let plan = FaultPlan {
+            loss: Some(LossFault {
+                prob: 0.5,
+                until: 100,
+                links: Some(vec![(a, b)]),
+            }),
+            ..FaultPlan::default()
+        };
+        let t = SimTime::from_ticks;
+        assert_eq!(plan.loss_prob(a, b, t(0)), 0.5);
+        assert_eq!(plan.loss_prob(b, a, t(0)), 0.0, "directed link");
+        assert_eq!(plan.loss_prob(a, c, t(0)), 0.0);
+        assert_eq!(plan.loss_prob(a, b, t(100)), 0.0, "healed");
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        assert!(FaultPlan {
+            loss: Some(LossFault {
+                prob: 1.5,
+                until: 10,
+                links: None
+            }),
+            ..FaultPlan::default()
+        }
+        .validate(4)
+        .is_err());
+        assert!(FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(9),
+                at: 0,
+                recover_at: None
+            }],
+            ..FaultPlan::default()
+        }
+        .validate(4)
+        .is_err());
+        assert!(FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(1),
+                at: 50,
+                recover_at: Some(50)
+            }],
+            ..FaultPlan::default()
+        }
+        .validate(4)
+        .is_err());
+    }
+
+    #[test]
+    fn journal_appends_in_order() {
+        let mut j = MemJournal::new();
+        assert!(j.is_empty());
+        j.append(1, &[10, 20]);
+        j.append(2, &[30]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.records()[0].words, vec![10, 20]);
+        let mut pre = MemJournal::new();
+        pre.append(0, &[1]);
+        pre.extend_from(j);
+        assert_eq!(pre.len(), 3);
+        assert_eq!(pre.records()[0].tag, 0);
+        assert_eq!(pre.records()[2].tag, 2);
+    }
+}

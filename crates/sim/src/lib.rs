@@ -68,11 +68,18 @@ mod trace;
 
 pub mod adversary;
 pub mod explore;
+pub mod faults;
+pub mod retransmit;
 
 pub use actor::{Actor, Context, SimMessage};
 pub use explore::{ExploreEvent, ExploreSim, Perm, SimState, StateHasher};
+pub use faults::{
+    CrashFault, DelayFault, DupFault, FaultPlan, Journal, JournalRecord, LossFault, MemJournal,
+    Partition,
+};
 pub use metrics::{ProcessStats, SimReport};
 pub use network::NetworkConfig;
+pub use retransmit::{Backoff, ResilientActor, RetransmitConfig, RETRANSMIT_TAG};
 pub use runner::Simulation;
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent};

@@ -36,6 +36,17 @@ pub struct SimReport {
     pub bytes_sent: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Messages lost to the fault plan (link loss, partitions, crashed
+    /// receivers). Always 0 without an active [`FaultPlan`](crate::FaultPlan).
+    pub messages_dropped: u64,
+    /// Extra deliveries injected by duplication faults.
+    pub messages_duplicated: u64,
+    /// Timers cancelled by crashes (armed pre-crash or firing while down).
+    pub timers_cancelled: u64,
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Recovery events executed.
+    pub recoveries: u64,
     /// Simulated time at which the run stopped.
     pub end_time: SimTime,
     /// `true` if the run stopped because the event queue drained (vs.
@@ -57,6 +68,11 @@ impl SimReport {
         self.messages_delivered += other.messages_delivered;
         self.bytes_sent += other.bytes_sent;
         self.timers_fired += other.timers_fired;
+        self.messages_dropped += other.messages_dropped;
+        self.messages_duplicated += other.messages_duplicated;
+        self.timers_cancelled += other.timers_cancelled;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
         self.end_time = self.end_time.max(other.end_time);
         self.quiescent &= other.quiescent;
         if self.per_process.len() < other.per_process.len() {

@@ -23,7 +23,13 @@ pub struct NetworkConfig {
 
 impl NetworkConfig {
     /// A synchronous network (`GST = 0`) with the given `Δ` and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0` — a 0-delta network cannot honor the
+    /// delivery bound `[s + 1, s + Δ]`.
     pub fn synchronous(delta: u64, seed: u64) -> Self {
+        assert!(delta >= 1, "network delta must be >= 1, got {delta}");
         NetworkConfig {
             gst: SimTime::ZERO,
             delta,
@@ -32,7 +38,12 @@ impl NetworkConfig {
     }
 
     /// A partially synchronous network that stabilizes at `gst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0` (see [`NetworkConfig::synchronous`]).
     pub fn partially_synchronous(gst: u64, delta: u64, seed: u64) -> Self {
+        assert!(delta >= 1, "network delta must be >= 1, got {delta}");
         NetworkConfig {
             gst: SimTime::from_ticks(gst),
             delta,
@@ -78,5 +89,27 @@ mod tests {
         let c = NetworkConfig::default();
         assert_eq!(c.gst, SimTime::ZERO);
         assert_eq!(c.delta, 10);
+    }
+
+    #[test]
+    fn delta_one_is_accepted() {
+        // The smallest legal Δ: every message lands exactly next tick.
+        let c = NetworkConfig::synchronous(1, 0);
+        assert_eq!(
+            c.max_delivery(SimTime::from_ticks(5)),
+            SimTime::from_ticks(6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be >= 1")]
+    fn zero_delta_synchronous_panics() {
+        let _ = NetworkConfig::synchronous(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be >= 1")]
+    fn zero_delta_partially_synchronous_panics() {
+        let _ = NetworkConfig::partially_synchronous(100, 0, 7);
     }
 }

@@ -9,6 +9,7 @@ use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 use scup_obs::obs_event;
 
 use crate::actor::{Actor, Context, SimMessage};
+use crate::faults::{FaultPlan, MemJournal};
 use crate::metrics::{ProcessStats, SimReport};
 use crate::network::NetworkConfig;
 use crate::time::SimTime;
@@ -23,6 +24,15 @@ enum EventKind<M> {
     Timer {
         process: ProcessId,
         tag: u64,
+        /// The incarnation of the process when the timer was armed; a
+        /// crash bumps the incarnation, cancelling all earlier timers.
+        epoch: u32,
+    },
+    Crash {
+        process: ProcessId,
+    },
+    Recover {
+        process: ProcessId,
     },
 }
 
@@ -75,6 +85,20 @@ pub struct Simulation<M: SimMessage> {
     /// the whole run, so steady-state event processing allocates nothing.
     outbox_buf: Vec<(ProcessId, M)>,
     timers_buf: Vec<(u64, u64)>,
+    /// The installed fault schedule. `faults_active` caches `!is_zero()`
+    /// so the zero plan adds no per-message work (and, critically, no RNG
+    /// draws — the delivery schedule stays bit-identical to a run with no
+    /// plan at all).
+    faults: FaultPlan,
+    faults_active: bool,
+    /// Per-process crash state: `down[i]` while crashed, `epoch[i]`
+    /// counts incarnations (bumped on every crash; stale-epoch timers are
+    /// cancelled instead of fired).
+    down: Vec<bool>,
+    epoch: Vec<u32>,
+    /// Per-process durable journals — the one piece of state that
+    /// survives a [`FaultPlan`] crash.
+    journals: Vec<MemJournal>,
 }
 
 impl<M: SimMessage> Simulation<M> {
@@ -87,6 +111,7 @@ impl<M: SimMessage> Simulation<M> {
             per_process: vec![ProcessStats::default(); kg.n()],
             ..SimReport::default()
         };
+        let n = kg.n();
         Simulation {
             config,
             kg,
@@ -101,7 +126,45 @@ impl<M: SimMessage> Simulation<M> {
             started: false,
             outbox_buf: Vec::new(),
             timers_buf: Vec::new(),
+            faults: FaultPlan::default(),
+            faults_active: false,
+            down: vec![false; n],
+            epoch: vec![0; n],
+            journals: vec![MemJournal::new(); n],
         }
+    }
+
+    /// Installs a fault schedule (see [`FaultPlan`]). Must be called
+    /// before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run already started or the plan fails
+    /// [`FaultPlan::validate`] against this system.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "cannot install faults after the run started");
+        if let Err(e) = plan.validate(self.kg.n()) {
+            panic!("invalid fault plan: {e}");
+        }
+        self.faults_active = !plan.is_zero();
+        self.faults = plan;
+    }
+
+    /// The installed fault schedule (the zero plan unless
+    /// [`Simulation::set_fault_plan`] was called).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// `true` while process `i` is crashed.
+    pub fn is_down(&self, i: ProcessId) -> bool {
+        self.down[i.index()]
+    }
+
+    /// The durable journal of process `i` (empty unless its actor wrote
+    /// records via [`Context::journal`]).
+    pub fn journal(&self, i: ProcessId) -> &MemJournal {
+        &self.journals[i.index()]
     }
 
     /// Registers the actor for the next process id (call exactly `n` times,
@@ -183,6 +246,24 @@ impl<M: SimMessage> Simulation<M> {
             "every process needs an actor before the run starts"
         );
         self.started = true;
+        // Scheduled fault events enter the queue before any protocol
+        // traffic; with a zero plan this loop body never runs.
+        for c in self.faults.crashes.clone() {
+            self.seq += 1;
+            self.queue.push(QueueEntry {
+                at: SimTime::from_ticks(c.at),
+                seq: self.seq,
+                kind: EventKind::Crash { process: c.process },
+            });
+            if let Some(r) = c.recover_at {
+                self.seq += 1;
+                self.queue.push(QueueEntry {
+                    at: SimTime::from_ticks(r),
+                    seq: self.seq,
+                    kind: EventKind::Recover { process: c.process },
+                });
+            }
+        }
         for i in 0..self.actors.len() {
             let pid = ProcessId::new(i as u32);
             self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
@@ -207,9 +288,49 @@ impl<M: SimMessage> Simulation<M> {
             rng: &mut self.rng,
             outbox: &mut outbox,
             timers: &mut timers,
+            journal: Some(&mut self.journals[pid.index()]),
         };
         f(&mut *self.actors[pid.index()], &mut ctx);
         for (to, msg) in outbox.drain(..) {
+            let bytes = msg.size_hint() as u64;
+            self.report.messages_sent += 1;
+            self.report.bytes_sent += bytes;
+            let stats = &mut self.report.per_process[pid.index()];
+            stats.sent += 1;
+            stats.bytes_sent += bytes;
+            // Fault checks draw from the shared RNG in a fixed order
+            // (loss, then delivery time, then duplication), and only when
+            // a plan is active — a zero plan draws exactly the historical
+            // stream.
+            if self.faults_active {
+                if self.faults.severed(pid, to, self.now) {
+                    self.report.messages_dropped += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Dropped {
+                            at: self.now,
+                            from: pid,
+                            to,
+                            payload: format!("{msg:?}"),
+                        }
+                    );
+                    continue;
+                }
+                let p = self.faults.loss_prob(pid, to, self.now);
+                if p > 0.0 && self.rng.random_bool(p) {
+                    self.report.messages_dropped += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Dropped {
+                            at: self.now,
+                            from: pid,
+                            to,
+                            payload: format!("{msg:?}"),
+                        }
+                    );
+                    continue;
+                }
+            }
             let deliver_at = self.delivery_time();
             obs_event!(
                 self.trace,
@@ -221,12 +342,28 @@ impl<M: SimMessage> Simulation<M> {
                     payload: format!("{msg:?}"),
                 }
             );
-            let bytes = msg.size_hint() as u64;
-            self.report.messages_sent += 1;
-            self.report.bytes_sent += bytes;
-            let stats = &mut self.report.per_process[pid.index()];
-            stats.sent += 1;
-            stats.bytes_sent += bytes;
+            let duplicate = if self.faults_active {
+                let dp = self.faults.dup_prob(self.now);
+                dp > 0.0 && self.rng.random_bool(dp)
+            } else {
+                false
+            };
+            if duplicate {
+                // The copy draws its own delivery time, so the two
+                // deliveries interleave arbitrarily with other traffic.
+                let dup_at = self.delivery_time();
+                self.report.messages_duplicated += 1;
+                self.seq += 1;
+                self.queue.push(QueueEntry {
+                    at: dup_at,
+                    seq: self.seq,
+                    kind: EventKind::Deliver {
+                        from: pid,
+                        to,
+                        msg: msg.clone(),
+                    },
+                });
+            }
             self.seq += 1;
             self.queue.push(QueueEntry {
                 at: deliver_at,
@@ -234,12 +371,17 @@ impl<M: SimMessage> Simulation<M> {
                 kind: EventKind::Deliver { from: pid, to, msg },
             });
         }
+        let epoch = self.epoch[pid.index()];
         for (delay, tag) in timers.drain(..) {
             self.seq += 1;
             self.queue.push(QueueEntry {
                 at: self.now + delay,
                 seq: self.seq,
-                kind: EventKind::Timer { process: pid, tag },
+                kind: EventKind::Timer {
+                    process: pid,
+                    tag,
+                    epoch,
+                },
             });
         }
         self.outbox_buf = outbox;
@@ -247,9 +389,14 @@ impl<M: SimMessage> Simulation<M> {
     }
 
     /// Draws an adversarial-but-legal delivery time for a message sent now:
-    /// within `Δ` after `max(now, GST)`, never before `now + 1`.
+    /// within `Δ` after `max(now, GST)`, never before `now + 1`. An active
+    /// [`DelayFault`](crate::DelayFault) widens the horizon beyond the
+    /// `Δ` contract until it heals.
     fn delivery_time(&mut self) -> SimTime {
-        let horizon = self.config.max_delivery(self.now);
+        let mut horizon = self.config.max_delivery(self.now);
+        if self.faults_active {
+            horizon += self.faults.extra_delay(self.now);
+        }
         let span = horizon - self.now; // ≥ delta ≥ 1
         self.now + self.rng.random_range(1..=span)
     }
@@ -265,6 +412,21 @@ impl<M: SimMessage> Simulation<M> {
         self.now = entry.at;
         match entry.kind {
             EventKind::Deliver { from, to, msg } => {
+                if self.down[to.index()] {
+                    // A message arriving at a crashed process is lost,
+                    // like a packet hitting a rebooting host.
+                    self.report.messages_dropped += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Dropped {
+                            at: self.now,
+                            from,
+                            to,
+                            payload: format!("{msg:?}"),
+                        }
+                    );
+                    return true;
+                }
                 // Authenticated channel: receiving teaches the receiver the
                 // sender's identity (Section III-A).
                 self.known[to.index()].insert(from);
@@ -281,7 +443,17 @@ impl<M: SimMessage> Simulation<M> {
                 self.report.per_process[to.index()].delivered += 1;
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
-            EventKind::Timer { process, tag } => {
+            EventKind::Timer {
+                process,
+                tag,
+                epoch,
+            } => {
+                if self.down[process.index()] || epoch != self.epoch[process.index()] {
+                    // Timers are volatile: armed before a crash (stale
+                    // epoch) or firing while down, they are cancelled.
+                    self.report.timers_cancelled += 1;
+                    return true;
+                }
                 obs_event!(
                     self.trace,
                     TraceEvent::Timer {
@@ -292,6 +464,42 @@ impl<M: SimMessage> Simulation<M> {
                 );
                 self.report.timers_fired += 1;
                 self.dispatch(process, |actor, ctx| actor.on_timer(ctx, tag));
+            }
+            EventKind::Crash { process } => {
+                if !self.down[process.index()] {
+                    self.down[process.index()] = true;
+                    self.epoch[process.index()] += 1;
+                    self.report.crashes += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Crashed {
+                            at: self.now,
+                            process,
+                        }
+                    );
+                }
+            }
+            EventKind::Recover { process } => {
+                if self.down[process.index()] {
+                    self.down[process.index()] = false;
+                    self.report.recoveries += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Recovered {
+                            at: self.now,
+                            process,
+                        }
+                    );
+                    // Hand the actor its pre-crash journal; records it
+                    // appends *during* recovery land after the pre-crash
+                    // prefix, preserving append order.
+                    let pre = std::mem::take(&mut self.journals[process.index()]);
+                    self.dispatch(process, |actor, ctx| actor.on_recover(ctx, &pre));
+                    let post = std::mem::take(&mut self.journals[process.index()]);
+                    let mut merged = pre;
+                    merged.extend_from(post);
+                    self.journals[process.index()] = merged;
+                }
             }
         }
         true
@@ -504,5 +712,213 @@ mod tests {
         let mut sim: Simulation<Msg> = Simulation::new(kg, NetworkConfig::default());
         sim.add_actor(Box::new(PingPong::new()));
         sim.run_until_quiet(10);
+    }
+
+    use crate::faults::{CrashFault, DupFault, FaultPlan, Journal, LossFault, Partition};
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        let baseline = build(42).run_until_quiet(10_000);
+        let mut sim = build(42);
+        sim.set_fault_plan(FaultPlan::default());
+        let report = sim.run_until_quiet(10_000);
+        assert_eq!(baseline, report);
+        assert_eq!(report.messages_dropped, 0);
+        assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut sim = build(42);
+        sim.set_fault_plan(FaultPlan {
+            loss: Some(LossFault {
+                prob: 1.0,
+                until: u64::MAX,
+                links: None,
+            }),
+            ..FaultPlan::default()
+        });
+        let report = sim.run_until_quiet(10_000);
+        assert!(report.quiescent);
+        assert_eq!(report.messages_sent, 18); // pings leave the actors...
+        assert_eq!(report.messages_delivered, 0); // ...and all die in flight
+        assert_eq!(report.messages_dropped, 18);
+    }
+
+    #[test]
+    fn partition_severs_cut_links_during_its_window() {
+        // Isolate process 0 forever: its 2 pings die, and nothing reaches it.
+        let mut sim = build(42);
+        sim.set_fault_plan(FaultPlan {
+            partitions: vec![Partition {
+                side: ProcessSet::from_ids([0]),
+                from: 0,
+                until: u64::MAX,
+            }],
+            ..FaultPlan::default()
+        });
+        let report = sim.run_until_quiet(10_000);
+        assert!(report.quiescent);
+        assert!(report.messages_dropped >= 2);
+        assert_eq!(report.per_process[0].delivered, 0);
+        // Traffic entirely inside the other side still flows.
+        assert!(report.messages_delivered > 0);
+    }
+
+    #[test]
+    fn duplication_injects_extra_deliveries() {
+        let mut sim = build(42);
+        sim.set_fault_plan(FaultPlan {
+            duplication: Some(DupFault {
+                prob: 1.0,
+                until: u64::MAX,
+            }),
+            ..FaultPlan::default()
+        });
+        let report = sim.run_until_quiet(10_000);
+        assert!(report.quiescent);
+        // Every surviving send is doubled; the copies themselves spawn
+        // doubled pongs, so delivered strictly exceeds 2x the baseline 36.
+        assert_eq!(report.messages_duplicated, report.messages_sent);
+        assert_eq!(
+            report.messages_delivered,
+            report.messages_sent + report.messages_duplicated
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            loss: Some(LossFault {
+                prob: 0.3,
+                until: 5_000,
+                links: None,
+            }),
+            duplication: Some(DupFault {
+                prob: 0.2,
+                until: 5_000,
+            }),
+            crashes: vec![CrashFault {
+                process: ProcessId::new(2),
+                at: 5,
+                recover_at: Some(200),
+            }],
+            ..FaultPlan::default()
+        };
+        let run = |seed| {
+            let mut sim = build(seed);
+            sim.set_fault_plan(plan.clone());
+            sim.run_until_quiet(10_000)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).messages_dropped, 0);
+    }
+
+    /// Journals a mark at start; on recovery, re-journals and counts the
+    /// pre-crash records it was handed.
+    struct Journaler {
+        recovered_with: Option<usize>,
+    }
+
+    impl Actor<Msg> for Journaler {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            let me = ctx.self_id().as_u32() as u64;
+            if let Some(j) = ctx.journal() {
+                j.append(1, &[me]);
+            }
+            ctx.set_timer(100, 9);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _tag: u64) {
+            if let Some(j) = ctx.journal() {
+                j.append(2, &[]);
+            }
+        }
+        fn on_recover(&mut self, ctx: &mut Context<'_, Msg>, journal: &dyn crate::Journal) {
+            self.recovered_with = Some(journal.records().len());
+            if let Some(j) = ctx.journal() {
+                j.append(3, &[]);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_cancels_timers_and_recovery_hands_back_the_journal() {
+        let kg = generators::fig1();
+        let mut sim = Simulation::new(kg, NetworkConfig::synchronous(10, 11));
+        for _ in 0..8 {
+            sim.add_actor(Box::new(Journaler {
+                recovered_with: None,
+            }));
+        }
+        // Crash 0 before its t=100 timer fires; recover at 300.
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(0),
+                at: 50,
+                recover_at: Some(300),
+            }],
+            ..FaultPlan::default()
+        });
+        let report = sim.run_until_quiet(10_000);
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.timers_cancelled, 1);
+        assert_eq!(report.timers_fired, 7);
+        let p0 = ProcessId::new(0);
+        assert!(!sim.is_down(p0));
+        // on_recover saw exactly the pre-crash record (tag 1); its own
+        // recovery append (tag 3) landed after that prefix. The start
+        // record survives the crash; the timer record (tag 2) never
+        // happens for process 0.
+        assert_eq!(
+            sim.actor_as::<Journaler>(p0).unwrap().recovered_with,
+            Some(1)
+        );
+        let tags: Vec<u64> = sim.journal(p0).records().iter().map(|r| r.tag).collect();
+        assert_eq!(tags, vec![1, 3]);
+        // An uncrashed process journalled start + timer and never recovered.
+        let p1 = ProcessId::new(1);
+        assert!(sim
+            .actor_as::<Journaler>(p1)
+            .unwrap()
+            .recovered_with
+            .is_none());
+        let tags1: Vec<u64> = sim.journal(p1).records().iter().map(|r| r.tag).collect();
+        assert_eq!(tags1, vec![1, 2]);
+    }
+
+    #[test]
+    fn unrecovered_crash_silences_a_process() {
+        let mut sim = build(4);
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(3),
+                at: 1,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        });
+        let report = sim.run_until_quiet(10_000);
+        assert!(report.quiescent);
+        assert!(sim.is_down(ProcessId::new(3)));
+        assert_eq!(report.recoveries, 0);
+        // Pings already in flight toward 3 are dropped on arrival.
+        assert!(report.messages_dropped > 0);
+        assert_eq!(report.per_process[3].delivered, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_crash_target_is_rejected() {
+        let mut sim = build(4);
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(99),
+                at: 1,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        });
     }
 }

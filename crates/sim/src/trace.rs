@@ -38,6 +38,33 @@ pub enum TraceEvent {
         /// The timer tag.
         tag: u64,
     },
+    /// A message was lost to a fault (loss, partition, or a crashed
+    /// receiver).
+    Dropped {
+        /// Time of the loss (send time for link faults, scheduled
+        /// delivery time for crashed receivers).
+        at: SimTime,
+        /// Sender.
+        from: ProcessId,
+        /// Intended receiver.
+        to: ProcessId,
+        /// Debug rendering of the payload.
+        payload: String,
+    },
+    /// A process crashed (fault-plan event).
+    Crashed {
+        /// Crash time.
+        at: SimTime,
+        /// The crashed process.
+        process: ProcessId,
+    },
+    /// A crashed process recovered (fault-plan event).
+    Recovered {
+        /// Recovery time.
+        at: SimTime,
+        /// The recovering process.
+        process: ProcessId,
+    },
 }
 
 /// An optional in-memory event log for debugging protocol runs.

@@ -87,6 +87,12 @@ proptest! {
                     sent.swap_remove(idx.unwrap());
                 }
                 TraceEvent::Timer { .. } => {}
+                // No fault plan is installed here, so fault events can't occur.
+                TraceEvent::Dropped { .. }
+                | TraceEvent::Crashed { .. }
+                | TraceEvent::Recovered { .. } => {
+                    prop_assert!(false, "fault event without a fault plan: {e:?}");
+                }
             }
         }
         prop_assert!(sent.is_empty(), "{} sends were never delivered", sent.len());

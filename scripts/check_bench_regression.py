@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json
-        [--prefix P] [--min-ratio R] [--warn-prefix W] [--warn-ratio S]
+        [--prefix P] [--min-ratio R] [--warn-prefix W]... [--warn-ratio S]
 
 Both files are criterion-shim JSON arrays (objects with `name`,
 `ns_median`, and — for throughput rows — `elems_per_sec`).
@@ -15,7 +15,8 @@ on a >30% regression). Element counts are part of the case name, so a
 semantics change that moves a state count shows up as a missing case,
 not a silently skewed ratio.
 
-Warn-only cases (`--warn-prefix`, e.g. `explore_phases/`): compared by
+Warn-only cases (`--warn-prefix`, repeatable — e.g. `explore_phases/`
+plus `fault_plane/`): compared by
 `ns_median` (lower is better) and printed with a WARN marker when the
 current time exceeds `warn-ratio` × baseline (default 1.5), but never
 fail the check — per-phase splits shift with allocator and machine, so
@@ -38,7 +39,8 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--prefix", default="explore_states/")
     ap.add_argument("--min-ratio", type=float, default=0.7)
-    ap.add_argument("--warn-prefix", default=None)
+    ap.add_argument("--warn-prefix", action="append", default=None,
+                    help="repeatable; each adds a warn-only prefix group")
     ap.add_argument("--warn-ratio", type=float, default=1.5)
     args = ap.parse_args()
 
@@ -68,7 +70,7 @@ def main():
     if args.warn_prefix:
         warned = 0
         for name, base in sorted(baseline.items()):
-            if not name.startswith(args.warn_prefix):
+            if not any(name.startswith(p) for p in args.warn_prefix):
                 continue
             cur = current.get(name)
             if cur is None:
