@@ -212,6 +212,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
         let profile = ObsConfig {
             profile: true,
             trace: false,
+            forensics: false,
         };
         group.bench_with_input(
             BenchmarkId::new(format!("{name}-on"), states),
@@ -258,5 +259,57 @@ fn bench_obs_overhead(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_explorer, bench_obs_overhead);
+/// Forensics overhead on the counterexample search: `forensics = true`
+/// only touches the deterministic cex *replay* (causal recording +
+/// provenance + cone analysis on one re-run), never the exploration
+/// itself, so `forensics/split22-cex-{off,on}` must sit within noise of
+/// each other — the acceptance bar is ≤ 10%. Both rows are gated in CI
+/// (`--prefix forensics/` in `check_bench_regression.py`).
+fn bench_forensics_overhead(c: &mut Criterion) {
+    let registry = AdversaryRegistry::builtin();
+    let threads = 1usize;
+    let scenario = split22();
+    let states = explore_scenario(&scenario, threads, &registry).states;
+
+    let mut group = c.benchmark_group("forensics");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(states));
+    for (suffix, forensics) in [("off", false), ("on", true)] {
+        let config = ObsConfig {
+            profile: false,
+            trace: false,
+            forensics,
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("split22-cex-{suffix}"), states),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let clock = TraceClock::start();
+                    let mut events = Vec::new();
+                    let record = explore_scenario_obs(
+                        scenario,
+                        threads,
+                        &registry,
+                        config,
+                        &clock,
+                        1,
+                        &mut events,
+                    );
+                    let cex = record.violation.as_ref().expect("split22 violates");
+                    assert_eq!(cex.forensics.is_some(), forensics);
+                    record.states
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_explorer,
+    bench_obs_overhead,
+    bench_forensics_overhead
+);
 criterion_main!(benches);

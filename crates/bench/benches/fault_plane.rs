@@ -21,7 +21,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use scup_harness::campaign::run_one;
 use scup_harness::scenario::{FaultPlacement, FaultSpec, NetworkSpec, Scenario, TopologySpec};
-use scup_harness::AdversaryRegistry;
+use scup_harness::{protocol, topology, AdversaryRegistry};
 
 fn fig2(spec: Option<FaultSpec>) -> Scenario {
     let mut b = Scenario::builder("bench")
@@ -79,5 +79,77 @@ fn bench_fault_plane(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fault_plane);
+/// Forensics overhead on the sampled crash–recover run: the same
+/// simulation with the causal event graph + decision provenance
+/// disarmed vs armed. The `-off` row must cost the same as the plain
+/// `fault_plane/fig2-crash-recover` row (one branch per event); the
+/// `-on` row prices full recording. Both rows are gated in CI
+/// (`--prefix forensics/` in `check_bench_regression.py`).
+fn bench_forensics_sample(c: &mut Criterion) {
+    let registry = AdversaryRegistry::builtin();
+    let scenario = fig2(Some(FaultSpec {
+        crash: vec![2],
+        crash_at: 300,
+        recover_at: Some(2_000),
+        ..Default::default()
+    }));
+    let adversary = registry.resolve(&scenario.adversary).unwrap();
+    let (kg, generated) = topology::instantiate(&scenario.topology, scenario.f, 0);
+    let faulty = topology::place_faults(&scenario.faults, &kg, generated, 0).unwrap();
+    // Element denominator: delivered messages per iteration (4 seeds),
+    // deterministic for a fixed scenario + seed set.
+    let delivered: u64 = (0..4)
+        .map(|seed| {
+            protocol::execute_observed(
+                scenario.protocol,
+                &kg,
+                scenario.f,
+                &faulty,
+                adversary,
+                &scenario.network,
+                &scenario.fault_plan,
+                scenario.resolved_inputs(kg.n()),
+                seed,
+                false,
+                false,
+            )
+            .0
+            .messages_delivered
+        })
+        .sum();
+
+    let mut group = c.benchmark_group("forensics");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(delivered));
+    for (suffix, forensics) in [("off", false), ("on", true)] {
+        group.bench_function(format!("fig2-crash-recover-{suffix}/{delivered}"), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for seed in 0..4 {
+                    let out = protocol::execute_observed(
+                        scenario.protocol,
+                        &kg,
+                        scenario.f,
+                        &faulty,
+                        adversary,
+                        &scenario.network,
+                        &scenario.fault_plan,
+                        scenario.resolved_inputs(kg.n()),
+                        seed,
+                        false,
+                        forensics,
+                    )
+                    .0;
+                    assert_eq!(out.causal.is_enabled(), forensics);
+                    total += out.messages_delivered;
+                }
+                assert_eq!(total, delivered);
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_plane, bench_forensics_sample);
 criterion_main!(benches);

@@ -19,6 +19,17 @@
 //!                       mode re-runs each scenario's first seed with the
 //!                       simulator trace on and exports the message
 //!                       schedule (one track per process, sim ticks as µs)
+//!   --trace-seed N      with --trace-out in sample mode, export seed N
+//!                       instead of each scenario's first seed — the way
+//!                       to look at the exact schedule a failing seed ran
+//!   --forensics-out DIR write causal-forensics artifacts for every
+//!                       oracle failure: sample mode re-runs each failing
+//!                       seed with the causal event graph and decision
+//!                       provenance armed; explore mode arms them on the
+//!                       counterexample replay. Each violation yields a
+//!                       `<scenario>-seed<N>.forensics.json` analysis and
+//!                       a `.dot` causal-cone graph in DIR, and the same
+//!                       JSON block is embedded in the campaign report
 //!   --list-adversaries  print the adversary registry and exit
 //!   -h, --help          this text
 //! ```
@@ -38,6 +49,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use scup_harness::campaign::{CampaignMode, CampaignReport};
+use scup_harness::forensics::{self, ForensicReport};
 use scup_harness::{campaign_from_str, perfetto, AdversaryRegistry};
 use scup_mc::ObsConfig;
 use scup_obs::chrome::{write_trace_json, ChromeEvent};
@@ -48,12 +60,15 @@ struct Options {
     out: Option<String>,
     obs: bool,
     trace_out: Option<PathBuf>,
+    trace_seed: Option<u64>,
+    forensics_out: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: scup-campaign [--threads N] [--mode sample|explore] [--out PATH|-] \
-     [--obs] [--trace-out PATH] [--list-adversaries] <campaign.toml>..."
+     [--obs] [--trace-out PATH] [--trace-seed N] [--forensics-out DIR] \
+     [--list-adversaries] <campaign.toml>..."
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -63,6 +78,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         out: None,
         obs: false,
         trace_out: None,
+        trace_seed: None,
+        forensics_out: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -96,6 +113,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--trace-out" => {
                 options.trace_out =
                     Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
+            }
+            "--trace-seed" => {
+                let v = it.next().ok_or("--trace-seed needs a value")?;
+                options.trace_seed = Some(v.parse().map_err(|_| "--trace-seed needs an integer")?);
+            }
+            "--forensics-out" => {
+                options.forensics_out = Some(PathBuf::from(
+                    it.next().ok_or("--forensics-out needs a directory")?,
+                ));
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
@@ -216,7 +242,18 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
 
     match campaign.mode {
         CampaignMode::Sample => {
-            let report = campaign.run_observed(options.obs);
+            let mut report = campaign.run_observed(options.obs);
+            if let Some(dir) = &options.forensics_out {
+                // Failures get re-run with forensics armed *before* the
+                // report is emitted, so the JSON embeds the analyses.
+                forensics::attach_failures(&campaign, &mut report);
+                let analyses: Vec<&ForensicReport> = report
+                    .runs
+                    .iter()
+                    .filter_map(|r| r.forensics.as_ref())
+                    .collect();
+                write_forensics(options, dir, &analyses)?;
+            }
             emit(
                 options,
                 &summary(&report),
@@ -227,7 +264,11 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
                 // The sampled runs themselves stay untraced (payload
                 // rendering would tax every run); one traced re-run per
                 // scenario gives Perfetto the representative schedule.
-                write_trace(options, path, &perfetto::trace_first_seeds(&campaign))?;
+                write_trace(
+                    options,
+                    path,
+                    &perfetto::trace_seeds(&campaign, options.trace_seed),
+                )?;
             }
             Ok(report.all_passed())
         }
@@ -235,8 +276,18 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
             let obs = ObsConfig {
                 profile: options.obs || options.trace_out.is_some(),
                 trace: options.trace_out.is_some(),
+                forensics: options.forensics_out.is_some(),
             };
             let (report, events) = scup_mc::run_explore_campaign_obs(&campaign, obs);
+            if let Some(dir) = &options.forensics_out {
+                let analyses: Vec<&ForensicReport> = report
+                    .records
+                    .iter()
+                    .filter_map(|r| r.violation.as_ref())
+                    .filter_map(|v| v.forensics.as_ref())
+                    .collect();
+                write_forensics(options, dir, &analyses)?;
+            }
             emit(
                 options,
                 &scup_mc::summary(&report),
@@ -249,6 +300,37 @@ fn run_file(path: &Path, options: &Options) -> Result<bool, String> {
             Ok(report.all_passed())
         }
     }
+}
+
+/// Writes one `.forensics.json` analysis and one `.dot` causal-cone
+/// graph per violation into `dir`.
+fn write_forensics(
+    options: &Options,
+    dir: &Path,
+    analyses: &[&ForensicReport],
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for analysis in analyses {
+        let stem = analysis.artifact_stem();
+        let json_path = dir.join(format!("{stem}.forensics.json"));
+        std::fs::write(&json_path, analysis.to_json().pretty())
+            .map_err(|e| format!("{}: {e}", json_path.display()))?;
+        let dot_path = dir.join(format!("{stem}.dot"));
+        std::fs::write(&dot_path, &analysis.dot)
+            .map_err(|e| format!("{}: {e}", dot_path.display()))?;
+    }
+    let note = format!(
+        "  forensics: {} ({} violations analyzed)",
+        dir.display(),
+        analyses.len()
+    );
+    // With `--out -` the report JSON owns stdout (see `emit`).
+    if options.out.as_deref() == Some("-") {
+        eprintln!("{note}");
+    } else {
+        println!("{note}");
+    }
+    Ok(())
 }
 
 fn write_trace(options: &Options, path: &Path, events: &[ChromeEvent]) -> Result<(), String> {

@@ -17,6 +17,7 @@
 
 use scup_fbqs::SliceFamily;
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
+use scup_obs::causal::{CausalGraph, ProvenanceLog};
 use scup_scp::node::EquivocatingScpNode;
 use scup_scp::{NodeStats, ScpConfig, ScpNode, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
@@ -85,6 +86,12 @@ pub struct EndToEndConfig {
     /// natively). Disabled by default — fault-free runs keep their exact
     /// historical schedules.
     pub retransmit: RetransmitConfig,
+    /// Record the causal event graph and per-node decision provenance of
+    /// the SCP phase into [`Outcome::scp_causal`] /
+    /// [`Outcome::scp_provenance`]. Off by default and off the
+    /// bit-identity surface: the schedule, reports, and decisions are
+    /// unchanged by enabling it.
+    pub forensics: bool,
 }
 
 impl Default for EndToEndConfig {
@@ -100,6 +107,7 @@ impl Default for EndToEndConfig {
             trace: false,
             faults: FaultPlan::default(),
             retransmit: RetransmitConfig::disabled(),
+            forensics: false,
         }
     }
 }
@@ -134,6 +142,13 @@ pub struct Outcome {
     /// no fault plan journals anything). Feed them to
     /// [`scup_scp::journal_contradictions`] to audit crash recovery.
     pub scp_journals: Vec<MemJournal>,
+    /// Causal event graph of the SCP phase (disabled/empty unless
+    /// [`EndToEndConfig::forensics`]).
+    pub scp_causal: CausalGraph,
+    /// Per-process decision-provenance logs of the SCP phase (disabled
+    /// unless [`EndToEndConfig::forensics`]; disabled entries for faulty
+    /// processes).
+    pub scp_provenance: Vec<ProvenanceLog>,
 }
 
 impl Outcome {
@@ -262,6 +277,28 @@ pub fn run_sink_detection_traced(
     (detections, report, trace)
 }
 
+/// Everything observable from the SCP phase of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct ScpPhase {
+    /// Externalized values (`None` if undecided, and for faulty
+    /// processes).
+    pub decisions: Vec<Option<Value>>,
+    /// Simulator metrics of the phase.
+    pub report: SimReport,
+    /// Per-node message/ballot counters (defaults for faulty/non-SCP
+    /// actors).
+    pub node_stats: Vec<NodeStats>,
+    /// Event trace (empty unless [`EndToEndConfig::trace`]).
+    pub trace: Vec<TraceEvent>,
+    /// Per-process durable journals.
+    pub journals: Vec<MemJournal>,
+    /// Causal event graph (disabled unless [`EndToEndConfig::forensics`]).
+    pub causal: CausalGraph,
+    /// Per-process provenance logs (disabled unless
+    /// [`EndToEndConfig::forensics`]).
+    pub provenance: Vec<ProvenanceLog>,
+}
+
 /// Phases 2–3: builds slices from the detections (Algorithm 2) and runs
 /// SCP to externalization.
 pub fn run_scp_with_slices(
@@ -271,27 +308,22 @@ pub fn run_scp_with_slices(
     inputs: &[Value],
     config: &EndToEndConfig,
 ) -> (Vec<Option<Value>>, SimReport) {
-    let (decisions, report, _, _, _) =
-        run_scp_with_slices_observed(kg, faulty, slices, inputs, config);
-    (decisions, report)
+    let phase = run_scp_with_slices_observed(kg, faulty, slices, inputs, config);
+    (phase.decisions, phase.report)
 }
 
 /// [`run_scp_with_slices`], additionally returning each correct node's
-/// [`NodeStats`] counters (defaults for faulty/non-SCP actors) and the
-/// phase's event trace (empty unless [`EndToEndConfig::trace`]).
+/// [`NodeStats`] counters (defaults for faulty/non-SCP actors), the
+/// phase's event trace (empty unless [`EndToEndConfig::trace`]), its
+/// journals, and — under [`EndToEndConfig::forensics`] — the causal
+/// event graph and decision-provenance logs.
 pub fn run_scp_with_slices_observed(
     kg: &KnowledgeGraph,
     faulty: &ProcessSet,
     slices: Vec<SliceFamily>,
     inputs: &[Value],
     config: &EndToEndConfig,
-) -> (
-    Vec<Option<Value>>,
-    SimReport,
-    Vec<NodeStats>,
-    Vec<TraceEvent>,
-    Vec<MemJournal>,
-) {
+) -> ScpPhase {
     let net = NetworkConfig::partially_synchronous(config.gst, config.delta, config.seed ^ 0x5eed);
     let mut sim = Simulation::new(kg.clone(), net);
     if config.trace {
@@ -324,6 +356,14 @@ pub fn run_scp_with_slices_observed(
             let mut scp_config = ScpConfig::new(slices[i.index()].clone(), inputs[i.index()]);
             scp_config.retransmit = config.retransmit.clone();
             sim.add_actor(Box::new(ScpNode::new(scp_config)));
+        }
+    }
+    if config.forensics {
+        sim.enable_causal();
+        for i in kg.processes() {
+            if let Some(node) = sim.actor_as_mut::<ScpNode>(i) {
+                node.enable_provenance();
+            }
         }
     }
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
@@ -360,7 +400,23 @@ pub fn run_scp_with_slices_observed(
         .collect();
     let trace = sim.trace().events().to_vec();
     let journals = kg.processes().map(|i| sim.journal(i).clone()).collect();
-    (decisions, report, node_stats, trace, journals)
+    let provenance = kg
+        .processes()
+        .map(|i| {
+            sim.actor_as::<ScpNode>(i)
+                .map(|n| n.provenance().clone())
+                .unwrap_or_default()
+        })
+        .collect();
+    ScpPhase {
+        decisions,
+        report,
+        node_stats,
+        trace,
+        journals,
+        causal: sim.causal().clone(),
+        provenance,
+    }
 }
 
 /// The full positive pipeline: sink detector → Algorithm 2 → SCP
@@ -383,19 +439,20 @@ pub fn run_end_to_end(
             None => SliceFamily::empty(),
         })
         .collect();
-    let (decisions, scp_report, node_stats, scp_trace, scp_journals) =
-        run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
+    let scp = run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
     Outcome {
         faulty: faulty.clone(),
         inputs,
         detections,
-        decisions,
+        decisions: scp.decisions,
         sd_report,
-        scp_report,
-        node_stats,
+        scp_report: scp.report,
+        node_stats: scp.node_stats,
         sd_trace,
-        scp_trace,
-        scp_journals,
+        scp_trace: scp.trace,
+        scp_journals: scp.journals,
+        scp_causal: scp.causal,
+        scp_provenance: scp.provenance,
     }
 }
 
@@ -416,19 +473,20 @@ pub fn run_local_slices_pipeline(
         .processes()
         .map(|i| strategy.build(kg.pd(i), f))
         .collect();
-    let (decisions, scp_report, node_stats, scp_trace, scp_journals) =
-        run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
+    let scp = run_scp_with_slices_observed(kg, faulty, slices, &inputs, config);
     Outcome {
         faulty: faulty.clone(),
         inputs,
         detections: vec![None; kg.n()],
-        decisions,
+        decisions: scp.decisions,
         sd_report: SimReport::default(),
-        scp_report,
-        node_stats,
+        scp_report: scp.report,
+        node_stats: scp.node_stats,
         sd_trace: Vec::new(),
-        scp_trace,
-        scp_journals,
+        scp_trace: scp.trace,
+        scp_journals: scp.journals,
+        scp_causal: scp.causal,
+        scp_provenance: scp.provenance,
     }
 }
 
@@ -525,6 +583,8 @@ mod tests {
             sd_trace: Vec::new(),
             scp_trace: Vec::new(),
             scp_journals: Vec::new(),
+            scp_causal: CausalGraph::disabled(),
+            scp_provenance: Vec::new(),
         };
         assert!(outcome.agreement());
         assert_eq!(outcome.decided_value(), Some(5));

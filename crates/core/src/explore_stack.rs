@@ -95,6 +95,11 @@ pub struct StackActor {
     /// they are invisible to `fingerprint`/`fork` semantics.
     sd_scratch: Vec<(ProcessId, SdMsg)>,
     scp_scratch: Vec<(ProcessId, ScpMsg)>,
+    /// Arm decision provenance on the embedded SCP node the moment it
+    /// boots. Forensic plumbing only — deliberately **not** part of
+    /// `fingerprint`: recording provenance must not change the explored
+    /// state space.
+    prov_wanted: bool,
 }
 
 impl StackActor {
@@ -110,7 +115,27 @@ impl StackActor {
             buffered: Vec::new(),
             sd_scratch: Vec::new(),
             scp_scratch: Vec::new(),
+            prov_wanted: false,
         }
+    }
+
+    /// Arms decision provenance: the embedded [`ScpNode`] records its
+    /// vote→accept→confirm justifications from the moment it boots
+    /// (including the initial-proposal root written by `on_start`).
+    pub fn enable_provenance(&mut self) {
+        self.prov_wanted = true;
+        if let Some(node) = &mut self.scp {
+            node.enable_provenance();
+        }
+    }
+
+    /// The embedded node's provenance log (disabled/empty before the SCP
+    /// phase boots or when provenance was never armed).
+    pub fn provenance(&self) -> scup_obs::causal::ProvenanceLog {
+        self.scp
+            .as_ref()
+            .map(|node| node.provenance().clone())
+            .unwrap_or_default()
     }
 
     /// The externalized (decided) value, once the embedded SCP node
@@ -136,6 +161,10 @@ impl StackActor {
         };
         let slices = build_slices(&detection, self.f);
         let mut node = ScpNode::new(ScpConfig::new(slices, self.input));
+        if self.prov_wanted {
+            // Before `on_start`, so the proposal root is recorded.
+            node.enable_provenance();
+        }
         let buffered = std::mem::take(&mut self.buffered);
         ctx.with_mapped_scratch(&mut self.scp_scratch, StackMsg::Scp, |scp_ctx| {
             node.on_start(scp_ctx);

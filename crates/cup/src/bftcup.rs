@@ -31,7 +31,11 @@
 use std::collections::BTreeMap;
 
 use scup_graph::{ProcessId, ProcessSet};
-use scup_sim::{Actor, Backoff, Context, Journal, Perm, RetransmitConfig, SimMessage, StateHasher};
+use scup_obs::causal::{ProvEntry, ProvRule, ProvenanceLog};
+use scup_sim::{
+    Actor, Backoff, Context, Journal, Perm, RetransmitConfig, SimMessage, StateHasher,
+    RETRANSMIT_TAG,
+};
 
 use crate::discovery::{apply_perm, write_set_perm, SinkCore, SinkMsg};
 
@@ -152,9 +156,11 @@ impl SimMessage for BftMsg {
 
 /// Timer tags. View timers are `VIEW_TIMER + (view << 8)`.
 const VIEW_TIMER: u64 = 1;
-/// Retransmission rounds. Must be matched *before* the `tag >> 8` view
-/// decode in `on_timer`: `2 >> 8 == 0` would alias the view-0 timer.
-const RETRANSMIT_TIMER: u64 = 2;
+/// Retransmission rounds: the simulator-wide [`scup_sim::RETRANSMIT_TAG`]
+/// (`u64::MAX`), so the runner's retransmission-delay histogram sees these
+/// rounds. Still matched *before* the `tag >> 8` view decode in
+/// `on_timer`, which would otherwise treat it as a stale view timer.
+const RETRANSMIT_TIMER: u64 = RETRANSMIT_TAG;
 
 // Journal record tags: the durable pledges a crash must not erase.
 /// `[member ids...]` — the sink membership consensus runs over.
@@ -274,6 +280,10 @@ pub struct BftCupActor {
     /// Membership fixed ahead of the run ([`Self::with_members`]):
     /// consumed by `on_start`, which then skips SINK discovery entirely.
     preset_members: Option<ProcessSet>,
+    /// Decision provenance (disabled by default; see
+    /// [`BftCupActor::enable_provenance`]). Pure observability: excluded
+    /// from fingerprints and preserved across crash recovery.
+    prov: ProvenanceLog,
 }
 
 impl BftCupActor {
@@ -303,6 +313,7 @@ impl BftCupActor {
             backoff: Backoff::new(),
             retransmissions: 0,
             preset_members: None,
+            prov: ProvenanceLog::disabled(),
         }
     }
 
@@ -329,6 +340,75 @@ impl BftCupActor {
     /// Messages re-sent by retransmission rounds so far.
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// Turns on decision-provenance recording for this process. Purely
+    /// observational: recording changes no protocol behavior, no message,
+    /// and no fingerprint, and the log survives crash recovery (the
+    /// observer's notebook outlives the process's amnesia).
+    pub fn enable_provenance(&mut self) {
+        self.prov.enable();
+    }
+
+    /// The provenance log recorded so far (empty while disabled).
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.prov
+    }
+
+    /// Records a provenance entry when recording is enabled; the closure
+    /// keeps all `format!` work off the disabled path.
+    fn prov_note(
+        &mut self,
+        me: ProcessId,
+        rule: ProvRule,
+        entry: impl FnOnce() -> (String, Vec<(u32, String)>),
+    ) {
+        if self.prov.is_enabled() {
+            let (statement, premises) = entry();
+            self.prov.push(ProvEntry {
+                process: me.as_u32(),
+                rule,
+                statement,
+                premises,
+                support: Vec::new(),
+                support_label: None,
+            });
+        }
+    }
+
+    /// Locks `(view, value)` and broadcasts the commit pledge, recording
+    /// the justifying echo quorum as the lock's provenance support and a
+    /// commit-vote entry premised on the lock.
+    fn lock_and_commit(&mut self, ctx: &mut Context<'_, BftMsg>, view: u64, value: Value) {
+        self.committed_in_view = true;
+        self.lock = Some((view, value));
+        Self::journal(ctx, J_LOCK, &[view, value]);
+        if self.prov.is_enabled() {
+            let me = ctx.self_id().as_u32();
+            let support: Vec<u32> = self
+                .echoes
+                .get(&(view, value))
+                .map(|s| s.iter().map(|p| p.as_u32()).collect())
+                .unwrap_or_default();
+            self.prov.push(ProvEntry {
+                process: me,
+                rule: ProvRule::Lock,
+                statement: format!("{view} {value}"),
+                premises: Vec::new(),
+                support,
+                support_label: Some(format!("vote Echo({view}, {value})")),
+            });
+            self.prov.push(ProvEntry {
+                process: me,
+                rule: ProvRule::Vote,
+                statement: format!("Commit({view}, {value})"),
+                premises: vec![(me, format!("lock {view} {value}"))],
+                support: Vec::new(),
+                support_label: None,
+            });
+        }
+        self.send_members(ctx, BftMsg::Commit { view, value });
+        self.self_deliver(ctx, BftMsg::Commit { view, value });
     }
 
     /// Quorum size `q = ⌈(|V_sink| + f + 1) / 2⌉` (Algorithm 2's sink slice
@@ -434,11 +514,7 @@ impl BftCupActor {
             .collect();
         for value in ready {
             if !self.committed_in_view {
-                self.committed_in_view = true;
-                self.lock = Some((view, value));
-                Self::journal(ctx, J_LOCK, &[view, value]);
-                self.send_members(ctx, BftMsg::Commit { view, value });
-                self.self_deliver(ctx, BftMsg::Commit { view, value });
+                self.lock_and_commit(ctx, view, value);
             }
         }
         if self.decision.is_some() {
@@ -450,6 +526,13 @@ impl BftCupActor {
             if view == 0 {
                 let value = self.proposal;
                 self.proposed_in_view = true;
+                let me = ctx.self_id();
+                self.prov_note(me, ProvRule::Vote, || {
+                    (
+                        format!("Propose({view}, {value})"),
+                        vec![(me.as_u32(), format!("propose {value}"))],
+                    )
+                });
                 self.send_members(ctx, BftMsg::Propose { view, value });
                 self.self_deliver(ctx, BftMsg::Propose { view, value });
             } else {
@@ -487,6 +570,32 @@ impl BftCupActor {
         // Also respect our own lock.
         let own = self.lock.map(|(_, val)| val);
         let value = highest_lock.or(own).unwrap_or(self.proposal);
+        // Lock-handoff provenance: the adopted value traces back to the
+        // lock it was carried over from (or to our own proposal), and the
+        // view-change quorum is the proposal's support.
+        if self.prov.is_enabled() {
+            let me = ctx.self_id().as_u32();
+            let source = if let Some((lv, owner, lval)) = vcs
+                .iter()
+                .filter_map(|(j, l)| l.map(|(lv, lval)| (lv, *j, lval)))
+                .max_by_key(|(lv, _, _)| *lv)
+            {
+                (owner.as_u32(), format!("lock {lv} {lval}"))
+            } else if let Some((lv, lval)) = self.lock {
+                (me, format!("lock {lv} {lval}"))
+            } else {
+                (me, format!("propose {value}"))
+            };
+            let support: Vec<u32> = voters.iter().map(|p| p.as_u32()).collect();
+            self.prov.push(ProvEntry {
+                process: me,
+                rule: ProvRule::Vote,
+                statement: format!("Propose({view}, {value})"),
+                premises: vec![source],
+                support,
+                support_label: Some(format!("view {view}")),
+            });
+        }
         self.proposed_in_view = true;
         self.send_members(ctx, BftMsg::Propose { view, value });
         self.self_deliver(ctx, BftMsg::Propose { view, value });
@@ -512,6 +621,14 @@ impl BftCupActor {
                 }
                 self.echoed_in_view = true;
                 Self::journal(ctx, J_ECHO, &[view, value]);
+                let me = ctx.self_id();
+                let leader = from.as_u32();
+                self.prov_note(me, ProvRule::Vote, || {
+                    (
+                        format!("Echo({view}, {value})"),
+                        vec![(leader, format!("vote Propose({view}, {value})"))],
+                    )
+                });
                 self.send_members(ctx, BftMsg::Echo { view, value });
                 self.self_deliver(ctx, BftMsg::Echo { view, value });
             }
@@ -519,18 +636,23 @@ impl BftCupActor {
                 let voters = self.echoes.entry((view, value)).or_default();
                 voters.insert(from);
                 if view == self.view && voters.len() >= self.quorum() && !self.committed_in_view {
-                    self.committed_in_view = true;
-                    self.lock = Some((view, value));
-                    Self::journal(ctx, J_LOCK, &[view, value]);
-                    self.send_members(ctx, BftMsg::Commit { view, value });
-                    self.self_deliver(ctx, BftMsg::Commit { view, value });
+                    self.lock_and_commit(ctx, view, value);
                 }
             }
             BftMsg::Commit { view, value } => {
                 let voters = self.commits.entry((view, value)).or_default();
                 voters.insert(from);
                 if voters.len() >= self.quorum() {
-                    self.decide(ctx, value);
+                    let support = self.prov.is_enabled().then(|| {
+                        (
+                            self.commits[&(view, value)]
+                                .iter()
+                                .map(|p| p.as_u32())
+                                .collect(),
+                            format!("vote Commit({view}, {value})"),
+                        )
+                    });
+                    self.decide(ctx, value, support);
                 }
             }
             BftMsg::ViewChange { view, lock } => {
@@ -546,6 +668,15 @@ impl BftCupActor {
                     .count();
                 if view > self.view && count > self.config.f {
                     let own_lock = self.lock;
+                    let me = ctx.self_id();
+                    let proposal = self.proposal;
+                    self.prov_note(me, ProvRule::ViewChange, || {
+                        let premise = match own_lock {
+                            Some((lv, lval)) => (me.as_u32(), format!("lock {lv} {lval}")),
+                            None => (me.as_u32(), format!("propose {proposal}")),
+                        };
+                        (format!("{view}"), vec![premise])
+                    });
                     self.send_members(
                         ctx,
                         BftMsg::ViewChange {
@@ -565,12 +696,31 @@ impl BftCupActor {
         }
     }
 
-    fn decide(&mut self, ctx: &mut Context<'_, BftMsg>, value: Value) {
+    /// Decides `value`. `support`, when provenance is enabled, names the
+    /// justifying set (commit quorum or `f + 1` vouchers) and the label of
+    /// the entries it is expected to hold.
+    fn decide(
+        &mut self,
+        ctx: &mut Context<'_, BftMsg>,
+        value: Value,
+        support: Option<(Vec<u32>, String)>,
+    ) {
         if self.decision.is_some() {
             return;
         }
         self.decision = Some(value);
         Self::journal(ctx, J_DECIDE, &[value]);
+        if self.prov.is_enabled() {
+            let (support, label) = support.unwrap_or_default();
+            self.prov.push(ProvEntry {
+                process: ctx.self_id().as_u32(),
+                rule: ProvRule::Externalize,
+                statement: format!("{value}"),
+                premises: Vec::new(),
+                support,
+                support_label: (!label.is_empty()).then_some(label),
+            });
+        }
         // Disseminate to everyone who asked and to the sink.
         let targets = self.askers.union(&self.members);
         for j in &targets {
@@ -708,6 +858,11 @@ impl BftCupActor {
 
 impl Actor<BftMsg> for BftCupActor {
     fn on_start(&mut self, ctx: &mut Context<'_, BftMsg>) {
+        let me = ctx.self_id();
+        let proposal = self.proposal;
+        self.prov_note(me, ProvRule::Proposal, || {
+            (format!("{proposal}"), Vec::new())
+        });
         if let Some(members) = self.preset_members.take() {
             // Membership fixed ahead of the run: no discovery traffic,
             // straight into view 0 (mirrors `maybe_start_consensus`).
@@ -766,7 +921,13 @@ impl Actor<BftMsg> for BftCupActor {
                 // A sink member's decision is backed by its own quorum; a
                 // non-sink member needs f + 1 matching vouchers.
                 if votes.len() > self.config.f {
-                    self.decide(ctx, v);
+                    let support = self.prov.is_enabled().then(|| {
+                        (
+                            self.decide_votes[&v].iter().map(|p| p.as_u32()).collect(),
+                            format!("externalize {v}"),
+                        )
+                    });
+                    self.decide(ctx, v, support);
                 }
             }
             other => self.on_consensus(ctx, from, other),
@@ -774,9 +935,9 @@ impl Actor<BftMsg> for BftCupActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, BftMsg>, tag: u64) {
-        // Matched before the view decode (`2 >> 8 == 0` would alias the
-        // view-0 timer) and before the decision early-return: peers may
-        // still need re-announcements after we decide.
+        // Matched before the view decode (which would misread the tag as
+        // a stale view timer) and before the decision early-return: peers
+        // may still need re-announcements after we decide.
         if tag == RETRANSMIT_TIMER {
             self.retransmit_round(ctx);
             return;
@@ -790,6 +951,15 @@ impl Actor<BftMsg> for BftCupActor {
         }
         let next = self.view + 1;
         let own_lock = self.lock;
+        let me = ctx.self_id();
+        let proposal = self.proposal;
+        self.prov_note(me, ProvRule::ViewChange, || {
+            let premise = match own_lock {
+                Some((lv, lval)) => (me.as_u32(), format!("lock {lv} {lval}")),
+                None => (me.as_u32(), format!("propose {proposal}")),
+            };
+            (format!("{next}"), vec![premise])
+        });
         self.send_members(
             ctx,
             BftMsg::ViewChange {
@@ -814,8 +984,10 @@ impl Actor<BftMsg> for BftCupActor {
     /// current-view pledges are re-announced for peers that missed them.
     fn on_recover(&mut self, ctx: &mut Context<'_, BftMsg>, journal: &dyn Journal) {
         let retransmissions = self.retransmissions;
+        let prov = std::mem::take(&mut self.prov);
         *self = BftCupActor::new(self.pd.clone(), self.proposal, self.config.clone());
         self.retransmissions = retransmissions;
+        self.prov = prov;
 
         self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.config.f);
         let out = self.sink.start();
@@ -829,11 +1001,25 @@ impl Actor<BftMsg> for BftCupActor {
                     self.members = ids.iter().map(|&w| ProcessId::new(w as u32)).collect();
                 }
                 (J_VIEW, &[view]) => self.view = self.view.max(view),
-                (J_ECHO, &[view, value]) => echoes.push((view, value)),
+                (J_ECHO, &[view, value]) => {
+                    echoes.push((view, value));
+                    let me = ctx.self_id();
+                    self.prov_note(me, ProvRule::Replay, || {
+                        (format!("Echo({view}, {value})"), Vec::new())
+                    });
+                }
                 (J_LOCK, &[view, value]) if self.lock.is_none_or(|(v, _)| v <= view) => {
                     self.lock = Some((view, value));
+                    let me = ctx.self_id();
+                    self.prov_note(me, ProvRule::Replay, || {
+                        (format!("{view} {value}"), Vec::new())
+                    });
                 }
-                (J_DECIDE, &[value]) => self.decision = Some(value),
+                (J_DECIDE, &[value]) => {
+                    self.decision = Some(value);
+                    let me = ctx.self_id();
+                    self.prov_note(me, ProvRule::Replay, || (format!("{value}"), Vec::new()));
+                }
                 _ => {}
             }
         }
@@ -1369,6 +1555,105 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn provenance_chains_root_at_proposals_across_view_changes() {
+        use scup_obs::causal::walk_to_roots;
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        // Silence the view-0 leader: consensus must hand off to view 1,
+        // so the provenance DAG crosses a view-change boundary.
+        let leader = v_sink.first().unwrap();
+        let faulty = ProcessSet::singleton(leader);
+        let config = NetworkConfig::partially_synchronous(100, 10, 1);
+        let mut sim = Simulation::new(kg.clone(), config);
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                sim.add_actor(Box::new(SilentActor::new()));
+            } else {
+                sim.add_actor(Box::new(BftCupActor::new(
+                    kg.pd(i).clone(),
+                    100 + i.as_u32() as u64,
+                    BftConfig::new(1, 400),
+                )));
+            }
+        }
+        for i in kg.processes() {
+            if let Some(a) = sim.actor_as_mut::<BftCupActor>(i) {
+                a.enable_provenance();
+            }
+        }
+        sim.run_while(
+            |s| {
+                !s.knowledge_graph().processes().all(|i| {
+                    faulty.contains(i)
+                        || s.actor_as::<BftCupActor>(i)
+                            .is_some_and(|a| a.decision().is_some())
+                })
+            },
+            2_000_000,
+        );
+        let v = assert_consensus(&kg, &sim, &faulty);
+        let logs: Vec<ProvenanceLog> = kg
+            .processes()
+            .map(|i| {
+                sim.actor_as::<BftCupActor>(i)
+                    .map(|a| a.provenance().clone())
+                    .unwrap_or_else(ProvenanceLog::disabled)
+            })
+            .collect();
+        let q = (v_sink.len() + 2).div_ceil(2); // f = 1
+        let mut saw_view_change = false;
+        for i in kg.processes() {
+            if faulty.contains(i) {
+                continue;
+            }
+            // Every externalization walks back to initial proposals,
+            // across processes and across the view change.
+            let walk = walk_to_roots(&logs, i.as_u32(), &format!("externalize {v}"));
+            assert!(walk.rooted, "{i}: unresolved {:?}", walk.unresolved);
+            assert!(
+                walk.visited
+                    .iter()
+                    .any(|&(p, idx)| logs[p as usize].entries()[idx].rule == ProvRule::Proposal),
+                "{i}: no proposal in the walk"
+            );
+            // Soundness: recorded justifications meet the real thresholds.
+            for e in logs[i.index()].entries() {
+                match e.rule {
+                    ProvRule::Lock => {
+                        assert!(
+                            e.support.len() >= q,
+                            "{i}: lock {:?} backed by {} < q = {q} echoes",
+                            e.statement,
+                            e.support.len()
+                        );
+                        assert!(
+                            e.support
+                                .iter()
+                                .all(|&p| v_sink.contains(ProcessId::new(p))),
+                            "{i}: lock support strays outside the sink"
+                        );
+                    }
+                    ProvRule::Externalize => {
+                        let vouched = e
+                            .support_label
+                            .as_deref()
+                            .is_some_and(|l| l.starts_with("externalize"));
+                        let need = if vouched { 2 } else { q }; // f + 1 vouchers
+                        assert!(
+                            e.support.len() >= need,
+                            "{i}: decision backed by {} < {need}",
+                            e.support.len()
+                        );
+                    }
+                    ProvRule::ViewChange => saw_view_change = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_view_change, "a silent leader must force a view change");
     }
 
     #[test]

@@ -117,6 +117,15 @@ pub struct RunRecord {
     pub recoveries: u64,
     /// Messages re-sent by the protocols' retransmission layer.
     pub retransmissions: u64,
+    /// log₂ histogram of retransmission delays (bucket `k` counts
+    /// retransmit rounds that fired `[2^k, 2^(k+1))` ticks after being
+    /// armed), summed across phases.
+    pub retransmit_delay_buckets: Vec<u64>,
+    /// Per-link fault-plane drop counters, sorted `(from, to, dropped)`.
+    pub link_drops: Vec<(u32, u32, u64)>,
+    /// Forensic analysis of the violation, when the run failed and the
+    /// campaign ran with forensics on.
+    pub forensics: Option<crate::forensics::ForensicReport>,
     /// Simulated end time.
     pub end_ticks: u64,
     /// Wall-clock duration of the run, microseconds.
@@ -264,6 +273,9 @@ pub fn run_one(scenario: &Scenario, seed: u64, registry: &AdversaryRegistry) -> 
         crashes: 0,
         recoveries: 0,
         retransmissions: 0,
+        retransmit_delay_buckets: Vec::new(),
+        link_drops: Vec::new(),
+        forensics: None,
         end_ticks: 0,
         wall_micros: 0,
         passed: false,
@@ -374,6 +386,12 @@ fn run_configured(
     record.crashes = output.crashes;
     record.recoveries = output.recoveries;
     record.retransmissions = output.retransmissions;
+    record.retransmit_delay_buckets = output.retransmit_delay_buckets.clone();
+    record.link_drops = output
+        .link_drops
+        .iter()
+        .map(|(&(from, to), &dropped)| (from, to, dropped))
+        .collect();
     record.end_ticks = output.end_ticks;
     Ok(())
 }
@@ -489,7 +507,38 @@ impl RunRecord {
                     ("crashes", Json::Int(self.crashes as i64)),
                     ("recoveries", Json::Int(self.recoveries as i64)),
                     ("retransmissions", Json::Int(self.retransmissions as i64)),
+                    (
+                        "retransmit_delay_buckets",
+                        Json::Arr(
+                            self.retransmit_delay_buckets
+                                .iter()
+                                .map(|&c| Json::Int(c as i64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "link_drops",
+                        Json::Arr(
+                            self.link_drops
+                                .iter()
+                                .map(|&(from, to, dropped)| {
+                                    Json::obj([
+                                        ("from", Json::Int(from as i64)),
+                                        ("to", Json::Int(to as i64)),
+                                        ("dropped", Json::Int(dropped as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
+            ),
+            (
+                "forensics",
+                self.forensics
+                    .as_ref()
+                    .map(|f| f.to_json())
+                    .unwrap_or(Json::Null),
             ),
             ("end_ticks", Json::Int(self.end_ticks as i64)),
             ("wall_micros", Json::Int(self.wall_micros as i64)),
@@ -580,12 +629,26 @@ mod tests {
                 // the cycle fires once per phase.
                 assert_eq!((run.crashes, run.recoveries), (2, 2));
                 assert!(run.retransmissions > 0, "retransmission populates");
+                // Backoff observability: every retransmit round lands in
+                // some log₂ delay bucket, and every fault-plane drop is
+                // attributed to its link.
+                assert!(
+                    run.retransmit_delay_buckets.iter().sum::<u64>() > 0,
+                    "retransmit delay histogram populates"
+                );
+                assert_eq!(
+                    run.link_drops.iter().map(|&(_, _, d)| d).sum::<u64>(),
+                    run.messages_dropped,
+                    "per-link drops account for every dropped message"
+                );
                 assert!(run.invariants.termination_required);
                 assert!(run.invariants.termination);
             } else {
                 // Fault-free scenarios never touch the fault plane.
                 assert_eq!(run.messages_dropped + run.messages_duplicated, 0);
                 assert_eq!(run.crashes + run.recoveries + run.retransmissions, 0);
+                assert!(run.retransmit_delay_buckets.is_empty());
+                assert!(run.link_drops.is_empty());
             }
         }
         assert!(report.all_passed());
@@ -621,6 +684,8 @@ mod tests {
                 assert_eq!(x.messages_duplicated, y.messages_duplicated);
                 assert_eq!((x.crashes, x.recoveries), (y.crashes, y.recoveries));
                 assert_eq!(x.retransmissions, y.retransmissions);
+                assert_eq!(x.retransmit_delay_buckets, y.retransmit_delay_buckets);
+                assert_eq!(x.link_drops, y.link_drops);
                 assert_eq!(x.invariants, y.invariants);
                 assert_eq!(x.passed, y.passed);
                 assert_eq!(x.error, y.error);

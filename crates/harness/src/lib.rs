@@ -53,6 +53,7 @@
 
 pub mod adversary;
 pub mod campaign;
+pub mod forensics;
 pub mod json;
 pub mod oracle;
 pub mod parse;

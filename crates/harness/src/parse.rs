@@ -260,6 +260,7 @@ fn fault_spec_from_json(doc: &Json) -> Result<FaultSpec, String> {
         "crash",
         "crash_at",
         "recover_at",
+        "amnesia",
         "retransmit",
     ];
     for (key, _) in fields {
@@ -302,6 +303,7 @@ fn fault_spec_from_json(doc: &Json) -> Result<FaultSpec, String> {
         crash: ids("crash")?,
         crash_at: get_u64(table, "crash_at")?.unwrap_or(d.crash_at),
         recover_at: get_u64(table, "recover_at")?,
+        amnesia: ids("amnesia")?,
         retransmit: match table.get("retransmit") {
             None => d.retransmit,
             Some(v) => v.as_bool().ok_or("`faults.retransmit` must be a boolean")?,

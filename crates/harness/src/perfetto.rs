@@ -9,6 +9,8 @@
 //! sender's track (send tick → delivery tick); deliveries and timer
 //! fires are instants on the receiving process's track.
 
+use std::collections::{HashMap, VecDeque};
+
 use scup_obs::chrome::{ArgValue, ChromeEvent};
 use scup_sim::TraceEvent;
 
@@ -19,13 +21,24 @@ use crate::{protocol, topology};
 /// Converts one phase's simulator trace to Chrome events on process
 /// track `pid`. Thread `tid = i + 1` is simulated process `i`; ticks
 /// shift by `offset_us` so multi-phase pipelines lay out sequentially.
+///
+/// Each send→deliver pair additionally emits a flow arrow (Perfetto
+/// draws it from the in-flight span to the delivery instant), with ids
+/// allocated upward from `flow_base` — callers combining multiple
+/// phases into one document must pass disjoint bases.
 pub fn sim_trace_to_chrome(
     events: &[TraceEvent],
     pid: u32,
     offset_us: u64,
     cat: &'static str,
+    flow_base: u64,
 ) -> Vec<ChromeEvent> {
     let mut out = Vec::with_capacity(events.len());
+    // Pending flow ids keyed by (from, to, payload), FIFO: the simulator
+    // delivers same-link same-payload messages in send order, so the
+    // front of the queue is the matching send.
+    let mut pending: HashMap<(u32, u32, &str), VecDeque<u64>> = HashMap::new();
+    let mut next_flow = flow_base;
     for event in events {
         match event {
             TraceEvent::Sent {
@@ -34,32 +47,65 @@ pub fn sim_trace_to_chrome(
                 to,
                 deliver_at,
                 payload,
-            } => out.push(ChromeEvent::Complete {
-                name: format!("{from}->{to}"),
-                cat,
-                ts: offset_us + at.ticks(),
-                // Zero-length spans vanish in the viewer; clamp to 1 µs.
-                dur: deliver_at.ticks().saturating_sub(at.ticks()).max(1),
-                pid,
-                tid: from.as_u32() + 1,
-                args: vec![
-                    ("payload", ArgValue::Str(payload.clone())),
-                    ("to", ArgValue::U64(to.as_u32() as u64)),
-                ],
-            }),
+            } => {
+                let id = next_flow;
+                next_flow += 1;
+                pending
+                    .entry((from.as_u32(), to.as_u32(), payload.as_str()))
+                    .or_default()
+                    .push_back(id);
+                out.push(ChromeEvent::Complete {
+                    name: format!("{from}->{to}"),
+                    cat,
+                    ts: offset_us + at.ticks(),
+                    // Zero-length spans vanish in the viewer; clamp to 1 µs.
+                    dur: deliver_at.ticks().saturating_sub(at.ticks()).max(1),
+                    pid,
+                    tid: from.as_u32() + 1,
+                    args: vec![
+                        ("payload", ArgValue::Str(payload.clone())),
+                        ("to", ArgValue::U64(to.as_u32() as u64)),
+                    ],
+                });
+                out.push(ChromeEvent::FlowStart {
+                    name: format!("{from}->{to}"),
+                    cat,
+                    id,
+                    ts: offset_us + at.ticks(),
+                    pid,
+                    tid: from.as_u32() + 1,
+                });
+            }
             TraceEvent::Delivered {
                 at,
                 from,
                 to,
                 payload,
-            } => out.push(ChromeEvent::Instant {
-                name: format!("deliver {from}->{to}"),
-                cat,
-                ts: offset_us + at.ticks(),
-                pid,
-                tid: to.as_u32() + 1,
-                args: vec![("payload", ArgValue::Str(payload.clone()))],
-            }),
+            } => {
+                // Unmatched deliveries (fault-plane duplicates) get no
+                // arrow — only the original send is in flight.
+                let flow = pending
+                    .get_mut(&(from.as_u32(), to.as_u32(), payload.as_str()))
+                    .and_then(VecDeque::pop_front);
+                out.push(ChromeEvent::Instant {
+                    name: format!("deliver {from}->{to}"),
+                    cat,
+                    ts: offset_us + at.ticks(),
+                    pid,
+                    tid: to.as_u32() + 1,
+                    args: vec![("payload", ArgValue::Str(payload.clone()))],
+                });
+                if let Some(id) = flow {
+                    out.push(ChromeEvent::FlowEnd {
+                        name: format!("{from}->{to}"),
+                        cat,
+                        id,
+                        ts: offset_us + at.ticks(),
+                        pid,
+                        tid: to.as_u32() + 1,
+                    });
+                }
+            }
             TraceEvent::Timer { at, process, tag } => out.push(ChromeEvent::Instant {
                 name: format!("timer {tag}"),
                 cat: "timer",
@@ -115,11 +161,19 @@ pub fn sim_trace_to_chrome(
 /// schedule to *look at*, not a statistic, and every extra seed would
 /// only overlay another copy of the same topology.
 pub fn trace_first_seeds(campaign: &Campaign) -> Vec<ChromeEvent> {
+    trace_seeds(campaign, None)
+}
+
+/// [`trace_first_seeds`] with an optional seed override (the
+/// `--trace-seed` flag): when set, every scenario re-runs that seed
+/// instead of its `seed_base` — the way to export the exact schedule a
+/// failing seed produced.
+pub fn trace_seeds(campaign: &Campaign, seed_override: Option<u64>) -> Vec<ChromeEvent> {
     let registry = AdversaryRegistry::builtin();
     let mut events = Vec::new();
     for (idx, scenario) in campaign.scenarios.iter().enumerate() {
         let pid = idx as u32 + 1;
-        let seed = scenario.seed_base;
+        let seed = seed_override.unwrap_or(scenario.seed_base);
         let Ok(adversary) = registry.resolve(&scenario.adversary) else {
             continue;
         };
@@ -170,8 +224,16 @@ pub fn trace_first_seeds(campaign: &Campaign) -> Vec<ChromeEvent> {
             })
             .max()
             .unwrap_or(0);
-        events.extend(sim_trace_to_chrome(&phase1, pid, 0, "sink-detect"));
-        events.extend(sim_trace_to_chrome(&phase2, pid, phase1_end, "consensus"));
+        // Disjoint flow-id ranges: pid in the high bits, phase below.
+        let base = (pid as u64) << 32;
+        events.extend(sim_trace_to_chrome(&phase1, pid, 0, "sink-detect", base));
+        events.extend(sim_trace_to_chrome(
+            &phase2,
+            pid,
+            phase1_end,
+            "consensus",
+            base | (1 << 24),
+        ));
     }
     events
 }

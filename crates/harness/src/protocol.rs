@@ -2,8 +2,11 @@
 //! concrete `(graph, faulty, adversary, network, seed)` and produces the
 //! per-process decision vector the oracles judge.
 
+use std::collections::BTreeMap;
+
 use scup_cup::bftcup::{BftConfig, BftCupActor, BftMsg, EquivocatingLeader};
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
+use scup_obs::causal::{CausalGraph, ProvenanceLog};
 use scup_scp::{NodeStats, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
 use scup_sim::{NetworkConfig, ProcessStats, Simulation, TraceEvent};
@@ -50,6 +53,19 @@ pub struct ProtocolOutput {
     /// journal contradicts its pre-crash pledges (always a safety bug,
     /// regardless of oracle mode).
     pub pledge_violations: Vec<String>,
+    /// log₂ histogram of retransmission delays (bucket `k` counts
+    /// retransmit timers that fired `[2^k, 2^(k+1))` ticks after being
+    /// armed), summed across phases.
+    pub retransmit_delay_buckets: Vec<u64>,
+    /// Per-link fault-plane drop counters, keyed `(from, to)`, summed
+    /// across phases.
+    pub link_drops: BTreeMap<(u32, u32), u64>,
+    /// Causal event graph of the consensus phase (disabled unless the run
+    /// asked for forensics).
+    pub causal: CausalGraph,
+    /// Per-process decision-provenance logs of the consensus phase
+    /// (disabled unless the run asked for forensics).
+    pub provenance: Vec<ProvenanceLog>,
 }
 
 /// Runs one protocol execution. `inputs` must have one proposal per
@@ -90,11 +106,36 @@ pub fn execute_traced(
     seed: u64,
     trace: bool,
 ) -> (ProtocolOutput, Vec<TraceEvent>, Vec<TraceEvent>) {
+    execute_observed(
+        protocol, kg, f, faulty, adversary, network, fault_plan, inputs, seed, trace, false,
+    )
+}
+
+/// Like [`execute_traced`], with an additional `forensics` switch that
+/// records the consensus phase's causal event graph and per-node
+/// decision provenance into the output. Forensics never perturbs the
+/// schedule: a forensics-on run produces bit-identical decisions,
+/// reports, and traces to a forensics-off run.
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's fields
+pub fn execute_observed(
+    protocol: ProtocolSpec,
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    adversary: AdversaryKind,
+    network: &NetworkSpec,
+    fault_plan: &FaultSpec,
+    inputs: Vec<Value>,
+    seed: u64,
+    trace: bool,
+    forensics: bool,
+) -> (ProtocolOutput, Vec<TraceEvent>, Vec<TraceEvent>) {
     debug_assert_eq!(inputs.len(), kg.n());
     match protocol {
         ProtocolSpec::StellarMinimal => {
             let mut config = pipeline_config(adversary, network, fault_plan, inputs, seed);
             config.trace = trace;
+            config.forensics = forensics;
             let outcome = consensus::run_end_to_end(kg, f, faulty, &config);
             let mut combined = outcome.sd_report.clone();
             combined.absorb(&outcome.scp_report);
@@ -116,12 +157,17 @@ pub fn execute_traced(
                 recoveries: combined.recoveries,
                 retransmissions,
                 pledge_violations,
+                retransmit_delay_buckets: combined.retransmit_delay_buckets,
+                link_drops: combined.link_drops,
+                causal: outcome.scp_causal,
+                provenance: outcome.scp_provenance,
             };
             (output, outcome.sd_trace, outcome.scp_trace)
         }
         ProtocolSpec::StellarLocal(strategy) => {
             let mut config = pipeline_config(adversary, network, fault_plan, inputs, seed);
             config.trace = trace;
+            config.forensics = forensics;
             let outcome = consensus::run_local_slices_pipeline(kg, f, faulty, strategy, &config);
             let retransmissions = outcome.node_stats.iter().map(|s| s.retransmissions).sum();
             let pledge_violations = scp_pledge_violations(kg, faulty, &outcome.scp_journals);
@@ -141,12 +187,16 @@ pub fn execute_traced(
                 recoveries: outcome.scp_report.recoveries,
                 retransmissions,
                 pledge_violations,
+                retransmit_delay_buckets: outcome.scp_report.retransmit_delay_buckets.clone(),
+                link_drops: outcome.scp_report.link_drops.clone(),
+                causal: outcome.scp_causal,
+                provenance: outcome.scp_provenance,
             };
             (output, Vec::new(), outcome.scp_trace)
         }
         ProtocolSpec::BftCup => {
             let (output, events) = run_bftcup(
-                kg, f, faulty, adversary, network, fault_plan, inputs, seed, trace,
+                kg, f, faulty, adversary, network, fault_plan, inputs, seed, trace, forensics,
             );
             (output, Vec::new(), events)
         }
@@ -191,6 +241,7 @@ fn pipeline_config(
         trace: false,
         faults: fault_plan.to_plan(),
         retransmit: fault_plan.retransmit_config(network),
+        forensics: false,
     }
 }
 
@@ -207,11 +258,15 @@ fn run_bftcup(
     inputs: Vec<Value>,
     seed: u64,
     trace: bool,
+    forensics: bool,
 ) -> (ProtocolOutput, Vec<TraceEvent>) {
     let net = NetworkConfig::partially_synchronous(network.gst, network.delta, seed);
     let mut sim: Simulation<BftMsg> = Simulation::new(kg.clone(), net);
     if trace {
         sim.enable_trace();
+    }
+    if forensics {
+        sim.enable_causal();
     }
     let plan = fault_plan.to_plan();
     if !plan.is_zero() {
@@ -246,6 +301,13 @@ fn run_bftcup(
         }
     }
 
+    if forensics {
+        for i in kg.processes() {
+            if let Some(actor) = sim.actor_as_mut::<BftCupActor>(i) {
+                actor.enable_provenance();
+            }
+        }
+    }
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
     // Planned crash–recover cycles must actually run (and the recovered
     // node rejoin) before the sim may stop on all-decided.
@@ -281,6 +343,15 @@ fn run_bftcup(
         })
         .collect();
 
+    let provenance = kg
+        .processes()
+        .map(|i| {
+            sim.actor_as::<BftCupActor>(i)
+                .map(|a| a.provenance().clone())
+                .unwrap_or_default()
+        })
+        .collect();
+
     let output = ProtocolOutput {
         inputs,
         decisions,
@@ -289,7 +360,7 @@ fn run_bftcup(
         bytes_sent: report.bytes_sent,
         timers_fired: report.timers_fired,
         end_ticks: report.end_time.ticks(),
-        per_process: report.per_process,
+        per_process: report.per_process.clone(),
         // BFT-CUP has no SCP ballot machinery to count.
         node_stats: Vec::new(),
         messages_dropped: report.messages_dropped,
@@ -298,6 +369,10 @@ fn run_bftcup(
         recoveries: report.recoveries,
         retransmissions,
         pledge_violations,
+        retransmit_delay_buckets: report.retransmit_delay_buckets.clone(),
+        link_drops: report.link_drops.clone(),
+        causal: sim.causal().clone(),
+        provenance,
     };
     let events = sim.trace().events().to_vec();
     (output, events)

@@ -178,6 +178,10 @@ pub struct FaultSpec {
     pub crash_at: u64,
     /// Recovery tick for the crashed processes (`None` = down forever).
     pub recover_at: Option<u64>,
+    /// Crashed processes that lose their durable journal on recovery
+    /// (amnesia): they come back with empty state instead of replaying.
+    /// Must be a subset of `crash`. Empty = every recovery replays.
+    pub amnesia: Vec<u32>,
     /// Whether protocols run their retransmission layer to heal the lossy
     /// links (`true` by default; a zero plan never retransmits either
     /// way, preserving bit-identical fault-free schedules).
@@ -199,6 +203,7 @@ impl Default for FaultSpec {
             crash: Vec::new(),
             crash_at: 0,
             recover_at: None,
+            amnesia: Vec::new(),
             retransmit: true,
         }
     }
@@ -239,6 +244,7 @@ impl FaultSpec {
                     recover_at: self.recover_at,
                 })
                 .collect(),
+            amnesia: ProcessSet::from_ids(self.amnesia.iter().copied()),
         }
     }
 

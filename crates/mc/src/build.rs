@@ -27,6 +27,7 @@ use scup_fbqs::SliceFamily;
 use scup_graph::{kosr, sink, KnowledgeGraph, ProcessId, ProcessSet};
 use scup_harness::scenario::{ProtocolSpec, Scenario};
 use scup_harness::{topology, AdversaryKind, AdversaryRegistry};
+use scup_obs::causal::ProvenanceLog;
 use scup_scp::node::EquivocatingScpNode;
 use scup_scp::{ScpConfig, ScpMsg, ScpNode, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
@@ -133,6 +134,7 @@ impl Setup {
                     // timed fault plans have no untimed counterpart.
                     faults: scup_sim::FaultPlan::default(),
                     retransmit: scup_sim::RetransmitConfig::disabled(),
+                    forensics: false,
                 };
                 let (detections, _) =
                     consensus::run_sink_detection(&kg, scenario.f, &faulty, &config);
@@ -270,6 +272,21 @@ pub trait Driver: Sync {
         let _ = msg;
         origin_correct
     }
+
+    /// Arms decision provenance on every correct actor of an (unstarted)
+    /// simulation. Only the counterexample replay calls this — never the
+    /// exploration itself, so provenance stays off the fingerprinted
+    /// state space. The default is a no-op for protocols without capture.
+    fn enable_provenance(&self, sim: &mut ExploreSim<Self::Msg>) {
+        let _ = sim;
+    }
+
+    /// The per-process provenance logs after a replay (disabled logs
+    /// where the protocol or the process records none).
+    fn provenance(&self, sim: &ExploreSim<Self::Msg>) -> Vec<ProvenanceLog> {
+        let _ = sim;
+        vec![ProvenanceLog::default(); self.setup().kg.n()]
+    }
 }
 
 /// The SCP-phase driver (slices fixed before exploration); see the
@@ -351,6 +368,26 @@ impl Driver for ScpDriver<'_> {
 
     fn msg_origin(&self, _from: ProcessId, msg: &ScpMsg) -> ProcessId {
         msg.origin
+    }
+
+    fn enable_provenance(&self, sim: &mut ExploreSim<ScpMsg>) {
+        for i in self.setup.kg.processes() {
+            if let Some(node) = sim.actor_as_mut::<ScpNode>(i) {
+                node.enable_provenance();
+            }
+        }
+    }
+
+    fn provenance(&self, sim: &ExploreSim<ScpMsg>) -> Vec<ProvenanceLog> {
+        self.setup
+            .kg
+            .processes()
+            .map(|i| {
+                sim.actor_as::<ScpNode>(i)
+                    .map(|node| node.provenance().clone())
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 }
 
@@ -459,6 +496,26 @@ impl Driver for BftDriver<'_> {
     fn inert_origin_ok(&self, _origin_correct: bool, _msg: &BftMsg) -> bool {
         true
     }
+
+    fn enable_provenance(&self, sim: &mut ExploreSim<BftMsg>) {
+        for i in self.setup.kg.processes() {
+            if let Some(actor) = sim.actor_as_mut::<BftCupActor>(i) {
+                actor.enable_provenance();
+            }
+        }
+    }
+
+    fn provenance(&self, sim: &ExploreSim<BftMsg>) -> Vec<ProvenanceLog> {
+        self.setup
+            .kg
+            .processes()
+            .map(|i| {
+                sim.actor_as::<BftCupActor>(i)
+                    .map(|actor| actor.provenance().clone())
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
 }
 
 /// The full-stack driver (`explore_discovery = true`): discovery, sink
@@ -541,5 +598,25 @@ impl Driver for StackDriver<'_> {
             StackMsg::Sd(_) => true,
             StackMsg::Scp(_) => origin_correct,
         }
+    }
+
+    fn enable_provenance(&self, sim: &mut ExploreSim<StackMsg>) {
+        for i in self.setup.kg.processes() {
+            if let Some(actor) = sim.actor_as_mut::<StackActor>(i) {
+                actor.enable_provenance();
+            }
+        }
+    }
+
+    fn provenance(&self, sim: &ExploreSim<StackMsg>) -> Vec<ProvenanceLog> {
+        self.setup
+            .kg
+            .processes()
+            .map(|i| {
+                sim.actor_as::<StackActor>(i)
+                    .map(|actor| actor.provenance())
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 }

@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use scup_harness::campaign::Campaign;
+use scup_harness::forensics::ForensicReport;
 use scup_harness::scenario::ProtocolSpec;
 use scup_harness::{oracle, AdversaryRegistry, OracleMode, Scenario};
 use scup_obs::chrome::{ArgValue, ChromeEvent, TraceBuffer, TraceClock};
@@ -33,6 +34,14 @@ pub struct ObsConfig {
     /// Emit Chrome-trace-event worker timelines (implies `profile` costs
     /// for the per-root phase breakdown).
     pub trace: bool,
+    /// Attach a causal-forensics block to rendered counterexamples: the
+    /// minimal schedule is replayed a second time with the causal event
+    /// graph and decision provenance armed, and the violation's causal
+    /// cone plus per-decision provenance chains land in the record's
+    /// `violation.forensics` field. Exploration itself is untouched —
+    /// forensics only ever runs on the (deterministic) replay, so every
+    /// other record field is bit-identical with forensics off.
+    pub forensics: bool,
 }
 
 impl ObsConfig {
@@ -455,7 +464,14 @@ fn explore_with_driver<D: Driver>(
         let (variant, path) = engine
             .find_cex(variants, d_star)
             .expect("a violating state at depth d* is reachable by construction");
-        record.violation = Some(render_cex(driver, &engine, variant, &path));
+        record.violation = Some(render_cex(
+            driver,
+            &engine,
+            variant,
+            &path,
+            &scenario.name,
+            ctx.config.forensics,
+        ));
         ctx.span_end(
             "find_cex",
             cex_ts,
@@ -524,16 +540,25 @@ fn push_root_spans(
     }
 }
 
-/// Replays the counterexample path with tracing on and renders it.
+/// Replays the counterexample path with tracing on and renders it. With
+/// `forensics`, the replay also records the causal event graph and
+/// per-process decision provenance, and the report gains the violation's
+/// causal cone and provenance chains.
 fn render_cex<D: Driver>(
     driver: &D,
     engine: &Engine<'_, D>,
     variant: u32,
     path: &[u32],
+    scenario: &str,
+    forensics: bool,
 ) -> CexReport {
     let setup = driver.setup();
     let mut sim = driver.build_sim(variant);
     sim.enable_trace();
+    if forensics {
+        sim.enable_causal();
+        driver.enable_provenance(&mut sim);
+    }
     engine.replay_into(&mut sim, path);
     let decisions = driver.decisions(&sim);
 
@@ -563,7 +588,7 @@ fn render_cex<D: Driver>(
         &decisions,
         setup.adversary,
     );
-    let violations = invariants
+    let violations: Vec<String> = invariants
         .violations
         .into_iter()
         // Termination is a liveness property; mid-schedule states are
@@ -571,12 +596,25 @@ fn render_cex<D: Driver>(
         .filter(|v| !v.starts_with("termination"))
         .collect();
 
+    let forensic = forensics.then(|| {
+        let provenance = driver.provenance(&sim);
+        ForensicReport::from_parts(
+            scenario,
+            variant as u64,
+            &violations,
+            sim.causal(),
+            &provenance,
+            &decisions,
+        )
+    });
+
     CexReport {
         depth: path.len() as u32,
         variant,
         violations,
         schedule,
         decisions,
+        forensics: forensic,
     }
 }
 

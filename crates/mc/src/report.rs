@@ -113,6 +113,12 @@ pub struct CexReport {
     pub schedule: Vec<String>,
     /// Per-process decisions in the violating state.
     pub decisions: Vec<Option<Value>>,
+    /// Causal forensics of the violation — the causal cone of the bad
+    /// decisions and their provenance chains — when the campaign ran with
+    /// forensics on. Deterministic (the replay is), but present only
+    /// under the flag, so the forensics-off report shape is unchanged
+    /// modulo this one `null`.
+    pub forensics: Option<scup_harness::forensics::ForensicReport>,
 }
 
 /// The exploration outcome for one scenario.
@@ -353,6 +359,13 @@ impl CexReport {
                         .map(|d| d.map(|v| Json::Int(v as i64)).unwrap_or(Json::Null))
                         .collect(),
                 ),
+            ),
+            (
+                "forensics",
+                self.forensics
+                    .as_ref()
+                    .map(|f| f.to_json())
+                    .unwrap_or(Json::Null),
             ),
         ])
     }

@@ -73,6 +73,11 @@ fn deterministic_view(mut r: ExploreRecord) -> ExploreRecord {
     r.transitions = 0;
     r.sleep_prunes = 0;
     r.obs = None;
+    // Forensics is opt-in annotation on the rendered counterexample;
+    // like `obs`, it is outside the bit-identity contract.
+    if let Some(v) = &mut r.violation {
+        v.forensics = None;
+    }
     r
 }
 
@@ -437,11 +442,12 @@ fn new_campaign_scenarios_are_bit_identical_across_worker_counts() {
 
 #[test]
 fn observability_never_changes_a_verdict() {
-    // The observability acceptance bar: profiling and trace collection
-    // ride alongside the search — same verdicts, same state census, same
-    // minimal counterexample depth, bit-identical deterministic fields —
-    // at every worker count. Only the `obs` block and the Chrome events
-    // may differ from an unobserved run.
+    // The observability acceptance bar: profiling, trace collection and
+    // causal forensics ride alongside the search — same verdicts, same
+    // state census, same minimal counterexample depth, bit-identical
+    // deterministic fields — at every worker count. Only the `obs`
+    // block, the Chrome events and the counterexample's `forensics`
+    // annotation may differ from an unobserved run.
     use scup_mc::{run_explore_campaign_obs, ObsConfig};
     let campaign = |threads: usize| Campaign {
         name: "obs-diff".into(),
@@ -456,13 +462,22 @@ fn observability_never_changes_a_verdict() {
     let off = run_explore_campaign(&campaign(1));
     assert!(off.all_passed());
     assert!(off.records.iter().all(|r| r.obs.is_none()));
+    assert!(
+        off.records
+            .iter()
+            .filter_map(|r| r.violation.as_ref())
+            .all(|v| v.forensics.is_none()),
+        "forensics stays off by default"
+    );
     let full = ObsConfig {
         profile: true,
         trace: true,
+        forensics: true,
     };
     for threads in [1, 2, 8] {
         let (on, events) = run_explore_campaign_obs(&campaign(threads), full);
         assert!(!events.is_empty(), "tracing must emit worker timelines");
+        let mut saw_forensics = false;
         for (a, b) in off.records.iter().zip(&on.records) {
             let obs = b.obs.as_ref().expect("profiling populates the obs block");
             assert!(
@@ -470,6 +485,9 @@ fn observability_never_changes_a_verdict() {
                 "phase laps must be attributed"
             );
             assert_eq!(obs.visited_len, a.states, "occupancy matches the census");
+            if let Some(v) = &b.violation {
+                saw_forensics |= v.forensics.is_some();
+            }
             // Everything inside the bit-identity contract is unchanged.
             assert_eq!(
                 deterministic_view(a.clone()),
@@ -477,7 +495,75 @@ fn observability_never_changes_a_verdict() {
                 "obs-off/1 vs obs-on/{threads}"
             );
         }
+        assert!(
+            saw_forensics,
+            "forensics-on must annotate the split22 counterexample"
+        );
     }
+}
+
+#[test]
+fn split22_cex_forensics_explains_the_violation() {
+    // The forensic acceptance bar on the canonical split-quorum
+    // counterexample: the causal cone is a strict subset of the full
+    // event log, and every provenance chain walks back to initial
+    // proposals.
+    use scup_mc::{run_explore_campaign_obs, ObsConfig};
+    let campaign = Campaign {
+        name: "forensics".into(),
+        mode: CampaignMode::Explore,
+        threads: 2,
+        scenarios: vec![split22()],
+    };
+    let obs = ObsConfig {
+        forensics: true,
+        ..Default::default()
+    };
+    let (report, _) = run_explore_campaign_obs(&campaign, obs);
+    let record = &report.records[0];
+    assert!(record.passed, "split22 expects its violation");
+    let cex = record.violation.as_ref().expect("a counterexample");
+    let forensics = cex
+        .forensics
+        .as_ref()
+        .expect("forensics-on annotates the counterexample");
+    assert!(!forensics.violations.is_empty());
+    assert!(
+        !forensics.anchors.is_empty(),
+        "the agreement finding names the disagreeing processes"
+    );
+    assert!(
+        !forensics.cone.is_empty() && forensics.cone.len() < forensics.total_events,
+        "cone ({}) must be a strict subset of the event log ({})",
+        forensics.cone.len(),
+        forensics.total_events
+    );
+    assert!(!forensics.chains.is_empty());
+    for chain in &forensics.chains {
+        assert!(
+            chain.rooted,
+            "chain for p{} must terminate at proposals: {:?}",
+            chain.process, chain.unresolved
+        );
+        assert!(
+            chain.roots.iter().any(|r| r.contains("propose")),
+            "roots must be initial proposals: {:?}",
+            chain.roots
+        );
+    }
+    assert!(
+        forensics.dot.starts_with("digraph") && forensics.dot.contains("cluster_p0"),
+        "the DOT render clusters events by process"
+    );
+    // The analysis is embedded in the report JSON under the violation.
+    let json = report.to_json();
+    let rec = &json.get("records").unwrap().as_arr().unwrap()[0];
+    let block = rec.get("violation").unwrap().get("forensics").unwrap();
+    assert!(block.get("chains").is_some());
+    assert_eq!(
+        block.get("events").unwrap().get("cone").unwrap().as_i64(),
+        Some(forensics.cone.len() as i64)
+    );
 }
 
 #[test]

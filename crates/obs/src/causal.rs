@@ -1,0 +1,776 @@
+//! Causal forensics: vector-clock event graphs and decision provenance.
+//!
+//! Two recorders live here, both **zero-cost when disabled** (every record
+//! call early-returns behind a single branch) and both kept *off* the
+//! bit-identity surface: nothing recorded here may flow into deterministic
+//! report fields, fingerprints, or schedules.
+//!
+//! - [`CausalGraph`]: a per-run event DAG. Every network and fault-plane
+//!   event (send, deliver, drop, duplicate, timer, retransmit, crash,
+//!   recover) becomes a node carrying the acting process's
+//!   [`VectorClock`] and up to two parent edges: the previous event of the
+//!   same process, and — for deliveries, drops and duplicates — the send
+//!   that caused it. The backward closure of a violating decision over
+//!   this graph is its **causal cone**: the exact set of events that
+//!   could have influenced it.
+//! - [`ProvenanceLog`]: a per-process log of *why* each pledge was made.
+//!   Every vote→accept→confirm ratchet step records the justifying quorum
+//!   or v-blocking set ([`ProvEntry::support`]) plus the triggering
+//!   statements ([`ProvEntry::premises`]), forming a provenance DAG that
+//!   [`walk_to_roots`] traverses from an externalized value back to the
+//!   initial proposals (or journal replays) that seeded it.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A vector clock over `n` processes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Advances process `i`'s component by one.
+    pub fn tick(&mut self, i: usize) {
+        if i < self.0.len() {
+            self.0[i] += 1;
+        }
+    }
+
+    /// Component-wise maximum with `other` (the receive-side merge).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Process `i`'s component (0 when out of range).
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// `true` when every component of `self` is ≤ the matching component
+    /// of `other` — i.e. `self` causally precedes or equals `other`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Strict happens-before: `self ≤ other` and `self ≠ other`.
+    pub fn before(&self, other: &VectorClock) -> bool {
+        self.leq(other) && self.0 != other.0
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Index of an event in a [`CausalGraph`] (dense, in recording order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The "no parent" sentinel.
+    pub const NONE: EventId = EventId(u32::MAX);
+
+    /// `true` unless this is [`EventId::NONE`].
+    pub fn is_some(self) -> bool {
+        self != EventId::NONE
+    }
+}
+
+/// What happened at a causal-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalKind {
+    /// A message left `from` bound for `to`.
+    Send {
+        /// Sending process.
+        from: u32,
+        /// Destination process.
+        to: u32,
+    },
+    /// A message from `from` was handed to `to`'s handler.
+    Deliver {
+        /// Original sender.
+        from: u32,
+        /// Receiving process.
+        to: u32,
+    },
+    /// The network (fault plane) dropped a message in flight.
+    Drop {
+        /// Original sender.
+        from: u32,
+        /// Intended destination.
+        to: u32,
+    },
+    /// The network duplicated a message in flight.
+    Duplicate {
+        /// Original sender.
+        from: u32,
+        /// Destination of the extra copy.
+        to: u32,
+    },
+    /// A protocol timer fired at `process`.
+    Timer {
+        /// Process whose timer fired.
+        process: u32,
+        /// The protocol's timer tag.
+        tag: u64,
+    },
+    /// A retransmission round fired at `process`.
+    Retransmit {
+        /// Retransmitting process.
+        process: u32,
+    },
+    /// The fault plane crashed `process`.
+    Crash {
+        /// Crashed process.
+        process: u32,
+    },
+    /// The fault plane recovered `process`.
+    Recover {
+        /// Recovered process.
+        process: u32,
+    },
+}
+
+impl CausalKind {
+    /// The process this event is charged to (receiver for deliveries,
+    /// sender for sends/drops/duplicates).
+    pub fn acting_process(&self) -> u32 {
+        match *self {
+            CausalKind::Send { from, .. }
+            | CausalKind::Drop { from, .. }
+            | CausalKind::Duplicate { from, .. } => from,
+            CausalKind::Deliver { to, .. } => to,
+            CausalKind::Timer { process, .. }
+            | CausalKind::Retransmit { process }
+            | CausalKind::Crash { process }
+            | CausalKind::Recover { process } => process,
+        }
+    }
+
+    fn dot_label(&self) -> String {
+        match *self {
+            CausalKind::Send { from, to } => format!("send {from}→{to}"),
+            CausalKind::Deliver { from, to } => format!("deliver {from}→{to}"),
+            CausalKind::Drop { from, to } => format!("drop {from}→{to}"),
+            CausalKind::Duplicate { from, to } => format!("dup {from}→{to}"),
+            CausalKind::Timer { process, tag } => format!("timer p{process} tag {tag}"),
+            CausalKind::Retransmit { process } => format!("retransmit p{process}"),
+            CausalKind::Crash { process } => format!("crash p{process}"),
+            CausalKind::Recover { process } => format!("recover p{process}"),
+        }
+    }
+}
+
+/// One node of the causal event graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalEvent {
+    /// This event's id (its index in [`CausalGraph::events`]).
+    pub id: EventId,
+    /// Simulation tick at which the event happened.
+    pub at: u64,
+    /// What happened.
+    pub kind: CausalKind,
+    /// The acting process's vector clock *after* this event.
+    pub clock: VectorClock,
+    /// Parent edges: `[program-order predecessor, causing send]`. Either
+    /// may be [`EventId::NONE`].
+    pub parents: [EventId; 2],
+}
+
+/// A zero-cost-when-disabled recorder of the causal event DAG.
+///
+/// Disabled by default; [`CausalGraph::enable`] sizes the per-process
+/// clock state. Every `record_*` call returns the new event's id (or
+/// [`EventId::NONE`] when disabled) so the simulation can thread send→
+/// deliver causality through its event queue.
+#[derive(Debug, Clone, Default)]
+pub struct CausalGraph {
+    enabled: bool,
+    clocks: Vec<VectorClock>,
+    last: Vec<EventId>,
+    events: Vec<CausalEvent>,
+}
+
+impl CausalGraph {
+    /// A disabled graph (records nothing).
+    pub fn disabled() -> Self {
+        CausalGraph::default()
+    }
+
+    /// Turns recording on for `n` processes.
+    pub fn enable(&mut self, n: usize) {
+        self.enabled = true;
+        self.clocks = vec![VectorClock::new(n); n];
+        self.last = vec![EventId::NONE; n];
+    }
+
+    /// `true` when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[CausalEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The most recent event charged to `process` ([`EventId::NONE`] if
+    /// it has none yet).
+    pub fn last_of(&self, process: u32) -> EventId {
+        self.last
+            .get(process as usize)
+            .copied()
+            .unwrap_or(EventId::NONE)
+    }
+
+    fn push(
+        &mut self,
+        at: u64,
+        kind: CausalKind,
+        clock: VectorClock,
+        parents: [EventId; 2],
+    ) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        self.events.push(CausalEvent {
+            id,
+            at,
+            kind,
+            clock,
+            parents,
+        });
+        id
+    }
+
+    /// An event that advances `process`'s clock and program order.
+    fn record_step(&mut self, at: u64, process: u32, kind: CausalKind, cause: EventId) -> EventId {
+        if !self.enabled {
+            return EventId::NONE;
+        }
+        let p = process as usize;
+        if p >= self.clocks.len() {
+            return EventId::NONE;
+        }
+        if cause.is_some() {
+            let other = self.events[cause.0 as usize].clock.clone();
+            self.clocks[p].merge(&other);
+        }
+        self.clocks[p].tick(p);
+        let prev = self.last[p];
+        let id = self.push(at, kind, self.clocks[p].clone(), [prev, cause]);
+        self.last[p] = id;
+        id
+    }
+
+    /// A network artifact (drop/duplicate): depends on the causing send
+    /// but advances *no* process clock and enters no program order, so
+    /// later events never falsely depend on undelivered messages.
+    fn record_artifact(&mut self, at: u64, kind: CausalKind, cause: EventId) -> EventId {
+        if !self.enabled {
+            return EventId::NONE;
+        }
+        let clock = if cause.is_some() {
+            self.events[cause.0 as usize].clock.clone()
+        } else {
+            VectorClock::new(self.clocks.len())
+        };
+        self.push(at, kind, clock, [cause, EventId::NONE])
+    }
+
+    /// Records a message leaving `from` for `to`.
+    pub fn record_send(&mut self, at: u64, from: u32, to: u32) -> EventId {
+        self.record_step(at, from, CausalKind::Send { from, to }, EventId::NONE)
+    }
+
+    /// Records delivery of the message sent at `cause` to `to`.
+    pub fn record_deliver(&mut self, at: u64, from: u32, to: u32, cause: EventId) -> EventId {
+        self.record_step(at, to, CausalKind::Deliver { from, to }, cause)
+    }
+
+    /// Records the fault plane dropping the message sent at `cause`.
+    pub fn record_drop(&mut self, at: u64, from: u32, to: u32, cause: EventId) -> EventId {
+        self.record_artifact(at, CausalKind::Drop { from, to }, cause)
+    }
+
+    /// Records the fault plane duplicating the message sent at `cause`.
+    pub fn record_duplicate(&mut self, at: u64, from: u32, to: u32, cause: EventId) -> EventId {
+        self.record_artifact(at, CausalKind::Duplicate { from, to }, cause)
+    }
+
+    /// Records a protocol timer firing at `process`.
+    pub fn record_timer(&mut self, at: u64, process: u32, tag: u64) -> EventId {
+        self.record_step(
+            at,
+            process,
+            CausalKind::Timer { process, tag },
+            EventId::NONE,
+        )
+    }
+
+    /// Records a retransmission round firing at `process`.
+    pub fn record_retransmit(&mut self, at: u64, process: u32) -> EventId {
+        self.record_step(
+            at,
+            process,
+            CausalKind::Retransmit { process },
+            EventId::NONE,
+        )
+    }
+
+    /// Records the fault plane crashing `process`.
+    pub fn record_crash(&mut self, at: u64, process: u32) -> EventId {
+        self.record_step(at, process, CausalKind::Crash { process }, EventId::NONE)
+    }
+
+    /// Records the fault plane recovering `process`.
+    pub fn record_recover(&mut self, at: u64, process: u32) -> EventId {
+        self.record_step(at, process, CausalKind::Recover { process }, EventId::NONE)
+    }
+
+    /// The causal cone of `roots`: the backward closure over parent
+    /// edges, returned as sorted, deduplicated event ids. This is the set
+    /// of events that could have influenced the roots.
+    pub fn cone(&self, roots: &[EventId]) -> Vec<EventId> {
+        let mut seen = vec![false; self.events.len()];
+        let mut queue: VecDeque<EventId> = VecDeque::new();
+        for &r in roots {
+            if r.is_some() && (r.0 as usize) < self.events.len() && !seen[r.0 as usize] {
+                seen[r.0 as usize] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for parent in self.events[id.0 as usize].parents {
+                if parent.is_some() && !seen[parent.0 as usize] {
+                    seen[parent.0 as usize] = true;
+                    queue.push_back(parent);
+                }
+            }
+        }
+        (0..self.events.len() as u32)
+            .map(EventId)
+            .filter(|id| seen[id.0 as usize])
+            .collect()
+    }
+
+    /// `true` when event `a` happens-before event `b` per their clocks.
+    pub fn happens_before(&self, a: EventId, b: EventId) -> bool {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        a < self.events.len()
+            && b < self.events.len()
+            && self.events[a].clock.before(&self.events[b].clock)
+    }
+
+    /// Renders the sub-graph induced by `ids` as a Graphviz DOT digraph,
+    /// clustered by acting process. Pass the full id range to render the
+    /// whole graph, or a [`CausalGraph::cone`] for a forensic view.
+    pub fn to_dot(&self, ids: &[EventId], title: &str) -> String {
+        let mut included = vec![false; self.events.len()];
+        for &id in ids {
+            if (id.0 as usize) < self.events.len() {
+                included[id.0 as usize] = true;
+            }
+        }
+        let mut out = String::new();
+        out.push_str("digraph causal {\n");
+        out.push_str(&format!("  label=\"{title}\";\n"));
+        out.push_str("  rankdir=TB; node [shape=box, fontsize=10];\n");
+        let n = self.clocks.len();
+        for p in 0..n {
+            let members: Vec<&CausalEvent> = self
+                .events
+                .iter()
+                .filter(|e| included[e.id.0 as usize] && e.kind.acting_process() as usize == p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("  subgraph cluster_p{p} {{\n"));
+            out.push_str(&format!("    label=\"process {p}\";\n"));
+            for e in members {
+                out.push_str(&format!(
+                    "    e{} [label=\"#{} t{} {}\\n{}\"];\n",
+                    e.id.0,
+                    e.id.0,
+                    e.at,
+                    e.kind.dot_label(),
+                    e.clock
+                ));
+            }
+            out.push_str("  }\n");
+        }
+        for e in self.events.iter().filter(|e| included[e.id.0 as usize]) {
+            for (slot, parent) in e.parents.into_iter().enumerate() {
+                if parent.is_some() && included[parent.0 as usize] {
+                    let style = if slot == 1 { " [color=blue]" } else { "" };
+                    out.push_str(&format!("  e{} -> e{}{};\n", parent.0, e.id.0, style));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Why a provenance entry exists — which inference rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvRule {
+    /// An initial input value entering the protocol (a DAG root).
+    Proposal,
+    /// A vote pledge (SCP `vote`, BFT-CUP echo/commit send).
+    Vote,
+    /// An accept pledge justified by a quorum of votes.
+    AcceptQuorum,
+    /// An accept pledge justified by a v-blocking set of accepts.
+    AcceptVBlocking,
+    /// A confirm pledge justified by a quorum of accepts.
+    Confirm,
+    /// A nomination candidate was adopted.
+    Candidate,
+    /// A value was locked (SCP ballot lock, BFT-CUP echo-quorum lock).
+    Lock,
+    /// A view change carried a lock forward.
+    ViewChange,
+    /// A value was externalized/decided.
+    Externalize,
+    /// State rehydrated from the durable journal after recovery (a
+    /// legitimate DAG root: its justification lives before the crash).
+    Replay,
+}
+
+impl ProvRule {
+    /// The verb used to render and cross-reference entries of this rule.
+    pub fn verb(self) -> &'static str {
+        match self {
+            ProvRule::Proposal => "propose",
+            ProvRule::Vote => "vote",
+            ProvRule::AcceptQuorum | ProvRule::AcceptVBlocking => "accept",
+            ProvRule::Confirm => "confirm",
+            ProvRule::Candidate => "candidate",
+            ProvRule::Lock => "lock",
+            ProvRule::ViewChange => "view",
+            ProvRule::Externalize => "externalize",
+            ProvRule::Replay => "replay",
+        }
+    }
+
+    /// `true` for rules allowed to terminate a provenance chain.
+    pub fn is_root(self) -> bool {
+        matches!(self, ProvRule::Proposal | ProvRule::Replay)
+    }
+}
+
+/// One node of the provenance DAG: a pledge plus its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvEntry {
+    /// Process that made the pledge.
+    pub process: u32,
+    /// Which inference rule fired.
+    pub rule: ProvRule,
+    /// The pledged statement, e.g. `Nominate(7)` or `Commit(2, 7)`.
+    pub statement: String,
+    /// Specific triggering statements: `(process, label)` pairs referring
+    /// to earlier entries by their [`ProvEntry::label`].
+    pub premises: Vec<(u32, String)>,
+    /// The justifying quorum or v-blocking set (process ids). Paired with
+    /// [`ProvEntry::support_label`], each member contributes one premise.
+    pub support: Vec<u32>,
+    /// The statement each [`ProvEntry::support`] member justified this
+    /// entry with (one shared label; `None` when `support` is empty).
+    pub support_label: Option<String>,
+}
+
+impl ProvEntry {
+    /// The entry's cross-reference label: `"{verb} {statement}"`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.rule.verb(), self.statement)
+    }
+}
+
+/// A zero-cost-when-disabled per-process provenance log.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    enabled: bool,
+    entries: Vec<ProvEntry>,
+}
+
+impl ProvenanceLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        ProvenanceLog::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// `true` when recording. Callers must guard statement formatting
+    /// behind this so the disabled path allocates nothing.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends `entry` (no-op when disabled).
+    pub fn push(&mut self, entry: ProvEntry) {
+        if self.enabled {
+            self.entries.push(entry);
+        }
+    }
+
+    /// All recorded entries, in pledge order.
+    pub fn entries(&self) -> &[ProvEntry] {
+        &self.entries
+    }
+}
+
+/// Result of walking a provenance DAG backward from one pledge.
+#[derive(Debug, Clone, Default)]
+pub struct ProvWalk {
+    /// Entries reached, as `(process, entry-index-within-its-log)` pairs
+    /// in visit order.
+    pub visited: Vec<(u32, usize)>,
+    /// References `(process, label)` that no log entry resolves.
+    pub unresolved: Vec<(u32, String)>,
+    /// `true` when every chain terminates at a [`ProvRule::is_root`]
+    /// entry and nothing was unresolved.
+    pub rooted: bool,
+}
+
+/// Walks the cross-process provenance DAG backward from `(process,
+/// label)`, resolving premises and support references against `logs`
+/// (indexed by process id). References resolve to the *first* entry of
+/// that process whose [`ProvEntry::label`] matches; a `vote …` reference
+/// additionally falls back to the matching `accept …` entry, because an
+/// accept pledge implies the vote (a process accepting through a
+/// v-blocking set never logs a separate vote).
+pub fn walk_to_roots(logs: &[ProvenanceLog], process: u32, label: &str) -> ProvWalk {
+    let find = |p: u32, l: &str| -> Option<usize> {
+        let entries = logs.get(p as usize)?.entries();
+        entries.iter().position(|e| e.label() == l).or_else(|| {
+            let implied = l.strip_prefix("vote ")?;
+            entries
+                .iter()
+                .position(|e| e.label() == format!("accept {implied}"))
+        })
+    };
+    let mut walk = ProvWalk {
+        rooted: true,
+        ..ProvWalk::default()
+    };
+    let mut queue: VecDeque<(u32, String)> = VecDeque::new();
+    queue.push_back((process, label.to_string()));
+    let mut seen: Vec<(u32, String)> = Vec::new();
+    while let Some((p, l)) = queue.pop_front() {
+        if seen.iter().any(|(sp, sl)| *sp == p && *sl == l) {
+            continue;
+        }
+        seen.push((p, l.clone()));
+        let Some(idx) = find(p, &l) else {
+            walk.unresolved.push((p, l));
+            walk.rooted = false;
+            continue;
+        };
+        walk.visited.push((p, idx));
+        let entry = &logs[p as usize].entries()[idx];
+        let mut child_count = 0usize;
+        for (pp, pl) in &entry.premises {
+            child_count += 1;
+            queue.push_back((*pp, pl.clone()));
+        }
+        if let Some(sl) = &entry.support_label {
+            for sp in &entry.support {
+                child_count += 1;
+                queue.push_back((*sp, sl.clone()));
+            }
+        }
+        if child_count == 0 && !entry.rule.is_root() {
+            walk.rooted = false;
+        }
+    }
+    walk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_graph_records_nothing() {
+        let mut g = CausalGraph::disabled();
+        assert_eq!(g.record_send(1, 0, 1), EventId::NONE);
+        assert_eq!(g.record_timer(2, 0, 7), EventId::NONE);
+        assert!(g.is_empty());
+        assert!(!g.is_enabled());
+    }
+
+    #[test]
+    fn deliver_merges_clocks_and_links_cause() {
+        let mut g = CausalGraph::disabled();
+        g.enable(3);
+        let s = g.record_send(1, 0, 1);
+        let d = g.record_deliver(5, 0, 1, s);
+        let events = g.events();
+        assert_eq!(events[s.0 as usize].clock.get(0), 1);
+        let dc = &events[d.0 as usize].clock;
+        assert_eq!((dc.get(0), dc.get(1)), (1, 1), "merged then ticked");
+        assert_eq!(events[d.0 as usize].parents, [EventId::NONE, s]);
+        assert!(g.happens_before(s, d));
+        assert!(!g.happens_before(d, s));
+    }
+
+    #[test]
+    fn drops_do_not_advance_clocks() {
+        let mut g = CausalGraph::disabled();
+        g.enable(2);
+        let s = g.record_send(1, 0, 1);
+        let dr = g.record_drop(3, 0, 1, s);
+        let t = g.record_timer(9, 1, 4);
+        assert_eq!(
+            g.events()[dr.0 as usize].clock,
+            g.events()[s.0 as usize].clock
+        );
+        // The timer at process 1 is concurrent with the dropped send.
+        assert!(!g.happens_before(s, t));
+        assert_eq!(g.last_of(0), s, "drop is not program order");
+    }
+
+    #[test]
+    fn cone_is_backward_closure() {
+        let mut g = CausalGraph::disabled();
+        g.enable(3);
+        let s01 = g.record_send(1, 0, 1);
+        let d01 = g.record_deliver(4, 0, 1, s01);
+        let s12 = g.record_send(5, 1, 2);
+        let _unrelated = g.record_timer(6, 0, 9);
+        let d12 = g.record_deliver(8, 1, 2, s12);
+        let cone = g.cone(&[d12]);
+        assert_eq!(cone, vec![s01, d01, s12, d12]);
+        assert!(cone.len() < g.len(), "cone strictly smaller than graph");
+    }
+
+    #[test]
+    fn dot_renders_clusters_and_edges() {
+        let mut g = CausalGraph::disabled();
+        g.enable(2);
+        let s = g.record_send(1, 0, 1);
+        let d = g.record_deliver(2, 0, 1, s);
+        let all: Vec<EventId> = g.events().iter().map(|e| e.id).collect();
+        let dot = g.to_dot(&all, "test");
+        assert!(dot.contains("cluster_p0"));
+        assert!(dot.contains("cluster_p1"));
+        assert!(dot.contains(&format!("e{} -> e{} [color=blue];", s.0, d.0)));
+    }
+
+    fn entry(
+        process: u32,
+        rule: ProvRule,
+        statement: &str,
+        premises: Vec<(u32, &str)>,
+        support: Vec<u32>,
+        support_label: Option<&str>,
+    ) -> ProvEntry {
+        ProvEntry {
+            process,
+            rule,
+            statement: statement.to_string(),
+            premises: premises
+                .into_iter()
+                .map(|(p, l)| (p, l.to_string()))
+                .collect(),
+            support,
+            support_label: support_label.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn provenance_walk_reaches_proposals() {
+        let mut logs = vec![ProvenanceLog::disabled(); 2];
+        for log in &mut logs {
+            log.enable();
+        }
+        for p in 0..2u32 {
+            logs[p as usize].push(entry(p, ProvRule::Proposal, "N(7)", vec![], vec![], None));
+            logs[p as usize].push(entry(
+                p,
+                ProvRule::Vote,
+                "N(7)",
+                vec![(p, "propose N(7)")],
+                vec![],
+                None,
+            ));
+            logs[p as usize].push(entry(
+                p,
+                ProvRule::AcceptQuorum,
+                "N(7)",
+                vec![],
+                vec![0, 1],
+                Some("vote N(7)"),
+            ));
+        }
+        let walk = walk_to_roots(&logs, 0, "accept N(7)");
+        assert!(walk.rooted, "unresolved: {:?}", walk.unresolved);
+        assert!(walk.visited.contains(&(1, 1)), "crossed into process 1");
+    }
+
+    #[test]
+    fn provenance_walk_flags_unrooted_chains() {
+        let mut logs = vec![ProvenanceLog::disabled()];
+        logs[0].enable();
+        // A vote with no premises at all: dangling, not a legal root.
+        logs[0].push(entry(0, ProvRule::Vote, "N(1)", vec![], vec![], None));
+        let walk = walk_to_roots(&logs, 0, "vote N(1)");
+        assert!(!walk.rooted);
+        // A reference to a statement nobody logged.
+        let walk = walk_to_roots(&logs, 0, "confirm N(1)");
+        assert!(!walk.rooted);
+        assert_eq!(walk.unresolved.len(), 1);
+    }
+
+    #[test]
+    fn replay_is_a_legal_root() {
+        let mut logs = vec![ProvenanceLog::disabled()];
+        logs[0].enable();
+        logs[0].push(entry(0, ProvRule::Replay, "N(3)", vec![], vec![], None));
+        logs[0].push(entry(
+            0,
+            ProvRule::Vote,
+            "N(3)",
+            vec![(0, "replay N(3)")],
+            vec![],
+            None,
+        ));
+        assert!(walk_to_roots(&logs, 0, "vote N(3)").rooted);
+    }
+
+    #[test]
+    fn disabled_provenance_log_records_nothing() {
+        let mut log = ProvenanceLog::disabled();
+        log.push(entry(0, ProvRule::Proposal, "x", vec![], vec![], None));
+        assert!(log.entries().is_empty());
+    }
+}

@@ -95,6 +95,39 @@ pub enum ChromeEvent {
         /// Series values at this sample.
         series: Vec<(&'static str, u64)>,
     },
+    /// `"ph": "s"` — the start of a flow arrow (Perfetto draws an arrow
+    /// from here to the matching [`ChromeEvent::FlowEnd`] with the same
+    /// `id`).
+    FlowStart {
+        /// Flow name (shown on the arrow).
+        name: String,
+        /// Categories.
+        cat: &'static str,
+        /// Flow id — start and end must agree.
+        id: u64,
+        /// Time, microseconds on the shared clock.
+        ts: u64,
+        /// Process track.
+        pid: u32,
+        /// Thread track.
+        tid: u32,
+    },
+    /// `"ph": "f"` with `"bp": "e"` — the end of a flow arrow, bound to
+    /// the enclosing slice or instant on the target track.
+    FlowEnd {
+        /// Flow name — must match the start's.
+        name: String,
+        /// Categories.
+        cat: &'static str,
+        /// Flow id — start and end must agree.
+        id: u64,
+        /// Time, microseconds on the shared clock.
+        ts: u64,
+        /// Process track.
+        pid: u32,
+        /// Thread track.
+        tid: u32,
+    },
     /// `"ph": "M"` — names a process track in the viewer.
     ProcessName {
         /// Process track.
@@ -289,6 +322,36 @@ fn event_into(out: &mut String, e: &ChromeEvent) {
             }
             out.push_str("}}");
         }
+        ChromeEvent::FlowStart {
+            name,
+            cat,
+            id,
+            ts,
+            pid,
+            tid,
+        } => {
+            out.push_str("{\"name\":\"");
+            escape_into(out, name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{cat}\",\"ph\":\"s\",\"id\":{id},\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}"
+            );
+        }
+        ChromeEvent::FlowEnd {
+            name,
+            cat,
+            id,
+            ts,
+            pid,
+            tid,
+        } => {
+            out.push_str("{\"name\":\"");
+            escape_into(out, name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{cat}\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}"
+            );
+        }
         ChromeEvent::ProcessName { pid, name } => {
             let _ = write!(
                 out,
@@ -363,12 +426,30 @@ mod tests {
                 pid: 1,
                 series: vec![("len", 42)],
             },
+            ChromeEvent::FlowStart {
+                name: "msg".into(),
+                cat: "net",
+                id: 9,
+                ts: 40,
+                pid: 1,
+                tid: 2,
+            },
+            ChromeEvent::FlowEnd {
+                name: "msg".into(),
+                cat: "net",
+                id: 9,
+                ts: 50,
+                pid: 1,
+                tid: 3,
+            },
         ];
         let json = write_trace_json(&events);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":9"));
         assert!(json.contains("\"process_name\""));
         assert!(json.contains("\"thread_name\""));
         assert!(json.contains("\"dur\":5"));

@@ -30,10 +30,15 @@
 //!   ([`chrome::write_trace_json`]).
 //! - [`progress`] — a shared completed-work counter and a stderr ticker
 //!   thread for long campaign runs.
+//! - [`causal`] — vector-clock event graphs
+//!   ([`CausalGraph`](causal::CausalGraph)) and decision provenance
+//!   ([`ProvenanceLog`](causal::ProvenanceLog)): the forensic layer that
+//!   turns a failing run into a causal cone plus a justification DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
 pub mod metrics;
 pub mod profile;

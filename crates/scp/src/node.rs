@@ -39,7 +39,10 @@
 
 use scup_fbqs::SliceFamily;
 use scup_graph::{PersistentSet, PersistentVec, ProcessId, ProcessSet};
-use scup_sim::{Actor, Backoff, Context, Journal, RetransmitConfig, SimMessage, StateHasher};
+use scup_obs::causal::{ProvEntry, ProvRule, ProvenanceLog};
+use scup_sim::{
+    Actor, Backoff, Context, Journal, RetransmitConfig, SimMessage, StateHasher, RETRANSMIT_TAG,
+};
 
 use crate::statement::{Statement, Value};
 use crate::voting::{QuorumCheck, VoteLevel, VoteTracker};
@@ -124,9 +127,11 @@ impl ScpConfig {
 }
 
 const NOMINATION_TIMER: u64 = 2;
-/// Retransmission-round timer (ballot timers use `n << 8`, so tags 0..256
-/// other than the two named ones are free).
-const RETRANSMIT_TIMER: u64 = 3;
+/// Retransmission-round timer: the simulator-wide
+/// [`scup_sim::RETRANSMIT_TAG`] (`u64::MAX`, far above any `n << 8`
+/// ballot tag), so the runner's retransmission-delay histogram sees SCP's
+/// rebroadcast rounds.
+const RETRANSMIT_TIMER: u64 = RETRANSMIT_TAG;
 
 // Durable journal record tags (see [`scup_sim::Journal`]). Word layouts:
 // J_PLEDGE = [kind, counter, value, accept] with kind 0 = Nominate,
@@ -272,6 +277,11 @@ pub struct ScpNode {
     /// retransmission is a timed-simulation facility and must be disabled
     /// under exploration (see [`ScpConfig::retransmit`]).
     backoff: Backoff,
+    /// Decision provenance (disabled by default; see
+    /// [`ScpNode::enable_provenance`]). Pure observability: excluded from
+    /// both fingerprints and preserved across crash recovery — the
+    /// observer's notebook survives the process's amnesia.
+    prov: ProvenanceLog,
 }
 
 impl ScpNode {
@@ -297,6 +307,7 @@ impl ScpNode {
             externalized: None,
             stats: NodeStats::default(),
             backoff: Backoff::new(),
+            prov: ProvenanceLog::disabled(),
         }
     }
 
@@ -318,6 +329,43 @@ impl ScpNode {
     /// Message and ballot-phase counters (diagnostic; see [`NodeStats`]).
     pub fn stats(&self) -> &NodeStats {
         &self.stats
+    }
+
+    /// Turns decision-provenance recording on: every vote, accept,
+    /// confirm, candidate adoption, lock, externalization, and journal
+    /// replay from now on logs a [`ProvEntry`] naming the rule that fired
+    /// and the justifying process set. Off the bit-identity surface: the
+    /// log is never fingerprinted and recording changes no protocol
+    /// behaviour.
+    pub fn enable_provenance(&mut self) {
+        self.prov.enable();
+    }
+
+    /// The decision-provenance log (empty unless
+    /// [`ScpNode::enable_provenance`] was called before the run).
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.prov
+    }
+
+    /// Logs a non-vote provenance entry; `entry` builds the
+    /// `(statement, premises)` pair only when the log is enabled.
+    fn prov_note(
+        &mut self,
+        me: ProcessId,
+        rule: ProvRule,
+        entry: impl FnOnce() -> (String, Vec<(u32, String)>),
+    ) {
+        if self.prov.is_enabled() {
+            let (statement, premises) = entry();
+            self.prov.push(ProvEntry {
+                process: me.as_u32(),
+                rule,
+                statement,
+                premises,
+                support: Vec::new(),
+                support_label: None,
+            });
+        }
     }
 
     /// Records an envelope in the dedup set, keeping the incremental
@@ -376,8 +424,26 @@ impl ScpNode {
         }
     }
 
-    fn vote(&mut self, ctx: &mut Context<'_, ScpMsg>, stmt: Statement) {
+    /// Registers and broadcasts an own vote; `premises` names the earlier
+    /// provenance entries that triggered it (built lazily — only when the
+    /// vote is new *and* provenance is enabled).
+    fn vote_because(
+        &mut self,
+        ctx: &mut Context<'_, ScpMsg>,
+        stmt: Statement,
+        premises: impl FnOnce() -> Vec<(u32, String)>,
+    ) {
         if self.tracker.vote(ctx.self_id(), stmt) {
+            if self.prov.is_enabled() {
+                self.prov.push(ProvEntry {
+                    process: ctx.self_id().as_u32(),
+                    rule: ProvRule::Vote,
+                    statement: format!("{stmt:?}"),
+                    premises: premises(),
+                    support: Vec::new(),
+                    support_label: None,
+                });
+            }
             self.broadcast_own(ctx, stmt, false);
         }
     }
@@ -400,7 +466,21 @@ impl ScpNode {
             j.append(J_BALLOT, &[n]);
         }
         let v = self.ballot_value();
-        self.vote(ctx, Statement::Prepare(n, v));
+        let me = ctx.self_id().as_u32();
+        let locked = self.lock.is_some();
+        let from_candidate = !self.candidates.is_empty();
+        self.vote_because(ctx, Statement::Prepare(n, v), || {
+            // Where the ballot value came from: the lock wins, else the
+            // best candidate, else the own input (see `ballot_value`).
+            let source = if locked {
+                format!("lock {v}")
+            } else if from_candidate {
+                format!("candidate {v}")
+            } else {
+                format!("propose {:?}", Statement::Nominate(v))
+            };
+            vec![(me, source)]
+        });
         ctx.set_timer(self.config.ballot_timeout * (n + 1), n << 8);
         self.reevaluate(ctx);
     }
@@ -431,12 +511,16 @@ impl ScpNode {
     /// confirmed statements.
     fn reevaluate(&mut self, ctx: &mut Context<'_, ScpMsg>) {
         loop {
-            let changes = self
-                .tracker
-                .update(ctx.self_id(), &self.config.slices, &mut self.check);
+            let changes = self.tracker.update_observed(
+                ctx.self_id(),
+                &self.config.slices,
+                &mut self.check,
+                &mut self.prov,
+            );
             if changes.is_empty() {
                 return;
             }
+            let me = ctx.self_id();
             for (stmt, level) in changes {
                 if level == VoteLevel::Accepted {
                     self.broadcast_own(ctx, stmt, true);
@@ -452,6 +536,12 @@ impl ScpNode {
                             if let Some(j) = ctx.journal() {
                                 j.append(J_CANDIDATE, &[v]);
                             }
+                            self.prov_note(me, ProvRule::Candidate, || {
+                                (
+                                    format!("{v}"),
+                                    vec![(me.as_u32(), format!("confirm {stmt:?}"))],
+                                )
+                            });
                         }
                         // First candidate: enter ballot 1.
                         if self.ballot == 0 {
@@ -468,9 +558,17 @@ impl ScpNode {
                         if let Some(j) = ctx.journal() {
                             j.append(J_LOCK, &[v]);
                         }
+                        self.prov_note(me, ProvRule::Lock, || {
+                            (
+                                format!("{v}"),
+                                vec![(me.as_u32(), format!("confirm {stmt:?}"))],
+                            )
+                        });
                         let commit = Statement::Commit(n, v);
                         if !self.tracker.accept_would_contradict(commit) {
-                            self.vote(ctx, commit);
+                            self.vote_because(ctx, commit, || {
+                                vec![(me.as_u32(), format!("lock {v}"))]
+                            });
                         }
                     }
                     Statement::Commit(_, v) => {
@@ -480,6 +578,12 @@ impl ScpNode {
                             if let Some(j) = ctx.journal() {
                                 j.append(J_EXTERNALIZE, &[v]);
                             }
+                            self.prov_note(me, ProvRule::Externalize, || {
+                                (
+                                    format!("{v}"),
+                                    vec![(me.as_u32(), format!("confirm {stmt:?}"))],
+                                )
+                            });
                         }
                     }
                 }
@@ -495,7 +599,17 @@ impl Actor<ScpMsg> for ScpNode {
         self.synced.clone_from(ctx.known());
         self.synced.insert(ctx.self_id());
         let input = self.config.input;
-        self.vote(ctx, Statement::Nominate(input));
+        let me = ctx.self_id();
+        // The provenance DAG root: the input value entering the protocol.
+        self.prov_note(me, ProvRule::Proposal, || {
+            (format!("{:?}", Statement::Nominate(input)), Vec::new())
+        });
+        self.vote_because(ctx, Statement::Nominate(input), || {
+            vec![(
+                me.as_u32(),
+                format!("propose {:?}", Statement::Nominate(input)),
+            )]
+        });
         ctx.set_timer(self.config.nomination_timeout, NOMINATION_TIMER);
         self.arm_retransmit(ctx);
         self.reevaluate(ctx);
@@ -531,7 +645,12 @@ impl Actor<ScpMsg> for ScpNode {
         // Nomination echo: before any ballot starts, adopt others'
         // nominees so a quorum of votes can form.
         if self.ballot == 0 && msg.stmt.is_nomination() && self.externalized.is_none() {
-            self.vote(ctx, msg.stmt);
+            let origin = msg.origin.as_u32();
+            let (stmt, accept) = (msg.stmt, msg.accept);
+            self.vote_because(ctx, stmt, || {
+                let verb = if accept { "accept" } else { "vote" };
+                vec![(origin, format!("{verb} {stmt:?}"))]
+            });
         }
         ctx.broadcast_known(msg.clone());
         self.backlog.push(msg);
@@ -552,7 +671,18 @@ impl Actor<ScpMsg> for ScpNode {
             // No candidate confirmed in time: fall back to the own input so
             // ballots can start.
             if self.ballot == 0 {
-                self.candidates.push(self.config.input);
+                let input = self.config.input;
+                let me = ctx.self_id();
+                self.candidates.push(input);
+                self.prov_note(me, ProvRule::Candidate, || {
+                    (
+                        format!("{input}"),
+                        vec![(
+                            me.as_u32(),
+                            format!("propose {:?}", Statement::Nominate(input)),
+                        )],
+                    )
+                });
                 self.start_ballot(ctx, 1);
             }
             return;
@@ -582,8 +712,12 @@ impl Actor<ScpMsg> for ScpNode {
     fn on_recover(&mut self, ctx: &mut Context<'_, ScpMsg>, journal: &dyn Journal) {
         let config = std::sync::Arc::clone(&self.config);
         let stats = self.stats;
+        // The provenance log is the observer's, not the process's: it
+        // survives the crash so forensic chains can span the recovery.
+        let prov = std::mem::take(&mut self.prov);
         *self = ScpNode::from_shared(config);
         self.stats = stats;
+        self.prov = prov;
         let me = ctx.self_id();
         // Knowledge survives in the simulator (it models the address
         // book, not process memory); peers already got our backlog.
@@ -600,6 +734,7 @@ impl Actor<ScpMsg> for ScpNode {
                     };
                     let accept = accept != 0;
                     self.note_seen(me, stmt, accept);
+                    self.prov_note(me, ProvRule::Replay, || (format!("{stmt:?}"), Vec::new()));
                     if accept {
                         self.tracker.record_accept(me, stmt);
                     } else {
@@ -646,7 +781,12 @@ impl Actor<ScpMsg> for ScpNode {
         if self.externalized.is_none() {
             if self.ballot == 0 {
                 let input = self.config.input;
-                self.vote(ctx, Statement::Nominate(input));
+                self.vote_because(ctx, Statement::Nominate(input), || {
+                    vec![(
+                        me.as_u32(),
+                        format!("propose {:?}", Statement::Nominate(input)),
+                    )]
+                });
                 ctx.set_timer(self.config.nomination_timeout, NOMINATION_TIMER);
             } else {
                 ctx.set_timer(
@@ -1120,6 +1260,68 @@ mod tests {
                     !sim.journal(ProcessId::new(i)).is_empty(),
                     "node {i} journalled nothing"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_chains_root_at_proposals_and_supports_revalidate() {
+        use scup_obs::causal::{walk_to_roots, ProvRule, ProvenanceLog};
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let sys = paper::fig1_system();
+        let mut sim = fig1_sim(0, Box::new(SilentActor::new()));
+        for &i in &correct {
+            sim.actor_as_mut::<ScpNode>(ProcessId::new(i))
+                .unwrap()
+                .enable_provenance();
+        }
+        run_to_decision(&mut sim, &correct);
+        let v = assert_scp_consensus(&sim, &correct);
+        let logs: Vec<ProvenanceLog> = (0..8u32)
+            .map(|i| {
+                sim.actor_as::<ScpNode>(ProcessId::new(i))
+                    .map(|n| n.provenance().clone())
+                    .unwrap_or_else(ProvenanceLog::disabled)
+            })
+            .collect();
+        for &i in &correct {
+            // Every externalization walks back to initial proposals
+            // across process boundaries.
+            let walk = walk_to_roots(&logs, i, &format!("externalize {v}"));
+            assert!(walk.rooted, "node {i}: unresolved {:?}", walk.unresolved);
+            assert!(
+                walk.visited.iter().any(|&(p, idx)| {
+                    logs[p as usize].entries()[idx].rule == ProvRule::Proposal
+                }),
+                "node {i}: no proposal in the walk"
+            );
+            // Soundness: every recorded justification re-validates against
+            // the real slice system — quorum supports are quorums through
+            // the pledger, v-blocking supports are v-blocking for it.
+            let mut check = QuorumCheck::new();
+            for p in sys.processes() {
+                check.record_slices(p, sys.slices(p));
+            }
+            for e in logs[i as usize].entries() {
+                let me = ProcessId::new(e.process);
+                let support = ProcessSet::from_ids(e.support.iter().copied());
+                match e.rule {
+                    ProvRule::AcceptQuorum | ProvRule::Confirm => {
+                        assert!(
+                            check.has_quorum_through(me, sys.slices(me), &support),
+                            "node {i}: support of {:?} is no quorum: {support:?}",
+                            e.statement
+                        );
+                    }
+                    ProvRule::AcceptVBlocking => {
+                        assert!(
+                            sys.slices(me).is_v_blocked_by(&support),
+                            "node {i}: support of {:?} not v-blocking: {support:?}",
+                            e.statement
+                        );
+                    }
+                    _ => {}
+                }
             }
         }
     }

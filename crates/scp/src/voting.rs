@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use scup_fbqs::{EngineScratch, QuorumEngine, SliceFamily};
 use scup_graph::{PersistentMap, ProcessId, ProcessSet};
+use scup_obs::causal::{ProvEntry, ProvRule, ProvenanceLog};
 
 use crate::statement::Statement;
 
@@ -225,6 +226,15 @@ impl QuorumCheck {
     pub fn is_v_blocking(&self, own_slices: &SliceFamily, accepters: &ProcessSet) -> bool {
         own_slices.is_v_blocked_by(accepters)
     }
+
+    /// The quorum closure computed by the most recent
+    /// [`QuorumCheck::has_quorum_through`] call. Valid only immediately
+    /// after a call that returned `true`, in which case this *is* the
+    /// justifying quorum (it contains `self_id` and every member is
+    /// certified through the registered slices).
+    pub fn last_closure(&self) -> &ProcessSet {
+        &self.closure
+    }
 }
 
 /// Per-statement federated-voting tally for one process.
@@ -367,6 +377,25 @@ impl VoteTracker {
         own_slices: &SliceFamily,
         check: &mut QuorumCheck,
     ) -> Vec<(Statement, VoteLevel)> {
+        let mut prov = ProvenanceLog::disabled();
+        self.update_observed(self_id, own_slices, check, &mut prov)
+    }
+
+    /// [`VoteTracker::update`] with decision provenance: when `prov` is
+    /// enabled, every accept/confirm ratchet step records *which* rule
+    /// fired and the justifying process set — the quorum closure for the
+    /// quorum rules, the accepter set for the v-blocking rule — as a
+    /// [`ProvEntry`] whose support references resolve against the other
+    /// processes' logs (see [`scup_obs::causal::walk_to_roots`]).
+    /// With a disabled log this is exactly `update`: no formatting, no
+    /// allocation, identical quorum queries.
+    pub fn update_observed(
+        &mut self,
+        self_id: ProcessId,
+        own_slices: &SliceFamily,
+        check: &mut QuorumCheck,
+        prov: &mut ProvenanceLog,
+    ) -> Vec<(Statement, VoteLevel)> {
         let mut changes = Vec::new();
         let mut statements = std::mem::take(&mut self.stmt_buf);
         statements.clear();
@@ -389,15 +418,51 @@ impl VoteTracker {
                 let next = match level {
                     VoteLevel::None | VoteLevel::Voted => {
                         let accepters = self.accepted.get(&stmt).unwrap_or(&empty);
-                        let can_accept = !self.accept_would_contradict(stmt)
-                            && (check.is_v_blocking(own_slices, accepters)
-                                || (level == VoteLevel::Voted
-                                    && check.has_quorum_through(
-                                        self_id,
-                                        own_slices,
-                                        self.voted.get(&stmt).unwrap_or(&empty),
-                                    )));
-                        if can_accept {
+                        // Which accept rule fires matters only to the
+                        // provenance log; the `||` order matches the old
+                        // short-circuit exactly, so the quorum query runs
+                        // iff it used to.
+                        let rule = if self.accept_would_contradict(stmt) {
+                            None
+                        } else if check.is_v_blocking(own_slices, accepters) {
+                            Some(ProvRule::AcceptVBlocking)
+                        } else if level == VoteLevel::Voted
+                            && check.has_quorum_through(
+                                self_id,
+                                own_slices,
+                                self.voted.get(&stmt).unwrap_or(&empty),
+                            )
+                        {
+                            Some(ProvRule::AcceptQuorum)
+                        } else {
+                            None
+                        };
+                        if let Some(rule) = rule {
+                            if prov.is_enabled() {
+                                let (support, label) = match rule {
+                                    ProvRule::AcceptVBlocking => (
+                                        self.accepted
+                                            .get(&stmt)
+                                            .unwrap_or(&empty)
+                                            .iter()
+                                            .map(|p| p.as_u32())
+                                            .collect(),
+                                        format!("accept {stmt:?}"),
+                                    ),
+                                    _ => (
+                                        check.last_closure().iter().map(|p| p.as_u32()).collect(),
+                                        format!("vote {stmt:?}"),
+                                    ),
+                                };
+                                prov.push(ProvEntry {
+                                    process: self_id.as_u32(),
+                                    rule,
+                                    statement: format!("{stmt:?}"),
+                                    premises: Vec::new(),
+                                    support,
+                                    support_label: Some(label),
+                                });
+                            }
                             self.accepted.get_or_default(stmt).insert(self_id);
                             self.voted.get_or_default(stmt).insert(self_id);
                             self.mine.insert(stmt, VoteLevel::Accepted);
@@ -413,6 +478,20 @@ impl VoteTracker {
                             own_slices,
                             self.accepted.get(&stmt).unwrap_or(&empty),
                         ) {
+                            if prov.is_enabled() {
+                                prov.push(ProvEntry {
+                                    process: self_id.as_u32(),
+                                    rule: ProvRule::Confirm,
+                                    statement: format!("{stmt:?}"),
+                                    premises: Vec::new(),
+                                    support: check
+                                        .last_closure()
+                                        .iter()
+                                        .map(|p| p.as_u32())
+                                        .collect(),
+                                    support_label: Some(format!("accept {stmt:?}")),
+                                });
+                            }
                             self.mine.insert(stmt, VoteLevel::Confirmed);
                             changes.push((stmt, VoteLevel::Confirmed));
                             true

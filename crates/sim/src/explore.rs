@@ -42,6 +42,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng as _;
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 
+use scup_obs::causal::{CausalGraph, EventId};
+
 use crate::actor::{Actor, Context, SimMessage};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
@@ -303,6 +305,10 @@ impl<M: SimMessage> ExploreEvent<M> {
 struct Pending<M> {
     event: std::sync::Arc<ExploreEvent<M>>,
     hash: u128,
+    /// Causal-graph id of the send that enqueued this event
+    /// ([`EventId::NONE`] unless causal recording is on — i.e. during
+    /// counterexample replay). Never part of the state hash.
+    cause: EventId,
 }
 
 impl<M> Clone for Pending<M> {
@@ -310,16 +316,18 @@ impl<M> Clone for Pending<M> {
         Pending {
             event: std::sync::Arc::clone(&self.event),
             hash: self.hash,
+            cause: self.cause,
         }
     }
 }
 
 impl<M: SimMessage> Pending<M> {
-    fn new(event: ExploreEvent<M>) -> Self {
+    fn new(event: ExploreEvent<M>, cause: EventId) -> Self {
         let hash = event.event_hash();
         Pending {
             event: std::sync::Arc::new(event),
             hash,
+            cause,
         }
     }
 
@@ -390,6 +398,7 @@ pub struct ExploreSim<M: SimMessage> {
     started: bool,
     rng: StdRng,
     trace: Trace,
+    causal: CausalGraph,
     outbox_buf: Vec<(ProcessId, M)>,
     timers_buf: Vec<(u64, u64)>,
 }
@@ -413,6 +422,7 @@ impl<M: SimMessage> ExploreSim<M> {
             started: false,
             rng: StdRng::seed_from_u64(0),
             trace: Trace::new(),
+            causal: CausalGraph::disabled(),
             outbox_buf: Vec::new(),
             timers_buf: Vec::new(),
         }
@@ -497,6 +507,27 @@ impl<M: SimMessage> ExploreSim<M> {
         &self.trace
     }
 
+    /// Enables causal event-graph recording (used when replaying a
+    /// counterexample schedule to build its forensic report). Not
+    /// meaningful for branching exploration: the graph records the one
+    /// linear schedule actually fired and is untouched by
+    /// [`ExploreSim::restore`].
+    pub fn enable_causal(&mut self) {
+        self.causal.enable(self.kg.n());
+    }
+
+    /// The recorded causal event graph.
+    pub fn causal(&self) -> &CausalGraph {
+        &self.causal
+    }
+
+    /// Mutable access to an actor as its concrete type (for enabling
+    /// per-actor observability before a replay).
+    pub fn actor_as_mut<T: 'static>(&mut self, i: ProcessId) -> Option<&mut T> {
+        let any: &mut dyn Any = &mut *self.actors[i.index()];
+        any.downcast_mut::<T>()
+    }
+
     /// Runs one actor callback, flushing sends and timer arms into the
     /// pending multiset. Returns how many new events were enqueued.
     fn dispatch<F>(&mut self, pid: ProcessId, f: F) -> usize
@@ -520,8 +551,13 @@ impl<M: SimMessage> ExploreSim<M> {
         f(&mut *self.actors[pid.index()], &mut ctx);
         let mut enqueued = 0;
         for (to, msg) in outbox.drain(..) {
-            self.pending
-                .push(Pending::new(ExploreEvent::Deliver { from: pid, to, msg }));
+            let cause = self
+                .causal
+                .record_send(self.events_fired, pid.as_u32(), to.as_u32());
+            self.pending.push(Pending::new(
+                ExploreEvent::Deliver { from: pid, to, msg },
+                cause,
+            ));
             enqueued += 1;
         }
         for (_delay, tag) in timers.drain(..) {
@@ -529,8 +565,10 @@ impl<M: SimMessage> ExploreSim<M> {
             // caps how often a process's timers may fire at all.
             if self.timers_armed[pid.index()] < self.timer_budget {
                 self.timers_armed[pid.index()] += 1;
-                self.pending
-                    .push(Pending::new(ExploreEvent::Timer { process: pid, tag }));
+                self.pending.push(Pending::new(
+                    ExploreEvent::Timer { process: pid, tag },
+                    EventId::NONE,
+                ));
                 enqueued += 1;
             }
         }
@@ -557,8 +595,10 @@ impl<M: SimMessage> ExploreSim<M> {
 
     fn fire_inner(&mut self, idx: usize) -> usize {
         self.start();
-        let event = self.pending.remove(idx).event;
-        let event = std::sync::Arc::try_unwrap(event).unwrap_or_else(|shared| (*shared).clone());
+        let pending = self.pending.remove(idx);
+        let cause = pending.cause;
+        let event =
+            std::sync::Arc::try_unwrap(pending.event).unwrap_or_else(|shared| (*shared).clone());
         self.events_fired += 1;
         match event {
             ExploreEvent::Deliver { from, to, msg } => {
@@ -574,6 +614,8 @@ impl<M: SimMessage> ExploreSim<M> {
                         payload: format!("{msg:?}"),
                     }
                 );
+                self.causal
+                    .record_deliver(self.events_fired, from.as_u32(), to.as_u32(), cause);
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg))
             }
             ExploreEvent::Timer { process, tag } => {
@@ -585,6 +627,8 @@ impl<M: SimMessage> ExploreSim<M> {
                         tag,
                     }
                 );
+                self.causal
+                    .record_timer(self.events_fired, process.as_u32(), tag);
                 self.dispatch(process, |actor, ctx| actor.on_timer(ctx, tag))
             }
         }

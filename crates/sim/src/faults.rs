@@ -113,6 +113,13 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Scheduled crash/recover events.
     pub crashes: Vec<CrashFault>,
+    /// Processes whose durable journal is *withheld* at recovery
+    /// ([`Actor::on_recover`](crate::Actor::on_recover) sees an empty
+    /// journal), modelling disk loss. The simulator still keeps the
+    /// pre-crash records, so post-run contradiction oracles can audit the
+    /// amnesiac process against its forgotten pledges. Inert without a
+    /// matching [`CrashFault`].
+    pub amnesia: ProcessSet,
 }
 
 impl FaultPlan {
@@ -133,6 +140,7 @@ impl FaultPlan {
                 .is_none_or(|d| d.ticks == 0 || d.until == 0)
             && self.partitions.iter().all(|p| p.until <= p.from)
             && self.crashes.is_empty()
+            && self.amnesia.is_empty()
     }
 
     /// The first tick from which the network is fault-free again and
@@ -221,6 +229,9 @@ impl FaultPlan {
                     ));
                 }
             }
+        }
+        if let Some(p) = self.amnesia.iter().find(|p| p.index() >= n) {
+            return Err(format!("amnesia process {p} outside 0..{n}"));
         }
         Ok(())
     }

@@ -1,3 +1,4 @@
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::SimTime;
@@ -55,6 +56,14 @@ pub struct SimReport {
     /// Per-process sent/delivered/bytes breakdown, indexed by process id
     /// (empty for reports built before the run started).
     pub per_process: Vec<ProcessStats>,
+    /// log₂ histogram of retransmission-round delays in ticks (bucket
+    /// layout of [`scup_obs::metrics::bucket_of`]; empty when no
+    /// retransmission timer was armed). Deterministic per seed.
+    pub retransmit_delay_buckets: Vec<u64>,
+    /// Messages dropped per directed link `(from, to)` — link loss,
+    /// partition cuts, and arrivals at crashed receivers. Deterministic
+    /// per seed; empty without an active fault plan.
+    pub link_drops: BTreeMap<(u32, u32), u64>,
 }
 
 impl SimReport {
@@ -81,6 +90,20 @@ impl SimReport {
         }
         for (mine, theirs) in self.per_process.iter_mut().zip(other.per_process.iter()) {
             mine.absorb(theirs);
+        }
+        if self.retransmit_delay_buckets.len() < other.retransmit_delay_buckets.len() {
+            self.retransmit_delay_buckets
+                .resize(other.retransmit_delay_buckets.len(), 0);
+        }
+        for (mine, theirs) in self
+            .retransmit_delay_buckets
+            .iter_mut()
+            .zip(other.retransmit_delay_buckets.iter())
+        {
+            *mine += theirs;
+        }
+        for (link, count) in &other.link_drops {
+            *self.link_drops.entry(*link).or_insert(0) += count;
         }
     }
 }

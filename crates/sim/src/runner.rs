@@ -6,12 +6,14 @@ use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 
+use scup_obs::causal::{CausalGraph, EventId};
 use scup_obs::obs_event;
 
 use crate::actor::{Actor, Context, SimMessage};
 use crate::faults::{FaultPlan, MemJournal};
 use crate::metrics::{ProcessStats, SimReport};
 use crate::network::NetworkConfig;
+use crate::retransmit::RETRANSMIT_TAG;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 
@@ -20,6 +22,9 @@ enum EventKind<M> {
         from: ProcessId,
         to: ProcessId,
         msg: M,
+        /// Causal-graph id of the send that queued this delivery
+        /// ([`EventId::NONE`] unless causal recording is on).
+        cause: EventId,
     },
     Timer {
         process: ProcessId,
@@ -79,6 +84,7 @@ pub struct Simulation<M: SimMessage> {
     rng: StdRng,
     report: SimReport,
     trace: Trace,
+    causal: CausalGraph,
     started: bool,
     /// Dispatch buffers reused across every actor callback: the outbox and
     /// timer lists live for one `dispatch` call but keep their capacity for
@@ -123,6 +129,7 @@ impl<M: SimMessage> Simulation<M> {
             rng,
             report,
             trace: Trace::new(),
+            causal: CausalGraph::disabled(),
             started: false,
             outbox_buf: Vec::new(),
             timers_buf: Vec::new(),
@@ -215,6 +222,13 @@ impl<M: SimMessage> Simulation<M> {
         any.downcast_ref::<T>()
     }
 
+    /// Mutable downcast of an actor (for pre-run configuration such as
+    /// enabling per-actor observability).
+    pub fn actor_as_mut<T: 'static>(&mut self, i: ProcessId) -> Option<&mut T> {
+        let any: &mut dyn Any = &mut *self.actors[i.index()];
+        any.downcast_mut::<T>()
+    }
+
     /// Number of events still queued.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
@@ -234,6 +248,19 @@ impl<M: SimMessage> Simulation<M> {
     /// called before the run).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Enables causal event-graph recording (see
+    /// [`CausalGraph`]). Like tracing, this is pure observability: it
+    /// never touches the RNG or the event schedule.
+    pub fn enable_causal(&mut self) {
+        self.causal.enable(self.kg.n());
+    }
+
+    /// The causal event graph (empty unless
+    /// [`Simulation::enable_causal`] was called before the run).
+    pub fn causal(&self) -> &CausalGraph {
+        &self.causal
     }
 
     fn start(&mut self) {
@@ -298,36 +325,21 @@ impl<M: SimMessage> Simulation<M> {
             let stats = &mut self.report.per_process[pid.index()];
             stats.sent += 1;
             stats.bytes_sent += bytes;
+            let send_ev = self
+                .causal
+                .record_send(self.now.ticks(), pid.as_u32(), to.as_u32());
             // Fault checks draw from the shared RNG in a fixed order
             // (loss, then delivery time, then duplication), and only when
             // a plan is active — a zero plan draws exactly the historical
             // stream.
             if self.faults_active {
                 if self.faults.severed(pid, to, self.now) {
-                    self.report.messages_dropped += 1;
-                    obs_event!(
-                        self.trace,
-                        TraceEvent::Dropped {
-                            at: self.now,
-                            from: pid,
-                            to,
-                            payload: format!("{msg:?}"),
-                        }
-                    );
+                    self.record_drop(pid, to, send_ev, &msg);
                     continue;
                 }
                 let p = self.faults.loss_prob(pid, to, self.now);
                 if p > 0.0 && self.rng.random_bool(p) {
-                    self.report.messages_dropped += 1;
-                    obs_event!(
-                        self.trace,
-                        TraceEvent::Dropped {
-                            at: self.now,
-                            from: pid,
-                            to,
-                            payload: format!("{msg:?}"),
-                        }
-                    );
+                    self.record_drop(pid, to, send_ev, &msg);
                     continue;
                 }
             }
@@ -353,6 +365,8 @@ impl<M: SimMessage> Simulation<M> {
                 // deliveries interleave arbitrarily with other traffic.
                 let dup_at = self.delivery_time();
                 self.report.messages_duplicated += 1;
+                self.causal
+                    .record_duplicate(self.now.ticks(), pid.as_u32(), to.as_u32(), send_ev);
                 self.seq += 1;
                 self.queue.push(QueueEntry {
                     at: dup_at,
@@ -361,6 +375,7 @@ impl<M: SimMessage> Simulation<M> {
                         from: pid,
                         to,
                         msg: msg.clone(),
+                        cause: send_ev,
                     },
                 });
             }
@@ -368,11 +383,25 @@ impl<M: SimMessage> Simulation<M> {
             self.queue.push(QueueEntry {
                 at: deliver_at,
                 seq: self.seq,
-                kind: EventKind::Deliver { from: pid, to, msg },
+                kind: EventKind::Deliver {
+                    from: pid,
+                    to,
+                    msg,
+                    cause: send_ev,
+                },
             });
         }
         let epoch = self.epoch[pid.index()];
         for (delay, tag) in timers.drain(..) {
+            if tag == RETRANSMIT_TAG {
+                let bucket = scup_obs::metrics::bucket_of(delay);
+                if self.report.retransmit_delay_buckets.len() <= bucket {
+                    self.report
+                        .retransmit_delay_buckets
+                        .resize(scup_obs::metrics::HIST_BUCKETS, 0);
+                }
+                self.report.retransmit_delay_buckets[bucket] += 1;
+            }
             self.seq += 1;
             self.queue.push(QueueEntry {
                 at: self.now + delay,
@@ -386,6 +415,28 @@ impl<M: SimMessage> Simulation<M> {
         }
         self.outbox_buf = outbox;
         self.timers_buf = timers;
+    }
+
+    /// Books a dropped message: aggregate counter, per-link counter,
+    /// trace event, and the causal-graph drop node.
+    fn record_drop(&mut self, from: ProcessId, to: ProcessId, send_ev: EventId, msg: &M) {
+        self.report.messages_dropped += 1;
+        *self
+            .report
+            .link_drops
+            .entry((from.as_u32(), to.as_u32()))
+            .or_insert(0) += 1;
+        self.causal
+            .record_drop(self.now.ticks(), from.as_u32(), to.as_u32(), send_ev);
+        obs_event!(
+            self.trace,
+            TraceEvent::Dropped {
+                at: self.now,
+                from,
+                to,
+                payload: format!("{msg:?}"),
+            }
+        );
     }
 
     /// Draws an adversarial-but-legal delivery time for a message sent now:
@@ -411,20 +462,16 @@ impl<M: SimMessage> Simulation<M> {
         debug_assert!(entry.at >= self.now, "time must be monotone");
         self.now = entry.at;
         match entry.kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                cause,
+            } => {
                 if self.down[to.index()] {
                     // A message arriving at a crashed process is lost,
                     // like a packet hitting a rebooting host.
-                    self.report.messages_dropped += 1;
-                    obs_event!(
-                        self.trace,
-                        TraceEvent::Dropped {
-                            at: self.now,
-                            from,
-                            to,
-                            payload: format!("{msg:?}"),
-                        }
-                    );
+                    self.record_drop(from, to, cause, &msg);
                     return true;
                 }
                 // Authenticated channel: receiving teaches the receiver the
@@ -439,6 +486,8 @@ impl<M: SimMessage> Simulation<M> {
                         payload: format!("{msg:?}"),
                     }
                 );
+                self.causal
+                    .record_deliver(self.now.ticks(), from.as_u32(), to.as_u32(), cause);
                 self.report.messages_delivered += 1;
                 self.report.per_process[to.index()].delivered += 1;
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
@@ -462,6 +511,13 @@ impl<M: SimMessage> Simulation<M> {
                         tag,
                     }
                 );
+                if tag == RETRANSMIT_TAG {
+                    self.causal
+                        .record_retransmit(self.now.ticks(), process.as_u32());
+                } else {
+                    self.causal
+                        .record_timer(self.now.ticks(), process.as_u32(), tag);
+                }
                 self.report.timers_fired += 1;
                 self.dispatch(process, |actor, ctx| actor.on_timer(ctx, tag));
             }
@@ -477,6 +533,7 @@ impl<M: SimMessage> Simulation<M> {
                             process,
                         }
                     );
+                    self.causal.record_crash(self.now.ticks(), process.as_u32());
                 }
             }
             EventKind::Recover { process } => {
@@ -490,11 +547,21 @@ impl<M: SimMessage> Simulation<M> {
                             process,
                         }
                     );
+                    self.causal
+                        .record_recover(self.now.ticks(), process.as_u32());
                     // Hand the actor its pre-crash journal; records it
                     // appends *during* recovery land after the pre-crash
-                    // prefix, preserving append order.
+                    // prefix, preserving append order. An amnesiac process
+                    // is handed an empty journal instead (its disk is
+                    // gone), but the simulator keeps the pre-crash records
+                    // so post-run oracles can audit the forgotten pledges.
                     let pre = std::mem::take(&mut self.journals[process.index()]);
-                    self.dispatch(process, |actor, ctx| actor.on_recover(ctx, &pre));
+                    if self.faults.amnesia.contains(process) {
+                        let empty = MemJournal::new();
+                        self.dispatch(process, |actor, ctx| actor.on_recover(ctx, &empty));
+                    } else {
+                        self.dispatch(process, |actor, ctx| actor.on_recover(ctx, &pre));
+                    }
                     let post = std::mem::take(&mut self.journals[process.index()]);
                     let mut merged = pre;
                     merged.extend_from(post);
@@ -906,6 +973,111 @@ mod tests {
         // Pings already in flight toward 3 are dropped on arrival.
         assert!(report.messages_dropped > 0);
         assert_eq!(report.per_process[3].delivered, 0);
+    }
+
+    #[test]
+    fn causal_graph_links_sends_to_deliveries() {
+        use scup_obs::causal::CausalKind;
+        let mut sim = build(3);
+        sim.enable_causal();
+        sim.run_until_quiet(10_000);
+        let g = sim.causal();
+        assert!(!g.is_empty());
+        let deliver = g
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, CausalKind::Deliver { .. }))
+            .unwrap();
+        let cause = deliver.parents[1];
+        assert!(cause.is_some(), "delivery carries its causing send");
+        assert!(matches!(
+            g.events()[cause.0 as usize].kind,
+            CausalKind::Send { .. }
+        ));
+        assert!(g.happens_before(cause, deliver.id));
+        // Recording is pure observability: the report is unchanged.
+        let baseline = build(3).run_until_quiet(10_000);
+        assert_eq!(&baseline, sim.report());
+    }
+
+    #[test]
+    fn causal_graph_and_link_counters_record_drops() {
+        use scup_obs::causal::CausalKind;
+        let mut sim = build(42);
+        sim.enable_causal();
+        sim.set_fault_plan(FaultPlan {
+            loss: Some(LossFault {
+                prob: 1.0,
+                until: u64::MAX,
+                links: None,
+            }),
+            ..FaultPlan::default()
+        });
+        let report = sim.run_until_quiet(10_000);
+        let drops = sim
+            .causal()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, CausalKind::Drop { .. }))
+            .count() as u64;
+        assert_eq!(drops, report.messages_dropped);
+        let per_link: u64 = report.link_drops.values().sum();
+        assert_eq!(per_link, report.messages_dropped);
+    }
+
+    #[test]
+    fn retransmit_timer_delays_land_in_the_histogram() {
+        struct Rebroadcaster;
+        impl Actor<Msg> for Rebroadcaster {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(3, crate::retransmit::RETRANSMIT_TAG);
+                ctx.set_timer(10, 1);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+        }
+        let kg = generators::fig1();
+        let mut sim = Simulation::new(kg, NetworkConfig::synchronous(10, 5));
+        for _ in 0..8 {
+            sim.add_actor(Box::new(Rebroadcaster));
+        }
+        let report = sim.run_until_quiet(10_000);
+        let total: u64 = report.retransmit_delay_buckets.iter().sum();
+        assert_eq!(total, 8, "one retransmit arm per process, tag-1 excluded");
+        assert_eq!(
+            report.retransmit_delay_buckets[scup_obs::metrics::bucket_of(3)],
+            8
+        );
+    }
+
+    #[test]
+    fn amnesia_hands_an_empty_journal_but_keeps_the_records() {
+        let kg = generators::fig1();
+        let mut sim = Simulation::new(kg, NetworkConfig::synchronous(10, 11));
+        for _ in 0..8 {
+            sim.add_actor(Box::new(Journaler {
+                recovered_with: None,
+            }));
+        }
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashFault {
+                process: ProcessId::new(0),
+                at: 50,
+                recover_at: Some(300),
+            }],
+            amnesia: ProcessSet::from_ids([0]),
+            ..FaultPlan::default()
+        });
+        sim.run_until_quiet(10_000);
+        let p0 = ProcessId::new(0);
+        // on_recover saw nothing (disk gone)...
+        assert_eq!(
+            sim.actor_as::<Journaler>(p0).unwrap().recovered_with,
+            Some(0)
+        );
+        // ...but the simulator still audits the forgotten pre-crash record.
+        let tags: Vec<u64> = sim.journal(p0).records().iter().map(|r| r.tag).collect();
+        assert_eq!(tags, vec![1, 3]);
     }
 
     #[test]

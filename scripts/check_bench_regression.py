@@ -3,13 +3,13 @@
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json
-        [--prefix P] [--min-ratio R] [--warn-prefix W]... [--warn-ratio S]
+        [--prefix P]... [--min-ratio R] [--warn-prefix W]... [--warn-ratio S]
 
 Both files are criterion-shim JSON arrays (objects with `name`,
 `ns_median`, and — for throughput rows — `elems_per_sec`).
 
-Gated cases (`--prefix`, default `explore_states/`): every baseline case
-whose name starts with the prefix must appear in the current report with
+Gated cases (`--prefix`, repeatable, default `explore_states/`): every
+baseline case whose name starts with a prefix must appear in the current report with
 at least `min-ratio` of the baseline throughput (default 0.7 — i.e. fail
 on a >30% regression). Element counts are part of the case name, so a
 semantics change that moves a state count shows up as a missing case,
@@ -37,7 +37,8 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("current")
-    ap.add_argument("--prefix", default="explore_states/")
+    ap.add_argument("--prefix", action="append", default=None,
+                    help="repeatable; each adds a gated prefix group")
     ap.add_argument("--min-ratio", type=float, default=0.7)
     ap.add_argument("--warn-prefix", action="append", default=None,
                     help="repeatable; each adds a warn-only prefix group")
@@ -46,10 +47,12 @@ def main():
 
     baseline = load(args.baseline)
     current = load(args.current)
+    prefixes = args.prefix or ["explore_states/"]
     failures = []
     checked = 0
     for name, base in sorted(baseline.items()):
-        if not name.startswith(args.prefix) or "elems_per_sec" not in base:
+        if not any(name.startswith(p) for p in prefixes) \
+                or "elems_per_sec" not in base:
             continue
         checked += 1
         cur = current.get(name)
@@ -65,7 +68,7 @@ def main():
             failures.append(f"{name}: {ratio:.2f}x of baseline "
                             f"(floor {args.min_ratio:.2f}x)")
     if checked == 0:
-        failures.append(f"no baseline cases matched prefix {args.prefix!r}")
+        failures.append(f"no baseline cases matched prefixes {prefixes!r}")
 
     if args.warn_prefix:
         warned = 0
