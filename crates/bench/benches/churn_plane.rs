@@ -1,0 +1,103 @@
+//! Bench A8 — overhead of the membership-churn plane.
+//!
+//! Four flavours of the fig. 2 sampling run, one `run_one` end to end
+//! per iteration:
+//!
+//! - `fig2-no-plane`: no churn plan at all (the pre-PR-9 baseline);
+//! - `fig2-zero-churn`: `churn = {}` — must cost the same as no plane
+//!   (the plan is never installed, zero extra branches per event);
+//! - `fig2-join-storm`: both outsiders join staggered at tick 20000 —
+//!   the price of incremental re-discovery plus backlog replay, and of
+//!   running the schedule out to the join tick;
+//! - `bft-leave-under-partition`: a permanent departure layered over a
+//!   healed partition on the BFT-CUP baseline.
+//!
+//! The rows are compared warn-only in CI (`churn_plane/` prefix in
+//! `check_bench_regression.py`): the join tick dominates the schedule
+//! length and the partition healing is seed-sensitive, so the numbers
+//! inform rather than gate.
+//!
+//! `CRITERION_JSON=BENCH_PR9.json cargo bench -p scup-bench --bench
+//! churn_plane` appends the rows to the checked-in baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scup_harness::campaign::run_one;
+use scup_harness::scenario::{
+    ChurnSpec, FaultPlacement, FaultSpec, NetworkSpec, ProtocolSpec, Scenario, TopologySpec,
+};
+use scup_harness::AdversaryRegistry;
+
+fn fig2(churn: Option<ChurnSpec>) -> Scenario {
+    let mut b = Scenario::builder("bench")
+        .topology(TopologySpec::Fig2)
+        .faults(FaultPlacement::Ids(vec![5]))
+        .network(NetworkSpec {
+            max_ticks: 300_000,
+            ..Default::default()
+        });
+    if let Some(churn) = churn {
+        b = b.churn(churn);
+    }
+    b.build()
+}
+
+fn bench_churn_plane(c: &mut Criterion) {
+    let registry = AdversaryRegistry::builtin();
+    let cases: [(&str, Scenario); 4] = [
+        ("fig2-no-plane", fig2(None)),
+        ("fig2-zero-churn", fig2(Some(ChurnSpec::default()))),
+        (
+            "fig2-join-storm",
+            fig2(Some(ChurnSpec {
+                joins: vec![4, 6],
+                join_at: 20_000,
+                join_stagger: 400,
+                ..Default::default()
+            })),
+        ),
+        (
+            "bft-leave-under-partition",
+            Scenario::builder("bench")
+                .topology(TopologySpec::Fig2)
+                .f(1)
+                .faults(FaultPlacement::None)
+                .protocol(ProtocolSpec::BftCup)
+                .churn(ChurnSpec {
+                    leaves: vec![6],
+                    leave_at: 600,
+                    ..Default::default()
+                })
+                .fault_plan(FaultSpec {
+                    partition: vec![0, 1],
+                    partition_from: 50,
+                    partition_until: 900,
+                    ..Default::default()
+                })
+                .network(NetworkSpec {
+                    max_ticks: 300_000,
+                    ..Default::default()
+                })
+                .build(),
+        ),
+    ];
+    let mut group = c.benchmark_group("churn_plane");
+    group.sample_size(10);
+    for (name, scenario) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Rotate seeds so one lucky schedule cannot dominate.
+                let mut ticks = 0;
+                for seed in 0..4 {
+                    let run = run_one(&scenario, seed, &registry);
+                    assert!(run.passed, "{name}/{seed}: {:?}", run.invariants.violations);
+                    ticks += run.end_ticks;
+                }
+                ticks
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn_plane);
+criterion_main!(benches);

@@ -108,6 +108,7 @@ fn bench_forensics_sample(c: &mut Criterion) {
                 adversary,
                 &scenario.network,
                 &scenario.fault_plan,
+                &scenario.churn,
                 scenario.resolved_inputs(kg.n()),
                 seed,
                 false,
@@ -134,6 +135,7 @@ fn bench_forensics_sample(c: &mut Criterion) {
                         adversary,
                         &scenario.network,
                         &scenario.fault_plan,
+                        &scenario.churn,
                         scenario.resolved_inputs(kg.n()),
                         seed,
                         false,

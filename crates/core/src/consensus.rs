@@ -22,8 +22,8 @@ use scup_scp::node::EquivocatingScpNode;
 use scup_scp::{NodeStats, ScpConfig, ScpNode, Value};
 use scup_sim::adversary::{CrashActor, EchoActor, SilentActor};
 use scup_sim::{
-    FaultPlan, MemJournal, NetworkConfig, ResilientActor, RetransmitConfig, SimReport, Simulation,
-    TraceEvent,
+    ChurnPlan, FaultPlan, MemJournal, NetworkConfig, ResilientActor, RetransmitConfig, SimReport,
+    Simulation, TraceEvent,
 };
 
 use crate::attempts::LocalSliceStrategy;
@@ -86,6 +86,12 @@ pub struct EndToEndConfig {
     /// natively). Disabled by default — fault-free runs keep their exact
     /// historical schedules.
     pub retransmit: RetransmitConfig,
+    /// Deterministic membership churn, applied to *both* phases like
+    /// [`EndToEndConfig::faults`]: joiners start dormant and materialize
+    /// at their join tick in each phase's clock; leavers depart
+    /// permanently. The default zero plan is bit-identical to a
+    /// churn-free run.
+    pub churn: ChurnPlan,
     /// Record the causal event graph and per-node decision provenance of
     /// the SCP phase into [`Outcome::scp_causal`] /
     /// [`Outcome::scp_provenance`]. Off by default and off the
@@ -107,6 +113,7 @@ impl Default for EndToEndConfig {
             trace: false,
             faults: FaultPlan::default(),
             retransmit: RetransmitConfig::disabled(),
+            churn: ChurnPlan::default(),
             forensics: false,
         }
     }
@@ -233,6 +240,9 @@ pub fn run_sink_detection_traced(
     if !config.faults.is_zero() {
         sim.set_fault_plan(config.faults.clone());
     }
+    if !config.churn.is_zero() {
+        sim.set_churn_plan(config.churn.clone());
+    }
     for i in kg.processes() {
         if faulty.contains(i) {
             match config.adversary {
@@ -332,6 +342,9 @@ pub fn run_scp_with_slices_observed(
     if !config.faults.is_zero() {
         sim.set_fault_plan(config.faults.clone());
     }
+    if !config.churn.is_zero() {
+        sim.set_churn_plan(config.churn.clone());
+    }
     for i in kg.processes() {
         if faulty.contains(i) {
             match config.adversary {
@@ -376,13 +389,26 @@ pub fn run_scp_with_slices_observed(
         .iter()
         .filter(|c| c.recover_at.is_some())
         .count() as u64;
+    // Departing processes owe no decision: waiting on them would burn the
+    // whole tick budget on a node the churn plan removed mid-run. But like
+    // recoveries, planned churn must actually execute before the phase may
+    // stop on all-decided — a leave scheduled after the last decision would
+    // otherwise silently never happen.
+    let departing = config.churn.departing();
+    let want_joins = config.churn.joins.len() as u64;
+    let want_leaves = config.churn.leaves.len() as u64;
     let report = sim.run_while(
         |s| {
             s.report().recoveries < want_recoveries
-                || !correct.iter().all(|&i| {
-                    s.actor_as::<ScpNode>(i)
-                        .is_some_and(|n| n.externalized().is_some())
-                })
+                || s.report().joins < want_joins
+                || s.report().departures < want_leaves
+                || !correct
+                    .iter()
+                    .filter(|i| !departing.contains(**i))
+                    .all(|&i| {
+                        s.actor_as::<ScpNode>(i)
+                            .is_some_and(|n| n.externalized().is_some())
+                    })
         },
         config.max_ticks,
     );

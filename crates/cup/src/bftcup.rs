@@ -145,6 +145,24 @@ impl SimMessage for BftMsg {
         }
     }
 
+    /// Equivocation attribution (forensics only): the slot is the
+    /// statement position — message kind and view, *not* the value — and
+    /// the digest is the value. Two sends by one process for the same
+    /// slot with different digests are the protocol-level definition of
+    /// equivocation (a correct member proposes/echoes/commits one value
+    /// per view). Retransmissions and recovery re-announcements repeat
+    /// the same value, so they never book a pair. BFT messages carry no
+    /// relayed origin — the transmitter is always the author — so the
+    /// sender parameter is irrelevant here.
+    fn equivocation_key(&self, _sender: ProcessId) -> Option<(u64, u64)> {
+        match self {
+            BftMsg::Propose { view, value } => Some(((1 << 56) | view, *value)),
+            BftMsg::Echo { view, value } => Some(((2 << 56) | view, *value)),
+            BftMsg::Commit { view, value } => Some(((3 << 56) | view, *value)),
+            _ => None,
+        }
+    }
+
     fn fingerprint(&self, h: &mut StateHasher) {
         self.fingerprint_into(h, None);
     }
@@ -280,6 +298,9 @@ pub struct BftCupActor {
     /// Membership fixed ahead of the run ([`Self::with_members`]):
     /// consumed by `on_start`, which then skips SINK discovery entirely.
     preset_members: Option<ProcessSet>,
+    /// Misconfiguration exhibit ([`Self::with_forced_decision`]): decide
+    /// this value at boot, bypassing consensus entirely.
+    forced_decision: Option<Value>,
     /// Decision provenance (disabled by default; see
     /// [`BftCupActor::enable_provenance`]). Pure observability: excluded
     /// from fingerprints and preserved across crash recovery.
@@ -313,8 +334,19 @@ impl BftCupActor {
             backoff: Backoff::new(),
             retransmissions: 0,
             preset_members: None,
+            forced_decision: None,
             prov: ProvenanceLog::disabled(),
         }
+    }
+
+    /// Misconfiguration exhibit: the process "decides" `value` at boot
+    /// without running (or waiting for) consensus — the classic bug of a
+    /// joiner that trusts a stale or fabricated catch-up hint instead of
+    /// collecting `f + 1` vouchers. Exists so the validity oracle has a
+    /// real violation to catch; never used by correct configurations.
+    pub fn with_forced_decision(mut self, value: Value) -> Self {
+        self.forced_decision = Some(value);
+        self
     }
 
     /// Fixes the sink membership ahead of the run: `on_start` enters
@@ -863,6 +895,13 @@ impl Actor<BftMsg> for BftCupActor {
         self.prov_note(me, ProvRule::Proposal, || {
             (format!("{proposal}"), Vec::new())
         });
+        if let Some(value) = self.forced_decision {
+            // The exhibit: adopt the fabricated value outright, then keep
+            // participating in discovery like everyone else (the bug is
+            // the decision, not the networking).
+            self.decision = Some(value);
+            Self::journal(ctx, J_DECIDE, &[value]);
+        }
         if let Some(members) = self.preset_members.take() {
             // Membership fixed ahead of the run: no discovery traffic,
             // straight into view 0 (mirrors `maybe_start_consensus`).
@@ -934,6 +973,18 @@ impl Actor<BftMsg> for BftCupActor {
         }
     }
 
+    /// Membership churn: a join introduced `peer`. Discovery grows by the
+    /// one newcomer ([`SinkCore::learn_peer`] — targeted re-probe, no
+    /// restart), and the non-sink catch-up path immediately asks it for
+    /// the decision. If the verdict already exists, the newcomer is
+    /// outside the certified sink and only the ask fires.
+    fn on_peer_joined(&mut self, ctx: &mut Context<'_, BftMsg>, peer: ProcessId) {
+        let out = self.sink.learn_peer(peer);
+        self.flush_sink_logged(ctx, out);
+        self.maybe_start_consensus(ctx);
+        self.ask_new_contacts(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<'_, BftMsg>, tag: u64) {
         // Matched before the view decode (which would misread the tag as
         // a stale view timer) and before the decision early-return: peers
@@ -984,9 +1035,11 @@ impl Actor<BftMsg> for BftCupActor {
     /// current-view pledges are re-announced for peers that missed them.
     fn on_recover(&mut self, ctx: &mut Context<'_, BftMsg>, journal: &dyn Journal) {
         let retransmissions = self.retransmissions;
+        let forced = self.forced_decision;
         let prov = std::mem::take(&mut self.prov);
         *self = BftCupActor::new(self.pd.clone(), self.proposal, self.config.clone());
         self.retransmissions = retransmissions;
+        self.forced_decision = forced;
         self.prov = prov;
 
         self.sink = SinkCore::new(ctx.self_id(), self.pd.clone(), self.config.f);
@@ -1694,6 +1747,102 @@ mod tests {
                 2_000_000,
             );
             assert_consensus(&kg, &sim, &faulty);
+        }
+    }
+
+    #[test]
+    fn late_joiners_catch_up_after_membership_churn() {
+        use scup_sim::{ChurnPlan, JoinEvent};
+        let kg = generators::fig2();
+        let v_sink = sink::unique_sink(kg.graph()).unwrap();
+        // Two joiners arrive after consensus is long decided: a sink
+        // member (3) and a non-sink member (5). Both must catch up — the
+        // sink member through discovery + f + 1 Decide vouchers, the
+        // non-sink member through the AskDecision path.
+        let joiners = [ProcessId::new(3), ProcessId::new(5)];
+        assert!(v_sink.contains(joiners[0]) && !v_sink.contains(joiners[1]));
+        let introduce = |j: ProcessId| -> ProcessSet {
+            kg.processes().filter(|&i| kg.pd(i).contains(j)).collect()
+        };
+        for seed in 0..3 {
+            let config = NetworkConfig::partially_synchronous(100, 10, seed);
+            let mut sim = Simulation::new(kg.clone(), config);
+            sim.set_churn_plan(ChurnPlan {
+                joins: joiners
+                    .iter()
+                    .map(|&j| JoinEvent {
+                        process: j,
+                        at: 20_000,
+                        contacts: kg.pd(j).clone(),
+                        introduce_to: introduce(j),
+                    })
+                    .collect(),
+                leaves: Vec::new(),
+            });
+            for i in kg.processes() {
+                sim.add_actor(Box::new(BftCupActor::new(
+                    kg.pd(i).clone(),
+                    100 + i.as_u32() as u64,
+                    BftConfig::new(1, 400),
+                )));
+            }
+            let report = sim.run_while(
+                |s| {
+                    !s.knowledge_graph().processes().all(|i| {
+                        s.actor_as::<BftCupActor>(i)
+                            .is_some_and(|a| a.decision().is_some())
+                    })
+                },
+                2_000_000,
+            );
+            assert_eq!(report.joins, 2, "seed {seed}");
+            assert!(report.churn_drops > 0, "seed {seed}: pre-join traffic dies");
+            // The incumbents decided well before the join tick; the
+            // joiners still converge on the same proposed value.
+            let v = assert_consensus(&kg, &sim, &ProcessSet::new());
+            assert!((100..107).contains(&v), "seed {seed}: decided {v}");
+            for i in kg.processes() {
+                let violations = journal_contradictions(sim.journal(i));
+                assert!(violations.is_empty(), "seed {seed}, {i}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_decision_is_an_unproposed_value() {
+        // The misconfiguration exhibit: the stale joiner decides a value
+        // nobody proposed, while everyone else agrees correctly.
+        let kg = generators::fig2();
+        let config = NetworkConfig::partially_synchronous(100, 10, 5);
+        let mut sim = Simulation::new(kg.clone(), config);
+        for i in kg.processes() {
+            let actor = BftCupActor::new(
+                kg.pd(i).clone(),
+                100 + i.as_u32() as u64,
+                BftConfig::new(1, 400),
+            );
+            if i == ProcessId::new(5) {
+                sim.add_actor(Box::new(actor.with_forced_decision(9_999)));
+            } else {
+                sim.add_actor(Box::new(actor));
+            }
+        }
+        sim.run_while(
+            |s| {
+                !s.knowledge_graph().processes().all(|i| {
+                    s.actor_as::<BftCupActor>(i)
+                        .is_some_and(|a| a.decision().is_some())
+                })
+            },
+            2_000_000,
+        );
+        let bad = sim.actor_as::<BftCupActor>(ProcessId::new(5)).unwrap();
+        assert_eq!(bad.decision(), Some(9_999));
+        // The honest majority is unaffected: f + 1 vouchers are needed to
+        // adopt a decision, and the exhibit has only itself.
+        for i in kg.processes().filter(|&i| i != ProcessId::new(5)) {
+            let a = sim.actor_as::<BftCupActor>(i).unwrap();
+            assert!((100..107).contains(&a.decision().unwrap()));
         }
     }
 

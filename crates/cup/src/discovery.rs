@@ -238,6 +238,41 @@ impl SinkCore {
         }
     }
 
+    /// Incremental re-discovery: a membership join made process `j`
+    /// reachable. Instead of restarting the breadth-first search, the
+    /// core re-probes *only* the newcomer, keeping everything already
+    /// learned (`replied`, pending askers):
+    ///
+    /// - if `j` was unknown, `known` grows and — when the step-1 rule had
+    ///   already fired — the echo round is re-opened, to re-run against
+    ///   the grown set as soon as `j` replies;
+    /// - if `j` was already known from the static `PD` (it merely hadn't
+    ///   joined yet), the set is unchanged: the original `Discover`, and
+    ///   the `Check` of a fired round, died against the dormant process,
+    ///   so both are repeated to the newcomer only (receivers absorb
+    ///   duplicates).
+    ///
+    /// Once a verdict exists this is a no-op: the sink was certified by
+    /// `|V_sink| − f` matching echoes over a set that cannot contain a
+    /// later joiner, so the verdict stays write-once.
+    pub fn learn_peer(&mut self, j: ProcessId) -> SinkOutbox {
+        if j == self.self_id || self.verdict.is_some() {
+            return Vec::new();
+        }
+        if self.known.insert(j) {
+            if self.fired {
+                self.fired = false;
+                self.echoes.clear();
+            }
+            return vec![(j, SinkMsg::Discover)];
+        }
+        let mut out = vec![(j, SinkMsg::Discover)];
+        if self.fired {
+            out.push((j, SinkMsg::Check(self.known.clone())));
+        }
+        out
+    }
+
     fn try_fire(&mut self) -> SinkOutbox {
         // `difference_len` avoids materializing the difference set on every
         // reply (the rule is re-evaluated once per DiscoverReply).
@@ -418,6 +453,11 @@ impl Actor<SinkMsg> for SinkActor {
 
     fn on_message(&mut self, ctx: &mut Context<'_, SinkMsg>, from: ProcessId, msg: SinkMsg) {
         let out = self.core.on_message(from, msg);
+        Self::flush(ctx, out);
+    }
+
+    fn on_peer_joined(&mut self, ctx: &mut Context<'_, SinkMsg>, peer: ProcessId) {
+        let out = self.core.learn_peer(peer);
         Self::flush(ctx, out);
     }
 
@@ -651,5 +691,75 @@ mod tests {
         core.on_message(p(2), SinkMsg::CheckReply(all.clone()));
         let v = core.verdict().expect("verdict after 3 echoes");
         assert_eq!(v.sink, all);
+    }
+
+    #[test]
+    fn learn_peer_reprobes_incrementally_and_refires() {
+        // 3-clique, f = 0; process 3 joins mid-protocol, after the
+        // step-1 rule fired but before the echo round completed.
+        let p = ProcessId::new;
+        let mut core = SinkCore::new(p(0), ProcessSet::from_ids([1, 2]), 0);
+        core.start();
+        core.on_message(p(1), SinkMsg::DiscoverReply(ProcessSet::from_ids([0, 2])));
+        core.on_message(p(2), SinkMsg::DiscoverReply(ProcessSet::from_ids([0, 1])));
+        assert!(core.discovery_done());
+        let out = core.learn_peer(p(3));
+        // Targeted re-probe: exactly one Discover, to the newcomer only,
+        // and the echo round is re-opened.
+        assert_eq!(out, vec![(p(3), SinkMsg::Discover)]);
+        assert!(!core.discovery_done());
+        assert!(core.known().contains(p(3)));
+        // A repeated introduction re-probes (the receiver absorbs the
+        // duplicate) but cannot re-open anything.
+        assert_eq!(core.learn_peer(p(3)), vec![(p(3), SinkMsg::Discover)]);
+        // The newcomer's reply completes the grown set and re-fires step
+        // 2 against all three peers.
+        let out = core.on_message(
+            p(3),
+            SinkMsg::DiscoverReply(ProcessSet::from_ids([0, 1, 2])),
+        );
+        assert!(core.discovery_done());
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, SinkMsg::Check(_)))
+                .count(),
+            3
+        );
+        let grown = ProcessSet::from_ids([0, 1, 2, 3]);
+        for j in [1u32, 2, 3] {
+            core.on_message(p(j), SinkMsg::CheckReply(grown.clone()));
+        }
+        let v = core.verdict().expect("verdict over the grown sink");
+        assert_eq!(v.sink, grown);
+        // The verdict is write-once: later joiners are outside it.
+        assert!(core.learn_peer(p(4)).is_empty());
+        assert_eq!(core.verdict().unwrap().sink, grown);
+    }
+
+    #[test]
+    fn learn_peer_repeats_the_check_for_a_known_but_dormant_peer() {
+        // p0's PD names 2, but 2 was dormant, so neither the Discover nor
+        // the Check ever reached it; f = 1 lets the rule fire anyway.
+        let p = ProcessId::new;
+        let mut core = SinkCore::new(p(0), ProcessSet::from_ids([1, 2]), 1);
+        core.start();
+        core.on_message(p(1), SinkMsg::DiscoverReply(ProcessSet::from_ids([0, 2])));
+        assert!(core.discovery_done(), "one silent peer fits the f budget");
+        assert!(core.verdict().is_none());
+        // The join repeats both lost messages, to the newcomer only, and
+        // the fired round stays open (the set did not change).
+        let known = ProcessSet::from_ids([0, 1, 2]);
+        let out = core.learn_peer(p(2));
+        assert_eq!(
+            out,
+            vec![
+                (p(2), SinkMsg::Discover),
+                (p(2), SinkMsg::Check(known.clone()))
+            ]
+        );
+        assert!(core.discovery_done());
+        // The newcomer's echo completes the verdict.
+        core.on_message(p(2), SinkMsg::CheckReply(known.clone()));
+        assert_eq!(core.verdict().unwrap().sink, known);
     }
 }

@@ -115,6 +115,13 @@ pub struct RunRecord {
     pub crashes: u64,
     /// Recovery events executed by the fault plan.
     pub recoveries: u64,
+    /// Join events executed by the churn plan (0 without one).
+    pub joins: u64,
+    /// Leave events executed by the churn plan.
+    pub departures: u64,
+    /// Messages lost because an endpoint was dormant or departed (a
+    /// subset of `messages_dropped`).
+    pub churn_drops: u64,
     /// Messages re-sent by the protocols' retransmission layer.
     pub retransmissions: u64,
     /// log₂ histogram of retransmission delays (bucket `k` counts
@@ -272,6 +279,9 @@ pub fn run_one(scenario: &Scenario, seed: u64, registry: &AdversaryRegistry) -> 
         messages_duplicated: 0,
         crashes: 0,
         recoveries: 0,
+        joins: 0,
+        departures: 0,
+        churn_drops: 0,
         retransmissions: 0,
         retransmit_delay_buckets: Vec::new(),
         link_drops: Vec::new(),
@@ -327,6 +337,9 @@ fn run_configured(
 
     let plan = scenario.fault_plan.to_plan();
     plan.validate(kg.n())?;
+    // The simulator's installer panics on a bad plan; validating here turns
+    // an out-of-range churn id into this run's error record instead.
+    scenario.churn.to_plan(&kg).validate(kg.n())?;
     let output = protocol::execute(
         scenario.protocol,
         &kg,
@@ -335,22 +348,28 @@ fn run_configured(
         adversary,
         &scenario.network,
         &scenario.fault_plan,
+        &scenario.churn,
         scenario.resolved_inputs(kg.n()),
         seed,
     );
 
     // Graceful degradation: a plan that heals (or injects nothing) must
-    // still terminate; an unhealed plan only owes safety.
+    // still terminate; an unhealed plan only owes safety. Churn itself
+    // always quiesces (every join/leave is a one-shot event), so it never
+    // waives termination on its own.
     let termination_required = plan.is_zero() || plan.heal_tick().is_some();
-    let invariants = oracle::evaluate_degraded(
+    let departed = scenario.churn.departed();
+    let invariants = oracle::evaluate_churned(
         &kg,
         scenario.f,
         &faulty,
+        &departed,
         &output.inputs,
         &output.decisions,
         adversary,
         termination_required,
         &output.pledge_violations,
+        scenario.validity,
     );
 
     record.decided_value = if invariants.agreement {
@@ -360,7 +379,11 @@ fn run_configured(
     } else {
         None
     };
-    record.passed = invariants.passes(scenario.oracle);
+    // `expect_violation` scenarios are exhibits: they pass exactly when
+    // the oracle *catches* the staged misconfiguration. Runs that errored
+    // out never pass either way.
+    let ok = invariants.passes(scenario.oracle);
+    record.passed = if scenario.expect_violation { !ok } else { ok };
     record.invariants = invariants;
     record.messages_sent = output.messages_sent;
     record.messages_delivered = output.messages_delivered;
@@ -385,6 +408,9 @@ fn run_configured(
     record.messages_duplicated = output.messages_duplicated;
     record.crashes = output.crashes;
     record.recoveries = output.recoveries;
+    record.joins = output.joins;
+    record.departures = output.departures;
+    record.churn_drops = output.churn_drops;
     record.retransmissions = output.retransmissions;
     record.retransmit_delay_buckets = output.retransmit_delay_buckets.clone();
     record.link_drops = output
@@ -506,6 +532,9 @@ impl RunRecord {
                     ),
                     ("crashes", Json::Int(self.crashes as i64)),
                     ("recoveries", Json::Int(self.recoveries as i64)),
+                    ("joins", Json::Int(self.joins as i64)),
+                    ("departures", Json::Int(self.departures as i64)),
+                    ("churn_drops", Json::Int(self.churn_drops as i64)),
                     ("retransmissions", Json::Int(self.retransmissions as i64)),
                     (
                         "retransmit_delay_buckets",

@@ -69,6 +69,12 @@ pub struct ForensicReport {
     pub cone: Vec<EventId>,
     /// The cone rendered as a Graphviz DOT digraph.
     pub dot: String,
+    /// Equivocation pairs attributed inside the cone — two sends by the
+    /// same process claiming the same protocol slot with different
+    /// payloads — rendered `p{id} equivocated on slot ...`. The sibling
+    /// send of each pair is pulled into the cone even when only one side
+    /// was delivered to the anchors.
+    pub equivocations: Vec<String>,
     /// One provenance walk per anchored decision.
     pub chains: Vec<ProvChain>,
 }
@@ -117,8 +123,28 @@ impl ForensicReport {
             anchors.extend((0..n).filter(|&p| causal.last_of(p).is_some()));
         }
 
-        let roots: Vec<EventId> = anchors.iter().map(|&p| causal.last_of(p)).collect();
-        let cone = causal.cone(&roots);
+        let mut roots: Vec<EventId> = anchors.iter().map(|&p| causal.last_of(p)).collect();
+        let mut cone = causal.cone(&roots);
+        // Equivocation attribution: the cone is a backward closure over
+        // parent edges, so it reaches the faulty sender's *delivered*
+        // split but never the sibling send that contradicts it — the two
+        // sends share no causal edge. Pull both sends of every pair that
+        // intersects the cone (and their own histories), so the report
+        // names the equivocation instead of leaving a one-sided branch.
+        let mut equivocations = Vec::new();
+        for pair in causal.equivocations() {
+            if cone.binary_search(&pair.first).is_ok() || cone.binary_search(&pair.second).is_ok() {
+                roots.push(pair.first);
+                roots.push(pair.second);
+                equivocations.push(format!(
+                    "p{} equivocated on slot {:#x}: events e{} / e{}",
+                    pair.process, pair.slot, pair.first.0, pair.second.0
+                ));
+            }
+        }
+        if !equivocations.is_empty() {
+            cone = causal.cone(&roots);
+        }
         let dot = causal.to_dot(
             &cone,
             &format!("{scenario} seed {seed}: causal cone of the violation"),
@@ -164,6 +190,7 @@ impl ForensicReport {
             total_events: causal.len(),
             cone,
             dot,
+            equivocations,
             chains,
         }
     }
@@ -196,6 +223,7 @@ impl ForensicReport {
                 adversary,
                 &scenario.network,
                 &scenario.fault_plan,
+                &scenario.churn,
                 scenario.resolved_inputs(kg.n()),
                 seed,
                 false,
@@ -233,6 +261,7 @@ impl ForensicReport {
                     ("cone", Json::Int(self.cone.len() as i64)),
                 ]),
             ),
+            ("equivocations", strings(&self.equivocations)),
             (
                 "chains",
                 Json::Arr(

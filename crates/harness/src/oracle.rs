@@ -24,7 +24,7 @@ use scup_scp::Value;
 use stellar_cup::theorems;
 
 use crate::adversary::AdversaryKind;
-use crate::scenario::OracleMode;
+use crate::scenario::{OracleMode, ValidityMode};
 
 /// The oracle verdict for one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,14 +105,54 @@ pub fn evaluate_degraded(
     termination_required: bool,
     pledge_violations: &[String],
 ) -> InvariantReport {
+    evaluate_churned(
+        kg,
+        f,
+        faulty,
+        &ProcessSet::new(),
+        inputs,
+        decisions,
+        adversary,
+        termination_required,
+        pledge_violations,
+        ValidityMode::Strong,
+    )
+}
+
+/// The full oracle: [`evaluate_degraded`] extended with membership churn
+/// and validity variants.
+///
+/// `departed` are the processes a [`ChurnSpec`](crate::scenario::ChurnSpec)
+/// removed for good: they are not owed termination (they left), their
+/// pre-departure decisions still count for agreement (safety survives the
+/// exit), and the structural premise is judged as if they were faulty —
+/// a sink member that left weakens the graph exactly like one that
+/// failed. `validity` picks the variant of the validity oracle (see
+/// [`ValidityMode`]); none of the variants is judged when the adversary
+/// can inject values.
+#[allow(clippy::too_many_arguments)] // mirrors the scenario's fields
+pub fn evaluate_churned(
+    kg: &KnowledgeGraph,
+    f: usize,
+    faulty: &ProcessSet,
+    departed: &ProcessSet,
+    inputs: &[Value],
+    decisions: &[Option<Value>],
+    adversary: AdversaryKind,
+    termination_required: bool,
+    pledge_violations: &[String],
+    validity_mode: ValidityMode,
+) -> InvariantReport {
     let mut violations = Vec::new();
     let correct: Vec<ProcessId> = kg.processes().filter(|i| !faulty.contains(*i)).collect();
 
-    // Termination.
+    // Termination — owed by correct processes that stayed. A departed
+    // process left the system; demanding its decision would make every
+    // leave-before-decide plan a liveness violation.
     let undecided: Vec<ProcessId> = correct
         .iter()
         .copied()
-        .filter(|i| decisions[i.index()].is_none())
+        .filter(|i| !departed.contains(*i) && decisions[i.index()].is_none())
         .collect();
     let termination = undecided.is_empty();
     if !termination && termination_required {
@@ -124,7 +164,8 @@ pub fn evaluate_degraded(
         ));
     }
 
-    // Agreement over the decisions that exist.
+    // Agreement over the decisions that exist — departed included: a
+    // decision taken before leaving must not contradict the stayers'.
     let mut decided: Vec<(ProcessId, Value)> = correct
         .iter()
         .copied()
@@ -146,13 +187,33 @@ pub fn evaluate_degraded(
     // process never transmitted its proposal at all.
     let validity = if adversary.preserves_validity() {
         let crash = matches!(adversary, AdversaryKind::Crash { .. });
-        let ok = decided.iter().all(|&(_, v)| {
-            inputs.iter().enumerate().any(|(i, &input)| {
-                input == v && (crash || !faulty.contains(ProcessId::new(i as u32)))
-            })
-        });
+        let ok = match validity_mode {
+            ValidityMode::Strong => decided.iter().all(|&(_, v)| {
+                inputs.iter().enumerate().any(|(i, &input)| {
+                    input == v && (crash || !faulty.contains(ProcessId::new(i as u32)))
+                })
+            }),
+            ValidityMode::Weak => {
+                // Binding only when the correct proposals are unanimous.
+                let mut correct_inputs = correct.iter().map(|i| inputs[i.index()]);
+                match correct_inputs.next() {
+                    Some(first) if correct_inputs.all(|v| v == first) => {
+                        decided.iter().all(|&(_, v)| v == first)
+                    }
+                    _ => true,
+                }
+            }
+            ValidityMode::External => {
+                // The legitimacy predicate: the value was somebody's
+                // proposal, faulty proposers included.
+                decided.iter().all(|&(_, v)| inputs.contains(&v))
+            }
+        };
         if !ok {
-            violations.push("validity: a decided value was proposed by no correct process".into());
+            violations.push(format!(
+                "validity ({}): a decided value fails the variant's legitimacy rule",
+                validity_mode.name()
+            ));
         }
         Some(ok)
     } else {
@@ -165,10 +226,13 @@ pub fn evaluate_degraded(
         violations.push(format!("durability: {v}"));
     }
 
-    // Structural premise, straight from the scup predicates.
+    // Structural premise, straight from the scup predicates. Departed
+    // processes count against it like faulty ones: the theorems speak
+    // about the processes still participating.
+    let gone = faulty.union(departed);
     let all = kg.graph().vertex_set();
-    let correct_set = all.difference(faulty);
-    let premise = kosr::satisfies_theorem1(kg.graph(), f, faulty)
+    let correct_set = all.difference(&gone);
+    let premise = kosr::satisfies_theorem1(kg.graph(), f, &gone)
         && sink::unique_sink(kg.graph())
             .is_some_and(|v_sink| theorems::sink_has_enough_correct(&v_sink, &correct_set, f));
 

@@ -23,8 +23,8 @@
 use crate::campaign::{Campaign, CampaignMode};
 use crate::json::{self, Json};
 use crate::scenario::{
-    ExploreSpec, FaultPlacement, FaultSpec, NetworkSpec, OracleMode, ProtocolSpec, Scenario,
-    TopologySpec,
+    ChurnSpec, ExploreSpec, FaultPlacement, FaultSpec, NetworkSpec, OracleMode, ProtocolSpec,
+    Scenario, TopologySpec, ValidityMode,
 };
 use stellar_cup::attempts::LocalSliceStrategy;
 
@@ -215,6 +215,24 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
             None => defaults.preresolve_sink,
             Some(v) => v.as_bool().ok_or("`preresolve_sink` must be a boolean")?,
         },
+        bft_view_timeout: match get_u64(doc, "bft_view_timeout")? {
+            None => defaults.bft_view_timeout,
+            Some(0) => return Err("`bft_view_timeout` must be positive".into()),
+            Some(t) => t,
+        },
+    };
+
+    let churn = churn_spec_from_json(doc)?;
+    let validity = match doc.get("validity").map(|v| v.as_str()) {
+        None => ValidityMode::Strong,
+        Some(Some("strong")) => ValidityMode::Strong,
+        Some(Some("weak")) => ValidityMode::Weak,
+        Some(Some("external")) => ValidityMode::External,
+        Some(other) => {
+            return Err(format!(
+                "bad `validity` {other:?}; use strong | weak | external"
+            ))
+        }
     };
 
     Ok(Scenario {
@@ -224,6 +242,13 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
         adversary,
         faults,
         fault_plan,
+        churn,
+        validity,
+        // One campaign key drives both consumers: sampling runs read
+        // `Scenario::expect_violation`, the explorer reads its copy in
+        // `ExploreSpec` — split values would let a scenario pass one
+        // pipeline and silently invert the other.
+        expect_violation: explore.expect_violation,
         protocol,
         network,
         seeds,
@@ -310,6 +335,71 @@ fn fault_spec_from_json(doc: &Json) -> Result<FaultSpec, String> {
         },
     };
     Ok(spec)
+}
+
+/// Reads the `churn = { ... }` inline table into a [`ChurnSpec`]; absent
+/// key = zero churn. Unknown keys are an error for the same reason as in
+/// `faults`: a typo like `join = [9]` silently becoming a churn-free run
+/// would defeat the campaign.
+fn churn_spec_from_json(doc: &Json) -> Result<ChurnSpec, String> {
+    let Some(table) = doc.get("churn") else {
+        return Ok(ChurnSpec::default());
+    };
+    let Json::Obj(fields) = table else {
+        return Err("`churn` must be an inline table, e.g. \
+                    churn = { joins = [9], join_at = 20000 }"
+            .into());
+    };
+    const KNOWN: &[&str] = &[
+        "joins",
+        "join_at",
+        "join_stagger",
+        "leaves",
+        "leave_at",
+        "leave_stagger",
+        "stale_joiner",
+    ];
+    for (key, _) in fields {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown `churn` key `{key}`; known: {}",
+                KNOWN.join(", ")
+            ));
+        }
+    }
+    let ids = |key: &str| -> Result<Vec<u32>, String> {
+        match table.get(key) {
+            None => Ok(Vec::new()),
+            Some(v) => {
+                let arr = v
+                    .as_arr()
+                    .ok_or(format!("`churn.{key}` must be an array of ids"))?;
+                arr.iter()
+                    .map(|item| {
+                        item.as_i64()
+                            .filter(|&id| id >= 0)
+                            .map(|id| id as u32)
+                            .ok_or(format!("`churn.{key}` ids must be non-negative integers"))
+                    })
+                    .collect()
+            }
+        }
+    };
+    let d = ChurnSpec::default();
+    Ok(ChurnSpec {
+        joins: ids("joins")?,
+        join_at: get_u64(table, "join_at")?.unwrap_or(d.join_at),
+        join_stagger: get_u64(table, "join_stagger")?.unwrap_or(d.join_stagger),
+        leaves: ids("leaves")?,
+        leave_at: get_u64(table, "leave_at")?.unwrap_or(d.leave_at),
+        leave_stagger: get_u64(table, "leave_stagger")?.unwrap_or(d.leave_stagger),
+        stale_joiner: match table.get("stale_joiner") {
+            None => d.stale_joiner,
+            Some(v) => v
+                .as_bool()
+                .ok_or("`churn.stale_joiner` must be a boolean")?,
+        },
+    })
 }
 
 fn topology_from_json(doc: &Json) -> Result<TopologySpec, String> {

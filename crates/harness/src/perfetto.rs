@@ -146,6 +146,22 @@ pub fn sim_trace_to_chrome(
                 tid: process.as_u32() + 1,
                 args: Vec::new(),
             }),
+            TraceEvent::Joined { at, process } => out.push(ChromeEvent::Instant {
+                name: "join".into(),
+                cat: "churn",
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: process.as_u32() + 1,
+                args: Vec::new(),
+            }),
+            TraceEvent::Left { at, process } => out.push(ChromeEvent::Instant {
+                name: "leave".into(),
+                cat: "churn",
+                ts: offset_us + at.ticks(),
+                pid,
+                tid: process.as_u32() + 1,
+                args: Vec::new(),
+            }),
         }
     }
     out
@@ -190,6 +206,7 @@ pub fn trace_seeds(campaign: &Campaign, seed_override: Option<u64>) -> Vec<Chrom
                     adversary,
                     &scenario.network,
                     &scenario.fault_plan,
+                    &scenario.churn,
                     scenario.resolved_inputs(kg.n()),
                     seed,
                     true,
@@ -220,7 +237,9 @@ pub fn trace_seeds(campaign: &Campaign, seed_override: Option<u64>) -> Vec<Chrom
                 | TraceEvent::Timer { at, .. }
                 | TraceEvent::Dropped { at, .. }
                 | TraceEvent::Crashed { at, .. }
-                | TraceEvent::Recovered { at, .. } => at.ticks(),
+                | TraceEvent::Recovered { at, .. }
+                | TraceEvent::Joined { at, .. }
+                | TraceEvent::Left { at, .. } => at.ticks(),
             })
             .max()
             .unwrap_or(0);

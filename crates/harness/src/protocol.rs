@@ -14,7 +14,7 @@ use stellar_cup::consensus::{self, EndToEndConfig};
 use stellar_cup::sink_detector::GetSinkMode;
 
 use crate::adversary::AdversaryKind;
-use crate::scenario::{FaultSpec, NetworkSpec, ProtocolSpec};
+use crate::scenario::{ChurnSpec, FaultSpec, NetworkSpec, ProtocolSpec};
 
 /// What one protocol execution produced.
 #[derive(Debug, Clone)]
@@ -60,6 +60,14 @@ pub struct ProtocolOutput {
     /// Per-link fault-plane drop counters, keyed `(from, to)`, summed
     /// across phases.
     pub link_drops: BTreeMap<(u32, u32), u64>,
+    /// Join events executed by the churn plane (0 without one), summed
+    /// across phases.
+    pub joins: u64,
+    /// Leave events executed by the churn plane, summed across phases.
+    pub departures: u64,
+    /// Messages lost because an endpoint was dormant or departed; a
+    /// subset of `messages_dropped`, summed across phases.
+    pub churn_drops: u64,
     /// Causal event graph of the consensus phase (disabled unless the run
     /// asked for forensics).
     pub causal: CausalGraph,
@@ -79,11 +87,12 @@ pub fn execute(
     adversary: AdversaryKind,
     network: &NetworkSpec,
     fault_plan: &FaultSpec,
+    churn: &ChurnSpec,
     inputs: Vec<Value>,
     seed: u64,
 ) -> ProtocolOutput {
     execute_traced(
-        protocol, kg, f, faulty, adversary, network, fault_plan, inputs, seed, false,
+        protocol, kg, f, faulty, adversary, network, fault_plan, churn, inputs, seed, false,
     )
     .0
 }
@@ -102,12 +111,13 @@ pub fn execute_traced(
     adversary: AdversaryKind,
     network: &NetworkSpec,
     fault_plan: &FaultSpec,
+    churn: &ChurnSpec,
     inputs: Vec<Value>,
     seed: u64,
     trace: bool,
 ) -> (ProtocolOutput, Vec<TraceEvent>, Vec<TraceEvent>) {
     execute_observed(
-        protocol, kg, f, faulty, adversary, network, fault_plan, inputs, seed, trace, false,
+        protocol, kg, f, faulty, adversary, network, fault_plan, churn, inputs, seed, trace, false,
     )
 }
 
@@ -125,6 +135,7 @@ pub fn execute_observed(
     adversary: AdversaryKind,
     network: &NetworkSpec,
     fault_plan: &FaultSpec,
+    churn: &ChurnSpec,
     inputs: Vec<Value>,
     seed: u64,
     trace: bool,
@@ -136,6 +147,7 @@ pub fn execute_observed(
             let mut config = pipeline_config(adversary, network, fault_plan, inputs, seed);
             config.trace = trace;
             config.forensics = forensics;
+            config.churn = churn.to_plan(kg);
             let outcome = consensus::run_end_to_end(kg, f, faulty, &config);
             let mut combined = outcome.sd_report.clone();
             combined.absorb(&outcome.scp_report);
@@ -159,6 +171,9 @@ pub fn execute_observed(
                 pledge_violations,
                 retransmit_delay_buckets: combined.retransmit_delay_buckets,
                 link_drops: combined.link_drops,
+                joins: combined.joins,
+                departures: combined.departures,
+                churn_drops: combined.churn_drops,
                 causal: outcome.scp_causal,
                 provenance: outcome.scp_provenance,
             };
@@ -168,6 +183,7 @@ pub fn execute_observed(
             let mut config = pipeline_config(adversary, network, fault_plan, inputs, seed);
             config.trace = trace;
             config.forensics = forensics;
+            config.churn = churn.to_plan(kg);
             let outcome = consensus::run_local_slices_pipeline(kg, f, faulty, strategy, &config);
             let retransmissions = outcome.node_stats.iter().map(|s| s.retransmissions).sum();
             let pledge_violations = scp_pledge_violations(kg, faulty, &outcome.scp_journals);
@@ -189,6 +205,9 @@ pub fn execute_observed(
                 pledge_violations,
                 retransmit_delay_buckets: outcome.scp_report.retransmit_delay_buckets.clone(),
                 link_drops: outcome.scp_report.link_drops.clone(),
+                joins: outcome.scp_report.joins,
+                departures: outcome.scp_report.departures,
+                churn_drops: outcome.scp_report.churn_drops,
                 causal: outcome.scp_causal,
                 provenance: outcome.scp_provenance,
             };
@@ -196,7 +215,8 @@ pub fn execute_observed(
         }
         ProtocolSpec::BftCup => {
             let (output, events) = run_bftcup(
-                kg, f, faulty, adversary, network, fault_plan, inputs, seed, trace, forensics,
+                kg, f, faulty, adversary, network, fault_plan, churn, inputs, seed, trace,
+                forensics,
             );
             (output, Vec::new(), events)
         }
@@ -241,6 +261,9 @@ fn pipeline_config(
         trace: false,
         faults: fault_plan.to_plan(),
         retransmit: fault_plan.retransmit_config(network),
+        // Callers overwrite with the scenario's plan; the zero default
+        // keeps `pipeline_config` signature-stable.
+        churn: scup_sim::ChurnPlan::default(),
         forensics: false,
     }
 }
@@ -255,6 +278,7 @@ fn run_bftcup(
     adversary: AdversaryKind,
     network: &NetworkSpec,
     fault_plan: &FaultSpec,
+    churn: &ChurnSpec,
     inputs: Vec<Value>,
     seed: u64,
     trace: bool,
@@ -272,13 +296,39 @@ fn run_bftcup(
     if !plan.is_zero() {
         sim.set_fault_plan(plan);
     }
+    let churn_plan = churn.to_plan(kg);
+    // Like planned recoveries below, planned churn must actually execute
+    // before the sim may stop on all-decided: a leave scheduled after the
+    // last decision would otherwise silently never happen, and the
+    // scenario that ran would not be the scenario that was written.
+    let want_joins = churn_plan.joins.len() as u64;
+    let want_leaves = churn_plan.leaves.len() as u64;
+    if !churn_plan.is_zero() {
+        sim.set_churn_plan(churn_plan);
+    }
     // View timeout must comfortably exceed pre-GST delays or view changes
     // churn; 500 matches the workspace's experiment binaries.
     let mut bft_config = BftConfig::new(f, (network.delta * 4).max(500));
     bft_config.retransmit = fault_plan.retransmit_config(network);
 
+    // The `stale_joiner` exhibit: the first scheduled joiner boots with a
+    // pre-baked decision for a value nobody proposed — a deliberately
+    // misconfigured node the validity oracle must flag under `strong`
+    // (and `external`) validity.
+    let stale = churn
+        .stale_joiner
+        .then(|| churn.joins.first().copied().map(ProcessId::new))
+        .flatten()
+        .filter(|j| !faulty.contains(*j));
+    let unproposed = inputs.iter().copied().max().unwrap_or(0) + 999;
+
     for i in kg.processes() {
-        if faulty.contains(i) {
+        if stale == Some(i) {
+            sim.add_actor(Box::new(
+                BftCupActor::new(kg.pd(i).clone(), inputs[i.index()], bft_config.clone())
+                    .with_forced_decision(unproposed),
+            ));
+        } else if faulty.contains(i) {
             match adversary {
                 AdversaryKind::Silent => sim.add_actor(Box::new(SilentActor::new())),
                 AdversaryKind::Echo => sim.add_actor(Box::new(EchoActor::new())),
@@ -312,13 +362,21 @@ fn run_bftcup(
     // Planned crash–recover cycles must actually run (and the recovered
     // node rejoin) before the sim may stop on all-decided.
     let want_recoveries = fault_plan.planned_recoveries();
+    // Departing processes owe no decision — the churn plan removes them
+    // mid-run, so waiting on them would burn the whole tick budget.
+    let departing = churn.departed();
     let report = sim.run_while(
         |s| {
             s.report().recoveries < want_recoveries
-                || !correct.iter().all(|&i| {
-                    s.actor_as::<BftCupActor>(i)
-                        .is_some_and(|a| a.decision().is_some())
-                })
+                || s.report().joins < want_joins
+                || s.report().departures < want_leaves
+                || !correct
+                    .iter()
+                    .filter(|i| !departing.contains(**i))
+                    .all(|&i| {
+                        s.actor_as::<BftCupActor>(i)
+                            .is_some_and(|a| a.decision().is_some())
+                    })
         },
         network.max_ticks,
     );
@@ -371,6 +429,9 @@ fn run_bftcup(
         pledge_violations,
         retransmit_delay_buckets: report.retransmit_delay_buckets.clone(),
         link_drops: report.link_drops.clone(),
+        joins: report.joins,
+        departures: report.departures,
+        churn_drops: report.churn_drops,
         causal: sim.causal().clone(),
         provenance,
     };
@@ -397,6 +458,7 @@ mod tests {
             AdversaryKind::Silent,
             &NetworkSpec::default(),
             &FaultSpec::default(),
+            &ChurnSpec::default(),
             (0..7).map(|i| 100 + i as Value).collect(),
             0,
         );
@@ -422,6 +484,7 @@ mod tests {
             AdversaryKind::Silent,
             &NetworkSpec::default(),
             &FaultSpec::default(),
+            &ChurnSpec::default(),
             (0..8).map(|i| 100 + i as Value).collect(),
             3,
         );
@@ -441,6 +504,7 @@ mod tests {
             AdversaryKind::Silent,
             &NetworkSpec::default(),
             &FaultSpec::default(),
+            &ChurnSpec::default(),
             (0..7).map(|i| 100 + i as Value).collect(),
             1,
         );

@@ -6,9 +6,10 @@
 //! (TOML or JSON) deserialize into this type; the builder serves
 //! programmatic use.
 
-use scup_graph::{ProcessId, ProcessSet};
+use scup_graph::{KnowledgeGraph, ProcessId, ProcessSet};
 use scup_sim::{
-    CrashFault, DelayFault, DupFault, FaultPlan, LossFault, Partition, RetransmitConfig,
+    ChurnPlan, CrashFault, DelayFault, DupFault, FaultPlan, JoinEvent, LeaveEvent, LossFault,
+    Partition, RetransmitConfig,
 };
 use stellar_cup::attempts::LocalSliceStrategy;
 
@@ -272,6 +273,141 @@ impl FaultSpec {
     }
 }
 
+/// Declarative membership-churn spec: the flat, campaign-file-friendly
+/// mirror of [`scup_sim::ChurnPlan`], written in TOML as an inline table:
+///
+/// ```toml
+/// churn = { joins = [3, 5], join_at = 20000, leaves = [6], leave_at = 40000 }
+/// ```
+///
+/// Joiners start dormant and materialize at
+/// `join_at + index * join_stagger`, with their static participant
+/// detector as contacts; every incumbent whose PD names the joiner gets
+/// an `on_peer_joined` introduction (the incremental re-discovery hook).
+/// Leavers fall silent for good at `leave_at + index * leave_stagger`.
+/// The default spec is the zero plan, which is bit-identical to running
+/// without a churn plane at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Processes that join mid-run (dormant until their join tick).
+    pub joins: Vec<u32>,
+    /// Tick of the first join.
+    pub join_at: u64,
+    /// Extra delay between consecutive joins (0 = a join storm).
+    pub join_stagger: u64,
+    /// Processes that leave mid-run (silent from their leave tick on).
+    pub leaves: Vec<u32>,
+    /// Tick of the first leave.
+    pub leave_at: u64,
+    /// Extra delay between consecutive leaves.
+    pub leave_stagger: u64,
+    /// Misconfiguration exhibit: the first joiner boots with a stale
+    /// forced decision (a value nobody proposed) instead of catching up
+    /// properly — the strong-validity oracle must flag it. BFT-CUP only;
+    /// pair with `expect_violation = true`.
+    pub stale_joiner: bool,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec {
+            joins: Vec::new(),
+            join_at: 20_000,
+            join_stagger: 0,
+            leaves: Vec::new(),
+            leave_at: 20_000,
+            leave_stagger: 0,
+            stale_joiner: false,
+        }
+    }
+}
+
+impl ChurnSpec {
+    /// `true` when no membership event is scheduled (the zero plan).
+    pub fn is_zero(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty()
+    }
+
+    /// The processes scheduled to leave, as a set — the oracles stop
+    /// owing them termination.
+    pub fn departed(&self) -> ProcessSet {
+        ProcessSet::from_ids(self.leaves.iter().copied())
+    }
+
+    /// Lowers the flat spec into the simulator's [`ChurnPlan`] against a
+    /// concrete graph: a joiner's contacts are its static participant
+    /// detector, and it is introduced to every process whose PD names it.
+    /// Out-of-range ids produce events with empty contact sets so
+    /// [`ChurnPlan::validate`] can report them as errors instead of this
+    /// lowering panicking.
+    pub fn to_plan(&self, kg: &KnowledgeGraph) -> ChurnPlan {
+        let joins = self
+            .joins
+            .iter()
+            .enumerate()
+            .map(|(idx, &p)| {
+                let j = ProcessId::new(p);
+                let in_range = j.index() < kg.n();
+                JoinEvent {
+                    process: j,
+                    at: self.join_at + idx as u64 * self.join_stagger,
+                    contacts: if in_range {
+                        kg.pd(j).clone()
+                    } else {
+                        ProcessSet::new()
+                    },
+                    introduce_to: if in_range {
+                        kg.processes().filter(|&i| kg.pd(i).contains(j)).collect()
+                    } else {
+                        ProcessSet::new()
+                    },
+                }
+            })
+            .collect();
+        let leaves = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(idx, &p)| LeaveEvent {
+                process: ProcessId::new(p),
+                at: self.leave_at + idx as u64 * self.leave_stagger,
+            })
+            .collect();
+        ChurnPlan { joins, leaves }
+    }
+}
+
+/// Which validity variant the oracle judges decided values against
+/// (the hierarchy of Civit et al., arXiv:2301.04920). All three are
+/// safety oracles over the same decision vector; they only differ in
+/// which decided values count as legitimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidityMode {
+    /// A decided value must have been proposed by a *correct* process
+    /// (fail-stop proposals count under the crash adversary).
+    #[default]
+    Strong,
+    /// Only binding when every correct process proposed the same value:
+    /// then exactly that value may be decided. Distinct proposals make
+    /// the oracle vacuous.
+    Weak,
+    /// A decided value must satisfy the external legitimacy predicate —
+    /// here: it was *somebody's* proposal, faulty processes included
+    /// (the stand-in for an application-level certificate check).
+    External,
+}
+
+impl ValidityMode {
+    /// The mode name used in campaign files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValidityMode::Strong => "strong",
+            ValidityMode::Weak => "weak",
+            ValidityMode::External => "external",
+        }
+    }
+}
+
 /// Which consensus pipeline the scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolSpec {
@@ -423,6 +559,11 @@ pub struct ExploreSpec {
     /// view changes). Off by default: the full-stack semantics explores
     /// discovery in-schedule.
     pub preresolve_sink: bool,
+    /// View timeout (in abstract delivery steps) the explored BFT-CUP
+    /// actors are configured with (`bft-cup` only; the timed sampling
+    /// drivers derive theirs from `Δ`). Must be positive — the parser
+    /// rejects 0 at load time.
+    pub bft_view_timeout: u64,
 }
 
 impl Default for ExploreSpec {
@@ -443,6 +584,7 @@ impl Default for ExploreSpec {
             eager_inert: true,
             explore_discovery: false,
             preresolve_sink: false,
+            bft_view_timeout: 400,
         }
     }
 }
@@ -466,6 +608,17 @@ pub struct Scenario {
     /// Network/process fault injection (TOML key `faults = { ... }`);
     /// the zero spec by default.
     pub fault_plan: FaultSpec,
+    /// Membership churn (TOML key `churn = { ... }`); the zero spec by
+    /// default.
+    pub churn: ChurnSpec,
+    /// Which validity variant the oracle judges (TOML key `validity`);
+    /// strong by default.
+    pub validity: ValidityMode,
+    /// Sampling-mode counterexample expectation: the run *passes* iff
+    /// the oracles caught a violation (used by seeded misconfiguration
+    /// exhibits like `stale_joiner`). The parser sets this and
+    /// [`ExploreSpec::expect_violation`] from the same campaign key.
+    pub expect_violation: bool,
     /// Protocol under test.
     pub protocol: ProtocolSpec,
     /// Network timing.
@@ -562,6 +715,9 @@ impl Scenario {
                 adversary: "silent".to_string(),
                 faults: FaultPlacement::None,
                 fault_plan: FaultSpec::default(),
+                churn: ChurnSpec::default(),
+                validity: ValidityMode::Strong,
+                expect_violation: false,
                 protocol: ProtocolSpec::StellarMinimal,
                 network: NetworkSpec::default(),
                 seeds: 8,
@@ -608,6 +764,25 @@ impl ScenarioBuilder {
     /// Sets the fault-injection spec.
     pub fn fault_plan(mut self, spec: FaultSpec) -> Self {
         self.scenario.fault_plan = spec;
+        self
+    }
+
+    /// Sets the membership-churn spec.
+    pub fn churn(mut self, spec: ChurnSpec) -> Self {
+        self.scenario.churn = spec;
+        self
+    }
+
+    /// Sets the validity variant the oracle judges.
+    pub fn validity(mut self, mode: ValidityMode) -> Self {
+        self.scenario.validity = mode;
+        self
+    }
+
+    /// Marks the scenario as a seeded counterexample: it passes iff the
+    /// oracles catch a violation.
+    pub fn expect_violation(mut self, expect: bool) -> Self {
+        self.scenario.expect_violation = expect;
         self
     }
 

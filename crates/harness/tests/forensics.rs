@@ -169,6 +169,7 @@ fn forensics_never_changes_the_outcome() {
                     adversary,
                     &scenario.network,
                     &scenario.fault_plan,
+                    &scenario.churn,
                     scenario.resolved_inputs(kg.n()),
                     seed,
                     false,
@@ -211,4 +212,61 @@ fn forensics_campaign_file_fails_every_run_and_attaches() {
     for run in &report.runs {
         assert_explains(run.forensics.as_ref().expect("analysis attached"));
     }
+}
+
+#[test]
+fn equivocation_pairs_are_attributed_in_the_cone() {
+    // Fig. 2 with an equivocating process 5: the consensus phase records
+    // same-slot/different-payload send pairs, and the forensic cone must
+    // name the equivocator even though the sibling sends share no causal
+    // edge with the anchors.
+    let scenario = Scenario::builder("equivocation-attribution")
+        .topology(TopologySpec::Fig2)
+        .f(1)
+        .adversary("equivocate")
+        .faults(FaultPlacement::Ids(vec![5]))
+        .build();
+    let registry = AdversaryRegistry::builtin();
+    let adversary = registry.resolve(&scenario.adversary).unwrap();
+    let seed = 0;
+    let (kg, generated) = topology::instantiate(&scenario.topology, scenario.f, seed);
+    let faulty = topology::place_faults(&scenario.faults, &kg, generated, seed).unwrap();
+    let (output, _, _) = protocol::execute_observed(
+        scenario.protocol,
+        &kg,
+        scenario.f,
+        &faulty,
+        adversary,
+        &scenario.network,
+        &scenario.fault_plan,
+        &scenario.churn,
+        scenario.resolved_inputs(kg.n()),
+        seed,
+        false,
+        true,
+    );
+    assert!(
+        !output.causal.equivocations().is_empty(),
+        "the equivocator's same-slot splits must be recorded"
+    );
+    // Anchor the cone on every acting process (a violation text that
+    // names nobody), so the delivered half of each pair is inside it.
+    let report = ForensicReport::build(
+        "equivocation-attribution",
+        seed,
+        &["staged: agreement stressed by an equivocator".to_string()],
+        &output,
+    );
+    assert!(
+        !report.equivocations.is_empty(),
+        "pairs intersecting the cone must be attributed"
+    );
+    for line in &report.equivocations {
+        assert!(line.contains("p5"), "attribution names the origin: {line}");
+    }
+    let json = report.to_json().pretty();
+    assert!(
+        json.contains("equivocations"),
+        "pairs land in the JSON block"
+    );
 }

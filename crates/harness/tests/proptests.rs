@@ -210,3 +210,115 @@ fn zero_plan_campaign_reports_are_bit_identical_across_worker_counts() {
         assert_eq!(baseline, zeroed, "threads={threads}");
     }
 }
+
+/// The BFT-CUP fig. 2 system, fault-free placement, with a churn plan —
+/// the configuration whose join/leave recovery paths (discovery
+/// re-probes, Decide vouchers, AskDecision) are all exercised.
+fn fig2_bft_churn(churn: scup_harness::scenario::ChurnSpec) -> Scenario {
+    Scenario::builder("fig2-bft-churn-prop")
+        .topology(TopologySpec::Fig2)
+        .f(1)
+        .faults(FaultPlacement::None)
+        .protocol(scup_harness::scenario::ProtocolSpec::BftCup)
+        .churn(churn)
+        .network(NetworkSpec {
+            max_ticks: 300_000,
+            ..Default::default()
+        })
+        .oracle(OracleMode::Require)
+        .build()
+}
+
+/// An arbitrary quiescing churn plan on fig. 2: joiners drawn from a
+/// sink member (3) and/or the outsiders, an optional permanent leave of
+/// outsider 6, staggered join ticks. Every plan quiesces by
+/// construction (each event is one-shot), so termination is always owed
+/// by the correct non-departing processes.
+fn churn_spec() -> impl Strategy<Value = scup_harness::scenario::ChurnSpec> {
+    let joins = prop_oneof![
+        Just(Vec::new()),
+        Just(vec![5u32]),
+        Just(vec![3u32]),
+        Just(vec![3u32, 5]),
+    ];
+    let leaves = prop_oneof![Just(Vec::new()), Just(vec![6u32])];
+    (joins, 5_000u64..=30_000, 0u64..=600, leaves, 500u64..=2_000).prop_map(
+        |(joins, join_at, join_stagger, leaves, leave_at)| scup_harness::scenario::ChurnSpec {
+            joins,
+            join_at,
+            join_stagger,
+            leaves,
+            leave_at,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn quiesced_churn_still_terminates_and_agrees(
+        churn in churn_spec(),
+        seed in 0u64..1_000,
+    ) {
+        let run = run_one(&fig2_bft_churn(churn.clone()), seed, &AdversaryRegistry::builtin());
+        prop_assert_eq!(&run.error, &None);
+        prop_assert!(
+            run.invariants.termination_required,
+            "churn always quiesces, so termination is owed"
+        );
+        prop_assert!(
+            run.passed,
+            "seed {} churn {:?} violated {:?}",
+            seed,
+            churn,
+            run.invariants.violations
+        );
+        prop_assert!(run.invariants.termination && run.invariants.agreement);
+        prop_assert!(run.invariants.pledges_ok);
+        prop_assert_eq!(run.joins, churn.joins.len() as u64);
+        prop_assert_eq!(run.departures, churn.leaves.len() as u64);
+    }
+}
+
+#[test]
+fn zero_churn_campaign_reports_are_bit_identical_across_worker_counts() {
+    // The churn-plane twin of the zero-fault differential, stated over
+    // the full parse → run pipeline: a campaign whose scenario spells
+    // out `churn = { }` produces the same report as one without the key,
+    // across 1/2/8 workers — the plane is free until a plan is non-zero.
+    let toml = |churn_line: &str| {
+        format!(
+            "name = \"zero-churn-diff\"\nthreads = 0\n\n[[scenario]]\n\
+             name = \"fig2\"\ntopology = \"fig2\"\nf = 1\nadversary = \"silent\"\n\
+             faulty = [5]\nprotocol = \"stellar-minimal\"\n{churn_line}\
+             seeds = 4\noracle = \"require\"\n"
+        )
+    };
+    let strip = |report: scup_harness::CampaignReport| -> Vec<scup_harness::RunRecord> {
+        report
+            .runs
+            .into_iter()
+            .map(|mut r| {
+                r.wall_micros = 0;
+                r
+            })
+            .collect()
+    };
+    let baseline_campaign = scup_harness::campaign_from_str(&toml("")).unwrap();
+    let baseline = strip(baseline_campaign.run());
+    assert_eq!(baseline.len(), 4);
+    assert!(baseline.iter().all(|r| r.passed));
+    for threads in [1usize, 2, 8] {
+        let mut campaign = scup_harness::campaign_from_str(&toml("churn = { }\n")).unwrap();
+        campaign.threads = threads;
+        assert!(campaign.scenarios[0].churn.is_zero());
+        let zeroed = strip(campaign.run());
+        assert_eq!(baseline, zeroed, "threads={threads}");
+        for (b, z) in baseline.iter().zip(&zeroed) {
+            assert_eq!(b.joins + b.departures + b.churn_drops, 0);
+            assert_eq!(z.joins + z.departures + z.churn_drops, 0);
+        }
+    }
+}

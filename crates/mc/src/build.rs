@@ -69,6 +69,13 @@ pub struct Setup {
     /// `preresolve_sink = true`): every actor starts with this member set
     /// and skips in-schedule discovery.
     pub preset_sink: Option<ProcessSet>,
+    /// View timeout handed to explored BFT-CUP actors (see
+    /// [`ExploreSpec`](scup_harness::scenario::ExploreSpec)). The untimed
+    /// semantics ignores timer delays (a pending timer is just a
+    /// schedulable choice), so any positive value is behaviorally
+    /// equivalent — the knob exists so a campaign can pin the view-change
+    /// cadence it also samples with.
+    pub bft_view_timeout: u64,
 }
 
 impl Setup {
@@ -134,6 +141,7 @@ impl Setup {
                     // timed fault plans have no untimed counterpart.
                     faults: scup_sim::FaultPlan::default(),
                     retransmit: scup_sim::RetransmitConfig::disabled(),
+                    churn: scup_sim::ChurnPlan::default(),
                     forensics: false,
                 };
                 let (detections, _) =
@@ -172,6 +180,7 @@ impl Setup {
             premise,
             timer_budget: scenario.explore.timer_budget,
             preset_sink,
+            bft_view_timeout: scenario.explore.bft_view_timeout,
         })
     }
 
@@ -404,11 +413,6 @@ impl<'a> BftDriver<'a> {
     }
 }
 
-/// View timeout handed to explored BFT-CUP actors. The untimed semantics
-/// ignores timer delays (a pending timer is just a schedulable choice), so
-/// any positive value is equivalent.
-const BFT_VIEW_TIMEOUT: u64 = 400;
-
 impl Driver for BftDriver<'_> {
     type Msg = BftMsg;
 
@@ -422,7 +426,7 @@ impl Driver for BftDriver<'_> {
     fn build_sim(&self, variant: u32) -> ExploreSim<BftMsg> {
         let setup = self.setup;
         let mut sim = ExploreSim::new(setup.kg.clone(), setup.timer_budget);
-        let config = BftConfig::new(setup.f, BFT_VIEW_TIMEOUT);
+        let config = BftConfig::new(setup.f, setup.bft_view_timeout);
         // With `preresolve_sink`, membership is fixed up front and SINK
         // discovery never enters the schedule (correct actors and the
         // equivocating leader alike).

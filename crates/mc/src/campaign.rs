@@ -574,7 +574,9 @@ fn render_cex<D: Driver>(
             TraceEvent::Sent { .. }
             | TraceEvent::Dropped { .. }
             | TraceEvent::Crashed { .. }
-            | TraceEvent::Recovered { .. } => {
+            | TraceEvent::Recovered { .. }
+            | TraceEvent::Joined { .. }
+            | TraceEvent::Left { .. } => {
                 unreachable!("ExploreSim only records deliveries and timers")
             }
         })

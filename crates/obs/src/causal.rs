@@ -20,7 +20,7 @@
 //!   [`walk_to_roots`] traverses from an externalized value back to the
 //!   initial proposals (or journal replays) that seeded it.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// A vector clock over `n` processes.
@@ -144,6 +144,16 @@ pub enum CausalKind {
         /// Recovered process.
         process: u32,
     },
+    /// The churn plane materialized `process` (membership join).
+    Join {
+        /// Joining process.
+        process: u32,
+    },
+    /// The churn plane permanently silenced `process` (departure).
+    Leave {
+        /// Departing process.
+        process: u32,
+    },
 }
 
 impl CausalKind {
@@ -158,7 +168,9 @@ impl CausalKind {
             CausalKind::Timer { process, .. }
             | CausalKind::Retransmit { process }
             | CausalKind::Crash { process }
-            | CausalKind::Recover { process } => process,
+            | CausalKind::Recover { process }
+            | CausalKind::Join { process }
+            | CausalKind::Leave { process } => process,
         }
     }
 
@@ -172,6 +184,8 @@ impl CausalKind {
             CausalKind::Retransmit { process } => format!("retransmit p{process}"),
             CausalKind::Crash { process } => format!("crash p{process}"),
             CausalKind::Recover { process } => format!("recover p{process}"),
+            CausalKind::Join { process } => format!("join p{process}"),
+            CausalKind::Leave { process } => format!("leave p{process}"),
         }
     }
 }
@@ -192,6 +206,28 @@ pub struct CausalEvent {
     pub parents: [EventId; 2],
 }
 
+/// An attributed equivocation: one process sent two payloads that claim
+/// the same protocol slot (same statement position, e.g. the same view's
+/// proposal or the same ballot's pledge) with different contents.
+///
+/// Detected from the simulator's `SimMessage::equivocation_key` digests
+/// at send time, so the attribution points at the *faulty sender's own
+/// send events* —
+/// causal cones over a Byzantine sender no longer stop at the delivery
+/// edge, they reach the contradictory pair itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivocationPair {
+    /// The equivocating sender.
+    pub process: u32,
+    /// The contested protocol slot (protocol-defined key).
+    pub slot: u64,
+    /// The send event that first claimed the slot.
+    pub first: EventId,
+    /// The first send that claimed the same slot with a different
+    /// payload.
+    pub second: EventId,
+}
+
 /// A zero-cost-when-disabled recorder of the causal event DAG.
 ///
 /// Disabled by default; [`CausalGraph::enable`] sizes the per-process
@@ -204,6 +240,11 @@ pub struct CausalGraph {
     clocks: Vec<VectorClock>,
     last: Vec<EventId>,
     events: Vec<CausalEvent>,
+    /// Per `(sender, slot)`: the first payload digest seen, its send
+    /// event, and whether an equivocation was already booked (one
+    /// witness pair per contested slot is enough for attribution).
+    slot_claims: BTreeMap<(u32, u64), (u64, EventId, bool)>,
+    equivocations: Vec<EquivocationPair>,
 }
 
 impl CausalGraph {
@@ -349,6 +390,53 @@ impl CausalGraph {
     /// Records the fault plane recovering `process`.
     pub fn record_recover(&mut self, at: u64, process: u32) -> EventId {
         self.record_step(at, process, CausalKind::Recover { process }, EventId::NONE)
+    }
+
+    /// Records the churn plane materializing `process` (join).
+    pub fn record_join(&mut self, at: u64, process: u32) -> EventId {
+        self.record_step(at, process, CausalKind::Join { process }, EventId::NONE)
+    }
+
+    /// Records the churn plane silencing `process` (departure).
+    pub fn record_leave(&mut self, at: u64, process: u32) -> EventId {
+        self.record_step(at, process, CausalKind::Leave { process }, EventId::NONE)
+    }
+
+    /// Notes the payload identity of the send recorded as `send_ev`:
+    /// `slot` is the protocol slot the payload claims and `digest` its
+    /// content fingerprint (the simulator feeds both from
+    /// `SimMessage::equivocation_key`). Two sends by the same process
+    /// claiming the same slot with different digests book an
+    /// [`EquivocationPair`] (one witness pair per contested slot).
+    ///
+    /// No-op when disabled — like every recorder here, this is pure
+    /// observability.
+    pub fn note_send_payload(&mut self, from: u32, slot: u64, digest: u64, send_ev: EventId) {
+        if !self.enabled || !send_ev.is_some() {
+            return;
+        }
+        match self.slot_claims.entry((from, slot)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((digest, send_ev, false));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let (first_digest, first_ev, booked) = *e.get();
+                if digest != first_digest && !booked {
+                    self.equivocations.push(EquivocationPair {
+                        process: from,
+                        slot,
+                        first: first_ev,
+                        second: send_ev,
+                    });
+                    e.get_mut().2 = true;
+                }
+            }
+        }
+    }
+
+    /// The attributed equivocation pairs, in detection order.
+    pub fn equivocations(&self) -> &[EquivocationPair] {
+        &self.equivocations
     }
 
     /// The causal cone of `roots`: the backward closure over parent
@@ -671,6 +759,59 @@ mod tests {
         let cone = g.cone(&[d12]);
         assert_eq!(cone, vec![s01, d01, s12, d12]);
         assert!(cone.len() < g.len(), "cone strictly smaller than graph");
+    }
+
+    #[test]
+    fn join_and_leave_enter_program_order() {
+        let mut g = CausalGraph::disabled();
+        g.enable(2);
+        let j = g.record_join(5, 1);
+        let s = g.record_send(6, 1, 0);
+        let l = g.record_leave(9, 1);
+        assert!(g.happens_before(j, s));
+        assert!(g.happens_before(s, l));
+        assert_eq!(g.last_of(1), l);
+    }
+
+    #[test]
+    fn equivocation_pairs_book_one_witness_per_slot() {
+        let mut g = CausalGraph::disabled();
+        g.enable(3);
+        let a = g.record_send(1, 0, 1);
+        g.note_send_payload(0, 7, 100, a);
+        // Same slot, same digest: a split broadcast, not an equivocation.
+        let b = g.record_send(1, 0, 2);
+        g.note_send_payload(0, 7, 100, b);
+        assert!(g.equivocations().is_empty());
+        // Same slot, different digest: booked once...
+        let c = g.record_send(2, 0, 2);
+        g.note_send_payload(0, 7, 200, c);
+        let d = g.record_send(3, 0, 1);
+        g.note_send_payload(0, 7, 300, d);
+        assert_eq!(
+            g.equivocations(),
+            &[EquivocationPair {
+                process: 0,
+                slot: 7,
+                first: a,
+                second: c,
+            }]
+        );
+        // ...and a different slot books independently.
+        let e = g.record_send(4, 0, 1);
+        g.note_send_payload(0, 8, 100, e);
+        let f = g.record_send(5, 0, 2);
+        g.note_send_payload(0, 8, 101, f);
+        assert_eq!(g.equivocations().len(), 2);
+    }
+
+    #[test]
+    fn disabled_graph_books_no_equivocations() {
+        let mut g = CausalGraph::disabled();
+        let a = g.record_send(1, 0, 1);
+        g.note_send_payload(0, 7, 100, a);
+        g.note_send_payload(0, 7, 200, a);
+        assert!(g.equivocations().is_empty());
     }
 
     #[test]

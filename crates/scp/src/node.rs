@@ -91,6 +91,25 @@ impl SimMessage for ScpMsg {
         hash_statement(h, &self.stmt);
         h.write_bool(self.accept);
     }
+
+    /// Equivocation attribution (forensics only). SCP envelopes are
+    /// flood-gossiped: relays retransmit other origins' pledges verbatim,
+    /// including both halves of an origin's equivocation, so a slot claim
+    /// is only booked when the transmitter *is* the origin. Nomination is
+    /// excluded — a correct node legitimately votes for many candidate
+    /// values — while ballot pledges (Prepare/Commit) claim one value per
+    /// `(kind, accept, counter)` position.
+    fn equivocation_key(&self, sender: ProcessId) -> Option<(u64, u64)> {
+        if sender != self.origin {
+            return None;
+        }
+        let accept_bit = (self.accept as u64) << 61;
+        match self.stmt {
+            Statement::Nominate(_) => None,
+            Statement::Prepare(n, v) => Some(((1 << 62) | accept_bit | n, v)),
+            Statement::Commit(n, v) => Some(((2 << 62) | accept_bit | n, v)),
+        }
+    }
 }
 
 /// Configuration of an SCP node.
@@ -696,6 +715,18 @@ impl Actor<ScpMsg> for ScpNode {
         }
     }
 
+    /// Membership churn: a joiner gets the full envelope backlog so it can
+    /// re-derive accepts/confirms from the same evidence everyone else
+    /// saw. `synced.remove` first — the joiner may already be in `known`
+    /// (its id was in our static participant detector while it lay
+    /// dormant, so `on_start` pre-marked it synced even though every
+    /// pre-join envelope to it was dropped).
+    fn on_peer_joined(&mut self, ctx: &mut Context<'_, ScpMsg>, peer: ProcessId) {
+        ctx.learn(peer);
+        self.synced.remove(peer);
+        self.sync_latecomers(ctx);
+    }
+
     /// Crash recovery: volatile state is gone; rebuild from the config
     /// plus the durable journal, then re-announce.
     ///
@@ -1261,6 +1292,84 @@ mod tests {
                     "node {i} journalled nothing"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn late_joiner_catches_up_via_backlog_replay() {
+        use scup_sim::{ChurnPlan, JoinEvent};
+        let kg = generators::fig1();
+        let sys = paper::fig1_system();
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let joiner = ProcessId::new(5);
+        let introduce_to: ProcessSet = kg
+            .processes()
+            .filter(|&i| kg.pd(i).contains(joiner))
+            .collect();
+        for seed in 0..3 {
+            let mut sim = Simulation::new(
+                kg.clone(),
+                NetworkConfig::partially_synchronous(150, 10, seed),
+            );
+            sim.set_churn_plan(ChurnPlan {
+                joins: vec![JoinEvent {
+                    process: joiner,
+                    at: 20_000,
+                    contacts: kg.pd(joiner).clone(),
+                    introduce_to: introduce_to.clone(),
+                }],
+                leaves: Vec::new(),
+            });
+            for i in 0..7u32 {
+                let i = ProcessId::new(i);
+                let config = ScpConfig::new(sys.slices(i).clone(), 10 + i.as_u32() as u64);
+                sim.add_actor(Box::new(ScpNode::new(config)));
+            }
+            sim.add_actor(Box::new(SilentActor::new()));
+            run_to_decision(&mut sim, &correct);
+            let report = sim.report().clone();
+            assert_eq!(report.joins, 1, "seed {seed}");
+            assert!(
+                report.churn_drops > 0,
+                "seed {seed}: pre-join envelopes must die against the dormant joiner"
+            );
+            // The joiner externalizes the same value as the incumbents,
+            // fed by the incumbents' backlog replay on introduction.
+            let v = assert_scp_consensus(&sim, &correct);
+            assert!((10..17).contains(&v), "seed {seed}: decided {v}");
+            let catchup: u64 = correct
+                .iter()
+                .map(|&i| {
+                    sim.actor_as::<ScpNode>(ProcessId::new(i))
+                        .unwrap()
+                        .stats()
+                        .catchup_envelopes
+                })
+                .sum();
+            assert!(catchup > 0, "seed {seed}: backlog replay must fire");
+        }
+    }
+
+    #[test]
+    fn equivocation_pairs_name_the_origin_not_the_relays() {
+        let correct = [0u32, 1, 2, 3, 4, 5, 6];
+        let adversary = EquivocatingScpNode::new(
+            (666, 777),
+            SliceFamily::explicit([ProcessSet::from_ids([7])]),
+        );
+        let mut sim = fig1_sim(0, Box::new(adversary));
+        sim.enable_causal();
+        run_to_decision(&mut sim, &correct);
+        assert_scp_consensus(&sim, &correct);
+        let pairs = sim.causal().equivocations();
+        assert!(
+            !pairs.is_empty(),
+            "split ballot pledges must book an equivocation pair"
+        );
+        // Correct nodes flood-relay both halves of the adversary's split
+        // verbatim; attribution must stick to the origin regardless.
+        for pair in pairs {
+            assert_eq!(pair.process, 7, "relay falsely booked: {pair:?}");
         }
     }
 

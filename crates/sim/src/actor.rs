@@ -36,6 +36,29 @@ pub trait SimMessage: Clone + Debug + 'static {
         let _ = perm;
         self.fingerprint(h);
     }
+
+    /// Forensics support: `(slot, digest)` when this payload *claims a
+    /// protocol slot* — a statement position a correct process commits
+    /// to at most one value for (a view's proposal, a ballot's pledge, a
+    /// nomination). `slot` identifies the position (without the value),
+    /// `digest` fingerprints the claimed content. Two sends by one
+    /// process with equal `slot` but different `digest` are an
+    /// equivocation, attributed by the causal recorder
+    /// ([`scup_obs::causal::CausalGraph::note_send_payload`]).
+    ///
+    /// `sender` is the process transmitting this copy; gossip protocols
+    /// whose envelopes carry an `origin` distinct from the transmitter
+    /// must return `None` unless `sender` is the origin — relays that
+    /// forward both halves of someone else's equivocation are not
+    /// themselves equivocating.
+    ///
+    /// The default (`None`) opts the message out of equivocation
+    /// tracking; it is only consulted when causal recording is enabled,
+    /// so it stays entirely off the bit-identity surface.
+    fn equivocation_key(&self, sender: ProcessId) -> Option<(u64, u64)> {
+        let _ = sender;
+        None
+    }
 }
 
 /// A deterministic protocol state machine driven by the simulator.
@@ -72,6 +95,18 @@ pub trait Actor<M: SimMessage>: Any {
     /// document the choice either way.
     fn on_recover(&mut self, ctx: &mut Context<'_, M>, journal: &dyn Journal) {
         let _ = (ctx, journal);
+    }
+
+    /// Membership-churn support: called when a
+    /// [`ChurnPlan`](crate::ChurnPlan) join introduces `peer` to this
+    /// process (the simulator has already added `peer` to this process's
+    /// knowledge). Protocols use this for *incremental* re-discovery —
+    /// a targeted probe of the newcomer, a backlog replay — instead of
+    /// restarting discovery from scratch. The default does nothing,
+    /// which is sound: the newcomer's own probes still get answered
+    /// through `on_message`.
+    fn on_peer_joined(&mut self, ctx: &mut Context<'_, M>, peer: ProcessId) {
+        let _ = (ctx, peer);
     }
 
     /// Exploration support: a deep copy of this actor's current state, or

@@ -1,0 +1,281 @@
+//! Deterministic membership churn: participants joining and leaving
+//! mid-run over an evolving knowledge graph.
+//!
+//! The source paper fixes the participant set before the run starts; a
+//! [`ChurnPlan`] drops that assumption the same way a
+//! [`FaultPlan`](crate::FaultPlan) drops reliable channels — as a fully
+//! scheduled, seed-independent event list that composes with every other
+//! plane. The simulation is still built over the *maximal* participant
+//! set (one actor per process of the knowledge graph); the plan carves a
+//! membership trajectory out of it:
+//!
+//! - a [`JoinEvent`] keeps its process **dormant** until the join tick:
+//!   no `on_start`, no timers, and every delivery addressed to it is
+//!   dropped (the process does not exist yet). At the join tick the
+//!   process materializes knowing exactly `contacts`, the members listed
+//!   in `introduce_to` learn the joiner's identity (the knowledge graph
+//!   grows by those edges), the joiner's `on_start` runs, and each
+//!   introduced member gets an
+//!   [`Actor::on_peer_joined`](crate::Actor::on_peer_joined) callback —
+//!   the hook protocols use for *incremental* re-discovery and backlog
+//!   catch-up instead of a from-scratch restart;
+//! - a [`LeaveEvent`] silences its process permanently from the leave
+//!   tick: pending timers are cancelled (via the same incarnation bump a
+//!   crash uses), later deliveries to it are dropped, and it is never
+//!   dispatched again. Other processes keep its identity in their
+//!   knowledge sets — stale knowledge is exactly what makes departure
+//!   interesting.
+//!
+//! The two design rules of the fault plane carry over:
+//!
+//! - **A zero plan is free.** [`ChurnPlan::is_zero`] short-circuits every
+//!   membership check before any state change, so a default plan leaves
+//!   the run bit-identical to a simulation with no plan installed
+//!   (pinned by differential tests).
+//! - **Churn quiesces.** Every event is a fixed tick, so
+//!   [`ChurnPlan::quiesce_tick`] always exists; oracles owe termination
+//!   only past that point (and only to processes that have not left).
+
+use scup_graph::{ProcessId, ProcessSet};
+
+/// A scheduled mid-run join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEvent {
+    /// The joining process (dormant before `at`).
+    pub process: ProcessId,
+    /// Join tick (must be ≥ 1 — tick 0 is the boot instant of the
+    /// initial membership).
+    pub at: u64,
+    /// The processes the joiner knows on arrival (its participant
+    /// detector output at join time). Must be non-empty — a joiner that
+    /// knows nobody can never be discovered.
+    pub contacts: ProcessSet,
+    /// Existing members that learn the joiner's identity at the join
+    /// tick (the reverse knowledge edges). Each receives an
+    /// [`Actor::on_peer_joined`](crate::Actor::on_peer_joined) callback.
+    pub introduce_to: ProcessSet,
+}
+
+/// A scheduled permanent departure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaveEvent {
+    /// The departing process.
+    pub process: ProcessId,
+    /// Departure tick; from here the process is silenced for good.
+    pub at: u64,
+}
+
+/// A complete, deterministic membership schedule for one simulation run.
+///
+/// Construct with struct update syntax from [`ChurnPlan::default`] (the
+/// zero plan) and install with
+/// [`Simulation::set_churn_plan`](crate::Simulation::set_churn_plan).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnPlan {
+    /// Scheduled joins.
+    pub joins: Vec<JoinEvent>,
+    /// Scheduled departures.
+    pub leaves: Vec<LeaveEvent>,
+}
+
+impl ChurnPlan {
+    /// `true` when the plan schedules nothing. A zero plan is guaranteed
+    /// not to alter the event schedule, the RNG stream, or any report
+    /// field.
+    pub fn is_zero(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty()
+    }
+
+    /// The first tick from which membership is stable again (one past
+    /// the last scheduled event; 0 for the zero plan). Unlike fault
+    /// windows, churn events are instants, so every plan quiesces.
+    pub fn quiesce_tick(&self) -> u64 {
+        self.joins
+            .iter()
+            .map(|j| j.at)
+            .chain(self.leaves.iter().map(|l| l.at))
+            .max()
+            .map(|t| t + 1)
+            .unwrap_or(0)
+    }
+
+    /// The set of processes dormant at boot (scheduled joiners).
+    pub fn dormant_at_start(&self) -> ProcessSet {
+        let mut s = ProcessSet::new();
+        for j in &self.joins {
+            s.insert(j.process);
+        }
+        s
+    }
+
+    /// The set of processes that ever leave.
+    pub fn departing(&self) -> ProcessSet {
+        let mut s = ProcessSet::new();
+        for l in &self.leaves {
+            s.insert(l.process);
+        }
+        s
+    }
+
+    /// Checks the plan against a system of `n` processes: ids in range,
+    /// join ticks positive, contacts non-empty and never the joiner
+    /// itself, at most one join per process, and a process that both
+    /// joins and leaves must leave strictly after joining.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        let mut joiners = ProcessSet::new();
+        for j in &self.joins {
+            if j.process.index() >= n {
+                return Err(format!("join process {} outside 0..{n}", j.process));
+            }
+            if j.at == 0 {
+                return Err(format!(
+                    "join of {} at tick 0; initial members boot at 0, joins need at >= 1",
+                    j.process
+                ));
+            }
+            if j.contacts.is_empty() {
+                return Err(format!("join of {} has no contacts", j.process));
+            }
+            if j.contacts.contains(j.process) {
+                return Err(format!("join of {} lists itself as a contact", j.process));
+            }
+            if let Some(p) = j
+                .contacts
+                .iter()
+                .chain(j.introduce_to.iter())
+                .find(|p| p.index() >= n)
+            {
+                return Err(format!(
+                    "join of {} references {p} outside 0..{n}",
+                    j.process
+                ));
+            }
+            if !joiners.insert(j.process) {
+                return Err(format!("process {} joins twice", j.process));
+            }
+        }
+        let mut leavers = ProcessSet::new();
+        for l in &self.leaves {
+            if l.process.index() >= n {
+                return Err(format!("leave process {} outside 0..{n}", l.process));
+            }
+            if !leavers.insert(l.process) {
+                return Err(format!("process {} leaves twice", l.process));
+            }
+            if let Some(j) = self.joins.iter().find(|j| j.process == l.process) {
+                if l.at <= j.at {
+                    return Err(format!(
+                        "process {} leaves at {} <= its join tick {}",
+                        l.process, l.at, j.at
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join(p: u32, at: u64, contacts: &[u32], intro: &[u32]) -> JoinEvent {
+        JoinEvent {
+            process: ProcessId::new(p),
+            at,
+            contacts: ProcessSet::from_ids(contacts.iter().copied()),
+            introduce_to: ProcessSet::from_ids(intro.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn zero_plan_is_zero() {
+        let plan = ChurnPlan::default();
+        assert!(plan.is_zero());
+        assert_eq!(plan.quiesce_tick(), 0);
+        assert!(plan.dormant_at_start().is_empty());
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn quiesce_is_one_past_the_last_event() {
+        let plan = ChurnPlan {
+            joins: vec![join(3, 500, &[0, 1], &[0])],
+            leaves: vec![LeaveEvent {
+                process: ProcessId::new(1),
+                at: 900,
+            }],
+        };
+        assert!(!plan.is_zero());
+        assert_eq!(plan.quiesce_tick(), 901);
+        assert_eq!(plan.dormant_at_start(), ProcessSet::from_ids([3]));
+        assert_eq!(plan.departing(), ProcessSet::from_ids([1]));
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let n = 4;
+        assert!(ChurnPlan {
+            joins: vec![join(9, 10, &[0], &[])],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        assert!(ChurnPlan {
+            joins: vec![join(3, 0, &[0], &[])],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        assert!(ChurnPlan {
+            joins: vec![join(3, 10, &[], &[])],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        assert!(ChurnPlan {
+            joins: vec![join(3, 10, &[3], &[])],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        assert!(ChurnPlan {
+            joins: vec![join(3, 10, &[0], &[9])],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        assert!(ChurnPlan {
+            joins: vec![join(3, 10, &[0], &[]), join(3, 20, &[1], &[])],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        assert!(ChurnPlan {
+            leaves: vec![
+                LeaveEvent {
+                    process: ProcessId::new(1),
+                    at: 5
+                },
+                LeaveEvent {
+                    process: ProcessId::new(1),
+                    at: 9
+                }
+            ],
+            ..ChurnPlan::default()
+        }
+        .validate(n)
+        .is_err());
+        // Join-then-leave must be ordered.
+        assert!(ChurnPlan {
+            joins: vec![join(3, 100, &[0], &[])],
+            leaves: vec![LeaveEvent {
+                process: ProcessId::new(3),
+                at: 100
+            }],
+        }
+        .validate(n)
+        .is_err());
+    }
+}

@@ -67,11 +67,13 @@ mod time;
 mod trace;
 
 pub mod adversary;
+pub mod churn;
 pub mod explore;
 pub mod faults;
 pub mod retransmit;
 
 pub use actor::{Actor, Context, SimMessage};
+pub use churn::{ChurnPlan, JoinEvent, LeaveEvent};
 pub use explore::{ExploreEvent, ExploreSim, Perm, SimState, StateHasher};
 pub use faults::{
     CrashFault, DelayFault, DupFault, FaultPlan, Journal, JournalRecord, LossFault, MemJournal,

@@ -48,6 +48,14 @@ pub struct SimReport {
     pub crashes: u64,
     /// Recovery events executed.
     pub recoveries: u64,
+    /// Membership joins executed. Always 0 without an active
+    /// [`ChurnPlan`](crate::ChurnPlan).
+    pub joins: u64,
+    /// Permanent departures executed by the churn plan.
+    pub departures: u64,
+    /// Messages dropped because their receiver was dormant (not yet
+    /// joined) or departed — a subset of `messages_dropped`.
+    pub churn_drops: u64,
     /// Simulated time at which the run stopped.
     pub end_time: SimTime,
     /// `true` if the run stopped because the event queue drained (vs.
@@ -82,6 +90,9 @@ impl SimReport {
         self.timers_cancelled += other.timers_cancelled;
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
+        self.joins += other.joins;
+        self.departures += other.departures;
+        self.churn_drops += other.churn_drops;
         self.end_time = self.end_time.max(other.end_time);
         self.quiescent &= other.quiescent;
         if self.per_process.len() < other.per_process.len() {

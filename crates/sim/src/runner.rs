@@ -10,6 +10,7 @@ use scup_obs::causal::{CausalGraph, EventId};
 use scup_obs::obs_event;
 
 use crate::actor::{Actor, Context, SimMessage};
+use crate::churn::ChurnPlan;
 use crate::faults::{FaultPlan, MemJournal};
 use crate::metrics::{ProcessStats, SimReport};
 use crate::network::NetworkConfig;
@@ -39,12 +40,29 @@ enum EventKind<M> {
     Recover {
         process: ProcessId,
     },
+    /// A churn-plan join (index into [`ChurnPlan::joins`]).
+    Join {
+        idx: usize,
+    },
+    /// A churn-plan departure.
+    Leave {
+        process: ProcessId,
+    },
 }
 
 struct QueueEntry<M> {
     at: SimTime,
     seq: u64,
     kind: EventKind<M>,
+}
+
+/// Owned copy of a [`JoinEvent`](crate::churn::JoinEvent)'s fields,
+/// cloned out of the plan so the join handler can dispatch actors
+/// without holding a borrow of `self.churn`.
+struct JoinEventParts {
+    process: ProcessId,
+    contacts: ProcessSet,
+    introduce_to: ProcessSet,
 }
 
 impl<M> PartialEq for QueueEntry<M> {
@@ -102,6 +120,19 @@ pub struct Simulation<M: SimMessage> {
     /// cancelled instead of fired).
     down: Vec<bool>,
     epoch: Vec<u32>,
+    /// The installed membership schedule. Like the fault plane, a zero
+    /// plan is free: `churn_active` caches `!is_zero()` and the dormant/
+    /// departed vectors stay all-false, so the delivery schedule is
+    /// bit-identical to a run with no plan installed.
+    churn: ChurnPlan,
+    churn_active: bool,
+    /// Per-process membership state: `dormant[i]` before a scheduled
+    /// join materializes the process, `departed[i]` after a scheduled
+    /// leave silences it for good. Both act like a crashed host on the
+    /// network path (deliveries dropped), but are distinct states for
+    /// the oracles: dormant/departed processes owe nothing.
+    dormant: Vec<bool>,
+    departed: Vec<bool>,
     /// Per-process durable journals — the one piece of state that
     /// survives a [`FaultPlan`] crash.
     journals: Vec<MemJournal>,
@@ -137,6 +168,10 @@ impl<M: SimMessage> Simulation<M> {
             faults_active: false,
             down: vec![false; n],
             epoch: vec![0; n],
+            churn: ChurnPlan::default(),
+            churn_active: false,
+            dormant: vec![false; n],
+            departed: vec![false; n],
             journals: vec![MemJournal::new(); n],
         }
     }
@@ -163,9 +198,47 @@ impl<M: SimMessage> Simulation<M> {
         &self.faults
     }
 
+    /// Installs a membership schedule (see [`ChurnPlan`]). Must be
+    /// called before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run already started or the plan fails
+    /// [`ChurnPlan::validate`] against this system.
+    pub fn set_churn_plan(&mut self, plan: ChurnPlan) {
+        assert!(!self.started, "cannot install churn after the run started");
+        if let Err(e) = plan.validate(self.kg.n()) {
+            panic!("invalid churn plan: {e}");
+        }
+        self.churn_active = !plan.is_zero();
+        self.churn = plan;
+        // Scheduled joiners are dormant from the outset: they skip
+        // `on_start` at tick 0 and boot at their join tick instead.
+        for j in &self.churn.joins {
+            self.dormant[j.process.index()] = true;
+        }
+    }
+
+    /// The installed membership schedule (the zero plan unless
+    /// [`Simulation::set_churn_plan`] was called).
+    pub fn churn_plan(&self) -> &ChurnPlan {
+        &self.churn
+    }
+
     /// `true` while process `i` is crashed.
     pub fn is_down(&self, i: ProcessId) -> bool {
         self.down[i.index()]
+    }
+
+    /// `true` while process `i` is dormant (scheduled to join but not
+    /// yet materialized).
+    pub fn is_dormant(&self, i: ProcessId) -> bool {
+        self.dormant[i.index()]
+    }
+
+    /// `true` once process `i` has departed for good.
+    pub fn has_departed(&self, i: ProcessId) -> bool {
+        self.departed[i.index()]
     }
 
     /// The durable journal of process `i` (empty unless its actor wrote
@@ -291,8 +364,32 @@ impl<M: SimMessage> Simulation<M> {
                 });
             }
         }
+        // Churn events likewise (joiners were already marked dormant at
+        // plan install, so the `on_start` loop below skips them). A zero
+        // plan touches nothing.
+        if self.churn_active {
+            for (idx, j) in self.churn.joins.iter().enumerate() {
+                self.seq += 1;
+                self.queue.push(QueueEntry {
+                    at: SimTime::from_ticks(j.at),
+                    seq: self.seq,
+                    kind: EventKind::Join { idx },
+                });
+            }
+            for l in self.churn.leaves.clone() {
+                self.seq += 1;
+                self.queue.push(QueueEntry {
+                    at: SimTime::from_ticks(l.at),
+                    seq: self.seq,
+                    kind: EventKind::Leave { process: l.process },
+                });
+            }
+        }
         for i in 0..self.actors.len() {
             let pid = ProcessId::new(i as u32);
+            if self.dormant[i] {
+                continue;
+            }
             self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
         }
     }
@@ -328,6 +425,16 @@ impl<M: SimMessage> Simulation<M> {
             let send_ev = self
                 .causal
                 .record_send(self.now.ticks(), pid.as_u32(), to.as_u32());
+            // Equivocation attribution is send-time evidence: book the
+            // payload's slot claim before the network can drop or split
+            // it. Guarded by the recorder's enable flag, so the common
+            // path pays one branch and no payload hashing.
+            if self.causal.is_enabled() {
+                if let Some((slot, digest)) = msg.equivocation_key(pid) {
+                    self.causal
+                        .note_send_payload(pid.as_u32(), slot, digest, send_ev);
+                }
+            }
             // Fault checks draw from the shared RNG in a fixed order
             // (loss, then delivery time, then duplication), and only when
             // a plan is active — a zero plan draws exactly the historical
@@ -468,6 +575,14 @@ impl<M: SimMessage> Simulation<M> {
                 msg,
                 cause,
             } => {
+                if self.dormant[to.index()] || self.departed[to.index()] {
+                    // A message addressed to a process that has not
+                    // joined yet (or has left for good) dies on the
+                    // wire — the churn analogue of a crashed receiver.
+                    self.report.churn_drops += 1;
+                    self.record_drop(from, to, cause, &msg);
+                    return true;
+                }
                 if self.down[to.index()] {
                     // A message arriving at a crashed process is lost,
                     // like a packet hitting a rebooting host.
@@ -497,9 +612,13 @@ impl<M: SimMessage> Simulation<M> {
                 tag,
                 epoch,
             } => {
-                if self.down[process.index()] || epoch != self.epoch[process.index()] {
+                if self.down[process.index()]
+                    || self.departed[process.index()]
+                    || epoch != self.epoch[process.index()]
+                {
                     // Timers are volatile: armed before a crash (stale
-                    // epoch) or firing while down, they are cancelled.
+                    // epoch), firing while down, or surviving a
+                    // departure — all cancelled.
                     self.report.timers_cancelled += 1;
                     return true;
                 }
@@ -568,8 +687,80 @@ impl<M: SimMessage> Simulation<M> {
                     self.journals[process.index()] = merged;
                 }
             }
+            EventKind::Join { idx } => {
+                let JoinEventParts {
+                    process,
+                    contacts,
+                    introduce_to,
+                } = self.join_parts(idx);
+                if self.dormant[process.index()] {
+                    self.dormant[process.index()] = false;
+                    self.report.joins += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Joined {
+                            at: self.now,
+                            process,
+                        }
+                    );
+                    self.causal.record_join(self.now.ticks(), process.as_u32());
+                    // The joiner materializes knowing exactly its
+                    // contacts (its participant-detector output at join
+                    // time); the introduced members learn its identity —
+                    // the knowledge graph grows by these edges.
+                    self.known[process.index()] = contacts;
+                    self.known[process.index()].remove(process);
+                    // Boot the joiner first so its probes are queued
+                    // before the incumbents' reactions — unless a
+                    // composed crash fault has it down at the join tick
+                    // (it then joins crashed and boots at recovery).
+                    if !self.down[process.index()] {
+                        self.dispatch(process, |actor, ctx| actor.on_start(ctx));
+                    }
+                    for member in introduce_to.iter() {
+                        if member == process
+                            || self.dormant[member.index()]
+                            || self.departed[member.index()]
+                            || self.down[member.index()]
+                        {
+                            continue;
+                        }
+                        self.known[member.index()].insert(process);
+                        self.dispatch(member, |actor, ctx| actor.on_peer_joined(ctx, process));
+                    }
+                }
+            }
+            EventKind::Leave { process } => {
+                if !self.departed[process.index()] && !self.dormant[process.index()] {
+                    self.departed[process.index()] = true;
+                    // The departure bumps the incarnation like a crash:
+                    // every pending timer of the departed process is
+                    // cancelled instead of fired.
+                    self.epoch[process.index()] += 1;
+                    self.report.departures += 1;
+                    obs_event!(
+                        self.trace,
+                        TraceEvent::Left {
+                            at: self.now,
+                            process,
+                        }
+                    );
+                    self.causal.record_leave(self.now.ticks(), process.as_u32());
+                }
+            }
         }
         true
+    }
+
+    /// Clones the scheduled join's parts out of the plan (the borrow
+    /// cannot be held across the dispatches the join triggers).
+    fn join_parts(&self, idx: usize) -> JoinEventParts {
+        let j = &self.churn.joins[idx];
+        JoinEventParts {
+            process: j.process,
+            contacts: j.contacts.clone(),
+            introduce_to: j.introduce_to.clone(),
+        }
     }
 
     /// Runs until no events remain or simulated time exceeds `max_ticks`.
@@ -1091,6 +1282,163 @@ mod tests {
                 recover_at: None,
             }],
             ..FaultPlan::default()
+        });
+    }
+
+    use crate::churn::{ChurnPlan, JoinEvent, LeaveEvent};
+
+    #[test]
+    fn zero_churn_plan_is_bit_identical_to_no_plan() {
+        let baseline = build(42).run_until_quiet(10_000);
+        let mut sim = build(42);
+        sim.set_churn_plan(ChurnPlan::default());
+        let report = sim.run_until_quiet(10_000);
+        assert_eq!(baseline, report);
+        assert_eq!(report.joins, 0);
+        assert_eq!(report.departures, 0);
+        assert_eq!(report.churn_drops, 0);
+    }
+
+    /// Pings all known processes at start; greets any later joiner with a
+    /// ping of its own so the introduction path is exercised.
+    struct ChurnProbe {
+        started_at: Option<SimTime>,
+        peers_joined: Vec<ProcessId>,
+        pings_seen: u64,
+    }
+
+    impl ChurnProbe {
+        fn new() -> Self {
+            ChurnProbe {
+                started_at: None,
+                peers_joined: Vec::new(),
+                pings_seen: 0,
+            }
+        }
+    }
+
+    impl Actor<Msg> for ChurnProbe {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.started_at = Some(ctx.now());
+            ctx.broadcast_known(Msg::Ping(ctx.self_id().as_u32() as u64));
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
+            if matches!(msg, Msg::Ping(_)) {
+                self.pings_seen += 1;
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _tag: u64) {}
+        fn on_peer_joined(&mut self, ctx: &mut Context<'_, Msg>, peer: ProcessId) {
+            self.peers_joined.push(peer);
+            ctx.send(peer, Msg::Ping(999));
+        }
+    }
+
+    fn build_probes(seed: u64) -> Simulation<Msg> {
+        let kg = generators::fig1();
+        let mut sim = Simulation::new(kg, NetworkConfig::synchronous(10, seed));
+        for _ in 0..8 {
+            sim.add_actor(Box::new(ChurnProbe::new()));
+        }
+        sim
+    }
+
+    #[test]
+    fn join_materializes_a_dormant_process_and_notifies_members() {
+        let mut sim = build_probes(42);
+        sim.set_churn_plan(ChurnPlan {
+            joins: vec![JoinEvent {
+                process: ProcessId::new(7),
+                at: 100,
+                contacts: ProcessSet::from_ids([0, 1]),
+                introduce_to: ProcessSet::from_ids([0, 1]),
+            }],
+            leaves: Vec::new(),
+        });
+        assert!(sim.is_dormant(ProcessId::new(7)));
+        let report = sim.run_until_quiet(10_000);
+        assert!(report.quiescent);
+        assert_eq!(report.joins, 1);
+        assert!(!sim.is_dormant(ProcessId::new(7)));
+        // Pings sent to the dormant process at t0 died on the wire, and
+        // with no fault plan every drop is a churn drop.
+        assert!(report.churn_drops > 0);
+        assert_eq!(report.churn_drops, report.messages_dropped);
+        // The joiner booted at its join tick, knowing its contacts.
+        let joiner = sim.actor_as::<ChurnProbe>(ProcessId::new(7)).unwrap();
+        assert_eq!(joiner.started_at, Some(SimTime::from_ticks(100)));
+        assert!(sim.known(ProcessId::new(7)).contains(ProcessId::new(0)));
+        // Both introduced members were told and greeted the joiner, so
+        // it saw their greeting pings plus none from anyone else.
+        for i in [0u32, 1] {
+            let m = sim.actor_as::<ChurnProbe>(ProcessId::new(i)).unwrap();
+            assert_eq!(m.peers_joined, vec![ProcessId::new(7)]);
+            assert!(sim.known(ProcessId::new(i)).contains(ProcessId::new(7)));
+        }
+        assert_eq!(report.per_process[7].delivered, 2);
+    }
+
+    #[test]
+    fn leave_silences_a_process_and_cancels_its_timers() {
+        let mut sim = build(42);
+        sim.set_churn_plan(ChurnPlan {
+            joins: Vec::new(),
+            leaves: vec![LeaveEvent {
+                process: ProcessId::new(3),
+                at: 1,
+            }],
+        });
+        let report = sim.run_until_quiet(10_000);
+        assert!(report.quiescent);
+        assert_eq!(report.departures, 1);
+        assert!(sim.has_departed(ProcessId::new(3)));
+        // The leave fires before any t=1 delivery, so nothing ever
+        // reaches process 3; its own t0 pings still went out.
+        assert_eq!(report.per_process[3].delivered, 0);
+        assert!(report.per_process[3].sent > 0);
+        assert!(report.churn_drops > 0);
+        assert_eq!(report.churn_drops, report.messages_dropped);
+        // Its t=50 timer was cancelled; the other seven fired.
+        assert_eq!(report.timers_cancelled, 1);
+        assert_eq!(report.timers_fired, 7);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic_per_seed() {
+        let plan = ChurnPlan {
+            joins: vec![JoinEvent {
+                process: ProcessId::new(6),
+                at: 40,
+                contacts: ProcessSet::from_ids([0]),
+                introduce_to: ProcessSet::from_ids([0]),
+            }],
+            leaves: vec![LeaveEvent {
+                process: ProcessId::new(2),
+                at: 30,
+            }],
+        };
+        let run = |seed| {
+            let mut sim = build_probes(seed);
+            sim.set_churn_plan(plan.clone());
+            sim.run_until_quiet(10_000)
+        };
+        assert_eq!(run(9), run(9));
+        assert_eq!(run(9).joins, 1);
+        assert_eq!(run(9).departures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid churn plan")]
+    fn out_of_range_join_target_is_rejected() {
+        let mut sim = build(4);
+        sim.set_churn_plan(ChurnPlan {
+            joins: vec![JoinEvent {
+                process: ProcessId::new(99),
+                at: 10,
+                contacts: ProcessSet::from_ids([0]),
+                introduce_to: ProcessSet::new(),
+            }],
+            leaves: Vec::new(),
         });
     }
 }

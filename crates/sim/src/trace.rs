@@ -65,6 +65,20 @@ pub enum TraceEvent {
         /// The recovering process.
         process: ProcessId,
     },
+    /// A dormant process materialized (churn-plan join).
+    Joined {
+        /// Join time.
+        at: SimTime,
+        /// The joining process.
+        process: ProcessId,
+    },
+    /// A process departed permanently (churn-plan leave).
+    Left {
+        /// Departure time.
+        at: SimTime,
+        /// The departing process.
+        process: ProcessId,
+    },
 }
 
 /// An optional in-memory event log for debugging protocol runs.

@@ -87,11 +87,14 @@ proptest! {
                     sent.swap_remove(idx.unwrap());
                 }
                 TraceEvent::Timer { .. } => {}
-                // No fault plan is installed here, so fault events can't occur.
+                // No fault or churn plan is installed here, so neither
+                // family of events can occur.
                 TraceEvent::Dropped { .. }
                 | TraceEvent::Crashed { .. }
-                | TraceEvent::Recovered { .. } => {
-                    prop_assert!(false, "fault event without a fault plan: {e:?}");
+                | TraceEvent::Recovered { .. }
+                | TraceEvent::Joined { .. }
+                | TraceEvent::Left { .. } => {
+                    prop_assert!(false, "fault/churn event without a plan: {e:?}");
                 }
             }
         }
