@@ -1,7 +1,7 @@
 //! Explorer throughput: canonical states per second on the explore-campaign
 //! systems.
 //!
-//! Two kinds of rows, both tracked in `BENCH_PR6.json`:
+//! Two kinds of rows, both tracked in `BENCH_PR10.json`:
 //!
 //! - `*-unreduced` rows run with every reduction off and count their own
 //!   visited states — the *per-state* throughput of the explorer core
@@ -23,7 +23,9 @@
 use criterion::{
     criterion_group, criterion_main, custom_entry, BenchmarkId, Criterion, Throughput,
 };
-use scup_harness::scenario::{ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, TopologySpec};
+use scup_harness::scenario::{
+    ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, SearchMode, TopologySpec,
+};
 use scup_harness::AdversaryRegistry;
 use scup_mc::campaign::{explore_scenario, explore_scenario_obs};
 use scup_mc::ObsConfig;
@@ -170,11 +172,55 @@ fn bench_explorer(c: &mut Criterion) {
     }
 }
 
+/// Uniform-cost frontier vs the legacy label-correcting DFS, same
+/// systems, same reduction knobs: `explore_ucs/<case>-{ucs,dfs}`.
+///
+/// Both rows share one element count — the canonical state census,
+/// which tests/differential.rs pins bit-equal between the two search
+/// disciplines — so the rate ratio between the paired rows is exactly
+/// the cost of DFS's re-expansions (label correcting re-expands a state
+/// every time a shorter path to it is found; the uniform-cost frontier
+/// expands each state once, at its minimal depth, by construction). The
+/// rows are tracked in `BENCH_PR10.json` and gated like the other
+/// `explore_*` throughput rows — the `-dfs` rows double as a regression
+/// oracle for the retained legacy discipline.
+fn bench_ucs_vs_dfs(c: &mut Criterion) {
+    let registry = AdversaryRegistry::builtin();
+    let threads = 1usize;
+
+    let cases = [
+        ("sink3-proposers", sink3_proposers(), 10usize),
+        ("split22-cex", split22(), 10),
+        ("bftcup-equiv-d5", bftcup_equiv(5), 10),
+    ];
+    for (name, scenario, samples) in cases {
+        let mut ucs = scenario.clone();
+        ucs.explore.search = SearchMode::Ucs;
+        let mut dfs = scenario;
+        dfs.explore.search = SearchMode::Dfs;
+        let states = explore_scenario(&ucs, threads, &registry).states;
+
+        let mut group = c.benchmark_group("explore_ucs");
+        group.sample_size(samples);
+        group.throughput(Throughput::Elements(states));
+        for (suffix, s) in [("ucs", &ucs), ("dfs", &dfs)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}-{suffix}"), states),
+                s,
+                |b, s| {
+                    b.iter(|| explore_scenario(s, threads, &registry).states);
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 /// Observability overhead: the same exhaustive exploration with
 /// profiling off vs on, plus per-phase wall-time rows from one profiled
 /// run.
 ///
-/// Three kinds of rows, all tracked in `BENCH_PR6.json`:
+/// Three kinds of rows, all tracked in `BENCH_PR10.json`:
 ///
 /// - `explore_obs/<case>-off` — the unobserved explorer (the gated
 ///   throughput rows above stay the regression oracle; this row is the
@@ -309,6 +355,7 @@ fn bench_forensics_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_explorer,
+    bench_ucs_vs_dfs,
     bench_obs_overhead,
     bench_forensics_overhead
 );

@@ -1322,12 +1322,14 @@ impl Actor<BftMsg> for EquivocatingLeader {
 }
 
 impl EquivocatingLeader {
+    // The victim `split` is deliberately not fingerprinted: it equals the
+    // explorer's adversary variant, which the engine mixes into every
+    // state hash itself (see `scup-mc`'s victim-split quotient).
     fn fingerprint_into(&self, h: &mut StateHasher, perm: Option<&Perm>) {
         write_set_perm(h, &self.pd, perm);
         h.write_u64(self.f as u64);
         h.write_u64(self.values.0);
         h.write_u64(self.values.1);
-        h.write_u64(self.split as u64);
         h.write_bool(self.attacked);
         self.sink.fingerprint_into(h, perm);
     }

@@ -24,7 +24,7 @@ use crate::campaign::{Campaign, CampaignMode};
 use crate::json::{self, Json};
 use crate::scenario::{
     ChurnSpec, ExploreSpec, FaultPlacement, FaultSpec, NetworkSpec, OracleMode, ProtocolSpec,
-    Scenario, TopologySpec, ValidityMode,
+    Scenario, SearchMode, TopologySpec, ValidityMode,
 };
 use stellar_cup::attempts::LocalSliceStrategy;
 
@@ -94,27 +94,15 @@ pub fn campaign_from_json(doc: &Json) -> Result<Campaign, String> {
 /// scenario and the knob. (BFT-CUP scenarios themselves explore fine
 /// since the checker grew full-stack drivers; what remains unsupported
 /// are specific reduction/adversary pairings.)
-fn validate_explore_knobs(doc: &Json, s: &Scenario) -> Result<(), String> {
+fn validate_explore_knobs(_doc: &Json, s: &Scenario) -> Result<(), String> {
     let value_injecting = matches!(s.adversary.as_str(), "equivocate" | "forged-slice");
-    // `symmetry` defaults to on and is silently disabled where unsound;
-    // an *explicit* request to combine it with a value-injecting adversary
-    // is a contradiction worth failing loudly on — for every protocol:
-    // the victim-split parity argument is the same for SCP's equivocator
-    // and BFT-CUP's equivocating leader alike.
-    let explicit_symmetry = doc.get("symmetry").and_then(Json::as_bool) == Some(true);
-    if value_injecting && explicit_symmetry {
-        return Err(format!(
-            "scenario `{}`: knob `symmetry = true` is unsupported with the \
-             value-injecting adversary `{}` (the victim split breaks process \
-             interchangeability, so the quotient would merge distinct attack \
-             schedules); drop the `symmetry` knob or switch the adversary",
-            s.name, s.adversary
-        ));
-    }
     if let Some(err) = s.explore_discovery_unsupported(value_injecting) {
         return Err(err);
     }
     if let Some(err) = s.preresolve_sink_unsupported() {
+        return Err(err);
+    }
+    if let Some(err) = s.sleep_sets_unsupported() {
         return Err(err);
     }
     Ok(())
@@ -219,6 +207,12 @@ fn scenario_from_json(doc: &Json) -> Result<Scenario, String> {
             None => defaults.bft_view_timeout,
             Some(0) => return Err("`bft_view_timeout` must be positive".into()),
             Some(t) => t,
+        },
+        search: match doc.get("search").map(|v| v.as_str()) {
+            None => defaults.search,
+            Some(Some("ucs")) => SearchMode::Ucs,
+            Some(Some("dfs")) => SearchMode::Dfs,
+            Some(other) => return Err(format!("bad `search` {other:?}; use ucs | dfs")),
         },
     };
 
@@ -843,19 +837,35 @@ name = "s"
 topology = "fig1"
 symmetry = false
 sleep_sets = true
+search = "dfs"
 eager_inert = false
 explore_discovery = true
 "#;
         let c = campaign_from_str(knobs).unwrap();
         assert!(!c.scenarios[0].explore.symmetry);
         assert!(c.scenarios[0].explore.sleep_sets);
+        assert_eq!(c.scenarios[0].explore.search, SearchMode::Dfs);
         assert!(!c.scenarios[0].explore.eager_inert);
         assert!(c.scenarios[0].explore.explore_discovery);
+        // `search` defaults to the uniform-cost frontier and rejects
+        // unknown names.
+        let plain = campaign_from_str(
+            "name = \"x\"\nmode = \"explore\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig1\"\n",
+        )
+        .unwrap();
+        assert_eq!(plain.scenarios[0].explore.search, SearchMode::Ucs);
+        let err = campaign_from_str(
+            "name = \"x\"\nmode = \"explore\"\n[[scenario]]\nname = \"s\"\ntopology = \"fig1\"\nsearch = \"bfs\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("bad `search`"), "{err}");
     }
 
     #[test]
     fn explore_mode_rejects_unsupported_knob_combinations() {
-        // Explicit symmetry with an equivocating BFT-CUP leader.
+        // Explicit symmetry with an equivocating leader is supported
+        // since the victim-split-aware quotient (the canonical hash
+        // permutes the variant index with the nodes) — it must load.
         let text = r#"
 name = "x"
 mode = "explore"
@@ -868,18 +878,32 @@ adversary = "equivocate"
 faulty = [0]
 symmetry = true
 "#;
-        let err = campaign_from_str(text).unwrap_err();
-        assert!(err.contains("`equiv-leader`"), "{err}");
-        assert!(err.contains("`symmetry = true`"), "{err}");
-        // The same contradiction is rejected for SCP equivocators too —
-        // the victim-parity argument is protocol-independent.
+        assert!(campaign_from_str(text).is_ok());
         let scp = text.replace("protocol = \"bft-cup\"\n", "");
-        let err = campaign_from_str(&scp).unwrap_err();
-        assert!(err.contains("`symmetry = true`"), "{err}");
-        // Dropping the explicit knob makes it load (symmetry is then
-        // silently disabled where unsound).
-        let without = text.replace("symmetry = true\n", "");
-        assert!(campaign_from_str(&without).is_ok());
+        assert!(campaign_from_str(&scp).is_ok());
+
+        // Sleep sets under the uniform-cost frontier: the cover cache
+        // is DFS-frame-scoped, so the combination is rejected at load
+        // time with the fix in the message.
+        let text = r#"
+name = "x"
+mode = "explore"
+
+[[scenario]]
+name = "sleepy-ucs"
+topology = "fig1"
+sleep_sets = true
+"#;
+        let err = campaign_from_str(text).unwrap_err();
+        assert!(err.contains("`sleepy-ucs`"), "{err}");
+        assert!(err.contains("`sleep_sets = true`"), "{err}");
+        assert!(err.contains("search = \"dfs\""), "{err}");
+        // Opting into the legacy DFS loop makes it load.
+        let dfs = text.replace(
+            "sleep_sets = true\n",
+            "sleep_sets = true\nsearch = \"dfs\"\n",
+        );
+        assert!(campaign_from_str(&dfs).is_ok());
         // The same file loads under the sampling runner (knob ignored).
         let sampled = text.replace("mode = \"explore\"", "mode = \"sample\"");
         assert!(campaign_from_str(&sampled).is_ok());

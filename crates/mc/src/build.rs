@@ -110,6 +110,9 @@ impl Setup {
         if let Some(err) = scenario.preresolve_sink_unsupported() {
             return Err(err);
         }
+        if let Some(err) = scenario.sleep_sets_unsupported() {
+            return Err(err);
+        }
         let preset_sink = if scenario.explore.preresolve_sink {
             match sink::unique_sink(kg.graph()) {
                 Some(v) => Some(v),

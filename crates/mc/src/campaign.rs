@@ -5,17 +5,19 @@
 //! timing, re-expansion counts and visited-set occupancy to each record
 //! (`obs` field), and tracing emits a Chrome-trace-event timeline —
 //! one Perfetto process track per scenario, one thread track per worker,
-//! spans per frontier root with per-phase breakdown, plus the serial
-//! frontier/merge/counterexample sections on thread 0. Neither mode may
-//! change any deterministic record field (pinned by the differential
-//! obs test in `tests/explore.rs`).
+//! spans per traversal chunk (one per frontier root under `search =
+//! "dfs"`, one per worker under the default uniform-cost search) with
+//! per-phase breakdown, plus the serial frontier/merge/counterexample
+//! sections on thread 0. Neither mode may change any deterministic
+//! record field (pinned by the differential obs test in
+//! `tests/explore.rs`).
 
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 use scup_harness::campaign::Campaign;
 use scup_harness::forensics::ForensicReport;
-use scup_harness::scenario::ProtocolSpec;
+use scup_harness::scenario::{ProtocolSpec, SearchMode};
 use scup_harness::{oracle, AdversaryRegistry, OracleMode, Scenario};
 use scup_obs::chrome::{ArgValue, ChromeEvent, TraceBuffer, TraceClock};
 use scup_obs::profile::Phase;
@@ -24,6 +26,7 @@ use scup_sim::TraceEvent;
 use crate::build::{BftDriver, Driver, ScpDriver, Setup, StackDriver};
 use crate::explorer::{merge_visited, Class, Engine, StateCapExceeded, Visited, WorkerStats};
 use crate::report::{CexReport, ExploreObs, ExploreRecord, ExploreReport};
+use crate::visited::{FpEntry, FpTable};
 
 /// What an explore campaign should observe about itself.
 #[derive(Debug, Clone, Copy, Default)]
@@ -197,6 +200,8 @@ pub fn explore_scenario_obs(
         frontier_roots: 0,
         symmetry_group: 1,
         symmetry_classes: Vec::new(),
+        symmetry_dropped_classes: 0,
+        symmetry_dropped_arrangements: 0,
         symmetric_states: 0,
         transitions: 0,
         sleep_prunes: 0,
@@ -287,6 +292,8 @@ fn explore_with_driver<D: Driver>(
     let engine = Engine::new(driver, scenario.explore);
     record.symmetry_group = engine.symmetry().group_order();
     record.symmetry_classes = engine.symmetry().class_sizes().to_vec();
+    record.symmetry_dropped_classes = engine.symmetry().dropped_classes();
+    record.symmetry_dropped_arrangements = engine.symmetry().dropped_arrangements();
     {
         let mut probe = driver.build_sim(0);
         probe.start();
@@ -333,131 +340,287 @@ fn explore_with_driver<D: Driver>(
     let obs = ctx.config;
     let clock = ctx.clock;
     let pid = ctx.pid;
-    let dfs_ts = ctx.span_start();
-    let (merged, stats, buffers) = std::thread::scope(
-        |scope| -> Result<(Visited, WorkerStats, Vec<TraceBuffer>), StateCapExceeded> {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let roots = &roots;
-                    let engine = &engine;
-                    let prefix = &prefix;
-                    scope.spawn(
-                        move || -> Result<(Visited, WorkerStats, TraceBuffer), StateCapExceeded> {
-                            let mut visited = prefix.clone();
-                            let mut stats = if obs.profiling() {
-                                WorkerStats::profiled()
-                            } else {
-                                WorkerStats::default()
-                            };
-                            let mut buf = if obs.trace {
-                                TraceBuffer::enabled()
-                            } else {
-                                TraceBuffer::disabled()
-                            };
-                            let tid = w as u32 + 1;
-                            scup_obs::obs_event!(
-                                buf,
-                                ChromeEvent::ThreadName {
-                                    pid,
-                                    tid,
-                                    name: format!("worker {w}"),
-                                }
-                            );
-                            for (i, (variant, path)) in
-                                roots.iter().enumerate().skip(w).step_by(workers)
-                            {
-                                let root_ts = clock.now_us();
-                                let before = Phase::ALL.map(|p| stats.profile.nanos(p));
-                                engine.dfs(*variant, path, &mut visited, &mut stats)?;
-                                if buf.is_enabled() {
-                                    push_root_spans(
-                                        &mut buf, &stats, before, root_ts, clock, pid, tid,
-                                        *variant, i,
+    let explore_ts = ctx.span_start();
+    // Every census statistic is a pure function of the merged map —
+    // filled by whichever search discipline runs below.
+    let mut decided: BTreeSet<u64> = BTreeSet::new();
+    let mut min_violation: Option<u32> = None;
+    let (stats, buffers) = match scenario.explore.search {
+        SearchMode::Ucs => {
+            // The ancestor map converts into the compact fingerprint
+            // table the workers clone and extend. Prefix states carry
+            // their global minimal depths (the serial frontier is layered
+            // min-depth-first), so the conversion preserves the min-depth
+            // invariant the layered expansion relies on.
+            let mut fp_prefix = FpTable::new();
+            for (hash, entry) in &prefix {
+                fp_prefix.record(
+                    *hash,
+                    FpEntry {
+                        depth: entry.depth,
+                        class: entry.class,
+                        symmetric: entry.symmetric,
+                    },
+                );
+            }
+            let fp_prefix = fp_prefix;
+            let (merged, stats, buffers) = std::thread::scope(
+                |scope| -> Result<(FpTable, WorkerStats, Vec<TraceBuffer>), StateCapExceeded> {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let roots = &roots;
+                            let engine = &engine;
+                            let fp_prefix = &fp_prefix;
+                            scope.spawn(
+                                move || -> Result<
+                                    (FpTable, WorkerStats, TraceBuffer),
+                                    StateCapExceeded,
+                                > {
+                                    let mut visited = fp_prefix.clone();
+                                    let mut stats = if obs.profiling() {
+                                        WorkerStats::profiled()
+                                    } else {
+                                        WorkerStats::default()
+                                    };
+                                    let mut buf = if obs.trace {
+                                        TraceBuffer::enabled()
+                                    } else {
+                                        TraceBuffer::disabled()
+                                    };
+                                    let tid = w as u32 + 1;
+                                    scup_obs::obs_event!(
+                                        buf,
+                                        ChromeEvent::ThreadName {
+                                            pid,
+                                            tid,
+                                            name: format!("worker {w}"),
+                                        }
                                     );
-                                    buf.push(ChromeEvent::Counter {
-                                        name: format!("visited (worker {w})"),
-                                        ts: clock.now_us(),
-                                        pid,
-                                        series: vec![("states", visited.len() as u64)],
-                                    });
-                                }
-                            }
-                            stats.visited_peak = (visited.len() as u64, visited.capacity() as u64);
-                            Ok((visited, stats, buf))
-                        },
-                    )
-                })
-                .collect();
-            let mut merged = prefix.clone();
-            let mut stats = prefix_stats;
-            let mut buffers = Vec::new();
-            for handle in handles {
-                let (visited, worker_stats, buf) =
-                    handle.join().expect("explore worker panicked")?;
-                merge_visited(&mut merged, visited);
-                stats.absorb(worker_stats);
-                buffers.push(buf);
+                                    // All of this worker's roots seed one
+                                    // layered expansion: they share a single
+                                    // depth, so one frontier keeps the whole
+                                    // stride in global depth order.
+                                    let my_roots: Vec<(u32, Vec<u32>)> = roots
+                                        .iter()
+                                        .skip(w)
+                                        .step_by(workers)
+                                        .cloned()
+                                        .collect();
+                                    let span_ts = clock.now_us();
+                                    let before = Phase::ALL.map(|p| stats.profile.nanos(p));
+                                    engine.ucs(&my_roots, &mut visited, &mut stats)?;
+                                    if buf.is_enabled() {
+                                        push_phase_spans(
+                                            &mut buf,
+                                            &stats,
+                                            before,
+                                            span_ts,
+                                            clock,
+                                            pid,
+                                            tid,
+                                            format!("ucs ({} roots)", my_roots.len()),
+                                            "ucs",
+                                            vec![
+                                                ("roots", ArgValue::U64(my_roots.len() as u64)),
+                                                ("transitions", ArgValue::U64(stats.transitions)),
+                                            ],
+                                        );
+                                        buf.push(ChromeEvent::Counter {
+                                            name: format!("visited (worker {w})"),
+                                            ts: clock.now_us(),
+                                            pid,
+                                            series: vec![("states", visited.len() as u64)],
+                                        });
+                                    }
+                                    stats.visited_peak =
+                                        (visited.len() as u64, visited.capacity() as u64);
+                                    Ok((visited, stats, buf))
+                                },
+                            )
+                        })
+                        .collect();
+                    let mut merged = fp_prefix.clone();
+                    let mut stats = prefix_stats;
+                    let mut buffers = Vec::new();
+                    for handle in handles {
+                        let (visited, worker_stats, buf) =
+                            handle.join().expect("explore worker panicked")?;
+                        merged.merge(&visited);
+                        stats.absorb(worker_stats);
+                        buffers.push(buf);
+                    }
+                    // The per-worker checks are early aborts; this is the
+                    // actual valve, on the (partition-independent) union.
+                    if merged.len() as u64 > scenario.explore.max_states {
+                        return Err(StateCapExceeded);
+                    }
+                    Ok((merged, stats, buffers))
+                },
+            )
+            .map_err(cap_error)?;
+            ctx.span_end(
+                "explore+merge",
+                explore_ts,
+                vec![("states", ArgValue::U64(merged.len() as u64))],
+            );
+            if ctx.config.profile {
+                record.obs = Some(ExploreObs {
+                    phases: ExploreObs::phase_rows(&stats.profile),
+                    reexpansions: stats.reexpansions,
+                    visited_len: merged.len() as u64,
+                    visited_capacity: merged.capacity() as u64,
+                    worker_visited_peak: stats.visited_peak.0,
+                    depth_samples: stats.depth_samples.clone(),
+                });
             }
-            // The per-worker checks are early aborts; this is the actual
-            // valve. A worker map is a subset of the union, so whether the
-            // scenario errors depends only on the (partition-independent)
-            // union size — never on the worker count.
-            if merged.len() as u64 > scenario.explore.max_states {
-                return Err(StateCapExceeded);
+            for (_, entry) in merged.iter() {
+                tally(record, &mut decided, &mut min_violation, &entry);
             }
-            Ok((merged, stats, buffers))
-        },
-    )
-    .map_err(cap_error)?;
-    ctx.span_end(
-        "explore+merge",
-        dfs_ts,
-        vec![("states", ArgValue::U64(merged.len() as u64))],
-    );
+            // Flat-table memory: 32 bytes per slot (capacity is a pure
+            // function of the state count), plus the live frontier-layer
+            // snapshots, approximated by one state estimate per state.
+            record.peak_memory_bytes = record.states * record.state_bytes_estimate
+                + merged.capacity() as u64 * FpTable::SLOT_BYTES;
+            (stats, buffers)
+        }
+        SearchMode::Dfs => {
+            let (merged, stats, buffers) = std::thread::scope(
+                |scope| -> Result<(Visited, WorkerStats, Vec<TraceBuffer>), StateCapExceeded> {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let roots = &roots;
+                            let engine = &engine;
+                            let prefix = &prefix;
+                            scope.spawn(
+                                move || -> Result<
+                                    (Visited, WorkerStats, TraceBuffer),
+                                    StateCapExceeded,
+                                > {
+                                    let mut visited = prefix.clone();
+                                    let mut stats = if obs.profiling() {
+                                        WorkerStats::profiled()
+                                    } else {
+                                        WorkerStats::default()
+                                    };
+                                    let mut buf = if obs.trace {
+                                        TraceBuffer::enabled()
+                                    } else {
+                                        TraceBuffer::disabled()
+                                    };
+                                    let tid = w as u32 + 1;
+                                    scup_obs::obs_event!(
+                                        buf,
+                                        ChromeEvent::ThreadName {
+                                            pid,
+                                            tid,
+                                            name: format!("worker {w}"),
+                                        }
+                                    );
+                                    for (i, (variant, path)) in
+                                        roots.iter().enumerate().skip(w).step_by(workers)
+                                    {
+                                        let root_ts = clock.now_us();
+                                        let before = Phase::ALL.map(|p| stats.profile.nanos(p));
+                                        engine.dfs(*variant, path, &mut visited, &mut stats)?;
+                                        if buf.is_enabled() {
+                                            push_phase_spans(
+                                                &mut buf,
+                                                &stats,
+                                                before,
+                                                root_ts,
+                                                clock,
+                                                pid,
+                                                tid,
+                                                format!("root {i} (variant {variant})"),
+                                                "dfs",
+                                                vec![
+                                                    ("variant", ArgValue::U64(*variant as u64)),
+                                                    (
+                                                        "transitions_so_far",
+                                                        ArgValue::U64(stats.transitions),
+                                                    ),
+                                                ],
+                                            );
+                                            buf.push(ChromeEvent::Counter {
+                                                name: format!("visited (worker {w})"),
+                                                ts: clock.now_us(),
+                                                pid,
+                                                series: vec![("states", visited.len() as u64)],
+                                            });
+                                        }
+                                    }
+                                    stats.visited_peak =
+                                        (visited.len() as u64, visited.capacity() as u64);
+                                    Ok((visited, stats, buf))
+                                },
+                            )
+                        })
+                        .collect();
+                    let mut merged = prefix.clone();
+                    let mut stats = prefix_stats;
+                    let mut buffers = Vec::new();
+                    for handle in handles {
+                        let (visited, worker_stats, buf) =
+                            handle.join().expect("explore worker panicked")?;
+                        merge_visited(&mut merged, visited);
+                        stats.absorb(worker_stats);
+                        buffers.push(buf);
+                    }
+                    // The per-worker checks are early aborts; this is the
+                    // actual valve. A worker map is a subset of the union,
+                    // so whether the scenario errors depends only on the
+                    // (partition-independent) union size — never on the
+                    // worker count.
+                    if merged.len() as u64 > scenario.explore.max_states {
+                        return Err(StateCapExceeded);
+                    }
+                    Ok((merged, stats, buffers))
+                },
+            )
+            .map_err(cap_error)?;
+            ctx.span_end(
+                "explore+merge",
+                explore_ts,
+                vec![("states", ArgValue::U64(merged.len() as u64))],
+            );
+            if ctx.config.profile {
+                record.obs = Some(ExploreObs {
+                    phases: ExploreObs::phase_rows(&stats.profile),
+                    reexpansions: stats.reexpansions,
+                    visited_len: merged.len() as u64,
+                    visited_capacity: merged.capacity() as u64,
+                    worker_visited_peak: stats.visited_peak.0,
+                    depth_samples: stats.depth_samples.clone(),
+                });
+            }
+            for entry in merged.values() {
+                tally(
+                    record,
+                    &mut decided,
+                    &mut min_violation,
+                    &FpEntry {
+                        depth: entry.depth,
+                        class: entry.class,
+                        symmetric: entry.symmetric,
+                    },
+                );
+            }
+            // Visited-entry overhead: hash key + depth/class/flag + cover
+            // spine.
+            const VISITED_ENTRY_BYTES: u64 = 96;
+            record.peak_memory_bytes =
+                record.states * (record.state_bytes_estimate + VISITED_ENTRY_BYTES);
+            (stats, buffers)
+        }
+    };
     for buf in buffers {
         ctx.events.extend(buf.into_events());
     }
     record.transitions = stats.transitions;
     record.sleep_prunes = stats.sleep_prunes;
-    if ctx.config.profile {
-        record.obs = Some(ExploreObs {
-            phases: ExploreObs::phase_rows(&stats.profile),
-            reexpansions: stats.reexpansions,
-            visited_len: merged.len() as u64,
-            visited_capacity: merged.capacity() as u64,
-            worker_visited_peak: stats.visited_peak.0,
-            depth_samples: stats.depth_samples.clone(),
-        });
-    }
-
-    // Every statistic below is a pure function of the merged map.
-    let mut decided: BTreeSet<u64> = BTreeSet::new();
-    let mut min_violation: Option<u32> = None;
-    for entry in merged.values() {
-        record.states += 1;
-        if entry.symmetric {
-            record.symmetric_states += 1;
-        }
-        match entry.class {
-            Class::Expanded => record.expanded += 1,
-            Class::Truncated => record.truncated += 1,
-            Class::QuiescentUndecided => record.quiescent_undecided += 1,
-            Class::Decided(v) => {
-                record.decided += 1;
-                decided.insert(v);
-            }
-            Class::Violating => {
-                record.violating += 1;
-                min_violation = Some(min_violation.map_or(entry.depth, |d| d.min(entry.depth)));
-            }
-        }
-    }
     record.decided_values = decided.into_iter().collect();
     record.complete = record.truncated == 0;
     record.min_violation_depth = min_violation;
-    // Visited-entry overhead: hash key + depth/class/flag + cover spine.
-    const VISITED_ENTRY_BYTES: u64 = 96;
-    record.peak_memory_bytes = record.states * (record.state_bytes_estimate + VISITED_ENTRY_BYTES);
 
     if let Some(d_star) = min_violation {
         let cex_ts = ctx.span_start();
@@ -491,37 +654,64 @@ fn explore_with_driver<D: Driver>(
     Ok(())
 }
 
-/// Emits one root span and, nested within it, one child span per phase
-/// whose attributed time grew during this root's DFS, laid out
-/// sequentially from the root's start (the real interleaving is
-/// sub-microsecond; the sequential layout shows the proportions, which
-/// is what the viewer is for).
+/// Accumulates one visited entry into the record's census. The census is
+/// a commutative fold over `(depth, class, symmetric)` — identical for
+/// either visited representation and any iteration order.
+fn tally(
+    record: &mut ExploreRecord,
+    decided: &mut BTreeSet<u64>,
+    min_violation: &mut Option<u32>,
+    entry: &FpEntry,
+) {
+    record.states += 1;
+    if entry.symmetric {
+        record.symmetric_states += 1;
+    }
+    match entry.class {
+        Class::Expanded => record.expanded += 1,
+        Class::Truncated => record.truncated += 1,
+        Class::QuiescentUndecided => record.quiescent_undecided += 1,
+        Class::Decided(v) => {
+            record.decided += 1;
+            decided.insert(v);
+        }
+        Class::Violating => {
+            record.violating += 1;
+            *min_violation = Some(min_violation.map_or(entry.depth, |d| d.min(entry.depth)));
+        }
+    }
+}
+
+/// Emits one span covering a traversal chunk (a DFS root or a worker's
+/// whole ucs frontier) and, nested within it, one child span per phase
+/// whose attributed time grew during the chunk, laid out sequentially
+/// from the chunk's start (the real interleaving is sub-microsecond; the
+/// sequential layout shows the proportions, which is what the viewer is
+/// for).
 #[allow(clippy::too_many_arguments)]
-fn push_root_spans(
+fn push_phase_spans(
     buf: &mut TraceBuffer,
     stats: &WorkerStats,
     before: [u64; Phase::COUNT],
-    root_ts: u64,
+    span_ts: u64,
     clock: &TraceClock,
     pid: u32,
     tid: u32,
-    variant: u32,
-    root_idx: usize,
+    name: String,
+    cat: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
 ) {
     let end = clock.now_us();
     buf.push(ChromeEvent::Complete {
-        name: format!("root {root_idx} (variant {variant})"),
-        cat: "dfs",
-        ts: root_ts,
-        dur: end.saturating_sub(root_ts),
+        name,
+        cat,
+        ts: span_ts,
+        dur: end.saturating_sub(span_ts),
         pid,
         tid,
-        args: vec![
-            ("variant", ArgValue::U64(variant as u64)),
-            ("transitions_so_far", ArgValue::U64(stats.transitions)),
-        ],
+        args,
     });
-    let mut cursor = root_ts;
+    let mut cursor = span_ts;
     for (i, phase) in Phase::ALL.iter().enumerate() {
         let dur = stats.profile.nanos(*phase).saturating_sub(before[i]) / 1_000;
         if dur == 0 {
@@ -677,6 +867,14 @@ pub fn summary(report: &ExploreReport) -> String {
                 r.state_bytes_estimate,
                 r.states,
             );
+            if r.symmetry_dropped_classes > 0 {
+                let _ = writeln!(
+                    out,
+                    "    symmetry cap: {} candidate class(es) dropped \
+                     ({} arrangements left unexplored)",
+                    r.symmetry_dropped_classes, r.symmetry_dropped_arrangements,
+                );
+            }
         }
         if let Some(e) = &r.error {
             let _ = writeln!(out, "    error: {e}");

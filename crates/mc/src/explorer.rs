@@ -1,6 +1,8 @@
-//! The bounded DFS explorer: visited-state memoization, symmetry-canonical
-//! hashing, sleep-set partial-order reduction, sharded parallel frontier,
-//! and canonical minimal counterexamples.
+//! The bounded explorer: uniform-cost (min-depth-first) search by
+//! default with a legacy DFS discipline, visited-state memoization,
+//! symmetry-canonical hashing, sleep-set partial-order reduction (DFS
+//! only), sharded parallel frontier, and canonical minimal
+//! counterexamples.
 //!
 //! # State graph
 //!
@@ -54,25 +56,44 @@
 //! instrument: nothing else is ever *excluded*, exploration of the inert
 //! event is merely *forced first*.
 //!
+//! # Search disciplines
+//!
+//! The default discipline (`search = "ucs"`) is **uniform-cost**:
+//! [`Engine::ucs`] expands a depth-layered frontier, so every state is
+//! first reached at its *minimal* branching depth and expanded exactly
+//! once — re-expansion count ~0 by construction. The legacy
+//! `search = "dfs"` discipline ([`Engine::dfs`]) is *label-correcting*:
+//! DFS order reaches many states deep-first, and each strictly shallower
+//! revisit forces a full re-expansion to repair depths (167 656
+//! re-expansions over 38 359 states on the three-proposer cycle — the
+//! blowup that motivated the uniform-cost default). DFS remains the only
+//! discipline supporting sleep sets (covers are scoped to DFS frames)
+//! and anchors the differential battery that pins `ucs ≡ dfs` on
+//! verdict, minimal depth, decided values and census.
+//!
 //! # Determinism across worker counts
 //!
-//! The first `frontier_depth` branch decisions are expanded serially; the
-//! resulting frontier roots are sharded across workers by stride (no
-//! shared cursor, no mutex). Each worker runs a label-correcting DFS: a
-//! state is re-expanded when reached at a strictly smaller depth or with
-//! a sleep set no earlier cover subsumes, so every worker computes the
-//! true minimal depth of each state reachable from its roots. Per-worker
-//! maps are merged by minimum depth, and `reachable(⋃ roots) =
-//! ⋃ reachable(rootsᵂ)` (sleep sets preserve per-root reachability), so
-//! the merged map — and every statistic derived from it — is identical
-//! for 1, 2 or 8 workers. Only the traversal *effort* counters
-//! (transitions fired, sleep prunes) depend on the partition; reports
-//! exclude them from the bit-identical contract exactly like wall-clock
-//! times. Counterexamples are *recomputed* from the merged verdict
-//! (minimal violation depth) by one serial lexicographic search, never
-//! taken from whichever worker stumbled on one first.
+//! The first `frontier_depth` branch decisions are expanded serially —
+//! layered min-depth-first, so every prefix state is recorded at its
+//! global minimal depth — and the resulting frontier roots are sharded
+//! across workers by stride (no shared cursor, no mutex). Each worker
+//! computes the true minimal depth of each state reachable from its
+//! roots: under ucs because its layers ascend from roots of one common
+//! depth, under dfs by label correction (a state reached strictly
+//! shallower, or with a sleep set no earlier cover subsumes, is
+//! re-expanded). Per-worker maps are merged by minimum depth, and
+//! `reachable(⋃ roots) = ⋃ reachable(rootsᵂ)` (sleep sets preserve
+//! per-root reachability), so the merged map — and every statistic
+//! derived from it — is identical for 1, 2 or 8 workers. Only the
+//! traversal *effort* counters (transitions fired, sleep prunes) depend
+//! on the partition; reports exclude them from the bit-identical
+//! contract exactly like wall-clock times. Counterexamples are
+//! *recomputed* from the merged verdict (minimal violation depth) by one
+//! serial lexicographic search, never taken from whichever worker
+//! stumbled on one first.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use scup_harness::scenario::ExploreSpec;
 use scup_obs::profile::{Phase, PhaseProfile};
@@ -81,6 +102,7 @@ use scup_sim::{ExploreSim, SimState};
 
 use crate::build::Driver;
 use crate::reduce::{ChoiceProfile, Symmetry};
+use crate::visited::{FpEntry, FpTable, Recorded};
 
 /// What one canonical state is: an inner node or one of the leaf kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,7 +306,10 @@ impl<'a, D: Driver> Engine<'a, D> {
         let symmetry = if spec.symmetry {
             Symmetry::compute(driver.setup())
         } else {
-            Symmetry::trivial()
+            // Identity-only, but still variant-mixing: the adversary's
+            // split is no longer part of the actor fingerprint, so the
+            // engine must keep (state, variant) pairs distinct itself.
+            Symmetry::trivial_for(driver.setup())
         };
         Engine {
             driver,
@@ -401,6 +426,7 @@ impl<'a, D: Driver> Engine<'a, D> {
     /// violating state.)
     fn visit(
         &self,
+        variant: u32,
         sim: &ExploreSim<D::Msg>,
         visited: &mut Visited,
         sleep: &[ChoiceProfile],
@@ -409,13 +435,13 @@ impl<'a, D: Driver> Engine<'a, D> {
         let depth = sim.steps() as u32;
         stats.profile.lap_start();
         let (hash, raw, symmetric) = if stats.profile.is_enabled() {
-            let raw = self.symmetry.identity_hash(sim);
+            let raw = self.symmetry.identity_hash(sim, variant);
             stats.profile.lap(Phase::Fingerprint);
-            let (hash, moved) = self.symmetry.canonicalize_from(sim, raw);
+            let (hash, moved) = self.symmetry.canonicalize_from(sim, variant, raw);
             stats.profile.lap(Phase::Canonicalize);
             (hash, raw, moved)
         } else {
-            self.symmetry.canonical_hash(sim)
+            self.symmetry.canonical_hash(sim, variant)
         };
         let mut sleep_hashes: Vec<u128> = sleep.iter().map(|p| p.hash).collect();
         sleep_hashes.sort_unstable();
@@ -511,7 +537,7 @@ impl<'a, D: Driver> Engine<'a, D> {
         }
 
         let mut sim = self.replay(variant, path);
-        let Some(choices) = self.visit(&sim, visited, &[], stats) else {
+        let Some(choices) = self.visit(variant, &sim, visited, &[], stats) else {
             return Ok(());
         };
         let mut stack = vec![Frame {
@@ -556,7 +582,7 @@ impl<'a, D: Driver> Engine<'a, D> {
             stats.profile.lap(Phase::Settle);
             stats.sample_depth(sim.steps() as u32);
             // Single-choice chains run in place — no snapshot, no restore.
-            let mut choices = self.visit(&sim, visited, &child_sleep, stats);
+            let mut choices = self.visit(variant, &sim, visited, &child_sleep, stats);
             while let Some([(only, only_profile)]) = choices.as_deref() {
                 let (only, only_profile) = (*only, *only_profile);
                 child_sleep.retain(|e| e.independent(&only_profile));
@@ -567,7 +593,7 @@ impl<'a, D: Driver> Engine<'a, D> {
                 self.settle(&mut sim);
                 stats.profile.lap(Phase::Settle);
                 stats.sample_depth(sim.steps() as u32);
-                choices = self.visit(&sim, visited, &child_sleep, stats);
+                choices = self.visit(variant, &sim, visited, &child_sleep, stats);
             }
             if let Some(choices) = choices {
                 stack.push(Frame {
@@ -577,6 +603,147 @@ impl<'a, D: Driver> Engine<'a, D> {
                     next: 0,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// Records the canonical state in the compact fingerprint table;
+    /// returns the branching choices when the state is a first-sighted
+    /// inner node. The uniform-cost analogue of [`Engine::visit`]: no
+    /// sleep sets (rejected at parse time under ucs), no covers — one
+    /// fixed-size record per canonical state. Equal-or-deeper revisits
+    /// are pure table lookups; a strictly shallower revisit corrects the
+    /// record and counts as a re-expansion (never taken under
+    /// depth-layered expansion — the counter exists to prove that).
+    fn visit_fp(
+        &self,
+        variant: u32,
+        sim: &ExploreSim<D::Msg>,
+        visited: &mut FpTable,
+        stats: &mut WorkerStats,
+    ) -> Option<Vec<usize>> {
+        let depth = sim.steps() as u32;
+        stats.profile.lap_start();
+        let (hash, symmetric) = if stats.profile.is_enabled() {
+            let raw = self.symmetry.identity_hash(sim, variant);
+            stats.profile.lap(Phase::Fingerprint);
+            let (hash, moved) = self.symmetry.canonicalize_from(sim, variant, raw);
+            stats.profile.lap(Phase::Canonicalize);
+            (hash, moved)
+        } else {
+            let (hash, _, moved) = self.symmetry.canonical_hash(sim, variant);
+            (hash, moved)
+        };
+        if let Some(entry) = visited.get(hash) {
+            if depth >= entry.depth {
+                stats.profile.lap(Phase::Dedup);
+                return None;
+            }
+        }
+        let class = self.classify(sim, depth);
+        let recorded = visited.record(
+            hash,
+            FpEntry {
+                depth,
+                class,
+                symmetric,
+            },
+        );
+        if recorded == Recorded::Shallower {
+            stats.reexpansions += 1;
+        }
+        stats.profile.lap(Phase::Dedup);
+        (class == Class::Expanded).then(|| sim.choices())
+    }
+
+    /// Uniform-cost exploration of the subtrees rooted at `roots` —
+    /// `(variant, frontier path)` pairs whose paths all share one length,
+    /// so the layered expansion ascends in global depth order and every
+    /// canonical state is expanded exactly once, at its minimal depth.
+    ///
+    /// Each frontier layer holds `(parent snapshot, variant, choice)`
+    /// jobs; siblings share their parent's snapshot through an [`Rc`]
+    /// (workers are single-threaded), and one live simulation per variant
+    /// serves as the restore target, so expanding a job is
+    /// restore → fire → settle → classify with no replay from the root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateCapExceeded`] when `visited` outgrows the safety
+    /// valve.
+    pub fn ucs(
+        &self,
+        roots: &[(u32, Vec<u32>)],
+        visited: &mut FpTable,
+        stats: &mut WorkerStats,
+    ) -> Result<(), StateCapExceeded> {
+        struct Job<M: scup_sim::SimMessage> {
+            parent: Rc<SimState<M>>,
+            variant: u32,
+            choice: usize,
+        }
+
+        // Bootstrap: replay every root (the only replays ucs ever does),
+        // keep one live sim per variant as the restore target, and seed
+        // the first layer with the roots' children.
+        let mut sims: Vec<Option<ExploreSim<D::Msg>>> = Vec::new();
+        let mut layer: Vec<Job<D::Msg>> = Vec::new();
+        for (variant, path) in roots {
+            if visited.len() as u64 > self.spec.max_states {
+                return Err(StateCapExceeded);
+            }
+            let sim = self.replay(*variant, path);
+            if let Some(choices) = self.visit_fp(*variant, &sim, visited, stats) {
+                let parent = Rc::new(sim.snapshot());
+                for choice in choices {
+                    layer.push(Job {
+                        parent: Rc::clone(&parent),
+                        variant: *variant,
+                        choice,
+                    });
+                }
+            }
+            let slot = *variant as usize;
+            if sims.len() <= slot {
+                sims.resize_with(slot + 1, || None);
+            }
+            if sims[slot].is_none() {
+                sims[slot] = Some(sim);
+            }
+        }
+
+        while !layer.is_empty() {
+            let mut next: Vec<Job<D::Msg>> = Vec::new();
+            for job in &layer {
+                if visited.len() as u64 > self.spec.max_states {
+                    return Err(StateCapExceeded);
+                }
+                let sim = sims[job.variant as usize]
+                    .as_mut()
+                    .expect("restore target exists for every rooted variant");
+                stats.profile.lap_start();
+                sim.restore(&job.parent);
+                stats.profile.lap(Phase::Restore);
+                stats.transitions += 1;
+                sim.fire(job.choice);
+                stats.profile.lap(Phase::Expand);
+                self.settle(sim);
+                stats.profile.lap(Phase::Settle);
+                stats.sample_depth(sim.steps() as u32);
+                if let Some(choices) = self.visit_fp(job.variant, sim, visited, stats) {
+                    stats.profile.lap_start();
+                    let parent = Rc::new(sim.snapshot());
+                    stats.profile.lap(Phase::Restore);
+                    for choice in choices {
+                        next.push(Job {
+                            parent: Rc::clone(&parent),
+                            variant: job.variant,
+                            choice,
+                        });
+                    }
+                }
+            }
+            layer = next;
         }
         Ok(())
     }
@@ -604,7 +771,7 @@ impl<'a, D: Driver> Engine<'a, D> {
                     return Err(StateCapExceeded);
                 }
                 let sim = self.replay(variant, path);
-                if let Some(choices) = self.visit(&sim, visited, &[], stats) {
+                if let Some(choices) = self.visit(variant, &sim, visited, &[], stats) {
                     for (choice, _) in choices {
                         let mut extended = path.clone();
                         extended.push(choice as u32);
@@ -634,7 +801,7 @@ impl<'a, D: Driver> Engine<'a, D> {
             let mut sim = self.driver.build_sim(variant);
             sim.start();
             self.settle(&mut sim);
-            if let Some(found) = self.cex_dfs(&mut sim, d_star, &mut visited) {
+            if let Some(found) = self.cex_dfs(variant, &mut sim, d_star, &mut visited) {
                 return Some((variant, found));
             }
         }
@@ -643,6 +810,7 @@ impl<'a, D: Driver> Engine<'a, D> {
 
     fn cex_dfs(
         &self,
+        variant: u32,
         sim: &mut ExploreSim<D::Msg>,
         d_star: u32,
         visited: &mut HashMap<u128, u32>,
@@ -663,7 +831,7 @@ impl<'a, D: Driver> Engine<'a, D> {
             if depth >= d_star {
                 return Ok(None);
             }
-            let (hash, _, _) = self.symmetry.canonical_hash(sim);
+            let (hash, _, _) = self.symmetry.canonical_hash(sim, variant);
             match visited.get(&hash) {
                 Some(&prev) if prev <= depth => Ok(None),
                 _ => {

@@ -13,21 +13,23 @@
 //!   (topology family, adversary, protocol) into a concrete roster of
 //!   forkable actors — the knowledge-increase phase runs once,
 //!   deterministically, and exploration quantifies over the SCP phase;
-//! - [`explorer`] runs a depth-first search over *canonical* states
-//!   (powered by [`scup_sim::ExploreSim`]'s snapshot/restore and 128-bit
-//!   state hashing) with verdict-preserving reductions: visited-state
-//!   memoization, eager firing of absorbed no-op deliveries,
-//!   hash-collapsed commutation diamonds (every pending event is a
-//!   branch choice — privileging a recipient would prune real
-//!   schedules), a [`reduce`] symmetry quotient over interchangeable
-//!   processes, eager-inert persistent sets over threshold-inert
-//!   deliveries (the lever that exhausts a third active proposer), and
-//!   knob-gated sleep sets. Differential tests pin that every reduction
-//!   agrees with the unreduced semantics on violation/no-violation,
-//!   minimal counterexample depth, decided values and completeness.
-//!   Equivocating adversaries contribute their victim-split choice
-//!   points as explored variants (and disable symmetry — see
-//!   [`reduce`]);
+//! - [`explorer`] runs a uniform-cost (min-depth-first) search over
+//!   *canonical* states (powered by [`scup_sim::ExploreSim`]'s
+//!   snapshot/restore and 128-bit state hashing) with verdict-preserving
+//!   reductions: a compact [`visited`] fingerprint table, eager firing
+//!   of absorbed no-op deliveries, hash-collapsed commutation diamonds
+//!   (every pending event is a branch choice — privileging a recipient
+//!   would prune real schedules), a [`reduce`] symmetry quotient over
+//!   interchangeable processes (full permutations including rotations,
+//!   with a victim-split quotient for equivocating adversaries),
+//!   eager-inert persistent sets over threshold-inert deliveries (the
+//!   lever that exhausts a third active proposer), and — under the
+//!   legacy `search = "dfs"` discipline — knob-gated sleep sets.
+//!   Differential tests pin that every reduction (and the uniform-cost
+//!   discipline itself) agrees with the unreduced DFS semantics on
+//!   violation/no-violation, minimal counterexample depth, decided
+//!   values and completeness. Equivocating adversaries contribute their
+//!   victim-split choice points as explored variants;
 //! - [`campaign`] integrates with `mode = "explore"` campaign files: the
 //!   first `frontier_depth` branch decisions are sharded across workers
 //!   (deterministic stride, mutex-free), per-worker maps merge by minimal
@@ -95,6 +97,7 @@ pub mod campaign;
 pub mod explorer;
 pub mod reduce;
 pub mod report;
+pub mod visited;
 
 pub use build::{BftDriver, Driver, ScpDriver, Setup, StackDriver};
 pub use campaign::{
@@ -104,3 +107,4 @@ pub use campaign::{
 pub use explorer::{Class, Engine, Visited};
 pub use reduce::Symmetry;
 pub use report::{CexReport, ExploreObs, ExploreRecord, ExploreReport, PhaseRow};
+pub use visited::{FpEntry, FpTable, Recorded};

@@ -15,8 +15,8 @@ use scup_scp::Value;
 /// Time and stamp count attributed to one explorer phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseRow {
-    /// Stable phase name (`expand`, `fingerprint`, `canonicalize`,
-    /// `dedup`, `settle`).
+    /// Stable phase name (`restore`, `expand`, `fingerprint`,
+    /// `canonicalize`, `dedup`, `settle`).
     pub phase: &'static str,
     /// Total nanoseconds attributed to the phase, summed over workers.
     pub nanos: u64,
@@ -167,6 +167,13 @@ pub struct ExploreRecord {
     pub symmetry_group: u64,
     /// Sizes of the interchangeable-process classes the group acts on.
     pub symmetry_classes: Vec<u64>,
+    /// Candidate symmetry classes never expanded because of the
+    /// permutation-group cap — a dropped class costs coverage of its
+    /// arrangements, so it is counted, never silent.
+    pub symmetry_dropped_classes: u64,
+    /// Non-identity arrangements the dropped classes would have
+    /// contributed (Σ (|class|! − 1)).
+    pub symmetry_dropped_arrangements: u64,
     /// Visited states whose canonical representative is a *renaming* of
     /// the state as reached — how often the symmetry quotient collapsed
     /// something (a pure function of the visited set: deterministic).
@@ -287,6 +294,14 @@ impl ExploreRecord {
                         .map(|&c| Json::Int(c as i64))
                         .collect(),
                 ),
+            ),
+            (
+                "symmetry_dropped_classes",
+                Json::Int(self.symmetry_dropped_classes as i64),
+            ),
+            (
+                "symmetry_dropped_arrangements",
+                Json::Int(self.symmetry_dropped_arrangements as i64),
             ),
             ("symmetric_states", Json::Int(self.symmetric_states as i64)),
             ("transitions", Json::Int(self.transitions as i64)),

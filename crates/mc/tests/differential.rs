@@ -7,6 +7,15 @@
 //! violation found or not, minimal counterexample depth, completeness,
 //! decided values, pass/fail. None of them may *grow* the state space.
 //!
+//! The search discipline rides the same battery: the uniform-cost
+//! (min-depth-first) frontier and the legacy label-correcting DFS are
+//! two traversal orders over the *same* canonical state space, so under
+//! identical reduction knobs they must produce the identical census —
+//! not just the verdict — on every system. The DFS baseline anchors
+//! this file; the uniform-cost runs are pinned against it combo by
+//! combo (sleep sets excepted: their covers are DFS-scoped and the
+//! parser rejects them under uniform cost).
+//!
 //! The raw state census is deliberately not required to match: symmetry
 //! and eager-inert shrink it by design, and sleep sets may skip states
 //! that are trace-equivalent to extensions of visited terminal states
@@ -20,7 +29,9 @@
 //! cuts of the space and their verdicts are incomparable by
 //! construction, not unsound.
 
-use scup_harness::scenario::{ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, TopologySpec};
+use scup_harness::scenario::{
+    ExploreSpec, FaultPlacement, ProtocolSpec, Scenario, SearchMode, TopologySpec,
+};
 use scup_harness::AdversaryRegistry;
 use scup_mc::campaign::explore_scenario;
 use scup_mc::ExploreRecord;
@@ -121,7 +132,14 @@ fn sink2_discovery(steps: u32) -> Scenario {
     s
 }
 
-fn explore_with(mut s: Scenario, symmetry: bool, sleep_sets: bool, eager: bool) -> ExploreRecord {
+fn explore_with(
+    mut s: Scenario,
+    search: SearchMode,
+    symmetry: bool,
+    sleep_sets: bool,
+    eager: bool,
+) -> ExploreRecord {
+    s.explore.search = search;
     s.explore.symmetry = symmetry;
     s.explore.sleep_sets = sleep_sets;
     s.explore.eager_inert = eager;
@@ -139,6 +157,36 @@ fn verdict(r: &ExploreRecord) -> (bool, Option<u32>, bool, Vec<u64>, bool) {
         r.decided_values.clone(),
         r.passed,
     )
+}
+
+/// The full state census the two search disciplines must agree on under
+/// identical reduction knobs: same canonical states, same minimal
+/// depths, same per-state classifications. Traversal-effort counters
+/// (`transitions`, re-expansions) are the *only* thing allowed to
+/// differ between uniform cost and DFS.
+fn census(r: &ExploreRecord) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.states,
+        r.expanded,
+        r.decided,
+        r.quiescent_undecided,
+        r.truncated,
+        r.violating,
+        r.symmetric_states,
+    )
+}
+
+/// Strips the fields outside the bit-identical contract (wall-clock
+/// time, traversal-effort counters, the obs block, opt-in forensics).
+fn deterministic_view(mut r: ExploreRecord) -> ExploreRecord {
+    r.wall_micros = 0;
+    r.transitions = 0;
+    r.sleep_prunes = 0;
+    r.obs = None;
+    if let Some(v) = &mut r.violation {
+        v.forensics = None;
+    }
+    r
 }
 
 /// Every reduction combination agrees with the unreduced baseline on the
@@ -161,25 +209,47 @@ fn reductions_agree_on_complete_systems() {
         ("sink2-discovery", sink2_discovery(64)),
     ];
     for (name, scenario) in systems {
-        let base = explore_with(scenario.clone(), false, false, false);
+        let base = explore_with(scenario.clone(), SearchMode::Dfs, false, false, false);
         assert!(base.complete, "{name}: baseline must exhaust");
         for symmetry in [false, true] {
             for sleep_sets in [false, true] {
                 for eager in [false, true] {
-                    if !symmetry && !sleep_sets && !eager {
-                        continue;
+                    let r = explore_with(
+                        scenario.clone(),
+                        SearchMode::Dfs,
+                        symmetry,
+                        sleep_sets,
+                        eager,
+                    );
+                    if (symmetry, sleep_sets, eager) != (false, false, false) {
+                        assert_eq!(
+                            verdict(&r),
+                            verdict(&base),
+                            "{name}: verdict drifted under symmetry={symmetry} \
+                             sleep={sleep_sets} eager={eager}"
+                        );
+                        assert!(
+                            r.states <= base.states,
+                            "{name}: a reduction cannot grow the space"
+                        );
                     }
-                    let r = explore_with(scenario.clone(), symmetry, sleep_sets, eager);
-                    assert_eq!(
-                        verdict(&r),
-                        verdict(&base),
-                        "{name}: verdict drifted under symmetry={symmetry} \
-                         sleep={sleep_sets} eager={eager}"
-                    );
-                    assert!(
-                        r.states <= base.states,
-                        "{name}: a reduction cannot grow the space"
-                    );
+                    // The uniform-cost frontier must reproduce the DFS
+                    // census exactly under the same knobs (sleep sets
+                    // are DFS-only by construction).
+                    if !sleep_sets {
+                        let u =
+                            explore_with(scenario.clone(), SearchMode::Ucs, symmetry, false, eager);
+                        assert_eq!(
+                            verdict(&u),
+                            verdict(&base),
+                            "{name}: ucs verdict drifted under symmetry={symmetry} eager={eager}"
+                        );
+                        assert_eq!(
+                            census(&u),
+                            census(&r),
+                            "{name}: ucs/dfs census drift under symmetry={symmetry} eager={eager}"
+                        );
+                    }
                 }
             }
         }
@@ -206,9 +276,15 @@ fn metric_compatible_reductions_agree_on_bounded_systems() {
         ("sink2-discovery-bounded", sink2_discovery(12)),
     ];
     for (name, scenario) in systems {
-        let base = explore_with(scenario.clone(), false, false, false);
+        let base = explore_with(scenario.clone(), SearchMode::Dfs, false, false, false);
         for (symmetry, sleep_sets) in [(true, false), (false, true), (true, true)] {
-            let r = explore_with(scenario.clone(), symmetry, sleep_sets, false);
+            let r = explore_with(
+                scenario.clone(),
+                SearchMode::Dfs,
+                symmetry,
+                sleep_sets,
+                false,
+            );
             assert_eq!(
                 verdict(&r),
                 verdict(&base),
@@ -217,6 +293,24 @@ fn metric_compatible_reductions_agree_on_bounded_systems() {
             assert!(
                 r.states <= base.states,
                 "{name}: a reduction cannot grow the space"
+            );
+        }
+        // Uniform cost vs DFS on the bounded systems: the min-depth
+        // frontier truncates at exactly the same depth cut, so the
+        // census must match bit for bit — unreduced and under the
+        // symmetry quotient.
+        for symmetry in [false, true] {
+            let d = explore_with(scenario.clone(), SearchMode::Dfs, symmetry, false, false);
+            let u = explore_with(scenario.clone(), SearchMode::Ucs, symmetry, false, false);
+            assert_eq!(
+                verdict(&u),
+                verdict(&base),
+                "{name}: ucs verdict drifted under symmetry={symmetry}"
+            );
+            assert_eq!(
+                census(&u),
+                census(&d),
+                "{name}: ucs/dfs census drift under symmetry={symmetry}"
             );
         }
     }
@@ -228,14 +322,22 @@ fn metric_compatible_reductions_agree_on_bounded_systems() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "release-only; see explore-smoke CI job")]
 fn unreduced_counts_match_the_pr3_semantics() {
-    let r = explore_with(sink2(64, 0, "silent", vec![3, 9]), false, false, false);
-    assert_eq!(r.states, 1_785);
-    let r = explore_with(sink2(96, 1, "silent", vec![7]), false, false, false);
-    assert_eq!(r.states, 1_116);
-    let r = explore_with(split22(48), false, false, false);
-    assert_eq!(r.states, 20_880);
-    assert_eq!(r.violating, 3_240);
-    assert_eq!(r.min_violation_depth, Some(16));
+    for search in [SearchMode::Dfs, SearchMode::Ucs] {
+        let r = explore_with(
+            sink2(64, 0, "silent", vec![3, 9]),
+            search,
+            false,
+            false,
+            false,
+        );
+        assert_eq!(r.states, 1_785, "search={}", search.name());
+        let r = explore_with(sink2(96, 1, "silent", vec![7]), search, false, false, false);
+        assert_eq!(r.states, 1_116, "search={}", search.name());
+        let r = explore_with(split22(48), search, false, false, false);
+        assert_eq!(r.states, 20_880, "search={}", search.name());
+        assert_eq!(r.violating, 3_240, "search={}", search.name());
+        assert_eq!(r.min_violation_depth, Some(16), "search={}", search.name());
+    }
 }
 
 /// The full (unreduced) semantics of the new full-stack systems, pinned:
@@ -244,11 +346,43 @@ fn unreduced_counts_match_the_pr3_semantics() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "release-only; see explore-smoke CI job")]
 fn unreduced_counts_pin_the_full_stack_semantics() {
-    let r = explore_with(bftcup_sink2(64, 0), false, false, false);
-    assert_eq!(r.states, 180);
-    assert!(r.complete && r.violating == 0);
-    let r = explore_with(sink2_discovery(64), false, false, false);
-    assert_eq!(r.states, 21_516);
-    assert!(r.complete && r.violating == 0);
-    assert_eq!(r.decided_values, vec![3, 9]);
+    for search in [SearchMode::Dfs, SearchMode::Ucs] {
+        let r = explore_with(bftcup_sink2(64, 0), search, false, false, false);
+        assert_eq!(r.states, 180, "search={}", search.name());
+        assert!(r.complete && r.violating == 0);
+        let r = explore_with(sink2_discovery(64), search, false, false, false);
+        assert_eq!(r.states, 21_516, "search={}", search.name());
+        assert!(r.complete && r.violating == 0);
+        assert_eq!(r.decided_values, vec![3, 9]);
+    }
+}
+
+/// 1/2/8-worker bit-identity under the uniform-cost frontier: the
+/// strided root sharding and the compact-table merge must not leak the
+/// worker count into any deterministic report field, including on
+/// systems with live adversary variants (where the victim-split index
+/// is part of the visited key).
+#[test]
+fn uniform_cost_reports_are_bit_identical_across_worker_counts() {
+    let systems = vec![
+        sink2(6, 0, "equivocate", vec![7]),
+        split22(17),
+        bftcup_equiv_leader(4),
+        sink2_discovery(12),
+    ];
+    let registry = AdversaryRegistry::builtin();
+    for mut s in systems {
+        s.explore.search = SearchMode::Ucs;
+        let base = explore_scenario(&s, 1, &registry);
+        assert_eq!(base.error, None, "{}", s.name);
+        for threads in [2, 8] {
+            let other = explore_scenario(&s, threads, &registry);
+            assert_eq!(
+                deterministic_view(base.clone()),
+                deterministic_view(other),
+                "{}: workers=1 vs workers={threads}",
+                s.name
+            );
+        }
+    }
 }

@@ -19,6 +19,9 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Phase {
+    /// Restoring a parent snapshot (and snapshotting expanded states) in
+    /// the uniform-cost frontier.
+    Restore,
     /// Firing a pending event on a forked simulator state.
     Expand,
     /// Identity-permutation state hashing.
@@ -33,10 +36,11 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All phases, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Restore,
         Phase::Expand,
         Phase::Fingerprint,
         Phase::Canonicalize,
@@ -47,6 +51,7 @@ impl Phase {
     /// Stable lowercase name (used in report JSON and bench entries).
     pub fn name(self) -> &'static str {
         match self {
+            Phase::Restore => "restore",
             Phase::Expand => "expand",
             Phase::Fingerprint => "fingerprint",
             Phase::Canonicalize => "canonicalize",

@@ -921,6 +921,13 @@ impl Actor<ScpMsg> for ScpNode {
     /// - any pledge for a statement already **confirmed** here: both
     ///   accept and confirm are crossed, the level is final, and neither
     ///   tally set is consulted again;
+    /// - an **accept**-level `Commit` pledge once this node has
+    ///   **externalized**: the only rule that reads the Commit accepted
+    ///   tally is confirm-commit, whose sole effect is externalization —
+    ///   write-once and already written. Recording the accept can tip
+    ///   that threshold, but tipping it is a no-op (`externalize()`
+    ///   keeps the first value), so the tally is dead even though its
+    ///   level may still formally rise;
     ///
     /// in both cases additionally requiring that the origin's identity
     /// and slice claim are already on file:
@@ -952,9 +959,14 @@ impl Actor<ScpMsg> for ScpNode {
         {
             return false;
         }
+        // A vote echo is dead once the statement is accepted; an accept
+        // pledge is dead only at confirmed — except a commit accept after
+        // externalization, whose confirm quorum can no longer matter.
         let level = self.tracker.level(msg.stmt);
-        let tally_dead =
-            level == VoteLevel::Confirmed || (!msg.accept && level >= VoteLevel::Accepted);
+        let tally_dead = level == VoteLevel::Confirmed
+            || (level >= VoteLevel::Accepted
+                && (!msg.accept
+                    || (matches!(msg.stmt, Statement::Commit(..)) && self.externalized.is_some())));
         tally_dead && self.check.slices_of(msg.origin) == Some(&*msg.slices)
     }
 }
@@ -1051,13 +1063,17 @@ impl Actor<ScpMsg> for EquivocatingScpNode {
     }
 
     /// Stateless between events, but behaviourally parameterized: the
-    /// configuration (values, forged slices, split) must distinguish
-    /// differently configured adversaries in the state hash.
+    /// configuration (values, forged slices) must distinguish differently
+    /// configured adversaries in the state hash. The victim `split` is
+    /// deliberately **not** fingerprinted: it equals the explorer's
+    /// adversary variant, which the engine mixes into every state hash
+    /// itself — leaving it out is what lets the symmetry quotient
+    /// identify `(state, split)` with `(π(state), split + shift)` (see
+    /// `scup-mc`'s victim-split quotient).
     fn fingerprint(&self, h: &mut StateHasher) {
         h.write_u64(self.values.0);
         h.write_u64(self.values.1);
         hash_family(h, &self.fake_slices);
-        h.write_u64(self.split as u64);
     }
 
     /// Nomination envelopes and out-of-cap ballot counters draw no
